@@ -1,0 +1,198 @@
+// Ablations for the design choices behind PINT's static aggregation
+// (DESIGN.md Section 2): layer-0 probability tau, XOR layer probability,
+// multi-layer vs single-layer vs LNC, hashing vs fragmentation for wide
+// values, and the O(log k) bit-vector fast path vs naive per-hop hashing.
+#include <chrono>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "coding/encoder.h"
+#include "coding/fragmentation.h"
+#include "coding/hashed_decoder.h"
+#include "coding/lnc.h"
+#include "coding/lt_code.h"
+#include "coding/peeling_decoder.h"
+#include "coding/scheme.h"
+#include "common/stats.h"
+#include "hash/bit_vectors.h"
+
+using namespace pint;
+
+namespace {
+
+double avg_packets(const SchemeConfig& cfg, unsigned k, int runs,
+                   std::uint64_t seed) {
+  double total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    GlobalHash root(seed + r);
+    const InstanceHashes h = make_instance_hashes(root, 0);
+    std::vector<std::uint64_t> blocks(k);
+    for (unsigned i = 0; i < k; ++i) blocks[i] = mix64(seed + r * 100 + i);
+    PeelingDecoder dec(k, cfg, h);
+    PacketId p = 1;
+    while (!dec.complete()) {
+      dec.add_packet(p, encode_path(cfg, h, p, blocks, 0));
+      ++p;
+    }
+    total += static_cast<double>(p - 1);
+  }
+  return total / runs;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned k = 25;
+  const int runs = 120;
+
+  bench::header("Ablation | layer-0 probability tau (k = 25, one XOR layer)");
+  bench::row("%-8s %-14s", "tau", "avg packets");
+  for (double tau : {0.25, 0.5, 0.625, 0.75, 0.875, 0.95}) {
+    SchemeConfig cfg = make_hybrid_scheme(k);
+    cfg.tau = tau;
+    bench::row("%-8.3f %-14.1f", tau, avg_packets(cfg, k, runs, 1000));
+  }
+  bench::row("paper picks tau = 3/4; the curve should be flat-bottomed there.");
+
+  bench::header("Ablation | XOR probability p (k = 25, tau = 3/4)");
+  bench::row("%-12s %-14s", "p", "avg packets");
+  for (double p : {0.04, 0.08, 0.1869 /* loglogd/logd */, 0.3, 0.5}) {
+    SchemeConfig cfg;
+    cfg.tau = 0.75;
+    cfg.layer_probs = {p};
+    bench::row("%-12.4f %-14.1f", p, avg_packets(cfg, k, runs, 2000));
+  }
+
+  bench::header("Ablation | scheme family at k = 25 (full-block digests)");
+  bench::row("%-22s %-14s", "scheme", "avg packets");
+  bench::row("%-22s %-14.1f", "Baseline", avg_packets(make_baseline_scheme(), k, runs, 3000));
+  bench::row("%-22s %-14.1f", "XOR p=1/d", avg_packets(make_xor_scheme(k), k, runs, 3100));
+  bench::row("%-22s %-14.1f", "Hybrid", avg_packets(make_hybrid_scheme(k), k, runs, 3200));
+  bench::row("%-22s %-14.1f", "Multi-layer", avg_packets(make_multilayer_scheme(k), k, runs, 3300));
+  bench::row("%-22s %-14.1f", "Multi-layer revised", avg_packets(make_multilayer_scheme_revised(k), k, runs, 3400));
+  {
+    double total = 0;
+    for (int r = 0; r < runs; ++r) {
+      GlobalHash root(3500 + r);
+      LncEncoder enc(root);
+      LncDecoder dec(k, root);
+      std::vector<std::uint64_t> blocks(k);
+      for (unsigned i = 0; i < k; ++i) blocks[i] = mix64(r * 100 + i);
+      PacketId p = 1;
+      while (!dec.complete()) {
+        dec.add_packet(p, enc.encode(p, blocks));
+        ++p;
+      }
+      total += static_cast<double>(p - 1);
+    }
+    bench::row("%-22s %-14.1f (needs full-width digests + O(k^3) decode)",
+               "LNC", total / runs);
+  }
+  {
+    // LT fountain code: the single-encoder lower-bound reference — switches
+    // cannot implement it because no one of them owns all blocks.
+    double total = 0;
+    for (int r = 0; r < runs; ++r) {
+      GlobalHash root(3600 + r);
+      LtEncoder enc(k, root);
+      LtDecoder dec(k, root);
+      std::vector<std::uint64_t> blocks(k);
+      for (unsigned i = 0; i < k; ++i) blocks[i] = mix64(r * 100 + i + 7);
+      PacketId p = 1;
+      while (!dec.complete()) {
+        dec.add_packet(p, enc.encode(p, blocks));
+        ++p;
+      }
+      total += static_cast<double>(p - 1);
+    }
+    bench::row("%-22s %-14.1f (single-encoder reference, not distributable)",
+               "LT / robust soliton", total / runs);
+  }
+  {
+    // Bit-vector fast-path variant of the multi-layer scheme: the decode
+    // speedup costs only the sqrt(2) probability rounding.
+    const SchemeConfig fast = make_fast(make_multilayer_scheme(k));
+    bench::row("%-22s %-14.1f (power-of-two probs, O(log k) decode)",
+               "Multi-layer fast", avg_packets(fast, k, runs, 3700));
+  }
+
+  bench::header("Ablation | hashing vs fragmentation (32-bit IDs, b = 8, k = 6)");
+  {
+    const unsigned kk = 6, q = 32, b = 8;
+    // Fragmentation.
+    double frag_total = 0;
+    const int freps = 40;
+    for (int r = 0; r < freps; ++r) {
+      GlobalHash root(4000 + r);
+      FragmentedCodec codec(kk, q, b, make_hybrid_scheme(kk), root);
+      std::vector<std::uint64_t> values(kk);
+      for (unsigned i = 0; i < kk; ++i) values[i] = mix64(r * 50 + i) & 0xFFFFFFFF;
+      PacketId p = 1;
+      while (!codec.complete()) {
+        Digest d = 0;
+        for (HopIndex i = 1; i <= kk; ++i) d = codec.encode_step(p, i, d, values[i - 1]);
+        codec.add_packet(p, d);
+        ++p;
+      }
+      frag_total += static_cast<double>(p - 1);
+    }
+    // Hashing with a 256-value universe.
+    double hash_total = 0;
+    std::vector<std::uint64_t> universe(256);
+    std::iota(universe.begin(), universe.end(), 77);
+    for (int r = 0; r < freps; ++r) {
+      HashedDecoderConfig cfg;
+      cfg.k = kk;
+      cfg.bits = b;
+      cfg.instances = 1;
+      cfg.scheme = make_hybrid_scheme(kk);
+      GlobalHash root(5000 + r);
+      HashedPathDecoder dec(cfg, root, universe);
+      std::vector<std::uint64_t> blocks(kk);
+      for (unsigned i = 0; i < kk; ++i) blocks[i] = universe[(r * 7 + i * 13) % 256];
+      PacketId p = 1;
+      while (!dec.complete()) {
+        dec.add_packet(p, encode_path_multi(cfg.scheme, root, 1, p, blocks, b));
+        ++p;
+      }
+      hash_total += static_cast<double>(p - 1);
+    }
+    bench::row("%-22s %-14.1f", "fragmentation (F=4)", frag_total / freps);
+    bench::row("%-22s %-14.1f", "hashing (|V|=256)", hash_total / freps);
+    bench::row("hashing wins when the value universe is known (Section 4.2).");
+  }
+
+  bench::header("Ablation | decode fast path: bit vectors vs per-hop hashing");
+  {
+    const unsigned kk = 256;
+    GlobalHash root(6000);
+    BitVectorSelector sel(root, 5);  // p = 1/32
+    const int packets = 200000;
+    // Naive: evaluate g per hop.
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t acc1 = 0;
+    for (PacketId p = 0; p < static_cast<PacketId>(packets); ++p) {
+      for (unsigned i = 0; i < kk; ++i) {
+        acc1 += root.below2(p, i, 1.0 / 32.0);
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    // Fast: O(log 1/p) words.
+    std::uint64_t acc2 = 0;
+    for (PacketId p = 0; p < static_cast<PacketId>(packets); ++p) {
+      acc2 += sel.select(p).count(kk);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    const double naive_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double fast_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    bench::row("%-22s %-10.1f ms  (%llu set bits)", "naive per-hop g",
+               naive_ms, static_cast<unsigned long long>(acc1));
+    bench::row("%-22s %-10.1f ms  (%llu set bits)", "bit-vector AND",
+               fast_ms, static_cast<unsigned long long>(acc2));
+    bench::row("speedup: %.1fx (Section 4.2 'Reducing the Decoding Complexity')",
+               naive_ms / fast_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Fig. 10 | Packets required to trace a flow's path (average and 99th
+// percentile) vs path length, on the three evaluation topologies:
+//   (a,d) Kentucky Datalink stand-in (753 switches, D = 59)
+//   (b,e) US Carrier stand-in       (157 switches, D = 36)
+//   (c,f) Fat tree K = 8            (switch diameter 5)
+// Algorithms: PINT 2x(b=8), PINT b=4, PINT b=1 (multi-layer scheme, d = 10
+// on ISP topologies / d = 5 on the fat tree, as in the paper), and the IP
+// traceback baselines PPM and AMS2 (m = 5, 6), both with the reservoir-
+// sampling improvement. PPM/AMS use 16-bit marking fields.
+#include <numeric>
+#include <vector>
+
+#include "baselines/ams.h"
+#include "baselines/ppm.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "pint/static_aggregation.h"
+#include "topology/fat_tree.h"
+#include "topology/isp.h"
+
+using namespace pint;
+
+namespace {
+
+struct Stats {
+  double avg = 0.0;
+  double p99 = 0.0;
+};
+
+Stats summarize(std::vector<std::uint64_t> needed) {
+  Stats s;
+  s.avg = mean(needed);
+  s.p99 = static_cast<double>(percentile(needed, 0.99));
+  return s;
+}
+
+Stats run_pint(const std::vector<SwitchId>& path,
+               const std::vector<std::uint64_t>& universe, unsigned bits,
+               unsigned instances, unsigned d, int runs, std::uint64_t seed) {
+  std::vector<std::uint64_t> needed;
+  const auto k = static_cast<unsigned>(path.size());
+  for (int r = 0; r < runs; ++r) {
+    PathTracingConfig cfg;
+    cfg.bits = bits;
+    cfg.instances = instances;
+    cfg.d = d;
+    PathTracingQuery query(cfg, seed + r * 131);
+    auto dec = query.make_decoder(k, universe);
+    PacketId p = 1;
+    while (!dec.complete()) {
+      std::vector<Digest> lanes(instances, 0);
+      for (HopIndex i = 1; i <= k; ++i) query.encode(p, i, path[i - 1], lanes);
+      dec.add_packet(p, lanes);
+      ++p;
+    }
+    needed.push_back(p - 1);
+  }
+  return summarize(std::move(needed));
+}
+
+Stats run_ppm(const std::vector<SwitchId>& path, int runs,
+              std::uint64_t seed) {
+  std::vector<std::uint64_t> needed;
+  const auto k = static_cast<unsigned>(path.size());
+  for (int r = 0; r < runs; ++r) {
+    PpmTraceback ppm(seed + r * 17);
+    PpmDecoder dec(k);
+    PacketId p = 1;
+    while (!dec.complete()) {
+      PpmMark mark;
+      for (HopIndex i = 1; i <= k; ++i) ppm.mark(p, i, path[i - 1], mark);
+      dec.add_mark(mark);
+      ++p;
+    }
+    needed.push_back(p - 1);
+  }
+  return summarize(std::move(needed));
+}
+
+Stats run_ams(const std::vector<SwitchId>& path,
+              const std::vector<SwitchId>& universe, unsigned m, int runs,
+              std::uint64_t seed) {
+  std::vector<std::uint64_t> needed;
+  const auto k = static_cast<unsigned>(path.size());
+  for (int r = 0; r < runs; ++r) {
+    AmsTraceback ams(m, seed + r * 23);
+    AmsDecoder dec(k, ams, universe);
+    PacketId p = 1;
+    // Collect all m hash constraints per hop (the dominant cost), then keep
+    // going until the candidate sets are unambiguous.
+    while (!dec.all_constraints()) {
+      AmsMark mark;
+      for (HopIndex i = 1; i <= k; ++i) ams.mark(p, i, path[i - 1], mark);
+      dec.add_mark(mark);
+      ++p;
+    }
+    while (!dec.complete()) {
+      for (int extra = 0; extra < 50; ++extra, ++p) {
+        AmsMark mark;
+        for (HopIndex i = 1; i <= k; ++i) ams.mark(p, i, path[i - 1], mark);
+        dec.add_mark(mark);
+      }
+    }
+    needed.push_back(p - 1);
+  }
+  return summarize(std::move(needed));
+}
+
+void run_topology(const char* title, const std::vector<SwitchId>& full_path,
+                  const std::vector<std::uint64_t>& universe,
+                  const std::vector<unsigned>& lengths, unsigned d, int runs) {
+  std::vector<SwitchId> uni32(universe.begin(), universe.end());
+  bench::header(std::string("Fig. 10 | ") + title);
+  bench::row("%-6s | %-9s %-9s %-9s %-9s %-9s %-9s | stat", "hops",
+             "PINT 2x8", "PINT b=4", "PINT b=1", "AMS m=5", "AMS m=6", "PPM");
+  for (unsigned hops : lengths) {
+    const std::vector<SwitchId> path(full_path.begin(),
+                                     full_path.begin() + hops);
+    const Stats p88 = run_pint(path, universe, 8, 2, d, runs, 90100 + hops);
+    const Stats p4 = run_pint(path, universe, 4, 1, d, runs, 90200 + hops);
+    const Stats p1 = run_pint(path, universe, 1, 1, d, runs, 90300 + hops);
+    const Stats a5 = run_ams(path, uni32, 5, runs, 90400 + hops);
+    const Stats a6 = run_ams(path, uni32, 6, runs, 90500 + hops);
+    const Stats pp = run_ppm(path, runs, 90600 + hops);
+    bench::row("%-6u | %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f | avg", hops,
+               p88.avg, p4.avg, p1.avg, a5.avg, a6.avg, pp.avg);
+    bench::row("%-6s | %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f | p99", "",
+               p88.p99, p4.p99, p1.p99, a5.p99, a6.p99, pp.p99);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int runs = 60;
+
+  {
+    const IspTopology isp = make_kentucky_datalink();
+    std::vector<std::uint64_t> universe(isp.graph.num_nodes());
+    std::iota(universe.begin(), universe.end(), 0);
+    std::vector<SwitchId> backbone(isp.backbone.begin(), isp.backbone.end());
+    run_topology("(a,d) Kentucky Datalink (753 switches, D=59)", backbone,
+                 universe, {6, 12, 18, 24, 30, 36, 42, 48, 54}, /*d=*/10,
+                 runs);
+  }
+  {
+    const IspTopology isp = make_us_carrier();
+    std::vector<std::uint64_t> universe(isp.graph.num_nodes());
+    std::iota(universe.begin(), universe.end(), 0);
+    std::vector<SwitchId> backbone(isp.backbone.begin(), isp.backbone.end());
+    run_topology("(b,e) US Carrier (157 switches, D=36)", backbone, universe,
+                 {4, 8, 12, 16, 20, 24, 28, 32, 36}, /*d=*/10, runs);
+  }
+  {
+    // Fat tree: switch-level paths of 2..5 hops; universe = all switches.
+    const FatTree ft = make_fat_tree(8, /*with_hosts=*/false);
+    std::vector<std::uint64_t> universe(ft.graph.num_nodes());
+    std::iota(universe.begin(), universe.end(), 0);
+    // A canonical 5-switch path: edge -> agg -> core -> agg -> edge.
+    const std::vector<SwitchId> path5{
+        static_cast<SwitchId>(ft.nodes.edges[0]),
+        static_cast<SwitchId>(ft.nodes.aggs[0]),
+        static_cast<SwitchId>(ft.nodes.cores[0]),
+        static_cast<SwitchId>(ft.nodes.aggs[4]),
+        static_cast<SwitchId>(ft.nodes.edges[4])};
+    run_topology("(c,f) Fat tree K=8 (D=5)", path5, universe, {2, 3, 4, 5},
+                 /*d=*/5, runs);
+  }
+  bench::row(
+      "\nexpected shape (paper): PINT needs 25-36x fewer packets than\n"
+      "PPM/AMS at D=59 with 2x(b=8), and 7-10x fewer even with b=1;\n"
+      "growth is near-linear in hops for PINT, superlinear for baselines.");
+  return 0;
+}

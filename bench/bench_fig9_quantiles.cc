@@ -1,0 +1,99 @@
+// Fig. 9 | Latency-quantile estimation error:
+//   row 1: relative error vs number of packets sampled (sketch fixed),
+//   row 2: relative error vs sketch size in bytes (sample fixed at 500),
+// for bit budgets b = 4 and b = 8, with (PINT_S) and without sketches,
+// for the tail (p99) and median quantiles.
+//
+// The paper draws hop latencies from its NS3 congestion-control traces; we
+// synthesize heavy-tailed per-hop latency streams with the same qualitative
+// shape (exponential body + bursty tail), which preserves the error-vs-
+// budget behaviour under study (see DESIGN.md substitutions).
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "pint/dynamic_aggregation.h"
+
+using namespace pint;
+
+namespace {
+
+double hop_latency(Rng& rng, HopIndex hop) {
+  double v = 1000.0 * hop + rng.exponential(1.0 / (300.0 * hop));
+  if (rng.bernoulli(0.02)) v *= 4.0;  // microburst tail
+  return v;
+}
+
+struct ErrorPair {
+  double median = 0.0;
+  double tail = 0.0;
+};
+
+// Mean relative error over hops and repetitions for a configuration.
+ErrorPair measure(unsigned bits, std::size_t sketch_bytes, int sample_packets,
+                  std::uint64_t seed) {
+  const unsigned k = 5;
+  ErrorPair err;
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    DynamicAggregationConfig cfg;
+    cfg.bits = bits;
+    cfg.max_value = 1e7;
+    DynamicAggregationQuery query(cfg, seed + rep * 7);
+    // Sketched identifiers are the b-bit compressed codes (paper Fig. 9).
+    FlowLatencyRecorder rec(k, sketch_bytes, seed + rep * 13,
+                            (bits + 7) / 8);
+    Rng rng(seed + rep * 17);
+    std::vector<std::vector<double>> truth(k);
+    for (PacketId p = 1; p <= static_cast<PacketId>(sample_packets); ++p) {
+      Digest d = 0;
+      for (HopIndex i = 1; i <= k; ++i) {
+        const double v = hop_latency(rng, i);
+        truth[i - 1].push_back(v);
+        d = query.encode_step(p, i, d, v);
+      }
+      rec.add(query.decode(p, d, k));
+    }
+    for (HopIndex hop = 1; hop <= k; ++hop) {
+      const double t50 = percentile(truth[hop - 1], 0.5);
+      const double t99 = percentile(truth[hop - 1], 0.99);
+      err.median += relative_error(rec.quantile(hop, 0.5).value_or(0), t50);
+      err.tail += relative_error(rec.quantile(hop, 0.99).value_or(0), t99);
+    }
+  }
+  err.median *= 100.0 / (reps * k);
+  err.tail *= 100.0 / (reps * k);
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 9 (top row) | relative error [%] vs sample size");
+  bench::row("%-8s | %-18s %-18s | %-18s %-18s", "packets", "b=8 tail",
+             "b=4 tail", "b=8 median", "b=4 median");
+  for (int packets : {100, 200, 400, 600, 800, 1000}) {
+    const ErrorPair b8 = measure(8, 0, packets, 400);
+    const ErrorPair b4 = measure(4, 0, packets, 500);
+    bench::row("%-8d | %-18.1f %-18.1f | %-18.1f %-18.1f", packets, b8.tail,
+               b4.tail, b8.median, b4.median);
+  }
+
+  bench::header(
+      "Fig. 9 (bottom row) | relative error [%] vs sketch size (500 pkts)");
+  bench::row("%-12s | %-12s %-12s %-12s %-12s", "sketch [B]", "PINTS b=8 t",
+             "PINTS b=4 t", "PINTS b=8 m", "PINTS b=4 m");
+  for (std::size_t bytes : {100u, 150u, 200u, 250u, 300u}) {
+    const ErrorPair b8 = measure(8, bytes, 500, 600);
+    const ErrorPair b4 = measure(4, bytes, 500, 700);
+    bench::row("%-12zu | %-12.1f %-12.1f %-12.1f %-12.1f", bytes, b8.tail,
+               b4.tail, b8.median, b4.median);
+  }
+  bench::row(
+      "\nexpected shape (paper): error stabilizes with enough packets and is\n"
+      "dominated by the compression error (b=4 floor >> b=8 floor); adding\n"
+      "a small sketch degrades accuracy only slightly.");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark): per-packet costs of the PINT
+// primitives that run on the critical path — global hashing, digest encoding
+// for each aggregation type, sink-side decode, and sketch insertion.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "coding/encoder.h"
+#include "coding/hashed_decoder.h"
+#include "coding/scheme.h"
+#include "hash/global_hash.h"
+#include "pint/dynamic_aggregation.h"
+#include "pint/perpacket_aggregation.h"
+#include "sketch/kll.h"
+
+namespace pint {
+namespace {
+
+void BM_GlobalHashBits2(benchmark::State& state) {
+  GlobalHash h(1);
+  PacketId p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.bits2(++p, 5));
+  }
+}
+BENCHMARK(BM_GlobalHashBits2);
+
+void BM_EncodeStepStatic(benchmark::State& state) {
+  const SchemeConfig cfg = make_multilayer_scheme(10);
+  GlobalHash root(2);
+  const InstanceHashes h = make_instance_hashes(root, 0);
+  PacketId p = 0;
+  Digest d = 0;
+  for (auto _ : state) {
+    d = encode_step(cfg, h, ++p, 3, d, 0xABCD, 8);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_EncodeStepStatic);
+
+void BM_EncodeStepDynamic(benchmark::State& state) {
+  DynamicAggregationConfig cfg;
+  cfg.bits = 8;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery q(cfg, 3);
+  PacketId p = 0;
+  Digest d = 0;
+  for (auto _ : state) {
+    d = q.encode_step(++p, 4, d, 1234.5);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_EncodeStepDynamic);
+
+void BM_EncodeStepPerPacket(benchmark::State& state) {
+  PerPacketConfig cfg;
+  cfg.bits = 8;
+  cfg.max_value = 1e6;
+  PerPacketQuery q(cfg, 4);
+  PacketId p = 0;
+  Digest d = 0;
+  for (auto _ : state) {
+    d = q.encode_step(++p, d, 4321.0);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_EncodeStepPerPacket);
+
+void BM_HashedDecoderPacket(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  std::vector<std::uint64_t> universe(256);
+  std::iota(universe.begin(), universe.end(), 1);
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = universe[(i * 31) % 256];
+  HashedDecoderConfig cfg;
+  cfg.k = k;
+  cfg.bits = 8;
+  cfg.instances = 1;
+  cfg.scheme = make_multilayer_scheme(k);
+  GlobalHash root(5);
+  PacketId p = 0;
+  // Recreate the decoder when complete so work stays representative.
+  HashedPathDecoder dec(cfg, root, universe);
+  for (auto _ : state) {
+    if (dec.complete()) {
+      state.PauseTiming();
+      dec = HashedPathDecoder(cfg, root, universe);
+      state.ResumeTiming();
+    }
+    ++p;
+    const auto lanes = encode_path_multi(cfg.scheme, root, 1, p, blocks, 8);
+    dec.add_packet(p, lanes);
+  }
+}
+BENCHMARK(BM_HashedDecoderPacket)->Arg(5)->Arg(25)->Arg(59);
+
+void BM_KllAdd(benchmark::State& state) {
+  KllSketch s(200);
+  double v = 0.0;
+  for (auto _ : state) {
+    s.add(v += 1.25);
+  }
+}
+BENCHMARK(BM_KllAdd);
+
+}  // namespace
+}  // namespace pint
+
+BENCHMARK_MAIN();

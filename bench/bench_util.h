@@ -1,0 +1,27 @@
+// Shared helpers for the experiment harnesses: each bench binary regenerates
+// one of the paper's tables/figures as aligned text rows (see EXPERIMENTS.md
+// for the mapping and the paper-vs-measured record).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pint::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace pint::bench

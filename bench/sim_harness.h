@@ -1,0 +1,121 @@
+// Shared simulation harness for the NS3-style experiments (Figs. 1, 2, 7, 8,
+// 11): builds a fat tree, injects Poisson traffic from a flow-size
+// distribution, runs the simulator, and summarizes FCT / slowdown / goodput.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "topology/fat_tree.h"
+#include "workload/flow_size_dist.h"
+#include "workload/traffic_gen.h"
+
+namespace pint::bench {
+
+struct HarnessConfig {
+  double load = 0.5;
+  TimeNs traffic_duration = 15 * kMilli;
+  TimeNs drain_horizon = 300 * kMilli;  // total sim horizon
+  unsigned fat_tree_k = 4;
+  std::uint64_t seed = 1;
+  SimConfig sim;  // telemetry/transport knobs
+};
+
+struct FlowOutcome {
+  Bytes size = 0;
+  double fct_ns = 0.0;
+  double slowdown = 0.0;
+  double goodput_bps = 0.0;
+  bool done = false;
+};
+
+struct HarnessResult {
+  std::vector<FlowOutcome> flows;
+  SimCounters counters;
+  std::size_t offered = 0;
+
+  std::size_t completed() const {
+    std::size_t n = 0;
+    for (const auto& f : flows) n += f.done;
+    return n;
+  }
+
+  // Mean FCT over completed flows, optionally restricted by size range.
+  double mean_fct(Bytes min_size = 0, Bytes max_size = INT64_MAX) const {
+    RunningStats rs;
+    for (const auto& f : flows) {
+      if (f.done && f.size >= min_size && f.size < max_size) rs.add(f.fct_ns);
+    }
+    return rs.mean();
+  }
+
+  double mean_goodput(Bytes min_size) const {
+    RunningStats rs;
+    for (const auto& f : flows) {
+      if (f.done && f.size >= min_size) rs.add(f.goodput_bps);
+    }
+    return rs.mean();
+  }
+
+  // p-quantile slowdown of completed flows within [min_size, max_size).
+  double slowdown_quantile(double q, Bytes min_size, Bytes max_size) const {
+    std::vector<double> xs;
+    for (const auto& f : flows) {
+      if (f.done && f.size >= min_size && f.size < max_size)
+        xs.push_back(f.slowdown);
+    }
+    if (xs.empty()) return 0.0;
+    return percentile(xs, q);
+  }
+};
+
+inline HarnessResult run_harness(const HarnessConfig& hc,
+                                 const FlowSizeDist& dist) {
+  const FatTree ft = make_fat_tree(hc.fat_tree_k);
+  std::vector<bool> is_host(ft.graph.num_nodes(), false);
+  for (NodeId h : ft.nodes.hosts) is_host[h] = true;
+
+  SimConfig sim_cfg = hc.sim;
+  sim_cfg.seed = hc.seed;
+  Simulator sim(ft.graph, is_host, sim_cfg);
+
+  TrafficGenConfig tg;
+  tg.load = hc.load;
+  tg.num_hosts = static_cast<std::uint32_t>(ft.nodes.hosts.size());
+  tg.host_bandwidth_bps = sim_cfg.host_bandwidth_bps;
+  tg.duration = hc.traffic_duration;
+  tg.seed = hc.seed * 7919 + 13;
+  const auto arrivals = generate_traffic(tg, dist);
+  for (const auto& fa : arrivals) {
+    sim.add_flow(ft.nodes.hosts[fa.src_host], ft.nodes.hosts[fa.dst_host],
+                 fa.size, fa.start);
+  }
+  sim.run_until(hc.drain_horizon);
+
+  HarnessResult out;
+  out.offered = arrivals.size();
+  out.counters = sim.counters();
+  for (const FlowStats& st : sim.flow_stats()) {
+    FlowOutcome f;
+    f.size = st.size;
+    f.done = st.done;
+    if (st.done) {
+      f.fct_ns = static_cast<double>(st.fct());
+      // Ideal: serialize the flow at host line rate + a propagation round
+      // trip across its path.
+      const double ideal_ns =
+          static_cast<double>(st.size) * 8.0 / sim_cfg.host_bandwidth_bps *
+              1e9 +
+          2.0 * static_cast<double>(st.path_hops + 1) *
+              static_cast<double>(sim_cfg.link_delay);
+      f.slowdown = std::max(1.0, f.fct_ns / ideal_ns);
+      f.goodput_bps = static_cast<double>(st.size) * 8.0 / (f.fct_ns / 1e9);
+    }
+    out.flows.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace pint::bench

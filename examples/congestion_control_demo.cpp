@@ -1,0 +1,97 @@
+// HPCC over INT vs HPCC over PINT (the paper's Section 6.1 use case), on a
+// small fat-tree with web-search traffic. PINT carries one 8-bit compressed
+// bottleneck value instead of a 12-byte-per-hop INT stack; flows finish
+// comparably fast while header bytes drop dramatically.
+//
+//   $ ./examples/congestion_control_demo
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "topology/fat_tree.h"
+#include "workload/flow_size_dist.h"
+#include "workload/traffic_gen.h"
+
+using namespace pint;
+
+namespace {
+
+struct RunResult {
+  double mean_fct_ms = 0.0;
+  double p95_slowdown = 0.0;
+  double telemetry_mb = 0.0;
+  std::size_t completed = 0;
+};
+
+RunResult run(TelemetryMode mode) {
+  const FatTree ft = make_fat_tree(4);
+  std::vector<bool> is_host(ft.graph.num_nodes(), false);
+  for (NodeId h : ft.nodes.hosts) is_host[h] = true;
+
+  SimConfig cfg;
+  cfg.transport = TransportKind::kHpcc;
+  cfg.telemetry = mode;
+  cfg.int_values_per_hop = 3;  // HPCC needs ts + txBytes + qlen
+  cfg.pint_bit_budget = 8;
+  cfg.host_bandwidth_bps = 10e9;
+  cfg.fabric_bandwidth_bps = 40e9;
+  cfg.hpcc.base_rtt = 20 * kMicro;
+  cfg.seed = 1;
+
+  Simulator sim(ft.graph, is_host, cfg);
+
+  TrafficGenConfig tg;
+  tg.load = 0.5;
+  tg.num_hosts = static_cast<std::uint32_t>(ft.nodes.hosts.size());
+  tg.host_bandwidth_bps = cfg.host_bandwidth_bps;
+  tg.duration = 20 * kMilli;
+  tg.seed = 99;
+  const auto arrivals = generate_traffic(tg, FlowSizeDist::web_search());
+  for (const auto& fa : arrivals) {
+    sim.add_flow(ft.nodes.hosts[fa.src_host], ft.nodes.hosts[fa.dst_host],
+                 fa.size, fa.start);
+  }
+  sim.run_until(200 * kMilli);
+
+  RunResult out;
+  std::vector<double> fcts, slowdowns;
+  for (const FlowStats& st : sim.flow_stats()) {
+    if (!st.done) continue;
+    ++out.completed;
+    fcts.push_back(static_cast<double>(st.fct()) / 1e6);
+    const double ideal_ns =
+        static_cast<double>(st.size) * 8.0 / cfg.host_bandwidth_bps * 1e9 +
+        2.0 * static_cast<double>(st.path_hops + 1) *
+            static_cast<double>(cfg.link_delay);
+    slowdowns.push_back(static_cast<double>(st.fct()) / ideal_ns);
+  }
+  out.mean_fct_ms = mean(fcts);
+  out.p95_slowdown = percentile(slowdowns, 0.95);
+  out.telemetry_mb =
+      static_cast<double>(sim.counters().telemetry_bytes_total) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== HPCC congestion control: INT stack vs 8-bit PINT digest ==\n");
+  std::printf("(K=4 fat tree, 10G hosts, web-search flows at 50%% load)\n\n");
+  const RunResult int_run = run(TelemetryMode::kInt);
+  const RunResult pint_run = run(TelemetryMode::kPint);
+  std::printf("%-18s %12s %12s\n", "", "HPCC(INT)", "HPCC(PINT)");
+  std::printf("%-18s %12zu %12zu\n", "flows completed", int_run.completed,
+              pint_run.completed);
+  std::printf("%-18s %12.2f %12.2f\n", "mean FCT [ms]", int_run.mean_fct_ms,
+              pint_run.mean_fct_ms);
+  std::printf("%-18s %12.2f %12.2f\n", "95th slowdown", int_run.p95_slowdown,
+              pint_run.p95_slowdown);
+  std::printf("%-18s %12.2f %12.2f\n", "INT bytes on wire [MB]",
+              int_run.telemetry_mb, pint_run.telemetry_mb);
+  std::printf(
+      "\nPINT keeps HPCC's behaviour while replacing the per-hop stack with\n"
+      "a single byte per packet (paper Fig. 7).\n");
+  return 0;
+}

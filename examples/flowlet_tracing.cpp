@@ -1,0 +1,62 @@
+// Tracing a flow across route changes (paper Section 7): flowlet load
+// balancing moves the flow between two ECMP paths; the FlowletTracker
+// detects each change from digest inconsistencies and recovers both paths.
+//
+//   $ ./examples/flowlet_tracing
+#include <cstdio>
+#include <numeric>
+
+#include "pint/flowlet_tracker.h"
+
+using namespace pint;
+
+int main() {
+  const unsigned k = 5;
+  PathTracingConfig cfg;
+  cfg.bits = 8;
+  cfg.instances = 1;
+  cfg.d = k;
+  cfg.variant = SchemeVariant::kHybrid;
+  PathTracingQuery query(cfg, 1234);
+
+  std::vector<std::uint64_t> universe(64);
+  std::iota(universe.begin(), universe.end(), 1);
+
+  // Two ECMP paths differing in the middle (different core switch).
+  const std::vector<SwitchId> path_a{4, 12, 33, 21, 9};
+  const std::vector<SwitchId> path_b{4, 12, 47, 21, 9};
+
+  FlowletTracker tracker(query, k, universe);
+
+  auto send = [&](PacketId p, const std::vector<SwitchId>& path) {
+    std::vector<Digest> lanes(1, 0);
+    for (HopIndex i = 1; i <= k; ++i) query.encode(p, i, path[i - 1], lanes);
+    return tracker.add_packet(p, lanes);
+  };
+
+  std::printf("== flowlet-aware path tracing (Section 7) ==\n\n");
+  PacketId p = 1;
+  // Flowlet 1 on path A...
+  for (; p <= 400; ++p) send(p, path_a);
+  std::printf("after 400 packets on path A : %zu path(s) decoded, "
+              "%llu change(s)\n",
+              tracker.completed_paths().size(),
+              (unsigned long long)tracker.route_changes());
+  // ...the load balancer moves the flow to path B...
+  for (; p <= 1200; ++p) send(p, path_b);
+  std::printf("after 800 packets on path B : %zu path(s) decoded, "
+              "%llu change(s)\n",
+              tracker.completed_paths().size(),
+              (unsigned long long)tracker.route_changes());
+
+  for (std::size_t f = 0; f < tracker.completed_paths().size(); ++f) {
+    std::printf("  flowlet %zu path:", f + 1);
+    for (SwitchId s : tracker.completed_paths()[f]) std::printf(" %u", s);
+    std::printf("\n");
+  }
+  std::printf(
+      "\na digest inconsistent with the partially-decoded path proves the\n"
+      "route changed (probability 1 - 2^-8 per checkable packet); each\n"
+      "flowlet's path is then decoded independently.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Routing-loop detection (paper Appendix A.4): a PINT extension that catches
+// looping packets on the fly with a 16-bit header and a tunable
+// false-positive/latency trade-off.
+//
+//   $ ./examples/loop_detection_demo
+#include <cstdio>
+
+#include "pint/loop_detection.h"
+
+using namespace pint;
+
+namespace {
+
+// Run `packets` packets over a healthy path of `k` distinct switches,
+// and the same number around a loop of `loop_len` switches. Returns
+// {false positives, detections, mean hops-to-detect}.
+struct Outcome {
+  int false_positives = 0;
+  int detections = 0;
+  double mean_hops_to_detect = 0.0;
+};
+
+Outcome evaluate(const LoopDetector& det, unsigned k, unsigned loop_len,
+                 int packets) {
+  Outcome out;
+  // Healthy traffic.
+  for (PacketId p = 1; p <= packets; ++p) {
+    LoopDigest state;
+    for (HopIndex i = 1; i <= k; ++i) {
+      if (det.process(p, i, 5000 + i, state)) {
+        ++out.false_positives;
+        break;
+      }
+    }
+  }
+  // Looping traffic.
+  double hops_total = 0.0;
+  for (PacketId p = 1; p <= packets; ++p) {
+    LoopDigest state;
+    HopIndex i = 1;
+    bool caught = false;
+    for (int cycle = 0; cycle < 64 && !caught; ++cycle) {
+      for (SwitchId s = 1; s <= loop_len && !caught; ++s) {
+        caught = det.process(1000000 + p, i++, s, state);
+      }
+    }
+    if (caught) {
+      ++out.detections;
+      hops_total += static_cast<double>(i);
+    }
+  }
+  if (out.detections > 0) out.mean_hops_to_detect = hops_total / out.detections;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== on-the-fly routing loop detection (16 header bits) ==\n\n");
+  std::printf("%-14s %8s %12s %12s %14s\n", "config", "bits", "false-pos",
+              "detected", "hops-to-catch");
+  const int packets = 30000;
+  struct Cfg {
+    const char* name;
+    LoopDetectionConfig cfg;
+  } configs[] = {
+      {"b=16, T=0", {16, 0}},
+      {"b=15, T=1", {15, 1}},
+      {"b=14, T=3", {14, 3}},
+  };
+  for (const auto& [name, c] : configs) {
+    LoopDetector det(c, 777);
+    const Outcome o = evaluate(det, /*k=*/32, /*loop_len=*/6, packets);
+    std::printf("%-14s %8u %9d/%d %9d/%d %14.1f\n", name, det.total_bits(),
+                o.false_positives, packets, o.detections, packets,
+                o.mean_hops_to_detect);
+  }
+  std::printf(
+      "\nlarger T trades detection latency (more loop cycles) for a\n"
+      "drastically lower false-positive rate (paper Appendix A.4).\n");
+  return 0;
+}

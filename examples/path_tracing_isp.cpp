@@ -1,0 +1,71 @@
+// Path tracing across a large ISP topology (the paper's Section 6.3
+// scenario): trace a flow crossing the synthetic US Carrier network
+// (157 switches, diameter 36) with different per-packet bit budgets and
+// report how many packets the Inference Module needed.
+//
+//   $ ./examples/path_tracing_isp
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "pint/static_aggregation.h"
+#include "topology/isp.h"
+
+using namespace pint;
+
+namespace {
+
+std::uint64_t trace_path(const std::vector<NodeId>& path,
+                         const std::vector<std::uint64_t>& universe,
+                         unsigned bits, unsigned instances,
+                         std::uint64_t seed) {
+  PathTracingConfig cfg;
+  cfg.bits = bits;
+  cfg.instances = instances;
+  cfg.d = 10;  // paper's choice for the ISP topologies
+  cfg.variant = SchemeVariant::kMultiLayer;
+  PathTracingQuery query(cfg, seed);
+
+  const auto k = static_cast<unsigned>(path.size());
+  auto decoder = query.make_decoder(k, universe);
+  PacketId p = 1;
+  while (!decoder.complete()) {
+    std::vector<Digest> lanes(instances, 0);
+    for (HopIndex i = 1; i <= k; ++i) {
+      query.encode(p, i, static_cast<SwitchId>(path[i - 1]), lanes);
+    }
+    decoder.add_packet(p, lanes);
+    ++p;
+  }
+  return p - 1;
+}
+
+}  // namespace
+
+int main() {
+  const IspTopology isp = make_us_carrier();
+  std::printf("== tracing flows across %s (%zu switches, diameter %u) ==\n\n",
+              isp.name.c_str(), isp.graph.num_nodes(), isp.diameter);
+
+  std::vector<std::uint64_t> universe(isp.graph.num_nodes());
+  std::iota(universe.begin(), universe.end(), 0);
+
+  std::printf("%-10s %-14s %-14s %-14s\n", "hops", "PINT b=1", "PINT b=4",
+              "PINT 2x(b=8)");
+  for (unsigned hops : {4u, 8u, 16u, 24u, 36u}) {
+    const auto path = backbone_prefix(isp, hops);
+    double avg1 = 0, avg4 = 0, avg88 = 0;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      avg1 += static_cast<double>(trace_path(path, universe, 1, 1, 100 + r));
+      avg4 += static_cast<double>(trace_path(path, universe, 4, 1, 200 + r));
+      avg88 += static_cast<double>(trace_path(path, universe, 8, 2, 300 + r));
+    }
+    std::printf("%-10u %-14.0f %-14.0f %-14.0f\n", hops, avg1 / reps,
+                avg4 / reps, avg88 / reps);
+  }
+  std::printf(
+      "\npackets needed grow ~linearly in path length; even a 1-bit digest\n"
+      "traces a 36-hop ISP path (paper Fig. 10).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Morris randomized counter (paper Section 4.3, "Randomized counting";
+// Morris, CACM 1978).
+//
+// Counts up to n using O(log log n + log 1/eps) bits by incrementing the
+// stored exponent probabilistically. PINT uses this idea for per-packet
+// aggregations whose exact result would exceed the bit budget (e.g. counting
+// high-latency hops along a path or summing per-hop quantities).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pint {
+
+class MorrisCounter {
+ public:
+  // `a` > 1 controls accuracy: relative std-dev is about sqrt((a-1)/2).
+  // a = 2 is the classic Morris counter.
+  explicit MorrisCounter(double a = 1.08) : a_(a) {}
+
+  // Number of bits needed to store the exponent for counts up to n.
+  static unsigned bits_needed(double a, double n) {
+    const double max_exp = std::log1p(n * (a - 1.0)) / std::log(a);
+    unsigned bits = 1;
+    while ((1u << bits) < max_exp + 1) ++bits;
+    return bits;
+  }
+
+  void increment(Rng& rng) {
+    if (rng.uniform() < std::pow(a_, -static_cast<double>(exponent_))) {
+      ++exponent_;
+    }
+  }
+
+  // Unbiased estimate of the number of increments: (a^C - 1) / (a - 1).
+  double estimate() const {
+    return (std::pow(a_, static_cast<double>(exponent_)) - 1.0) / (a_ - 1.0);
+  }
+
+  std::uint32_t exponent() const { return exponent_; }
+  void merge_max(const MorrisCounter& other) {
+    // Used when a packet aggregates the max of per-hop counters.
+    if (other.exponent_ > exponent_) exponent_ = other.exponent_;
+  }
+
+ private:
+  double a_;
+  std::uint32_t exponent_ = 0;
+};
+
+}  // namespace pint

@@ -1,0 +1,114 @@
+// Numeric value compression (paper Section 4.3).
+//
+// Telemetry values (latencies, utilizations) can be wider than the query's
+// bit budget. PINT compresses them with either a multiplicative (1+eps)
+// guarantee — encode a = [log_{(1+eps)^2} v] — or an additive guarantee —
+// encode a = [v / 2*delta]. The congestion-control use case additionally uses
+// *randomized* rounding [·]_R so that compression error is zero-mean across
+// packets.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+// Multiplicative compressor: decoded value is within a (1+eps)^2 factor of
+// the original, matching the paper's guarantee (they quote (1+eps) for
+// half-integer rounding of log base (1+eps)^2).
+//
+// Code 0 is reserved for v == 0 so the full dynamic range [1, max_value]
+// maps to codes [1, max_code].
+class MultiplicativeCompressor {
+ public:
+  // eps in (0, 1); max_value is the largest value that must fit.
+  MultiplicativeCompressor(double eps, double max_value)
+      : eps_(eps), log_base_(2.0 * std::log1p(eps)) {
+    if (eps <= 0.0 || eps >= 1.0) throw std::invalid_argument("eps in (0,1)");
+    if (max_value < 1.0) throw std::invalid_argument("max_value >= 1");
+    max_code_ = encode(max_value);
+  }
+
+  // Smallest value of eps usable when squeezing values up to `max_value`
+  // into `bits` bits. E.g. 32-bit values into 16 bits admits eps = 0.0025
+  // (paper's example).
+  static double eps_for(double max_value, unsigned bits) {
+    // Need log_{(1+eps)^2}(max_value) <= 2^bits - 2 (codes 0 reserved).
+    const double codes = static_cast<double>((std::uint64_t{1} << bits) - 2);
+    return std::expm1(std::log(max_value) / (2.0 * codes));
+  }
+
+  std::uint64_t encode(double v) const {
+    if (v < 0.0) throw std::invalid_argument("negative value");
+    if (v < 1.0) return 0;
+    return 1 + static_cast<std::uint64_t>(
+                   std::llround(std::log(v) / log_base_));
+  }
+
+  // Randomized-rounding encode (the [·]_R of Section 4.3): floor/ceil chosen
+  // via the per-packet global hash so that E[code] equals the exact log and
+  // compression bias cancels across packets.
+  std::uint64_t encode_randomized(double v, const GlobalHash& h,
+                                  PacketId packet) const {
+    if (v < 0.0) throw std::invalid_argument("negative value");
+    if (v < 1.0) return 0;
+    const double x = std::log(v) / log_base_;
+    const double fl = std::floor(x);
+    const double frac = x - fl;
+    const bool up = h.below(packet, frac);
+    return 1 + static_cast<std::uint64_t>(fl) + (up ? 1 : 0);
+  }
+
+  double decode(std::uint64_t code) const {
+    if (code == 0) return 0.0;
+    return std::exp(static_cast<double>(code - 1) * log_base_);
+  }
+
+  // Number of bits needed for all codes up to max_value.
+  unsigned bits_needed() const { return bit_width_of(max_code_); }
+
+  double eps() const { return eps_; }
+
+ private:
+  static unsigned bit_width_of(std::uint64_t x) {
+    unsigned w = 0;
+    while (x != 0) {
+      ++w;
+      x >>= 1;
+    }
+    return w == 0 ? 1 : w;
+  }
+
+  double eps_;
+  double log_base_;  // ln((1+eps)^2)
+  std::uint64_t max_code_;
+};
+
+// Additive compressor: decoded value is within ±delta of the original.
+// Saves ⌊log2 delta⌋ bits relative to exact encoding (Section 4.3).
+class AdditiveCompressor {
+ public:
+  explicit AdditiveCompressor(double delta) : delta_(delta) {
+    if (delta <= 0.0) throw std::invalid_argument("delta > 0");
+  }
+
+  std::uint64_t encode(double v) const {
+    if (v < 0.0) throw std::invalid_argument("negative value");
+    return static_cast<std::uint64_t>(std::llround(v / (2.0 * delta_)));
+  }
+
+  double decode(std::uint64_t code) const {
+    return 2.0 * delta_ * static_cast<double>(code);
+  }
+
+  double delta() const { return delta_; }
+
+ private:
+  double delta_;
+};
+
+}  // namespace pint

@@ -1,0 +1,64 @@
+#include "apps/anomaly_detection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pint {
+
+LatencyAnomalyDetector::LatencyAnomalyDetector(unsigned k,
+                                               AnomalyConfig config)
+    : config_(config), hops_(k) {
+  if (k == 0) throw std::invalid_argument("k > 0");
+}
+
+std::optional<AnomalyEvent> LatencyAnomalyDetector::add(HopIndex hop,
+                                                        double latency) {
+  if (hop == 0 || hop > hops_.size())
+    throw std::out_of_range("hop out of range");
+  HopState& st = hops_[hop - 1];
+
+  // Warmup: learn mean/variance only.
+  if (st.n < config_.warmup) {
+    ++st.n;
+    const double delta = latency - st.mean;
+    st.mean += delta / static_cast<double>(st.n);
+    st.m2 += delta * (latency - st.mean);
+    return std::nullopt;
+  }
+
+  const double sigma = std::max(st.stddev(), 1e-9);
+  // Winsorize at +-4 sigma: one extreme sample (a heavy-tail burst) cannot
+  // spike the accumulator, while a sustained level shift still accumulates
+  // its clipped magnitude every sample.
+  const double z =
+      std::clamp((latency - st.mean) / sigma, -4.0, 4.0);
+  st.cusum_up = std::max(0.0, st.cusum_up + z - config_.drift_allowance);
+  st.cusum_down = std::max(0.0, st.cusum_down - z - config_.drift_allowance);
+
+  // Keep refining the baseline with post-warmup samples (weight 1/n), so
+  // heavy-tailed noise is absorbed into sigma instead of accumulating as
+  // false drift; a genuine level shift still outruns the slow adaptation.
+  ++st.n;
+  const double delta = latency - st.mean;
+  st.mean += delta / static_cast<double>(st.n);
+  st.m2 += delta * (latency - st.mean);
+
+  if (st.cusum_up > config_.threshold || st.cusum_down > config_.threshold) {
+    AnomalyEvent ev;
+    ev.hop = hop;
+    ev.upward = st.cusum_up > st.cusum_down;
+    ev.magnitude = std::max(st.cusum_up, st.cusum_down);
+    // Re-baseline so subsequent regime is the new normal.
+    st = HopState{};
+    return ev;
+  }
+  return std::nullopt;
+}
+
+double LatencyAnomalyDetector::baseline_mean(HopIndex hop) const {
+  if (hop == 0 || hop > hops_.size())
+    throw std::out_of_range("hop out of range");
+  return hops_[hop - 1].mean;
+}
+
+}  // namespace pint

@@ -1,0 +1,57 @@
+// Real-time anomaly detection (paper Table 2 row; references [9, 66, 86]):
+// "detect network events in real-time by noticing a change in the hop
+// latency" (Section 3.2).
+//
+// Per-hop two-sided CUSUM change detector over the latency samples that
+// PINT's dynamic aggregation delivers. CUSUM accumulates deviations from a
+// running mean; an alarm fires when the accumulated drift exceeds
+// `threshold` standard deviations, after which the detector re-baselines.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pint {
+
+struct AnomalyConfig {
+  double drift_allowance = 0.5;  // CUSUM slack, in std-devs
+  double threshold = 8.0;        // alarm level, in std-devs
+  std::size_t warmup = 64;       // samples to establish the baseline
+};
+
+struct AnomalyEvent {
+  HopIndex hop = 0;
+  bool upward = false;   // latency increased vs decreased
+  double magnitude = 0;  // accumulated CUSUM at alarm time (std-devs)
+};
+
+class LatencyAnomalyDetector {
+ public:
+  explicit LatencyAnomalyDetector(unsigned k, AnomalyConfig config = {});
+
+  std::optional<AnomalyEvent> add(HopIndex hop, double latency);
+
+  double baseline_mean(HopIndex hop) const;
+
+ private:
+  struct HopState {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double cusum_up = 0.0;
+    double cusum_down = 0.0;
+
+    double stddev() const {
+      return n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+    }
+  };
+
+  AnomalyConfig config_;
+  std::vector<HopState> hops_;
+};
+
+}  // namespace pint

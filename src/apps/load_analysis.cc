@@ -1,0 +1,84 @@
+#include "apps/load_analysis.h"
+
+#include <algorithm>
+
+namespace pint {
+
+void LoadAnalyzer::add(SwitchId sid, double utilization) {
+  auto it = switches_.find(sid);
+  if (it == switches_.end()) {
+    State st;
+    st.quantiles = KllSketch(64, seed_ ^ sid);
+    st.ewma = utilization;
+    it = switches_.emplace(sid, std::move(st)).first;
+  } else {
+    it->second.ewma =
+        (1.0 - alpha_) * it->second.ewma + alpha_ * utilization;
+  }
+  it->second.quantiles.add(utilization);
+  ++it->second.samples;
+}
+
+std::optional<SwitchLoad> LoadAnalyzer::load_of(SwitchId sid) const {
+  auto it = switches_.find(sid);
+  if (it == switches_.end()) return std::nullopt;
+  SwitchLoad out;
+  out.switch_id = sid;
+  out.mean_utilization = it->second.ewma;
+  out.p95_utilization = it->second.quantiles.quantile(0.95);
+  out.samples = it->second.samples;
+  return out;
+}
+
+std::vector<SwitchLoad> LoadAnalyzer::all_loads() const {
+  std::vector<SwitchLoad> out;
+  out.reserve(switches_.size());
+  for (const auto& [sid, st] : switches_) {
+    out.push_back(SwitchLoad{sid, st.ewma, st.quantiles.quantile(0.95),
+                             st.samples});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.mean_utilization > b.mean_utilization;
+  });
+  return out;
+}
+
+double LoadAnalyzer::fairness_index() const {
+  if (switches_.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& [sid, st] : switches_) {
+    sum += st.ewma;
+    sum_sq += st.ewma * st.ewma;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  const double n = static_cast<double>(switches_.size());
+  return sum * sum / (n * sum_sq);
+}
+
+std::vector<SwitchId> LoadAnalyzer::overloaded(double factor) const {
+  double total = 0.0;
+  for (const auto& [sid, st] : switches_) total += st.ewma;
+  const double mean =
+      switches_.empty() ? 0.0 : total / static_cast<double>(switches_.size());
+  std::vector<SwitchId> out;
+  for (const auto& [sid, st] : switches_) {
+    if (st.ewma > factor * mean) out.push_back(sid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SwitchId> LoadAnalyzer::sleep_candidates(
+    double threshold, std::size_t min_samples) const {
+  std::vector<SwitchId> out;
+  for (const auto& [sid, st] : switches_) {
+    if (st.samples >= min_samples &&
+        st.quantiles.quantile(0.95) < threshold) {
+      out.push_back(sid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,64 @@
+// Load imbalance, utilization-aware routing support, and power management
+// (paper Table 2 rows; references [2, 31, 41, 42, 45, 65, 73]).
+//
+// Network-wide aggregation of (switch, utilization) samples harvested from
+// PINT's dynamic per-flow aggregation: per-switch EWMA + quantile state
+// supports three consumers:
+//   * load imbalance  — which switches carry disproportionate traffic,
+//   * routing hints   — per-switch congestion scores for load-aware routing,
+//   * power management — persistently under-utilized switches (ElasticTree-
+//     style consolidation candidates).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sketch/kll.h"
+
+namespace pint {
+
+struct SwitchLoad {
+  SwitchId switch_id = 0;
+  double mean_utilization = 0.0;
+  double p95_utilization = 0.0;
+  std::size_t samples = 0;
+};
+
+class LoadAnalyzer {
+ public:
+  explicit LoadAnalyzer(double ewma_alpha = 0.05, std::uint64_t seed = 0x10AD)
+      : alpha_(ewma_alpha), seed_(seed) {}
+
+  void add(SwitchId sid, double utilization);
+
+  std::optional<SwitchLoad> load_of(SwitchId sid) const;
+  std::vector<SwitchLoad> all_loads() const;  // sorted by mean desc
+
+  // Jain's fairness index over per-switch mean utilizations: 1 = perfectly
+  // balanced, 1/n = maximally imbalanced.
+  double fairness_index() const;
+
+  // Switches whose mean utilization exceeds `factor` x the network mean.
+  std::vector<SwitchId> overloaded(double factor = 2.0) const;
+
+  // Power management: switches whose p95 utilization is below `threshold`
+  // with at least `min_samples` observations.
+  std::vector<SwitchId> sleep_candidates(double threshold,
+                                         std::size_t min_samples = 100) const;
+
+ private:
+  struct State {
+    double ewma = 0.0;
+    KllSketch quantiles{64};
+    std::size_t samples = 0;
+  };
+
+  double alpha_;
+  std::uint64_t seed_;
+  std::unordered_map<SwitchId, State> switches_;
+};
+
+}  // namespace pint

@@ -1,0 +1,47 @@
+#include "apps/microburst.h"
+
+#include <stdexcept>
+
+namespace pint {
+
+MicroburstDetector::MicroburstDetector(unsigned k, MicroburstConfig config,
+                                       std::uint64_t seed)
+    : config_(config) {
+  if (k == 0) throw std::invalid_argument("k > 0");
+  if (config.window % config.window_blocks != 0)
+    throw std::invalid_argument("window must divide into blocks");
+  baseline_.reserve(k);
+  recent_.reserve(k);
+  counts_.assign(k, 0);
+  for (unsigned i = 0; i < k; ++i) {
+    baseline_.emplace_back(128, seed ^ (i * 2 + 1));
+    recent_.emplace_back(config.window, config.window_blocks, 64,
+                         seed ^ (i * 2 + 2));
+  }
+}
+
+std::optional<MicroburstEvent> MicroburstDetector::add(
+    HopIndex hop, double queue_occupancy) {
+  if (hop == 0 || hop > baseline_.size())
+    throw std::out_of_range("hop out of range");
+  const unsigned idx = hop - 1;
+  baseline_[idx].add(queue_occupancy);
+  recent_[idx].add(queue_occupancy);
+  ++counts_[idx];
+  if (counts_[idx] < config_.min_baseline) return std::nullopt;
+
+  const double base = baseline_[idx].quantile(0.5);
+  const double rec = recent_[idx].quantile(config_.detection_quantile);
+  if (base > 0.0 && rec > config_.burst_factor * base) {
+    return MicroburstEvent{hop, rec, base};
+  }
+  return std::nullopt;
+}
+
+double MicroburstDetector::baseline_median(HopIndex hop) const {
+  if (hop == 0 || hop > baseline_.size())
+    throw std::out_of_range("hop out of range");
+  return counts_[hop - 1] > 0 ? baseline_[hop - 1].quantile(0.5) : 0.0;
+}
+
+}  // namespace pint

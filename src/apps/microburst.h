@@ -1,0 +1,53 @@
+// Congestion analysis / microburst detection (paper Table 2, "Congestion
+// Analysis" row; references [17, 38, 57]).
+//
+// Diagnoses short-lived congestion events from PINT's dynamic per-flow
+// aggregation of queue occupancy: each hop keeps a long-term baseline
+// (streaming median via KLL) and a short sliding window; a microburst is a
+// window quantile that exceeds the baseline by a configurable factor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sketch/kll.h"
+#include "sketch/sliding_window.h"
+
+namespace pint {
+
+struct MicroburstConfig {
+  std::size_t window = 128;       // samples in the "recent" window
+  std::size_t window_blocks = 8;
+  double detection_quantile = 0.9;
+  double burst_factor = 4.0;      // recent q90 > factor * baseline median
+  std::size_t min_baseline = 256; // samples before detection arms
+};
+
+struct MicroburstEvent {
+  HopIndex hop = 0;
+  double recent_quantile = 0.0;
+  double baseline_median = 0.0;
+};
+
+class MicroburstDetector {
+ public:
+  MicroburstDetector(unsigned k, MicroburstConfig config = {},
+                     std::uint64_t seed = 0xB0257);
+
+  // Feed one (hop, queue occupancy) sample; returns an event if this sample
+  // pushed the hop over the burst threshold.
+  std::optional<MicroburstEvent> add(HopIndex hop, double queue_occupancy);
+
+  double baseline_median(HopIndex hop) const;
+  std::size_t samples(HopIndex hop) const { return counts_.at(hop - 1); }
+
+ private:
+  MicroburstConfig config_;
+  std::vector<KllSketch> baseline_;
+  std::vector<SlidingWindowQuantiles> recent_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace pint

@@ -1,0 +1,65 @@
+#include "apps/path_conformance.h"
+
+#include <algorithm>
+
+namespace pint {
+
+PathConformanceChecker::PathConformanceChecker(PathPolicy policy)
+    : policy_(std::move(policy)) {}
+
+ConformanceReport PathConformanceChecker::check(
+    const HashedPathDecoder& decoder, unsigned path_length) const {
+  // Violations provable from resolved hops alone.
+  for (HopIndex i = 1; i <= path_length; ++i) {
+    const auto v = decoder.value_at(i);
+    if (!v.has_value()) continue;
+    const auto sid = static_cast<SwitchId>(*v);
+    if (policy_.forbidden.contains(sid)) {
+      return {Conformance::kViolation, i, "forbidden switch on path"};
+    }
+    if (policy_.expected_path.has_value()) {
+      const auto& exp = *policy_.expected_path;
+      if (i > exp.size() || exp[i - 1] != sid) {
+        return {Conformance::kViolation, i,
+                "decoded hop differs from expected route"};
+      }
+    }
+  }
+  if (!decoder.complete()) {
+    return {Conformance::kUndetermined, 0, "path not fully decoded"};
+  }
+  return check_full([&] {
+    std::vector<SwitchId> path;
+    for (std::uint64_t v : decoder.path())
+      path.push_back(static_cast<SwitchId>(v));
+    return path;
+  }());
+}
+
+ConformanceReport PathConformanceChecker::check_full(
+    const std::vector<SwitchId>& path) const {
+  for (HopIndex i = 1; i <= path.size(); ++i) {
+    if (policy_.forbidden.contains(path[i - 1])) {
+      return {Conformance::kViolation, i, "forbidden switch on path"};
+    }
+  }
+  if (policy_.expected_path.has_value() && path != *policy_.expected_path) {
+    // Find the first divergence for the report.
+    const auto& exp = *policy_.expected_path;
+    HopIndex hop = 1;
+    while (hop <= path.size() && hop <= exp.size() &&
+           path[hop - 1] == exp[hop - 1]) {
+      ++hop;
+    }
+    return {Conformance::kViolation, hop,
+            "path differs from expected route"};
+  }
+  for (SwitchId w : policy_.required_waypoints) {
+    if (std::find(path.begin(), path.end(), w) == path.end()) {
+      return {Conformance::kViolation, 0, "required waypoint missing"};
+    }
+  }
+  return {Conformance::kConformant, 0, "conformant"};
+}
+
+}  // namespace pint

@@ -1,0 +1,61 @@
+// Path conformance & routing-misconfiguration checking (paper Table 2,
+// "Static per-flow aggregation" rows; references [45, 69, 72, 73]).
+//
+// A policy constrains which paths a flow may take: required waypoints (e.g.
+// a firewall), forbidden switches, and an optional expected path. The checker
+// consumes PINT's (possibly partially) decoded path and returns a verdict —
+// including early verdicts: a violation can often be proven from a partial
+// decode (a forbidden switch resolved at any hop), long before the full path
+// is known.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "coding/hashed_decoder.h"
+#include "common/types.h"
+
+namespace pint {
+
+struct PathPolicy {
+  // Switches that must appear somewhere on the path.
+  std::vector<SwitchId> required_waypoints;
+  // Switches that must not appear.
+  std::unordered_set<SwitchId> forbidden;
+  // If set, the path must equal this exactly (routing misconfiguration
+  // check).
+  std::optional<std::vector<SwitchId>> expected_path;
+};
+
+enum class Conformance : std::uint8_t {
+  kConformant,      // fully decoded and satisfies the policy
+  kViolation,       // proven violation (possibly from a partial decode)
+  kUndetermined,    // not enough hops decoded yet
+};
+
+struct ConformanceReport {
+  Conformance verdict = Conformance::kUndetermined;
+  // First offending hop (1-based) for violations, 0 otherwise.
+  HopIndex offending_hop = 0;
+  // Human-readable reason.
+  const char* reason = "";
+};
+
+class PathConformanceChecker {
+ public:
+  explicit PathConformanceChecker(PathPolicy policy);
+
+  // Evaluate against a decoder's current (partial) knowledge.
+  ConformanceReport check(const HashedPathDecoder& decoder,
+                          unsigned path_length) const;
+
+  // Evaluate a fully known path (e.g. from classic INT).
+  ConformanceReport check_full(const std::vector<SwitchId>& path) const;
+
+ private:
+  PathPolicy policy_;
+};
+
+}  // namespace pint

@@ -1,0 +1,51 @@
+#include "apps/tomography.h"
+
+#include <algorithm>
+
+namespace pint {
+
+void QueueTomography::register_flow(std::uint64_t flow_key,
+                                    std::vector<SwitchId> path) {
+  flows_[flow_key] = std::move(path);
+}
+
+void QueueTomography::add_sample(std::uint64_t flow_key, HopIndex hop,
+                                 double queue_depth) {
+  auto fit = flows_.find(flow_key);
+  if (fit == flows_.end() || hop == 0 || hop > fit->second.size()) {
+    ++dropped_;
+    return;
+  }
+  const SwitchId sid = fit->second[hop - 1];
+  auto it = switches_.find(sid);
+  if (it == switches_.end()) {
+    State st;
+    st.sketch = KllSketch(64, seed_ ^ sid);
+    it = switches_.emplace(sid, std::move(st)).first;
+  }
+  it->second.sketch.add(queue_depth);
+  ++it->second.samples;
+}
+
+std::optional<double> QueueTomography::queue_quantile(SwitchId sid,
+                                                      double phi) const {
+  auto it = switches_.find(sid);
+  if (it == switches_.end() || it->second.samples == 0) return std::nullopt;
+  return it->second.sketch.quantile(phi);
+}
+
+std::vector<QueueTomography::HotSpot> QueueTomography::hottest(
+    std::size_t top_n) const {
+  std::vector<HotSpot> out;
+  out.reserve(switches_.size());
+  for (const auto& [sid, st] : switches_) {
+    out.push_back(HotSpot{sid, st.sketch.quantile(0.5), st.samples});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.median_queue > b.median_queue;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,59 @@
+// Network tomography (paper Table 2 row; reference [26], SIMON):
+// reconstruct network-wide queue state from per-flow PINT measurements.
+//
+// Many flows each sample (hop -> queue occupancy) on their own paths; since
+// the decoder knows each flow's switch-level path (from path tracing or the
+// routing table), samples can be re-keyed from (flow, hop index) to the
+// actual switch. Aggregating across flows yields a queue-occupancy map of
+// the whole network and exposes the hot spots, without any switch keeping
+// per-flow state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sketch/kll.h"
+
+namespace pint {
+
+class QueueTomography {
+ public:
+  explicit QueueTomography(std::uint64_t seed = 0x70406) : seed_(seed) {}
+
+  // Register a flow's switch-level path so (flow, hop) samples re-key.
+  void register_flow(std::uint64_t flow_key, std::vector<SwitchId> path);
+
+  // One dynamic-aggregation sample from a flow: hop index + queue depth.
+  // Unknown flows or out-of-range hops are counted and dropped.
+  void add_sample(std::uint64_t flow_key, HopIndex hop, double queue_depth);
+
+  // Per-switch queue quantile, if the switch has samples.
+  std::optional<double> queue_quantile(SwitchId sid, double phi) const;
+
+  // Switches ranked by median queue depth (descending), with sample counts.
+  struct HotSpot {
+    SwitchId switch_id;
+    double median_queue;
+    std::size_t samples;
+  };
+  std::vector<HotSpot> hottest(std::size_t top_n) const;
+
+  std::size_t dropped_samples() const { return dropped_; }
+  std::size_t switches_observed() const { return switches_.size(); }
+
+ private:
+  struct State {
+    KllSketch sketch{64};
+    std::size_t samples = 0;
+  };
+
+  std::uint64_t seed_;
+  std::unordered_map<std::uint64_t, std::vector<SwitchId>> flows_;
+  std::unordered_map<SwitchId, State> switches_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace pint

@@ -1,0 +1,132 @@
+// AMS2: Advanced Marking Scheme II (Song & Perrig, INFOCOM 2001 — paper
+// reference [70]), with the Reservoir Sampling improvement [63], as used by
+// the paper's Fig. 10 baselines (m = 5 and m = 6).
+//
+// Each router owns m independent 11-bit hashes of its ID. A marking packet
+// carries (distance, hash index f, h_f(ID)) in its 16-bit field. The
+// receiver, knowing the router universe, identifies the router at each
+// distance once enough hash values are collected to leave a single
+// candidate; larger m needs more packets but has fewer false positives
+// (multiple candidate routers surviving), matching the paper's description
+// of the m=5 / m=6 trade-off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/scheme.h"
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+struct AmsMark {
+  HopIndex distance = 0;
+  std::uint8_t hash_index = 0;   // f in [0, m)
+  std::uint16_t value = 0;       // h_f(router) (11 bits used)
+};
+
+class AmsTraceback {
+ public:
+  static constexpr unsigned kHashBits = 11;
+
+  AmsTraceback(unsigned m, std::uint64_t seed)
+      : m_(m),
+        g_(GlobalHash(seed).derive(0xA35)),
+        idx_hash_(GlobalHash(seed).derive(0xA36)),
+        value_hash_(GlobalHash(seed).derive(0xA37)) {}
+
+  void mark(PacketId packet, HopIndex i, SwitchId rid, AmsMark& field) const {
+    if (!baseline_writes(g_, packet, i)) return;
+    const auto f = static_cast<std::uint8_t>(idx_hash_.ranged(packet, m_));
+    field.distance = i;
+    field.hash_index = f;
+    field.value = hash_value(rid, f);
+  }
+
+  std::uint16_t hash_value(SwitchId rid, std::uint8_t f) const {
+    return static_cast<std::uint16_t>(
+        value_hash_.digest2(rid, f, kHashBits));
+  }
+
+  unsigned m() const { return m_; }
+
+ private:
+  unsigned m_;
+  GlobalHash g_;
+  GlobalHash idx_hash_;
+  GlobalHash value_hash_;
+};
+
+// Receiver: per distance, the set of (f, value) constraints; a router is a
+// candidate if it matches every constraint collected so far. Decoding is
+// complete when every distance has all m constraints AND exactly one
+// candidate (the AMS completeness condition; with several candidates the
+// trace is ambiguous — a false positive risk the paper notes for m=5).
+class AmsDecoder {
+ public:
+  AmsDecoder(unsigned k, const AmsTraceback& scheme,
+             std::vector<SwitchId> universe)
+      : k_(k), scheme_(scheme), universe_(std::move(universe)),
+        seen_(k, std::vector<bool>(scheme.m(), false)),
+        values_(k, std::vector<std::uint16_t>(scheme.m(), 0)),
+        missing_(k, scheme.m()) {}
+
+  void add_mark(const AmsMark& mark) {
+    ++packets_;
+    if (mark.distance == 0 || mark.distance > k_) return;
+    const unsigned d = mark.distance - 1;
+    if (seen_[d][mark.hash_index]) return;
+    seen_[d][mark.hash_index] = true;
+    values_[d][mark.hash_index] = mark.value;
+    --missing_[d];
+  }
+
+  // All m hash values collected for every hop.
+  bool all_constraints() const {
+    for (unsigned c : missing_) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+
+  // Candidates at a hop given current constraints.
+  std::vector<SwitchId> candidates(HopIndex hop) const {
+    const unsigned d = hop - 1;
+    std::vector<SwitchId> out;
+    for (SwitchId rid : universe_) {
+      bool ok = true;
+      for (unsigned f = 0; f < scheme_.m() && ok; ++f) {
+        if (seen_[d][f] &&
+            scheme_.hash_value(rid, static_cast<std::uint8_t>(f)) !=
+                values_[d][f]) {
+          ok = false;
+        }
+      }
+      if (ok) out.push_back(rid);
+    }
+    return out;
+  }
+
+  // Complete: constraints full and unambiguous everywhere.
+  bool complete() const {
+    if (!all_constraints()) return false;
+    for (HopIndex h = 1; h <= k_; ++h) {
+      if (candidates(h).size() != 1) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t packets_consumed() const { return packets_; }
+
+ private:
+  unsigned k_;
+  AmsTraceback scheme_;
+  std::vector<SwitchId> universe_;
+  std::vector<std::vector<bool>> seen_;
+  std::vector<std::vector<std::uint16_t>> values_;
+  std::vector<unsigned> missing_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace pint

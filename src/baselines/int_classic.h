@@ -1,0 +1,46 @@
+// Classic In-band Network Telemetry (paper Section 2; INT spec [75]).
+//
+// Every INT-capable hop appends one 4-byte word per requested metadata value
+// after the 8-byte instruction header, so overhead grows linearly with path
+// length and with the number of values. The sink pops the whole stack —
+// perfect per-packet-per-hop visibility at maximal header cost. This is the
+// comparison point for every PINT experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "packet/headers.h"
+
+namespace pint {
+
+struct IntHopRecord {
+  SwitchId switch_id = 0;
+  std::vector<std::uint32_t> values;  // one per requested metadata
+};
+
+// The INT stack carried on one packet.
+class IntStack {
+ public:
+  explicit IntStack(unsigned values_per_hop) : spec_{values_per_hop} {}
+
+  // Switch side: push this hop's record (INT "transit" behaviour).
+  void push(SwitchId sid, const std::vector<std::uint32_t>& values) {
+    records_.push_back(IntHopRecord{sid, values});
+  }
+
+  // Sink side: the full per-hop data (INT needs only one packet per path).
+  const std::vector<IntHopRecord>& records() const { return records_; }
+
+  Bytes overhead_bytes() const {
+    return spec_.overhead_bytes(static_cast<unsigned>(records_.size()));
+  }
+  const IntHeaderSpec& spec() const { return spec_; }
+
+ private:
+  IntHeaderSpec spec_;
+  std::vector<IntHopRecord> records_;
+};
+
+}  // namespace pint

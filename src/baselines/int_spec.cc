@@ -1,0 +1,67 @@
+#include "baselines/int_spec.h"
+
+namespace pint {
+
+std::uint32_t IntHopView::value_of(IntInstruction ins) const {
+  switch (ins) {
+    case IntInstruction::kSwitchId:
+      return switch_id;
+    case IntInstruction::kIngressPort:
+      return ingress_port;
+    case IntInstruction::kIngressTimestamp:
+      return ingress_timestamp;
+    case IntInstruction::kEgressPort:
+      return egress_port;
+    case IntInstruction::kHopLatency:
+      return hop_latency;
+    case IntInstruction::kEgressTxUtilization:
+      return egress_tx_utilization;
+    case IntInstruction::kQueueOccupancy:
+      return queue_occupancy;
+    case IntInstruction::kQueueCongestionStatus:
+      return queue_congestion_status;
+  }
+  return 0;
+}
+
+bool IntPacketState::push_hop(const IntHopView& view) {
+  if (header_.hop_count >= header_.max_hops) return false;
+  for (unsigned b = 0; b < 8; ++b) {
+    if (!((header_.instruction_bitmap >> b) & 1)) continue;
+    const std::uint32_t v = view.value_of(static_cast<IntInstruction>(b));
+    // Network byte order (big endian) per the spec.
+    stack_.push_back(static_cast<std::uint8_t>(v >> 24));
+    stack_.push_back(static_cast<std::uint8_t>(v >> 16));
+    stack_.push_back(static_cast<std::uint8_t>(v >> 8));
+    stack_.push_back(static_cast<std::uint8_t>(v));
+  }
+  ++header_.hop_count;
+  return true;
+}
+
+std::optional<std::vector<IntPacketState::HopRecord>>
+IntPacketState::pop_all() const {
+  const unsigned per_hop = header_.values_per_hop();
+  const std::size_t expect =
+      static_cast<std::size_t>(header_.hop_count) * per_hop * 4;
+  if (stack_.size() != expect) return std::nullopt;
+  std::vector<HopRecord> out;
+  out.reserve(header_.hop_count);
+  std::size_t pos = 0;
+  for (unsigned h = 0; h < header_.hop_count; ++h) {
+    HopRecord rec;
+    rec.values.reserve(per_hop);
+    for (unsigned v = 0; v < per_hop; ++v) {
+      const std::uint32_t value = (std::uint32_t{stack_[pos]} << 24) |
+                                  (std::uint32_t{stack_[pos + 1]} << 16) |
+                                  (std::uint32_t{stack_[pos + 2]} << 8) |
+                                  std::uint32_t{stack_[pos + 3]};
+      rec.values.push_back(value);
+      pos += 4;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,92 @@
+// INT dataplane specification model (paper Section 2, reference [75]).
+//
+// A closer model of the INT-MD wire format than baselines/int_classic.h:
+// the 8-byte instruction header carries a bitmap of requested metadata
+// (Table 1); each transit hop appends one 4-byte word per set bit; the sink
+// pops the stack and emits a telemetry report. Used by the overhead
+// arithmetic and as the INT comparison point that actually round-trips
+// through bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "packet/headers.h"
+
+namespace pint {
+
+// Instruction bitmap bit positions (one per Table-1 metadata value).
+enum class IntInstruction : std::uint8_t {
+  kSwitchId = 0,
+  kIngressPort = 1,
+  kIngressTimestamp = 2,
+  kEgressPort = 3,
+  kHopLatency = 4,
+  kEgressTxUtilization = 5,
+  kQueueOccupancy = 6,
+  kQueueCongestionStatus = 7,
+};
+
+struct IntInstructionHeader {
+  std::uint8_t version = 2;
+  std::uint8_t instruction_bitmap = 0;  // bit i = IntInstruction(i) requested
+  std::uint8_t max_hops = 16;
+  std::uint8_t hop_count = 0;
+
+  void request(IntInstruction ins) {
+    instruction_bitmap |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(ins));
+  }
+  bool requests(IntInstruction ins) const {
+    return (instruction_bitmap >> static_cast<unsigned>(ins)) & 1;
+  }
+  unsigned values_per_hop() const {
+    unsigned n = 0;
+    for (unsigned b = 0; b < 8; ++b) n += (instruction_bitmap >> b) & 1;
+    return n;
+  }
+};
+
+// What one switch can report (values for every possible instruction).
+struct IntHopView {
+  std::uint32_t switch_id = 0;
+  std::uint32_t ingress_port = 0;
+  std::uint32_t ingress_timestamp = 0;
+  std::uint32_t egress_port = 0;
+  std::uint32_t hop_latency = 0;
+  std::uint32_t egress_tx_utilization = 0;
+  std::uint32_t queue_occupancy = 0;
+  std::uint32_t queue_congestion_status = 0;
+
+  std::uint32_t value_of(IntInstruction ins) const;
+};
+
+// The on-packet INT state: header + the metadata stack as raw bytes.
+class IntPacketState {
+ public:
+  explicit IntPacketState(IntInstructionHeader header) : header_(header) {}
+
+  // Transit hop behaviour: append the requested values. Returns false (and
+  // appends nothing) once max_hops is reached — the spec's overflow rule.
+  bool push_hop(const IntHopView& view);
+
+  // Sink behaviour: parse the stack back into per-hop values, innermost
+  // (first) hop first. Returns nullopt on a malformed stack.
+  struct HopRecord {
+    std::vector<std::uint32_t> values;  // in instruction-bit order
+  };
+  std::optional<std::vector<HopRecord>> pop_all() const;
+
+  Bytes wire_bytes() const {
+    return IntHeaderSpec::kInstructionHeaderBytes +
+           static_cast<Bytes>(stack_.size());
+  }
+  const IntInstructionHeader& header() const { return header_; }
+
+ private:
+  IntInstructionHeader header_;
+  std::vector<std::uint8_t> stack_;
+};
+
+}  // namespace pint

@@ -1,0 +1,93 @@
+// Probabilistic Packet Marking traceback (Savage et al., SIGCOMM 2000 —
+// paper reference [65]), improved with Reservoir Sampling per Sattari [63],
+// as the paper's Fig. 10 baseline.
+//
+// A 32-bit router ID is split into 8 fragments; a packet's 16-bit marking
+// field carries (fragment index, fragment bits, distance). With the
+// reservoir-sampling improvement, the marking router is uniform over the
+// path (instead of geometrically biased), and the receiver reconstructs the
+// path once it has collected all 8 fragments of every hop — a coupon
+// collector over k*8 coupons, which is why PPM needs orders of magnitude
+// more packets than PINT (Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/scheme.h"
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+struct PpmMark {
+  HopIndex distance = 0;   // hop that marked (1-based)
+  std::uint8_t fragment = 0;  // fragment index in [0, 8)
+  std::uint8_t bits = 0;      // the 8 fragment bits (8 * 8 = 64 > 32; the
+                              // scheme interleaves ID and a hash for
+                              // error-detection; we model the 8-fragment
+                              // layout of the original paper)
+};
+
+class PpmTraceback {
+ public:
+  static constexpr unsigned kFragments = 8;
+
+  explicit PpmTraceback(std::uint64_t seed)
+      : g_(GlobalHash(seed).derive(0x99A)),
+        frag_hash_(GlobalHash(seed).derive(0x99B)) {}
+
+  // Switch side: hop i (1-based) of router `rid` possibly re-marks the
+  // packet (reservoir rule). The mark's fragment index is chosen by hash so
+  // the whole pipeline stays deterministic per packet.
+  void mark(PacketId packet, HopIndex i, SwitchId rid, PpmMark& field) const {
+    if (!baseline_writes(g_, packet, i)) return;
+    const auto frag =
+        static_cast<std::uint8_t>(frag_hash_.ranged(packet, kFragments));
+    field.distance = i;
+    field.fragment = frag;
+    field.bits = fragment_bits(rid, frag);
+  }
+
+  static std::uint8_t fragment_bits(SwitchId rid, std::uint8_t frag) {
+    // 32-bit ID interleaved with its hash to fill 8 fragments of 8 bits
+    // (Savage et al. Section 4.2 layout, simplified: ID||hash(ID)).
+    const std::uint64_t wide =
+        (static_cast<std::uint64_t>(mix64(rid) & 0xFFFFFFFF) << 32) | rid;
+    return static_cast<std::uint8_t>((wide >> (8 * frag)) & 0xFF);
+  }
+
+ private:
+  GlobalHash g_;
+  GlobalHash frag_hash_;
+};
+
+// Receiver: collects fragments per (distance, fragment index); the path is
+// decoded when every hop has all fragments.
+class PpmDecoder {
+ public:
+  explicit PpmDecoder(unsigned k)
+      : k_(k), have_(k, std::vector<bool>(PpmTraceback::kFragments, false)),
+        remaining_(k * PpmTraceback::kFragments) {}
+
+  void add_mark(const PpmMark& m) {
+    ++packets_;
+    if (m.distance == 0 || m.distance > k_) return;
+    if (!have_[m.distance - 1][m.fragment]) {
+      have_[m.distance - 1][m.fragment] = true;
+      --remaining_;
+    }
+  }
+
+  bool complete() const { return remaining_ == 0; }
+  unsigned missing() const { return remaining_; }
+  std::uint64_t packets_consumed() const { return packets_; }
+
+ private:
+  unsigned k_;
+  std::vector<std::vector<bool>> have_;
+  unsigned remaining_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace pint

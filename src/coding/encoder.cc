@@ -1,0 +1,19 @@
+#include "coding/encoder.h"
+
+namespace pint {
+
+std::vector<Digest> encode_path_multi(const SchemeConfig& cfg,
+                                      const GlobalHash& root,
+                                      unsigned instances, PacketId packet,
+                                      std::span<const std::uint64_t> blocks,
+                                      unsigned bits) {
+  std::vector<Digest> out;
+  out.reserve(instances);
+  for (unsigned inst = 0; inst < instances; ++inst) {
+    const InstanceHashes h = make_instance_hashes(root, inst);
+    out.push_back(encode_path(cfg, h, packet, blocks, bits));
+  }
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,115 @@
+// Switch-side distributed encoding step (paper Fig. 4 + Algorithm 1).
+//
+// Each packet carries a b-bit digest, initially 0. Encoder i (the i'th hop)
+// may modify the digest based only on global hashes of (packet id, i) — no
+// state, no inter-switch communication. Two digest representations:
+//   * full-block mode  — the digest holds the value itself (used by the
+//     Fig. 5 experiments and when b >= value width);
+//   * hashed mode      — the digest holds h(value, packet) truncated to b
+//     bits (Section 4.2, "Reducing the Bit-overhead using Hashing").
+//
+// "Multiple instantiations" (Section 4.2) run `instances` fully independent
+// copies of the scheme, each with its own derived hash family and its own
+// digest lane; a packet carries the concatenation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/scheme.h"
+#include "common/types.h"
+#include "hash/bit_vectors.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+// Independent hash family for one scheme instance, derived deterministically
+// from a root seed so switches and the decoder agree.
+struct InstanceHashes {
+  GlobalHash layer;  // H(packet): layer selection
+  GlobalHash g;      // g(packet, hop): per-hop decisions
+  GlobalHash value;  // h(value, packet): value compression
+};
+
+inline InstanceHashes make_instance_hashes(const GlobalHash& root,
+                                           unsigned instance) {
+  return InstanceHashes{root.derive(instance * 16 + 1),
+                        root.derive(instance * 16 + 2),
+                        root.derive(instance * 16 + 3)};
+}
+
+// The value representation written/xored into the digest by hop i.
+// bits == 0 selects full-block mode.
+inline Digest value_repr(const InstanceHashes& h, PacketId packet,
+                         std::uint64_t block, unsigned bits) {
+  if (bits == 0) return block;
+  return h.value.digest2(block, packet, bits);
+}
+
+// XOR-layer participation with either evaluation strategy: per-hop hashing
+// (exact probability) or the bit-vector fast path (power-of-two probability,
+// O(log 1/p) per switch, O(log k) for the decoder's whole set).
+inline bool xor_layer_acts(const SchemeConfig& cfg, const InstanceHashes& h,
+                           PacketId packet, HopIndex i, unsigned layer) {
+  if (cfg.use_bit_vectors) {
+    const BitVectorSelector sel(h.g.derive(0xB170 + layer),
+                                cfg.layer_rounds[layer - 1]);
+    return sel.acts(packet, i - 1);
+  }
+  return xor_participates(h.g, packet, i, cfg.layer_probs[layer - 1]);
+}
+
+inline std::vector<HopIndex> xor_layer_hops(const SchemeConfig& cfg,
+                                            const InstanceHashes& h,
+                                            PacketId packet, unsigned k,
+                                            unsigned layer) {
+  if (cfg.use_bit_vectors) {
+    const BitVectorSelector sel(h.g.derive(0xB170 + layer),
+                                cfg.layer_rounds[layer - 1]);
+    std::vector<HopIndex> out;
+    for (unsigned b : sel.select(packet).set_bits(k)) out.push_back(b + 1);
+    return out;
+  }
+  return xor_participants(h.g, packet, k, cfg.layer_probs[layer - 1]);
+}
+
+// One switch's digest update (Algorithm 1): returns the new digest.
+// `i` is the 1-based hop number; `cur` the incoming digest.
+inline Digest encode_step(const SchemeConfig& cfg, const InstanceHashes& h,
+                          PacketId packet, HopIndex i, Digest cur,
+                          std::uint64_t block, unsigned bits) {
+  const unsigned layer = select_layer(cfg, h.layer, packet);
+  if (layer == 0) {
+    if (baseline_writes(h.g, packet, i)) {
+      return value_repr(h, packet, block, bits);
+    }
+    return cur;
+  }
+  if (xor_layer_acts(cfg, h, packet, i, layer)) {
+    return cur ^ value_repr(h, packet, block, bits);
+  }
+  return cur;
+}
+
+// Convenience: run the whole k-hop chain for one packet.
+// blocks[i-1] is hop i's message block.
+inline Digest encode_path(const SchemeConfig& cfg, const InstanceHashes& h,
+                          PacketId packet, std::span<const std::uint64_t> blocks,
+                          unsigned bits) {
+  Digest dig = 0;
+  for (HopIndex i = 1; i <= blocks.size(); ++i) {
+    dig = encode_step(cfg, h, packet, i, dig, blocks[i - 1], bits);
+  }
+  return dig;
+}
+
+// Multi-instance chain: one digest per instance (caller concatenates for
+// wire format; we keep lanes separate for clarity).
+std::vector<Digest> encode_path_multi(const SchemeConfig& cfg,
+                                      const GlobalHash& root, unsigned instances,
+                                      PacketId packet,
+                                      std::span<const std::uint64_t> blocks,
+                                      unsigned bits);
+
+}  // namespace pint

@@ -1,0 +1,65 @@
+// Fragmentation (paper Section 4.2, "Reducing the Bit-overhead using
+// Fragmentation").
+//
+// When a q-bit value must fit a b < q bit digest and the value universe is
+// unknown (so hashing cannot be used), each value is split into F = ceil(q/b)
+// fragments. A global hash assigns every packet a fragment number; the
+// distributed encoding scheme then runs independently per fragment, as if
+// the path had k*F hops. The decoder demultiplexes packets by fragment
+// number and reassembles values once every fragment of a hop is known.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coding/peeling_decoder.h"
+#include "coding/scheme.h"
+#include "common/types.h"
+
+namespace pint {
+
+class FragmentedCodec {
+ public:
+  // q = value width in bits, b = digest budget in bits.
+  FragmentedCodec(unsigned k, unsigned q, unsigned b, SchemeConfig cfg,
+                  const GlobalHash& root);
+
+  unsigned num_fragments() const { return fragments_; }
+
+  // Fragment number assigned to a packet (same on switch and decoder).
+  unsigned fragment_of(PacketId packet) const {
+    return static_cast<unsigned>(frag_hash_.ranged(packet, fragments_));
+  }
+
+  // Switch side: hop i updates the digest with its fragment of `value`.
+  Digest encode_step(PacketId packet, HopIndex i, Digest cur,
+                     std::uint64_t value) const;
+
+  // Decoder side: consume a packet digest.
+  void add_packet(PacketId packet, Digest digest);
+
+  bool complete() const;
+  std::optional<std::uint64_t> value_at(HopIndex hop) const;
+  std::vector<std::uint64_t> message() const;
+
+ private:
+  std::uint64_t fragment_bits(std::uint64_t value, unsigned frag) const {
+    return (value >> (frag * b_)) & low_bits_mask(b_);
+  }
+
+  unsigned k_;
+  unsigned q_;
+  unsigned b_;
+  unsigned fragments_;
+  SchemeConfig cfg_;
+  GlobalHash frag_hash_;
+  InstanceHashes hashes_;
+  // Per-fragment derived hash families, shared by encoder and decoder sides.
+  std::vector<InstanceHashes> frag_hashes_;
+  // One full-block peeling decoder per fragment index (blocks are the b-bit
+  // fragment values).
+  std::vector<PeelingDecoder> decoders_;
+};
+
+}  // namespace pint

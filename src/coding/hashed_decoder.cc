@@ -1,0 +1,117 @@
+#include "coding/hashed_decoder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pint {
+
+HashedPathDecoder::HashedPathDecoder(HashedDecoderConfig cfg,
+                                     const GlobalHash& root,
+                                     std::vector<std::uint64_t> universe)
+    : cfg_(cfg) {
+  if (cfg.k == 0) throw std::invalid_argument("k > 0");
+  if (cfg.bits == 0 || cfg.bits > 64)
+    throw std::invalid_argument("bits in [1,64]");
+  if (cfg.instances == 0) throw std::invalid_argument("instances > 0");
+  if (universe.empty()) throw std::invalid_argument("universe nonempty");
+  hashes_.reserve(cfg.instances);
+  for (unsigned inst = 0; inst < cfg.instances; ++inst) {
+    hashes_.push_back(make_instance_hashes(root, inst));
+  }
+  candidates_.assign(cfg.k, universe);
+  if (universe.size() == 1) resolved_ = cfg.k;  // degenerate: nothing to learn
+}
+
+unsigned HashedPathDecoder::add_packet(PacketId packet,
+                                       std::span<const Digest> digests) {
+  if (digests.size() != cfg_.instances)
+    throw std::invalid_argument("one digest lane per instance expected");
+  ++packets_;
+  unsigned newly = 0;
+  for (unsigned inst = 0; inst < cfg_.instances; ++inst) {
+    const InstanceHashes& h = hashes_[inst];
+    const unsigned layer = select_layer(cfg_.scheme, h.layer, packet);
+    if (layer == 0) {
+      const HopIndex carrier = baseline_carrier(h.g, packet, cfg_.k);
+      newly += filter_hop(carrier, inst, packet, digests[inst]);
+      continue;
+    }
+    XorRecord rec;
+    rec.packet = packet;
+    rec.instance = inst;
+    rec.residual = digests[inst];
+    for (HopIndex i : xor_layer_hops(cfg_.scheme, h, packet, cfg_.k, layer)) {
+      if (candidates_[i - 1].size() == 1) {
+        rec.residual ^= h.value.digest2(candidates_[i - 1][0], packet,
+                                        cfg_.bits);
+      } else {
+        rec.unknown.push_back(i);
+      }
+    }
+    if (rec.unknown.empty()) continue;
+    if (rec.unknown.size() == 1) {
+      newly += filter_hop(rec.unknown[0], inst, packet, rec.residual);
+      continue;
+    }
+    const std::size_t idx = records_.size();
+    records_.push_back(std::move(rec));
+    for (HopIndex i : records_[idx].unknown) hop_to_records_[i].push_back(idx);
+  }
+  return newly;
+}
+
+unsigned HashedPathDecoder::filter_hop(HopIndex hop, unsigned inst,
+                                       PacketId packet, Digest digest) {
+  auto& cands = candidates_[hop - 1];
+  if (cands.size() == 1) return 0;  // already resolved
+  const InstanceHashes& h = hashes_[inst];
+  std::erase_if(cands, [&](std::uint64_t v) {
+    return h.value.digest2(v, packet, cfg_.bits) != digest;
+  });
+  if (cands.empty()) {
+    throw std::runtime_error(
+        "inconsistent digests: no candidate survives (wrong universe, path "
+        "length, or corrupted packets)");
+  }
+  if (cands.size() == 1) return on_resolved(hop);
+  return 0;
+}
+
+unsigned HashedPathDecoder::on_resolved(HopIndex hop) {
+  unsigned newly = 1;
+  ++resolved_;
+  const std::uint64_t value = candidates_[hop - 1][0];
+  auto it = hop_to_records_.find(hop);
+  if (it == hop_to_records_.end()) return newly;
+  const std::vector<std::size_t> affected = it->second;
+  hop_to_records_.erase(it);
+  for (std::size_t idx : affected) {
+    XorRecord& rec = records_[idx];
+    auto pos = std::find(rec.unknown.begin(), rec.unknown.end(), hop);
+    if (pos == rec.unknown.end()) continue;
+    rec.unknown.erase(pos);
+    rec.residual ^=
+        hashes_[rec.instance].value.digest2(value, rec.packet, cfg_.bits);
+    if (rec.unknown.size() == 1) {
+      newly += filter_hop(rec.unknown[0], rec.instance, rec.packet,
+                          rec.residual);
+    }
+  }
+  return newly;
+}
+
+std::optional<std::uint64_t> HashedPathDecoder::value_at(HopIndex hop) const {
+  const auto& cands = candidates_[hop - 1];
+  if (cands.size() == 1) return cands[0];
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> HashedPathDecoder::path() const {
+  if (!complete()) throw std::runtime_error("path not fully decoded");
+  std::vector<std::uint64_t> out;
+  out.reserve(cfg_.k);
+  for (const auto& cands : candidates_) out.push_back(cands[0]);
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,77 @@
+// Hashed-value path decoder (paper Section 4.2, "Reducing the Bit-overhead
+// using Hashing").
+//
+// When the digest is narrower than a value, hop i writes h(M_i, packet)
+// instead of M_i. The decoder knows the finite value universe V (e.g. all
+// switch IDs in the network) and keeps, per hop, the set of candidate values
+// consistent with every Baseline packet observed from that hop. A hop is
+// resolved when exactly one candidate survives. XOR packets are stored and
+// peeled: once all-but-one of a packet's participant hops are resolved, the
+// residual digest acts like one more Baseline observation for the remaining
+// hop.
+//
+// Multiple instantiations (Section 4.2) run `instances` independent scheme
+// copies whose observations all narrow the *shared* per-hop candidate sets,
+// which is why 2 x (b=8) outperforms 1 x (b=16) in packets-to-decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/encoder.h"
+#include "coding/scheme.h"
+#include "common/types.h"
+
+namespace pint {
+
+struct HashedDecoderConfig {
+  unsigned k = 0;          // path length
+  unsigned bits = 8;       // digest bits per instance (1..64)
+  unsigned instances = 1;  // independent scheme copies
+  SchemeConfig scheme;
+};
+
+class HashedPathDecoder {
+ public:
+  // `universe` = all possible block values (e.g. every switch ID).
+  HashedPathDecoder(HashedDecoderConfig cfg, const GlobalHash& root,
+                    std::vector<std::uint64_t> universe);
+
+  // Feed one packet; `digests` has one lane per instance.
+  // Returns the number of hops newly resolved.
+  unsigned add_packet(PacketId packet, std::span<const Digest> digests);
+
+  bool complete() const { return resolved_ == cfg_.k; }
+  unsigned resolved_count() const { return resolved_; }
+
+  std::optional<std::uint64_t> value_at(HopIndex hop) const;
+  std::vector<std::uint64_t> path() const;  // requires complete()
+
+  std::uint64_t packets_consumed() const { return packets_; }
+
+ private:
+  struct XorRecord {
+    PacketId packet;
+    unsigned instance;
+    Digest residual;
+    std::vector<HopIndex> unknown;
+  };
+
+  // Keep only candidates v of `hop` with h(v, packet) == digest under
+  // instance `inst`; returns resolved hops triggered (cascade).
+  unsigned filter_hop(HopIndex hop, unsigned inst, PacketId packet,
+                      Digest digest);
+  unsigned on_resolved(HopIndex hop);
+
+  HashedDecoderConfig cfg_;
+  std::vector<InstanceHashes> hashes_;
+  std::vector<std::vector<std::uint64_t>> candidates_;  // per hop (1-based-1)
+  unsigned resolved_ = 0;
+  std::uint64_t packets_ = 0;
+  std::vector<XorRecord> records_;
+  std::unordered_map<HopIndex, std::vector<std::size_t>> hop_to_records_;
+};
+
+}  // namespace pint

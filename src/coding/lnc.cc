@@ -1,0 +1,47 @@
+#include "coding/lnc.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pint {
+
+bool LncDecoder::add_packet(PacketId packet, Digest digest) {
+  ++packets_;
+  Row row{0, digest};
+  for (HopIndex i = 1; i <= k_; ++i) {
+    if (g_.below2(packet, i, 0.5)) row.coeffs |= std::uint64_t{1} << (i - 1);
+  }
+  // Reduce against existing pivots.
+  while (row.coeffs != 0) {
+    const unsigned j = static_cast<unsigned>(std::countr_zero(row.coeffs));
+    if (pivot_rows_[j].coeffs == 0) {
+      pivot_rows_[j] = row;
+      ++rank_;
+      return true;
+    }
+    row.coeffs ^= pivot_rows_[j].coeffs;
+    row.rhs ^= pivot_rows_[j].rhs;
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> LncDecoder::message() const {
+  if (!complete()) throw std::runtime_error("system not full rank");
+  // Back-substitute from the highest pivot down.
+  std::vector<Row> rows(pivot_rows_);
+  std::vector<std::uint64_t> out(k_, 0);
+  for (int j = static_cast<int>(k_) - 1; j >= 0; --j) {
+    Row row = rows[j];
+    // Eliminate higher unknowns (already solved).
+    for (unsigned h = j + 1; h < k_; ++h) {
+      if ((row.coeffs >> h) & 1) {
+        row.rhs ^= out[h];
+        row.coeffs ^= std::uint64_t{1} << h;
+      }
+    }
+    out[j] = row.rhs;
+  }
+  return out;
+}
+
+}  // namespace pint

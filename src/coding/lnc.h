@@ -1,0 +1,76 @@
+// Linear Network Coding comparator (paper Section 4.2, "Comparison with
+// Linear Network Coding"; Ho et al., ISIT 2003).
+//
+// Each packet's digest is a random GF(2) linear combination of the k message
+// blocks: block i is xored in with probability 1/2, chosen by the global
+// hash so the receiver knows the coefficient vector without extra bits. The
+// receiver solves the k x k system by incremental Gaussian elimination; in
+// expectation ~ k + log2(k) packets give full rank. The trade-offs vs PINT's
+// multi-layer scheme (O(k^3)-style decoding, incompatibility with hashing)
+// are what bench_ablation_coding quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+class LncEncoder {
+ public:
+  explicit LncEncoder(const GlobalHash& root) : g_(root.derive(0x17C)) {}
+
+  // Coefficient of block (1-based hop) i for this packet.
+  bool coefficient(PacketId packet, HopIndex i) const {
+    return g_.below2(packet, i, 0.5);
+  }
+
+  // Digest for a packet given all blocks (switch-side equivalent: hop i
+  // xors blocks[i-1] in when coefficient() is true).
+  Digest encode(PacketId packet,
+                const std::vector<std::uint64_t>& blocks) const {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= blocks.size(); ++i) {
+      if (coefficient(packet, i)) d ^= blocks[i - 1];
+    }
+    return d;
+  }
+
+ private:
+  GlobalHash g_;
+};
+
+// Incremental GF(2) Gaussian elimination over coefficient rows of width
+// k <= 64 with a 64-bit right-hand side (the digest).
+class LncDecoder {
+ public:
+  LncDecoder(unsigned k, const GlobalHash& root)
+      : k_(k), g_(root.derive(0x17C)) {}
+
+  // Returns true if the packet increased the rank.
+  bool add_packet(PacketId packet, Digest digest);
+
+  bool complete() const { return rank_ == k_; }
+  unsigned rank() const { return rank_; }
+  std::uint64_t packets_consumed() const { return packets_; }
+
+  // Back-substituted message, hop order; requires complete().
+  std::vector<std::uint64_t> message() const;
+
+ private:
+  struct Row {
+    std::uint64_t coeffs;  // bit i-1 = coefficient of hop i
+    Digest rhs;
+  };
+
+  unsigned k_;
+  GlobalHash g_;
+  unsigned rank_ = 0;
+  std::uint64_t packets_ = 0;
+  // pivot_rows_[j] has its lowest set coefficient bit at position j.
+  std::vector<Row> pivot_rows_ = std::vector<Row>(64, Row{0, 0});
+};
+
+}  // namespace pint

@@ -1,0 +1,121 @@
+#include "coding/lt_code.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pint {
+
+RobustSoliton::RobustSoliton(unsigned k, double c, double delta) : k_(k) {
+  if (k == 0) throw std::invalid_argument("k > 0");
+  const double kd = static_cast<double>(k);
+  const double R = c * std::log(kd / delta) * std::sqrt(kd);
+  std::vector<double> rho(k + 1, 0.0), tau(k + 1, 0.0);
+  rho[1] = 1.0 / kd;
+  for (unsigned d = 2; d <= k; ++d) {
+    rho[d] = 1.0 / (static_cast<double>(d) * (d - 1.0));
+  }
+  const auto spike = static_cast<unsigned>(std::max(1.0, kd / R));
+  for (unsigned d = 1; d <= k; ++d) {
+    if (d < spike) {
+      tau[d] = R / (static_cast<double>(d) * kd);
+    } else if (d == spike) {
+      tau[d] = R * std::log(R / delta) / kd;
+    }
+  }
+  double z = 0.0;
+  for (unsigned d = 1; d <= k; ++d) z += rho[d] + tau[d];
+  cdf_.resize(k);
+  double acc = 0.0;
+  for (unsigned d = 1; d <= k; ++d) {
+    acc += (rho[d] + tau[d]) / z;
+    cdf_[d - 1] = acc;
+  }
+  cdf_[k - 1] = 1.0;  // guard against rounding
+}
+
+unsigned RobustSoliton::degree(const GlobalHash& hash, PacketId packet) const {
+  const double u = hash.unit(packet);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<unsigned>(it - cdf_.begin()) + 1;
+}
+
+std::vector<HopIndex> LtEncoder::neighbors(PacketId packet) const {
+  const unsigned d = std::min(soliton_.degree(degree_hash_, packet), k_);
+  // Sample d distinct blocks via successive hashing (deterministic, shared
+  // with the decoder).
+  std::vector<HopIndex> out;
+  out.reserve(d);
+  std::uint64_t salt = 0;
+  while (out.size() < d) {
+    const auto idx = static_cast<HopIndex>(
+        neighbor_hash_.ranged2(packet, salt++, k_) + 1);
+    if (std::find(out.begin(), out.end(), idx) == out.end()) {
+      out.push_back(idx);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Digest LtEncoder::encode(PacketId packet,
+                         const std::vector<std::uint64_t>& blocks) const {
+  Digest d = 0;
+  for (HopIndex i : neighbors(packet)) d ^= blocks[i - 1];
+  return d;
+}
+
+unsigned LtDecoder::add_packet(PacketId packet, Digest digest) {
+  Record rec;
+  rec.residual = digest;
+  for (HopIndex i : encoder_.neighbors(packet)) {
+    if (known_[i - 1].has_value()) {
+      rec.residual ^= *known_[i - 1];
+    } else {
+      rec.unknown.push_back(i);
+    }
+  }
+  if (rec.unknown.empty()) return 0;
+  if (rec.unknown.size() == 1) return resolve(rec.unknown[0], rec.residual);
+  const std::size_t idx = records_.size();
+  records_.push_back(std::move(rec));
+  for (HopIndex i : records_[idx].unknown) hop_to_records_[i].push_back(idx);
+  return 0;
+}
+
+unsigned LtDecoder::resolve(HopIndex hop, std::uint64_t value) {
+  unsigned newly = 0;
+  std::vector<std::pair<HopIndex, std::uint64_t>> queue{{hop, value}};
+  while (!queue.empty()) {
+    auto [h, v] = queue.back();
+    queue.pop_back();
+    if (known_[h - 1].has_value()) continue;
+    known_[h - 1] = v;
+    ++resolved_;
+    ++newly;
+    auto it = hop_to_records_.find(h);
+    if (it == hop_to_records_.end()) continue;
+    for (std::size_t idx : it->second) {
+      Record& rec = records_[idx];
+      auto pos = std::find(rec.unknown.begin(), rec.unknown.end(), h);
+      if (pos == rec.unknown.end()) continue;
+      rec.unknown.erase(pos);
+      rec.residual ^= v;
+      if (rec.unknown.size() == 1 && !known_[rec.unknown[0] - 1].has_value()) {
+        queue.emplace_back(rec.unknown[0], rec.residual);
+      }
+    }
+    hop_to_records_.erase(it);
+  }
+  return newly;
+}
+
+std::vector<std::uint64_t> LtDecoder::message() const {
+  if (!complete()) throw std::runtime_error("message not fully decoded");
+  std::vector<std::uint64_t> out;
+  out.reserve(k_);
+  for (const auto& b : known_) out.push_back(*b);
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,84 @@
+// LT (Luby Transform) fountain code comparator.
+//
+// The paper's distributed-coding section argues that classic rateless codes
+// assume a *single* encoder owning all message blocks — which switches are
+// not. This module implements that idealized single-encoder setting (degree
+// sampled from the robust soliton distribution, neighbours chosen by the
+// global hash) as a *lower-bound reference* for the ablation bench: the gap
+// between LT and PINT's multi-layer scheme is the price of distributing the
+// encoder across stateless switches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/peeling_decoder.h"
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+// Robust soliton degree distribution over {1..k}.
+class RobustSoliton {
+ public:
+  // c and delta are the usual robust-soliton parameters.
+  RobustSoliton(unsigned k, double c = 0.1, double delta = 0.5);
+
+  // Degree for a packet, sampled via the global hash (decoder replays it).
+  unsigned degree(const GlobalHash& hash, PacketId packet) const;
+
+  const std::vector<double>& cdf() const { return cdf_; }
+
+ private:
+  unsigned k_;
+  std::vector<double> cdf_;  // cdf_[d-1] = P(degree <= d)
+};
+
+class LtEncoder {
+ public:
+  LtEncoder(unsigned k, const GlobalHash& root)
+      : k_(k), soliton_(k), degree_hash_(root.derive(0x17A)),
+        neighbor_hash_(root.derive(0x17B)) {}
+
+  // The neighbour set (1-based block indices) of a packet.
+  std::vector<HopIndex> neighbors(PacketId packet) const;
+
+  Digest encode(PacketId packet,
+                const std::vector<std::uint64_t>& blocks) const;
+
+ private:
+  unsigned k_;
+  RobustSoliton soliton_;
+  GlobalHash degree_hash_;
+  GlobalHash neighbor_hash_;
+};
+
+// Peeling decoder for LT packets (same cascade structure as PINT's).
+class LtDecoder {
+ public:
+  LtDecoder(unsigned k, const GlobalHash& root)
+      : k_(k), encoder_(k, root), known_(k) {}
+
+  unsigned add_packet(PacketId packet, Digest digest);
+
+  bool complete() const { return resolved_ == k_; }
+  unsigned resolved_count() const { return resolved_; }
+  std::vector<std::uint64_t> message() const;
+
+ private:
+  struct Record {
+    Digest residual;
+    std::vector<HopIndex> unknown;
+  };
+
+  unsigned resolve(HopIndex hop, std::uint64_t value);
+
+  unsigned k_;
+  LtEncoder encoder_;
+  std::vector<std::optional<std::uint64_t>> known_;
+  unsigned resolved_ = 0;
+  std::vector<Record> records_;
+  std::unordered_map<HopIndex, std::vector<std::size_t>> hop_to_records_;
+};
+
+}  // namespace pint

@@ -1,0 +1,78 @@
+#include "coding/peeling_decoder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pint {
+
+PeelingDecoder::PeelingDecoder(unsigned k, SchemeConfig cfg,
+                               InstanceHashes hashes)
+    : k_(k), cfg_(std::move(cfg)), hashes_(hashes), known_(k) {
+  if (k == 0) throw std::invalid_argument("k > 0");
+}
+
+unsigned PeelingDecoder::add_packet(PacketId packet, Digest digest) {
+  ++packets_;
+  const unsigned layer = select_layer(cfg_, hashes_.layer, packet);
+  if (layer == 0) {
+    const HopIndex carrier = baseline_carrier(hashes_.g, packet, k_);
+    if (known_[carrier - 1].has_value()) return 0;
+    return resolve(carrier, digest);
+  }
+
+  XorRecord rec;
+  rec.residual = digest;
+  for (HopIndex i : xor_layer_hops(cfg_, hashes_, packet, k_, layer)) {
+    if (known_[i - 1].has_value()) {
+      rec.residual ^= *known_[i - 1];
+    } else {
+      rec.unknown.push_back(i);
+    }
+  }
+  if (rec.unknown.empty()) return 0;  // nothing new
+  if (rec.unknown.size() == 1) return resolve(rec.unknown[0], rec.residual);
+
+  const std::size_t idx = records_.size();
+  records_.push_back(std::move(rec));
+  for (HopIndex i : records_[idx].unknown) hop_to_records_[i].push_back(idx);
+  return 0;
+}
+
+unsigned PeelingDecoder::resolve(HopIndex hop, std::uint64_t value) {
+  // Iterative peeling: resolving one hop can make stored XOR records usable.
+  unsigned newly = 0;
+  std::vector<std::pair<HopIndex, std::uint64_t>> queue{{hop, value}};
+  while (!queue.empty()) {
+    auto [h, v] = queue.back();
+    queue.pop_back();
+    if (known_[h - 1].has_value()) continue;
+    known_[h - 1] = v;
+    ++resolved_;
+    ++newly;
+    auto it = hop_to_records_.find(h);
+    if (it == hop_to_records_.end()) continue;
+    for (std::size_t idx : it->second) {
+      XorRecord& rec = records_[idx];
+      // Remove h from the record's unknown set.
+      auto pos = std::find(rec.unknown.begin(), rec.unknown.end(), h);
+      if (pos == rec.unknown.end()) continue;
+      rec.unknown.erase(pos);
+      rec.residual ^= v;
+      if (rec.unknown.size() == 1 && !known_[rec.unknown[0] - 1].has_value()) {
+        queue.emplace_back(rec.unknown[0], rec.residual);
+      }
+    }
+    hop_to_records_.erase(it);
+  }
+  return newly;
+}
+
+std::vector<std::uint64_t> PeelingDecoder::message() const {
+  if (!complete()) throw std::runtime_error("message not fully decoded");
+  std::vector<std::uint64_t> out;
+  out.reserve(k_);
+  for (const auto& b : known_) out.push_back(*b);
+  return out;
+}
+
+}  // namespace pint

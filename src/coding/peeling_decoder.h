@@ -1,0 +1,61 @@
+// Full-block peeling decoder (paper Section 4.2; used for the Fig. 5
+// experiments where a digest holds an entire message block).
+//
+// Baseline packets resolve their carrier hop immediately. XOR packets whose
+// participant set contains exactly one unknown hop yield that hop's block by
+// xoring out the known ones; resolving a hop may unlock further XOR packets
+// (peeling cascade), exactly like LT/fountain-code decoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/encoder.h"
+#include "coding/scheme.h"
+#include "common/types.h"
+
+namespace pint {
+
+class PeelingDecoder {
+ public:
+  // `k` = path length (number of encoders); hashes must match the encoder's.
+  PeelingDecoder(unsigned k, SchemeConfig cfg, InstanceHashes hashes);
+
+  // Feed one received packet; returns number of newly resolved hops.
+  unsigned add_packet(PacketId packet, Digest digest);
+
+  bool complete() const { return resolved_ == k_; }
+  unsigned resolved_count() const { return resolved_; }
+  unsigned missing_count() const { return k_ - resolved_; }
+
+  // Resolved block for 1-based hop i, if known.
+  std::optional<std::uint64_t> block(HopIndex i) const {
+    return known_[i - 1];
+  }
+
+  // Full message once complete (blocks in hop order).
+  std::vector<std::uint64_t> message() const;
+
+  std::uint64_t packets_consumed() const { return packets_; }
+
+ private:
+  struct XorRecord {
+    Digest residual;
+    std::vector<HopIndex> unknown;
+  };
+
+  unsigned resolve(HopIndex hop, std::uint64_t value);
+
+  unsigned k_;
+  SchemeConfig cfg_;
+  InstanceHashes hashes_;
+  std::vector<std::optional<std::uint64_t>> known_;
+  unsigned resolved_ = 0;
+  std::uint64_t packets_ = 0;
+  std::vector<XorRecord> records_;
+  std::unordered_map<HopIndex, std::vector<std::size_t>> hop_to_records_;
+};
+
+}  // namespace pint

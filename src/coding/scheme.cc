@@ -1,0 +1,137 @@
+#include "coding/scheme.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pint {
+
+double e_tower(unsigned n) {
+  double v = 1.0;
+  for (unsigned i = 0; i < n; ++i) v = std::exp(v);
+  return v;
+}
+
+unsigned log_star(double d) {
+  unsigned n = 0;
+  while (d > 1.0) {
+    d = std::log(d);
+    ++n;
+  }
+  return n;
+}
+
+SchemeConfig make_fast(SchemeConfig cfg) {
+  cfg.use_bit_vectors = true;
+  cfg.layer_rounds.clear();
+  for (double& p : cfg.layer_probs) {
+    const double exact = -std::log2(p);
+    auto rounds = static_cast<unsigned>(std::lround(exact));
+    if (rounds == 0) rounds = 1;  // p = 1 is not useful for XOR layers
+    if (rounds > 30) rounds = 30;
+    cfg.layer_rounds.push_back(rounds);
+    p = std::pow(0.5, rounds);  // the probability actually realized
+  }
+  return cfg;
+}
+
+SchemeConfig make_baseline_scheme() { return SchemeConfig{1.0, {}}; }
+
+SchemeConfig make_xor_scheme(unsigned d) {
+  if (d == 0) throw std::invalid_argument("d > 0");
+  return SchemeConfig{0.0, {1.0 / static_cast<double>(d)}};
+}
+
+SchemeConfig make_hybrid_scheme(unsigned d) {
+  if (d == 0) throw std::invalid_argument("d > 0");
+  const double log_d = std::log(static_cast<double>(d));
+  // Footnote 8: if d <= 15 then loglog d < 1; use 1/log d instead.
+  double p;
+  if (d <= 15) {
+    p = log_d > 1.0 ? 1.0 / log_d : 1.0;
+  } else {
+    p = std::log(log_d) / log_d;
+  }
+  return SchemeConfig{0.75, {p}};
+}
+
+namespace {
+
+// Number of XOR layers Algorithm 1 uses for typical length d:
+// smallest L with d <= floor(e tower (L+1)); L=1 covers d <= 15,
+// L=2 covers d up to e^e^e ~ 3.8M, so practical networks use 1 or 2.
+unsigned num_layers_for(unsigned d) {
+  unsigned L = 1;
+  while (static_cast<double>(d) > std::floor(e_tower(L + 1))) ++L;
+  return L;
+}
+
+SchemeConfig make_multilayer(unsigned d, bool revised) {
+  if (d == 0) throw std::invalid_argument("d > 0");
+  const unsigned L = num_layers_for(d);
+  // tau from loglog*(d); log*(d) can be <= 2 for tiny d making loglog* <= 0,
+  // so clamp to keep a sane Baseline share.
+  const double lls = std::log(
+      std::max(1.0 + 1e-9, static_cast<double>(log_star(d))));
+  double tau = revised ? (1.0 + lls) / (2.0 + lls) : lls / (1.0 + lls);
+  if (tau < 0.5) tau = 0.5;
+  SchemeConfig cfg;
+  cfg.tau = tau;
+  cfg.layer_probs.resize(L);
+  for (unsigned ell = 1; ell <= L; ++ell) {
+    double p = e_tower(ell - 1) / static_cast<double>(d);
+    cfg.layer_probs[ell - 1] = p > 1.0 ? 1.0 : p;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+SchemeConfig make_multilayer_scheme(unsigned d) {
+  return make_multilayer(d, /*revised=*/false);
+}
+
+SchemeConfig make_multilayer_scheme_revised(unsigned d) {
+  return make_multilayer(d, /*revised=*/true);
+}
+
+unsigned select_layer(const SchemeConfig& cfg, const GlobalHash& layer_hash,
+                      PacketId packet) {
+  if (cfg.num_layers() == 0) return 0;
+  const double h = layer_hash.unit(packet);
+  if (h < cfg.tau) return 0;
+  // Split (tau, 1] evenly across layers 1..L (Algorithm 1 line 6).
+  const double rescaled = (h - cfg.tau) / (1.0 - cfg.tau);
+  auto layer = static_cast<unsigned>(
+      std::ceil(static_cast<double>(cfg.num_layers()) * rescaled));
+  if (layer == 0) layer = 1;
+  if (layer > cfg.num_layers()) layer = static_cast<unsigned>(cfg.num_layers());
+  return layer;
+}
+
+bool baseline_writes(const GlobalHash& g, PacketId packet, HopIndex i) {
+  return g.below2(packet, i, 1.0 / static_cast<double>(i));
+}
+
+bool xor_participates(const GlobalHash& g, PacketId packet, HopIndex i,
+                      double p_ell) {
+  return g.below2(packet, i, p_ell);
+}
+
+HopIndex baseline_carrier(const GlobalHash& g, PacketId packet, unsigned k) {
+  HopIndex carrier = 1;  // hop 1 always writes (probability 1/1)
+  for (HopIndex i = 2; i <= k; ++i) {
+    if (baseline_writes(g, packet, i)) carrier = i;
+  }
+  return carrier;
+}
+
+std::vector<HopIndex> xor_participants(const GlobalHash& g, PacketId packet,
+                                       unsigned k, double p_ell) {
+  std::vector<HopIndex> out;
+  for (HopIndex i = 1; i <= k; ++i) {
+    if (xor_participates(g, packet, i, p_ell)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pint

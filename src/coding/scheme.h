@@ -1,0 +1,100 @@
+// Distributed encoding scheme configuration (paper Section 4.2, Algorithm 1).
+//
+// A scheme is a probability distribution over *layers*:
+//   layer 0  — Baseline: reservoir sampling; the digest ends up carrying the
+//              value of one uniformly random hop.
+//   layer >0 — XOR: every hop xors its value in independently with the
+//              layer's probability p_ell.
+// Each packet is assigned a layer by the global hash H(packet); within the
+// layer, per-hop decisions come from g(packet, hop). Switches and the decoder
+// evaluate the same hashes, so no coordination bits are spent.
+//
+// Factories construct the paper's variants: pure Baseline, pure XOR(1/d),
+// the Fig. 5 "Hybrid" interleaving, and the multi-layer scheme of
+// Algorithm 1 whose layer probabilities are p_ell = (e tower (ell-1)) / d.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+struct SchemeConfig {
+  // Probability that a packet runs the Baseline (reservoir) layer. The
+  // remaining probability mass is split evenly across the XOR layers.
+  double tau = 1.0;
+  // XOR probability per layer; empty means Baseline-only.
+  std::vector<double> layer_probs;
+
+  // Decode fast path (Section 4.2, "Reducing the Decoding Complexity"):
+  // round each layer probability to a power of two and derive per-hop
+  // decisions from O(log 1/p) pseudo-random bit vectors, so the decoder
+  // recovers a packet's participant set in O(log k) word operations instead
+  // of O(k) hash evaluations. layer_rounds[l] = log2(1/p_l) after rounding.
+  bool use_bit_vectors = false;
+  std::vector<unsigned> layer_rounds;
+
+  std::size_t num_layers() const { return layer_probs.size(); }
+};
+
+// Convert a scheme to its bit-vector fast-path variant: probabilities are
+// rounded to the nearest power of two (at worst a sqrt(2)-factor change,
+// which the multi-layer analysis absorbs — paper footnote 9).
+SchemeConfig make_fast(SchemeConfig cfg);
+
+// Iterated-exponential helper: e tower n = e^(e^(...)) n times; tower(0) = 1.
+double e_tower(unsigned n);
+
+// log*_e d: number of ln applications until the value drops to <= 1.
+unsigned log_star(double d);
+
+// --- Scheme factories (d = typical path length known to the encoders) ----
+
+// Pure reservoir-sampling scheme (coupon collector behaviour, ~k ln k).
+SchemeConfig make_baseline_scheme();
+
+// Pure XOR scheme with probability p = 1/d (Fig. 5 "XOR").
+SchemeConfig make_xor_scheme(unsigned d);
+
+// Fig. 5 "Hybrid": Baseline with probability tau = 3/4, otherwise one XOR
+// layer with probability log(log d)/log d (or 1/log d when d <= 15, per
+// footnote 8).
+SchemeConfig make_hybrid_scheme(unsigned d);
+
+// Algorithm 1 multi-layer scheme: L = number of XOR layers needed for d
+// (L=1 when d <= 15, L=2 up to e^e^e, ...), p_ell = e_tower(ell-1)/d, and
+// tau = loglog*(d) / (1 + loglog*(d)) per the appendix (clamped so tau is
+// always in (0, 1)).
+SchemeConfig make_multilayer_scheme(unsigned d);
+
+// Appendix A.3 revision: tau' = (1 + loglog* d) / (2 + loglog* d), which
+// strictly improves the lower-order term.
+SchemeConfig make_multilayer_scheme_revised(unsigned d);
+
+// --- Per-packet evaluation -------------------------------------------------
+
+// Layer selected for a packet: 0 = Baseline, 1..L = XOR layers.
+// Mirrors Algorithm 1 lines 1-6.
+unsigned select_layer(const SchemeConfig& cfg, const GlobalHash& layer_hash,
+                      PacketId packet);
+
+// Baseline-layer reservoir decision for 1-based hop i (Algorithm 1 line 3).
+bool baseline_writes(const GlobalHash& g, PacketId packet, HopIndex i);
+
+// XOR-layer participation for 1-based hop i (Algorithm 1 line 7).
+bool xor_participates(const GlobalHash& g, PacketId packet, HopIndex i,
+                      double p_ell);
+
+// The hop (1-based) whose value a Baseline packet carries after traversing
+// k hops: the last hop whose reservoir decision fired. Always >= 1 because
+// hop 1 fires with probability 1/1.
+HopIndex baseline_carrier(const GlobalHash& g, PacketId packet, unsigned k);
+
+// All hops (1-based) that xor into a packet at XOR layer probability p_ell.
+std::vector<HopIndex> xor_participants(const GlobalHash& g, PacketId packet,
+                                       unsigned k, double p_ell);
+
+}  // namespace pint

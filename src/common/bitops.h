@@ -1,0 +1,42 @@
+// Bit-manipulation helpers used by the hashing, coding, and data-plane
+// emulation modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace pint {
+
+// Index (0-based, from LSB) of the most significant set bit.
+// Mirrors the TCAM longest-prefix trick switches use to locate the leading
+// one (Appendix C). x must be nonzero.
+constexpr unsigned msb_index(std::uint64_t x) {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+constexpr unsigned popcount(std::uint64_t x) {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Smallest power of two >= x (x <= 2^63).
+constexpr std::uint64_t next_power_of_two(std::uint64_t x) {
+  return x <= 1 ? 1 : std::uint64_t{1} << (64 - std::countl_zero(x - 1));
+}
+
+// Number of bits needed to represent x (0 -> 0 bits).
+constexpr unsigned bit_width(std::uint64_t x) {
+  return static_cast<unsigned>(std::bit_width(x));
+}
+
+// Extract the `width`-bit field of `x` starting at bit `pos` (LSB = 0).
+constexpr std::uint64_t extract_bits(std::uint64_t x, unsigned pos,
+                                     unsigned width) {
+  return (x >> pos) & ((width >= 64) ? ~std::uint64_t{0}
+                                     : ((std::uint64_t{1} << width) - 1));
+}
+
+}  // namespace pint

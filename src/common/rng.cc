@@ -1,0 +1,18 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pint {
+
+double Rng::exponential(double lambda) {
+  // Inverse-CDF; uniform() returns [0,1) so 1-u is in (0,1].
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (p >= 1.0) return 0;
+  return static_cast<std::uint64_t>(
+      std::floor(std::log(1.0 - uniform()) / std::log(1.0 - p)));
+}
+
+}  // namespace pint

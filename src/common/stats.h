@@ -1,0 +1,62 @@
+// Small statistics helpers used by the benchmark harnesses and tests:
+// exact percentiles over samples, running mean/variance, and relative error.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pint {
+
+// Exact q-quantile (q in [0,1]) of a sample by sorting a copy.
+// Uses the nearest-rank definition; q=0.5 is the median.
+template <typename T>
+T percentile(std::vector<T> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double raw = std::ceil(q * static_cast<double>(values.size())) - 1.0;
+  const double clamped =
+      std::clamp(raw, 0.0, static_cast<double>(values.size()) - 1.0);
+  return values[static_cast<std::size_t>(clamped)];
+}
+
+template <typename T>
+double mean(const std::vector<T>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const T& v : values) sum += static_cast<double>(v);
+  return sum / static_cast<double>(values.size());
+}
+
+// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+inline double relative_error(double estimate, double truth) {
+  if (truth == 0.0) return estimate == 0.0 ? 0.0 : 1.0;
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+}  // namespace pint

@@ -1,0 +1,59 @@
+// Fixed-point representation for programmable-switch arithmetic
+// (paper Appendix C).
+//
+// Switch pipelines have no floating point; a real-valued variable in [0, R]
+// is stored as an m-bit integer r representing R * r * 2^-m. This class
+// models that representation so the HPCC utilization arithmetic (Appendix B)
+// can be computed exactly the way a Tofino-class switch would.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace pint {
+
+class FixedPoint {
+ public:
+  // `scale` R (often a power of two), `bits` m <= 32.
+  FixedPoint(double scale, unsigned bits) : scale_(scale), bits_(bits) {
+    if (bits == 0 || bits > 32) throw std::invalid_argument("bits in [1,32]");
+    if (scale <= 0.0) throw std::invalid_argument("scale > 0");
+  }
+
+  std::uint32_t from_real(double x) const {
+    if (x < 0.0) x = 0.0;
+    if (x > scale_) x = scale_;
+    const double r = x / scale_ * static_cast<double>(1ull << bits_);
+    const auto max_r = static_cast<std::uint32_t>((1ull << bits_) - 1);
+    const auto v = static_cast<std::uint64_t>(r);
+    return v > max_r ? max_r : static_cast<std::uint32_t>(v);
+  }
+
+  double to_real(std::uint32_t r) const {
+    return scale_ * static_cast<double>(r) /
+           static_cast<double>(1ull << bits_);
+  }
+
+  // Integer addition keeps the scale; saturates at the top of the range.
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const {
+    const std::uint64_t s = std::uint64_t{a} + b;
+    const auto max_r = static_cast<std::uint64_t>((1ull << bits_) - 1);
+    return static_cast<std::uint32_t>(s > max_r ? max_r : s);
+  }
+
+  std::uint32_t sub_saturating(std::uint32_t a, std::uint32_t b) const {
+    return a > b ? a - b : 0;
+  }
+
+  double scale() const { return scale_; }
+  unsigned bits() const { return bits_; }
+  double resolution() const {
+    return scale_ / static_cast<double>(1ull << bits_);
+  }
+
+ private:
+  double scale_;
+  unsigned bits_;
+};
+
+}  // namespace pint

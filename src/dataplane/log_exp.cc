@@ -1,0 +1,65 @@
+#include "dataplane/log_exp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace pint {
+
+LogExpTables::LogExpTables(unsigned q) : q_(q) {
+  if (q == 0 || q > 16) throw std::invalid_argument("q in [1,16]");
+  const std::size_t n = std::size_t{1} << q;
+  log_table_.resize(n);
+  exp_table_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    log_table_[i] =
+        std::log2(1.0 + static_cast<double>(i) / static_cast<double>(n));
+    exp_table_[i] =
+        std::exp2(static_cast<double>(i) / static_cast<double>(n));
+  }
+}
+
+double LogExpTables::log2(std::uint64_t x) const {
+  if (x == 0) throw std::invalid_argument("log2(0)");
+  const unsigned ell = msb_index(x);  // x = 2^ell * alpha, alpha in [1,2)
+  // Take the q bits below the leading one (padding with zeros if x is small).
+  std::uint64_t mantissa;
+  if (ell >= q_) {
+    mantissa = (x >> (ell - q_)) & low_bits_mask(q_);
+  } else {
+    mantissa = (x << (q_ - ell)) & low_bits_mask(q_);
+  }
+  return static_cast<double>(ell) + log_table_[mantissa];
+}
+
+double LogExpTables::exp2(double x) const {
+  if (x < 0.0) throw std::invalid_argument("exp2 of negative");
+  const double ip = std::floor(x);
+  const double frac = x - ip;
+  const std::size_t n = exp_table_.size();
+  const auto idx = static_cast<std::size_t>(frac * static_cast<double>(n));
+  const double mant = exp_table_[idx < n ? idx : n - 1];
+  return std::ldexp(mant, static_cast<int>(ip));
+}
+
+double LogExpTables::multiply(std::uint64_t x, std::uint64_t y) const {
+  if (x == 0 || y == 0) return 0.0;
+  return exp2(log2(x) + log2(y));
+}
+
+double LogExpTables::divide(std::uint64_t x, std::uint64_t y) const {
+  if (y == 0) throw std::invalid_argument("divide by zero");
+  if (x == 0) return 0.0;
+  const double lx = log2(x), ly = log2(y);
+  if (lx < ly) {
+    // Switches keep quotients < 1 by exponentiating the negated difference
+    // and taking the reciprocal via one more table step; numerically this is
+    // 2^-(ly - lx).
+    return 1.0 / exp2(ly - lx);
+  }
+  return exp2(lx - ly);
+}
+
+}  // namespace pint

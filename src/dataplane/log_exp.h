@@ -1,0 +1,46 @@
+// Logarithm / exponentiation / multiply / divide in the data plane
+// (paper Appendices B and C).
+//
+// Programmable switches cannot multiply or divide, but they can:
+//   1. find the most-significant set bit of a word with a TCAM,
+//   2. look up small (2^q entry) tables,
+//   3. add and subtract.
+// log2(x) is computed as (msb - q) + table[top q bits]; exp2 the same way in
+// reverse; multiplication and division go through log/exp:
+//   x * y = 2^(log2 x + log2 y),   x / y = 2^(log2 x - log2 y).
+// With q = 8 the end-to-end error is below 1% (validated in tests and
+// bench_dataplane_math), matching the paper's claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pint {
+
+class LogExpTables {
+ public:
+  // q = number of mantissa bits consulted; table sizes are 2^q.
+  explicit LogExpTables(unsigned q = 8);
+
+  // Approximate log2(x) for integer x >= 1, as a real (the switch would hold
+  // it in fixed point; we keep a double here and convert at the boundary —
+  // the lookup-table quantization, which dominates the error, is modeled
+  // exactly).
+  double log2(std::uint64_t x) const;
+
+  // Approximate 2^x for real x >= 0.
+  double exp2(double x) const;
+
+  // Multiply / divide via log + exp (Appendix C).
+  double multiply(std::uint64_t x, std::uint64_t y) const;
+  double divide(std::uint64_t x, std::uint64_t y) const;
+
+  unsigned q() const { return q_; }
+
+ private:
+  unsigned q_;
+  std::vector<double> log_table_;  // log2(1 + i/2^q) for i in [0, 2^q)
+  std::vector<double> exp_table_;  // 2^(i/2^q) for i in [0, 2^q)
+};
+
+}  // namespace pint

@@ -1,0 +1,68 @@
+#include "dataplane/pipeline.h"
+
+namespace pint {
+
+PipelineLayout SwitchPipeline::layout(
+    const std::vector<StagePlan>& plans) const {
+  size_t depth = 0;
+  for (const StagePlan& p : plans) depth = std::max(depth, p.depth());
+  if (depth > num_stages_) {
+    throw std::runtime_error("query mix needs " + std::to_string(depth) +
+                             " stages; pipeline has " +
+                             std::to_string(num_stages_));
+  }
+  PipelineLayout out;
+  out.stages.resize(depth);
+  for (size_t s = 0; s < depth; ++s) {
+    for (const StagePlan& p : plans) {
+      if (s < p.depth()) {
+        out.stages[s].push_back(p.query_name + ": " + p.stage_ops[s]);
+      }
+    }
+    if (out.stages[s].size() > ops_per_stage_) {
+      throw std::runtime_error("stage " + std::to_string(s) + " needs " +
+                               std::to_string(out.stages[s].size()) +
+                               " ops; hardware has " +
+                               std::to_string(ops_per_stage_));
+    }
+  }
+  return out;
+}
+
+bool SwitchPipeline::fits(const std::vector<StagePlan>& plans) const {
+  try {
+    layout(plans);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+StagePlan SwitchPipeline::path_tracing_plan() {
+  // Section 5: "four pipeline stages. The first chooses a layer, another
+  // computes g, the third hashes the switch ID ... and the last writes the
+  // digest."
+  return {"path_tracing",
+          {"choose layer", "compute g", "hash switch ID", "write digest"}};
+}
+
+StagePlan SwitchPipeline::latency_quantile_plan() {
+  // Section 5: compute latency; compress; compute g; overwrite value.
+  return {"latency_quantile",
+          {"compute latency", "compress value", "compute g", "write digest"}};
+}
+
+StagePlan SwitchPipeline::hpcc_plan() {
+  // Section 5 / Fig. 6: six stages of utilization arithmetic, then value
+  // approximation, then the digest write.
+  return {"hpcc",
+          {"hpcc arithmetic 1", "hpcc arithmetic 2", "hpcc arithmetic 3",
+           "hpcc arithmetic 4", "hpcc arithmetic 5", "hpcc arithmetic 6",
+           "compress value", "write digest"}};
+}
+
+StagePlan SwitchPipeline::query_selection_plan() {
+  return {"query_selection", {"choose query subset"}};
+}
+
+}  // namespace pint

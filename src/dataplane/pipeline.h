@@ -1,0 +1,67 @@
+// Switch pipeline-stage accounting (paper Section 5, Fig. 6).
+//
+// Programmable switches execute a packet program as a fixed sequence of
+// match-action stages. Each PINT query consumes stages (e.g. path tracing:
+// choose layer → compute g → hash switch ID → write digest). Queries are
+// mutually independent, so their per-stage operations can be *parallelized*:
+// the pipeline depth is the maximum query depth, not the sum, as long as the
+// per-stage operation count fits the hardware.
+//
+// This module checks that a query mix fits a pipeline, reproducing the
+// paper's claim that path tracing + latency + HPCC fit the same 8 stages
+// HPCC alone needs.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pint {
+
+// One query's use of the pipeline: a sequence of named operations, one per
+// stage, executed in order.
+struct StagePlan {
+  std::string query_name;
+  std::vector<std::string> stage_ops;  // stage_ops[i] runs in stage i
+  size_t depth() const { return stage_ops.size(); }
+};
+
+struct PipelineLayout {
+  // layout[stage] = list of "query: op" strings co-resident in that stage.
+  std::vector<std::vector<std::string>> stages;
+  size_t depth() const { return stages.size(); }
+};
+
+class SwitchPipeline {
+ public:
+  // `num_stages`: hardware stage count (Tofino-class: 12; the paper's Fig. 6
+  // shows an 8-stage layout). `ops_per_stage`: concurrent ALU/hash units.
+  SwitchPipeline(size_t num_stages, size_t ops_per_stage)
+      : num_stages_(num_stages), ops_per_stage_(ops_per_stage) {
+    if (num_stages == 0 || ops_per_stage == 0)
+      throw std::invalid_argument("pipeline dimensions must be positive");
+  }
+
+  // Lays out the plans in parallel (stage i of every plan shares stage i of
+  // the hardware). Returns the layout; throws if the mix does not fit.
+  PipelineLayout layout(const std::vector<StagePlan>& plans) const;
+
+  // True iff the mix fits without throwing.
+  bool fits(const std::vector<StagePlan>& plans) const;
+
+  size_t num_stages() const { return num_stages_; }
+  size_t ops_per_stage() const { return ops_per_stage_; }
+
+  // Canned plans reproducing Fig. 6 and Section 5's stage counts.
+  static StagePlan path_tracing_plan();     // 4 stages
+  static StagePlan latency_quantile_plan(); // 4 stages
+  static StagePlan hpcc_plan();             // 8 stages (6 arithmetic + 2)
+  static StagePlan query_selection_plan();  // 1 stage (choose query subset)
+
+ private:
+  size_t num_stages_;
+  size_t ops_per_stage_;
+};
+
+}  // namespace pint

@@ -1,0 +1,43 @@
+#include "dataplane/query_compiler.h"
+
+namespace pint {
+
+StagePlan plan_for_query(const Query& query) {
+  StagePlan plan;
+  switch (query.aggregation) {
+    case AggregationType::kStaticPerFlow:
+      plan = SwitchPipeline::path_tracing_plan();
+      break;
+    case AggregationType::kDynamicPerFlow:
+      plan = SwitchPipeline::latency_quantile_plan();
+      break;
+    case AggregationType::kPerPacket:
+      // The evaluated per-packet query is the HPCC utilization pipeline.
+      plan = SwitchPipeline::hpcc_plan();
+      break;
+  }
+  plan.query_name = query.name;
+  return plan;
+}
+
+CompiledLayout compile_queries(const std::vector<Query>& queries,
+                               const SwitchPipeline& hardware) {
+  std::vector<StagePlan> plans;
+  plans.reserve(queries.size() + 1);
+  for (const Query& q : queries) plans.push_back(plan_for_query(q));
+  if (queries.size() > 1) {
+    // All switches must agree on the per-packet query subset; the selection
+    // hash runs in parallel with the other queries' first stage (Section 5).
+    plans.push_back(SwitchPipeline::query_selection_plan());
+  }
+  CompiledLayout out;
+  out.stages_available = hardware.num_stages();
+  out.fits = hardware.fits(plans);
+  if (out.fits) {
+    out.layout = hardware.layout(plans);
+    out.stages_used = out.layout.depth();
+  }
+  return out;
+}
+
+}  // namespace pint

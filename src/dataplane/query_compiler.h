@@ -1,0 +1,33 @@
+// Query-to-pipeline compilation (paper Section 5 + Fig. 6, automated).
+//
+// Maps a PINT query mix onto switch pipeline stages: each aggregation type
+// has a canonical stage plan, the Query Engine's subset selection occupies
+// one stage (computed concurrently with the early HPCC arithmetic, per the
+// paper), and independent queries parallelize. The compiler verifies the
+// mix fits the hardware and emits the layout — the programmatic version of
+// the paper's hand-drawn Fig. 6.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "pint/query.h"
+
+namespace pint {
+
+struct CompiledLayout {
+  PipelineLayout layout;
+  std::size_t stages_used = 0;
+  std::size_t stages_available = 0;
+  bool fits = false;
+};
+
+// Stage plan for one query, named after it.
+StagePlan plan_for_query(const Query& query);
+
+// Compile a query mix for the given hardware; multi-query mixes add the
+// query-subset-selection stage automatically.
+CompiledLayout compile_queries(const std::vector<Query>& queries,
+                               const SwitchPipeline& hardware);
+
+}  // namespace pint

@@ -1,0 +1,112 @@
+// Fast per-packet encoder selection via pseudo-random bit vectors
+// (paper Section 4.2, "Reducing the Decoding Complexity").
+//
+// Instead of evaluating g(packet, i) for every hop i (O(k) per packet), both
+// the switches and the decoder derive t = log2(1/p) pseudo-random k-bit
+// vectors from the packet id and AND them together. Bit i of the result is
+// set with probability 2^-t = p, and the set-bit positions are exactly the
+// hops that act on the packet. The decoder recovers all acting hops in
+// O(log k + #set bits) word operations.
+//
+// Requires p to be a (power of two)^-1; the paper notes this gives at worst a
+// sqrt(2)-factor approximation of an arbitrary p, which the multi-layer
+// analysis absorbs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+// A k-bit vector, k <= 256, stored in four machine words (the paper assumes
+// k fits in O(1) words, e.g. k <= 256).
+class HopBitVector {
+ public:
+  static constexpr unsigned kMaxBits = 256;
+
+  HopBitVector() = default;
+
+  bool test(unsigned i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  void set_all() { words_.fill(~std::uint64_t{0}); }
+
+  void and_with(const std::array<std::uint64_t, 4>& other) {
+    for (unsigned w = 0; w < 4; ++w) words_[w] &= other[w];
+  }
+
+  // Positions of set bits among the low `k` bits, ascending.
+  std::vector<unsigned> set_bits(unsigned k) const {
+    std::vector<unsigned> out;
+    for (unsigned w = 0; w < 4 && w * 64 < k; ++w) {
+      std::uint64_t word = words_[w];
+      if (k - w * 64 < 64) word &= low_bits_mask(k - w * 64);
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+        out.push_back(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+
+  unsigned count(unsigned k) const {
+    unsigned total = 0;
+    for (unsigned w = 0; w < 4 && w * 64 < k; ++w) {
+      std::uint64_t word = words_[w];
+      if (k - w * 64 < 64) word &= low_bits_mask(k - w * 64);
+      total += popcount(word);
+    }
+    return total;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> words_{};
+};
+
+// Derives, for a packet, the k-bit selection vector in which each bit is set
+// independently with probability 2^-log2_inv_p.
+class BitVectorSelector {
+ public:
+  BitVectorSelector(const GlobalHash& hash, unsigned log2_inv_p)
+      : hash_(hash), rounds_(log2_inv_p) {}
+
+  // Probability that any given bit is set: 2^-rounds.
+  double probability() const {
+    return 1.0 / static_cast<double>(std::uint64_t{1} << rounds_);
+  }
+
+  HopBitVector select(PacketId packet) const {
+    HopBitVector v;
+    v.set_all();
+    for (unsigned r = 0; r < rounds_; ++r) {
+      std::array<std::uint64_t, 4> words;
+      for (unsigned w = 0; w < 4; ++w) {
+        words[w] = hash_.bits2(packet, (std::uint64_t{r} << 32) | w);
+      }
+      v.and_with(words);
+    }
+    return v;
+  }
+
+  // Switch-side check: does hop `i` (0-based) act on this packet? A switch
+  // only needs its own bit, computable in O(rounds) operations.
+  bool acts(PacketId packet, unsigned i) const {
+    const unsigned w = i >> 6, b = i & 63;
+    for (unsigned r = 0; r < rounds_; ++r) {
+      const std::uint64_t word =
+          hash_.bits2(packet, (std::uint64_t{r} << 32) | w);
+      if (((word >> b) & 1) == 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  GlobalHash hash_;
+  unsigned rounds_;
+};
+
+}  // namespace pint

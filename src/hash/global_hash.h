@@ -1,0 +1,119 @@
+// Global hash functions (paper Section 4.1).
+//
+// PINT coordinates switches with each other and with the Inference Module
+// without exchanging any bits: every probabilistic decision is a
+// deterministic function of (packet id, hop number) or (value, packet id)
+// under a hash function known network-wide. This file provides those
+// families.
+//
+// Following footnote 5 of the paper, "hashing into [0,1]" is realized by
+// hashing into M = 64 bits and comparing against ⌊(2^M - 1) * p⌋, so switch
+// and decoder agree bit-exactly on every outcome.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pint {
+
+// Strong 64-bit mixer (splitmix64 finalizer). Stateless and cheap; the
+// avalanche quality is validated in tests/hash_test.cc.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Order-dependent combination of two hashed words.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+// A seeded member of the global hash family. All switches and the decoder
+// construct it from the same seed (distributed out-of-band by the Query
+// Engine), so their outcomes agree without communication.
+class GlobalHash {
+ public:
+  explicit GlobalHash(std::uint64_t seed) : seed_(mix64(seed ^ kDomainTag)) {}
+
+  // --- single-key variants -------------------------------------------------
+
+  // Full 64-bit hash of a packet id (or any 64-bit key).
+  std::uint64_t bits(std::uint64_t key) const { return mix64(key ^ seed_); }
+
+  // Hash mapped to the unit interval [0, 1). Only used where a real number
+  // is convenient (plots, tests); all protocol decisions use `below()`.
+  double unit(std::uint64_t key) const {
+    return static_cast<double>(bits(key) >> 11) * 0x1.0p-53;
+  }
+
+  // True iff the (discretized) hash falls below probability `p`, i.e. the
+  // event of probability p selected by this hash fires for `key`.
+  bool below(std::uint64_t key, double p) const {
+    return bits(key) <= threshold(p);
+  }
+
+  // Uniform value in [0, n).
+  std::uint64_t ranged(std::uint64_t key, std::uint64_t n) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(bits(key)) * n) >> 64);
+  }
+
+  // Low-`b` bit digest, b in [1, 64]. This is the h(value, packet) used to
+  // compress values onto small digests (Section 4.2, "hashing").
+  std::uint64_t digest(std::uint64_t key, unsigned b) const {
+    return bits(key) & low_bits_mask(b);
+  }
+
+  // --- two-key variants: g(packet, hop), h(value, packet) ------------------
+
+  std::uint64_t bits2(std::uint64_t k1, std::uint64_t k2) const {
+    return mix64(hash_combine(k1 ^ seed_, mix64(k2)));
+  }
+
+  double unit2(std::uint64_t k1, std::uint64_t k2) const {
+    return static_cast<double>(bits2(k1, k2) >> 11) * 0x1.0p-53;
+  }
+
+  bool below2(std::uint64_t k1, std::uint64_t k2, double p) const {
+    return bits2(k1, k2) <= threshold(p);
+  }
+
+  std::uint64_t digest2(std::uint64_t k1, std::uint64_t k2, unsigned b) const {
+    return bits2(k1, k2) & low_bits_mask(b);
+  }
+
+  std::uint64_t ranged2(std::uint64_t k1, std::uint64_t k2,
+                        std::uint64_t n) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(bits2(k1, k2)) * n) >> 64);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Derive an independent family member (e.g. one per query, per layer, or
+  // per instantiation) deterministically from this one.
+  GlobalHash derive(std::uint64_t tag) const {
+    return GlobalHash(hash_combine(seed_, mix64(tag ^ kDeriveTag)));
+  }
+
+ private:
+  // ⌊(2^64 - 1) * p⌋ clamped to [0, 2^64-1]; footnote 5 discretization.
+  static std::uint64_t threshold(double p) {
+    if (p <= 0.0) return 0;  // only key hashing to exactly 0 passes
+    if (p >= 1.0) return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(
+        p * 18446744073709551615.0);  // (2^64 - 1) as double
+  }
+
+  static constexpr std::uint64_t kDomainTag = 0x50494E5448415348ULL;  // "PINTHASH"
+  static constexpr std::uint64_t kDeriveTag = 0xDE121BEDFACADE00ULL;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace pint

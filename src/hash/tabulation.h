@@ -1,0 +1,43 @@
+// Tabulation hashing (Zobrist / Carter-Wegman style).
+//
+// Simple tabulation is 3-wise independent and behaves like a fully random
+// function for many streaming applications. We provide it as a second,
+// structurally different member of the global hash family: tests run PINT's
+// algorithms under both mix64-based and tabulation-based hashing to check
+// that results do not depend on incidental structure of one family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pint {
+
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed) {
+    Rng rng(seed ^ 0x7AB17AB17AB17AB1ULL);
+    for (auto& table : tables_) {
+      for (auto& entry : table) entry = rng.next();
+    }
+  }
+
+  std::uint64_t operator()(std::uint64_t key) const {
+    std::uint64_t h = 0;
+    for (unsigned i = 0; i < kChunks; ++i) {
+      h ^= tables_[i][(key >> (8 * i)) & 0xFF];
+    }
+    return h;
+  }
+
+  double unit(std::uint64_t key) const {
+    return static_cast<double>((*this)(key) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr unsigned kChunks = 8;  // 8 bytes of key
+  std::array<std::array<std::uint64_t, 256>, kChunks> tables_{};
+};
+
+}  // namespace pint

@@ -1,0 +1,61 @@
+// Flow identification (paper Section 3.3: the query's flow definition).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hash/global_hash.h"
+
+namespace pint {
+
+// Classic 5-tuple. PINT queries may aggregate by any subset (the flow
+// definition); we provide the common ones.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+
+  std::uint64_t key() const {
+    std::uint64_t a = (std::uint64_t{src_ip} << 32) | dst_ip;
+    std::uint64_t b = (std::uint64_t{src_port} << 32) |
+                      (std::uint64_t{dst_port} << 16) | protocol;
+    return hash_combine(mix64(a), mix64(b));
+  }
+};
+
+enum class FlowDefinition {
+  kFiveTuple,
+  kSourceIp,
+  kDestinationIp,
+  kIpPair,
+};
+
+// Flow key under a given definition; keys from different definitions are
+// domain-separated so they never collide in shared tables.
+inline std::uint64_t flow_key(const FiveTuple& t, FlowDefinition def) {
+  switch (def) {
+    case FlowDefinition::kFiveTuple:
+      return t.key();
+    case FlowDefinition::kSourceIp:
+      return mix64(0xA100000000000000ULL | t.src_ip);
+    case FlowDefinition::kDestinationIp:
+      return mix64(0xA200000000000000ULL | t.dst_ip);
+    case FlowDefinition::kIpPair:
+      return mix64(0xA300000000000000ULL ^
+                   ((std::uint64_t{t.src_ip} << 32) | t.dst_ip));
+  }
+  return 0;
+}
+
+}  // namespace pint
+
+template <>
+struct std::hash<pint::FiveTuple> {
+  std::size_t operator()(const pint::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.key());
+  }
+};

@@ -1,0 +1,61 @@
+// Telemetry header models and overhead arithmetic (paper Section 2).
+//
+// Classic INT: an 8-byte instruction header plus one 4-byte word per
+// requested metadata value per hop — overhead grows linearly in both.
+// PINT: a fixed-width digest whose size is the user's global bit budget,
+// independent of path length.
+//
+// Also models the 64b/66b serialization cost (IEEE 802.3) that Section 2
+// uses to quantify per-switch processing latency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pint {
+
+// Metadata values a switch can export (paper Table 1).
+enum class IntMetadata : std::uint8_t {
+  kSwitchId,
+  kIngressPort,
+  kIngressTimestamp,
+  kEgressPort,
+  kHopLatency,
+  kEgressTxUtilization,
+  kQueueOccupancy,
+  kQueueCongestionStatus,
+};
+
+struct IntHeaderSpec {
+  unsigned values_per_hop = 1;  // how many Table-1 values each hop appends
+  static constexpr Bytes kInstructionHeaderBytes = 8;
+  static constexpr Bytes kBytesPerValue = 4;
+
+  // Total on-wire overhead for a path of `hops` hops (Section 2: 5 hops and
+  // one value -> 28B; five values -> 108B).
+  Bytes overhead_bytes(unsigned hops) const {
+    return kInstructionHeaderBytes +
+           static_cast<Bytes>(values_per_hop) * kBytesPerValue * hops;
+  }
+};
+
+struct PintHeaderSpec {
+  unsigned global_bit_budget = 16;
+
+  // PINT adds no instruction header (Section 3.4); the digest is padded to
+  // whole bytes on the wire.
+  Bytes overhead_bytes(unsigned /*hops*/ = 0) const {
+    return (global_bit_budget + 7) / 8;
+  }
+};
+
+// Serialization-time increase for `extra` additional bytes on a link of
+// `bits_per_second`, including the 64b/66b line encoding overhead
+// (Section 2, item 2: 48B at 10G ~ 76ns less queueing effects).
+inline double serialization_delay_ns(Bytes extra, double bits_per_second) {
+  const double line_bits = static_cast<double>(extra) * 8.0 * (66.0 / 64.0);
+  return line_bits / bits_per_second * 1e9;
+}
+
+}  // namespace pint

@@ -1,0 +1,32 @@
+// Telemetry-facing packet abstraction.
+//
+// This is the packet as PINT's encoding/recording modules see it: a unique
+// id (Section 4.1 derives it from IPID/TCP fields; our simulator assigns one
+// explicitly), the flow it belongs to, its wire size, and the digest lanes it
+// carries. The discrete-event simulator wraps this with queueing metadata.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "packet/flow.h"
+
+namespace pint {
+
+struct Packet {
+  PacketId id = 0;
+  FiveTuple tuple;
+  Bytes payload_bytes = 1000;
+  std::uint8_t ttl = 64;
+
+  // PINT digest lanes (one per running query instance); total width is the
+  // global bit budget. Lanes are kept separate for clarity; the wire format
+  // would concatenate them.
+  std::vector<Digest> digests;
+
+  // Per-packet bookkeeping the sink uses (not on the wire).
+  HopIndex hops_traversed = 0;
+};
+
+}  // namespace pint

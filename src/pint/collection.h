@@ -1,0 +1,66 @@
+// Sink-to-collector telemetry reporting (paper Section 2, item 3 and
+// Section 3.4).
+//
+// INT sinks forward variable-size per-hop stacks to the analysis cluster —
+// report size grows with path length, and fixed-header processors like
+// Confluo [43] cannot batch them efficiently. PINT's sink forwards only the
+// fixed-width digest plus a small fixed header, so collection traffic is
+// constant per packet and smaller. This module models both report formats
+// and accounts the collection traffic each generates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "packet/headers.h"
+
+namespace pint {
+
+struct CollectorReportSpec {
+  // Fixed report envelope (flow key, timestamps, sink id...).
+  Bytes envelope_bytes = 16;
+};
+
+// Collection bytes for one packet's telemetry, INT vs PINT.
+inline Bytes int_report_bytes(const CollectorReportSpec& spec, unsigned hops,
+                              unsigned values_per_hop) {
+  const IntHeaderSpec int_spec{values_per_hop};
+  return spec.envelope_bytes + int_spec.overhead_bytes(hops);
+}
+
+inline Bytes pint_report_bytes(const CollectorReportSpec& spec,
+                               unsigned global_bit_budget) {
+  const PintHeaderSpec pint_spec{global_bit_budget};
+  return spec.envelope_bytes + pint_spec.overhead_bytes();
+}
+
+// Running accountant for a deployment's collection traffic.
+class CollectionAccountant {
+ public:
+  explicit CollectionAccountant(CollectorReportSpec spec = {}) : spec_(spec) {}
+
+  void record_int(unsigned hops, unsigned values_per_hop) {
+    ++packets_;
+    bytes_ += int_report_bytes(spec_, hops, values_per_hop);
+  }
+
+  void record_pint(unsigned global_bit_budget) {
+    ++packets_;
+    bytes_ += pint_report_bytes(spec_, global_bit_budget);
+  }
+
+  std::uint64_t packets() const { return packets_; }
+  Bytes bytes() const { return bytes_; }
+  double bytes_per_packet() const {
+    return packets_ == 0 ? 0.0
+                         : static_cast<double>(bytes_) /
+                               static_cast<double>(packets_);
+  }
+
+ private:
+  CollectorReportSpec spec_;
+  std::uint64_t packets_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace pint

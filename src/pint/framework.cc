@@ -1,0 +1,177 @@
+#include "pint/framework.h"
+
+#include <stdexcept>
+
+namespace pint {
+
+PintFramework::PintFramework(FrameworkConfig config,
+                             std::vector<Query> queries,
+                             std::vector<std::uint64_t> switch_ids)
+    : config_(config), switch_ids_(std::move(switch_ids)) {
+  engine_ = std::make_unique<QueryEngine>(queries, config.global_bit_budget,
+                                          config.seed);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    unsigned lanes = 1;
+    switch (q.aggregation) {
+      case AggregationType::kStaticPerFlow: {
+        if (path_query_.has_value())
+          throw std::invalid_argument("one static query supported");
+        PathTracingConfig pc = config_.path;
+        // Respect the query's bit budget: instances * bits must fit it.
+        if (pc.bits * pc.instances != q.bit_budget) {
+          pc.bits = q.bit_budget / pc.instances;
+          if (pc.bits == 0)
+            throw std::invalid_argument("bit budget below instance count");
+        }
+        path_query_.emplace(pc, config_.seed ^ 0x57A71C);
+        lanes = pc.instances;
+        break;
+      }
+      case AggregationType::kDynamicPerFlow: {
+        if (latency_query_.has_value())
+          throw std::invalid_argument("one dynamic query supported");
+        DynamicAggregationConfig dc = config_.latency;
+        dc.bits = q.bit_budget;
+        latency_query_.emplace(dc, config_.seed ^ 0xD14A);
+        break;
+      }
+      case AggregationType::kPerPacket: {
+        if (perpacket_query_.has_value())
+          throw std::invalid_argument("one per-packet query supported");
+        PerPacketConfig pp = config_.perpacket;
+        pp.bits = q.bit_budget;
+        perpacket_query_.emplace(pp, config_.seed ^ 0xCC);
+        break;
+      }
+    }
+    bindings_.push_back(QueryBinding{q, qi, lanes});
+  }
+}
+
+std::size_t PintFramework::lanes_for_set(const QuerySet& set) const {
+  std::size_t lanes = 0;
+  for (std::size_t qi : set.query_indices) lanes += bindings_[qi].lanes;
+  return lanes;
+}
+
+void PintFramework::at_switch(Packet& packet, HopIndex i,
+                              const SwitchView& view) {
+  const QuerySet& set = engine_->set_for_packet(packet.id);
+  const std::size_t lanes_needed = lanes_for_set(set);
+  if (packet.digests.size() != lanes_needed) {
+    // First hop (PINT Source) sizes the digest; all later hops agree because
+    // the set is a function of the packet id alone.
+    packet.digests.assign(lanes_needed, 0);
+  }
+  std::size_t lane = 0;
+  for (std::size_t qi : set.query_indices) {
+    const QueryBinding& b = bindings_[qi];
+    switch (b.query.aggregation) {
+      case AggregationType::kStaticPerFlow: {
+        std::vector<Digest> sub(packet.digests.begin() + lane,
+                                packet.digests.begin() + lane + b.lanes);
+        path_query_->encode(packet.id, i, view.id, sub);
+        std::copy(sub.begin(), sub.end(), packet.digests.begin() + lane);
+        break;
+      }
+      case AggregationType::kDynamicPerFlow:
+        packet.digests[lane] = latency_query_->encode_step(
+            packet.id, i, packet.digests[lane], view.hop_latency_ns);
+        break;
+      case AggregationType::kPerPacket:
+        packet.digests[lane] = perpacket_query_->encode_step(
+            packet.id, packet.digests[lane], view.link_utilization);
+        break;
+    }
+    lane += b.lanes;
+  }
+  ++packet.hops_traversed;
+}
+
+SinkReport PintFramework::at_sink(const Packet& packet, unsigned k) {
+  SinkReport report;
+  const QuerySet& set = engine_->set_for_packet(packet.id);
+  if (packet.digests.size() != lanes_for_set(set)) return report;  // no digest
+  const std::uint64_t fkey = flow_key(packet.tuple, FlowDefinition::kFiveTuple);
+  flow_hops_[fkey] = k;
+  std::size_t lane = 0;
+  for (std::size_t qi : set.query_indices) {
+    const QueryBinding& b = bindings_[qi];
+    switch (b.query.aggregation) {
+      case AggregationType::kStaticPerFlow: {
+        auto it = path_decoders_.find(fkey);
+        if (it == path_decoders_.end()) {
+          it = path_decoders_
+                   .emplace(fkey, path_query_->make_decoder(k, switch_ids_))
+                   .first;
+        }
+        if (!it->second.complete()) {
+          std::span<const Digest> lanes(packet.digests.data() + lane,
+                                        b.lanes);
+          it->second.add_packet(packet.id, lanes);
+        }
+        report.path_digest_recorded = true;
+        break;
+      }
+      case AggregationType::kDynamicPerFlow: {
+        auto it = latency_recorders_.find(fkey);
+        if (it == latency_recorders_.end()) {
+          it = latency_recorders_
+                   .emplace(fkey,
+                            FlowLatencyRecorder(
+                                k, b.query.space_budget_bytes,
+                                config_.seed ^ fkey))
+                   .first;
+        }
+        it->second.add(
+            latency_query_->decode(packet.id, packet.digests[lane], k));
+        report.latency_sample_recorded = true;
+        break;
+      }
+      case AggregationType::kPerPacket:
+        report.bottleneck_utilization =
+            perpacket_query_->decode(packet.digests[lane]);
+        break;
+    }
+    lane += b.lanes;
+  }
+  return report;
+}
+
+std::optional<std::vector<SwitchId>> PintFramework::flow_path(
+    std::uint64_t fkey) const {
+  auto it = path_decoders_.find(fkey);
+  if (it == path_decoders_.end() || !it->second.complete())
+    return std::nullopt;
+  std::vector<SwitchId> out;
+  for (std::uint64_t v : it->second.path())
+    out.push_back(static_cast<SwitchId>(v));
+  return out;
+}
+
+double PintFramework::path_progress(std::uint64_t fkey) const {
+  auto it = path_decoders_.find(fkey);
+  if (it == path_decoders_.end()) return 0.0;
+  auto hops = flow_hops_.find(fkey);
+  const unsigned k = hops == flow_hops_.end() ? 0 : hops->second;
+  if (k == 0) return 0.0;
+  return static_cast<double>(it->second.resolved_count()) / k;
+}
+
+std::optional<double> PintFramework::latency_quantile(std::uint64_t fkey,
+                                                      HopIndex hop,
+                                                      double phi) const {
+  auto it = latency_recorders_.find(fkey);
+  if (it == latency_recorders_.end()) return std::nullopt;
+  return it->second.quantile(hop, phi);
+}
+
+std::vector<std::uint64_t> PintFramework::latency_frequent_values(
+    std::uint64_t fkey, HopIndex hop, double theta) const {
+  auto it = latency_recorders_.find(fkey);
+  if (it == latency_recorders_.end()) return {};
+  return it->second.frequent_values(hop, theta);
+}
+
+}  // namespace pint

@@ -1,0 +1,115 @@
+// PINT end-to-end framework facade (paper Fig. 3).
+//
+// Wires the Query Engine, the per-query encoding logic (switch side), and
+// the Recording/Inference modules (sink side) into one object. The examples
+// and the combined experiment (Fig. 11) use this API; individual modules
+// remain usable standalone.
+//
+// Wire model: a packet's digest lanes hold, for each query in its selected
+// query set (in set order), that query's lanes (path tracing may use several
+// instances). The sink recomputes the set from the packet id, so no lane
+// metadata travels on the wire — exactly how PINT stays header-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/hashed_decoder.h"
+#include "common/types.h"
+#include "packet/packet.h"
+#include "pint/dynamic_aggregation.h"
+#include "pint/perpacket_aggregation.h"
+#include "pint/query.h"
+#include "pint/query_engine.h"
+#include "pint/static_aggregation.h"
+
+namespace pint {
+
+// What a switch tells PINT about itself when a packet passes (a subset of
+// Table 1, enough for the three evaluated use cases).
+struct SwitchView {
+  SwitchId id = 0;
+  double hop_latency_ns = 0.0;
+  double link_utilization = 0.0;  // of the packet's egress port
+  double queue_occupancy = 0.0;
+};
+
+// Everything the sink learned from one packet.
+struct SinkReport {
+  std::optional<double> bottleneck_utilization;  // per-packet query, if ran
+  bool latency_sample_recorded = false;
+  bool path_digest_recorded = false;
+};
+
+struct FrameworkConfig {
+  unsigned global_bit_budget = 16;
+  std::uint64_t seed = 0x50494E54;  // "PINT"
+
+  // Per-use-case knobs (active only if the matching query is registered).
+  PathTracingConfig path;
+  DynamicAggregationConfig latency;
+  PerPacketConfig perpacket;
+};
+
+class PintFramework {
+ public:
+  // `queries` entries must use distinct names; aggregation type selects the
+  // module. `switch_ids` is the universe for path decoding.
+  PintFramework(FrameworkConfig config, std::vector<Query> queries,
+                std::vector<std::uint64_t> switch_ids);
+
+  // --- switch side ---------------------------------------------------------
+  // Called by every switch in path order; `i` is the 1-based hop number.
+  void at_switch(Packet& packet, HopIndex i, const SwitchView& view);
+
+  // --- sink side -----------------------------------------------------------
+  // Extracts the digest, updates recorders, returns what was learned.
+  // `k` = the flow's path length in switches (from TTL).
+  SinkReport at_sink(const Packet& packet, unsigned k);
+
+  // --- inference -----------------------------------------------------------
+  const QueryEngine& engine() const { return *engine_; }
+
+  // Path of a flow, if fully decoded.
+  std::optional<std::vector<SwitchId>> flow_path(std::uint64_t flow_key) const;
+  // Fraction of hops resolved for a flow (0 if unseen).
+  double path_progress(std::uint64_t flow_key) const;
+
+  // Latency quantile for (flow, hop), if samples exist.
+  std::optional<double> latency_quantile(std::uint64_t flow_key, HopIndex hop,
+                                         double phi) const;
+
+  // Values appearing in at least a theta-fraction of (flow, hop)'s samples
+  // (Theorem 2); empty if the flow is unknown.
+  std::vector<std::uint64_t> latency_frequent_values(std::uint64_t flow_key,
+                                                     HopIndex hop,
+                                                     double theta) const;
+
+  std::size_t lanes_for_set(const QuerySet& set) const;
+
+ private:
+  struct QueryBinding {
+    Query query;
+    std::size_t index;  // in engine order
+    unsigned lanes;     // digest lanes this query occupies
+  };
+
+  FrameworkConfig config_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::vector<QueryBinding> bindings_;
+  std::vector<std::uint64_t> switch_ids_;
+
+  std::optional<PathTracingQuery> path_query_;
+  std::optional<DynamicAggregationQuery> latency_query_;
+  std::optional<PerPacketQuery> perpacket_query_;
+
+  // Recording module state (off-switch storage).
+  std::unordered_map<std::uint64_t, HashedPathDecoder> path_decoders_;
+  std::unordered_map<std::uint64_t, FlowLatencyRecorder> latency_recorders_;
+  std::unordered_map<std::uint64_t, unsigned> flow_hops_;
+};
+
+}  // namespace pint

@@ -1,0 +1,69 @@
+// Routing-loop detection extension (paper Appendix A.4, Algorithm 2).
+//
+// A switch that sees its own hash already in the digest may be witnessing a
+// loop. To suppress false positives, packets carry a small counter c; the
+// digest is frozen once c > 0 and a loop is reported only after T + 1
+// matches. The FP probability per packet is roughly (k-1) * 2^-b(T+1) for a
+// k-hop path, e.g. b=14, T=3 gives ~5e-13 (paper's numbers; validated in
+// bench_loop_detection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "coding/scheme.h"
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+struct LoopDetectionConfig {
+  unsigned bits = 15;   // digest width b
+  unsigned threshold = 1;  // T: matches tolerated before reporting
+};
+
+// Per-packet telemetry state for the loop-detection query.
+struct LoopDigest {
+  Digest digest = 0;
+  std::uint32_t counter = 0;
+};
+
+class LoopDetector {
+ public:
+  LoopDetector(LoopDetectionConfig config, std::uint64_t seed)
+      : config_(config),
+        g_(GlobalHash(seed).derive(0x100D)),
+        h_(GlobalHash(seed).derive(0x100E)) {}
+
+  // Algorithm 2: process packet at switch `sid`, hop `i`. Returns true if
+  // the switch reports LOOP.
+  bool process(PacketId packet, HopIndex i, SwitchId sid,
+               LoopDigest& state) const {
+    const Digest mine = h_.digest2(sid, packet, config_.bits);
+    if (state.digest == mine && state.counter <= config_.threshold) {
+      if (state.counter == config_.threshold) return true;
+      ++state.counter;
+      return false;
+    }
+    if (state.counter == 0 && baseline_writes(g_, packet, i)) {
+      state.digest = mine;
+    }
+    return false;
+  }
+
+  // Extra header bits this query consumes: b + ceil(log2(T+1)).
+  unsigned total_bits() const {
+    unsigned counter_bits = 0;
+    while ((1u << counter_bits) < config_.threshold + 1) ++counter_bits;
+    return config_.bits + counter_bits;
+  }
+
+  const LoopDetectionConfig& config() const { return config_; }
+
+ private:
+  LoopDetectionConfig config_;
+  GlobalHash g_;
+  GlobalHash h_;
+};
+
+}  // namespace pint

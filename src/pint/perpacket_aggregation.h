@@ -1,0 +1,68 @@
+// Per-packet aggregation: bottleneck statistics for congestion control
+// (paper Example #3, Sections 4.3 and 6.1).
+//
+// Instead of INT's per-hop stack, each switch folds its value into a single
+// running aggregate on the packet — for HPCC, the *maximum* link utilization
+// (the bottleneck). Values are compressed with randomized multiplicative
+// rounding so 8 bits suffice for eps = 0.025 and the systematic error
+// cancels across packets.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "approx/value_compression.h"
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+enum class PerPacketOp : std::uint8_t { kMax, kMin, kSum };
+
+struct PerPacketConfig {
+  unsigned bits = 8;
+  double eps = 0.025;       // paper: 8 bits support eps = 0.025
+  double max_value = 1e6;   // largest aggregate that must be representable
+  PerPacketOp op = PerPacketOp::kMax;
+};
+
+class PerPacketQuery {
+ public:
+  PerPacketQuery(PerPacketConfig config, std::uint64_t seed)
+      : config_(config),
+        compressor_(config.eps, config.max_value),
+        rounding_(GlobalHash(seed).derive(0xBEEF)) {}
+
+  // Switch side: fold `value` into the digest. Max/min compare in code
+  // space, which is order-preserving because the compressor is monotone.
+  Digest encode_step(PacketId packet, Digest cur, double value) const {
+    const Digest code =
+        compressor_.encode_randomized(value, rounding_, packet);
+    switch (config_.op) {
+      case PerPacketOp::kMax:
+        return std::max(cur, code);
+      case PerPacketOp::kMin:
+        // Digest starts at 0, which would always win a min; reserve 0 for
+        // "empty" by treating it as +infinity.
+        return cur == 0 ? code : std::min(cur, code);
+      case PerPacketOp::kSum:
+        // Sum cannot be folded exactly in code space; the randomized code is
+        // summed and decoded per-hop by the sink on average. (Exact sums
+        // would use Morris counting; see approx/morris.h.)
+        return cur + code;
+    }
+    return cur;
+  }
+
+  double decode(Digest digest) const { return compressor_.decode(digest); }
+
+  unsigned bits() const { return config_.bits; }
+  const PerPacketConfig& config() const { return config_; }
+
+ private:
+  PerPacketConfig config_;
+  MultiplicativeCompressor compressor_;
+  GlobalHash rounding_;
+};
+
+}  // namespace pint

@@ -1,0 +1,50 @@
+// PINT query language (paper Section 3.3).
+//
+// A query is the tuple <value type, aggregation type, bit budget,
+// optional: space budget, flow definition, frequency>. The Query Engine
+// (query_engine.h) compiles a set of queries plus a global per-packet bit
+// budget into an execution plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "packet/flow.h"
+
+namespace pint {
+
+// What value v(p, s) the switch observes (paper Section 3: any quantity
+// computable in the data plane; Table 1 lists the INT-compatible ones).
+enum class ValueType : std::uint8_t {
+  kSwitchId,
+  kHopLatency,
+  kQueueOccupancy,
+  kLinkUtilization,
+  kIngressTimestamp,
+};
+
+// Paper Section 3.1.
+enum class AggregationType : std::uint8_t {
+  kPerPacket,       // e.g. max link utilization along the path (HPCC)
+  kStaticPerFlow,   // e.g. path tracing (value fixed per (flow, switch))
+  kDynamicPerFlow,  // e.g. per-hop latency quantiles
+};
+
+struct Query {
+  std::string name;
+  ValueType value_type = ValueType::kSwitchId;
+  AggregationType aggregation = AggregationType::kStaticPerFlow;
+
+  // Per-packet bits this query needs when it runs on a packet.
+  unsigned bit_budget = 8;
+
+  // Optional per-flow storage allowed at the Recording Module (0 = default).
+  std::size_t space_budget_bytes = 0;
+
+  FlowDefinition flow_definition = FlowDefinition::kFiveTuple;
+
+  // Fraction of packets that should carry this query's digest, in (0, 1].
+  double frequency = 1.0;
+};
+
+}  // namespace pint

@@ -1,0 +1,64 @@
+// Randomized counting per-packet aggregation (paper Section 4.3,
+// "Randomized counting"; Morris [55]).
+//
+// Counting events along the path (e.g. how many hops exceeded a latency
+// threshold) exactly needs log2(k) bits; a Morris-style counter does it in
+// O(log log k + log 1/eps) bits. Each participating hop increments the
+// counter probabilistically — the coin is the global hash of
+// (packet id, hop, current counter value), so the sink can replay nothing
+// but still gets an unbiased estimate from the final exponent.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+struct RandomizedCountConfig {
+  unsigned bits = 4;   // digest bits for the exponent
+  double a = 1.5;      // Morris base: smaller = more accurate, more bits
+};
+
+class RandomizedCountQuery {
+ public:
+  RandomizedCountQuery(RandomizedCountConfig config, std::uint64_t seed)
+      : config_(config), coin_(GlobalHash(seed).derive(0xC027)) {}
+
+  // Largest count representable before the exponent saturates.
+  double max_count() const {
+    const double max_exp =
+        static_cast<double>((std::uint64_t{1} << config_.bits) - 1);
+    return (std::pow(config_.a, max_exp) - 1.0) / (config_.a - 1.0);
+  }
+
+  // Switch side: hop i increments the counter iff its event fired.
+  // Increment happens with probability a^-counter (Morris), decided by the
+  // deterministic per-(packet, hop) coin.
+  Digest encode_step(PacketId packet, HopIndex i, Digest counter,
+                     bool event) const {
+    if (!event) return counter;
+    const double p = std::pow(config_.a, -static_cast<double>(counter));
+    if (coin_.below2(packet, i, p)) {
+      const Digest max_code = low_bits_mask(config_.bits);
+      if (counter < max_code) return counter + 1;
+    }
+    return counter;
+  }
+
+  // Sink side: unbiased estimate of the number of events on the path.
+  double decode(Digest counter) const {
+    return (std::pow(config_.a, static_cast<double>(counter)) - 1.0) /
+           (config_.a - 1.0);
+  }
+
+  const RandomizedCountConfig& config() const { return config_; }
+
+ private:
+  RandomizedCountConfig config_;
+  GlobalHash coin_;
+};
+
+}  // namespace pint

@@ -1,0 +1,110 @@
+// Recording Module storage manager (paper Sections 3.3-3.4).
+//
+// The Recording Module sits off-switch and stores per-flow state (decoders,
+// sketches). Queries carry an optional per-flow space budget, and an
+// operator-level memory ceiling bounds the total. This manager owns the
+// per-flow entries, tracks an approximate byte accounting, and evicts the
+// least-recently-updated flows when over the ceiling — the paper's
+// observation that "oftentimes one mostly cares about tracing large flows"
+// makes LRU the natural policy: active (large) flows keep refreshing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pint {
+
+template <typename PerFlowState>
+class RecordingStore {
+ public:
+  using SizeFn = std::function<std::size_t(const PerFlowState&)>;
+  using Factory = std::function<PerFlowState(std::uint64_t flow_key)>;
+
+  // `capacity_bytes` = 0 disables eviction. `size_of` reports a state's
+  // approximate footprint (re-evaluated on every touch).
+  RecordingStore(std::size_t capacity_bytes, Factory factory, SizeFn size_of)
+      : capacity_(capacity_bytes), factory_(std::move(factory)),
+        size_of_(std::move(size_of)) {
+    if (!factory_ || !size_of_) throw std::invalid_argument("callbacks required");
+  }
+
+  // Get or create the state for a flow and mark it most-recently-used.
+  // May evict other flows to stay within capacity.
+  PerFlowState& touch(std::uint64_t flow_key) {
+    auto it = entries_.find(flow_key);
+    if (it == entries_.end()) {
+      lru_.push_front(flow_key);
+      Entry e{factory_(flow_key), lru_.begin(), 0};
+      e.bytes = size_of_(e.state);
+      used_ += e.bytes;
+      it = entries_.emplace(flow_key, std::move(e)).first;
+      ++created_;
+    } else {
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(flow_key);
+      it->second.lru_pos = lru_.begin();
+      // Re-account: state sizes grow as digests accumulate.
+      const std::size_t now = size_of_(it->second.state);
+      used_ += now - it->second.bytes;
+      it->second.bytes = now;
+    }
+    enforce_capacity(flow_key);
+    return it->second.state;
+  }
+
+  // Read-only lookup without LRU effect.
+  const PerFlowState* find(std::uint64_t flow_key) const {
+    auto it = entries_.find(flow_key);
+    return it == entries_.end() ? nullptr : &it->second.state;
+  }
+
+  bool erase(std::uint64_t flow_key) {
+    auto it = entries_.find(flow_key);
+    if (it == entries_.end()) return false;
+    used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    return true;
+  }
+
+  std::size_t flows() const { return entries_.size(); }
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t created() const { return created_; }
+
+ private:
+  struct Entry {
+    PerFlowState state;
+    std::list<std::uint64_t>::iterator lru_pos;
+    std::size_t bytes;
+  };
+
+  void enforce_capacity(std::uint64_t protect) {
+    if (capacity_ == 0) return;
+    while (used_ > capacity_ && !lru_.empty()) {
+      const std::uint64_t victim = lru_.back();
+      if (victim == protect) break;  // never evict the flow being touched
+      auto it = entries_.find(victim);
+      used_ -= it->second.bytes;
+      lru_.pop_back();
+      entries_.erase(it);
+      ++evictions_;
+    }
+  }
+
+  std::size_t capacity_;
+  Factory factory_;
+  SizeFn size_of_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::size_t used_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace pint

@@ -1,0 +1,53 @@
+#include "pint/wire_format.h"
+
+namespace pint {
+
+std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
+                                       std::span<const unsigned> widths) {
+  if (lanes.size() != widths.size())
+    throw std::invalid_argument("lane/width count mismatch");
+  std::size_t total_bits = 0;
+  for (unsigned w : widths) {
+    if (w == 0 || w > 64) throw std::invalid_argument("width in [1,64]");
+    total_bits += w;
+  }
+  std::vector<std::uint8_t> out((total_bits + 7) / 8, 0);
+  std::size_t bit_pos = 0;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const Digest value = lanes[i] & low_bits_mask(widths[i]);
+    if (value != lanes[i])
+      throw std::invalid_argument("lane value exceeds its width");
+    for (unsigned b = 0; b < widths[i]; ++b, ++bit_pos) {
+      if ((value >> b) & 1) {
+        out[bit_pos >> 3] |= static_cast<std::uint8_t>(1u << (bit_pos & 7));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Digest> unpack_digests(std::span<const std::uint8_t> bytes,
+                                   std::span<const unsigned> widths) {
+  std::size_t total_bits = 0;
+  for (unsigned w : widths) {
+    if (w == 0 || w > 64) throw std::invalid_argument("width in [1,64]");
+    total_bits += w;
+  }
+  if (bytes.size() < (total_bits + 7) / 8)
+    throw std::invalid_argument("buffer too small for widths");
+  std::vector<Digest> out;
+  out.reserve(widths.size());
+  std::size_t bit_pos = 0;
+  for (unsigned w : widths) {
+    Digest v = 0;
+    for (unsigned b = 0; b < w; ++b, ++bit_pos) {
+      if ((bytes[bit_pos >> 3] >> (bit_pos & 7)) & 1) {
+        v |= Digest{1} << b;
+      }
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pint

@@ -1,0 +1,34 @@
+// Wire format for PINT digests.
+//
+// On the wire, a packet carries a single bitstring whose width is the global
+// bit budget (padded to whole bytes at the link layer); internally we keep
+// one Digest per query lane. This module bit-packs lanes into bytes and back,
+// given the lane widths implied by the packet's query set — which both ends
+// derive from the packet id, so no lane metadata is transmitted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pint {
+
+// Pack lanes (lane i occupying widths[i] low bits) LSB-first into bytes.
+std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
+                                       std::span<const unsigned> widths);
+
+// Inverse of pack_digests.
+std::vector<Digest> unpack_digests(std::span<const std::uint8_t> bytes,
+                                   std::span<const unsigned> widths);
+
+// Total wire bytes for a set of lane widths.
+constexpr std::size_t wire_bytes(std::span<const unsigned> widths) {
+  std::size_t bits = 0;
+  for (unsigned w : widths) bits += w;
+  return (bits + 7) / 8;
+}
+
+}  // namespace pint

@@ -1,0 +1,58 @@
+// Minimal discrete-event engine: a time-ordered queue of closures.
+// Ties break by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pint {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void at(TimeNs t, Callback fn) {
+    events_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  void after(TimeNs delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  TimeNs now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::uint64_t processed() const { return processed_; }
+
+  // Run until the queue empties or simulated time would pass `t_end`.
+  void run_until(TimeNs t_end) {
+    while (!events_.empty() && events_.top().t <= t_end) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.t;
+      ++processed_;
+      ev.fn();
+    }
+    if (now_ < t_end) now_ = t_end;
+  }
+
+  void run() { run_until(INT64_MAX); }
+
+ private:
+  struct Event {
+    TimeNs t;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pint

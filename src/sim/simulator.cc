@@ -1,0 +1,452 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "packet/headers.h"
+
+namespace pint {
+
+namespace {
+
+// Utilization is scaled before multiplicative compression so the interesting
+// range [~1e-4, ~10] maps onto codes the 8-bit budget can express
+// (Section 4.3: 8 bits support eps = 0.025).
+constexpr double kUtilScale = 1e4;
+constexpr double kLineEncoding = 66.0 / 64.0;  // IEEE 802.3 64b/66b
+
+std::uint64_t link_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Bytes Simulator::SimPacket::wire_bytes(const SimConfig& cfg) const {
+  Bytes base = is_ack ? cfg.ack_bytes : cfg.base_header + payload;
+  switch (cfg.telemetry) {
+    case TelemetryMode::kInt: {
+      if (!is_ack || !int_stack.empty()) {
+        const IntHeaderSpec spec{cfg.int_values_per_hop};
+        base += spec.overhead_bytes(static_cast<unsigned>(int_stack.size()));
+      }
+      break;
+    }
+    case TelemetryMode::kPint:
+      base += (cfg.pint_bit_budget + 7) / 8;
+      break;
+    case TelemetryMode::kNone:
+      if (!is_ack) base += cfg.extra_overhead_bytes;
+      break;
+  }
+  return base;
+}
+
+Simulator::Simulator(const Graph& topology, std::vector<bool> is_host,
+                     SimConfig config)
+    : topology_(topology),
+      is_host_(std::move(is_host)),
+      config_(config),
+      rng_(config.seed),
+      ecmp_hash_(GlobalHash(config.seed).derive(0xEC3B)),
+      pint_freq_hash_(GlobalHash(config.seed).derive(0xF4E0)) {
+  if (is_host_.size() != topology.num_nodes())
+    throw std::invalid_argument("is_host size mismatch");
+  if (config_.telemetry == TelemetryMode::kPint && config_.pint_full) {
+    // Section 6.4 combined mix through the real framework: path tracing on
+    // every packet, latency on the rest, HPCC on a pint_frequency fraction.
+    FrameworkConfig fc;
+    fc.global_bit_budget = config_.pint_bit_budget;
+    fc.seed = config_.seed ^ 0x6040;
+    fc.path.bits = 8;
+    fc.path.instances = 1;
+    fc.path.d = 5;
+    fc.latency.max_value = 1e8;  // hop latencies in ns
+    fc.perpacket.eps = 0.025;
+    fc.perpacket.max_value = kUtilScale * 100.0;
+    Query path_q{.name = "path",
+                 .aggregation = AggregationType::kStaticPerFlow,
+                 .bit_budget = 8,
+                 .frequency = 1.0};
+    Query lat_q{.name = "latency",
+                .aggregation = AggregationType::kDynamicPerFlow,
+                .bit_budget = 8,
+                .frequency = 1.0 - config_.pint_frequency};
+    Query cc_q{.name = "hpcc",
+               .aggregation = AggregationType::kPerPacket,
+               .bit_budget = 8,
+               .frequency = config_.pint_frequency};
+    std::vector<std::uint64_t> universe;
+    for (NodeId n = 0; n < topology.num_nodes(); ++n) {
+      if (!is_host_[n]) universe.push_back(n);
+    }
+    framework_ = std::make_unique<PintFramework>(
+        fc, std::vector<Query>{path_q, lat_q, cc_q}, std::move(universe));
+  } else if (config_.telemetry == TelemetryMode::kPint) {
+    PerPacketConfig pp;
+    pp.bits = config_.pint_bit_budget;
+    pp.eps = 0.025;
+    pp.max_value = kUtilScale * 100.0;
+    pp.op = PerPacketOp::kMax;
+    pint_query_.emplace(pp, config_.seed ^ 0x1D);
+  }
+  // Materialize directed links for every edge.
+  for (NodeId u = 0; u < topology.num_nodes(); ++u) {
+    for (NodeId v : topology.neighbors(u)) {
+      DirectedLink l;
+      l.from = u;
+      l.to = v;
+      const bool host_side = is_host_[u] || is_host_[v];
+      l.bandwidth_bps =
+          host_side ? config_.host_bandwidth_bps : config_.fabric_bandwidth_bps;
+      l.prop_delay = config_.link_delay;
+      l.buffer_limit = config_.switch_buffer_bytes;
+      links_.emplace(link_key(u, v), std::move(l));
+    }
+  }
+}
+
+Simulator::DirectedLink& Simulator::link(NodeId a, NodeId b) {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) throw std::out_of_range("no such link");
+  return it->second;
+}
+
+const Simulator::DirectedLink* Simulator::find_link(NodeId a, NodeId b) const {
+  auto it = links_.find(link_key(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+double Simulator::link_utilization(NodeId from, NodeId to) const {
+  const DirectedLink* l = find_link(from, to);
+  return l == nullptr ? 0.0 : l->ewma_util;
+}
+
+std::uint64_t Simulator::framework_flow_key(std::uint32_t flow_id) const {
+  const FlowState& flow = flows_.at(flow_id);
+  FiveTuple tuple;
+  tuple.src_ip = flow.src;
+  tuple.dst_ip = flow.dst;
+  tuple.src_port = static_cast<std::uint16_t>(flow.id & 0xFFFF);
+  tuple.dst_port = static_cast<std::uint16_t>(flow.id >> 16);
+  return flow_key(tuple, FlowDefinition::kFiveTuple);
+}
+
+std::uint32_t Simulator::add_flow(NodeId src_host, NodeId dst_host,
+                                  Bytes size, TimeNs start) {
+  if (!is_host_[src_host] || !is_host_[dst_host])
+    throw std::invalid_argument("flows run host to host");
+  FlowState flow;
+  flow.id = static_cast<std::uint32_t>(flows_.size());
+  flow.src = src_host;
+  flow.dst = dst_host;
+  flow.size = size;
+  const std::uint64_t fkey = mix64(config_.seed ^ (flow.id * 0x9E3779B9ULL));
+  auto path = topology_.ecmp_path(src_host, dst_host, fkey, ecmp_hash_);
+  if (!path.has_value()) throw std::runtime_error("hosts disconnected");
+  flow.path = *path;
+  flow.reverse_path.assign(flow.path.rbegin(), flow.path.rend());
+
+  if (config_.transport == TransportKind::kHpcc) {
+    HpccParams hp = config_.hpcc;
+    hp.nic_bandwidth_bps = config_.host_bandwidth_bps;
+    flow.cc = std::make_unique<HpccSender>(hp);
+  } else {
+    TcpRenoParams tp = config_.tcp;
+    tp.mss = config_.mtu_payload;
+    flow.cc = std::make_unique<TcpRenoSender>(tp);
+  }
+
+  FlowStats st;
+  st.size = size;
+  st.start = start;
+  st.path_hops = 0;
+  for (NodeId n : flow.path) {
+    if (!is_host_[n]) ++st.path_hops;
+  }
+  stats_.push_back(st);
+
+  const std::uint32_t id = flow.id;
+  flows_.push_back(std::move(flow));
+  queue_.at(start, [this, id] {
+    try_send(flows_[id]);
+    arm_timeout(id);
+  });
+  return id;
+}
+
+void Simulator::try_send(FlowState& flow) {
+  if (flow.done) return;
+  // Pending fast retransmit goes out first, regardless of window.
+  if (flow.retransmit_seq.has_value()) {
+    const std::uint64_t seq = *flow.retransmit_seq;
+    flow.retransmit_seq.reset();
+    send_packet(flow, seq, /*retransmit=*/true);
+  }
+  const auto window = static_cast<std::uint64_t>(flow.cc->window_bytes());
+  while (flow.next_seq < static_cast<std::uint64_t>(flow.size) &&
+         flow.next_seq - flow.acked < window) {
+    send_packet(flow, flow.next_seq, /*retransmit=*/false);
+    flow.next_seq += std::min<std::uint64_t>(
+        config_.mtu_payload, static_cast<std::uint64_t>(flow.size) - flow.next_seq);
+  }
+}
+
+void Simulator::send_packet(FlowState& flow, std::uint64_t seq,
+                            bool retransmit) {
+  SimPacket pkt;
+  pkt.id = next_packet_id_++;
+  pkt.flow = flow.id;
+  pkt.seq = seq;
+  pkt.payload = std::min<Bytes>(
+      config_.mtu_payload,
+      flow.size - static_cast<Bytes>(seq));
+  pkt.path = flow.path;
+  pkt.hop = 0;
+  pkt.data_sent_time = queue_.now();
+  pkt.node_arrival = queue_.now();
+  if (config_.telemetry == TelemetryMode::kPint) {
+    if (config_.pint_full) {
+      pkt.pint_pkt.id = pkt.id;
+      pkt.pint_pkt.tuple.src_ip = flow.src;
+      pkt.pint_pkt.tuple.dst_ip = flow.dst;
+      pkt.pint_pkt.tuple.src_port =
+          static_cast<std::uint16_t>(flow.id & 0xFFFF);
+      pkt.pint_pkt.tuple.dst_port =
+          static_cast<std::uint16_t>(flow.id >> 16);
+    } else {
+      pkt.pint_has_cc =
+          pint_freq_hash_.below(pkt.id, config_.pint_frequency);
+    }
+  }
+  ++stats_[flow.id].packets_sent;
+  if (retransmit) ++stats_[flow.id].retransmits;
+  enqueue(std::move(pkt));
+}
+
+void Simulator::enqueue(SimPacket pkt) {
+  DirectedLink& l = link(pkt.path[pkt.hop], pkt.path[pkt.hop + 1]);
+  const Bytes wire = pkt.wire_bytes(config_);
+  if (l.queued_bytes + wire > l.buffer_limit) {
+    ++counters_.packets_dropped;
+    return;  // tail drop
+  }
+  l.queued_bytes += wire;
+  l.queue.push_back(std::move(pkt));
+  if (!l.transmitting) start_transmission(l);
+}
+
+void Simulator::start_transmission(DirectedLink& l) {
+  if (l.queue.empty()) {
+    l.transmitting = false;
+    return;
+  }
+  l.transmitting = true;
+  const Bytes wire = l.queue.front().wire_bytes(config_);
+  const double ser_ns =
+      static_cast<double>(wire) * 8.0 * kLineEncoding / l.bandwidth_bps * 1e9;
+  DirectedLink* lp = &l;  // stable: unordered_map never erases
+  queue_.after(static_cast<TimeNs>(ser_ns), [this, lp] {
+    SimPacket pkt = std::move(lp->queue.front());
+    lp->queue.pop_front();
+    on_dequeue(*lp, std::move(pkt));
+    start_transmission(*lp);
+  });
+}
+
+void Simulator::apply_switch_telemetry(DirectedLink& l, SimPacket& pkt,
+                                       TimeNs tau) {
+  // EWMA utilization per Appendix B:
+  //   U = (T - tau)/T * U + qlen*tau/(B*T^2) + byte/(B*T)
+  const double T = static_cast<double>(config_.hpcc.base_rtt) / 1e9;
+  const double tau_s =
+      std::min(static_cast<double>(tau) / 1e9, T);
+  const double B = l.bandwidth_bps / 8.0;  // bytes/sec
+  const double qlen = static_cast<double>(l.queued_bytes);
+  const double byte = static_cast<double>(pkt.wire_bytes(config_));
+  l.ewma_util = (T - tau_s) / T * l.ewma_util + qlen * tau_s / (B * T * T) +
+                byte / (B * T);
+
+  if (pkt.is_ack) return;
+  ++pkt.switch_hops;
+  switch (config_.telemetry) {
+    case TelemetryMode::kInt: {
+      HpccHopInfo info;
+      info.tx_bytes = l.tx_bytes;
+      info.qlen_bytes = qlen;
+      info.timestamp = queue_.now();
+      info.bandwidth_bps = l.bandwidth_bps;
+      pkt.int_stack.push_back(info);
+      counters_.telemetry_bytes_total += IntHeaderSpec::kBytesPerValue *
+                                         config_.int_values_per_hop;
+      break;
+    }
+    case TelemetryMode::kPint:
+      if (config_.pint_full) {
+        SwitchView view;
+        view.id = static_cast<SwitchId>(l.from);
+        view.hop_latency_ns =
+            static_cast<double>(queue_.now() - pkt.node_arrival);
+        view.link_utilization = std::max(1.0, l.ewma_util * kUtilScale);
+        view.queue_occupancy = qlen;
+        framework_->at_switch(pkt.pint_pkt, pkt.switch_hops, view);
+      } else if (pkt.pint_has_cc) {
+        const double value = std::max(1.0, l.ewma_util * kUtilScale);
+        pkt.pint_digest =
+            pint_query_->encode_step(pkt.id, pkt.pint_digest, value);
+      }
+      break;
+    case TelemetryMode::kNone:
+      break;
+  }
+}
+
+void Simulator::on_dequeue(DirectedLink& l, SimPacket pkt) {
+  const Bytes wire = pkt.wire_bytes(config_);
+  l.queued_bytes -= wire;
+  const TimeNs tau = queue_.now() - l.last_dequeue;
+  l.last_dequeue = queue_.now();
+  if (!is_host_[l.from]) apply_switch_telemetry(l, pkt, tau);
+  l.tx_bytes += static_cast<double>(wire);
+
+  // Propagation to the next node.
+  queue_.after(l.prop_delay, [this, p = std::move(pkt)]() mutable {
+    ++p.hop;
+    p.node_arrival = queue_.now();
+    deliver(std::move(p));
+  });
+}
+
+void Simulator::deliver(SimPacket pkt) {
+  if (pkt.hop + 1 < pkt.path.size()) {
+    enqueue(std::move(pkt));
+    return;
+  }
+  if (pkt.is_ack) {
+    ++counters_.acks_delivered;
+    handle_ack_at_host(std::move(pkt));
+  } else {
+    ++counters_.packets_delivered;
+    handle_data_at_host(std::move(pkt));
+  }
+}
+
+void Simulator::handle_data_at_host(SimPacket pkt) {
+  FlowState& flow = flows_[pkt.flow];
+  const std::uint64_t lo = pkt.seq;
+  const std::uint64_t hi = pkt.seq + static_cast<std::uint64_t>(pkt.payload);
+  if (lo <= flow.recv_cumulative) {
+    flow.recv_cumulative = std::max(flow.recv_cumulative, hi);
+    // Absorb any out-of-order intervals now contiguous.
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (auto it = flow.ooo.begin(); it != flow.ooo.end(); ++it) {
+        if (it->first <= flow.recv_cumulative) {
+          flow.recv_cumulative = std::max(flow.recv_cumulative, it->second);
+          flow.ooo.erase(it);
+          merged = true;
+          break;
+        }
+      }
+    }
+  } else {
+    // Record the gap; keep intervals disjoint (coarse merge is fine).
+    flow.ooo.emplace_back(lo, hi);
+  }
+
+  SimPacket ack;
+  ack.id = next_packet_id_++;
+  ack.flow = pkt.flow;
+  ack.is_ack = true;
+  ack.ack_bytes = flow.recv_cumulative;
+  ack.data_sent_time = pkt.data_sent_time;
+  ack.path = flow.reverse_path;
+  ack.hop = 0;
+  ack.node_arrival = queue_.now();
+  // Echo telemetry feedback to the sender. In full-framework mode the PINT
+  // sink (this host) extracts the digest, feeds the Recording Module, and
+  // echoes only the decoded bottleneck value.
+  if (framework_ != nullptr) {
+    const SinkReport report =
+        framework_->at_sink(pkt.pint_pkt, pkt.switch_hops);
+    if (report.bottleneck_utilization.has_value()) {
+      ack.ack_pint_util = *report.bottleneck_utilization;
+    }
+  }
+  ack.int_stack = std::move(pkt.int_stack);
+  ack.pint_digest = pkt.pint_digest;
+  ack.pint_has_cc = pkt.pint_has_cc;
+  enqueue(std::move(ack));
+}
+
+void Simulator::handle_ack_at_host(SimPacket ack) {
+  FlowState& flow = flows_[ack.flow];
+  if (flow.done) return;
+
+  AckFeedback fb;
+  fb.acked_bytes = ack.ack_bytes;
+  fb.ack_time = queue_.now();
+  fb.rtt_sample_ns = queue_.now() - ack.data_sent_time;
+  fb.int_hops = std::move(ack.int_stack);
+  if (config_.telemetry == TelemetryMode::kPint) {
+    if (config_.pint_full) {
+      if (ack.ack_pint_util >= 0.0) {
+        fb.pint_utilization = ack.ack_pint_util / kUtilScale;
+      }
+    } else if (ack.pint_has_cc) {
+      fb.pint_utilization = pint_query_->decode(ack.pint_digest) / kUtilScale;
+    }
+  }
+  flow.cc->on_ack(fb);
+
+  if (ack.ack_bytes > flow.acked) {
+    flow.acked = ack.ack_bytes;
+    // A lost ACK plus go-back-N can leave next_seq behind the cumulative
+    // ACK; clamp so the in-flight accounting never underflows.
+    flow.next_seq = std::max(flow.next_seq, flow.acked);
+    flow.dup_acks = 0;
+    ++flow.timeout_epoch;
+    flow.last_activity = queue_.now();
+  } else if (flow.acked < static_cast<std::uint64_t>(flow.size)) {
+    ++flow.dup_acks;
+    if (flow.dup_acks == 3 && flow.acked >= flow.recover_seq) {
+      flow.cc->on_loss(queue_.now(), /*timeout=*/false);
+      flow.retransmit_seq = flow.acked;
+      flow.recover_seq = flow.next_seq;
+      flow.dup_acks = 0;
+    }
+  }
+
+  if (flow.acked >= static_cast<std::uint64_t>(flow.size)) {
+    flow.done = true;
+    stats_[flow.id].done = true;
+    stats_[flow.id].finish = queue_.now();
+    return;
+  }
+  try_send(flow);
+}
+
+void Simulator::arm_timeout(std::uint32_t flow_id) {
+  FlowState& flow = flows_[flow_id];
+  if (flow.done) return;
+  const std::uint64_t epoch = flow.timeout_epoch;
+  queue_.after(config_.rto, [this, flow_id, epoch] {
+    FlowState& f = flows_[flow_id];
+    if (f.done) return;
+    const bool inflight = f.next_seq > f.acked;
+    if (f.timeout_epoch == epoch && inflight) {
+      // Retransmission timeout: go-back-N from the last cumulative ACK.
+      f.cc->on_loss(queue_.now(), /*timeout=*/true);
+      f.next_seq = f.acked;
+      f.dup_acks = 0;
+      f.recover_seq = f.acked;
+      ++f.timeout_epoch;
+      try_send(f);
+    }
+    arm_timeout(flow_id);
+  });
+}
+
+void Simulator::run_until(TimeNs t_end) { queue_.run_until(t_end); }
+
+}  // namespace pint

@@ -1,0 +1,223 @@
+// Discrete-event network simulator (the paper's NS3 substitute; Sections 2
+// and 6.1).
+//
+// Model:
+//  * Topology nodes are hosts or switches; every undirected edge becomes two
+//    directed links, each with bandwidth, propagation delay, and a tail-drop
+//    FIFO egress queue with a byte buffer limit.
+//  * Packets serialize at link rate *including* telemetry bytes — this is
+//    the mechanism behind Figs. 1-2: INT's per-hop stack inflates every
+//    packet, consuming capacity and queue space.
+//  * Telemetry runs at switch egress dequeue (where HPCC's qlen/txBytes are
+//    defined). INT mode appends a per-hop stack; PINT mode folds the EWMA
+//    link utilization into a fixed-width digest via the per-packet
+//    aggregation module; both can be off.
+//  * Receivers send 60B cumulative ACKs carrying the telemetry feedback;
+//    senders run a CongestionControl (HPCC or TCP Reno) per flow.
+//  * Reliability: cumulative ACK + duplicate-ACK fast retransmit + timeout,
+//    enough to survive tail drops in the Fig. 1/2 TCP runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "pint/framework.h"
+#include "pint/perpacket_aggregation.h"
+#include "sim/event_queue.h"
+#include "topology/graph.h"
+#include "transport/cc_interface.h"
+#include "transport/hpcc.h"
+#include "transport/tcp_reno.h"
+
+namespace pint {
+
+enum class TelemetryMode : std::uint8_t { kNone, kInt, kPint };
+enum class TransportKind : std::uint8_t { kTcpReno, kHpcc };
+
+struct SimConfig {
+  TelemetryMode telemetry = TelemetryMode::kNone;
+  TransportKind transport = TransportKind::kTcpReno;
+
+  // INT mode: values collected per hop (drives the byte overhead:
+  // 8B header + 4B * values * hops).
+  unsigned int_values_per_hop = 3;
+
+  // PINT mode: global bit budget (rounded up to bytes on the wire) and the
+  // fraction of packets carrying the congestion-control query (Fig. 8's p).
+  unsigned pint_bit_budget = 8;
+  double pint_frequency = 1.0;
+
+  // Full-framework PINT (Section 6.4): run the complete three-query mix
+  // (path tracing + latency quantiles + HPCC feedback) through the
+  // PintFramework on every data packet, instead of only the CC query. The
+  // framework's Query Engine packs the queries into `pint_bit_budget`.
+  bool pint_full = false;
+
+  // Fixed extra per-packet overhead in bytes (used by the Fig. 1/2 sweep
+  // where overhead is the x-axis; applied when telemetry == kNone).
+  Bytes extra_overhead_bytes = 0;
+
+  Bytes mtu_payload = 1000;     // data bytes per packet (RDMA-like 1000B MTU)
+  Bytes base_header = 40;       // IP + transport header
+  Bytes ack_bytes = 60;
+
+  double host_bandwidth_bps = 10e9;
+  double fabric_bandwidth_bps = 40e9;  // switch-switch links
+  TimeNs link_delay = 1 * kMicro;
+  Bytes switch_buffer_bytes = 2 * 1024 * 1024;  // per egress queue
+
+  HpccParams hpcc;
+  TcpRenoParams tcp;
+  TimeNs rto = 5 * kMilli;
+
+  std::uint64_t seed = 42;
+};
+
+struct FlowStats {
+  Bytes size = 0;
+  TimeNs start = 0;
+  TimeNs finish = -1;
+  bool done = false;
+  std::uint32_t path_hops = 0;  // switch count on the path
+  std::uint64_t packets_sent = 0;
+  std::uint64_t retransmits = 0;
+
+  TimeNs fct() const { return done ? finish - start : -1; }
+  double goodput_bps(TimeNs horizon) const {
+    const TimeNs t = done ? finish - start : horizon - start;
+    return t > 0 ? static_cast<double>(size) * 8.0 / (static_cast<double>(t) / 1e9)
+                 : 0.0;
+  }
+};
+
+struct SimCounters {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t acks_delivered = 0;
+  std::uint64_t telemetry_bytes_total = 0;
+};
+
+class Simulator {
+ public:
+  // `is_host[n]` marks host nodes; all others are switches.
+  Simulator(const Graph& topology, std::vector<bool> is_host,
+            SimConfig config);
+
+  // Register a flow; returns its id. Paths are ECMP shortest paths.
+  std::uint32_t add_flow(NodeId src_host, NodeId dst_host, Bytes size,
+                         TimeNs start);
+
+  void run_until(TimeNs t_end);
+
+  const std::vector<FlowStats>& flow_stats() const { return stats_; }
+  const SimCounters& counters() const { return counters_; }
+  TimeNs now() const { return queue_.now(); }
+
+  // Telemetry introspection for tests: a link's current EWMA utilization.
+  double link_utilization(NodeId from, NodeId to) const;
+
+  // Full-framework mode: the Recording/Inference state accumulated by the
+  // sink, and the framework flow key of a simulated flow.
+  const PintFramework* framework() const { return framework_.get(); }
+  std::uint64_t framework_flow_key(std::uint32_t flow_id) const;
+
+ private:
+  struct SimPacket {
+    PacketId id = 0;
+    std::uint32_t flow = 0;
+    bool is_ack = false;
+    std::uint64_t seq = 0;        // first payload byte carried
+    Bytes payload = 0;
+    std::uint64_t ack_bytes = 0;  // cumulative (ACK only)
+    TimeNs data_sent_time = 0;    // echoed for RTT samples
+    std::vector<NodeId> path;     // node sequence, src..dst
+    std::uint32_t hop = 0;        // index of current node in path
+    HopIndex switch_hops = 0;     // switches traversed so far
+
+    // Telemetry state.
+    std::vector<HpccHopInfo> int_stack;
+    Digest pint_digest = 0;
+    bool pint_has_cc = false;  // this packet carries the CC query
+
+    // Full-framework mode: the PINT digest lanes + per-node arrival time
+    // (for hop-latency measurement); ACKs echo the sink's decoded
+    // bottleneck utilization.
+    Packet pint_pkt;
+    TimeNs node_arrival = 0;
+    double ack_pint_util = -1.0;
+
+    Bytes wire_bytes(const SimConfig& cfg) const;
+  };
+
+  struct DirectedLink {
+    NodeId from = 0, to = 0;
+    double bandwidth_bps = 0.0;
+    TimeNs prop_delay = 0;
+    Bytes buffer_limit = 0;
+    Bytes queued_bytes = 0;
+    bool transmitting = false;
+    std::deque<SimPacket> queue;
+
+    // Telemetry state (per egress link, as HPCC defines it).
+    double ewma_util = 0.0;
+    double tx_bytes = 0.0;       // cumulative
+    TimeNs last_dequeue = 0;
+  };
+
+  struct FlowState {
+    std::uint32_t id = 0;
+    NodeId src = 0, dst = 0;
+    Bytes size = 0;
+    std::vector<NodeId> path;          // forward path
+    std::vector<NodeId> reverse_path;  // for ACKs
+    std::unique_ptr<CongestionControl> cc;
+
+    std::uint64_t next_seq = 0;        // next byte to send (first time)
+    std::uint64_t acked = 0;           // cumulative bytes acked
+    std::uint64_t recv_cumulative = 0; // receiver's in-order byte count
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ooo;  // recv gaps
+    unsigned dup_acks = 0;
+    std::uint64_t recover_seq = 0;     // fast-recovery guard
+    std::optional<std::uint64_t> retransmit_seq;
+    TimeNs last_activity = 0;
+    std::uint64_t timeout_epoch = 0;
+    bool done = false;
+  };
+
+  DirectedLink& link(NodeId a, NodeId b);
+  const DirectedLink* find_link(NodeId a, NodeId b) const;
+
+  void try_send(FlowState& flow);
+  void send_packet(FlowState& flow, std::uint64_t seq, bool retransmit);
+  void enqueue(SimPacket pkt);
+  void start_transmission(DirectedLink& l);
+  void on_dequeue(DirectedLink& l, SimPacket pkt);
+  void deliver(SimPacket pkt);
+  void handle_data_at_host(SimPacket pkt);
+  void handle_ack_at_host(SimPacket pkt);
+  void arm_timeout(std::uint32_t flow_id);
+  void apply_switch_telemetry(DirectedLink& l, SimPacket& pkt, TimeNs tau);
+
+  Graph topology_;
+  std::vector<bool> is_host_;
+  SimConfig config_;
+  EventQueue queue_;
+  Rng rng_;
+  GlobalHash ecmp_hash_;
+  GlobalHash pint_freq_hash_;
+  std::optional<PerPacketQuery> pint_query_;
+  std::unique_ptr<PintFramework> framework_;
+  std::unordered_map<std::uint64_t, DirectedLink> links_;
+  std::vector<FlowState> flows_;
+  std::vector<FlowStats> stats_;
+  SimCounters counters_;
+  PacketId next_packet_id_ = 1;
+};
+
+}  // namespace pint

@@ -1,0 +1,125 @@
+#include "sketch/kll.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pint {
+
+namespace {
+constexpr double kCapacityDecay = 2.0 / 3.0;
+}
+
+KllSketch::KllSketch(std::size_t k_param, std::uint64_t seed)
+    : k_(k_param), rng_(seed) {
+  if (k_param < 4) throw std::invalid_argument("k_param >= 4");
+  compactors_.emplace_back();
+}
+
+std::size_t KllSketch::capacity(std::size_t level) const {
+  // Top level has capacity k; each level below decays by 2/3, floored at 2.
+  const std::size_t depth = compactors_.size() - 1 - level;
+  const double cap =
+      static_cast<double>(k_) * std::pow(kCapacityDecay, depth);
+  return std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(cap)));
+}
+
+void KllSketch::add(double value) {
+  compactors_[0].push_back(value);
+  ++count_;
+  if (compactors_[0].size() >= capacity(0)) compress();
+}
+
+void KllSketch::compress() {
+  for (std::size_t level = 0; level < compactors_.size(); ++level) {
+    if (compactors_[level].size() < capacity(level)) continue;
+    if (level + 1 == compactors_.size()) compactors_.emplace_back();
+    auto& cur = compactors_[level];
+    std::sort(cur.begin(), cur.end());
+    // Pair adjacent items and promote one of each pair (uniform parity);
+    // each survivor represents two originals, keeping ranks unbiased. An
+    // unpaired trailing item stays at this level.
+    const std::size_t pairs = cur.size() / 2;
+    const std::size_t offset = rng_.uniform_int(2);
+    auto& up = compactors_[level + 1];
+    for (std::size_t j = 0; j < pairs; ++j) up.push_back(cur[2 * j + offset]);
+    if (cur.size() % 2 == 1) {
+      const double leftover = cur.back();
+      cur.clear();
+      cur.push_back(leftover);
+    } else {
+      cur.clear();
+    }
+    // A now-overflowing upper level is handled by the surrounding loop.
+  }
+}
+
+double KllSketch::rank(double value) const {
+  double r = 0.0;
+  for (std::size_t level = 0; level < compactors_.size(); ++level) {
+    const double weight = std::ldexp(1.0, static_cast<int>(level));
+    for (double item : compactors_[level]) {
+      if (item <= value) r += weight;
+    }
+  }
+  return r;
+}
+
+double KllSketch::quantile(double phi) const {
+  if (phi < 0.0 || phi > 1.0) throw std::invalid_argument("phi in [0,1]");
+  if (count_ == 0) throw std::runtime_error("quantile of empty sketch");
+  // Gather (item, weight) pairs, sort by item, walk the cumulative weight.
+  std::vector<std::pair<double, double>> items;
+  items.reserve(retained());
+  for (std::size_t level = 0; level < compactors_.size(); ++level) {
+    const double weight = std::ldexp(1.0, static_cast<int>(level));
+    for (double item : compactors_[level]) items.emplace_back(item, weight);
+  }
+  std::sort(items.begin(), items.end());
+  double total = 0.0;
+  for (const auto& [item, weight] : items) total += weight;
+  const double target = phi * total;
+  double cum = 0.0;
+  for (const auto& [item, weight] : items) {
+    cum += weight;
+    if (cum >= target) return item;
+  }
+  return items.back().first;
+}
+
+void KllSketch::merge(const KllSketch& other) {
+  if (other.k_ != k_) throw std::invalid_argument("k_param mismatch");
+  while (compactors_.size() < other.compactors_.size())
+    compactors_.emplace_back();
+  for (std::size_t level = 0; level < other.compactors_.size(); ++level) {
+    auto& dst = compactors_[level];
+    const auto& src = other.compactors_[level];
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+  count_ += other.count_;
+  // Re-establish capacity invariants.
+  bool overflow = true;
+  while (overflow) {
+    overflow = false;
+    for (std::size_t level = 0; level < compactors_.size(); ++level) {
+      if (compactors_[level].size() >= capacity(level)) {
+        overflow = true;
+        break;
+      }
+    }
+    if (overflow) compress();
+  }
+}
+
+std::size_t KllSketch::retained() const {
+  std::size_t n = 0;
+  for (const auto& c : compactors_) n += c.size();
+  return n;
+}
+
+std::size_t KllSketch::size_bytes() const {
+  return retained() * sizeof(double) +
+         compactors_.size() * sizeof(std::vector<double>);
+}
+
+}  // namespace pint

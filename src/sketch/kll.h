@@ -1,0 +1,56 @@
+// KLL streaming quantile sketch (Karnin, Lang, Liberty — FOCS 2016, paper
+// reference [39]).
+//
+// PINT's Recording Module compresses each (flow, hop) latency sub-stream
+// with a KLL sketch so per-flow storage is O~(eps^-1) instead of linear in
+// the number of packets (Section 4.1, Theorem 1; evaluated in Fig. 9 as
+// "PINT_S").
+//
+// The sketch keeps a hierarchy of compactors. Level h stores items with
+// weight 2^h; when a level overflows, it sorts itself and promotes a random
+// half (odd or even positions) to the level above. Rank error is
+// O(1/k_param) with the geometrically-decreasing capacity schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pint {
+
+class KllSketch {
+ public:
+  // k_param controls accuracy: rank error ~ 1.7/k_param. Memory is
+  // O(k_param * (3/2)) items. seed drives the random compaction choices.
+  explicit KllSketch(std::size_t k_param = 200,
+                     std::uint64_t seed = 0x4B4C4C5345454432ULL);
+
+  void add(double value);
+
+  // Estimated rank of `value`: number of inserted items <= value.
+  double rank(double value) const;
+
+  // Estimated phi-quantile, phi in [0,1].
+  double quantile(double phi) const;
+
+  // Merge another sketch into this one (same k_param required).
+  void merge(const KllSketch& other);
+
+  std::size_t count() const { return count_; }      // items inserted
+  std::size_t retained() const;                     // items stored
+  std::size_t size_bytes() const;                   // approximate footprint
+  std::size_t k_param() const { return k_; }
+
+ private:
+  std::size_t capacity(std::size_t level) const;
+  void compress();
+
+  std::size_t k_;
+  std::vector<std::vector<double>> compactors_;
+  std::size_t count_ = 0;
+  Rng rng_;
+};
+
+}  // namespace pint

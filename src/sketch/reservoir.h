@@ -1,0 +1,54 @@
+// Classic reservoir sampling (Vitter 1985, paper reference [82]).
+//
+// PINT's distributed sampling (Section 4.1) is reservoir sampling evaluated
+// through a global hash instead of local randomness; this header provides the
+// centralized version used by the Recording Module, tests, and the improved
+// PPM/AMS baselines [63].
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pint {
+
+template <typename T>
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t size, std::uint64_t seed = 0xCAFEF00D)
+      : size_(size), rng_(seed) {
+    if (size == 0) throw std::invalid_argument("size > 0");
+    sample_.reserve(size);
+  }
+
+  void add(const T& item) {
+    ++seen_;
+    if (sample_.size() < size_) {
+      sample_.push_back(item);
+      return;
+    }
+    const std::uint64_t j = rng_.uniform_int(seen_);
+    if (j < size_) sample_[j] = item;
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t size_;
+  std::uint64_t seen_ = 0;
+  std::vector<T> sample_;
+  Rng rng_;
+};
+
+// Stateless single-slot reservoir decision: should the i'th item (1-based)
+// replace the held sample? True with probability 1/i. This mirrors the
+// per-switch rule "overwrite if g(packet, i) <= 1/i" and is what makes each
+// hop's value end up on the packet with probability exactly 1/k.
+inline bool reservoir_replace(double unit_hash, std::size_t i) {
+  return unit_hash * static_cast<double>(i) < 1.0;
+}
+
+}  // namespace pint

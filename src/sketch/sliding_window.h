@@ -1,0 +1,70 @@
+// Sliding-window quantile sketch.
+//
+// Section 4.1 notes the Recording Module can use a sliding-window sketch
+// (references [5, 11, 13]) to reflect only recent measurements. We implement
+// the standard block decomposition: the window of size W is split into B
+// blocks, each summarized by its own KLL sketch. Queries merge the blocks
+// overlapping the window; expiry drops whole blocks. The answer reflects
+// between W and W + W/B most recent items (the classic (1+1/B) slack).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+#include "sketch/kll.h"
+
+namespace pint {
+
+class SlidingWindowQuantiles {
+ public:
+  // `window` = number of most recent items covered; `blocks` = subdivision
+  // granularity (more blocks -> tighter window, more memory).
+  SlidingWindowQuantiles(std::size_t window, std::size_t blocks,
+                         std::size_t kll_k = 128,
+                         std::uint64_t seed = 0x51D301DC0FFEEULL)
+      : window_(window), block_size_(window / blocks), kll_k_(kll_k),
+        seed_(seed) {
+    if (blocks == 0 || window == 0 || window % blocks != 0)
+      throw std::invalid_argument("window must be a positive multiple of blocks");
+  }
+
+  void add(double value) {
+    if (blocks_.empty() || blocks_.back().n == block_size_) {
+      blocks_.push_back(Block{KllSketch(kll_k_, seed_ ^ next_block_id_++), 0});
+      // Expire blocks fully outside the window.
+      const std::size_t max_blocks = window_ / block_size_ + 1;
+      while (blocks_.size() > max_blocks) blocks_.pop_front();
+    }
+    blocks_.back().sketch.add(value);
+    ++blocks_.back().n;
+  }
+
+  double quantile(double phi) const {
+    if (blocks_.empty()) throw std::runtime_error("empty window");
+    KllSketch merged(kll_k_, seed_ ^ 0xFEEDFACEULL);
+    for (const Block& b : blocks_) merged.merge(b.sketch);
+    return merged.quantile(phi);
+  }
+
+  std::size_t items_covered() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.n;
+    return n;
+  }
+
+ private:
+  struct Block {
+    KllSketch sketch;
+    std::size_t n;
+  };
+
+  std::size_t window_;
+  std::size_t block_size_;
+  std::size_t kll_k_;
+  std::uint64_t seed_;
+  std::uint64_t next_block_id_ = 1;
+  std::deque<Block> blocks_;
+};
+
+}  // namespace pint

@@ -1,0 +1,100 @@
+// SpaceSaving heavy-hitters sketch (Metwally, Agrawal, El Abbadi — ICDT 2005,
+// paper reference [50]).
+//
+// PINT's dynamic per-flow aggregation uses SpaceSaving on the sampled
+// sub-stream of each (flow, hop) to report frequent values within an additive
+// eps fraction using O(eps^-1) counters (Appendix A.1, Theorem 2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace pint {
+
+class SpaceSaving {
+ public:
+  // `capacity` = number of monitored values (use ceil(1/eps)).
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("capacity > 0");
+  }
+
+  void add(std::uint64_t value) {
+    ++total_;
+    auto it = counters_.find(value);
+    if (it != counters_.end()) {
+      bump(it, 1);
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.emplace(value, Entry{1, 0});
+      by_count_.emplace(1, value);
+      return;
+    }
+    // Evict the current minimum and inherit its count as overestimation
+    // error, per the SpaceSaving replacement rule.
+    auto min_it = by_count_.begin();
+    const std::uint64_t evicted = min_it->second;
+    const std::uint64_t min_count = min_it->first;
+    by_count_.erase(min_it);
+    counters_.erase(evicted);
+    counters_.emplace(value, Entry{min_count + 1, min_count});
+    by_count_.emplace(min_count + 1, value);
+  }
+
+  // Estimated count; guaranteed within [true, true + total/capacity].
+  std::uint64_t estimate(std::uint64_t value) const {
+    auto it = counters_.find(value);
+    return it == counters_.end() ? 0 : it->second.count;
+  }
+
+  // Guaranteed lower bound on the true count.
+  std::uint64_t lower_bound(std::uint64_t value) const {
+    auto it = counters_.find(value);
+    return it == counters_.end() ? 0 : it->second.count - it->second.error;
+  }
+
+  // Values whose estimated frequency is at least `theta` of the stream.
+  std::vector<std::uint64_t> frequent(double theta) const {
+    std::vector<std::uint64_t> out;
+    const double cut = theta * static_cast<double>(total_);
+    for (const auto& [value, entry] : counters_) {
+      if (static_cast<double>(entry.count) >= cut) out.push_back(value);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t monitored() const { return counters_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t count;
+    std::uint64_t error;
+  };
+
+  void bump(std::unordered_map<std::uint64_t, Entry>::iterator it,
+            std::uint64_t delta) {
+    auto range = by_count_.equal_range(it->second.count);
+    for (auto bi = range.first; bi != range.second; ++bi) {
+      if (bi->second == it->first) {
+        by_count_.erase(bi);
+        break;
+      }
+    }
+    it->second.count += delta;
+    by_count_.emplace(it->second.count, it->first);
+  }
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::unordered_map<std::uint64_t, Entry> counters_;
+  std::multimap<std::uint64_t, std::uint64_t> by_count_;  // count -> value
+};
+
+}  // namespace pint

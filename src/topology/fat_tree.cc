@@ -1,0 +1,87 @@
+#include "topology/fat_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pint {
+
+FatTree make_fat_tree(unsigned k, bool with_hosts) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("k_ary even, >= 2");
+  const unsigned half = k / 2;
+  const unsigned num_core = half * half;
+  const unsigned num_agg = k * half;
+  const unsigned num_edge = k * half;
+  const unsigned num_host = with_hosts ? num_edge * half : 0;
+
+  FatTree ft{Graph(num_core + num_agg + num_edge + num_host), {}, {}};
+  NodeId next = 0;
+  for (unsigned i = 0; i < num_core; ++i) ft.nodes.cores.push_back(next++);
+  for (unsigned i = 0; i < num_agg; ++i) ft.nodes.aggs.push_back(next++);
+  for (unsigned i = 0; i < num_edge; ++i) ft.nodes.edges.push_back(next++);
+  for (unsigned i = 0; i < num_host; ++i) ft.nodes.hosts.push_back(next++);
+
+  // Pod structure: pod p owns aggs [p*half, (p+1)*half) and same for edges.
+  for (unsigned pod = 0; pod < k; ++pod) {
+    for (unsigned a = 0; a < half; ++a) {
+      const NodeId agg = ft.nodes.aggs[pod * half + a];
+      // Each agg connects to `half` cores: core group a.
+      for (unsigned c = 0; c < half; ++c) {
+        ft.graph.add_edge(agg, ft.nodes.cores[a * half + c]);
+      }
+      // Full bipartite agg-edge inside the pod.
+      for (unsigned e = 0; e < half; ++e) {
+        ft.graph.add_edge(agg, ft.nodes.edges[pod * half + e]);
+      }
+    }
+  }
+  if (with_hosts) {
+    ft.host_rack.resize(num_host);
+    for (unsigned e = 0; e < num_edge; ++e) {
+      for (unsigned h = 0; h < half; ++h) {
+        const unsigned host_idx = e * half + h;
+        ft.graph.add_edge(ft.nodes.edges[e], ft.nodes.hosts[host_idx]);
+        ft.host_rack[host_idx] = e;
+      }
+    }
+  }
+  return ft;
+}
+
+FatTree make_hpcc_fat_tree(double scale) {
+  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("scale in (0,1]");
+  const auto scaled = [scale](unsigned n) {
+    return std::max(1u, static_cast<unsigned>(n * scale));
+  };
+  const unsigned num_core = scaled(16);
+  const unsigned num_agg = scaled(20);
+  const unsigned num_tor = scaled(20);
+  const unsigned hosts_per_rack = 16;
+  const unsigned num_host = num_tor * hosts_per_rack;
+
+  FatTree ft{Graph(num_core + num_agg + num_tor + num_host), {}, {}};
+  NodeId next = 0;
+  for (unsigned i = 0; i < num_core; ++i) ft.nodes.cores.push_back(next++);
+  for (unsigned i = 0; i < num_agg; ++i) ft.nodes.aggs.push_back(next++);
+  for (unsigned i = 0; i < num_tor; ++i) ft.nodes.edges.push_back(next++);
+  for (unsigned i = 0; i < num_host; ++i) ft.nodes.hosts.push_back(next++);
+
+  // Full meshes between tiers (the paper's tree is non-blocking 400G fabric;
+  // full bipartite keeps ECMP diversity comparable).
+  for (NodeId agg : ft.nodes.aggs) {
+    for (NodeId core : ft.nodes.cores) ft.graph.add_edge(agg, core);
+  }
+  for (NodeId tor : ft.nodes.edges) {
+    for (NodeId agg : ft.nodes.aggs) ft.graph.add_edge(tor, agg);
+  }
+  ft.host_rack.resize(num_host);
+  for (unsigned t = 0; t < num_tor; ++t) {
+    for (unsigned h = 0; h < hosts_per_rack; ++h) {
+      const unsigned host_idx = t * hosts_per_rack + h;
+      ft.graph.add_edge(ft.nodes.edges[t], ft.nodes.hosts[host_idx]);
+      ft.host_rack[host_idx] = t;
+    }
+  }
+  return ft;
+}
+
+}  // namespace pint

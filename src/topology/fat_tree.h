@@ -1,0 +1,40 @@
+// FatTree topologies (paper Sections 6.1 and 6.3).
+//
+// Two variants:
+//  * canonical K-ary fat-tree (K pods; (K/2)^2 cores; K/2 agg + K/2 edge per
+//    pod; K/2 hosts per edge switch) — the K=8 tree of Fig. 10c/f, switch
+//    diameter 5 (hops counted over switches, ToR..core..ToR);
+//  * the HPCC evaluation tree (Section 6.1): 16 core, 20 agg, 20 ToR,
+//    320 servers, 16 per rack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace pint {
+
+struct FatTreeNodes {
+  std::vector<NodeId> cores;
+  std::vector<NodeId> aggs;
+  std::vector<NodeId> edges;  // ToRs
+  std::vector<NodeId> hosts;
+};
+
+struct FatTree {
+  Graph graph;
+  FatTreeNodes nodes;
+
+  // Host's rack (ToR index) for locality-aware traffic generation.
+  std::vector<std::uint32_t> host_rack;
+};
+
+// Canonical K-ary fat-tree; K must be even.
+FatTree make_fat_tree(unsigned k_ary, bool with_hosts = true);
+
+// The HPCC evaluation topology of Section 6.1 (scaled by `scale` in (0,1]
+// for faster simulation: scale=0.5 halves every tier, min 1 per tier).
+FatTree make_hpcc_fat_tree(double scale = 1.0);
+
+}  // namespace pint

@@ -1,0 +1,83 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pint {
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  if (a >= adj_.size() || b >= adj_.size())
+    throw std::out_of_range("node id out of range");
+  if (a == b) throw std::invalid_argument("self loop");
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  const auto& n = adj_[a];
+  return std::find(n.begin(), n.end(), b) != n.end();
+}
+
+std::vector<int> Graph::distances_from(NodeId src) const {
+  std::vector<int> dist(adj_.size(), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : adj_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<NodeId>> Graph::ecmp_path(
+    NodeId src, NodeId dst, std::uint64_t flow_key,
+    const GlobalHash& hash) const {
+  const std::vector<int> dist_to_dst = distances_from(dst);
+  if (dist_to_dst[src] < 0) return std::nullopt;
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    // Candidate next hops: neighbors strictly closer to dst.
+    NodeId best = cur;
+    std::uint64_t best_rank = 0;
+    bool found = false;
+    for (NodeId v : adj_[cur]) {
+      if (dist_to_dst[v] != dist_to_dst[cur] - 1) continue;
+      const std::uint64_t rank = hash.bits2(flow_key, v);
+      if (!found || rank > best_rank) {
+        best = v;
+        best_rank = rank;
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;  // cannot happen on a valid BFS field
+    cur = best;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+unsigned Graph::diameter(std::size_t sample_sources) const {
+  unsigned best = 0;
+  const std::size_t n = adj_.size();
+  const std::size_t step =
+      sample_sources >= n ? 1 : std::max<std::size_t>(1, n / sample_sources);
+  for (std::size_t s = 0; s < n; s += step) {
+    for (int d : distances_from(static_cast<NodeId>(s))) {
+      if (d > 0) best = std::max(best, static_cast<unsigned>(d));
+    }
+  }
+  return best;
+}
+
+}  // namespace pint

@@ -1,0 +1,51 @@
+// Undirected network graph with BFS shortest paths and ECMP path selection.
+//
+// Used by the path-tracing experiments (Fig. 10): the decoder needs paths of
+// every length up to the topology diameter, and the routing layer must be
+// deterministic per flow (ECMP hashes the flow key to break ties) so a flow
+// follows a single path, matching the paper's assumption in Section 3.2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  void add_edge(NodeId a, NodeId b);
+  bool has_edge(NodeId a, NodeId b) const;
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+  const std::vector<NodeId>& neighbors(NodeId n) const { return adj_[n]; }
+
+  // BFS distances from src to every node (unreachable = -1).
+  std::vector<int> distances_from(NodeId src) const;
+
+  // One shortest path src -> dst, ECMP ties broken by hashing
+  // (flow_key, node) so each flow deterministically takes a single path.
+  // Returns the node sequence including both endpoints, or nullopt if
+  // disconnected.
+  std::optional<std::vector<NodeId>> ecmp_path(NodeId src, NodeId dst,
+                                               std::uint64_t flow_key,
+                                               const GlobalHash& hash) const;
+
+  // Largest shortest-path distance over sampled sources (exact if
+  // sample_sources >= num_nodes).
+  unsigned diameter(std::size_t sample_sources = SIZE_MAX) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace pint

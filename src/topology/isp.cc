@@ -1,0 +1,46 @@
+#include "topology/isp.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace pint {
+
+IspTopology make_isp_topology(const std::string& name, unsigned num_switches,
+                              unsigned diameter, std::uint64_t seed) {
+  if (num_switches < diameter + 1)
+    throw std::invalid_argument("need at least diameter+1 switches");
+  IspTopology isp{name, Graph(num_switches), {}, diameter};
+  // Backbone chain realizes the diameter.
+  for (NodeId n = 0; n <= diameter; ++n) {
+    isp.backbone.push_back(n);
+    if (n > 0) isp.graph.add_edge(n - 1, n);
+  }
+  // Remaining switches attach as branches; to preserve the diameter we only
+  // attach to backbone positions away from the ends (a branch of depth 1 off
+  // position p creates paths of length min(p, D-p)+1 which stays <= D when
+  // 1 <= p <= D-1).
+  Rng rng(seed ^ 0x15B15B15B15B15BULL);
+  for (NodeId n = diameter + 1; n < num_switches; ++n) {
+    const NodeId anchor =
+        1 + static_cast<NodeId>(rng.uniform_int(diameter - 1));
+    isp.graph.add_edge(n, anchor);
+  }
+  return isp;
+}
+
+IspTopology make_kentucky_datalink(std::uint64_t seed) {
+  return make_isp_topology("KentuckyDatalink", 753, 59, seed);
+}
+
+IspTopology make_us_carrier(std::uint64_t seed) {
+  return make_isp_topology("USCarrier", 157, 36, seed);
+}
+
+std::vector<NodeId> backbone_prefix(const IspTopology& isp, unsigned hops) {
+  if (hops == 0 || hops > isp.backbone.size())
+    throw std::invalid_argument("hops out of range");
+  return {isp.backbone.begin(), isp.backbone.begin() + hops};
+}
+
+}  // namespace pint

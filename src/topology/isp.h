@@ -1,0 +1,40 @@
+// Synthetic ISP topologies calibrated to Topology Zoo (paper Section 6.3).
+//
+// The paper evaluates path tracing on Kentucky Datalink (753 switches,
+// diameter 59) and US Carrier (157 switches, diameter 36) from Topology Zoo.
+// The GML files are not redistributable here, so we generate synthetic
+// graphs with the same published node count and diameter: a backbone path
+// realizes the diameter exactly, and the remaining nodes attach as random
+// branches (ISP topologies from the Zoo are tree-like with long chains,
+// which is why their diameters are so large). Path-tracing cost in Fig. 10
+// depends only on the hop count of the traced path, which we sweep exactly
+// as the paper does, so this substitution preserves the measured behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/graph.h"
+
+namespace pint {
+
+struct IspTopology {
+  std::string name;
+  Graph graph;
+  std::vector<NodeId> backbone;  // path of `diameter`+1 nodes
+  unsigned diameter = 0;
+};
+
+IspTopology make_isp_topology(const std::string& name, unsigned num_switches,
+                              unsigned diameter, std::uint64_t seed);
+
+// The two Topology-Zoo stand-ins used by Fig. 10.
+IspTopology make_kentucky_datalink(std::uint64_t seed = 1);  // 753, D=59
+IspTopology make_us_carrier(std::uint64_t seed = 2);         // 157, D=36
+
+// A path of the requested hop count (`hops` switches, i.e. hops-1 edges)
+// embedded in the topology, starting from the backbone head. Used to sweep
+// Fig. 10's x-axis.
+std::vector<NodeId> backbone_prefix(const IspTopology& isp, unsigned hops);
+
+}  // namespace pint

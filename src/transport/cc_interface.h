@@ -1,0 +1,53 @@
+// Congestion-control interface between the discrete-event simulator and the
+// transport algorithms (HPCC with INT or PINT feedback; TCP Reno).
+//
+// The simulator delivers ACKs annotated with whatever telemetry the network
+// collected; the algorithm answers with a byte window. Keeping the feedback
+// channel explicit is the point of the Fig. 7/8 experiments: HPCC(INT) reads
+// a per-hop stack, HPCC(PINT) reads one compressed bottleneck value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pint {
+
+// One hop's INT report as HPCC consumes it (timestamp, egress tx bytes,
+// queue occupancy, link bandwidth — Section 2 of the paper).
+struct HpccHopInfo {
+  double tx_bytes = 0.0;     // cumulative bytes sent on the egress link
+  double qlen_bytes = 0.0;   // queue length at dequeue
+  TimeNs timestamp = 0;
+  double bandwidth_bps = 0.0;
+};
+
+struct AckFeedback {
+  std::uint64_t acked_bytes = 0;  // cumulative
+  TimeNs ack_time = 0;
+  TimeNs rtt_sample_ns = 0;
+
+  // INT mode: per-hop stack echoed by the receiver.
+  std::vector<HpccHopInfo> int_hops;
+
+  // PINT mode: decoded bottleneck utilization (absent when the packet did
+  // not carry the congestion-control query — the p < 1 case of Fig. 8).
+  std::optional<double> pint_utilization;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // Current allowed bytes in flight.
+  virtual Bytes window_bytes() const = 0;
+
+  virtual void on_ack(const AckFeedback& ack) = 0;
+
+  // Loss signal (triple-dup-ack or timeout); `timeout` distinguishes them.
+  virtual void on_loss(TimeNs now, bool timeout) = 0;
+};
+
+}  // namespace pint

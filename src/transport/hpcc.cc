@@ -1,0 +1,90 @@
+#include "transport/hpcc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pint {
+
+HpccSender::HpccSender(HpccParams params) : params_(params) {
+  // Start at one bandwidth-delay product.
+  window_ = params_.nic_bandwidth_bps / 8.0 *
+            (static_cast<double>(params_.base_rtt) / 1e9);
+  reference_ = window_;
+}
+
+double HpccSender::measure_inflight_int(const AckFeedback& ack) {
+  // First report from each hop only seeds the per-hop baseline.
+  double u_max = 0.0;
+  const double T = static_cast<double>(params_.base_rtt) / 1e9;
+  if (prev_hops_.size() == ack.int_hops.size()) {
+    for (std::size_t j = 0; j < ack.int_hops.size(); ++j) {
+      const HpccHopInfo& cur = ack.int_hops[j];
+      const HpccHopInfo& prev = prev_hops_[j];
+      const double dt = static_cast<double>(cur.timestamp - prev.timestamp) / 1e9;
+      if (dt <= 0.0 || cur.bandwidth_bps <= 0.0) continue;
+      const double tx_rate_bps = (cur.tx_bytes - prev.tx_bytes) * 8.0 / dt;
+      // Use the smaller queue of the two reports (HPCC's qlen min) to avoid
+      // double counting transient bursts.
+      const double qlen = std::min(cur.qlen_bytes, prev.qlen_bytes);
+      const double u_j =
+          qlen * 8.0 / (cur.bandwidth_bps * T) + tx_rate_bps / cur.bandwidth_bps;
+      u_max = std::max(u_max, u_j);
+    }
+  }
+  prev_hops_ = ack.int_hops;
+  return u_max;
+}
+
+void HpccSender::compute_window(double u_new, bool update_wc) {
+  // Sender-side EWMA smoothing (HPCC's per-ACK filter).
+  u_ = params_.ewma_gain * u_ + (1.0 - params_.ewma_gain) * u_new;
+  const double w_ai = static_cast<double>(params_.w_ai);
+  double w;
+  if (u_ >= params_.eta || inc_stage_ >= params_.max_stage) {
+    w = reference_ * (params_.eta / std::max(u_, 1e-3)) + w_ai;
+    if (update_wc) {
+      inc_stage_ = 0;
+      reference_ = w;
+    }
+  } else {
+    w = reference_ + w_ai;
+    if (update_wc) {
+      ++inc_stage_;
+      reference_ = w;
+    }
+  }
+  // Clamp to [1 MTU, 2 BDP] like the reference implementation.
+  const double bdp = params_.nic_bandwidth_bps / 8.0 *
+                     (static_cast<double>(params_.base_rtt) / 1e9);
+  window_ = std::clamp(w, 1500.0, 2.0 * bdp);
+}
+
+void HpccSender::on_ack(const AckFeedback& ack) {
+  double u;
+  if (!ack.int_hops.empty()) {
+    u = measure_inflight_int(ack);
+  } else if (ack.pint_utilization.has_value()) {
+    u = *ack.pint_utilization;
+  } else {
+    return;  // no telemetry on this ACK (PINT running at p < 1)
+  }
+  // Update Wc at most once per RTT (reference-window rule).
+  const bool update_wc =
+      last_wc_update_ < 0 ||
+      ack.ack_time - last_wc_update_ >= params_.base_rtt;
+  if (update_wc) last_wc_update_ = ack.ack_time;
+  compute_window(u, update_wc);
+}
+
+void HpccSender::on_loss(TimeNs /*now*/, bool timeout) {
+  // HPCC networks are expected lossless; on the rare drop, back off hard.
+  if (timeout) {
+    window_ = 1500.0;
+    reference_ = window_;
+  } else {
+    window_ = std::max(1500.0, window_ / 2.0);
+    reference_ = window_;
+  }
+}
+
+}  // namespace pint

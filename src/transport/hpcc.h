@@ -1,0 +1,59 @@
+// HPCC: High Precision Congestion Control (Li et al., SIGCOMM 2019 — paper
+// reference [46]), re-implemented from the published algorithm.
+//
+// HPCC maintains a byte window W updated from in-network telemetry. With INT
+// feedback it computes each link's normalized inflight
+//     u_j = qlen/(B*T) + txRate/B
+// from consecutive per-hop reports and takes U = max_j u_j. With PINT
+// feedback (Section 4.3, Example #3) the switches already maintain the EWMA
+// utilization; the packet carries only the compressed bottleneck value,
+// which the sender uses directly.
+//
+// Window update (HPCC Alg. 1, recommended setting maxStage = 0):
+//     if U >= eta or inc_stage >= maxStage:  W = Wc * eta / U + W_AI
+//     else:                                  W = Wc + W_AI
+// with the reference window Wc frozen for an RTT to avoid overreaction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "transport/cc_interface.h"
+
+namespace pint {
+
+struct HpccParams {
+  double eta = 0.95;       // target utilization
+  TimeNs base_rtt = 13 * kMicro;  // T
+  Bytes w_ai = 80;         // additive increase per update
+  unsigned max_stage = 0;  // paper's recommended setting
+  double nic_bandwidth_bps = 100e9;
+  double ewma_gain = 0.9;  // sender-side smoothing of U (INT mode)
+};
+
+class HpccSender : public CongestionControl {
+ public:
+  explicit HpccSender(HpccParams params);
+
+  Bytes window_bytes() const override { return static_cast<Bytes>(window_); }
+  void on_ack(const AckFeedback& ack) override;
+  void on_loss(TimeNs now, bool timeout) override;
+
+  double utilization_estimate() const { return u_; }
+
+ private:
+  double measure_inflight_int(const AckFeedback& ack);
+  void compute_window(double u, bool update_wc);
+
+  HpccParams params_;
+  double window_;      // W, bytes
+  double reference_;   // Wc, bytes
+  double u_ = 0.0;     // smoothed inflight estimate
+  unsigned inc_stage_ = 0;
+  TimeNs last_wc_update_ = -1;
+  std::uint64_t last_update_bytes_ = 0;
+  std::vector<HpccHopInfo> prev_hops_;
+};
+
+}  // namespace pint

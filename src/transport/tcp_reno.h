@@ -1,0 +1,64 @@
+// TCP Reno-style congestion control for the Section 2 overhead experiments
+// (Figs. 1 and 2 use "standard ECMP routing with TCP Reno").
+//
+// Byte-based cwnd with slow start, congestion avoidance, fast retransmit
+// (triple duplicate ACK halves the window) and timeout (window collapses to
+// one segment). This is deliberately classic: the experiment measures how
+// telemetry header bytes inflate FCT, not transport sophistication.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "transport/cc_interface.h"
+
+namespace pint {
+
+struct TcpRenoParams {
+  Bytes mss = 1000;
+  Bytes initial_cwnd = 2 * 1000;
+  Bytes max_cwnd = 1 << 24;
+};
+
+class TcpRenoSender : public CongestionControl {
+ public:
+  explicit TcpRenoSender(TcpRenoParams params)
+      : params_(params),
+        cwnd_(static_cast<double>(params.initial_cwnd)),
+        ssthresh_(static_cast<double>(params.max_cwnd)) {}
+
+  Bytes window_bytes() const override { return static_cast<Bytes>(cwnd_); }
+
+  void on_ack(const AckFeedback& ack) override {
+    const double mss = static_cast<double>(params_.mss);
+    const auto newly = static_cast<double>(
+        ack.acked_bytes > last_acked_ ? ack.acked_bytes - last_acked_ : 0);
+    last_acked_ = std::max(last_acked_, ack.acked_bytes);
+    if (newly == 0) return;  // duplicate; loss handling is the sim's job
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += newly;  // slow start: grow by bytes acked
+    } else {
+      cwnd_ += mss * newly / cwnd_;  // congestion avoidance: ~1 MSS per RTT
+    }
+    cwnd_ = std::min(cwnd_, static_cast<double>(params_.max_cwnd));
+  }
+
+  void on_loss(TimeNs /*now*/, bool timeout) override {
+    const double mss = static_cast<double>(params_.mss);
+    if (timeout) {
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss);
+      cwnd_ = mss;
+    } else {  // fast retransmit
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss);
+      cwnd_ = ssthresh_;
+    }
+  }
+
+ private:
+  TcpRenoParams params_;
+  double cwnd_;
+  double ssthresh_;
+  std::uint64_t last_acked_ = 0;
+};
+
+}  // namespace pint

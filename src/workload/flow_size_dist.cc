@@ -1,0 +1,82 @@
+#include "workload/flow_size_dist.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pint {
+
+FlowSizeDist::FlowSizeDist(std::string name, std::vector<Bytes> deciles,
+                           Bytes min_size)
+    : name_(std::move(name)), deciles_(std::move(deciles)),
+      min_size_(min_size) {
+  if (deciles_.size() != 10) throw std::invalid_argument("10 deciles");
+  for (std::size_t i = 1; i < deciles_.size(); ++i) {
+    if (deciles_[i] < deciles_[i - 1])
+      throw std::invalid_argument("deciles must be ascending");
+  }
+  // Mean via the same log-linear interpolation used by sample(): numeric
+  // integration over the CDF.
+  double sum = 0.0;
+  const int steps = 10000;
+  Rng probe(12345);
+  for (int i = 0; i < steps; ++i) {
+    // Stratified probe of the inverse CDF.
+    const double u = (i + 0.5) / steps;
+    Rng local(probe.next());
+    (void)local;
+    // Reuse sampling logic deterministically.
+    const double pos = u * 10.0;
+    auto idx = static_cast<std::size_t>(pos);
+    double lo, hi;
+    if (idx == 0) {
+      lo = static_cast<double>(min_size_);
+      hi = static_cast<double>(deciles_[0]);
+    } else if (idx >= 9) {
+      lo = static_cast<double>(deciles_[8]);
+      hi = static_cast<double>(deciles_[9]);
+      idx = 9;
+    } else {
+      lo = static_cast<double>(deciles_[idx - 1]);
+      hi = static_cast<double>(deciles_[idx]);
+    }
+    const double frac = pos - static_cast<double>(idx);
+    sum += lo * std::pow(hi / lo, frac);
+  }
+  mean_ = sum / steps;
+}
+
+Bytes FlowSizeDist::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const double pos = u * 10.0;
+  auto idx = static_cast<std::size_t>(pos);
+  double lo, hi;
+  if (idx == 0) {
+    lo = static_cast<double>(min_size_);
+    hi = static_cast<double>(deciles_[0]);
+  } else if (idx >= 9) {
+    lo = static_cast<double>(deciles_[8]);
+    hi = static_cast<double>(deciles_[9]);
+    idx = 9;
+  } else {
+    lo = static_cast<double>(deciles_[idx - 1]);
+    hi = static_cast<double>(deciles_[idx]);
+  }
+  const double frac = pos - static_cast<double>(idx);
+  const double size = lo * std::pow(hi / lo, frac);
+  return std::max<Bytes>(min_size_, static_cast<Bytes>(size));
+}
+
+FlowSizeDist FlowSizeDist::web_search() {
+  // Fig. 7b tick marks = deciles of the DCTCP web-search distribution.
+  return FlowSizeDist("web_search",
+                      {7'000, 20'000, 30'000, 50'000, 73'000, 197'000,
+                       989'000, 2'000'000, 5'000'000, 30'000'000});
+}
+
+FlowSizeDist FlowSizeDist::hadoop() {
+  // Fig. 7c tick marks = deciles of the Facebook Hadoop distribution.
+  return FlowSizeDist("hadoop", {324, 399, 500, 599, 699, 999, 7'000, 46'000,
+                                 120'000, 10'000'000});
+}
+
+}  // namespace pint

@@ -1,0 +1,43 @@
+// Flow-size distributions (paper Section 6.1).
+//
+// The paper draws flow sizes from the web-search workload of DCTCP
+// (Alizadeh et al., reference [3]) and the Hadoop workload measured at
+// Facebook (Roy et al., reference [62]). We encode each distribution by its
+// deciles — exactly the tick marks of Figs. 7b/7c, which the paper chose
+// "such that there are 10% of the flows between consecutive tick marks" —
+// and sample by log-linear interpolation between deciles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pint {
+
+class FlowSizeDist {
+ public:
+  // `deciles[i]` = flow size at CDF (i+1)/10; 10 entries, ascending.
+  FlowSizeDist(std::string name, std::vector<Bytes> deciles,
+               Bytes min_size = 100);
+
+  Bytes sample(Rng& rng) const;
+
+  double mean() const { return mean_; }
+  const std::string& name() const { return name_; }
+  const std::vector<Bytes>& deciles() const { return deciles_; }
+
+  // The two paper workloads (deciles from Fig. 7b / 7c tick marks).
+  static FlowSizeDist web_search();
+  static FlowSizeDist hadoop();
+
+ private:
+  std::string name_;
+  std::vector<Bytes> deciles_;
+  Bytes min_size_;
+  double mean_;
+};
+
+}  // namespace pint

@@ -1,0 +1,39 @@
+#include "workload/traffic_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pint {
+
+std::vector<FlowArrival> generate_traffic(const TrafficGenConfig& config,
+                                          const FlowSizeDist& dist) {
+  if (config.num_hosts < 2) throw std::invalid_argument(">= 2 hosts");
+  if (config.load <= 0.0 || config.load >= 1.0)
+    throw std::invalid_argument("load in (0,1)");
+  Rng rng(config.seed ^ 0x7AFF1CULL);
+
+  // Aggregate flow arrival rate: load * total_capacity / mean_flow_size.
+  const double total_capacity_Bps =
+      config.host_bandwidth_bps / 8.0 * config.num_hosts;
+  const double lambda = config.load * total_capacity_Bps / dist.mean();
+
+  std::vector<FlowArrival> arrivals;
+  double t = 0.0;
+  const double horizon = static_cast<double>(config.duration) / 1e9;
+  while (true) {
+    t += rng.exponential(lambda);
+    if (t >= horizon) break;
+    FlowArrival fa;
+    fa.start = static_cast<TimeNs>(t * 1e9);
+    fa.size = dist.sample(rng);
+    fa.src_host = static_cast<std::uint32_t>(rng.uniform_int(config.num_hosts));
+    do {
+      fa.dst_host =
+          static_cast<std::uint32_t>(rng.uniform_int(config.num_hosts));
+    } while (fa.dst_host == fa.src_host);
+    arrivals.push_back(fa);
+  }
+  return arrivals;
+}
+
+}  // namespace pint

@@ -1,0 +1,36 @@
+// Poisson traffic generation at a target load (paper Section 6.1: "Each
+// server generates new flows according to a Poisson process, destined to
+// random servers. The average flow arrival time is set so that the total
+// network load is 50%").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/flow_size_dist.h"
+
+namespace pint {
+
+struct FlowArrival {
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_host = 0;
+  Bytes size = 0;
+  TimeNs start = 0;
+};
+
+struct TrafficGenConfig {
+  double load = 0.5;              // fraction of aggregate host bandwidth
+  double host_bandwidth_bps = 10e9;
+  std::uint32_t num_hosts = 64;
+  TimeNs duration = 10 * kMilli;
+  std::uint64_t seed = 7;
+};
+
+// All flow arrivals for the run, sorted by start time. Load is defined
+// against aggregate host *access* bandwidth, matching the paper.
+std::vector<FlowArrival> generate_traffic(const TrafficGenConfig& config,
+                                          const FlowSizeDist& dist);
+
+}  // namespace pint

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/morris.h"
+#include "approx/value_compression.h"
+#include "common/rng.h"
+#include "hash/global_hash.h"
+
+namespace pint {
+namespace {
+
+TEST(Multiplicative, RoundTripWithinGuarantee) {
+  const double eps = 0.01;
+  MultiplicativeCompressor c(eps, 1e9);
+  const double bound = (1.0 + eps) * (1.0 + eps);
+  for (double v : {1.0, 2.0, 10.0, 1234.5, 9.9e8}) {
+    const double back = c.decode(c.encode(v));
+    EXPECT_LE(back / v, bound) << v;
+    EXPECT_GE(back / v, 1.0 / bound) << v;
+  }
+}
+
+TEST(Multiplicative, ZeroReserved) {
+  MultiplicativeCompressor c(0.05, 1e6);
+  EXPECT_EQ(c.encode(0.0), 0u);
+  EXPECT_EQ(c.decode(0), 0.0);
+  EXPECT_GT(c.encode(1.0), 0u);
+}
+
+TEST(Multiplicative, MonotoneEncoding) {
+  MultiplicativeCompressor c(0.02, 1e9);
+  std::uint64_t prev = 0;
+  for (double v = 1.0; v < 1e9; v *= 1.7) {
+    const std::uint64_t code = c.encode(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(Multiplicative, EpsForPaperExample) {
+  // Paper Section 4.3: compressing 32-bit values into 16 bits admits
+  // eps ~= 0.0025.
+  const double eps = MultiplicativeCompressor::eps_for(
+      std::pow(2.0, 32.0), 16);
+  EXPECT_NEAR(eps, 0.00017, 0.0002);  // 2^16 codes is generous
+  // And the tighter paper-style accounting: the compressor built from it
+  // must fit in 16 bits.
+  MultiplicativeCompressor c(std::max(eps, 1e-5), std::pow(2.0, 32.0));
+  EXPECT_LE(c.bits_needed(), 16u);
+}
+
+TEST(Multiplicative, EightBitUtilizationExample) {
+  // Paper: 8 bits support eps = 0.025 for HPCC's utilization range.
+  MultiplicativeCompressor c(0.025, 1e5);
+  EXPECT_LE(c.bits_needed(), 8u);
+}
+
+TEST(Multiplicative, RandomizedRoundingIsUnbiasedInLogDomain) {
+  const double eps = 0.05;
+  MultiplicativeCompressor c(eps, 1e9);
+  GlobalHash h(99);
+  const double v = 12345.678;
+  const double exact_log =
+      std::log(v) / (2.0 * std::log1p(eps));
+  double sum_codes = 0.0;
+  const int n = 200000;
+  for (PacketId p = 0; p < static_cast<PacketId>(n); ++p) {
+    sum_codes += static_cast<double>(c.encode_randomized(v, h, p)) - 1.0;
+  }
+  EXPECT_NEAR(sum_codes / n, exact_log, 0.01);
+}
+
+TEST(Multiplicative, RejectsBadArguments) {
+  EXPECT_THROW(MultiplicativeCompressor(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(MultiplicativeCompressor(1.5, 10), std::invalid_argument);
+  MultiplicativeCompressor c(0.1, 100);
+  EXPECT_THROW(c.encode(-1.0), std::invalid_argument);
+}
+
+TEST(Additive, RoundTripWithinDelta) {
+  const double delta = 16.0;
+  AdditiveCompressor c(delta);
+  for (double v : {0.0, 5.0, 100.0, 1234.0, 99999.0}) {
+    EXPECT_NEAR(c.decode(c.encode(v)), v, delta + 1e-9) << v;
+  }
+}
+
+TEST(Additive, SavesExpectedBits) {
+  // Values up to 2^20 with delta = 2^6 need codes up to 2^13: 7 bits saved.
+  AdditiveCompressor c(64.0);
+  EXPECT_LE(c.encode(std::pow(2.0, 20.0)), 1u << 13);
+}
+
+TEST(Morris, EstimateWithinRelativeError) {
+  Rng rng(123);
+  const double a = 1.08;
+  const int truth = 100000;
+  double sum = 0.0;
+  const int reps = 50;
+  for (int r = 0; r < reps; ++r) {
+    MorrisCounter m(a);
+    for (int i = 0; i < truth; ++i) m.increment(rng);
+    sum += m.estimate();
+  }
+  EXPECT_NEAR(sum / reps / truth, 1.0, 0.1);
+}
+
+TEST(Morris, BitsNeededIsLogLog) {
+  // Counting to 2^30 with a=2 takes a ~5-bit exponent.
+  EXPECT_LE(MorrisCounter::bits_needed(2.0, std::pow(2.0, 30.0)), 6u);
+}
+
+TEST(Morris, MergeMaxTakesLarger) {
+  Rng rng(5);
+  MorrisCounter a, b;
+  for (int i = 0; i < 1000; ++i) a.increment(rng);
+  for (int i = 0; i < 10; ++i) b.increment(rng);
+  const auto exp_a = a.exponent();
+  b.merge_max(a);
+  EXPECT_EQ(b.exponent(), exp_a);
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/anomaly_detection.h"
+#include "apps/load_analysis.h"
+#include "apps/microburst.h"
+#include "apps/path_conformance.h"
+#include "apps/tomography.h"
+#include "common/rng.h"
+#include "pint/static_aggregation.h"
+
+namespace pint {
+namespace {
+
+// --- path conformance --------------------------------------------------------
+
+class ConformanceFixture : public ::testing::Test {
+ protected:
+  // Decode a 5-hop path enough to be complete, then check policies.
+  HashedPathDecoder make_decoder(const std::vector<SwitchId>& path,
+                                 PathTracingQuery& query) {
+    std::vector<std::uint64_t> universe;
+    for (SwitchId s = 1; s <= 100; ++s) universe.push_back(s);
+    auto dec =
+        query.make_decoder(static_cast<unsigned>(path.size()), universe);
+    PacketId p = 1;
+    while (!dec.complete()) {
+      std::vector<Digest> lanes(1, 0);
+      for (HopIndex i = 1; i <= path.size(); ++i) {
+        query.encode(p, i, path[i - 1], lanes);
+      }
+      dec.add_packet(p, lanes);
+      ++p;
+    }
+    return dec;
+  }
+};
+
+TEST_F(ConformanceFixture, ConformantPathPasses) {
+  PathTracingQuery q({8, 1, 5, SchemeVariant::kHybrid}, 1);
+  const std::vector<SwitchId> path{10, 20, 30, 40, 50};
+  auto dec = make_decoder(path, q);
+  PathPolicy policy;
+  policy.required_waypoints = {30};
+  policy.forbidden = {99};
+  PathConformanceChecker checker(policy);
+  EXPECT_EQ(checker.check(dec, 5).verdict, Conformance::kConformant);
+}
+
+TEST_F(ConformanceFixture, ForbiddenSwitchViolates) {
+  PathTracingQuery q({8, 1, 5, SchemeVariant::kHybrid}, 2);
+  const std::vector<SwitchId> path{10, 20, 99, 40, 50};
+  auto dec = make_decoder(path, q);
+  PathPolicy policy;
+  policy.forbidden = {99};
+  PathConformanceChecker checker(policy);
+  const auto report = checker.check(dec, 5);
+  EXPECT_EQ(report.verdict, Conformance::kViolation);
+  EXPECT_EQ(report.offending_hop, 3u);
+}
+
+TEST_F(ConformanceFixture, MissingWaypointViolates) {
+  PathPolicy policy;
+  policy.required_waypoints = {77};
+  PathConformanceChecker checker(policy);
+  const auto report = checker.check_full({1, 2, 3});
+  EXPECT_EQ(report.verdict, Conformance::kViolation);
+}
+
+TEST_F(ConformanceFixture, RoutingMisconfigurationDetected) {
+  PathPolicy policy;
+  policy.expected_path = std::vector<SwitchId>{1, 2, 3, 4};
+  PathConformanceChecker checker(policy);
+  const auto ok = checker.check_full({1, 2, 3, 4});
+  EXPECT_EQ(ok.verdict, Conformance::kConformant);
+  const auto bad = checker.check_full({1, 2, 9, 4});
+  EXPECT_EQ(bad.verdict, Conformance::kViolation);
+  EXPECT_EQ(bad.offending_hop, 3u);
+}
+
+TEST_F(ConformanceFixture, PartialDecodeCanProveViolationEarly) {
+  // A fresh decoder knows nothing -> undetermined; a single resolved
+  // forbidden hop -> violation even though the rest is unknown.
+  PathTracingQuery q({8, 1, 5, SchemeVariant::kHybrid}, 3);
+  std::vector<std::uint64_t> universe;
+  for (SwitchId s = 1; s <= 100; ++s) universe.push_back(s);
+  auto dec = q.make_decoder(5, universe);
+  PathPolicy policy;
+  policy.forbidden = {42};
+  PathConformanceChecker checker(policy);
+  EXPECT_EQ(checker.check(dec, 5).verdict, Conformance::kUndetermined);
+
+  const std::vector<SwitchId> path{10, 42, 30, 40, 50};
+  PacketId p = 1;
+  while (checker.check(dec, 5).verdict == Conformance::kUndetermined &&
+         p < 100000) {
+    std::vector<Digest> lanes(1, 0);
+    for (HopIndex i = 1; i <= 5; ++i) q.encode(p, i, path[i - 1], lanes);
+    dec.add_packet(p, lanes);
+    ++p;
+  }
+  EXPECT_EQ(checker.check(dec, 5).verdict, Conformance::kViolation);
+}
+
+// --- microburst ---------------------------------------------------------------
+
+TEST(Microburst, DetectsBurstAboveBaseline) {
+  MicroburstDetector det(3, {128, 8, 0.9, 4.0, 256}, 7);
+  Rng rng(7);
+  // Establish a calm baseline on hop 2.
+  bool fired = false;
+  for (int i = 0; i < 400; ++i) {
+    fired = det.add(2, 10.0 + rng.uniform()).has_value() || fired;
+  }
+  EXPECT_FALSE(fired);
+  // Burst: queue jumps 10x.
+  std::optional<MicroburstEvent> ev;
+  for (int i = 0; i < 200 && !ev; ++i) {
+    ev = det.add(2, 100.0 + rng.uniform() * 20.0);
+  }
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->hop, 2u);
+  EXPECT_GT(ev->recent_quantile, 4.0 * ev->baseline_median);
+}
+
+TEST(Microburst, NoFalseAlarmOnStableTraffic) {
+  MicroburstDetector det(2, {}, 9);
+  Rng rng(9);
+  int alarms = 0;
+  for (int i = 0; i < 5000; ++i) {
+    alarms += det.add(1, 50.0 + rng.exponential(0.2)).has_value();
+  }
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(Microburst, RejectsBadHop) {
+  MicroburstDetector det(2);
+  EXPECT_THROW(det.add(0, 1.0), std::out_of_range);
+  EXPECT_THROW(det.add(3, 1.0), std::out_of_range);
+}
+
+// --- load analysis ------------------------------------------------------------
+
+TEST(LoadAnalysis, RanksAndFairness) {
+  LoadAnalyzer la(0.2);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    la.add(1, 0.9 + 0.05 * rng.uniform());   // hot
+    la.add(2, 0.1 + 0.05 * rng.uniform());   // cold
+    la.add(3, 0.12 + 0.05 * rng.uniform());  // cold
+  }
+  const auto loads = la.all_loads();
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_EQ(loads[0].switch_id, 1u);
+  EXPECT_LT(la.fairness_index(), 0.75);
+  const auto over = la.overloaded(2.0);
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], 1u);
+}
+
+TEST(LoadAnalysis, BalancedNetworkIsFair) {
+  LoadAnalyzer la;
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    for (SwitchId s = 1; s <= 8; ++s) la.add(s, 0.5 + 0.01 * rng.uniform());
+  }
+  EXPECT_GT(la.fairness_index(), 0.99);
+  EXPECT_TRUE(la.overloaded(1.5).empty());
+}
+
+TEST(LoadAnalysis, SleepCandidates) {
+  LoadAnalyzer la;
+  Rng rng(15);
+  for (int i = 0; i < 500; ++i) {
+    la.add(1, 0.02 * rng.uniform());  // nearly idle
+    la.add(2, 0.6 + 0.1 * rng.uniform());
+  }
+  const auto sleepers = la.sleep_candidates(0.1, 100);
+  ASSERT_EQ(sleepers.size(), 1u);
+  EXPECT_EQ(sleepers[0], 1u);
+}
+
+TEST(LoadAnalysis, UnknownSwitch) {
+  LoadAnalyzer la;
+  EXPECT_FALSE(la.load_of(123).has_value());
+}
+
+// --- anomaly detection ---------------------------------------------------------
+
+TEST(Anomaly, DetectsLatencyShift) {
+  LatencyAnomalyDetector det(4, {0.5, 8.0, 64});
+  Rng rng(17);
+  std::optional<AnomalyEvent> ev;
+  for (int i = 0; i < 500 && !ev; ++i) {
+    ev = det.add(2, 100.0 + rng.uniform() * 10.0);
+  }
+  EXPECT_FALSE(ev.has_value());  // stable regime: no alarm
+  for (int i = 0; i < 500 && !ev; ++i) {
+    ev = det.add(2, 160.0 + rng.uniform() * 10.0);  // +6 sigma shift
+  }
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->hop, 2u);
+  EXPECT_TRUE(ev->upward);
+}
+
+TEST(Anomaly, DetectsDownwardShift) {
+  LatencyAnomalyDetector det(1, {0.5, 8.0, 64});
+  Rng rng(19);
+  std::optional<AnomalyEvent> ev;
+  for (int i = 0; i < 300 && !ev; ++i) ev = det.add(1, 200.0 + rng.uniform() * 10);
+  for (int i = 0; i < 500 && !ev; ++i) ev = det.add(1, 140.0 + rng.uniform() * 10);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->upward);
+}
+
+TEST(Anomaly, LowFalseAlarmRate) {
+  // Heavy-tailed (exponential) noise needs a larger drift allowance and
+  // threshold; with drift 1.0 / threshold 12 the expected false-alarm count
+  // over 20k samples is well below 1 (ruin-probability bound ~7e-5/cycle).
+  LatencyAnomalyDetector det(1, {1.0, 12.0, 64});
+  Rng rng(21);
+  int alarms = 0;
+  for (int i = 0; i < 20000; ++i) {
+    alarms += det.add(1, 100.0 + rng.exponential(0.5)).has_value();
+  }
+  EXPECT_LE(alarms, 2);
+}
+
+TEST(Anomaly, RebaselinesAfterAlarm) {
+  LatencyAnomalyDetector det(1, {0.5, 8.0, 32});
+  Rng rng(23);
+  std::optional<AnomalyEvent> ev;
+  for (int i = 0; i < 200 && !ev; ++i) ev = det.add(1, 10.0 + rng.uniform());
+  for (int i = 0; i < 200 && !ev; ++i) ev = det.add(1, 30.0 + rng.uniform());
+  ASSERT_TRUE(ev.has_value());
+  // After re-baselining, the new regime should not re-alarm.
+  int post_alarms = 0;
+  for (int i = 0; i < 500; ++i) {
+    post_alarms += det.add(1, 30.0 + rng.uniform()).has_value();
+  }
+  EXPECT_EQ(post_alarms, 0);
+}
+
+// --- tomography -----------------------------------------------------------------
+
+TEST(Tomography, RekeysSamplesToSwitches) {
+  QueueTomography tomo;
+  tomo.register_flow(1, {10, 20, 30});
+  tomo.register_flow(2, {40, 20, 50});
+  Rng rng(25);
+  for (int i = 0; i < 3000; ++i) {
+    // Switch 20 is the shared hot spot.
+    tomo.add_sample(1, 2, 500.0 + rng.uniform() * 50);
+    tomo.add_sample(2, 2, 480.0 + rng.uniform() * 50);
+    tomo.add_sample(1, 1, 10.0 + rng.uniform());
+    tomo.add_sample(2, 3, 12.0 + rng.uniform());
+  }
+  // Sampled hops touch switches 10 (flow1 hop1), 20 (both hop2), 50
+  // (flow2 hop3); switches 30 and 40 were never sampled.
+  EXPECT_EQ(tomo.switches_observed(), 3u);
+  const auto hot = tomo.hottest(1);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].switch_id, 20u);
+  EXPECT_NEAR(*tomo.queue_quantile(20, 0.5), 505.0, 30.0);
+  EXPECT_FALSE(tomo.queue_quantile(99, 0.5).has_value());
+}
+
+TEST(Tomography, DropsUnknownFlows) {
+  QueueTomography tomo;
+  tomo.add_sample(42, 1, 1.0);
+  EXPECT_EQ(tomo.dropped_samples(), 1u);
+  tomo.register_flow(42, {7});
+  tomo.add_sample(42, 2, 1.0);  // hop out of range
+  EXPECT_EQ(tomo.dropped_samples(), 2u);
+  tomo.add_sample(42, 1, 1.0);
+  EXPECT_EQ(tomo.dropped_samples(), 2u);
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pint {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.uniform_int(n), n);
+  }
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 10 * 0.1);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Bitops, MsbIndex) {
+  EXPECT_EQ(msb_index(1), 0u);
+  EXPECT_EQ(msb_index(2), 1u);
+  EXPECT_EQ(msb_index(3), 1u);
+  EXPECT_EQ(msb_index(0x8000000000000000ULL), 63u);
+}
+
+TEST(Bitops, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(Bitops, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xABCD, 4, 8), 0xBCu);
+  EXPECT_EQ(extract_bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(Types, LowBitsMask) {
+  EXPECT_EQ(low_bits_mask(0), 0u);
+  EXPECT_EQ(low_bits_mask(1), 1u);
+  EXPECT_EQ(low_bits_mask(8), 0xFFu);
+  EXPECT_EQ(low_bits_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Stats, PercentileExact) {
+  std::vector<int> v{5, 1, 4, 2, 3};
+  EXPECT_EQ(percentile(v, 0.5), 3);
+  EXPECT_EQ(percentile(v, 0.0), 1);
+  EXPECT_EQ(percentile(v, 1.0), 5);
+}
+
+TEST(Stats, PercentileThrowsOnEmpty) {
+  EXPECT_THROW(percentile(std::vector<int>{}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dataplane/fixed_point.h"
+#include "dataplane/log_exp.h"
+#include "dataplane/pipeline.h"
+
+namespace pint {
+namespace {
+
+TEST(FixedPoint, RoundTripResolution) {
+  FixedPoint fp(2.0, 16);
+  for (double x : {0.0, 0.5, 1.0, 1.19, 1.999}) {
+    EXPECT_NEAR(fp.to_real(fp.from_real(x)), x, fp.resolution());
+  }
+}
+
+TEST(FixedPoint, PaperExample) {
+  // Paper Appendix C: range [0,2], m=16, encoding 39131 represents ~1.19.
+  FixedPoint fp(2.0, 16);
+  EXPECT_NEAR(fp.to_real(39131), 1.19, 0.01);
+}
+
+TEST(FixedPoint, SaturatesAtRange) {
+  FixedPoint fp(1.0, 8);
+  EXPECT_EQ(fp.from_real(5.0), 255u);
+  EXPECT_EQ(fp.from_real(-1.0), 0u);
+  EXPECT_EQ(fp.add(200, 200), 255u);
+  EXPECT_EQ(fp.sub_saturating(10, 20), 0u);
+}
+
+TEST(LogExp, LogAccuracyAtQ8) {
+  // Paper claim: q = 8 keeps the log error around 1.44 * 2^-8 ~ 0.6%.
+  LogExpTables t(8);
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = 1 + rng.uniform_int((1ull << 40) - 1);
+    const double approx = t.log2(x);
+    const double exact = std::log2(static_cast<double>(x));
+    EXPECT_NEAR(approx, exact, 0.006) << x;
+  }
+}
+
+TEST(LogExp, ExpAccuracyAtQ8) {
+  LogExpTables t(8);
+  Rng rng(79);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 30.0);
+    const double approx = t.exp2(x);
+    const double exact = std::exp2(x);
+    EXPECT_NEAR(approx / exact, 1.0, 0.01) << x;
+  }
+}
+
+TEST(LogExp, MultiplyWithinOnePercent) {
+  LogExpTables t(8);
+  Rng rng(81);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = 1 + rng.uniform_int(1ull << 20);
+    const std::uint64_t y = 1 + rng.uniform_int(1ull << 20);
+    const double exact = static_cast<double>(x) * static_cast<double>(y);
+    EXPECT_NEAR(t.multiply(x, y) / exact, 1.0, 0.02) << x << "*" << y;
+  }
+}
+
+TEST(LogExp, DivideWithinOnePercent) {
+  LogExpTables t(8);
+  Rng rng(83);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = 1 + rng.uniform_int(1ull << 20);
+    const std::uint64_t y = 1 + rng.uniform_int(1ull << 20);
+    const double exact = static_cast<double>(x) / static_cast<double>(y);
+    EXPECT_NEAR(t.divide(x, y) / exact, 1.0, 0.02) << x << "/" << y;
+  }
+}
+
+TEST(LogExp, HigherQIsMoreAccurate) {
+  LogExpTables t4(4), t12(12);
+  double err4 = 0, err12 = 0;
+  Rng rng(85);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = 2 + rng.uniform_int(1ull << 30);
+    const double exact = std::log2(static_cast<double>(x));
+    err4 += std::abs(t4.log2(x) - exact);
+    err12 += std::abs(t12.log2(x) - exact);
+  }
+  EXPECT_LT(err12, err4 / 10);
+}
+
+TEST(LogExp, EdgeCases) {
+  LogExpTables t(8);
+  EXPECT_THROW(t.log2(0), std::invalid_argument);
+  EXPECT_THROW(t.divide(1, 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(t.multiply(0, 5), 0.0);
+  EXPECT_NEAR(t.log2(1), 0.0, 1e-9);
+  EXPECT_NEAR(t.log2(1024), 10.0, 0.01);
+}
+
+TEST(Pipeline, PaperStageCounts) {
+  EXPECT_EQ(SwitchPipeline::path_tracing_plan().depth(), 4u);
+  EXPECT_EQ(SwitchPipeline::latency_quantile_plan().depth(), 4u);
+  EXPECT_EQ(SwitchPipeline::hpcc_plan().depth(), 8u);
+}
+
+TEST(Pipeline, Fig6CombinationFitsEightStages) {
+  // Section 5: all three queries (plus query-subset selection) fit the same
+  // 8 stages HPCC alone needs, because independent queries parallelize.
+  SwitchPipeline hw(8, 8);
+  const std::vector<StagePlan> mix{
+      SwitchPipeline::hpcc_plan(), SwitchPipeline::path_tracing_plan(),
+      SwitchPipeline::latency_quantile_plan(),
+      SwitchPipeline::query_selection_plan()};
+  EXPECT_TRUE(hw.fits(mix));
+  const PipelineLayout layout = hw.layout(mix);
+  EXPECT_EQ(layout.depth(), 8u);  // depth = max over queries, not the sum
+}
+
+TEST(Pipeline, RejectsTooDeepMix) {
+  SwitchPipeline hw(4, 8);
+  EXPECT_FALSE(hw.fits({SwitchPipeline::hpcc_plan()}));
+  EXPECT_THROW(hw.layout({SwitchPipeline::hpcc_plan()}), std::runtime_error);
+}
+
+TEST(Pipeline, RejectsTooWideStage) {
+  SwitchPipeline hw(8, 1);  // one op per stage
+  EXPECT_FALSE(hw.fits({SwitchPipeline::path_tracing_plan(),
+                        SwitchPipeline::latency_quantile_plan()}));
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,231 @@
+// Tests for the PINT extensions: wire-format bit packing, path-change
+// detection under multipath routing (Section 7), and the bit-vector decode
+// fast path (Section 4.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "coding/encoder.h"
+#include "coding/hashed_decoder.h"
+#include "coding/peeling_decoder.h"
+#include "common/rng.h"
+#include "pint/path_change.h"
+#include "pint/wire_format.h"
+
+namespace pint {
+namespace {
+
+// --- wire format ---------------------------------------------------------------
+
+TEST(WireFormat, RoundTripMixedWidths) {
+  const std::vector<unsigned> widths{8, 3, 1, 16, 64, 5};
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Digest> lanes;
+    for (unsigned w : widths) lanes.push_back(rng.next() & low_bits_mask(w));
+    const auto bytes = pack_digests(lanes, widths);
+    EXPECT_EQ(bytes.size(), wire_bytes(widths));
+    EXPECT_EQ(unpack_digests(bytes, widths), lanes);
+  }
+}
+
+TEST(WireFormat, SixteenBitBudgetIsTwoBytes) {
+  const std::vector<unsigned> widths{8, 8};
+  const std::vector<Digest> lanes{0xAB, 0xCD};
+  const auto bytes = pack_digests(lanes, widths);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0xCD);
+}
+
+TEST(WireFormat, OddBitsPadToByte) {
+  const std::vector<unsigned> widths{3, 4};  // 7 bits -> 1 byte
+  EXPECT_EQ(wire_bytes(widths), 1u);
+  const auto bytes = pack_digests(std::vector<Digest>{0b101, 0b1100}, widths);
+  ASSERT_EQ(bytes.size(), 1u);
+  const auto lanes = unpack_digests(bytes, widths);
+  EXPECT_EQ(lanes[0], 0b101u);
+  EXPECT_EQ(lanes[1], 0b1100u);
+}
+
+TEST(WireFormat, RejectsBadInput) {
+  EXPECT_THROW(
+      pack_digests(std::vector<Digest>{1}, std::vector<unsigned>{1, 2}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      pack_digests(std::vector<Digest>{4}, std::vector<unsigned>{2}),
+      std::invalid_argument);  // value exceeds width
+  EXPECT_THROW(
+      unpack_digests(std::vector<std::uint8_t>{}, std::vector<unsigned>{8}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      pack_digests(std::vector<Digest>{0}, std::vector<unsigned>{0}),
+      std::invalid_argument);
+}
+
+// --- path change detection --------------------------------------------------------
+
+class PathChangeFixture : public ::testing::Test {
+ protected:
+  static constexpr unsigned kHops = 6;
+  static constexpr unsigned kBits = 8;
+
+  PathChangeFixture()
+      : root_(777), scheme_(make_multilayer_scheme(kHops)),
+        hashes_(make_instance_hashes(root_, 0)) {}
+
+  Digest encode(PacketId p, const std::vector<SwitchId>& path) const {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= path.size(); ++i) {
+      d = encode_step(scheme_, hashes_, p, i, d, path[i - 1], kBits);
+    }
+    return d;
+  }
+
+  GlobalHash root_;
+  SchemeConfig scheme_;
+  InstanceHashes hashes_;
+};
+
+TEST_F(PathChangeFixture, ConsistentPacketsRaiseNothing) {
+  const std::vector<SwitchId> path{1, 2, 3, 4, 5, 6};
+  PathChangeDetector det(kHops, scheme_, hashes_, kBits);
+  for (HopIndex i = 1; i <= kHops; ++i) det.set_known(i, path[i - 1]);
+  for (PacketId p = 1; p <= 5000; ++p) {
+    EXPECT_FALSE(det.check(p, encode(p, path)).has_value()) << p;
+  }
+}
+
+TEST_F(PathChangeFixture, RouteChangeDetectedQuickly) {
+  const std::vector<SwitchId> old_path{1, 2, 3, 4, 5, 6};
+  const std::vector<SwitchId> new_path{1, 2, 9, 4, 5, 6};  // hop 3 rerouted
+  PathChangeDetector det(kHops, scheme_, hashes_, kBits);
+  for (HopIndex i = 1; i <= kHops; ++i) det.set_known(i, old_path[i - 1]);
+
+  // Expected detection within a few packets: per-Baseline-packet detection
+  // probability is ~ (1/k) * (1 - 2^-8) for the changed hop... but any
+  // baseline packet carrying hop 3 mismatches.
+  PacketId p = 1;
+  std::optional<HopIndex> hit;
+  while (!hit && p < 2000) {
+    hit = det.check(p, encode(p, new_path));
+    ++p;
+  }
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LT(p, 500u);
+}
+
+TEST_F(PathChangeFixture, DetectionProbabilityMatchesPaper) {
+  EXPECT_NEAR(
+      PathChangeDetector(kHops, scheme_, hashes_, 8).detection_probability(),
+      1.0 - 1.0 / 256.0, 1e-12);
+  EXPECT_NEAR(
+      PathChangeDetector(kHops, scheme_, hashes_, 1).detection_probability(),
+      0.5, 1e-12);
+}
+
+TEST_F(PathChangeFixture, UnknownHopsAreUninformative) {
+  PathChangeDetector det(kHops, scheme_, hashes_, kBits);
+  EXPECT_EQ(det.known_hops(), 0u);
+  const std::vector<SwitchId> path{1, 2, 3, 4, 5, 6};
+  // Nothing known -> nothing can contradict.
+  for (PacketId p = 1; p <= 500; ++p) {
+    EXPECT_FALSE(det.check(p, encode(p, path)).has_value());
+  }
+}
+
+// --- bit-vector fast path ----------------------------------------------------------
+
+TEST(FastPath, MakeFastRoundsProbabilities) {
+  SchemeConfig cfg = make_multilayer_scheme(25);
+  const SchemeConfig fast = make_fast(cfg);
+  ASSERT_TRUE(fast.use_bit_vectors);
+  ASSERT_EQ(fast.layer_rounds.size(), fast.layer_probs.size());
+  for (std::size_t l = 0; l < fast.layer_probs.size(); ++l) {
+    EXPECT_DOUBLE_EQ(fast.layer_probs[l],
+                     std::pow(0.5, fast.layer_rounds[l]));
+    // Within sqrt(2) of the original probability (footnote 9).
+    EXPECT_LE(fast.layer_probs[l] / cfg.layer_probs[l], 1.5);
+    EXPECT_GE(fast.layer_probs[l] / cfg.layer_probs[l], 0.6);
+  }
+}
+
+TEST(FastPath, EncoderAndDecoderAgreeOnParticipants) {
+  const unsigned k = 40;
+  const SchemeConfig fast = make_fast(make_multilayer_scheme(k));
+  GlobalHash root(31337);
+  const InstanceHashes h = make_instance_hashes(root, 0);
+  for (PacketId p = 1; p <= 2000; ++p) {
+    for (unsigned layer = 1; layer <= fast.num_layers(); ++layer) {
+      const auto hops = xor_layer_hops(fast, h, p, k, layer);
+      std::vector<HopIndex> via_acts;
+      for (HopIndex i = 1; i <= k; ++i) {
+        if (xor_layer_acts(fast, h, p, i, layer)) via_acts.push_back(i);
+      }
+      ASSERT_EQ(hops, via_acts) << "packet " << p << " layer " << layer;
+    }
+  }
+}
+
+TEST(FastPath, ParticipationProbabilityIsPowerOfTwo) {
+  const unsigned k = 64;
+  SchemeConfig fast = make_fast(make_xor_scheme(16));  // p=1/16 exactly
+  ASSERT_EQ(fast.layer_rounds[0], 4u);
+  GlobalHash root(99);
+  const InstanceHashes h = make_instance_hashes(root, 0);
+  std::uint64_t total = 0;
+  const int packets = 30000;
+  for (PacketId p = 1; p <= static_cast<PacketId>(packets); ++p) {
+    total += xor_layer_hops(fast, h, p, k, 1).size();
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (packets * k), 1.0 / 16.0, 0.005);
+}
+
+class FastDecodeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FastDecodeTest, PeelingDecodesWithFastScheme) {
+  const unsigned k = GetParam();
+  const SchemeConfig fast = make_fast(make_multilayer_scheme(k));
+  GlobalHash root(4000 + k);
+  const InstanceHashes h = make_instance_hashes(root, 0);
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = mix64(k * 1000 + i);
+  PeelingDecoder dec(k, fast, h);
+  PacketId p = 1;
+  while (!dec.complete() && p < 100000) {
+    dec.add_packet(p, encode_path(fast, h, p, blocks, 0));
+    ++p;
+  }
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.message(), blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FastDecodeTest,
+                         ::testing::Values(5u, 25u, 59u, 128u));
+
+TEST(FastPath, HashedDecoderWorksWithFastScheme) {
+  const unsigned k = 12;
+  std::vector<std::uint64_t> universe(128);
+  std::iota(universe.begin(), universe.end(), 500);
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = universe[(i * 11) % 128];
+  HashedDecoderConfig cfg;
+  cfg.k = k;
+  cfg.bits = 8;
+  cfg.instances = 1;
+  cfg.scheme = make_fast(make_multilayer_scheme(k));
+  GlobalHash root(8080);
+  HashedPathDecoder dec(cfg, root, universe);
+  PacketId p = 1;
+  while (!dec.complete() && p < 200000) {
+    dec.add_packet(p,
+                   encode_path_multi(cfg.scheme, root, 1, p, blocks, 8));
+    ++p;
+  }
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.path(), blocks);
+}
+
+}  // namespace
+}  // namespace pint

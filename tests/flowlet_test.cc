@@ -1,0 +1,179 @@
+// Tests for flowlet-aware tracing (Section 7), the sliding-window recorder
+// mode, and the query-to-pipeline compiler.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "dataplane/query_compiler.h"
+#include "pint/dynamic_aggregation.h"
+#include "pint/flowlet_tracker.h"
+
+namespace pint {
+namespace {
+
+// --- flowlet tracking ---------------------------------------------------------
+
+struct FlowletFixture : public ::testing::Test {
+  static constexpr unsigned kHops = 5;
+
+  FlowletFixture() {
+    PathTracingConfig cfg;
+    cfg.bits = 8;
+    cfg.instances = 1;
+    cfg.d = kHops;
+    cfg.variant = SchemeVariant::kHybrid;
+    query = std::make_unique<PathTracingQuery>(cfg, 3111);
+    universe.resize(64);
+    std::iota(universe.begin(), universe.end(), 1);
+  }
+
+  std::vector<Digest> encode(PacketId p,
+                             const std::vector<SwitchId>& path) const {
+    std::vector<Digest> lanes(1, 0);
+    for (HopIndex i = 1; i <= path.size(); ++i) {
+      query->encode(p, i, path[i - 1], lanes);
+    }
+    return lanes;
+  }
+
+  std::unique_ptr<PathTracingQuery> query;
+  std::vector<std::uint64_t> universe;
+};
+
+TEST_F(FlowletFixture, SingleFlowletDecodesNormally) {
+  FlowletTracker tracker(*query, kHops, universe);
+  const std::vector<SwitchId> path{3, 14, 27, 41, 58};
+  PacketId p = 1;
+  while (!tracker.current_complete() && p < 100000) {
+    tracker.add_packet(p, encode(p, path));
+    ++p;
+  }
+  ASSERT_TRUE(tracker.current_complete());
+  ASSERT_EQ(tracker.completed_paths().size(), 1u);
+  EXPECT_EQ(tracker.completed_paths()[0], path);
+  EXPECT_EQ(tracker.route_changes(), 0u);
+}
+
+TEST_F(FlowletFixture, TracksTwoFlowletsAcrossRouteChange) {
+  FlowletTracker tracker(*query, kHops, universe);
+  const std::vector<SwitchId> path_a{3, 14, 27, 41, 58};
+  const std::vector<SwitchId> path_b{3, 14, 33, 47, 58};  // hops 3,4 rerouted
+
+  // Flowlet A: enough packets to fully decode.
+  PacketId p = 1;
+  while (!tracker.current_complete() && p < 100000) {
+    tracker.add_packet(p, encode(p, path_a));
+    ++p;
+  }
+  ASSERT_TRUE(tracker.current_complete());
+
+  // Flowlet B: keep sending until its path decodes too.
+  bool changed = false;
+  const PacketId limit = p + 200000;
+  while (p < limit) {
+    changed = tracker.add_packet(p, encode(p, path_b)) || changed;
+    ++p;
+    if (tracker.completed_paths().size() == 2) break;
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_GE(tracker.route_changes(), 1u);
+  ASSERT_EQ(tracker.completed_paths().size(), 2u);
+  EXPECT_EQ(tracker.completed_paths()[0], path_a);
+  EXPECT_EQ(tracker.completed_paths()[1], path_b);
+}
+
+TEST_F(FlowletFixture, NoFalseChangesOnStableRoute) {
+  FlowletTracker tracker(*query, kHops, universe);
+  const std::vector<SwitchId> path{5, 10, 15, 20, 25};
+  for (PacketId p = 1; p <= 20000; ++p) {
+    EXPECT_FALSE(tracker.add_packet(p, encode(p, path))) << p;
+  }
+  EXPECT_EQ(tracker.route_changes(), 0u);
+}
+
+// --- sliding window recorder -----------------------------------------------------
+
+TEST(SlidingRecorder, WindowedQuantileTracksRecentRegime) {
+  FlowLatencyRecorder rec(2);
+  rec.enable_sliding_window(400, 8);
+  DynamicAggregationQuery::Sample s;
+  s.hop = 1;
+  // Old regime 100, new regime 900.
+  for (int i = 0; i < 3000; ++i) {
+    s.value = 100.0;
+    rec.add(s);
+  }
+  for (int i = 0; i < 450; ++i) {
+    s.value = 900.0;
+    rec.add(s);
+  }
+  // All-time median is still the old regime; windowed median is the new one.
+  EXPECT_NEAR(*rec.quantile(1, 0.5), 100.0, 1.0);
+  EXPECT_NEAR(*rec.windowed_quantile(1, 0.5), 900.0, 1.0);
+}
+
+TEST(SlidingRecorder, DisabledWindowReturnsNothing) {
+  FlowLatencyRecorder rec(1);
+  DynamicAggregationQuery::Sample s{1, 5.0};
+  rec.add(s);
+  EXPECT_FALSE(rec.windowed_quantile(1, 0.5).has_value());
+}
+
+TEST(SlidingRecorder, EnableAfterAddThrows) {
+  FlowLatencyRecorder rec(1);
+  rec.add({1, 5.0});
+  EXPECT_THROW(rec.enable_sliding_window(100), std::logic_error);
+}
+
+// --- query compiler ---------------------------------------------------------------
+
+Query q(std::string name, AggregationType agg) {
+  Query out;
+  out.name = std::move(name);
+  out.aggregation = agg;
+  out.bit_budget = 8;
+  return out;
+}
+
+TEST(QueryCompiler, PaperMixFitsEightStages) {
+  SwitchPipeline hw(8, 8);
+  const auto compiled = compile_queries(
+      {q("path", AggregationType::kStaticPerFlow),
+       q("latency", AggregationType::kDynamicPerFlow),
+       q("hpcc", AggregationType::kPerPacket)},
+      hw);
+  ASSERT_TRUE(compiled.fits);
+  EXPECT_EQ(compiled.stages_used, 8u);  // depth = HPCC's 8, not the sum (16)
+}
+
+TEST(QueryCompiler, SelectionStageOnlyForMultiQuery) {
+  SwitchPipeline hw(8, 2);
+  const auto single =
+      compile_queries({q("path", AggregationType::kStaticPerFlow)}, hw);
+  ASSERT_TRUE(single.fits);
+  // Single query: exactly its own ops per stage (no selection lane).
+  for (const auto& stage : single.layout.stages) {
+    EXPECT_EQ(stage.size(), 1u);
+  }
+}
+
+TEST(QueryCompiler, RejectsOverDeepHardware) {
+  SwitchPipeline hw(6, 8);  // HPCC needs 8 stages
+  const auto compiled =
+      compile_queries({q("hpcc", AggregationType::kPerPacket)}, hw);
+  EXPECT_FALSE(compiled.fits);
+}
+
+TEST(QueryCompiler, RejectsOverWideStage) {
+  SwitchPipeline hw(8, 2);  // 2 ops/stage; 3 queries + selection need 4
+  const auto compiled = compile_queries(
+      {q("a", AggregationType::kStaticPerFlow),
+       q("b", AggregationType::kDynamicPerFlow),
+       q("c", AggregationType::kPerPacket)},
+      hw);
+  EXPECT_FALSE(compiled.fits);
+}
+
+}  // namespace
+}  // namespace pint

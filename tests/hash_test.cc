@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hash/bit_vectors.h"
+#include "hash/global_hash.h"
+#include "hash/tabulation.h"
+
+namespace pint {
+namespace {
+
+TEST(GlobalHash, DeterministicAcrossInstances) {
+  // The coordination property: two "switches" constructing the hash from the
+  // same seed agree on every outcome.
+  GlobalHash a(42), b(42);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(a.bits(k), b.bits(k));
+    ASSERT_EQ(a.bits2(k, k * 7), b.bits2(k, k * 7));
+  }
+}
+
+TEST(GlobalHash, SeedsAreIndependent) {
+  GlobalHash a(1), b(2);
+  int same = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) same += (a.bits(k) == b.bits(k));
+  EXPECT_EQ(same, 0);
+}
+
+TEST(GlobalHash, UnitInUnitInterval) {
+  GlobalHash h(3);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    const double u = h.unit(k);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(GlobalHash, UnitIsUniform) {
+  GlobalHash h(5);
+  std::vector<int> buckets(10, 0);
+  const int n = 200000;
+  for (int k = 0; k < n; ++k) {
+    ++buckets[static_cast<int>(h.unit(k) * 10)];
+  }
+  for (int c : buckets) EXPECT_NEAR(c, n / 10, n / 10 * 0.05);
+}
+
+TEST(GlobalHash, BelowMatchesProbability) {
+  GlobalHash h(7);
+  for (double p : {0.01, 0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int k = 0; k < n; ++k) hits += h.below(k, p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(GlobalHash, BelowEdgeCases) {
+  GlobalHash h(9);
+  int zero_hits = 0, one_misses = 0;
+  for (int k = 0; k < 10000; ++k) {
+    zero_hits += h.below(k, 0.0);
+    one_misses += !h.below(k, 1.0);
+  }
+  EXPECT_EQ(zero_hits, 0);
+  EXPECT_EQ(one_misses, 0);
+}
+
+TEST(GlobalHash, RangedBounds) {
+  GlobalHash h(11);
+  for (std::uint64_t n : {1ull, 3ull, 10ull, 1000ull}) {
+    for (int k = 0; k < 1000; ++k) ASSERT_LT(h.ranged(k, n), n);
+  }
+}
+
+TEST(GlobalHash, DigestWidth) {
+  GlobalHash h(13);
+  for (unsigned b : {1u, 4u, 8u, 16u, 63u}) {
+    for (int k = 0; k < 1000; ++k) {
+      ASSERT_LE(h.digest(k, b), low_bits_mask(b));
+    }
+  }
+}
+
+TEST(GlobalHash, DigestUniformOverSmallRange) {
+  GlobalHash h(15);
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int k = 0; k < n; ++k) ++counts[h.digest(k, 4)];
+  for (int c : counts) EXPECT_NEAR(c, n / 16, n / 16 * 0.1);
+}
+
+TEST(GlobalHash, DeriveGivesIndependentFamilies) {
+  GlobalHash root(17);
+  GlobalHash d1 = root.derive(1), d2 = root.derive(2);
+  GlobalHash d1_again = root.derive(1);
+  int same12 = 0;
+  for (int k = 0; k < 1000; ++k) {
+    ASSERT_EQ(d1.bits(k), d1_again.bits(k));
+    same12 += (d1.bits(k) == d2.bits(k));
+  }
+  EXPECT_EQ(same12, 0);
+}
+
+TEST(GlobalHash, AvalancheSingleBitFlip) {
+  // Flipping one input bit should flip about half the output bits.
+  GlobalHash h(19);
+  double total_flips = 0;
+  int trials = 0;
+  for (std::uint64_t k = 1; k < 1000; ++k) {
+    for (int bit : {0, 7, 31, 63}) {
+      const std::uint64_t x = h.bits(k);
+      const std::uint64_t y = h.bits(k ^ (1ULL << bit));
+      total_flips += popcount(x ^ y);
+      ++trials;
+    }
+  }
+  EXPECT_NEAR(total_flips / trials, 32.0, 1.0);
+}
+
+TEST(Tabulation, DeterministicAndUniform) {
+  TabulationHash t(23), t2(23);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) {
+    ASSERT_EQ(t(k), t2(k));
+    ++buckets[static_cast<int>(t.unit(k) * 10)];
+  }
+  for (int c : buckets) EXPECT_NEAR(c, n / 10, n / 10 * 0.07);
+}
+
+TEST(BitVectors, ActsMatchesSelect) {
+  // The O(log k) per-switch check must agree with the decoder's full vector.
+  GlobalHash h(29);
+  BitVectorSelector sel(h, 3);  // p = 1/8
+  const unsigned k = 200;
+  for (PacketId p = 0; p < 500; ++p) {
+    const HopBitVector v = sel.select(p);
+    for (unsigned i = 0; i < k; ++i) {
+      ASSERT_EQ(v.test(i), sel.acts(p, i)) << "packet " << p << " hop " << i;
+    }
+  }
+}
+
+TEST(BitVectors, ProbabilityIsTwoToMinusRounds) {
+  GlobalHash h(31);
+  for (unsigned rounds : {1u, 2u, 4u}) {
+    BitVectorSelector sel(h, rounds);
+    const unsigned k = 256;
+    std::uint64_t set = 0;
+    const int packets = 2000;
+    for (PacketId p = 0; p < static_cast<PacketId>(packets); ++p) {
+      set += sel.select(p).count(k);
+    }
+    const double expected = std::pow(0.5, rounds);
+    EXPECT_NEAR(static_cast<double>(set) / (packets * k), expected,
+                expected * 0.1)
+        << "rounds=" << rounds;
+  }
+}
+
+TEST(BitVectors, SetBitsAscendingAndConsistent) {
+  GlobalHash h(37);
+  BitVectorSelector sel(h, 2);
+  const unsigned k = 100;
+  for (PacketId p = 0; p < 200; ++p) {
+    const HopBitVector v = sel.select(p);
+    const auto bits = v.set_bits(k);
+    for (std::size_t i = 1; i < bits.size(); ++i)
+      ASSERT_LT(bits[i - 1], bits[i]);
+    ASSERT_EQ(bits.size(), v.count(k));
+    for (unsigned b : bits) ASSERT_TRUE(v.test(b));
+  }
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,163 @@
+// Cross-module invariant tests: simulator FIFO ordering, INT-spec random
+// round-trips, fragmentation under every scheme family, and the framework's
+// frequent-values surface.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/int_spec.h"
+#include "coding/fragmentation.h"
+#include "common/rng.h"
+#include "pint/framework.h"
+#include "sim/simulator.h"
+#include "topology/graph.h"
+
+namespace pint {
+namespace {
+
+TEST(SimInvariants, SingleFlowDeliversInOrderWithoutDrops) {
+  // FIFO queues + single path => no reordering. Verify via the receiver's
+  // out-of-order buffer never being needed: the flow completes with zero
+  // retransmits and exactly size/mtu packets.
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  SimConfig cfg;
+  cfg.host_bandwidth_bps = 10e9;
+  cfg.fabric_bandwidth_bps = 10e9;
+  cfg.mtu_payload = 1000;
+  cfg.transport = TransportKind::kTcpReno;
+  Simulator sim(g, {true, true, false, false}, cfg);
+  const Bytes size = 500'000;
+  const auto id = sim.add_flow(0, 1, size, 0);
+  sim.run_until(1 * kSecond);
+  const FlowStats& st = sim.flow_stats()[id];
+  ASSERT_TRUE(st.done);
+  EXPECT_EQ(st.retransmits, 0u);
+  EXPECT_EQ(st.packets_sent, static_cast<std::uint64_t>(size / 1000));
+  EXPECT_EQ(sim.counters().packets_dropped, 0u);
+}
+
+TEST(SimInvariants, TelemetryNeverChangesDeliveredBytes) {
+  // Telemetry must be transparent to the transport: same flow completes
+  // with the same payload bytes under every mode.
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  for (TelemetryMode mode :
+       {TelemetryMode::kNone, TelemetryMode::kInt, TelemetryMode::kPint}) {
+    SimConfig cfg;
+    cfg.telemetry = mode;
+    cfg.transport = TransportKind::kTcpReno;
+    Simulator sim(g, {true, true, false, false}, cfg);
+    const auto id = sim.add_flow(0, 1, 200'000, 0);
+    sim.run_until(1 * kSecond);
+    ASSERT_TRUE(sim.flow_stats()[id].done) << static_cast<int>(mode);
+  }
+}
+
+class IntSpecSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntSpecSweep, RandomBitmapRoundTrips) {
+  const auto bitmap = static_cast<std::uint8_t>(GetParam());
+  IntInstructionHeader h;
+  h.instruction_bitmap = bitmap;
+  h.max_hops = 32;
+  IntPacketState pkt(h);
+  Rng rng(bitmap);
+  std::vector<IntHopView> views;
+  for (int hop = 0; hop < 7; ++hop) {
+    IntHopView v;
+    v.switch_id = static_cast<std::uint32_t>(rng.next());
+    v.hop_latency = static_cast<std::uint32_t>(rng.next());
+    v.queue_occupancy = static_cast<std::uint32_t>(rng.next());
+    v.egress_tx_utilization = static_cast<std::uint32_t>(rng.next());
+    views.push_back(v);
+    ASSERT_TRUE(pkt.push_hop(v));
+  }
+  const auto records = pkt.pop_all();
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), views.size());
+  // Spot-check: each record's values match the view in bitmap order.
+  for (std::size_t hop = 0; hop < views.size(); ++hop) {
+    std::size_t vi = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      if (!((bitmap >> b) & 1)) continue;
+      EXPECT_EQ((*records)[hop].values[vi],
+                views[hop].value_of(static_cast<IntInstruction>(b)));
+      ++vi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitmaps, IntSpecSweep,
+                         ::testing::Values(0x01u, 0x03u, 0x55u, 0xAAu, 0xFFu));
+
+class FragSchemeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FragSchemeSweep, FragmentationUnderEverySchemeFamily) {
+  SchemeConfig cfg;
+  const unsigned k = 5;
+  switch (GetParam()) {
+    case 0: cfg = make_baseline_scheme(); break;
+    case 1: cfg = make_hybrid_scheme(k); break;
+    case 2: cfg = make_multilayer_scheme(k); break;
+    case 3: cfg = make_fast(make_multilayer_scheme(k)); break;
+    default: FAIL();
+  }
+  GlobalHash root(6100 + GetParam());
+  FragmentedCodec codec(k, /*q=*/32, /*b=*/8, cfg, root);
+  std::vector<std::uint64_t> values(k);
+  Rng rng(GetParam());
+  for (auto& v : values) v = rng.next() & 0xFFFFFFFF;
+  PacketId p = 1;
+  while (!codec.complete() && p < 300000) {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= k; ++i) d = codec.encode_step(p, i, d, values[i - 1]);
+    codec.add_packet(p, d);
+    ++p;
+  }
+  ASSERT_TRUE(codec.complete());
+  EXPECT_EQ(codec.message(), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, FragSchemeSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(FrameworkSurface, FrequentValuesReachable) {
+  FrameworkConfig fc;
+  fc.global_bit_budget = 16;
+  fc.latency.max_value = 1e6;
+  Query lat;
+  lat.name = "latency";
+  lat.aggregation = AggregationType::kDynamicPerFlow;
+  lat.bit_budget = 16;
+  lat.frequency = 1.0;
+  PintFramework fw(fc, {lat}, {1, 2, 3});
+
+  FiveTuple tuple{1, 2, 3, 4, 6};
+  const std::uint64_t fkey = flow_key(tuple, FlowDefinition::kFiveTuple);
+  const unsigned k = 3;
+  for (PacketId p = 1; p <= 20000; ++p) {
+    Packet pkt;
+    pkt.id = p;
+    pkt.tuple = tuple;
+    for (HopIndex i = 1; i <= k; ++i) {
+      SwitchView view;
+      view.id = i;
+      view.hop_latency_ns = (i == 2) ? 512.0 : 1.0 + (p % 97);
+      fw.at_switch(pkt, i, view);
+    }
+    fw.at_sink(pkt, k);
+  }
+  const auto frequent = fw.latency_frequent_values(fkey, 2, 0.5);
+  ASSERT_FALSE(frequent.empty());
+  // 512 compresses and decodes to within the multiplicative guarantee.
+  EXPECT_NEAR(static_cast<double>(frequent[0]), 512.0, 30.0);
+  EXPECT_TRUE(fw.latency_frequent_values(999999, 1, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,463 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "pint/dynamic_aggregation.h"
+#include "pint/framework.h"
+#include "pint/loop_detection.h"
+#include "pint/perpacket_aggregation.h"
+#include "pint/static_aggregation.h"
+
+namespace pint {
+namespace {
+
+// --- static aggregation (path tracing) --------------------------------------
+
+TEST(PathTracing, EncodeDecodeRoundTrip) {
+  PathTracingConfig cfg;
+  cfg.bits = 8;
+  cfg.instances = 2;
+  cfg.d = 10;
+  PathTracingQuery query(cfg, 2024);
+
+  const unsigned k = 10;
+  std::vector<std::uint64_t> universe;
+  for (SwitchId s = 100; s < 400; ++s) universe.push_back(s);
+  std::vector<SwitchId> path(k);
+  for (unsigned i = 0; i < k; ++i) path[i] = 100 + i * 17;
+
+  auto decoder = query.make_decoder(k, universe);
+  PacketId p = 1;
+  while (!decoder.complete() && p < 100000) {
+    std::vector<Digest> lanes(cfg.instances, 0);
+    for (HopIndex i = 1; i <= k; ++i) {
+      query.encode(p, i, path[i - 1], lanes);
+    }
+    decoder.add_packet(p, lanes);
+    ++p;
+  }
+  ASSERT_TRUE(decoder.complete());
+  const auto decoded = decoder.path();
+  for (unsigned i = 0; i < k; ++i) EXPECT_EQ(decoded[i], path[i]);
+}
+
+TEST(PathTracing, SingleBitBudgetStillDecodes) {
+  // Fig. 10 evaluates PINT with a 1-bit budget.
+  PathTracingConfig cfg;
+  cfg.bits = 1;
+  cfg.instances = 1;
+  cfg.d = 5;
+  PathTracingQuery query(cfg, 77);
+  const unsigned k = 5;
+  std::vector<std::uint64_t> universe;
+  for (SwitchId s = 0; s < 64; ++s) universe.push_back(s);
+  std::vector<SwitchId> path{3, 17, 42, 8, 60};
+
+  auto decoder = query.make_decoder(k, universe);
+  PacketId p = 1;
+  while (!decoder.complete() && p < 2000000) {
+    std::vector<Digest> lanes(1, 0);
+    for (HopIndex i = 1; i <= k; ++i) query.encode(p, i, path[i - 1], lanes);
+    decoder.add_packet(p, lanes);
+    ++p;
+  }
+  ASSERT_TRUE(decoder.complete());
+  for (unsigned i = 0; i < k; ++i) EXPECT_EQ(decoder.path()[i], path[i]);
+}
+
+TEST(PathTracing, RejectsBadConfig) {
+  EXPECT_THROW(PathTracingQuery({0, 1, 5, SchemeVariant::kHybrid}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(PathTracingQuery({8, 0, 5, SchemeVariant::kHybrid}, 1),
+               std::invalid_argument);
+}
+
+// --- dynamic aggregation (latency quantiles) ---------------------------------
+
+TEST(DynamicAggregation, SamplesAttributeToCorrectHop) {
+  DynamicAggregationConfig cfg;
+  cfg.bits = 16;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery query(cfg, 31);
+  const unsigned k = 8;
+
+  // Hop i always reports value 100 * i; check attribution by value.
+  for (PacketId p = 1; p <= 2000; ++p) {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= k; ++i) {
+      d = query.encode_step(p, i, d, 100.0 * i);
+    }
+    const auto sample = query.decode(p, d, k);
+    ASSERT_GE(sample.hop, 1u);
+    ASSERT_LE(sample.hop, k);
+    EXPECT_NEAR(sample.value, 100.0 * sample.hop,
+                100.0 * sample.hop * 0.01);
+  }
+}
+
+TEST(DynamicAggregation, UniformHopCoverage) {
+  DynamicAggregationConfig cfg;
+  cfg.bits = 8;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery query(cfg, 37);
+  const unsigned k = 10;
+  std::vector<int> counts(k, 0);
+  const int n = 100000;
+  for (PacketId p = 1; p <= static_cast<PacketId>(n); ++p) {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= k; ++i) d = query.encode_step(p, i, d, 5.0);
+    ++counts[query.decode(p, d, k).hop - 1];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / k, n / k * 0.1);
+}
+
+TEST(DynamicAggregation, QuantileErrorWithinTheorem1) {
+  // Theorem 1 flavour: with O(k eps^-2) packets, each hop's phi-quantile is
+  // (phi +- eps)-accurate. Latencies at hop i ~ exponential with mean i.
+  const unsigned k = 5;
+  const double eps = 0.1;
+  const int packets = static_cast<int>(k / (eps * eps)) * 8;
+
+  DynamicAggregationConfig cfg;
+  cfg.bits = 12;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery query(cfg, 41);
+  FlowLatencyRecorder recorder(k, /*sketch_bytes=*/0);
+
+  Rng rng(43);
+  std::vector<std::vector<double>> truth(k);
+  for (PacketId p = 1; p <= static_cast<PacketId>(packets); ++p) {
+    Digest d = 0;
+    std::vector<double> values(k);
+    for (HopIndex i = 1; i <= k; ++i) {
+      values[i - 1] = 1.0 + rng.exponential(1.0 / static_cast<double>(i));
+      truth[i - 1].push_back(values[i - 1]);
+      d = query.encode_step(p, i, d, values[i - 1]);
+    }
+    recorder.add(query.decode(p, d, k));
+  }
+  for (HopIndex hop = 1; hop <= k; ++hop) {
+    const auto est = recorder.quantile(hop, 0.5);
+    ASSERT_TRUE(est.has_value());
+    // Rank-accuracy: the estimated median's true rank must be 0.5 +- ~eps.
+    auto& t = truth[hop - 1];
+    std::sort(t.begin(), t.end());
+    const double rank =
+        static_cast<double>(std::lower_bound(t.begin(), t.end(), *est) -
+                            t.begin()) /
+        static_cast<double>(t.size());
+    EXPECT_NEAR(rank, 0.5, 2.5 * eps) << "hop " << hop;
+  }
+}
+
+TEST(DynamicAggregation, SketchedRecorderClose) {
+  // PINT_S: sketching the sub-streams loses little accuracy (Fig. 9).
+  const unsigned k = 4;
+  DynamicAggregationConfig cfg;
+  cfg.bits = 10;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery query(cfg, 47);
+  FlowLatencyRecorder raw(k, 0), sketched(k, /*sketch_bytes=*/4096);
+
+  Rng rng(49);
+  for (PacketId p = 1; p <= 20000; ++p) {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= k; ++i) {
+      d = query.encode_step(p, i, d, 1.0 + rng.exponential(0.1));
+    }
+    const auto s = query.decode(p, d, k);
+    raw.add(s);
+    sketched.add(s);
+  }
+  for (HopIndex hop = 1; hop <= k; ++hop) {
+    const double a = *raw.quantile(hop, 0.9);
+    const double b = *sketched.quantile(hop, 0.9);
+    EXPECT_NEAR(b / a, 1.0, 0.15) << "hop " << hop;
+  }
+}
+
+TEST(DynamicAggregation, FrequentValues) {
+  const unsigned k = 3;
+  DynamicAggregationConfig cfg;
+  cfg.bits = 16;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery query(cfg, 53);
+  FlowLatencyRecorder recorder(k);
+  Rng rng(55);
+  for (PacketId p = 1; p <= 30000; ++p) {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= k; ++i) {
+      // Hop 2 emits 500 in 60% of packets; others noise.
+      const double v = (i == 2 && rng.uniform() < 0.6)
+                           ? 500.0
+                           : 1.0 + rng.uniform() * 100.0;
+      d = query.encode_step(p, i, d, v);
+    }
+    recorder.add(query.decode(p, d, k));
+  }
+  const auto frequent = recorder.frequent_values(2, 0.4);
+  bool found = false;
+  for (std::uint64_t v : frequent) {
+    if (std::llabs(static_cast<long long>(v) - 500) < 15) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- per-packet aggregation ---------------------------------------------------
+
+TEST(PerPacket, MaxTracksBottleneck) {
+  PerPacketConfig cfg;
+  cfg.bits = 8;
+  cfg.eps = 0.025;
+  cfg.max_value = 1e6;
+  PerPacketQuery query(cfg, 59);
+  Rng rng(61);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> utils(6);
+    for (auto& u : utils) u = 1.0 + rng.uniform() * 1000.0;
+    Digest d = 0;
+    const PacketId p = trial + 1;
+    for (double u : utils) d = query.encode_step(p, d, u);
+    const double truth = *std::max_element(utils.begin(), utils.end());
+    const double bound = std::pow(1.0 + cfg.eps, 2.0) * 1.05;
+    EXPECT_LE(query.decode(d) / truth, bound);
+    EXPECT_GE(query.decode(d) / truth, 1.0 / bound);
+  }
+}
+
+TEST(PerPacket, RandomizedRoundingUnbiasedAcrossPackets) {
+  PerPacketConfig cfg;
+  cfg.bits = 8;
+  cfg.eps = 0.025;
+  cfg.max_value = 1e6;
+  PerPacketQuery query(cfg, 63);
+  const double value = 777.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (PacketId p = 1; p <= static_cast<PacketId>(n); ++p) {
+    sum += query.decode(query.encode_step(p, 0, value));
+  }
+  // Zero-mean compression error: the mean decoded value is ~the truth.
+  EXPECT_NEAR(sum / n / value, 1.0, 0.005);
+}
+
+TEST(PerPacket, MinAndSumOps) {
+  PerPacketConfig cfg;
+  cfg.bits = 8;
+  cfg.eps = 0.025;
+  cfg.max_value = 1e6;
+  cfg.op = PerPacketOp::kMin;
+  PerPacketQuery minq(cfg, 65);
+  Digest d = 0;
+  d = minq.encode_step(1, d, 100.0);
+  d = minq.encode_step(1, d, 10.0);
+  d = minq.encode_step(1, d, 50.0);
+  EXPECT_NEAR(minq.decode(d), 10.0, 10.0 * 0.1);
+}
+
+// --- loop detection -----------------------------------------------------------
+
+TEST(LoopDetection, DetectsRealLoop) {
+  LoopDetectionConfig cfg;
+  cfg.bits = 15;
+  cfg.threshold = 1;
+  LoopDetector det(cfg, 67);
+  // A packet circling switches 1..4 repeatedly must eventually trip.
+  int detected = 0;
+  for (PacketId p = 1; p <= 200; ++p) {
+    LoopDigest state;
+    HopIndex i = 1;
+    bool tripped = false;
+    for (int cycle = 0; cycle < 20 && !tripped; ++cycle) {
+      for (SwitchId s = 1; s <= 4 && !tripped; ++s) {
+        tripped = det.process(p, i++, s, state);
+      }
+    }
+    detected += tripped;
+  }
+  // The first writer re-seen twice trips; nearly every packet detects.
+  EXPECT_GT(detected, 190);
+}
+
+TEST(LoopDetection, FalsePositiveRateTiny) {
+  LoopDetectionConfig cfg;
+  cfg.bits = 15;
+  cfg.threshold = 1;
+  LoopDetector det(cfg, 71);
+  int false_alarms = 0;
+  const int packets = 20000;
+  for (PacketId p = 1; p <= static_cast<PacketId>(packets); ++p) {
+    LoopDigest state;
+    bool tripped = false;
+    for (HopIndex i = 1; i <= 32 && !tripped; ++i) {
+      tripped = det.process(p, i, 1000 + i, state);  // all distinct switches
+    }
+    false_alarms += tripped;
+  }
+  // Paper: b=15, T=1 -> ~5e-7 per packet; 20K packets should see none.
+  EXPECT_EQ(false_alarms, 0);
+}
+
+TEST(LoopDetection, TotalBits) {
+  EXPECT_EQ(LoopDetector({15, 1}, 1).total_bits(), 16u);
+  EXPECT_EQ(LoopDetector({14, 3}, 1).total_bits(), 16u);
+}
+
+// --- framework ----------------------------------------------------------------
+
+std::vector<Query> paper_queries() {
+  Query path;
+  path.name = "path";
+  path.aggregation = AggregationType::kStaticPerFlow;
+  path.bit_budget = 8;
+  path.frequency = 1.0;
+  Query lat;
+  lat.name = "latency";
+  lat.aggregation = AggregationType::kDynamicPerFlow;
+  lat.bit_budget = 8;
+  lat.frequency = 15.0 / 16.0;
+  Query cc;
+  cc.name = "hpcc";
+  cc.aggregation = AggregationType::kPerPacket;
+  cc.bit_budget = 8;
+  cc.frequency = 1.0 / 16.0;
+  return {path, lat, cc};
+}
+
+TEST(Framework, CombinedThreeQueriesWithin16Bits) {
+  FrameworkConfig fc;
+  fc.global_bit_budget = 16;
+  fc.path.bits = 8;
+  fc.path.instances = 1;
+  fc.path.d = 5;
+  fc.latency.max_value = 1e6;
+  fc.perpacket.max_value = 1e6;
+
+  const unsigned k = 5;
+  std::vector<std::uint64_t> universe;
+  for (SwitchId s = 1; s <= 80; ++s) universe.push_back(s);
+  std::vector<SwitchId> path{4, 18, 33, 47, 71};
+
+  PintFramework fw(fc, paper_queries(), universe);
+
+  FiveTuple tuple;
+  tuple.src_ip = 0x0A000001;
+  tuple.dst_ip = 0x0A000002;
+  tuple.src_port = 1234;
+  tuple.dst_port = 80;
+  const std::uint64_t fkey = flow_key(tuple, FlowDefinition::kFiveTuple);
+
+  Rng rng(73);
+  double last_util = 0.0;
+  int cc_reports = 0;
+  const int packets = 60000;
+  for (int n = 0; n < packets; ++n) {
+    Packet pkt;
+    pkt.id = 1 + n;
+    pkt.tuple = tuple;
+    for (HopIndex i = 1; i <= k; ++i) {
+      SwitchView view;
+      view.id = path[i - 1];
+      view.hop_latency_ns = 1.0 + rng.exponential(0.001);
+      view.link_utilization = 100.0 + 10.0 * i;
+      fw.at_switch(pkt, i, view);
+    }
+    const SinkReport rep = fw.at_sink(pkt, k);
+    if (rep.bottleneck_utilization.has_value()) {
+      ++cc_reports;
+      last_util = *rep.bottleneck_utilization;
+    }
+  }
+
+  // Query budget respected: CC ran on ~1/16 of packets.
+  EXPECT_NEAR(static_cast<double>(cc_reports) / packets, 1.0 / 16.0, 0.01);
+  // Bottleneck = hop 5's utilization 150, within compression error.
+  EXPECT_NEAR(last_util, 150.0, 150.0 * 0.06);
+  // Path fully decoded.
+  const auto decoded = fw.flow_path(fkey);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, path);
+  EXPECT_DOUBLE_EQ(fw.path_progress(fkey), 1.0);
+  // Latency quantiles exist and scale with the per-hop mean.
+  const auto q1 = fw.latency_quantile(fkey, 1, 0.5);
+  ASSERT_TRUE(q1.has_value());
+  EXPECT_GT(*q1, 0.0);
+}
+
+TEST(Framework, UnknownFlowReportsNothing) {
+  FrameworkConfig fc;
+  fc.global_bit_budget = 16;
+  PintFramework fw(fc, paper_queries(), {1, 2, 3});
+  EXPECT_FALSE(fw.flow_path(12345).has_value());
+  EXPECT_EQ(fw.path_progress(12345), 0.0);
+  EXPECT_FALSE(fw.latency_quantile(12345, 1, 0.5).has_value());
+}
+
+}  // namespace
+}  // namespace pint
+
+namespace pint {
+namespace {
+
+TEST(Framework, MultiInstancePathQueryUsesTwoLanes) {
+  // 2 x (b=8) inside a 16-bit budget: the framework must slice two digest
+  // lanes for the path query and decode faster than a single instance.
+  FrameworkConfig fc;
+  fc.global_bit_budget = 16;
+  fc.path.bits = 8;
+  fc.path.instances = 2;
+  fc.path.d = 5;
+  Query path_q;
+  path_q.name = "path";
+  path_q.aggregation = AggregationType::kStaticPerFlow;
+  path_q.bit_budget = 16;
+  path_q.frequency = 1.0;
+
+  std::vector<std::uint64_t> universe;
+  for (SwitchId s = 1; s <= 64; ++s) universe.push_back(s);
+  PintFramework fw(fc, {path_q}, universe);
+
+  const std::vector<SwitchId> path{7, 21, 42, 56, 11};
+  FiveTuple tuple{11, 22, 33, 44, 6};
+  const std::uint64_t fkey = flow_key(tuple, FlowDefinition::kFiveTuple);
+  int packets_used = 0;
+  for (PacketId id = 1; id <= 5000; ++id) {
+    Packet pkt;
+    pkt.id = id;
+    pkt.tuple = tuple;
+    for (HopIndex i = 1; i <= 5; ++i) {
+      SwitchView view;
+      view.id = path[i - 1];
+      fw.at_switch(pkt, i, view);
+    }
+    ASSERT_EQ(pkt.digests.size(), 2u);  // two 8-bit lanes on the wire
+    fw.at_sink(pkt, 5);
+    ++packets_used;
+    if (fw.flow_path(fkey).has_value()) break;
+  }
+  const auto decoded = fw.flow_path(fkey);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, path);
+  EXPECT_LT(packets_used, 200);  // 5 hops decode in tens of packets
+}
+
+TEST(Framework, RejectsBudgetBelowInstanceCount) {
+  FrameworkConfig fc;
+  fc.global_bit_budget = 16;
+  fc.path.instances = 4;
+  Query path_q;
+  path_q.name = "path";
+  path_q.aggregation = AggregationType::kStaticPerFlow;
+  path_q.bit_budget = 2;  // 2 bits across 4 instances -> 0 bits each
+  path_q.frequency = 1.0;
+  EXPECT_THROW(PintFramework(fc, {path_q}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pint

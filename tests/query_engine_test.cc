@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "pint/query_engine.h"
+
+namespace pint {
+namespace {
+
+Query make_query(std::string name, unsigned bits, double freq,
+                 AggregationType agg = AggregationType::kStaticPerFlow) {
+  Query q;
+  q.name = std::move(name);
+  q.bit_budget = bits;
+  q.frequency = freq;
+  q.aggregation = agg;
+  return q;
+}
+
+TEST(QueryEngine, SingleQueryFullFrequency) {
+  QueryEngine e({make_query("path", 16, 1.0)}, 16);
+  ASSERT_EQ(e.plan().sets.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.plan().sets[0].probability, 1.0);
+  EXPECT_DOUBLE_EQ(e.plan().query_coverage[0], 1.0);
+}
+
+TEST(QueryEngine, PaperSection64Plan) {
+  // Paper Section 6.4: three 8-bit queries, 16-bit global budget; path on
+  // all packets, latency on 15/16, HPCC on 1/16.
+  const double p = 1.0 / 16.0;
+  QueryEngine e(
+      {make_query("path", 8, 1.0),
+       make_query("latency", 8, 1.0 - p, AggregationType::kDynamicPerFlow),
+       make_query("hpcc", 8, p, AggregationType::kPerPacket)},
+      16);
+  ASSERT_EQ(e.plan().sets.size(), 2u);
+  // Set {path, latency} with 15/16, {path, hpcc} with 1/16.
+  EXPECT_NEAR(e.plan().query_coverage[0], 1.0, 1e-9);
+  EXPECT_NEAR(e.plan().query_coverage[1], 1.0 - p, 1e-9);
+  EXPECT_NEAR(e.plan().query_coverage[2], p, 1e-9);
+  for (const QuerySet& s : e.plan().sets) {
+    unsigned bits = 0;
+    for (std::size_t qi : s.query_indices) bits += e.queries()[qi].bit_budget;
+    EXPECT_LE(bits, 16u);
+  }
+}
+
+TEST(QueryEngine, PacketSelectionMatchesProbabilities) {
+  const double p = 1.0 / 16.0;
+  QueryEngine e({make_query("path", 8, 1.0), make_query("hpcc", 8, p)}, 16);
+  int hpcc_count = 0, path_count = 0;
+  const int n = 200000;
+  for (PacketId pk = 0; pk < static_cast<PacketId>(n); ++pk) {
+    path_count += e.query_runs(0, pk);
+    hpcc_count += e.query_runs(1, pk);
+  }
+  EXPECT_NEAR(static_cast<double>(path_count) / n, 1.0, 0.001);
+  EXPECT_NEAR(static_cast<double>(hpcc_count) / n, p, 0.005);
+}
+
+TEST(QueryEngine, AllSwitchesAgree) {
+  // The whole point of the global hash: engines built from the same inputs
+  // return identical sets per packet.
+  const std::vector<Query> qs{make_query("a", 8, 0.7),
+                              make_query("b", 8, 0.6)};
+  QueryEngine e1(qs, 16, 99), e2(qs, 16, 99);
+  for (PacketId p = 0; p < 5000; ++p) {
+    EXPECT_EQ(e1.set_for_packet(p).query_indices,
+              e2.set_for_packet(p).query_indices);
+  }
+}
+
+TEST(QueryEngine, FrequenciesBelowOnePackTogether) {
+  QueryEngine e({make_query("a", 16, 0.5), make_query("b", 16, 0.5)}, 16);
+  // Both need the full budget; they must run on disjoint packet sets.
+  EXPECT_NEAR(e.plan().query_coverage[0], 0.5, 1e-9);
+  EXPECT_NEAR(e.plan().query_coverage[1], 0.5, 1e-9);
+  for (PacketId p = 0; p < 5000; ++p) {
+    EXPECT_FALSE(e.query_runs(0, p) && e.query_runs(1, p));
+  }
+}
+
+TEST(QueryEngine, RejectsOversizedQuery) {
+  EXPECT_THROW(QueryEngine({make_query("big", 32, 1.0)}, 16),
+               std::invalid_argument);
+}
+
+TEST(QueryEngine, RejectsInfeasibleMix) {
+  EXPECT_THROW(
+      QueryEngine({make_query("a", 16, 1.0), make_query("b", 16, 1.0)}, 16),
+      std::invalid_argument);
+  EXPECT_THROW(
+      QueryEngine({make_query("a", 16, 0.7), make_query("b", 16, 0.7)}, 16),
+      std::invalid_argument);
+}
+
+TEST(QueryEngine, RejectsBadFrequency) {
+  EXPECT_THROW(QueryEngine({make_query("a", 8, 0.0)}, 16),
+               std::invalid_argument);
+  EXPECT_THROW(QueryEngine({make_query("a", 8, 1.5)}, 16),
+               std::invalid_argument);
+}
+
+TEST(QueryEngine, SparePacketsCarryNothing) {
+  QueryEngine e({make_query("a", 8, 0.25)}, 16);
+  int empty = 0;
+  const int n = 100000;
+  for (PacketId p = 0; p < static_cast<PacketId>(n); ++p) {
+    empty += e.set_for_packet(p).query_indices.empty();
+  }
+  EXPECT_NEAR(static_cast<double>(empty) / n, 0.75, 0.01);
+}
+
+}  // namespace
+}  // namespace pint

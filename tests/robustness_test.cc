@@ -1,0 +1,160 @@
+// Failure-injection and robustness properties: PINT's decoders must work
+// from ANY subset of packets in ANY order (loss and reordering change only
+// how long decoding takes, never correctness), and results must be stable
+// across hash seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "coding/encoder.h"
+#include "coding/hashed_decoder.h"
+#include "coding/peeling_decoder.h"
+#include "common/rng.h"
+#include "pint/dynamic_aggregation.h"
+
+namespace pint {
+namespace {
+
+class LossTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossTest, PeelingDecodesUnderLoss) {
+  const double loss = GetParam();
+  const unsigned k = 20;
+  const SchemeConfig cfg = make_multilayer_scheme(k);
+  GlobalHash root(555);
+  const InstanceHashes h = make_instance_hashes(root, 0);
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = mix64(i + 1);
+
+  Rng drops(31);
+  PeelingDecoder dec(k, cfg, h);
+  PacketId p = 1;
+  std::uint64_t delivered = 0;
+  while (!dec.complete() && p < 500000) {
+    const Digest d = encode_path(cfg, h, p, blocks, 0);
+    if (!drops.bernoulli(loss)) {
+      dec.add_packet(p, d);
+      ++delivered;
+    }
+    ++p;
+  }
+  ASSERT_TRUE(dec.complete()) << "loss=" << loss;
+  EXPECT_EQ(dec.message(), blocks);
+  // Loss only thins the stream: delivered packets needed is loss-invariant
+  // in expectation (each packet is i.i.d. useful). Sanity: within 4x of k.
+  EXPECT_LT(delivered, 4000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9));
+
+TEST(Robustness, ReorderingDoesNotAffectDecodedPath) {
+  const unsigned k = 10;
+  std::vector<std::uint64_t> universe(64);
+  std::iota(universe.begin(), universe.end(), 1);
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = universe[(i * 7) % 64];
+
+  HashedDecoderConfig cfg;
+  cfg.k = k;
+  cfg.bits = 8;
+  cfg.instances = 1;
+  cfg.scheme = make_multilayer_scheme(k);
+  GlobalHash root(666);
+
+  // Generate a batch big enough to decode, then feed in two different
+  // orders; both must produce the same path.
+  const unsigned batch = 2000;
+  std::vector<std::pair<PacketId, Digest>> packets;
+  for (PacketId p = 1; p <= batch; ++p) {
+    packets.emplace_back(
+        p, encode_path(cfg.scheme, make_instance_hashes(root, 0), p,
+                       blocks, 8));
+  }
+  HashedPathDecoder fwd(cfg, root, universe);
+  for (const auto& [p, d] : packets) {
+    if (fwd.complete()) break;
+    fwd.add_packet(p, std::vector<Digest>{d});
+  }
+  ASSERT_TRUE(fwd.complete());
+
+  Rng rng(9);
+  std::vector<std::pair<PacketId, Digest>> shuffled = packets;
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng.uniform_int(i + 1)]);
+  }
+  HashedPathDecoder rev(cfg, root, universe);
+  for (const auto& [p, d] : shuffled) {
+    if (rev.complete()) break;
+    rev.add_packet(p, std::vector<Digest>{d});
+  }
+  ASSERT_TRUE(rev.complete());
+  EXPECT_EQ(fwd.path(), rev.path());
+  EXPECT_EQ(fwd.path(), blocks);
+}
+
+TEST(Robustness, DecodingWorksAcrossManySeeds) {
+  // No "lucky seed": the decoder must converge for every hash family
+  // member. (Catches accidental structure in the hash mixing.)
+  const unsigned k = 8;
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = 10 + i;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const SchemeConfig cfg = make_multilayer_scheme(k);
+    GlobalHash root(seed);
+    const InstanceHashes h = make_instance_hashes(root, 0);
+    PeelingDecoder dec(k, cfg, h);
+    PacketId p = 1;
+    while (!dec.complete() && p < 50000) {
+      dec.add_packet(p, encode_path(cfg, h, p, blocks, 0));
+      ++p;
+    }
+    ASSERT_TRUE(dec.complete()) << "seed " << seed;
+    ASSERT_EQ(dec.message(), blocks) << "seed " << seed;
+  }
+}
+
+TEST(Robustness, DuplicatedPacketsAreHarmless) {
+  const unsigned k = 6;
+  const SchemeConfig cfg = make_hybrid_scheme(k);
+  GlobalHash root(777);
+  const InstanceHashes h = make_instance_hashes(root, 0);
+  std::vector<std::uint64_t> blocks(k);
+  for (unsigned i = 0; i < k; ++i) blocks[i] = mix64(i * 3 + 1);
+  PeelingDecoder dec(k, cfg, h);
+  PacketId p = 1;
+  while (!dec.complete() && p < 50000) {
+    const Digest d = encode_path(cfg, h, p, blocks, 0);
+    dec.add_packet(p, d);
+    dec.add_packet(p, d);  // duplicate delivery (e.g. retransmit)
+    ++p;
+  }
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.message(), blocks);
+}
+
+TEST(Robustness, DynamicAggregationUnderLoss) {
+  // Quantile estimation degrades gracefully: with 50% loss the recorder
+  // simply sees half the samples but stays unbiased.
+  const unsigned k = 4;
+  DynamicAggregationConfig cfg;
+  cfg.bits = 12;
+  cfg.max_value = 1e6;
+  DynamicAggregationQuery query(cfg, 888);
+  FlowLatencyRecorder rec(k);
+  Rng rng(888), drops(999);
+  for (PacketId p = 1; p <= 20000; ++p) {
+    Digest d = 0;
+    for (HopIndex i = 1; i <= k; ++i) {
+      d = query.encode_step(p, i, d, 100.0 * i + rng.uniform() * 10.0);
+    }
+    if (!drops.bernoulli(0.5)) rec.add(query.decode(p, d, k));
+  }
+  for (HopIndex hop = 1; hop <= k; ++hop) {
+    EXPECT_NEAR(*rec.quantile(hop, 0.5), 100.0 * hop + 5.0, 100.0 * hop * 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace pint

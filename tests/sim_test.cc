@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "topology/fat_tree.h"
+#include "transport/hpcc.h"
+#include "transport/tcp_reno.h"
+
+namespace pint {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(10, [&] { order.push_back(2); });
+  q.at(5, [&] { order.push_back(1); });
+  q.at(10, [&] { order.push_back(3); });  // same time: insertion order
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.at(10, [&] { ++fired; });
+  q.at(20, [&] { ++fired; });
+  q.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15);
+  q.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue q;
+  int depth = 0;
+  q.at(1, [&] {
+    q.after(1, [&] {
+      q.after(1, [&] { depth = 3; });
+    });
+  });
+  q.run();
+  EXPECT_EQ(depth, 3);
+}
+
+// A tiny dumbbell: h0 - s2 - s3 - h1 (hosts at 0,1; switches 2,3).
+struct Dumbbell {
+  Graph g{4};
+  std::vector<bool> is_host{true, true, false, false};
+  Dumbbell() {
+    g.add_edge(0, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 1);
+  }
+};
+
+SimConfig fast_config() {
+  SimConfig cfg;
+  cfg.host_bandwidth_bps = 10e9;
+  cfg.fabric_bandwidth_bps = 10e9;
+  cfg.link_delay = 1 * kMicro;
+  cfg.mtu_payload = 1000;
+  cfg.transport = TransportKind::kTcpReno;
+  return cfg;
+}
+
+TEST(Simulator, SingleFlowCompletes) {
+  Dumbbell d;
+  Simulator sim(d.g, d.is_host, fast_config());
+  const auto id = sim.add_flow(0, 1, 100'000, 0);
+  sim.run_until(1 * kSecond);
+  const FlowStats& st = sim.flow_stats()[id];
+  ASSERT_TRUE(st.done);
+  EXPECT_GT(st.fct(), 0);
+  EXPECT_EQ(st.path_hops, 2u);
+  EXPECT_EQ(sim.counters().packets_dropped, 0u);
+}
+
+TEST(Simulator, FctBoundedBelowBySerialization) {
+  Dumbbell d;
+  SimConfig cfg = fast_config();
+  Simulator sim(d.g, d.is_host, cfg);
+  const Bytes size = 1'000'000;
+  const auto id = sim.add_flow(0, 1, size, 0);
+  sim.run_until(1 * kSecond);
+  const FlowStats& st = sim.flow_stats()[id];
+  ASSERT_TRUE(st.done);
+  // Lower bound: payload bytes at line rate (headers make it strictly worse).
+  const double min_ns = static_cast<double>(size) * 8.0 / 10e9 * 1e9;
+  EXPECT_GT(static_cast<double>(st.fct()), min_ns);
+  // And within 3x of ideal for a solo flow.
+  EXPECT_LT(static_cast<double>(st.fct()), 3.0 * min_ns + 1e6);
+}
+
+TEST(Simulator, HigherOverheadSlowsFlows) {
+  // The Fig. 1/2 mechanism: extra header bytes inflate completion time.
+  Dumbbell d;
+  auto fct_with_overhead = [&](Bytes overhead) {
+    SimConfig cfg = fast_config();
+    cfg.extra_overhead_bytes = overhead;
+    Simulator sim(d.g, d.is_host, cfg);
+    const auto id = sim.add_flow(0, 1, 2'000'000, 0);
+    sim.run_until(1 * kSecond);
+    return sim.flow_stats()[id].fct();
+  };
+  const TimeNs base = fct_with_overhead(0);
+  const TimeNs heavy = fct_with_overhead(108);
+  ASSERT_GT(base, 0);
+  ASSERT_GT(heavy, 0);
+  EXPECT_GT(heavy, base);
+  // 108B on 1040B wire ~ 10% inflation; allow slack.
+  EXPECT_NEAR(static_cast<double>(heavy) / base, 1.10, 0.06);
+}
+
+TEST(Simulator, DropsWhenBufferTiny) {
+  Dumbbell d;
+  SimConfig cfg = fast_config();
+  cfg.switch_buffer_bytes = 5'000;  // a few packets
+  cfg.fabric_bandwidth_bps = 1e9;   // bottleneck in the middle
+  Simulator sim(d.g, d.is_host, cfg);
+  sim.add_flow(0, 1, 1'000'000, 0);
+  sim.run_until(2 * kSecond);
+  EXPECT_GT(sim.counters().packets_dropped, 0u);
+  // Reliability still completes the flow.
+  EXPECT_TRUE(sim.flow_stats()[0].done);
+  EXPECT_GT(sim.flow_stats()[0].retransmits, 0u);
+}
+
+TEST(Simulator, TwoFlowsShareBottleneck) {
+  Dumbbell d;
+  SimConfig cfg = fast_config();
+  Simulator sim(d.g, d.is_host, cfg);
+  const Bytes size = 2'000'000;
+  sim.add_flow(0, 1, size, 0);
+  sim.add_flow(0, 1, size, 0);
+  sim.run_until(2 * kSecond);
+  ASSERT_TRUE(sim.flow_stats()[0].done);
+  ASSERT_TRUE(sim.flow_stats()[1].done);
+  // Sharing: each flow takes at least ~1.5x its solo time.
+  const double solo_ns = static_cast<double>(size) * 8.0 / 10e9 * 1e9;
+  EXPECT_GT(static_cast<double>(sim.flow_stats()[0].fct()), 1.3 * solo_ns);
+}
+
+TEST(Simulator, IntModeCarriesPerHopStack) {
+  Dumbbell d;
+  SimConfig cfg = fast_config();
+  cfg.telemetry = TelemetryMode::kInt;
+  cfg.int_values_per_hop = 3;
+  cfg.transport = TransportKind::kHpcc;
+  cfg.host_bandwidth_bps = 10e9;
+  cfg.hpcc.base_rtt = 20 * kMicro;
+  Simulator sim(d.g, d.is_host, cfg);
+  sim.add_flow(0, 1, 500'000, 0);
+  sim.run_until(1 * kSecond);
+  EXPECT_TRUE(sim.flow_stats()[0].done);
+  EXPECT_GT(sim.counters().telemetry_bytes_total, 0u);
+}
+
+TEST(Simulator, PintUtilizationMatchesLinkState) {
+  Dumbbell d;
+  SimConfig cfg = fast_config();
+  cfg.telemetry = TelemetryMode::kPint;
+  cfg.pint_bit_budget = 8;
+  cfg.transport = TransportKind::kHpcc;
+  cfg.hpcc.base_rtt = 20 * kMicro;
+  Simulator sim(d.g, d.is_host, cfg);
+  sim.add_flow(0, 1, 2'000'000, 0);
+  sim.run_until(50 * kMilli);
+  // While the flow runs, the bottleneck EWMA utilization approaches ~1.
+  const double u = sim.link_utilization(2, 3);
+  EXPECT_GT(u, 0.3);
+  EXPECT_LT(u, 1.5);
+  sim.run_until(2 * kSecond);
+  EXPECT_TRUE(sim.flow_stats()[0].done);
+}
+
+TEST(Simulator, HpccKeepsQueuesShorterThanReno) {
+  // HPCC's design goal: near-zero queues. Compare drops/retransmits against
+  // TCP on a constrained buffer.
+  Dumbbell d;
+  auto run = [&](TransportKind t, TelemetryMode m) {
+    SimConfig cfg = fast_config();
+    cfg.transport = t;
+    cfg.telemetry = m;
+    cfg.switch_buffer_bytes = 60'000;
+    cfg.hpcc.base_rtt = 20 * kMicro;
+    Simulator sim(d.g, d.is_host, cfg);
+    sim.add_flow(0, 1, 3'000'000, 0);
+    sim.add_flow(0, 1, 3'000'000, 100 * kMicro);
+    sim.run_until(3 * kSecond);
+    EXPECT_TRUE(sim.flow_stats()[0].done);
+    EXPECT_TRUE(sim.flow_stats()[1].done);
+    return sim.counters().packets_dropped;
+  };
+  const auto reno_drops = run(TransportKind::kTcpReno, TelemetryMode::kNone);
+  const auto hpcc_drops = run(TransportKind::kHpcc, TelemetryMode::kInt);
+  EXPECT_LE(hpcc_drops, reno_drops);
+}
+
+TEST(HpccSender, WindowRespondsToCongestion) {
+  HpccParams params;
+  params.nic_bandwidth_bps = 10e9;
+  params.base_rtt = 20 * kMicro;
+  HpccSender sender(params);
+  const Bytes initial = sender.window_bytes();
+
+  // Feed ACKs reporting an over-utilized bottleneck.
+  for (int i = 0; i < 50; ++i) {
+    AckFeedback fb;
+    fb.ack_time = i * 20 * kMicro;
+    fb.pint_utilization = 1.5;
+    sender.on_ack(fb);
+  }
+  EXPECT_LT(sender.window_bytes(), initial);
+
+  // Now an idle network: window recovers.
+  for (int i = 50; i < 300; ++i) {
+    AckFeedback fb;
+    fb.ack_time = i * 20 * kMicro;
+    fb.pint_utilization = 0.05;
+    sender.on_ack(fb);
+  }
+  EXPECT_GT(sender.window_bytes(), initial / 2);
+}
+
+TEST(HpccSender, IgnoresAcksWithoutTelemetry) {
+  HpccParams params;
+  HpccSender sender(params);
+  const Bytes before = sender.window_bytes();
+  AckFeedback fb;
+  fb.ack_time = 1000;
+  sender.on_ack(fb);  // no INT, no PINT
+  EXPECT_EQ(sender.window_bytes(), before);
+}
+
+TEST(TcpReno, SlowStartDoubles) {
+  TcpRenoParams params;
+  params.mss = 1000;
+  params.initial_cwnd = 2000;
+  TcpRenoSender tcp(params);
+  AckFeedback fb;
+  fb.acked_bytes = 2000;
+  tcp.on_ack(fb);
+  EXPECT_EQ(tcp.window_bytes(), 4000);
+}
+
+TEST(TcpReno, LossHalvesFastRecovery) {
+  TcpRenoParams params;
+  params.mss = 1000;
+  params.initial_cwnd = 16000;
+  TcpRenoSender tcp(params);
+  tcp.on_loss(0, /*timeout=*/false);
+  EXPECT_EQ(tcp.window_bytes(), 8000);
+  tcp.on_loss(0, /*timeout=*/true);
+  EXPECT_EQ(tcp.window_bytes(), 1000);
+}
+
+}  // namespace
+}  // namespace pint

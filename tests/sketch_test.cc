@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "hash/global_hash.h"
+#include "sketch/kll.h"
+#include "sketch/reservoir.h"
+#include "sketch/sliding_window.h"
+#include "sketch/space_saving.h"
+
+namespace pint {
+namespace {
+
+TEST(Kll, ExactWhenSmall) {
+  KllSketch s(200);
+  for (int i = 1; i <= 50; ++i) s.add(i);
+  EXPECT_NEAR(s.quantile(0.5), 25.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1.0);
+  EXPECT_NEAR(s.quantile(1.0), 50.0, 0.0);
+}
+
+class KllRankErrorTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KllRankErrorTest, RankErrorBounded) {
+  const std::size_t k_param = GetParam();
+  KllSketch s(k_param);
+  const int n = 100000;
+  Rng rng(1);
+  std::vector<double> truth;
+  truth.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform();
+    truth.push_back(v);
+    s.add(v);
+  }
+  std::sort(truth.begin(), truth.end());
+  // Rank error should be well below a few percent for k>=64.
+  const double tolerance = 4.0 / static_cast<double>(k_param) * n;
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double est = s.quantile(phi);
+    const auto rank = static_cast<double>(
+        std::lower_bound(truth.begin(), truth.end(), est) - truth.begin());
+    EXPECT_NEAR(rank, phi * n, tolerance) << "phi=" << phi << " k=" << k_param;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KllRankErrorTest,
+                         ::testing::Values(64, 128, 256, 512));
+
+TEST(Kll, MemorySublinear) {
+  KllSketch s(128);
+  for (int i = 0; i < 1000000; ++i) s.add(static_cast<double>(i % 9973));
+  EXPECT_EQ(s.count(), 1000000u);
+  EXPECT_LT(s.retained(), 2000u);  // far below the million inserts
+}
+
+TEST(Kll, MergePreservesQuantiles) {
+  KllSketch a(256, 1), b(256, 2);
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) a.add(rng.uniform());
+  for (int i = 0; i < 50000; ++i) b.add(rng.uniform());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100000u);
+  EXPECT_NEAR(a.quantile(0.5), 0.5, 0.05);
+  EXPECT_NEAR(a.quantile(0.9), 0.9, 0.05);
+}
+
+TEST(Kll, MergeRejectsMismatchedK) {
+  KllSketch a(64), b(128);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Kll, SkewedDistribution) {
+  KllSketch s(256);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    s.add(std::exp(rng.uniform() * 10.0));  // heavy tail
+  }
+  const double q99 = s.quantile(0.99);
+  const double exact = std::exp(0.99 * 10.0);
+  EXPECT_NEAR(q99 / exact, 1.0, 0.15);
+}
+
+TEST(Kll, EmptyThrows) {
+  KllSketch s(64);
+  EXPECT_THROW(s.quantile(0.5), std::runtime_error);
+}
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(16);
+  for (int rep = 0; rep < 7; ++rep) {
+    for (std::uint64_t v = 0; v < 5; ++v) ss.add(v);
+  }
+  for (std::uint64_t v = 0; v < 5; ++v) EXPECT_EQ(ss.estimate(v), 7u);
+}
+
+TEST(SpaceSaving, OverestimateBounded) {
+  const std::size_t cap = 50;
+  SpaceSaving ss(cap);
+  Rng rng(7);
+  std::vector<std::uint64_t> truth(1000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    // Zipf-ish: value j with probability ~ 1/(j+1).
+    const auto v = static_cast<std::uint64_t>(
+        std::min<double>(999.0, std::floor(std::exp(rng.uniform() * 6.9) - 1)));
+    ++truth[v];
+    ss.add(v);
+  }
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    const std::uint64_t est = ss.estimate(v);
+    if (est == 0) continue;  // not monitored
+    EXPECT_GE(est, truth[v]);
+    EXPECT_LE(est, truth[v] + n / cap);
+    EXPECT_LE(ss.lower_bound(v), truth[v]);
+  }
+}
+
+TEST(SpaceSaving, FindsHeavyHitters) {
+  SpaceSaving ss(20);
+  const int n = 10000;
+  Rng rng(9);
+  for (int i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.4) {
+      ss.add(7);  // 40% heavy
+    } else {
+      ss.add(100 + rng.uniform_int(5000));  // scattered tail
+    }
+  }
+  const auto heavy = ss.frequent(0.3);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], 7u);
+}
+
+TEST(Reservoir, UniformInclusion) {
+  const std::size_t size = 10;
+  const int stream = 200;
+  std::vector<int> inclusions(stream, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    Reservoir<int> r(size, 1000 + t);
+    for (int i = 0; i < stream; ++i) r.add(i);
+    for (int v : r.sample()) ++inclusions[v];
+  }
+  const double expected = static_cast<double>(trials) * size / stream;
+  for (int i = 0; i < stream; ++i) {
+    EXPECT_NEAR(inclusions[i], expected, expected * 0.15) << i;
+  }
+}
+
+TEST(Reservoir, HoldsFirstItems) {
+  Reservoir<int> r(5, 1);
+  for (int i = 0; i < 3; ++i) r.add(i);
+  EXPECT_EQ(r.sample().size(), 3u);
+}
+
+TEST(ReservoirReplace, MatchesOneOverI) {
+  // The stateless rule used by switches: replace with probability 1/i.
+  GlobalHash h(41);
+  const int n = 100000;
+  for (std::size_t i : {2u, 5u, 10u, 50u}) {
+    int hits = 0;
+    for (int p = 0; p < n; ++p) {
+      hits += reservoir_replace(h.unit2(p, i), i);
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 1.0 / static_cast<double>(i),
+                0.01)
+        << i;
+  }
+}
+
+TEST(SlidingWindow, TracksRecentDistribution) {
+  SlidingWindowQuantiles w(1000, 10, 128);
+  // Old regime: values around 100. New regime: values around 1000.
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) w.add(100.0 + rng.uniform());
+  for (int i = 0; i < 1200; ++i) w.add(1000.0 + rng.uniform());
+  // The window covers ~1000-1100 most recent items, all from the new regime.
+  EXPECT_NEAR(w.quantile(0.5), 1000.5, 5.0);
+  EXPECT_GE(w.items_covered(), 1000u);
+  EXPECT_LE(w.items_covered(), 1101u);
+}
+
+TEST(SlidingWindow, RejectsBadBlocks) {
+  EXPECT_THROW(SlidingWindowQuantiles(100, 3), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowQuantiles(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pint

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/fat_tree.h"
+#include "topology/graph.h"
+#include "topology/isp.h"
+
+namespace pint {
+namespace {
+
+TEST(Graph, AddEdgeAndNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  g.add_edge(0, 1);  // duplicate ignored
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, BfsDistances) {
+  // 0 - 1 - 2 - 3, plus shortcut 0 - 3.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const auto d = g.distances_from(0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], 1);
+  EXPECT_EQ(d[4], -1);  // disconnected
+}
+
+TEST(Graph, EcmpPathIsShortestAndDeterministic) {
+  Graph g(6);
+  // Two equal-cost paths 0-1-3 and 0-2-3, then 3-4.
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  GlobalHash h(1);
+  const auto p1 = g.ecmp_path(0, 4, 111, h);
+  const auto p2 = g.ecmp_path(0, 4, 111, h);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(*p1, *p2);  // same flow -> same path
+  EXPECT_EQ(p1->size(), 4u);  // shortest: 3 edges
+  EXPECT_EQ(p1->front(), 0u);
+  EXPECT_EQ(p1->back(), 4u);
+  // Consecutive nodes must be adjacent.
+  for (std::size_t i = 1; i < p1->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*p1)[i - 1], (*p1)[i]));
+  }
+}
+
+TEST(Graph, EcmpSpreadsFlows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  GlobalHash h(2);
+  int via1 = 0;
+  const int flows = 2000;
+  for (int f = 0; f < flows; ++f) {
+    const auto p = g.ecmp_path(0, 3, f, h);
+    via1 += ((*p)[1] == 1);
+  }
+  EXPECT_NEAR(via1, flows / 2, flows / 2 * 0.15);
+}
+
+TEST(Graph, EcmpDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  GlobalHash h(3);
+  EXPECT_FALSE(g.ecmp_path(0, 2, 1, h).has_value());
+}
+
+TEST(FatTree, CanonicalK4Structure) {
+  const FatTree ft = make_fat_tree(4);
+  EXPECT_EQ(ft.nodes.cores.size(), 4u);   // (k/2)^2
+  EXPECT_EQ(ft.nodes.aggs.size(), 8u);    // k * k/2
+  EXPECT_EQ(ft.nodes.edges.size(), 8u);
+  EXPECT_EQ(ft.nodes.hosts.size(), 16u);  // edges * k/2
+}
+
+TEST(FatTree, SwitchDiameterMatchesPaper) {
+  // Fig. 10c: a K=8 fat tree has switch-level diameter 5 (ToR-agg-core-
+  // agg-ToR when counting switches on a host-to-host path).
+  const FatTree ft = make_fat_tree(8);
+  GlobalHash h(4);
+  unsigned max_switches = 0;
+  // Sample host pairs across pods.
+  for (int i = 0; i < 50; ++i) {
+    const NodeId a = ft.nodes.hosts[i % ft.nodes.hosts.size()];
+    const NodeId b =
+        ft.nodes.hosts[(i * 37 + 101) % ft.nodes.hosts.size()];
+    if (a == b) continue;
+    const auto p = ft.graph.ecmp_path(a, b, i, h);
+    ASSERT_TRUE(p.has_value());
+    unsigned switches = 0;
+    for (NodeId n : *p) {
+      if (n < ft.nodes.hosts.front()) ++switches;  // hosts are last ids
+    }
+    max_switches = std::max(max_switches, switches);
+  }
+  EXPECT_EQ(max_switches, 5u);
+}
+
+TEST(FatTree, HostRackAssignment) {
+  const FatTree ft = make_fat_tree(4);
+  for (std::size_t hi = 0; hi < ft.nodes.hosts.size(); ++hi) {
+    const NodeId tor = ft.nodes.edges[ft.host_rack[hi]];
+    EXPECT_TRUE(ft.graph.has_edge(ft.nodes.hosts[hi], tor));
+  }
+}
+
+TEST(FatTree, HpccTopologyCounts) {
+  const FatTree ft = make_hpcc_fat_tree(1.0);
+  EXPECT_EQ(ft.nodes.cores.size(), 16u);
+  EXPECT_EQ(ft.nodes.aggs.size(), 20u);
+  EXPECT_EQ(ft.nodes.edges.size(), 20u);
+  EXPECT_EQ(ft.nodes.hosts.size(), 320u);
+}
+
+TEST(FatTree, ScaledHpccTopology) {
+  const FatTree ft = make_hpcc_fat_tree(0.25);
+  EXPECT_EQ(ft.nodes.cores.size(), 4u);
+  EXPECT_EQ(ft.nodes.edges.size(), 5u);
+  EXPECT_EQ(ft.nodes.hosts.size(), 5u * 16);
+}
+
+TEST(FatTree, RejectsOddK) {
+  EXPECT_THROW(make_fat_tree(5), std::invalid_argument);
+}
+
+TEST(Isp, KentuckyDatalinkShape) {
+  const IspTopology isp = make_kentucky_datalink();
+  EXPECT_EQ(isp.graph.num_nodes(), 753u);
+  EXPECT_EQ(isp.diameter, 59u);
+  EXPECT_EQ(isp.backbone.size(), 60u);
+  // The realized diameter equals the declared one.
+  EXPECT_EQ(isp.graph.diameter(40), 59u);
+}
+
+TEST(Isp, UsCarrierShape) {
+  const IspTopology isp = make_us_carrier();
+  EXPECT_EQ(isp.graph.num_nodes(), 157u);
+  EXPECT_EQ(isp.graph.diameter(157), 36u);
+}
+
+TEST(Isp, BackbonePrefixGivesExactHopCounts) {
+  const IspTopology isp = make_us_carrier();
+  for (unsigned hops : {1u, 5u, 36u}) {
+    const auto path = backbone_prefix(isp, hops);
+    EXPECT_EQ(path.size(), hops);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_TRUE(isp.graph.has_edge(path[i - 1], path[i]));
+    }
+  }
+  EXPECT_THROW(backbone_prefix(isp, 0), std::invalid_argument);
+  EXPECT_THROW(backbone_prefix(isp, 100), std::invalid_argument);
+}
+
+TEST(Isp, ConnectedGraph) {
+  const IspTopology isp = make_us_carrier();
+  const auto d = isp.graph.distances_from(0);
+  for (int dist : d) EXPECT_GE(dist, 0);
+}
+
+}  // namespace
+}  // namespace pint

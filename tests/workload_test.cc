@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/flow_size_dist.h"
+#include "workload/traffic_gen.h"
+
+namespace pint {
+namespace {
+
+TEST(FlowSizeDist, DecilesMatchSampling) {
+  const FlowSizeDist dist = FlowSizeDist::web_search();
+  Rng rng(1);
+  std::vector<Bytes> samples;
+  const int n = 200000;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(dist.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  // Each decile of the sample should approximate the configured decile.
+  for (int d = 1; d <= 9; ++d) {
+    const Bytes sampled = samples[static_cast<std::size_t>(
+        n * (d / 10.0))];
+    const Bytes configured = dist.deciles()[d - 1];
+    EXPECT_NEAR(static_cast<double>(sampled) / configured, 1.0, 0.1)
+        << "decile " << d;
+  }
+}
+
+TEST(FlowSizeDist, PaperTickMarks) {
+  const FlowSizeDist ws = FlowSizeDist::web_search();
+  EXPECT_EQ(ws.deciles().front(), 7'000);
+  EXPECT_EQ(ws.deciles().back(), 30'000'000);
+  const FlowSizeDist hd = FlowSizeDist::hadoop();
+  EXPECT_EQ(hd.deciles().front(), 324);
+  EXPECT_EQ(hd.deciles().back(), 10'000'000);
+}
+
+TEST(FlowSizeDist, HadoopIsMostlySmall) {
+  // Facebook Hadoop: >half the flows are sub-KB (paper Section 7 notes many
+  // single-packet flows).
+  const FlowSizeDist dist = FlowSizeDist::hadoop();
+  Rng rng(3);
+  int small = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) small += (dist.sample(rng) < 1000);
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(FlowSizeDist, MeanIsFinite) {
+  EXPECT_GT(FlowSizeDist::web_search().mean(), 1e5);  // MB-scale mean
+  EXPECT_GT(FlowSizeDist::hadoop().mean(), 100.0);
+  EXPECT_LT(FlowSizeDist::hadoop().mean(),
+            FlowSizeDist::web_search().mean());
+}
+
+TEST(FlowSizeDist, RejectsBadDeciles) {
+  EXPECT_THROW(FlowSizeDist("bad", {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(FlowSizeDist("bad", {10, 9, 8, 7, 6, 5, 4, 3, 2, 1}),
+               std::invalid_argument);
+}
+
+TEST(TrafficGen, ArrivalsSortedAndInHorizon) {
+  TrafficGenConfig cfg;
+  cfg.load = 0.5;
+  cfg.num_hosts = 16;
+  cfg.duration = 5 * kMilli;
+  const auto arrivals = generate_traffic(cfg, FlowSizeDist::hadoop());
+  ASSERT_FALSE(arrivals.empty());
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LE(arrivals[i - 1].start, arrivals[i].start);
+  }
+  for (const auto& fa : arrivals) {
+    EXPECT_LT(fa.start, cfg.duration);
+    EXPECT_LT(fa.src_host, cfg.num_hosts);
+    EXPECT_LT(fa.dst_host, cfg.num_hosts);
+    EXPECT_NE(fa.src_host, fa.dst_host);
+    EXPECT_GT(fa.size, 0);
+  }
+}
+
+TEST(TrafficGen, LoadMatchesTarget) {
+  TrafficGenConfig cfg;
+  cfg.load = 0.4;
+  cfg.num_hosts = 64;
+  cfg.host_bandwidth_bps = 10e9;
+  cfg.duration = 50 * kMilli;
+  cfg.seed = 11;
+  const FlowSizeDist dist = FlowSizeDist::web_search();
+  const auto arrivals = generate_traffic(cfg, dist);
+  double bytes = 0.0;
+  for (const auto& fa : arrivals) bytes += static_cast<double>(fa.size);
+  const double offered_bps =
+      bytes * 8.0 / (static_cast<double>(cfg.duration) / 1e9);
+  const double capacity = cfg.host_bandwidth_bps * cfg.num_hosts;
+  EXPECT_NEAR(offered_bps / capacity, cfg.load, 0.08);
+}
+
+TEST(TrafficGen, RejectsBadConfig) {
+  TrafficGenConfig cfg;
+  cfg.num_hosts = 1;
+  EXPECT_THROW(generate_traffic(cfg, FlowSizeDist::hadoop()),
+               std::invalid_argument);
+  cfg.num_hosts = 4;
+  cfg.load = 1.5;
+  EXPECT_THROW(generate_traffic(cfg, FlowSizeDist::hadoop()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pint

@@ -137,13 +137,21 @@ int main() {
              lat_alone, lat_comb);
 
   // Also verify the query-engine plan the paper describes.
-  Query path_q{.name = "path", .aggregation = AggregationType::kStaticPerFlow,
-               .bit_budget = 8, .frequency = 1.0};
-  Query lat_q{.name = "latency",
-              .aggregation = AggregationType::kDynamicPerFlow,
-              .bit_budget = 8, .frequency = 15.0 / 16.0};
-  Query cc_q{.name = "hpcc", .aggregation = AggregationType::kPerPacket,
-             .bit_budget = 8, .frequency = 1.0 / 16.0};
+  Query path_q;
+  path_q.name = "path";
+  path_q.aggregation = AggregationType::kStaticPerFlow;
+  path_q.bit_budget = 8;
+  path_q.frequency = 1.0;
+  Query lat_q;
+  lat_q.name = "latency";
+  lat_q.aggregation = AggregationType::kDynamicPerFlow;
+  lat_q.bit_budget = 8;
+  lat_q.frequency = 15.0 / 16.0;
+  Query cc_q;
+  cc_q.name = "hpcc";
+  cc_q.aggregation = AggregationType::kPerPacket;
+  cc_q.bit_budget = 8;
+  cc_q.frequency = 1.0 / 16.0;
   QueryEngine engine({path_q, lat_q, cc_q}, 16);
   bench::row("\nexecution plan (Section 6.4):");
   for (const QuerySet& s : engine.plan().sets) {

@@ -24,7 +24,7 @@ Outcome evaluate(const LoopDetector& det, unsigned k, unsigned loop_len,
                  int packets) {
   Outcome out;
   // Healthy traffic.
-  for (PacketId p = 1; p <= packets; ++p) {
+  for (PacketId p = 1; p <= static_cast<PacketId>(packets); ++p) {
     LoopDigest state;
     for (HopIndex i = 1; i <= k; ++i) {
       if (det.process(p, i, 5000 + i, state)) {
@@ -35,7 +35,7 @@ Outcome evaluate(const LoopDetector& det, unsigned k, unsigned loop_len,
   }
   // Looping traffic.
   double hops_total = 0.0;
-  for (PacketId p = 1; p <= packets; ++p) {
+  for (PacketId p = 1; p <= static_cast<PacketId>(packets); ++p) {
     LoopDigest state;
     HopIndex i = 1;
     bool caught = false;

@@ -1,8 +1,10 @@
 // Network-wide monitoring from PINT telemetry (paper Table 2): tomography,
-// load imbalance, power management and anomaly detection built on the same
-// 8-bit dynamic-aggregation digests, across many flows of a fat tree.
+// load imbalance, power management and anomaly detection — all driven by one
+// PintFramework over a fat tree, with the applications subscribed as
+// SinkObservers. Nothing polls framework internals: decoded paths and
+// per-hop samples arrive as callbacks.
 //
-//   $ ./examples/network_monitoring
+//   $ ./examples/example_network_monitoring
 #include <cstdio>
 #include <numeric>
 
@@ -10,7 +12,7 @@
 #include "apps/load_analysis.h"
 #include "apps/tomography.h"
 #include "common/rng.h"
-#include "pint/dynamic_aggregation.h"
+#include "pint/framework.h"
 #include "topology/fat_tree.h"
 
 using namespace pint;
@@ -25,50 +27,77 @@ int main() {
   const SwitchId hot = static_cast<SwitchId>(ft.nodes.cores[1]);
   const SwitchId idle = static_cast<SwitchId>(ft.nodes.edges[7]);
 
-  DynamicAggregationConfig qcfg;
-  qcfg.bits = 8;
-  qcfg.max_value = 1e6;
-  DynamicAggregationQuery query(qcfg, 29);
+  // One framework, three queries in 16 bits: path tracing on every packet
+  // (8b), queue occupancy and link utilization each on half the packets
+  // (8b) — the Query Engine packs them into two equal-probability sets.
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  std::vector<std::uint64_t> universe;
+  for (NodeId n = 0; n < num_switches; ++n) universe.push_back(n);
 
   QueueTomography tomo;
   LoadAnalyzer load;
-  LatencyAnomalyDetector anomaly(8, {1.0, 12.0, 128});
+  TomographyObserver tomo_obs(tomo, "queue", "path");
+  LoadObserver load_obs(load, "util", "path");
+  AnomalyObserver anomaly_obs("queue", AnomalyConfig{1.0, 10.0, 32});
 
-  // 200 flows between random edge switches; their per-packet digests carry
-  // one hop's queue depth each.
+  auto pint =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .switch_universe(universe)
+          .add_query(make_path_query("path", 8, 1.0))
+          .add_query(make_dynamic_query(
+              "queue", std::string(extractor::kQueueOccupancy), 8, 0.5,
+              tuning))
+          .add_query(make_dynamic_query(
+              "util", std::string(extractor::kLinkUtilization), 8, 0.5,
+              tuning))
+          .add_observer(&tomo_obs)
+          .add_observer(&load_obs)
+          .add_observer(&anomaly_obs)
+          .build_or_throw();
+
+  // 200 flows between random edge switches; switches fill in queue depth
+  // and utilization (in percent — digest-friendly dynamic range) as each
+  // packet passes. Halfway through, the hot core's queue jumps 4x — the
+  // anomaly detector should notice.
   int flows_registered = 0;
-  for (std::uint64_t fkey = 1; fkey <= 200; ++fkey) {
+  PacketId next_packet = 1;
+  for (std::uint32_t f = 1; f <= 200; ++f) {
     const NodeId src = ft.nodes.edges[rng.uniform_int(ft.nodes.edges.size())];
     NodeId dst = src;
     while (dst == src)
       dst = ft.nodes.edges[rng.uniform_int(ft.nodes.edges.size())];
-    const auto path = ft.graph.ecmp_path(src, dst, fkey, ecmp);
+    const auto path = ft.graph.ecmp_path(src, dst, f, ecmp);
     if (!path) continue;
-    std::vector<SwitchId> sw_path(path->begin(), path->end());
-    tomo.register_flow(fkey, sw_path);
     ++flows_registered;
 
-    const auto k = static_cast<unsigned>(sw_path.size());
-    for (PacketId p = fkey * 100000; p < fkey * 100000 + 300; ++p) {
-      Digest d = 0;
+    FiveTuple tuple{src, dst, static_cast<std::uint16_t>(f), 443, 6};
+    const auto k = static_cast<unsigned>(path->size());
+    for (int n = 0; n < 600; ++n) {
+      Packet pkt;
+      pkt.id = next_packet++;
+      pkt.tuple = tuple;
       for (HopIndex i = 1; i <= k; ++i) {
-        const bool is_hot = sw_path[i - 1] == hot;
-        const double qdepth =
-            (is_hot ? 800.0 : 20.0) + rng.exponential(is_hot ? 0.01 : 0.5);
-        d = query.encode_step(p, i, d, qdepth);
-        const double util = sw_path[i - 1] == idle
-                                ? 0.01 + 0.01 * rng.uniform()
-                                : 0.3 + 0.4 * rng.uniform() *
-                                          (is_hot ? 1.5 : 1.0);
-        load.add(sw_path[i - 1], util);
+        const SwitchId sid = static_cast<SwitchId>((*path)[i - 1]);
+        const bool is_hot = sid == hot;
+        const double base = is_hot ? (n < 300 ? 800.0 : 3200.0) : 20.0;
+        SwitchView view(sid);
+        view.set(metric::kQueueOccupancy,
+                 base + rng.exponential(is_hot ? 0.01 : 0.5));
+        view.set(metric::kLinkUtilization,  // percent of line rate
+                 sid == idle ? 1.0 + 1.0 * rng.uniform()
+                             : 30.0 + 40.0 * rng.uniform() *
+                                          (is_hot ? 1.5 : 1.0));
+        pint->at_switch(pkt, i, view);
       }
-      const auto sample = query.decode(p, d, k);
-      tomo.add_sample(fkey, sample.hop, sample.value);
+      pint->at_sink(pkt, k);
     }
   }
 
-  std::printf("== network monitoring from 1-byte PINT digests ==\n");
-  std::printf("(%d flows across a K=4 fat tree, %zu switches)\n\n",
+  std::printf("== network monitoring from 2-byte PINT digests ==\n");
+  std::printf("(%d flows across a K=4 fat tree, %zu switches, one framework,"
+              " three apps subscribed)\n\n",
               flows_registered, num_switches);
 
   std::printf("-- tomography: hottest queues (truth: switch %u) --\n", hot);
@@ -82,26 +111,18 @@ int main() {
   const auto over = load.overloaded(1.4);
   std::printf("  overloaded switches:");
   for (SwitchId s : over) std::printf(" %u", s);
-  std::printf("\n");
+  std::printf("\n  (%zu samples arrived before their flow's path decoded)\n",
+              load_obs.unattributed());
 
   std::printf("\n-- power management (truth: switch %u idle) --\n", idle);
-  const auto sleepers = load.sleep_candidates(0.1, 50);
+  const auto sleepers = load.sleep_candidates(10.0, 50);  // < 10% at p95
   std::printf("  sleep candidates:");
   for (SwitchId s : sleepers) std::printf(" %u", s);
   std::printf("\n");
 
-  std::printf("\n-- anomaly detection on a flow's hop latency --\n");
-  // A flow whose hop 3 latency shifts +8x mid-stream.
-  bool alarmed = false;
-  for (int i = 0; i < 3000 && !alarmed; ++i) {
-    const double base = i < 1500 ? 100.0 : 800.0;
-    const auto ev = anomaly.add(3, base + rng.uniform() * 20.0);
-    if (ev) {
-      std::printf("  latency change detected at hop %u (sample %d, %s)\n",
-                  ev->hop, i, ev->upward ? "increase" : "decrease");
-      alarmed = true;
-    }
-  }
-  if (!alarmed) std::printf("  (no alarm — unexpected)\n");
+  std::printf("\n-- anomaly detection on queue occupancy --\n");
+  std::printf("  flows tracked: %zu, alarms: %zu (hot switch drives bursts"
+              " on flows crossing it)\n",
+              anomaly_obs.flows_tracked(), anomaly_obs.events().size());
   return 0;
 }

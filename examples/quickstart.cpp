@@ -1,8 +1,9 @@
 // Quickstart: run all three PINT queries concurrently on a 5-hop path with a
 // 16-bit global budget (the paper's Section 6.4 configuration) and read the
-// answers back.
+// answers back — built through the Builder API, with a SinkObserver watching
+// congestion feedback arrive.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/example_quickstart
 #include <cstdio>
 #include <vector>
 
@@ -11,70 +12,80 @@
 
 using namespace pint;
 
+namespace {
+
+// Observers subscribe to query results; no polling of framework internals.
+struct BottleneckWatcher : SinkObserver {
+  double last = 0.0;
+  int reports = 0;
+  void on_observation(const SinkContext&, std::string_view query,
+                      const Observation& obs) override {
+    if (query != "congestion") return;
+    if (const auto* agg = std::get_if<AggregateObservation>(&obs)) {
+      last = agg->value;
+      ++reports;
+    }
+  }
+};
+
+}  // namespace
+
 int main() {
-  // 1. Declare the queries: <value, aggregation, bit budget, frequency>.
-  Query path_q;
-  path_q.name = "path";
-  path_q.value_type = ValueType::kSwitchId;
-  path_q.aggregation = AggregationType::kStaticPerFlow;
-  path_q.bit_budget = 8;
-  path_q.frequency = 1.0;
+  // 1. Tune the per-family modules (digest widths come from each query's
+  //    bit budget at build time).
+  PathTracingConfig path_tuning;
+  path_tuning.d = 5;  // typical path length in this network
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e6;
+  PerPacketConfig congestion_tuning;
+  congestion_tuning.max_value = 1e6;
 
-  Query latency_q;
-  latency_q.name = "latency";
-  latency_q.value_type = ValueType::kHopLatency;
-  latency_q.aggregation = AggregationType::kDynamicPerFlow;
-  latency_q.bit_budget = 8;
-  latency_q.frequency = 15.0 / 16.0;
-
-  Query cc_q;
-  cc_q.name = "congestion";
-  cc_q.value_type = ValueType::kLinkUtilization;
-  cc_q.aggregation = AggregationType::kPerPacket;
-  cc_q.bit_budget = 8;
-  cc_q.frequency = 1.0 / 16.0;
-
-  // 2. Build the framework: 16 bits per packet, network of 64 switches.
-  FrameworkConfig config;
-  config.global_bit_budget = 16;
-  config.path.d = 5;  // typical path length in this network
-  config.latency.max_value = 1e6;
-  config.perpacket.max_value = 1e6;
+  // 2. Declare the queries — <value extractor, aggregation, bits,
+  //    frequency> — and build: 16 bits per packet, 64 switches. Bit budgets
+  //    and extractor names are validated here; errors are typed, not silent.
   std::vector<std::uint64_t> switch_ids;
   for (SwitchId s = 1; s <= 64; ++s) switch_ids.push_back(s);
 
-  PintFramework pint(config, {path_q, latency_q, cc_q}, switch_ids);
+  BottleneckWatcher watcher;
+  auto pint =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .switch_universe(switch_ids)
+          .add_query(make_path_query("path", 8, 1.0, path_tuning))
+          .add_query(make_dynamic_query("latency",
+                                        std::string(extractor::kHopLatency),
+                                        8, 15.0 / 16.0, latency_tuning))
+          .add_query(make_perpacket_query(
+              "congestion", std::string(extractor::kLinkUtilization), 8,
+              1.0 / 16.0, congestion_tuning))
+          .add_observer(&watcher)
+          .build_or_throw();
 
   // 3. A flow crossing five switches. Hop 3 is congested: high latency and
   //    high egress utilization.
   const std::vector<SwitchId> true_path{12, 7, 33, 51, 24};
   const unsigned k = 5;
   FiveTuple tuple{0x0A000001, 0x0A000002, 40000, 443, 6};
-  const std::uint64_t fkey = flow_key(tuple, FlowDefinition::kFiveTuple);
+  const std::uint64_t fkey = pint->flow_key_for("path", tuple);
 
   Rng rng(7);
-  double last_bottleneck = 0.0;
   for (PacketId id = 1; id <= 30000; ++id) {
     Packet pkt;
     pkt.id = id;
     pkt.tuple = tuple;
     for (HopIndex i = 1; i <= k; ++i) {
-      SwitchView view;
-      view.id = true_path[i - 1];
-      view.hop_latency_ns =
-          (i == 3 ? 5000.0 : 100.0) + rng.exponential(0.01);
-      view.link_utilization = (i == 3 ? 9500.0 : 1200.0);
-      pint.at_switch(pkt, i, view);
+      SwitchView view(true_path[i - 1]);
+      view.set(metric::kHopLatencyNs,
+               (i == 3 ? 5000.0 : 100.0) + rng.exponential(0.01));
+      view.set(metric::kLinkUtilization, i == 3 ? 9500.0 : 1200.0);
+      pint->at_switch(pkt, i, view);
     }
-    const SinkReport report = pint.at_sink(pkt, k);
-    if (report.bottleneck_utilization) {
-      last_bottleneck = *report.bottleneck_utilization;
-    }
+    pint->at_sink(pkt, k);
   }
 
   // 4. Ask the Inference Module.
   std::printf("== PINT quickstart (16-bit global budget) ==\n\n");
-  const auto decoded = pint.flow_path(fkey);
+  const auto decoded = pint->flow_path(fkey);
   std::printf("path tracing   : ");
   if (decoded) {
     for (SwitchId s : *decoded) std::printf("%u ", s);
@@ -83,17 +94,18 @@ int main() {
     std::printf(")\n");
   } else {
     std::printf("still ambiguous (%.0f%% resolved)\n",
-                100.0 * pint.path_progress(fkey));
+                100.0 * pint->path_progress(fkey));
   }
 
   std::printf("hop latencies  : ");
   for (HopIndex i = 1; i <= k; ++i) {
-    const auto med = pint.latency_quantile(fkey, i, 0.5);
+    const auto med = pint->latency_quantile(fkey, i, 0.5);
     std::printf("hop%u=%.0fns ", i, med.value_or(-1.0));
   }
   std::printf(" <- hop 3 stands out\n");
 
-  std::printf("bottleneck util: %.0f (true congested value 9500)\n",
-              last_bottleneck);
+  std::printf("bottleneck util: %.0f over %d reports (true congested value "
+              "9500)\n",
+              watcher.last, watcher.reports);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <variant>
 
 namespace pint {
 
@@ -59,6 +61,29 @@ double LatencyAnomalyDetector::baseline_mean(HopIndex hop) const {
   if (hop == 0 || hop > hops_.size())
     throw std::out_of_range("hop out of range");
   return hops_[hop - 1].mean;
+}
+
+AnomalyObserver::AnomalyObserver(std::string latency_query,
+                                 AnomalyConfig config)
+    : query_(std::move(latency_query)), config_(config) {}
+
+void AnomalyObserver::on_observation(const SinkContext& ctx,
+                                     std::string_view query,
+                                     const Observation& obs) {
+  if (query != query_ || ctx.path_length == 0) return;
+  const auto* sample = std::get_if<HopSampleObservation>(&obs);
+  if (sample == nullptr) return;
+  auto it = detectors_.find(ctx.flow);
+  if (it == detectors_.end()) {
+    it = detectors_
+             .emplace(ctx.flow,
+                      LatencyAnomalyDetector(ctx.path_length, config_))
+             .first;
+  }
+  if (sample->hop == 0 || sample->hop > ctx.path_length) return;
+  if (const auto event = it->second.add(sample->hop, sample->value)) {
+    events_.push_back(FlowAnomaly{ctx.flow, *event});
+  }
 }
 
 }  // namespace pint

@@ -11,9 +11,13 @@
 #include <cmath>
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "pint/sink_report.h"
 
 namespace pint {
 
@@ -52,6 +56,32 @@ class LatencyAnomalyDetector {
 
   AnomalyConfig config_;
   std::vector<HopState> hops_;
+};
+
+// Subscribes per-flow anomaly detection to a PintFramework: every dynamic
+// per-flow sample of `latency_query` feeds a per-flow CUSUM detector (sized
+// to the flow's path length on first sight); fired events accumulate in
+// events().
+class AnomalyObserver : public SinkObserver {
+ public:
+  explicit AnomalyObserver(std::string latency_query,
+                           AnomalyConfig config = {});
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override;
+
+  struct FlowAnomaly {
+    std::uint64_t flow = 0;
+    AnomalyEvent event;
+  };
+  const std::vector<FlowAnomaly>& events() const { return events_; }
+  std::size_t flows_tracked() const { return detectors_.size(); }
+
+ private:
+  std::string query_;
+  AnomalyConfig config_;
+  std::unordered_map<std::uint64_t, LatencyAnomalyDetector> detectors_;
+  std::vector<FlowAnomaly> events_;
 };
 
 }  // namespace pint

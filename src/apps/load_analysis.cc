@@ -1,6 +1,8 @@
 #include "apps/load_analysis.h"
 
 #include <algorithm>
+#include <utility>
+#include <variant>
 
 namespace pint {
 
@@ -79,6 +81,34 @@ std::vector<SwitchId> LoadAnalyzer::sleep_candidates(
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+LoadObserver::LoadObserver(LoadAnalyzer& analyzer, std::string util_query,
+                           std::string path_query)
+    : analyzer_(analyzer),
+      util_query_(std::move(util_query)),
+      path_query_(std::move(path_query)) {}
+
+void LoadObserver::on_observation(const SinkContext& ctx,
+                                  std::string_view query,
+                                  const Observation& obs) {
+  if (query != util_query_) return;
+  const auto* sample = std::get_if<HopSampleObservation>(&obs);
+  if (sample == nullptr) return;
+  auto it = paths_.find(ctx.flow);
+  if (it == paths_.end() || sample->hop == 0 ||
+      sample->hop > it->second.size()) {
+    ++unattributed_;
+    return;
+  }
+  analyzer_.add(it->second[sample->hop - 1], sample->value);
+}
+
+void LoadObserver::on_path_decoded(const SinkContext& ctx,
+                                   std::string_view query,
+                                   const std::vector<SwitchId>& path) {
+  if (query != path_query_) return;
+  paths_[ctx.flow] = path;
 }
 
 }  // namespace pint

@@ -12,10 +12,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "pint/sink_report.h"
 #include "sketch/kll.h"
 
 namespace pint {
@@ -59,6 +62,32 @@ class LoadAnalyzer {
   double alpha_;
   std::uint64_t seed_;
   std::unordered_map<SwitchId, State> switches_;
+};
+
+// Subscribes a LoadAnalyzer to a PintFramework: decoded paths of
+// `path_query` teach the observer each flow's hop->switch mapping; dynamic
+// per-flow samples of `util_query` (a utilization metric) are then re-keyed
+// to the switch that produced them. Samples arriving before the flow's path
+// decodes are counted in unattributed(). Both queries must use the same
+// flow definition.
+class LoadObserver : public SinkObserver {
+ public:
+  LoadObserver(LoadAnalyzer& analyzer, std::string util_query,
+               std::string path_query);
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override;
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override;
+
+  std::size_t unattributed() const { return unattributed_; }
+
+ private:
+  LoadAnalyzer& analyzer_;
+  std::string util_query_;
+  std::string path_query_;
+  std::unordered_map<std::uint64_t, std::vector<SwitchId>> paths_;
+  std::size_t unattributed_ = 0;
 };
 
 }  // namespace pint

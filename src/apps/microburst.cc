@@ -1,6 +1,8 @@
 #include "apps/microburst.h"
 
 #include <stdexcept>
+#include <utility>
+#include <variant>
 
 namespace pint {
 
@@ -42,6 +44,30 @@ double MicroburstDetector::baseline_median(HopIndex hop) const {
   if (hop == 0 || hop > baseline_.size())
     throw std::out_of_range("hop out of range");
   return counts_[hop - 1] > 0 ? baseline_[hop - 1].quantile(0.5) : 0.0;
+}
+
+MicroburstObserver::MicroburstObserver(std::string queue_query,
+                                       MicroburstConfig config,
+                                       std::uint64_t seed)
+    : query_(std::move(queue_query)), config_(config), seed_(seed) {}
+
+void MicroburstObserver::on_observation(const SinkContext& ctx,
+                                        std::string_view query,
+                                        const Observation& obs) {
+  if (query != query_ || ctx.path_length == 0) return;
+  const auto* sample = std::get_if<HopSampleObservation>(&obs);
+  if (sample == nullptr) return;
+  if (sample->hop == 0 || sample->hop > ctx.path_length) return;
+  auto it = detectors_.find(ctx.flow);
+  if (it == detectors_.end()) {
+    it = detectors_
+             .emplace(ctx.flow, MicroburstDetector(ctx.path_length, config_,
+                                                   seed_ ^ ctx.flow))
+             .first;
+  }
+  if (const auto event = it->second.add(sample->hop, sample->value)) {
+    events_.push_back(FlowBurst{ctx.flow, *event});
+  }
 }
 
 }  // namespace pint

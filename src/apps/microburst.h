@@ -9,9 +9,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "pint/sink_report.h"
 #include "sketch/kll.h"
 #include "sketch/sliding_window.h"
 
@@ -48,6 +52,34 @@ class MicroburstDetector {
   std::vector<KllSketch> baseline_;
   std::vector<SlidingWindowQuantiles> recent_;
   std::vector<std::size_t> counts_;
+};
+
+// Subscribes microburst detection to a PintFramework: every dynamic
+// per-flow sample of `queue_query` (queue occupancy) feeds a per-flow
+// detector sized to the flow's path length; fired events accumulate in
+// events().
+class MicroburstObserver : public SinkObserver {
+ public:
+  explicit MicroburstObserver(std::string queue_query,
+                              MicroburstConfig config = {},
+                              std::uint64_t seed = 0xB0257);
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override;
+
+  struct FlowBurst {
+    std::uint64_t flow = 0;
+    MicroburstEvent event;
+  };
+  const std::vector<FlowBurst>& events() const { return events_; }
+  std::size_t flows_tracked() const { return detectors_.size(); }
+
+ private:
+  std::string query_;
+  MicroburstConfig config_;
+  std::uint64_t seed_;
+  std::unordered_map<std::uint64_t, MicroburstDetector> detectors_;
+  std::vector<FlowBurst> events_;
 };
 
 }  // namespace pint

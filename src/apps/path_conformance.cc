@@ -62,4 +62,23 @@ ConformanceReport PathConformanceChecker::check_full(
   return {Conformance::kConformant, 0, "conformant"};
 }
 
+ConformanceObserver::ConformanceObserver(PathPolicy policy,
+                                         std::string path_query)
+    : checker_(std::move(policy)), query_(std::move(path_query)) {}
+
+void ConformanceObserver::on_path_decoded(const SinkContext& ctx,
+                                          std::string_view query,
+                                          const std::vector<SwitchId>& path) {
+  if (query != query_) return;
+  verdicts_.emplace_back(ctx.flow, checker_.check_full(path));
+}
+
+std::size_t ConformanceObserver::violations() const {
+  std::size_t n = 0;
+  for (const auto& [flow, report] : verdicts_) {
+    n += report.verdict == Conformance::kViolation;
+  }
+  return n;
+}
+
 }  // namespace pint

@@ -11,11 +11,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "coding/hashed_decoder.h"
 #include "common/types.h"
+#include "pint/sink_report.h"
 
 namespace pint {
 
@@ -56,6 +60,28 @@ class PathConformanceChecker {
 
  private:
   PathPolicy policy_;
+};
+
+// Subscribes conformance checking to a PintFramework: each flow's path is
+// checked against the policy the moment `path_query` finishes decoding it;
+// verdicts accumulate in verdicts().
+class ConformanceObserver : public SinkObserver {
+ public:
+  ConformanceObserver(PathPolicy policy, std::string path_query);
+
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override;
+
+  const std::vector<std::pair<std::uint64_t, ConformanceReport>>& verdicts()
+      const {
+    return verdicts_;
+  }
+  std::size_t violations() const;
+
+ private:
+  PathConformanceChecker checker_;
+  std::string query_;
+  std::vector<std::pair<std::uint64_t, ConformanceReport>> verdicts_;
 };
 
 }  // namespace pint

@@ -1,6 +1,8 @@
 #include "apps/tomography.h"
 
 #include <algorithm>
+#include <utility>
+#include <variant>
 
 namespace pint {
 
@@ -46,6 +48,29 @@ std::vector<QueueTomography::HotSpot> QueueTomography::hottest(
   });
   if (out.size() > top_n) out.resize(top_n);
   return out;
+}
+
+TomographyObserver::TomographyObserver(QueueTomography& tomography,
+                                       std::string sample_query,
+                                       std::string path_query)
+    : tomography_(tomography),
+      sample_query_(std::move(sample_query)),
+      path_query_(std::move(path_query)) {}
+
+void TomographyObserver::on_observation(const SinkContext& ctx,
+                                        std::string_view query,
+                                        const Observation& obs) {
+  if (query != sample_query_) return;
+  if (const auto* sample = std::get_if<HopSampleObservation>(&obs)) {
+    tomography_.add_sample(ctx.flow, sample->hop, sample->value);
+  }
+}
+
+void TomographyObserver::on_path_decoded(const SinkContext& ctx,
+                                         std::string_view query,
+                                         const std::vector<SwitchId>& path) {
+  if (query != path_query_) return;
+  tomography_.register_flow(ctx.flow, path);
 }
 
 }  // namespace pint

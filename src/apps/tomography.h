@@ -11,10 +11,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "pint/sink_report.h"
 #include "sketch/kll.h"
 
 namespace pint {
@@ -54,6 +57,27 @@ class QueueTomography {
   std::unordered_map<std::uint64_t, std::vector<SwitchId>> flows_;
   std::unordered_map<SwitchId, State> switches_;
   std::size_t dropped_ = 0;
+};
+
+// Subscribes a QueueTomography to a PintFramework: decoded paths of
+// `path_query` register flows; dynamic per-flow samples of `sample_query`
+// (e.g. a queue-occupancy query) become tomography samples. Register via
+// PintFramework::Builder::add_observer() — no framework internals touched.
+// Both queries must use the same flow definition.
+class TomographyObserver : public SinkObserver {
+ public:
+  TomographyObserver(QueueTomography& tomography, std::string sample_query,
+                     std::string path_query);
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override;
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override;
+
+ private:
+  QueueTomography& tomography_;
+  std::string sample_query_;
+  std::string path_query_;
 };
 
 }  // namespace pint

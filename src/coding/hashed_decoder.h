@@ -45,6 +45,7 @@ class HashedPathDecoder {
 
   bool complete() const { return resolved_ == cfg_.k; }
   unsigned resolved_count() const { return resolved_; }
+  unsigned k() const { return cfg_.k; }
 
   std::optional<std::uint64_t> value_at(HopIndex hop) const;
   std::vector<std::uint64_t> path() const;  // requires complete()

@@ -34,11 +34,18 @@ SchemeConfig make_fast(SchemeConfig cfg) {
   return cfg;
 }
 
-SchemeConfig make_baseline_scheme() { return SchemeConfig{1.0, {}}; }
+SchemeConfig make_baseline_scheme() {
+  SchemeConfig cfg;
+  cfg.tau = 1.0;
+  return cfg;
+}
 
 SchemeConfig make_xor_scheme(unsigned d) {
   if (d == 0) throw std::invalid_argument("d > 0");
-  return SchemeConfig{0.0, {1.0 / static_cast<double>(d)}};
+  SchemeConfig cfg;
+  cfg.tau = 0.0;
+  cfg.layer_probs = {1.0 / static_cast<double>(d)};
+  return cfg;
 }
 
 SchemeConfig make_hybrid_scheme(unsigned d) {
@@ -51,7 +58,10 @@ SchemeConfig make_hybrid_scheme(unsigned d) {
   } else {
     p = std::log(log_d) / log_d;
   }
-  return SchemeConfig{0.75, {p}};
+  SchemeConfig cfg;
+  cfg.tau = 0.75;
+  cfg.layer_probs = {p};
+  return cfg;
 }
 
 namespace {

@@ -1,0 +1,40 @@
+#include "pint/extractor.h"
+
+#include <algorithm>
+
+namespace pint {
+
+ValueExtractorRegistry::ValueExtractorRegistry() {
+  add(std::string(extractor::kSwitchId),
+      [](const SwitchView& v) { return static_cast<double>(v.id); });
+  add(std::string(extractor::kHopLatency),
+      [](const SwitchView& v) { return v.get(metric::kHopLatencyNs); });
+  add(std::string(extractor::kLinkUtilization),
+      [](const SwitchView& v) { return v.get(metric::kLinkUtilization); });
+  add(std::string(extractor::kQueueOccupancy),
+      [](const SwitchView& v) { return v.get(metric::kQueueOccupancy); });
+  add(std::string(extractor::kIngressTimestamp),
+      [](const SwitchView& v) { return v.get(metric::kIngressTimestampNs); });
+}
+
+bool ValueExtractorRegistry::add(std::string name, ValueExtractor fn) {
+  if (map_.find(name) != map_.end()) return false;
+  map_.emplace(std::move(name), std::move(fn));
+  return true;
+}
+
+const ValueExtractor* ValueExtractorRegistry::find(
+    std::string_view name) const {
+  auto it = map_.find(name);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ValueExtractorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& kv : map_) out.push_back(kv.first);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pint

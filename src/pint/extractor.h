@@ -1,0 +1,61 @@
+// ValueExtractor registry: how a Query names the value it aggregates.
+//
+// An extractor turns a SwitchView into the scalar v(p, s) a query encodes.
+// Queries reference extractors by name; the registry resolves names at
+// PintFramework::Builder::build() time, so an unknown name is a typed build
+// error instead of a silent misconfiguration. The Table-1 metrics are
+// pre-registered; applications add their own with register_extractor() and
+// never touch framework code.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pint/metric.h"
+
+namespace pint {
+
+using ValueExtractor = std::function<double(const SwitchView&)>;
+
+namespace extractor {
+
+// Built-in extractor names (registered by every ValueExtractorRegistry).
+inline constexpr std::string_view kSwitchId = "switch_id";
+inline constexpr std::string_view kHopLatency = "hop_latency";
+inline constexpr std::string_view kLinkUtilization = "link_utilization";
+inline constexpr std::string_view kQueueOccupancy = "queue_occupancy";
+inline constexpr std::string_view kIngressTimestamp = "ingress_timestamp";
+
+}  // namespace extractor
+
+class ValueExtractorRegistry {
+ public:
+  // Starts with the built-ins registered.
+  ValueExtractorRegistry();
+
+  // Returns false (and leaves the registry unchanged) if `name` is taken.
+  bool add(std::string name, ValueExtractor fn);
+
+  // nullptr if unknown.
+  const ValueExtractor* find(std::string_view name) const;
+
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  // Registered names, sorted (diagnostics / error messages).
+  std::vector<std::string> names() const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, ValueExtractor, StringHash, std::equal_to<>>
+      map_;
+};
+
+}  // namespace pint

@@ -1,53 +1,243 @@
 #include "pint/framework.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <utility>
+
+#include "pint/wire_format.h"
 
 namespace pint {
 
-PintFramework::PintFramework(FrameworkConfig config,
-                             std::vector<Query> queries,
-                             std::vector<std::uint64_t> switch_ids)
-    : config_(config), switch_ids_(std::move(switch_ids)) {
-  engine_ = std::make_unique<QueryEngine>(queries, config.global_bit_budget,
-                                          config.seed);
-  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-    const Query& q = queries[qi];
-    unsigned lanes = 1;
+namespace {
+
+// Per-aggregation hash salts. The first query of each family derives the
+// exact seed the pre-Builder facade used, so the Section 6.4 three-query mix
+// behaves identically; later same-family queries mix in their ordinal.
+std::uint64_t aggregation_salt(AggregationType aggregation) {
+  switch (aggregation) {
+    case AggregationType::kStaticPerFlow:
+      return 0x57A71C;
+    case AggregationType::kDynamicPerFlow:
+      return 0xD14A;
+    case AggregationType::kPerPacket:
+      return 0xCC;
+  }
+  return 0;
+}
+
+std::uint64_t binding_seed(std::uint64_t seed, AggregationType aggregation,
+                           unsigned family_ordinal) {
+  return seed ^ aggregation_salt(aggregation) ^
+         (static_cast<std::uint64_t>(family_ordinal) * 0x9E3779B97F4A7C15ULL);
+}
+
+std::string_view default_extractor(AggregationType aggregation) {
+  switch (aggregation) {
+    case AggregationType::kStaticPerFlow:
+      return extractor::kSwitchId;
+    case AggregationType::kDynamicPerFlow:
+      return extractor::kHopLatency;
+    case AggregationType::kPerPacket:
+      return extractor::kLinkUtilization;
+  }
+  return extractor::kSwitchId;
+}
+
+}  // namespace
+
+const char* to_string(BuildErrorCode code) {
+  switch (code) {
+    case BuildErrorCode::kNoQueries:
+      return "no queries registered";
+    case BuildErrorCode::kEmptyQueryName:
+      return "query name empty";
+    case BuildErrorCode::kDuplicateQueryName:
+      return "duplicate query name";
+    case BuildErrorCode::kDuplicateExtractor:
+      return "duplicate extractor name";
+    case BuildErrorCode::kUnknownExtractor:
+      return "unknown extractor";
+    case BuildErrorCode::kBadBitBudget:
+      return "query bit budget outside the global budget";
+    case BuildErrorCode::kBadFrequency:
+      return "query frequency outside (0, 1]";
+    case BuildErrorCode::kBudgetBelowInstanceCount:
+      return "bit budget below instance count";
+    case BuildErrorCode::kEmptySwitchUniverse:
+      return "static per-flow query needs a switch universe";
+    case BuildErrorCode::kInfeasiblePlan:
+      return "query mix infeasible within the global bit budget";
+    case BuildErrorCode::kTooManyConcurrentQueries:
+      return "execution plan set exceeds SinkReport capacity";
+  }
+  return "unknown build error";
+}
+
+// --- Builder ----------------------------------------------------------------
+
+PintFramework::Builder::Builder() = default;
+PintFramework::Builder::~Builder() = default;
+PintFramework::Builder::Builder(Builder&&) noexcept = default;
+PintFramework::Builder& PintFramework::Builder::operator=(Builder&&) noexcept =
+    default;
+
+PintFramework::Builder& PintFramework::Builder::global_bit_budget(
+    unsigned bits) {
+  budget_ = bits;
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::switch_universe(
+    std::vector<std::uint64_t> ids) {
+  universe_ = std::move(ids);
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::register_extractor(
+    std::string name, ValueExtractor fn) {
+  if (!registry_.add(name, std::move(fn)) &&
+      !duplicate_extractor_.has_value()) {
+    duplicate_extractor_ = std::move(name);
+  }
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::add_query(QuerySpec spec) {
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::add_observer(
+    SinkObserver* observer) {
+  observers_.push_back(observer);
+  return *this;
+}
+
+BuildResult PintFramework::Builder::build() const {
+  const auto fail = [](BuildErrorCode code, std::string detail) {
+    BuildResult r;
+    std::string message = to_string(code);
+    if (!detail.empty()) message += ": " + detail;
+    r.error = BuildError{code, std::move(message)};
+    return r;
+  };
+
+  if (duplicate_extractor_.has_value()) {
+    return fail(BuildErrorCode::kDuplicateExtractor, *duplicate_extractor_);
+  }
+  if (specs_.empty()) return fail(BuildErrorCode::kNoQueries, "");
+
+  std::unordered_set<std::string_view> names;
+  std::unordered_map<AggregationType, unsigned> family_counts;
+  auto fw = std::unique_ptr<PintFramework>(new PintFramework());
+  fw->seed_ = seed_;
+  fw->switch_ids_ = universe_;
+  fw->observers_ = observers_;
+
+  std::vector<Query> engine_queries;
+  engine_queries.reserve(specs_.size());
+
+  for (const QuerySpec& spec : specs_) {
+    const Query& q = spec.query;
+    if (q.name.empty()) return fail(BuildErrorCode::kEmptyQueryName, "");
+    if (!names.insert(q.name).second) {
+      return fail(BuildErrorCode::kDuplicateQueryName, q.name);
+    }
+    if (q.bit_budget == 0 || q.bit_budget > budget_) {
+      return fail(BuildErrorCode::kBadBitBudget, q.name);
+    }
+    if (q.frequency <= 0.0 || q.frequency > 1.0) {
+      return fail(BuildErrorCode::kBadFrequency, q.name);
+    }
+    const std::string_view extractor_name =
+        q.extractor.empty() ? default_extractor(q.aggregation)
+                            : std::string_view(q.extractor);
+    const ValueExtractor* extract = registry_.find(extractor_name);
+    if (extract == nullptr) {
+      return fail(BuildErrorCode::kUnknownExtractor,
+                  "'" + std::string(extractor_name) + "' for query '" +
+                      q.name + "'");
+    }
+
+    Binding b;
+    b.spec = spec;
+    b.extract = *extract;
+    const unsigned ordinal = family_counts[q.aggregation]++;
+    b.recorder_salt =
+        static_cast<std::uint64_t>(ordinal) * 0x9E3779B97F4A7C15ULL;
+    const std::uint64_t module_seed =
+        binding_seed(seed_, q.aggregation, ordinal);
     switch (q.aggregation) {
       case AggregationType::kStaticPerFlow: {
-        if (path_query_.has_value())
-          throw std::invalid_argument("one static query supported");
-        PathTracingConfig pc = config_.path;
+        if (universe_.empty()) {
+          return fail(BuildErrorCode::kEmptySwitchUniverse, q.name);
+        }
+        PathTracingConfig pc = b.spec.path;
         // Respect the query's bit budget: instances * bits must fit it.
         if (pc.bits * pc.instances != q.bit_budget) {
-          pc.bits = q.bit_budget / pc.instances;
-          if (pc.bits == 0)
-            throw std::invalid_argument("bit budget below instance count");
+          pc.bits = pc.instances == 0 ? 0 : q.bit_budget / pc.instances;
+          if (pc.bits == 0) {
+            return fail(BuildErrorCode::kBudgetBelowInstanceCount, q.name);
+          }
         }
-        path_query_.emplace(pc, config_.seed ^ 0x57A71C);
-        lanes = pc.instances;
+        b.spec.path = pc;
+        b.path.emplace(pc, module_seed);
+        b.lanes = pc.instances;
         break;
       }
       case AggregationType::kDynamicPerFlow: {
-        if (latency_query_.has_value())
-          throw std::invalid_argument("one dynamic query supported");
-        DynamicAggregationConfig dc = config_.latency;
+        DynamicAggregationConfig dc = b.spec.dynamic;
         dc.bits = q.bit_budget;
-        latency_query_.emplace(dc, config_.seed ^ 0xD14A);
+        b.spec.dynamic = dc;
+        b.dynamic.emplace(dc, module_seed);
         break;
       }
       case AggregationType::kPerPacket: {
-        if (perpacket_query_.has_value())
-          throw std::invalid_argument("one per-packet query supported");
-        PerPacketConfig pp = config_.perpacket;
+        PerPacketConfig pp = b.spec.perpacket;
         pp.bits = q.bit_budget;
-        perpacket_query_.emplace(pp, config_.seed ^ 0xCC);
+        b.spec.perpacket = pp;
+        b.perpacket.emplace(pp, module_seed);
         break;
       }
     }
-    bindings_.push_back(QueryBinding{q, qi, lanes});
+    fw->bindings_.push_back(std::move(b));
+    engine_queries.push_back(q);
   }
+
+  try {
+    fw->engine_ =
+        std::make_unique<QueryEngine>(std::move(engine_queries), budget_,
+                                      seed_);
+  } catch (const std::invalid_argument& e) {
+    return fail(BuildErrorCode::kInfeasiblePlan, e.what());
+  }
+
+  for (const QuerySet& set : fw->engine_->plan().sets) {
+    if (set.query_indices.size() > SinkReport::kMaxQueriesPerPacket) {
+      return fail(BuildErrorCode::kTooManyConcurrentQueries, "");
+    }
+    fw->max_lanes_ = std::max(fw->max_lanes_, fw->lanes_for_set(set));
+  }
+  fw->extract_scratch_.resize(fw->bindings_.size());
+
+  BuildResult r;
+  r.framework = std::move(fw);
+  return r;
 }
+
+std::unique_ptr<PintFramework> PintFramework::Builder::build_or_throw() const {
+  BuildResult r = build();
+  if (!r.ok()) throw std::invalid_argument(r.error->message);
+  return std::move(r.framework);
+}
+
+// --- switch side ------------------------------------------------------------
 
 std::size_t PintFramework::lanes_for_set(const QuerySet& set) const {
   std::size_t lanes = 0;
@@ -55,8 +245,9 @@ std::size_t PintFramework::lanes_for_set(const QuerySet& set) const {
   return lanes;
 }
 
-void PintFramework::at_switch(Packet& packet, HopIndex i,
-                              const SwitchView& view) {
+void PintFramework::encode_one(Packet& packet, HopIndex i,
+                               const SwitchView* view,
+                               const double* hoisted) {
   const QuerySet& set = engine_->set_for_packet(packet.id);
   const std::size_t lanes_needed = lanes_for_set(set);
   if (packet.digests.size() != lanes_needed) {
@@ -66,22 +257,21 @@ void PintFramework::at_switch(Packet& packet, HopIndex i,
   }
   std::size_t lane = 0;
   for (std::size_t qi : set.query_indices) {
-    const QueryBinding& b = bindings_[qi];
-    switch (b.query.aggregation) {
-      case AggregationType::kStaticPerFlow: {
-        std::vector<Digest> sub(packet.digests.begin() + lane,
-                                packet.digests.begin() + lane + b.lanes);
-        path_query_->encode(packet.id, i, view.id, sub);
-        std::copy(sub.begin(), sub.end(), packet.digests.begin() + lane);
+    Binding& b = bindings_[qi];
+    const double value = hoisted != nullptr ? hoisted[qi] : b.extract(*view);
+    switch (b.spec.query.aggregation) {
+      case AggregationType::kStaticPerFlow:
+        b.path->encode(packet.id, i, static_cast<SwitchId>(value),
+                       std::span<Digest>(packet.digests.data() + lane,
+                                         b.lanes));
         break;
-      }
       case AggregationType::kDynamicPerFlow:
-        packet.digests[lane] = latency_query_->encode_step(
-            packet.id, i, packet.digests[lane], view.hop_latency_ns);
+        packet.digests[lane] =
+            b.dynamic->encode_step(packet.id, i, packet.digests[lane], value);
         break;
       case AggregationType::kPerPacket:
-        packet.digests[lane] = perpacket_query_->encode_step(
-            packet.id, packet.digests[lane], view.link_utilization);
+        packet.digests[lane] =
+            b.perpacket->encode_step(packet.id, packet.digests[lane], value);
         break;
     }
     lane += b.lanes;
@@ -89,89 +279,287 @@ void PintFramework::at_switch(Packet& packet, HopIndex i,
   ++packet.hops_traversed;
 }
 
-SinkReport PintFramework::at_sink(const Packet& packet, unsigned k) {
-  SinkReport report;
+void PintFramework::at_switch(Packet& packet, HopIndex i,
+                              const SwitchView& view) {
+  encode_one(packet, i, &view, nullptr);
+}
+
+void PintFramework::at_switch(std::span<Packet> packets, HopIndex i,
+                              const SwitchView& view) {
+  // The view is constant across the batch: evaluate each extractor once,
+  // not once per packet.
+  for (std::size_t qi = 0; qi < bindings_.size(); ++qi) {
+    extract_scratch_[qi] = bindings_[qi].extract(view);
+  }
+  for (Packet& packet : packets) {
+    encode_one(packet, i, nullptr, extract_scratch_.data());
+  }
+}
+
+// --- sink side --------------------------------------------------------------
+
+void PintFramework::sink_one(const Packet& packet, unsigned k,
+                             SinkReport& report) {
+  report.clear();
   const QuerySet& set = engine_->set_for_packet(packet.id);
-  if (packet.digests.size() != lanes_for_set(set)) return report;  // no digest
-  const std::uint64_t fkey = flow_key(packet.tuple, FlowDefinition::kFiveTuple);
-  flow_hops_[fkey] = k;
+  if (set.query_indices.empty()) return;
+  if (packet.digests.size() != lanes_for_set(set)) return;  // no digest
+  // Queries usually share a flow definition: hash the tuple at most once
+  // per definition per packet.
+  constexpr std::size_t kNumFlowDefs = 4;
+  std::array<std::uint64_t, kNumFlowDefs> key_cache;
+  std::uint8_t key_computed = 0;
+  const auto cached_flow_key = [&](FlowDefinition def) {
+    const auto d = static_cast<std::size_t>(def);
+    if (!((key_computed >> d) & 1u)) {
+      key_cache[d] = flow_key(packet.tuple, def);
+      key_computed |= static_cast<std::uint8_t>(1u << d);
+    }
+    return key_cache[d];
+  };
   std::size_t lane = 0;
   for (std::size_t qi : set.query_indices) {
-    const QueryBinding& b = bindings_[qi];
-    switch (b.query.aggregation) {
+    Binding& b = bindings_[qi];
+    const std::string_view name = b.spec.query.name;
+    const std::uint64_t fkey = cached_flow_key(b.spec.query.flow_definition);
+    const SinkContext ctx{packet.id, fkey, k};
+    Observation obs;
+    switch (b.spec.query.aggregation) {
       case AggregationType::kStaticPerFlow: {
-        auto it = path_decoders_.find(fkey);
-        if (it == path_decoders_.end()) {
-          it = path_decoders_
-                   .emplace(fkey, path_query_->make_decoder(k, switch_ids_))
+        auto it = b.decoders.find(fkey);
+        if (it == b.decoders.end()) {
+          it = b.decoders.emplace(fkey, b.path->make_decoder(k, switch_ids_))
                    .first;
         }
-        if (!it->second.complete()) {
-          std::span<const Digest> lanes(packet.digests.data() + lane,
-                                        b.lanes);
-          it->second.add_packet(packet.id, lanes);
+        HashedPathDecoder& decoder = it->second;
+        const bool was_complete = decoder.complete();
+        if (!was_complete) {
+          decoder.add_packet(
+              packet.id,
+              std::span<const Digest>(packet.digests.data() + lane, b.lanes));
         }
-        report.path_digest_recorded = true;
+        obs = PathDigestObservation{decoder.resolved_count(), decoder.k(),
+                                    decoder.complete()};
+        if (!was_complete && decoder.complete() &&
+            b.paths_reported.insert(fkey).second) {
+          std::vector<SwitchId> path;
+          path.reserve(decoder.k());
+          for (std::uint64_t v : decoder.path()) {
+            path.push_back(static_cast<SwitchId>(v));
+          }
+          for (SinkObserver* o : observers_) {
+            o->on_path_decoded(ctx, name, path);
+          }
+        }
         break;
       }
       case AggregationType::kDynamicPerFlow: {
-        auto it = latency_recorders_.find(fkey);
-        if (it == latency_recorders_.end()) {
-          it = latency_recorders_
+        auto it = b.recorders.find(fkey);
+        if (it == b.recorders.end()) {
+          const std::uint64_t recorder_seed = seed_ ^ fkey ^ b.recorder_salt;
+          it = b.recorders
                    .emplace(fkey,
-                            FlowLatencyRecorder(
-                                k, b.query.space_budget_bytes,
-                                config_.seed ^ fkey))
+                            b.spec.recorder_factory
+                                ? b.spec.recorder_factory(k, recorder_seed)
+                                : FlowLatencyRecorder(
+                                      k, b.spec.query.space_budget_bytes,
+                                      recorder_seed))
                    .first;
         }
-        it->second.add(
-            latency_query_->decode(packet.id, packet.digests[lane], k));
-        report.latency_sample_recorded = true;
+        const DynamicAggregationQuery::Sample sample =
+            b.dynamic->decode(packet.id, packet.digests[lane], k);
+        it->second.add(sample);
+        obs = HopSampleObservation{sample.hop, sample.value};
         break;
       }
       case AggregationType::kPerPacket:
-        report.bottleneck_utilization =
-            perpacket_query_->decode(packet.digests[lane]);
+        obs = AggregateObservation{b.perpacket->decode(packet.digests[lane])};
         break;
     }
+    report.add(name, obs);
+    for (SinkObserver* o : observers_) o->on_observation(ctx, name, obs);
     lane += b.lanes;
   }
+}
+
+SinkReport PintFramework::at_sink(const Packet& packet, unsigned k) {
+  SinkReport report;
+  sink_one(packet, k, report);
   return report;
+}
+
+void PintFramework::at_sink(std::span<const Packet> packets, unsigned k,
+                            std::span<SinkReport> reports) {
+  if (!reports.empty() && reports.size() != packets.size()) {
+    throw std::invalid_argument("reports must be empty or match packets");
+  }
+  SinkReport scratch;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    sink_one(packets[i], k, reports.empty() ? scratch : reports[i]);
+  }
+}
+
+void PintFramework::add_observer(SinkObserver* observer) {
+  observers_.push_back(observer);
+}
+
+// --- wire format ------------------------------------------------------------
+
+std::size_t PintFramework::lane_widths(PacketId packet,
+                                       std::span<unsigned> out) const {
+  const QuerySet& set = engine_->set_for_packet(packet);
+  const std::size_t count = lanes_for_set(set);
+  if (out.empty()) return count;
+  if (out.size() < count) throw std::invalid_argument("lane buffer too small");
+  std::size_t lane = 0;
+  for (std::size_t qi : set.query_indices) {
+    const Binding& b = bindings_[qi];
+    const unsigned width = b.spec.query.aggregation ==
+                                   AggregationType::kStaticPerFlow
+                               ? b.spec.path.bits
+                               : b.spec.query.bit_budget;
+    for (unsigned inst = 0; inst < b.lanes; ++inst) out[lane++] = width;
+  }
+  return count;
+}
+
+std::vector<std::uint8_t> PintFramework::pack_wire(
+    const Packet& packet) const {
+  std::vector<unsigned> widths(max_lanes_);
+  const std::size_t count = lane_widths(packet.id, widths);
+  widths.resize(count);
+  if (packet.digests.size() != count) {
+    throw std::invalid_argument("packet digests do not match its query set");
+  }
+  return pack_digests(packet.digests, widths);
+}
+
+void PintFramework::unpack_wire(std::span<const std::uint8_t> bytes,
+                                Packet& packet) const {
+  std::vector<unsigned> widths(max_lanes_);
+  const std::size_t count = lane_widths(packet.id, widths);
+  widths.resize(count);
+  packet.digests = unpack_digests(bytes, widths);
+}
+
+// --- introspection ----------------------------------------------------------
+
+const PintFramework::Binding* PintFramework::find_binding(
+    std::string_view query) const {
+  for (const Binding& b : bindings_) {
+    if (b.spec.query.name == query) return &b;
+  }
+  return nullptr;
+}
+
+const PintFramework::Binding* PintFramework::find_binding(
+    AggregationType aggregation) const {
+  for (const Binding& b : bindings_) {
+    if (b.spec.query.aggregation == aggregation) return &b;
+  }
+  return nullptr;
+}
+
+const QuerySpec* PintFramework::spec(std::string_view query) const {
+  const Binding* b = find_binding(query);
+  return b == nullptr ? nullptr : &b->spec;
+}
+
+std::vector<std::string_view> PintFramework::query_names() const {
+  std::vector<std::string_view> out;
+  out.reserve(bindings_.size());
+  for (const Binding& b : bindings_) out.push_back(b.spec.query.name);
+  return out;
+}
+
+std::uint64_t PintFramework::flow_key_for(std::string_view query,
+                                          const FiveTuple& tuple) const {
+  const Binding* b = find_binding(query);
+  return flow_key(tuple, b == nullptr ? FlowDefinition::kFiveTuple
+                                      : b->spec.query.flow_definition);
+}
+
+// --- inference --------------------------------------------------------------
+
+namespace {
+
+std::optional<std::vector<SwitchId>> binding_flow_path(
+    const std::unordered_map<std::uint64_t, HashedPathDecoder>& decoders,
+    std::uint64_t fkey) {
+  auto it = decoders.find(fkey);
+  if (it == decoders.end() || !it->second.complete()) return std::nullopt;
+  std::vector<SwitchId> out;
+  out.reserve(it->second.k());
+  for (std::uint64_t v : it->second.path()) {
+    out.push_back(static_cast<SwitchId>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<SwitchId>> PintFramework::flow_path(
+    std::string_view query, std::uint64_t fkey) const {
+  const Binding* b = find_binding(query);
+  if (b == nullptr) return std::nullopt;
+  return binding_flow_path(b->decoders, fkey);
 }
 
 std::optional<std::vector<SwitchId>> PintFramework::flow_path(
     std::uint64_t fkey) const {
-  auto it = path_decoders_.find(fkey);
-  if (it == path_decoders_.end() || !it->second.complete())
-    return std::nullopt;
-  std::vector<SwitchId> out;
-  for (std::uint64_t v : it->second.path())
-    out.push_back(static_cast<SwitchId>(v));
-  return out;
+  const Binding* b = find_binding(AggregationType::kStaticPerFlow);
+  if (b == nullptr) return std::nullopt;
+  return binding_flow_path(b->decoders, fkey);
+}
+
+double PintFramework::path_progress(std::string_view query,
+                                    std::uint64_t fkey) const {
+  const Binding* b = find_binding(query);
+  if (b == nullptr) return 0.0;
+  auto it = b->decoders.find(fkey);
+  if (it == b->decoders.end() || it->second.k() == 0) return 0.0;
+  return static_cast<double>(it->second.resolved_count()) / it->second.k();
 }
 
 double PintFramework::path_progress(std::uint64_t fkey) const {
-  auto it = path_decoders_.find(fkey);
-  if (it == path_decoders_.end()) return 0.0;
-  auto hops = flow_hops_.find(fkey);
-  const unsigned k = hops == flow_hops_.end() ? 0 : hops->second;
-  if (k == 0) return 0.0;
-  return static_cast<double>(it->second.resolved_count()) / k;
+  const Binding* b = find_binding(AggregationType::kStaticPerFlow);
+  return b == nullptr ? 0.0 : path_progress(b->spec.query.name, fkey);
+}
+
+std::optional<double> PintFramework::latency_quantile(std::string_view query,
+                                                      std::uint64_t fkey,
+                                                      HopIndex hop,
+                                                      double phi) const {
+  const Binding* b = find_binding(query);
+  if (b == nullptr) return std::nullopt;
+  auto it = b->recorders.find(fkey);
+  if (it == b->recorders.end()) return std::nullopt;
+  return it->second.quantile(hop, phi);
 }
 
 std::optional<double> PintFramework::latency_quantile(std::uint64_t fkey,
                                                       HopIndex hop,
                                                       double phi) const {
-  auto it = latency_recorders_.find(fkey);
-  if (it == latency_recorders_.end()) return std::nullopt;
-  return it->second.quantile(hop, phi);
+  const Binding* b = find_binding(AggregationType::kDynamicPerFlow);
+  if (b == nullptr) return std::nullopt;
+  return latency_quantile(b->spec.query.name, fkey, hop, phi);
+}
+
+std::vector<std::uint64_t> PintFramework::latency_frequent_values(
+    std::string_view query, std::uint64_t fkey, HopIndex hop,
+    double theta) const {
+  const Binding* b = find_binding(query);
+  if (b == nullptr) return {};
+  auto it = b->recorders.find(fkey);
+  if (it == b->recorders.end()) return {};
+  return it->second.frequent_values(hop, theta);
 }
 
 std::vector<std::uint64_t> PintFramework::latency_frequent_values(
     std::uint64_t fkey, HopIndex hop, double theta) const {
-  auto it = latency_recorders_.find(fkey);
-  if (it == latency_recorders_.end()) return {};
-  return it->second.frequent_values(hop, theta);
+  const Binding* b = find_binding(AggregationType::kDynamicPerFlow);
+  if (b == nullptr) return {};
+  return latency_frequent_values(b->spec.query.name, fkey, hop, theta);
 }
 
 }  // namespace pint

@@ -1,115 +1,251 @@
 // PINT end-to-end framework facade (paper Fig. 3).
 //
 // Wires the Query Engine, the per-query encoding logic (switch side), and
-// the Recording/Inference modules (sink side) into one object. The examples
-// and the combined experiment (Fig. 11) use this API; individual modules
-// remain usable standalone.
+// the Recording/Inference modules (sink side) into one object, around an
+// open, registry-driven core:
 //
-// Wire model: a packet's digest lanes hold, for each query in its selected
-// query set (in set order), that query's lanes (path tracing may use several
-// instances). The sink recomputes the set from the packet id, so no lane
-// metadata travels on the wire — exactly how PINT stays header-free.
+//   * Queries name the value they aggregate via a ValueExtractor registry
+//     (extractor.h): any metric computable from a SwitchView can back a
+//     query — nothing is hardcoded, and several queries may share an
+//     aggregation type.
+//   * A PintFramework is constructed only through PintFramework::Builder,
+//     which registers QuerySpecs, extractors, per-query recorder factories
+//     and observers, validates bit budgets and extractor names at build
+//     time, and returns typed BuildErrors instead of silently
+//     misconfiguring.
+//   * The sink emits a generic SinkReport of per-query observations
+//     (sink_report.h) and notifies registered SinkObservers, so
+//     applications subscribe to query results instead of poking framework
+//     internals.
+//   * Batched overloads at_switch(span<Packet>) / at_sink(span<const
+//     Packet>) process packets with no per-packet allocation on the steady
+//     path — the hook for sharding and multi-sink scale-out.
+//
+// Wire model (unchanged from the paper): a packet's digest lanes hold, for
+// each query in its selected query set (in set order), that query's lanes
+// (path tracing may use several instances). The sink recomputes the set
+// from the packet id, so no lane metadata travels on the wire — exactly how
+// PINT stays header-free.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "coding/hashed_decoder.h"
 #include "common/types.h"
 #include "packet/packet.h"
 #include "pint/dynamic_aggregation.h"
+#include "pint/extractor.h"
 #include "pint/perpacket_aggregation.h"
 #include "pint/query.h"
 #include "pint/query_engine.h"
+#include "pint/query_spec.h"
+#include "pint/sink_report.h"
 #include "pint/static_aggregation.h"
 
 namespace pint {
 
-// What a switch tells PINT about itself when a packet passes (a subset of
-// Table 1, enough for the three evaluated use cases).
-struct SwitchView {
-  SwitchId id = 0;
-  double hop_latency_ns = 0.0;
-  double link_utilization = 0.0;  // of the packet's egress port
-  double queue_occupancy = 0.0;
+enum class BuildErrorCode : std::uint8_t {
+  kNoQueries,
+  kEmptyQueryName,
+  kDuplicateQueryName,
+  kDuplicateExtractor,
+  kUnknownExtractor,
+  kBadBitBudget,        // zero, or above the global budget
+  kBadFrequency,        // outside (0, 1]
+  kBudgetBelowInstanceCount,
+  kEmptySwitchUniverse,  // static query with no switch universe
+  kInfeasiblePlan,       // query mix cannot meet frequencies in the budget
+  kTooManyConcurrentQueries,  // a plan set exceeds SinkReport capacity
 };
 
-// Everything the sink learned from one packet.
-struct SinkReport {
-  std::optional<double> bottleneck_utilization;  // per-packet query, if ran
-  bool latency_sample_recorded = false;
-  bool path_digest_recorded = false;
+const char* to_string(BuildErrorCode code);
+
+struct BuildError {
+  BuildErrorCode code;
+  std::string message;
 };
 
-struct FrameworkConfig {
-  unsigned global_bit_budget = 16;
-  std::uint64_t seed = 0x50494E54;  // "PINT"
+class PintFramework;
 
-  // Per-use-case knobs (active only if the matching query is registered).
-  PathTracingConfig path;
-  DynamicAggregationConfig latency;
-  PerPacketConfig perpacket;
+// Result of Builder::build(): exactly one of framework/error is set.
+struct BuildResult {
+  std::unique_ptr<PintFramework> framework;
+  std::optional<BuildError> error;
+
+  bool ok() const { return framework != nullptr; }
+  explicit operator bool() const { return ok(); }
 };
 
 class PintFramework {
  public:
-  // `queries` entries must use distinct names; aggregation type selects the
-  // module. `switch_ids` is the universe for path decoding.
-  PintFramework(FrameworkConfig config, std::vector<Query> queries,
-                std::vector<std::uint64_t> switch_ids);
+  class Builder {
+   public:
+    Builder();
+    ~Builder();
+    Builder(Builder&&) noexcept;
+    Builder& operator=(Builder&&) noexcept;
+
+    Builder& global_bit_budget(unsigned bits);
+    Builder& seed(std::uint64_t seed);
+
+    // Universe of switch IDs for static per-flow (path) decoding.
+    Builder& switch_universe(std::vector<std::uint64_t> ids);
+
+    // Register a custom metric extractor; duplicate names surface as a
+    // kDuplicateExtractor build error.
+    Builder& register_extractor(std::string name, ValueExtractor fn);
+
+    // Register one query (spec registry keyed by query.name).
+    Builder& add_query(QuerySpec spec);
+
+    // Non-owning; must outlive the framework.
+    Builder& add_observer(SinkObserver* observer);
+
+    // Validates and constructs. The builder can be reused afterwards.
+    BuildResult build() const;
+
+    // Throws std::invalid_argument with the BuildError message on failure.
+    std::unique_ptr<PintFramework> build_or_throw() const;
+
+   private:
+    unsigned budget_ = 16;
+    std::uint64_t seed_ = 0x50494E54;  // "PINT"
+    std::vector<std::uint64_t> universe_;
+    ValueExtractorRegistry registry_;
+    std::optional<std::string> duplicate_extractor_;
+    std::vector<QuerySpec> specs_;
+    std::vector<SinkObserver*> observers_;
+  };
 
   // --- switch side ---------------------------------------------------------
   // Called by every switch in path order; `i` is the 1-based hop number.
   void at_switch(Packet& packet, HopIndex i, const SwitchView& view);
 
+  // Batched hot path: every packet in `packets` crosses this switch at hop
+  // `i` under the same view. Allocation-free per packet on the steady path
+  // (a packet's own digest lanes are sized once, at its first hop).
+  void at_switch(std::span<Packet> packets, HopIndex i,
+                 const SwitchView& view);
+
   // --- sink side -----------------------------------------------------------
-  // Extracts the digest, updates recorders, returns what was learned.
-  // `k` = the flow's path length in switches (from TTL).
+  // Extracts the digest, updates recorders, notifies observers, and returns
+  // what was learned. `k` = the flow's path length in switches (from TTL).
   SinkReport at_sink(const Packet& packet, unsigned k);
 
-  // --- inference -----------------------------------------------------------
+  // Batched hot path. `reports` must be empty (observer-only delivery) or
+  // have one entry per packet; entries are overwritten, not appended, so a
+  // caller-owned buffer makes the loop allocation-free.
+  void at_sink(std::span<const Packet> packets, unsigned k,
+               std::span<SinkReport> reports = {});
+
+  // Non-owning; must outlive the framework.
+  void add_observer(SinkObserver* observer);
+
+  // --- wire format ---------------------------------------------------------
+  // Lane widths (bits) of the packet's query set, in wire order. Returns the
+  // lane count; `out` (if non-empty) receives the widths and must hold at
+  // least max_lanes() entries.
+  std::size_t lane_widths(PacketId packet, std::span<unsigned> out) const;
+  std::size_t max_lanes() const { return max_lanes_; }
+
+  // Bit-pack the packet's digest lanes into wire bytes, and back. Both ends
+  // derive the lane layout from the packet id alone (header-free).
+  std::vector<std::uint8_t> pack_wire(const Packet& packet) const;
+  void unpack_wire(std::span<const std::uint8_t> bytes, Packet& packet) const;
+
+  // --- introspection -------------------------------------------------------
   const QueryEngine& engine() const { return *engine_; }
+  unsigned global_bit_budget() const { return engine_->global_bit_budget(); }
+  std::size_t lanes_for_set(const QuerySet& set) const;
+  const QuerySpec* spec(std::string_view query) const;
+  std::vector<std::string_view> query_names() const;
+
+  // Flow key of `tuple` under a query's flow definition.
+  std::uint64_t flow_key_for(std::string_view query,
+                             const FiveTuple& tuple) const;
+
+  // --- inference -----------------------------------------------------------
+  // By query name; the name-free overloads resolve the unique (first
+  // declared) query of the matching aggregation type — convenient for the
+  // common one-query-per-family mix.
 
   // Path of a flow, if fully decoded.
+  std::optional<std::vector<SwitchId>> flow_path(std::string_view query,
+                                                 std::uint64_t flow_key) const;
   std::optional<std::vector<SwitchId>> flow_path(std::uint64_t flow_key) const;
+
   // Fraction of hops resolved for a flow (0 if unseen).
+  double path_progress(std::string_view query, std::uint64_t flow_key) const;
   double path_progress(std::uint64_t flow_key) const;
 
   // Latency quantile for (flow, hop), if samples exist.
+  std::optional<double> latency_quantile(std::string_view query,
+                                         std::uint64_t flow_key, HopIndex hop,
+                                         double phi) const;
   std::optional<double> latency_quantile(std::uint64_t flow_key, HopIndex hop,
                                          double phi) const;
 
   // Values appearing in at least a theta-fraction of (flow, hop)'s samples
   // (Theorem 2); empty if the flow is unknown.
+  std::vector<std::uint64_t> latency_frequent_values(std::string_view query,
+                                                     std::uint64_t flow_key,
+                                                     HopIndex hop,
+                                                     double theta) const;
   std::vector<std::uint64_t> latency_frequent_values(std::uint64_t flow_key,
                                                      HopIndex hop,
                                                      double theta) const;
 
-  std::size_t lanes_for_set(const QuerySet& set) const;
-
  private:
-  struct QueryBinding {
-    Query query;
-    std::size_t index;  // in engine order
-    unsigned lanes;     // digest lanes this query occupies
+  friend class Builder;
+
+  struct Binding {
+    QuerySpec spec;
+    ValueExtractor extract;
+    unsigned lanes = 1;  // digest lanes this query occupies
+
+    // Mixed into per-flow recorder seeds so same-family queries keep
+    // independent sketch randomness (0 for the first of each family,
+    // preserving the pre-Builder seeds).
+    std::uint64_t recorder_salt = 0;
+
+    // Exactly one engaged, per spec.query.aggregation.
+    std::optional<PathTracingQuery> path;
+    std::optional<DynamicAggregationQuery> dynamic;
+    std::optional<PerPacketQuery> perpacket;
+
+    // Recording module state (off-switch storage), keyed by flow.
+    std::unordered_map<std::uint64_t, HashedPathDecoder> decoders;
+    std::unordered_map<std::uint64_t, FlowLatencyRecorder> recorders;
+    std::unordered_set<std::uint64_t> paths_reported;
   };
 
-  FrameworkConfig config_;
+  PintFramework() = default;
+
+  // `view` extracts per call; `hoisted` (one value per binding) takes
+  // precedence when non-null — the batched path evaluates each extractor
+  // once per batch instead of once per packet.
+  void encode_one(Packet& packet, HopIndex i, const SwitchView* view,
+                  const double* hoisted);
+  void sink_one(const Packet& packet, unsigned k, SinkReport& report);
+
+  const Binding* find_binding(std::string_view query) const;
+  const Binding* find_binding(AggregationType aggregation) const;
+
+  std::uint64_t seed_ = 0;
   std::unique_ptr<QueryEngine> engine_;
-  std::vector<QueryBinding> bindings_;
+  std::vector<Binding> bindings_;  // in engine order
   std::vector<std::uint64_t> switch_ids_;
-
-  std::optional<PathTracingQuery> path_query_;
-  std::optional<DynamicAggregationQuery> latency_query_;
-  std::optional<PerPacketQuery> perpacket_query_;
-
-  // Recording module state (off-switch storage).
-  std::unordered_map<std::uint64_t, HashedPathDecoder> path_decoders_;
-  std::unordered_map<std::uint64_t, FlowLatencyRecorder> latency_recorders_;
-  std::unordered_map<std::uint64_t, unsigned> flow_hops_;
+  std::vector<SinkObserver*> observers_;
+  std::size_t max_lanes_ = 0;
+  std::vector<double> extract_scratch_;  // batched at_switch hoisting
 };
 
 }  // namespace pint

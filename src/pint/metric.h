@@ -1,0 +1,91 @@
+// Open switch-metric surface for PINT queries.
+//
+// The paper (Section 3, Table 1) lets a query aggregate *any* value v(p, s)
+// the data plane can compute. The seed hardcoded the three evaluated metrics
+// as struct fields; this header replaces that with an open key/value map so
+// new metrics can back queries without editing the framework. The Table-1
+// metrics keep fast fixed slots (branch-free array reads on the hot path);
+// anything else spills into a small overflow vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pint {
+
+// Identifies one metric a switch can report. Ids below metric::kFirstCustom
+// are fixed slots; user metrics start at metric::kFirstCustom.
+using MetricId = std::uint16_t;
+
+namespace metric {
+
+// Fixed slots: the INT-compatible metrics of Table 1.
+inline constexpr MetricId kHopLatencyNs = 0;
+inline constexpr MetricId kLinkUtilization = 1;  // egress port of the packet
+inline constexpr MetricId kQueueOccupancy = 2;
+inline constexpr MetricId kIngressTimestampNs = 3;
+inline constexpr MetricId kEgressTimestampNs = 4;
+inline constexpr MetricId kTxBytes = 5;
+inline constexpr MetricId kBufferOccupancy = 6;
+inline constexpr MetricId kEgressBandwidthBps = 7;
+
+inline constexpr std::size_t kNumFixedSlots = 8;
+inline constexpr MetricId kFirstCustom = kNumFixedSlots;
+
+}  // namespace metric
+
+// What a switch tells PINT about itself when a packet passes. The switch id
+// stays a first-class field (it identifies the reporter; path tracing encodes
+// it); every other metric is a (MetricId -> double) entry.
+class SwitchView {
+ public:
+  SwitchView() = default;
+  explicit SwitchView(SwitchId sid) : id(sid) {}
+
+  SwitchId id = 0;
+
+  SwitchView& set(MetricId m, double value) {
+    if (m < metric::kNumFixedSlots) {
+      fixed_[m] = value;
+      present_ |= 1u << m;
+    } else {
+      for (auto& kv : extras_) {
+        if (kv.first == m) {
+          kv.second = value;
+          return *this;
+        }
+      }
+      extras_.emplace_back(m, value);
+    }
+    return *this;
+  }
+
+  double get(MetricId m, double fallback = 0.0) const {
+    if (m < metric::kNumFixedSlots) {
+      return (present_ >> m) & 1u ? fixed_[m] : fallback;
+    }
+    for (const auto& kv : extras_) {
+      if (kv.first == m) return kv.second;
+    }
+    return fallback;
+  }
+
+  bool has(MetricId m) const {
+    if (m < metric::kNumFixedSlots) return (present_ >> m) & 1u;
+    for (const auto& kv : extras_) {
+      if (kv.first == m) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::array<double, metric::kNumFixedSlots> fixed_{};
+  std::uint32_t present_ = 0;
+  std::vector<std::pair<MetricId, double>> extras_;  // custom metrics (rare)
+};
+
+}  // namespace pint

@@ -1,7 +1,9 @@
 // PINT query language (paper Section 3.3).
 //
-// A query is the tuple <value type, aggregation type, bit budget,
-// optional: space budget, flow definition, frequency>. The Query Engine
+// A query is the tuple <value, aggregation type, bit budget, optional: space
+// budget, flow definition, frequency>. The value is named by a ValueExtractor
+// registered with the framework (extractor.h) — any metric computable from a
+// SwitchView can back a query; nothing is hardcoded. The Query Engine
 // (query_engine.h) compiles a set of queries plus a global per-packet bit
 // budget into an execution plan.
 #pragma once
@@ -13,16 +15,6 @@
 
 namespace pint {
 
-// What value v(p, s) the switch observes (paper Section 3: any quantity
-// computable in the data plane; Table 1 lists the INT-compatible ones).
-enum class ValueType : std::uint8_t {
-  kSwitchId,
-  kHopLatency,
-  kQueueOccupancy,
-  kLinkUtilization,
-  kIngressTimestamp,
-};
-
 // Paper Section 3.1.
 enum class AggregationType : std::uint8_t {
   kPerPacket,       // e.g. max link utilization along the path (HPCC)
@@ -32,7 +24,13 @@ enum class AggregationType : std::uint8_t {
 
 struct Query {
   std::string name;
-  ValueType value_type = ValueType::kSwitchId;
+
+  // Name of the ValueExtractor producing v(p, s). Empty selects the
+  // aggregation type's canonical Table-1 metric: switch_id for static
+  // per-flow, hop_latency for dynamic per-flow, link_utilization for
+  // per-packet.
+  std::string extractor;
+
   AggregationType aggregation = AggregationType::kStaticPerFlow;
 
   // Per-packet bits this query needs when it runs on a packet.

@@ -35,7 +35,7 @@ PathTracingQuery::PathTracingQuery(PathTracingConfig config,
 }
 
 void PathTracingQuery::encode(PacketId packet, HopIndex i, SwitchId sid,
-                              std::vector<Digest>& lanes) const {
+                              std::span<Digest> lanes) const {
   if (lanes.size() != config_.instances)
     throw std::invalid_argument("one lane per instance expected");
   for (unsigned inst = 0; inst < config_.instances; ++inst) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "coding/encoder.h"
@@ -45,9 +46,14 @@ class PathTracingQuery {
   const PathTracingConfig& config() const { return config_; }
 
   // Switch side: hop `i` (1-based) updates all digest lanes with its ID.
-  // `lanes` must have config().instances entries.
+  // `lanes` must have config().instances entries. Encodes in place — no
+  // allocation, so the framework's batched hot path can run it per packet.
   void encode(PacketId packet, HopIndex i, SwitchId sid,
-              std::vector<Digest>& lanes) const;
+              std::span<Digest> lanes) const;
+  void encode(PacketId packet, HopIndex i, SwitchId sid,
+              std::vector<Digest>& lanes) const {
+    encode(packet, i, sid, std::span<Digest>(lanes));
+  }
 
   // Sink side: a per-flow decoder for a k-hop flow over the given switch-ID
   // universe.

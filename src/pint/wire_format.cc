@@ -1,17 +1,31 @@
 #include "pint/wire_format.h"
 
+#include <algorithm>
+
 namespace pint {
 
-std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
-                                       std::span<const unsigned> widths) {
-  if (lanes.size() != widths.size())
-    throw std::invalid_argument("lane/width count mismatch");
+namespace {
+
+std::size_t checked_total_bits(std::span<const unsigned> widths) {
   std::size_t total_bits = 0;
   for (unsigned w : widths) {
     if (w == 0 || w > 64) throw std::invalid_argument("width in [1,64]");
     total_bits += w;
   }
-  std::vector<std::uint8_t> out((total_bits + 7) / 8, 0);
+  return total_bits;
+}
+
+}  // namespace
+
+std::size_t pack_digests_into(std::span<const Digest> lanes,
+                              std::span<const unsigned> widths,
+                              std::span<std::uint8_t> out) {
+  if (lanes.size() != widths.size())
+    throw std::invalid_argument("lane/width count mismatch");
+  const std::size_t total_bits = checked_total_bits(widths);
+  const std::size_t bytes = (total_bits + 7) / 8;
+  if (out.size() < bytes) throw std::invalid_argument("output too small");
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(bytes), 0);
   std::size_t bit_pos = 0;
   for (std::size_t i = 0; i < lanes.size(); ++i) {
     const Digest value = lanes[i] & low_bits_mask(widths[i]);
@@ -23,30 +37,41 @@ std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
       }
     }
   }
+  return bytes;
+}
+
+std::size_t unpack_digests_into(std::span<const std::uint8_t> bytes,
+                                std::span<const unsigned> widths,
+                                std::span<Digest> out) {
+  const std::size_t total_bits = checked_total_bits(widths);
+  if (bytes.size() < (total_bits + 7) / 8)
+    throw std::invalid_argument("buffer too small for widths");
+  if (out.size() < widths.size())
+    throw std::invalid_argument("output too small");
+  std::size_t bit_pos = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    Digest v = 0;
+    for (unsigned b = 0; b < widths[i]; ++b, ++bit_pos) {
+      if ((bytes[bit_pos >> 3] >> (bit_pos & 7)) & 1) {
+        v |= Digest{1} << b;
+      }
+    }
+    out[i] = v;
+  }
+  return widths.size();
+}
+
+std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
+                                       std::span<const unsigned> widths) {
+  std::vector<std::uint8_t> out((checked_total_bits(widths) + 7) / 8, 0);
+  pack_digests_into(lanes, widths, out);
   return out;
 }
 
 std::vector<Digest> unpack_digests(std::span<const std::uint8_t> bytes,
                                    std::span<const unsigned> widths) {
-  std::size_t total_bits = 0;
-  for (unsigned w : widths) {
-    if (w == 0 || w > 64) throw std::invalid_argument("width in [1,64]");
-    total_bits += w;
-  }
-  if (bytes.size() < (total_bits + 7) / 8)
-    throw std::invalid_argument("buffer too small for widths");
-  std::vector<Digest> out;
-  out.reserve(widths.size());
-  std::size_t bit_pos = 0;
-  for (unsigned w : widths) {
-    Digest v = 0;
-    for (unsigned b = 0; b < w; ++b, ++bit_pos) {
-      if ((bytes[bit_pos >> 3] >> (bit_pos & 7)) & 1) {
-        v |= Digest{1} << b;
-      }
-    }
-    out.push_back(v);
-  }
+  std::vector<Digest> out(widths.size());
+  unpack_digests_into(bytes, widths, out);
   return out;
 }
 

@@ -24,6 +24,16 @@ std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
 std::vector<Digest> unpack_digests(std::span<const std::uint8_t> bytes,
                                    std::span<const unsigned> widths);
 
+// Allocation-free variants for the batched hot path: the caller owns the
+// buffers. `out` must hold wire_bytes(widths) / widths.size() entries;
+// returns the bytes / lanes written.
+std::size_t pack_digests_into(std::span<const Digest> lanes,
+                              std::span<const unsigned> widths,
+                              std::span<std::uint8_t> out);
+std::size_t unpack_digests_into(std::span<const std::uint8_t> bytes,
+                                std::span<const unsigned> widths,
+                                std::span<Digest> out);
+
 // Total wire bytes for a set of lane widths.
 constexpr std::size_t wire_bytes(std::span<const unsigned> widths) {
   std::size_t bits = 0;

@@ -54,33 +54,33 @@ Simulator::Simulator(const Graph& topology, std::vector<bool> is_host,
   if (config_.telemetry == TelemetryMode::kPint && config_.pint_full) {
     // Section 6.4 combined mix through the real framework: path tracing on
     // every packet, latency on the rest, HPCC on a pint_frequency fraction.
-    FrameworkConfig fc;
-    fc.global_bit_budget = config_.pint_bit_budget;
-    fc.seed = config_.seed ^ 0x6040;
-    fc.path.bits = 8;
-    fc.path.instances = 1;
-    fc.path.d = 5;
-    fc.latency.max_value = 1e8;  // hop latencies in ns
-    fc.perpacket.eps = 0.025;
-    fc.perpacket.max_value = kUtilScale * 100.0;
-    Query path_q{.name = "path",
-                 .aggregation = AggregationType::kStaticPerFlow,
-                 .bit_budget = 8,
-                 .frequency = 1.0};
-    Query lat_q{.name = "latency",
-                .aggregation = AggregationType::kDynamicPerFlow,
-                .bit_budget = 8,
-                .frequency = 1.0 - config_.pint_frequency};
-    Query cc_q{.name = "hpcc",
-               .aggregation = AggregationType::kPerPacket,
-               .bit_budget = 8,
-               .frequency = config_.pint_frequency};
+    PathTracingConfig path_tuning;
+    path_tuning.bits = 8;
+    path_tuning.instances = 1;
+    path_tuning.d = 5;
+    DynamicAggregationConfig latency_tuning;
+    latency_tuning.max_value = 1e8;  // hop latencies in ns
+    PerPacketConfig cc_tuning;
+    cc_tuning.eps = 0.025;
+    cc_tuning.max_value = kUtilScale * 100.0;
     std::vector<std::uint64_t> universe;
     for (NodeId n = 0; n < topology.num_nodes(); ++n) {
       if (!is_host_[n]) universe.push_back(n);
     }
-    framework_ = std::make_unique<PintFramework>(
-        fc, std::vector<Query>{path_q, lat_q, cc_q}, std::move(universe));
+    framework_ =
+        PintFramework::Builder()
+            .global_bit_budget(config_.pint_bit_budget)
+            .seed(config_.seed ^ 0x6040)
+            .switch_universe(std::move(universe))
+            .add_query(make_path_query("path", 8, 1.0, path_tuning))
+            .add_query(make_dynamic_query("latency",
+                                          std::string(extractor::kHopLatency),
+                                          8, 1.0 - config_.pint_frequency,
+                                          latency_tuning))
+            .add_query(make_perpacket_query(
+                "hpcc", std::string(extractor::kLinkUtilization), 8,
+                config_.pint_frequency, cc_tuning))
+            .build_or_throw();
   } else if (config_.telemetry == TelemetryMode::kPint) {
     PerPacketConfig pp;
     pp.bits = config_.pint_bit_budget;
@@ -282,12 +282,12 @@ void Simulator::apply_switch_telemetry(DirectedLink& l, SimPacket& pkt,
     }
     case TelemetryMode::kPint:
       if (config_.pint_full) {
-        SwitchView view;
-        view.id = static_cast<SwitchId>(l.from);
-        view.hop_latency_ns =
-            static_cast<double>(queue_.now() - pkt.node_arrival);
-        view.link_utilization = std::max(1.0, l.ewma_util * kUtilScale);
-        view.queue_occupancy = qlen;
+        SwitchView view(static_cast<SwitchId>(l.from));
+        view.set(metric::kHopLatencyNs,
+                 static_cast<double>(queue_.now() - pkt.node_arrival))
+            .set(metric::kLinkUtilization,
+                 std::max(1.0, l.ewma_util * kUtilScale))
+            .set(metric::kQueueOccupancy, qlen);
         framework_->at_switch(pkt.pint_pkt, pkt.switch_hops, view);
       } else if (pkt.pint_has_cc) {
         const double value = std::max(1.0, l.ewma_util * kUtilScale);
@@ -369,8 +369,8 @@ void Simulator::handle_data_at_host(SimPacket pkt) {
   if (framework_ != nullptr) {
     const SinkReport report =
         framework_->at_sink(pkt.pint_pkt, pkt.switch_hops);
-    if (report.bottleneck_utilization.has_value()) {
-      ack.ack_pint_util = *report.bottleneck_utilization;
+    if (const auto util = report.aggregate_value("hpcc")) {
+      ack.ack_pint_util = *util;
     }
   }
   ack.int_stack = std::move(pkt.int_stack);
@@ -391,10 +391,12 @@ void Simulator::handle_ack_at_host(SimPacket ack) {
   if (config_.telemetry == TelemetryMode::kPint) {
     if (config_.pint_full) {
       if (ack.ack_pint_util >= 0.0) {
-        fb.pint_utilization = ack.ack_pint_util / kUtilScale;
+        fb.pint_feedback =
+            AggregateObservation{ack.ack_pint_util / kUtilScale};
       }
     } else if (ack.pint_has_cc) {
-      fb.pint_utilization = pint_query_->decode(ack.pint_digest) / kUtilScale;
+      fb.pint_feedback = AggregateObservation{
+          pint_query_->decode(ack.pint_digest) / kUtilScale};
     }
   }
   flow.cc->on_ack(fb);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "pint/sink_report.h"
 
 namespace pint {
 
@@ -32,9 +33,10 @@ struct AckFeedback {
   // INT mode: per-hop stack echoed by the receiver.
   std::vector<HpccHopInfo> int_hops;
 
-  // PINT mode: decoded bottleneck utilization (absent when the packet did
-  // not carry the congestion-control query — the p < 1 case of Fig. 8).
-  std::optional<double> pint_utilization;
+  // PINT mode: the sink's structured observation for the congestion-control
+  // query — the decoded bottleneck utilization (absent when the packet did
+  // not carry that query — the p < 1 case of Fig. 8).
+  std::optional<AggregateObservation> pint_feedback;
 };
 
 class CongestionControl {

@@ -63,8 +63,8 @@ void HpccSender::on_ack(const AckFeedback& ack) {
   double u;
   if (!ack.int_hops.empty()) {
     u = measure_inflight_int(ack);
-  } else if (ack.pint_utilization.has_value()) {
-    u = *ack.pint_utilization;
+  } else if (ack.pint_feedback.has_value()) {
+    u = ack.pint_feedback->value;
   } else {
     return;  // no telemetry on this ACK (PINT running at p < 1)
   }

@@ -101,8 +101,6 @@ struct VariantCase {
   unsigned k;
 };
 
-SchemeConfig baseline_of(unsigned) { return make_baseline_scheme(); }
-
 class PeelingVariantTest
     : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
 

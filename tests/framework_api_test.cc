@@ -1,0 +1,433 @@
+// Tests for the registry-driven framework API: Builder validation (typed
+// errors), the ValueExtractor registry, the batched hot path's equivalence
+// with per-packet processing, SinkObserver delivery, and — the acceptance
+// bar for the redesign — registering a brand-new metric + query end to end
+// (extractor -> switch encode -> sink decode -> observer callback) without
+// modifying anything under src/pint/.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pint/framework.h"
+#include "pint/wire_format.h"
+
+namespace pint {
+namespace {
+
+PintFramework::Builder three_query_builder() {
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = 5;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e6;
+  PerPacketConfig cc_tuning;
+  cc_tuning.max_value = 1e6;
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .switch_universe({1, 2, 3, 4, 5, 6, 7, 8})
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    15.0 / 16.0, latency_tuning))
+      .add_query(make_perpacket_query("hpcc",
+                                      std::string(extractor::kLinkUtilization),
+                                      8, 1.0 / 16.0, cc_tuning));
+  return builder;
+}
+
+// --- Builder validation ------------------------------------------------------
+
+TEST(Builder, NoQueriesIsTypedError) {
+  const BuildResult r = PintFramework::Builder().build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kNoQueries);
+}
+
+TEST(Builder, DuplicateQueryNameIsTypedError) {
+  const BuildResult r =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .add_query(make_perpacket_query("q", "", 8, 0.5))
+          .add_query(make_perpacket_query("q", "", 8, 0.5))
+          .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kDuplicateQueryName);
+  EXPECT_NE(r.error->message.find("q"), std::string::npos);
+}
+
+TEST(Builder, BitBudgetOverflowIsTypedError) {
+  const BuildResult r = PintFramework::Builder()
+                            .global_bit_budget(16)
+                            .add_query(make_perpacket_query("big", "", 24, 1.0))
+                            .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kBadBitBudget);
+}
+
+TEST(Builder, UnknownExtractorIsTypedError) {
+  const BuildResult r =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .add_query(make_perpacket_query("q", "no_such_metric", 8, 1.0))
+          .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kUnknownExtractor);
+  EXPECT_NE(r.error->message.find("no_such_metric"), std::string::npos);
+}
+
+TEST(Builder, BadFrequencyIsTypedError) {
+  const BuildResult r = PintFramework::Builder()
+                            .global_bit_budget(16)
+                            .add_query(make_perpacket_query("q", "", 8, 1.5))
+                            .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kBadFrequency);
+}
+
+TEST(Builder, DuplicateExtractorIsTypedError) {
+  const BuildResult r =
+      PintFramework::Builder()
+          .register_extractor("m", [](const SwitchView&) { return 0.0; })
+          .register_extractor("m", [](const SwitchView&) { return 1.0; })
+          .add_query(make_perpacket_query("q", "m", 8, 1.0))
+          .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kDuplicateExtractor);
+}
+
+TEST(Builder, StaticQueryWithoutUniverseIsTypedError) {
+  const BuildResult r = PintFramework::Builder()
+                            .global_bit_budget(16)
+                            .add_query(make_path_query("path", 8, 1.0))
+                            .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kEmptySwitchUniverse);
+}
+
+TEST(Builder, InfeasibleMixIsTypedError) {
+  // Two full-frequency 8-bit queries cannot share an 8-bit budget.
+  const BuildResult r = PintFramework::Builder()
+                            .global_bit_budget(8)
+                            .add_query(make_perpacket_query("a", "", 8, 1.0))
+                            .add_query(make_perpacket_query("b", "", 8, 1.0))
+                            .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kInfeasiblePlan);
+}
+
+TEST(Builder, BuildOrThrowCarriesMessage) {
+  try {
+    PintFramework::Builder().build_or_throw();
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no queries"), std::string::npos);
+  }
+}
+
+TEST(Builder, ValidMixBuildsAndExposesSpecs) {
+  auto fw = three_query_builder().build_or_throw();
+  ASSERT_NE(fw, nullptr);
+  EXPECT_EQ(fw->query_names().size(), 3u);
+  ASSERT_NE(fw->spec("latency"), nullptr);
+  EXPECT_EQ(fw->spec("latency")->query.bit_budget, 8u);
+  EXPECT_EQ(fw->spec("nope"), nullptr);
+  // The builder is reusable: a second build produces a fresh framework.
+  EXPECT_TRUE(three_query_builder().build().ok());
+}
+
+// --- extractor registry ------------------------------------------------------
+
+TEST(ExtractorRegistry, RoundTripAndBuiltins) {
+  ValueExtractorRegistry registry;
+  for (const auto name :
+       {extractor::kSwitchId, extractor::kHopLatency,
+        extractor::kLinkUtilization, extractor::kQueueOccupancy,
+        extractor::kIngressTimestamp}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  constexpr MetricId kCustom = metric::kFirstCustom + 3;
+  EXPECT_TRUE(registry.add(
+      "drop_count", [](const SwitchView& v) { return v.get(kCustom); }));
+  EXPECT_FALSE(registry.add("drop_count",
+                            [](const SwitchView&) { return 0.0; }));
+
+  SwitchView view(7);
+  view.set(kCustom, 42.0).set(metric::kHopLatencyNs, 9.0);
+  const ValueExtractor* custom = registry.find("drop_count");
+  ASSERT_NE(custom, nullptr);
+  EXPECT_DOUBLE_EQ((*custom)(view), 42.0);
+  EXPECT_DOUBLE_EQ((*registry.find(extractor::kHopLatency))(view), 9.0);
+  EXPECT_DOUBLE_EQ((*registry.find(extractor::kSwitchId))(view), 7.0);
+  EXPECT_EQ(registry.find("absent"), nullptr);
+
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(SwitchViewMetrics, FixedSlotsAndOverflow) {
+  SwitchView view(3);
+  EXPECT_FALSE(view.has(metric::kQueueOccupancy));
+  EXPECT_DOUBLE_EQ(view.get(metric::kQueueOccupancy, -1.0), -1.0);
+  view.set(metric::kQueueOccupancy, 5.0);
+  view.set(metric::kQueueOccupancy, 6.0);  // overwrite
+  EXPECT_DOUBLE_EQ(view.get(metric::kQueueOccupancy), 6.0);
+  const MetricId custom = metric::kFirstCustom + 100;
+  view.set(custom, 1.0);
+  view.set(custom, 2.0);
+  EXPECT_TRUE(view.has(custom));
+  EXPECT_DOUBLE_EQ(view.get(custom), 2.0);
+}
+
+// --- batched hot path --------------------------------------------------------
+
+struct RecordingObserver : SinkObserver {
+  struct Entry {
+    SinkContext ctx;
+    std::string query;
+    Observation obs;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::pair<std::uint64_t, std::vector<SwitchId>>> paths;
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    entries.push_back(Entry{ctx, std::string(query), obs});
+  }
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    (void)query;
+    paths.emplace_back(ctx.flow, path);
+  }
+};
+
+TEST(BatchedHotPath, BitIdenticalToPerPacketPath) {
+  const std::vector<SwitchId> path{1, 4, 6, 2, 8};
+  const unsigned k = 5;
+  const int batch_size = 64;
+  const int batches = 40;
+
+  RecordingObserver scalar_obs, batch_obs;
+  auto scalar_fw =
+      three_query_builder().add_observer(&scalar_obs).build_or_throw();
+  auto batch_fw =
+      three_query_builder().add_observer(&batch_obs).build_or_throw();
+
+  Rng rng(99);
+  PacketId next_id = 1;
+  for (int round = 0; round < batches; ++round) {
+    std::vector<Packet> scalar_pkts(batch_size), batch_pkts(batch_size);
+    for (int n = 0; n < batch_size; ++n) {
+      scalar_pkts[n].id = batch_pkts[n].id = next_id++;
+      scalar_pkts[n].tuple = batch_pkts[n].tuple =
+          FiveTuple{10, 20, 30, 40, 6};
+    }
+    for (HopIndex i = 1; i <= k; ++i) {
+      SwitchView view(path[i - 1]);
+      view.set(metric::kHopLatencyNs, 50.0 * i + rng.uniform());
+      view.set(metric::kLinkUtilization, 10.0 * i + 1.0);
+      for (Packet& pkt : scalar_pkts) scalar_fw->at_switch(pkt, i, view);
+      batch_fw->at_switch(std::span<Packet>(batch_pkts), i, view);
+    }
+    // Identical digests, lane for lane, on every packet.
+    for (int n = 0; n < batch_size; ++n) {
+      ASSERT_EQ(scalar_pkts[n].digests, batch_pkts[n].digests)
+          << "packet " << scalar_pkts[n].id;
+    }
+
+    std::vector<SinkReport> reports(batch_size);
+    for (int n = 0; n < batch_size; ++n) {
+      const SinkReport scalar_report = scalar_fw->at_sink(scalar_pkts[n], k);
+      (void)scalar_report;
+    }
+    batch_fw->at_sink(std::span<const Packet>(batch_pkts), k, reports);
+  }
+
+  // Same observations, in the same order, through both paths.
+  ASSERT_EQ(scalar_obs.entries.size(), batch_obs.entries.size());
+  for (std::size_t i = 0; i < scalar_obs.entries.size(); ++i) {
+    EXPECT_EQ(scalar_obs.entries[i].ctx.packet_id,
+              batch_obs.entries[i].ctx.packet_id);
+    EXPECT_EQ(scalar_obs.entries[i].query, batch_obs.entries[i].query);
+    EXPECT_TRUE(scalar_obs.entries[i].obs == batch_obs.entries[i].obs) << i;
+  }
+  ASSERT_EQ(scalar_obs.paths.size(), batch_obs.paths.size());
+  ASSERT_FALSE(batch_obs.paths.empty());
+  EXPECT_EQ(batch_obs.paths[0].second, path);
+}
+
+TEST(BatchedHotPath, MismatchedReportSpanThrows) {
+  auto fw = three_query_builder().build_or_throw();
+  std::vector<Packet> pkts(4);
+  std::vector<SinkReport> reports(3);
+  EXPECT_THROW(
+      fw->at_sink(std::span<const Packet>(pkts), 5,
+                  std::span<SinkReport>(reports)),
+      std::invalid_argument);
+}
+
+// --- wire format integration -------------------------------------------------
+
+TEST(WireFormat, PackUnpackRoundTripsThroughFramework) {
+  auto fw = three_query_builder().build_or_throw();
+  const std::vector<SwitchId> path{1, 4, 6, 2, 8};
+  Rng rng(5);
+  int nonempty = 0;
+  for (PacketId id = 1; id <= 200; ++id) {
+    Packet pkt;
+    pkt.id = id;
+    pkt.tuple = FiveTuple{1, 2, 3, 4, 6};
+    for (HopIndex i = 1; i <= 5; ++i) {
+      SwitchView view(path[i - 1]);
+      view.set(metric::kHopLatencyNs, 10.0 + rng.uniform());
+      view.set(metric::kLinkUtilization, 3.0);
+      fw->at_switch(pkt, i, view);
+    }
+    const std::vector<std::uint8_t> wire = fw->pack_wire(pkt);
+    // Header-free digests: never more than the global budget on the wire.
+    EXPECT_LE(wire.size(), (fw->global_bit_budget() + 7) / 8);
+    Packet rx;
+    rx.id = pkt.id;
+    rx.tuple = pkt.tuple;
+    fw->unpack_wire(wire, rx);
+    EXPECT_EQ(rx.digests, pkt.digests);
+    nonempty += !pkt.digests.empty();
+  }
+  EXPECT_GT(nonempty, 0);
+}
+
+// --- end-to-end extensibility ------------------------------------------------
+
+// The acceptance bar: a brand-new metric ("retransmission count") and a
+// query over it run end to end — extractor -> switch encode -> sink decode
+// -> observer callback — purely through the public Builder API.
+TEST(Extensibility, NewMetricAndQueryEndToEndWithoutTouchingFramework) {
+  constexpr MetricId kRetransCount = metric::kFirstCustom + 1;
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e4;
+
+  RecordingObserver observer;
+  auto fw =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .register_extractor(
+              "retrans_count",
+              [](const SwitchView& v) { return v.get(kRetransCount); })
+          .add_query(make_dynamic_query("retrans", "retrans_count", 16, 1.0,
+                                        tuning))
+          .add_observer(&observer)
+          .build_or_throw();
+
+  const unsigned k = 4;
+  const FiveTuple tuple{9, 8, 7, 6, 6};
+  for (PacketId id = 1; id <= 4000; ++id) {
+    Packet pkt;
+    pkt.id = id;
+    pkt.tuple = tuple;
+    for (HopIndex i = 1; i <= k; ++i) {
+      SwitchView view(i);
+      view.set(kRetransCount, 10.0 * i);  // hop i reports 10 * i
+      fw->at_switch(pkt, i, view);
+    }
+    fw->at_sink(pkt, k);
+  }
+
+  // Every observation decoded back to (hop, ~10 * hop).
+  ASSERT_EQ(observer.entries.size(), 4000u);
+  std::vector<int> per_hop(k, 0);
+  for (const auto& e : observer.entries) {
+    EXPECT_EQ(e.query, "retrans");
+    const auto* sample = std::get_if<HopSampleObservation>(&e.obs);
+    ASSERT_NE(sample, nullptr);
+    ASSERT_GE(sample->hop, 1u);
+    ASSERT_LE(sample->hop, k);
+    EXPECT_NEAR(sample->value, 10.0 * sample->hop,
+                10.0 * sample->hop * 0.02);
+    ++per_hop[sample->hop - 1];
+  }
+  // Reservoir sampling covered every hop.
+  for (int c : per_hop) EXPECT_GT(c, 0);
+  // The generic recorder surface answers quantiles for the new query too.
+  const std::uint64_t fkey = fw->flow_key_for("retrans", tuple);
+  const auto median = fw->latency_quantile("retrans", fkey, 2, 0.5);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_NEAR(*median, 20.0, 1.0);
+}
+
+// Two queries of the same aggregation family — impossible in the old
+// facade — now coexist, each with its own extractor and recorder.
+TEST(Extensibility, TwoDynamicQueriesCoexist) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  auto fw = PintFramework::Builder()
+                .global_bit_budget(16)
+                .add_query(make_dynamic_query(
+                    "lat", std::string(extractor::kHopLatency), 8, 1.0,
+                    tuning))
+                .add_query(make_dynamic_query(
+                    "queue", std::string(extractor::kQueueOccupancy), 8, 1.0,
+                    tuning))
+                .build_or_throw();
+
+  const unsigned k = 3;
+  const FiveTuple tuple{1, 1, 1, 1, 6};
+  for (PacketId id = 1; id <= 6000; ++id) {
+    Packet pkt;
+    pkt.id = id;
+    pkt.tuple = tuple;
+    for (HopIndex i = 1; i <= k; ++i) {
+      SwitchView view(i);
+      view.set(metric::kHopLatencyNs, 100.0 * i);
+      view.set(metric::kQueueOccupancy, 7.0 * i);
+      fw->at_switch(pkt, i, view);
+    }
+    fw->at_sink(pkt, k);
+  }
+  const std::uint64_t fkey = fw->flow_key_for("lat", tuple);
+  const auto lat = fw->latency_quantile("lat", fkey, 2, 0.5);
+  const auto queue = fw->latency_quantile("queue", fkey, 2, 0.5);
+  ASSERT_TRUE(lat.has_value());
+  ASSERT_TRUE(queue.has_value());
+  EXPECT_NEAR(*lat, 200.0, 200.0 * 0.05);
+  EXPECT_NEAR(*queue, 14.0, 14.0 * 0.05);
+}
+
+// A custom recorder factory controls sink-side retention per query.
+TEST(Extensibility, RecorderFactoryControlsRetention) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec spec = make_dynamic_query(
+      "lat", std::string(extractor::kHopLatency), 16, 1.0, tuning);
+  bool factory_used = false;
+  spec.recorder_factory = [&factory_used](unsigned k, std::uint64_t seed) {
+    factory_used = true;
+    return FlowLatencyRecorder(k, /*sketch_bytes=*/2048, seed);
+  };
+  auto fw = PintFramework::Builder()
+                .global_bit_budget(16)
+                .add_query(std::move(spec))
+                .build_or_throw();
+
+  const unsigned k = 2;
+  Rng rng(3);
+  const FiveTuple tuple{2, 2, 2, 2, 6};
+  for (PacketId id = 1; id <= 3000; ++id) {
+    Packet pkt;
+    pkt.id = id;
+    pkt.tuple = tuple;
+    for (HopIndex i = 1; i <= k; ++i) {
+      SwitchView view(i);
+      view.set(metric::kHopLatencyNs, 100.0 + rng.exponential(0.1));
+      fw->at_switch(pkt, i, view);
+    }
+    fw->at_sink(pkt, k);
+  }
+  EXPECT_TRUE(factory_used);
+  const std::uint64_t fkey = fw->flow_key_for("lat", tuple);
+  ASSERT_TRUE(fw->latency_quantile("lat", fkey, 1, 0.5).has_value());
+}
+
+}  // namespace
+}  // namespace pint

@@ -127,15 +127,14 @@ INSTANTIATE_TEST_SUITE_P(Schemes, FragSchemeSweep,
                          ::testing::Values(0, 1, 2, 3));
 
 TEST(FrameworkSurface, FrequentValuesReachable) {
-  FrameworkConfig fc;
-  fc.global_bit_budget = 16;
-  fc.latency.max_value = 1e6;
-  Query lat;
-  lat.name = "latency";
-  lat.aggregation = AggregationType::kDynamicPerFlow;
-  lat.bit_budget = 16;
-  lat.frequency = 1.0;
-  PintFramework fw(fc, {lat}, {1, 2, 3});
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  auto fw = PintFramework::Builder()
+                .global_bit_budget(16)
+                .add_query(make_dynamic_query(
+                    "latency", std::string(extractor::kHopLatency), 16, 1.0,
+                    tuning))
+                .build_or_throw();
 
   FiveTuple tuple{1, 2, 3, 4, 6};
   const std::uint64_t fkey = flow_key(tuple, FlowDefinition::kFiveTuple);
@@ -145,18 +144,17 @@ TEST(FrameworkSurface, FrequentValuesReachable) {
     pkt.id = p;
     pkt.tuple = tuple;
     for (HopIndex i = 1; i <= k; ++i) {
-      SwitchView view;
-      view.id = i;
-      view.hop_latency_ns = (i == 2) ? 512.0 : 1.0 + (p % 97);
-      fw.at_switch(pkt, i, view);
+      SwitchView view(i);
+      view.set(metric::kHopLatencyNs, (i == 2) ? 512.0 : 1.0 + (p % 97));
+      fw->at_switch(pkt, i, view);
     }
-    fw.at_sink(pkt, k);
+    fw->at_sink(pkt, k);
   }
-  const auto frequent = fw.latency_frequent_values(fkey, 2, 0.5);
+  const auto frequent = fw->latency_frequent_values(fkey, 2, 0.5);
   ASSERT_FALSE(frequent.empty());
   // 512 compresses and decodes to within the multiplicative guarantee.
   EXPECT_NEAR(static_cast<double>(frequent[0]), 512.0, 30.0);
-  EXPECT_TRUE(fw.latency_frequent_values(999999, 1, 0.5).empty());
+  EXPECT_TRUE(fw->latency_frequent_values(999999, 1, 0.5).empty());
 }
 
 }  // namespace

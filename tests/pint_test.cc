@@ -310,40 +310,34 @@ TEST(LoopDetection, TotalBits) {
 
 // --- framework ----------------------------------------------------------------
 
-std::vector<Query> paper_queries() {
-  Query path;
-  path.name = "path";
-  path.aggregation = AggregationType::kStaticPerFlow;
-  path.bit_budget = 8;
-  path.frequency = 1.0;
-  Query lat;
-  lat.name = "latency";
-  lat.aggregation = AggregationType::kDynamicPerFlow;
-  lat.bit_budget = 8;
-  lat.frequency = 15.0 / 16.0;
-  Query cc;
-  cc.name = "hpcc";
-  cc.aggregation = AggregationType::kPerPacket;
-  cc.bit_budget = 8;
-  cc.frequency = 1.0 / 16.0;
-  return {path, lat, cc};
+PintFramework::Builder paper_builder() {
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = 5;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e6;
+  PerPacketConfig cc_tuning;
+  cc_tuning.max_value = 1e6;
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    15.0 / 16.0, latency_tuning))
+      .add_query(make_perpacket_query("hpcc",
+                                      std::string(extractor::kLinkUtilization),
+                                      8, 1.0 / 16.0, cc_tuning));
+  return builder;
 }
 
 TEST(Framework, CombinedThreeQueriesWithin16Bits) {
-  FrameworkConfig fc;
-  fc.global_bit_budget = 16;
-  fc.path.bits = 8;
-  fc.path.instances = 1;
-  fc.path.d = 5;
-  fc.latency.max_value = 1e6;
-  fc.perpacket.max_value = 1e6;
-
   const unsigned k = 5;
   std::vector<std::uint64_t> universe;
   for (SwitchId s = 1; s <= 80; ++s) universe.push_back(s);
   std::vector<SwitchId> path{4, 18, 33, 47, 71};
 
-  PintFramework fw(fc, paper_queries(), universe);
+  auto fw = paper_builder().switch_universe(universe).build_or_throw();
 
   FiveTuple tuple;
   tuple.src_ip = 0x0A000001;
@@ -361,16 +355,15 @@ TEST(Framework, CombinedThreeQueriesWithin16Bits) {
     pkt.id = 1 + n;
     pkt.tuple = tuple;
     for (HopIndex i = 1; i <= k; ++i) {
-      SwitchView view;
-      view.id = path[i - 1];
-      view.hop_latency_ns = 1.0 + rng.exponential(0.001);
-      view.link_utilization = 100.0 + 10.0 * i;
-      fw.at_switch(pkt, i, view);
+      SwitchView view(path[i - 1]);
+      view.set(metric::kHopLatencyNs, 1.0 + rng.exponential(0.001));
+      view.set(metric::kLinkUtilization, 100.0 + 10.0 * i);
+      fw->at_switch(pkt, i, view);
     }
-    const SinkReport rep = fw.at_sink(pkt, k);
-    if (rep.bottleneck_utilization.has_value()) {
+    const SinkReport rep = fw->at_sink(pkt, k);
+    if (const auto util = rep.aggregate_value("hpcc")) {
       ++cc_reports;
-      last_util = *rep.bottleneck_utilization;
+      last_util = *util;
     }
   }
 
@@ -379,23 +372,25 @@ TEST(Framework, CombinedThreeQueriesWithin16Bits) {
   // Bottleneck = hop 5's utilization 150, within compression error.
   EXPECT_NEAR(last_util, 150.0, 150.0 * 0.06);
   // Path fully decoded.
-  const auto decoded = fw.flow_path(fkey);
+  const auto decoded = fw->flow_path(fkey);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, path);
-  EXPECT_DOUBLE_EQ(fw.path_progress(fkey), 1.0);
+  EXPECT_DOUBLE_EQ(fw->path_progress(fkey), 1.0);
   // Latency quantiles exist and scale with the per-hop mean.
-  const auto q1 = fw.latency_quantile(fkey, 1, 0.5);
+  const auto q1 = fw->latency_quantile(fkey, 1, 0.5);
   ASSERT_TRUE(q1.has_value());
   EXPECT_GT(*q1, 0.0);
+  // Name-based inference matches the convenience overloads.
+  EXPECT_EQ(fw->flow_path("path", fkey), decoded);
+  EXPECT_EQ(fw->latency_quantile("latency", fkey, 1, 0.5), q1);
 }
 
 TEST(Framework, UnknownFlowReportsNothing) {
-  FrameworkConfig fc;
-  fc.global_bit_budget = 16;
-  PintFramework fw(fc, paper_queries(), {1, 2, 3});
-  EXPECT_FALSE(fw.flow_path(12345).has_value());
-  EXPECT_EQ(fw.path_progress(12345), 0.0);
-  EXPECT_FALSE(fw.latency_quantile(12345, 1, 0.5).has_value());
+  auto fw = paper_builder().switch_universe({1, 2, 3}).build_or_throw();
+  EXPECT_FALSE(fw->flow_path(12345).has_value());
+  EXPECT_EQ(fw->path_progress(12345), 0.0);
+  EXPECT_FALSE(fw->latency_quantile(12345, 1, 0.5).has_value());
+  EXPECT_FALSE(fw->flow_path("no_such_query", 12345).has_value());
 }
 
 }  // namespace
@@ -407,20 +402,17 @@ namespace {
 TEST(Framework, MultiInstancePathQueryUsesTwoLanes) {
   // 2 x (b=8) inside a 16-bit budget: the framework must slice two digest
   // lanes for the path query and decode faster than a single instance.
-  FrameworkConfig fc;
-  fc.global_bit_budget = 16;
-  fc.path.bits = 8;
-  fc.path.instances = 2;
-  fc.path.d = 5;
-  Query path_q;
-  path_q.name = "path";
-  path_q.aggregation = AggregationType::kStaticPerFlow;
-  path_q.bit_budget = 16;
-  path_q.frequency = 1.0;
-
+  PathTracingConfig tuning;
+  tuning.bits = 8;
+  tuning.instances = 2;
+  tuning.d = 5;
   std::vector<std::uint64_t> universe;
   for (SwitchId s = 1; s <= 64; ++s) universe.push_back(s);
-  PintFramework fw(fc, {path_q}, universe);
+  auto fw = PintFramework::Builder()
+                .global_bit_budget(16)
+                .switch_universe(universe)
+                .add_query(make_path_query("path", 16, 1.0, tuning))
+                .build_or_throw();
 
   const std::vector<SwitchId> path{7, 21, 42, 56, 11};
   FiveTuple tuple{11, 22, 33, 44, 6};
@@ -431,32 +423,30 @@ TEST(Framework, MultiInstancePathQueryUsesTwoLanes) {
     pkt.id = id;
     pkt.tuple = tuple;
     for (HopIndex i = 1; i <= 5; ++i) {
-      SwitchView view;
-      view.id = path[i - 1];
-      fw.at_switch(pkt, i, view);
+      fw->at_switch(pkt, i, SwitchView(path[i - 1]));
     }
     ASSERT_EQ(pkt.digests.size(), 2u);  // two 8-bit lanes on the wire
-    fw.at_sink(pkt, 5);
+    fw->at_sink(pkt, 5);
     ++packets_used;
-    if (fw.flow_path(fkey).has_value()) break;
+    if (fw->flow_path(fkey).has_value()) break;
   }
-  const auto decoded = fw.flow_path(fkey);
+  const auto decoded = fw->flow_path(fkey);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, path);
   EXPECT_LT(packets_used, 200);  // 5 hops decode in tens of packets
 }
 
 TEST(Framework, RejectsBudgetBelowInstanceCount) {
-  FrameworkConfig fc;
-  fc.global_bit_budget = 16;
-  fc.path.instances = 4;
-  Query path_q;
-  path_q.name = "path";
-  path_q.aggregation = AggregationType::kStaticPerFlow;
-  path_q.bit_budget = 2;  // 2 bits across 4 instances -> 0 bits each
-  path_q.frequency = 1.0;
-  EXPECT_THROW(PintFramework(fc, {path_q}, {1, 2, 3}),
-               std::invalid_argument);
+  PathTracingConfig tuning;
+  tuning.instances = 4;
+  const BuildResult result =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .switch_universe({1, 2, 3})
+          .add_query(make_path_query("path", 2, 1.0, tuning))  // 0 bits each
+          .build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->code, BuildErrorCode::kBudgetBelowInstanceCount);
 }
 
 }  // namespace

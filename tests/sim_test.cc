@@ -211,7 +211,7 @@ TEST(HpccSender, WindowRespondsToCongestion) {
   for (int i = 0; i < 50; ++i) {
     AckFeedback fb;
     fb.ack_time = i * 20 * kMicro;
-    fb.pint_utilization = 1.5;
+    fb.pint_feedback = AggregateObservation{1.5};
     sender.on_ack(fb);
   }
   EXPECT_LT(sender.window_bytes(), initial);
@@ -220,7 +220,7 @@ TEST(HpccSender, WindowRespondsToCongestion) {
   for (int i = 50; i < 300; ++i) {
     AckFeedback fb;
     fb.ack_time = i * 20 * kMicro;
-    fb.pint_utilization = 0.05;
+    fb.pint_feedback = AggregateObservation{0.05};
     sender.on_ack(fb);
   }
   EXPECT_GT(sender.window_bytes(), initial / 2);

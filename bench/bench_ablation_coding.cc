@@ -65,11 +65,16 @@ int main() {
 
   bench::header("Ablation | scheme family at k = 25 (full-block digests)");
   bench::row("%-22s %-14s", "scheme", "avg packets");
-  bench::row("%-22s %-14.1f", "Baseline", avg_packets(make_baseline_scheme(), k, runs, 3000));
-  bench::row("%-22s %-14.1f", "XOR p=1/d", avg_packets(make_xor_scheme(k), k, runs, 3100));
-  bench::row("%-22s %-14.1f", "Hybrid", avg_packets(make_hybrid_scheme(k), k, runs, 3200));
-  bench::row("%-22s %-14.1f", "Multi-layer", avg_packets(make_multilayer_scheme(k), k, runs, 3300));
-  bench::row("%-22s %-14.1f", "Multi-layer revised", avg_packets(make_multilayer_scheme_revised(k), k, runs, 3400));
+  bench::row("%-22s %-14.1f", "Baseline",
+             avg_packets(make_baseline_scheme(), k, runs, 3000));
+  bench::row("%-22s %-14.1f", "XOR p=1/d",
+             avg_packets(make_xor_scheme(k), k, runs, 3100));
+  bench::row("%-22s %-14.1f", "Hybrid",
+             avg_packets(make_hybrid_scheme(k), k, runs, 3200));
+  bench::row("%-22s %-14.1f", "Multi-layer",
+             avg_packets(make_multilayer_scheme(k), k, runs, 3300));
+  bench::row("%-22s %-14.1f", "Multi-layer revised",
+             avg_packets(make_multilayer_scheme_revised(k), k, runs, 3400));
   {
     double total = 0;
     for (int r = 0; r < runs; ++r) {
@@ -116,7 +121,8 @@ int main() {
                "Multi-layer fast", avg_packets(fast, k, runs, 3700));
   }
 
-  bench::header("Ablation | hashing vs fragmentation (32-bit IDs, b = 8, k = 6)");
+  bench::header(
+      "Ablation | hashing vs fragmentation (32-bit IDs, b = 8, k = 6)");
   {
     const unsigned kk = 6, q = 32, b = 8;
     // Fragmentation.
@@ -126,11 +132,15 @@ int main() {
       GlobalHash root(4000 + r);
       FragmentedCodec codec(kk, q, b, make_hybrid_scheme(kk), root);
       std::vector<std::uint64_t> values(kk);
-      for (unsigned i = 0; i < kk; ++i) values[i] = mix64(r * 50 + i) & 0xFFFFFFFF;
+      for (unsigned i = 0; i < kk; ++i) {
+        values[i] = mix64(r * 50 + i) & 0xFFFFFFFF;
+      }
       PacketId p = 1;
       while (!codec.complete()) {
         Digest d = 0;
-        for (HopIndex i = 1; i <= kk; ++i) d = codec.encode_step(p, i, d, values[i - 1]);
+        for (HopIndex i = 1; i <= kk; ++i) {
+          d = codec.encode_step(p, i, d, values[i - 1]);
+        }
         codec.add_packet(p, d);
         ++p;
       }
@@ -149,7 +159,9 @@ int main() {
       GlobalHash root(5000 + r);
       HashedPathDecoder dec(cfg, root, universe);
       std::vector<std::uint64_t> blocks(kk);
-      for (unsigned i = 0; i < kk; ++i) blocks[i] = universe[(r * 7 + i * 13) % 256];
+      for (unsigned i = 0; i < kk; ++i) {
+        blocks[i] = universe[(r * 7 + i * 13) % 256];
+      }
       PacketId p = 1;
       while (!dec.complete()) {
         dec.add_packet(p, encode_path_multi(cfg.scheme, root, 1, p, blocks, b));
@@ -191,7 +203,8 @@ int main() {
                naive_ms, static_cast<unsigned long long>(acc1));
     bench::row("%-22s %-10.1f ms  (%llu set bits)", "bit-vector AND",
                fast_ms, static_cast<unsigned long long>(acc2));
-    bench::row("speedup: %.1fx (Section 4.2 'Reducing the Decoding Complexity')",
+    bench::row(
+        "speedup: %.1fx (Section 4.2 'Reducing the Decoding Complexity')",
                naive_ms / fast_ms);
   }
   return 0;

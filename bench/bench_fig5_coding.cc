@@ -66,9 +66,12 @@ int main() {
   const unsigned max_packets = 200;
   const int runs = 400;
 
-  const Curve base = run_scheme(make_baseline_scheme(), k, max_packets, runs, 11000);
-  const Curve xorc = run_scheme(make_xor_scheme(k), k, max_packets, runs, 12000);
-  const Curve hyb = run_scheme(make_hybrid_scheme(k), k, max_packets, runs, 13000);
+  const Curve base =
+      run_scheme(make_baseline_scheme(), k, max_packets, runs, 11000);
+  const Curve xorc =
+      run_scheme(make_xor_scheme(k), k, max_packets, runs, 12000);
+  const Curve hyb =
+      run_scheme(make_hybrid_scheme(k), k, max_packets, runs, 13000);
 
   bench::header("Fig. 5a | E[missing hops] vs packets (d = k = 25)");
   bench::row("%-10s %-10s %-10s %-10s", "packets", "Baseline", "XOR", "Hybrid");

@@ -70,7 +70,8 @@ int main() {
                gi > 0 ? (gp / gi - 1.0) * 100 : 0.0);
   }
 
-  slowdown_table("Fig. 7b | 95th-pct slowdown per size decile (web search, 50%)",
+  slowdown_table(
+      "Fig. 7b | 95th-pct slowdown per size decile (web search, 50%)",
                  FlowSizeDist::web_search(), 21);
   slowdown_table("Fig. 7c | 95th-pct slowdown per size decile (Hadoop, 50%)",
                  FlowSizeDist::hadoop(), 31);

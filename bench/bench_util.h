@@ -1,6 +1,6 @@
 // Shared helpers for the experiment harnesses: each bench binary regenerates
-// one of the paper's tables/figures as aligned text rows (see EXPERIMENTS.md
-// for the mapping and the paper-vs-measured record).
+// one of the paper's tables/figures as aligned text rows (see the figure /
+// experiment map in the root README.md).
 #pragma once
 
 #include <cstdarg>
@@ -11,9 +11,11 @@
 namespace pint::bench {
 
 inline void header(const std::string& title) {
-  std::printf("\n==============================================================\n");
+  std::printf(
+      "\n==============================================================\n");
   std::printf("%s\n", title.c_str());
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
 }
 
 inline void row(const char* fmt, ...) {

@@ -77,7 +77,8 @@ RunResult run(TelemetryMode mode) {
 }  // namespace
 
 int main() {
-  std::printf("== HPCC congestion control: INT stack vs 8-bit PINT digest ==\n");
+  std::printf(
+      "== HPCC congestion control: INT stack vs 8-bit PINT digest ==\n");
   std::printf("(K=4 fat tree, 10G hosts, web-search flows at 50%% load)\n\n");
   const RunResult int_run = run(TelemetryMode::kInt);
   const RunResult pint_run = run(TelemetryMode::kPint);

@@ -46,7 +46,8 @@ int main() {
   }
 
   std::printf("== per-hop latency quantiles from 8-bit digests ==\n");
-  std::printf("(%d packets; every packet carries ONE hop's compressed value)\n\n",
+  std::printf(
+      "(%d packets; every packet carries ONE hop's compressed value)\n\n",
               packets);
   std::printf("%-5s %10s %10s %10s | %10s %10s\n", "hop", "true p50",
               "PINT p50", "PINT_S p50", "true p99", "PINT p99");

@@ -58,10 +58,12 @@ class LatencyAnomalyDetector {
   std::vector<HopState> hops_;
 };
 
-// Subscribes per-flow anomaly detection to a PintFramework: every dynamic
-// per-flow sample of `latency_query` feeds a per-flow CUSUM detector (sized
-// to the flow's path length on first sight); fired events accumulate in
-// events().
+/// Subscribes per-flow anomaly detection to a PintFramework: every dynamic
+/// per-flow sample of `latency_query` feeds a per-flow CUSUM detector (sized
+/// to the flow's path length on first sight); fired events accumulate in
+/// events(). Not internally synchronized — in a sharded/fan-in deployment
+/// subscribe via ShardedSink::add_observer or a FanInCollector, both of
+/// which serialize delivery.
 class AnomalyObserver : public SinkObserver {
  public:
   explicit AnomalyObserver(std::string latency_query,

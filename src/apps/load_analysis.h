@@ -64,12 +64,13 @@ class LoadAnalyzer {
   std::unordered_map<SwitchId, State> switches_;
 };
 
-// Subscribes a LoadAnalyzer to a PintFramework: decoded paths of
-// `path_query` teach the observer each flow's hop->switch mapping; dynamic
-// per-flow samples of `util_query` (a utilization metric) are then re-keyed
-// to the switch that produced them. Samples arriving before the flow's path
-// decodes are counted in unattributed(). Both queries must use the same
-// flow definition.
+/// Subscribes a LoadAnalyzer to a PintFramework: decoded paths of
+/// `path_query` teach the observer each flow's hop->switch mapping; dynamic
+/// per-flow samples of `util_query` (a utilization metric) are then re-keyed
+/// to the switch that produced them. Samples arriving before the flow's path
+/// decodes are counted in unattributed(). Both queries must use the same
+/// flow definition. Not internally synchronized — in a sharded/fan-in
+/// deployment subscribe via ShardedSink::add_observer or a FanInCollector.
 class LoadObserver : public SinkObserver {
  public:
   LoadObserver(LoadAnalyzer& analyzer, std::string util_query,

@@ -54,10 +54,11 @@ class MicroburstDetector {
   std::vector<std::size_t> counts_;
 };
 
-// Subscribes microburst detection to a PintFramework: every dynamic
-// per-flow sample of `queue_query` (queue occupancy) feeds a per-flow
-// detector sized to the flow's path length; fired events accumulate in
-// events().
+/// Subscribes microburst detection to a PintFramework: every dynamic
+/// per-flow sample of `queue_query` (queue occupancy) feeds a per-flow
+/// detector sized to the flow's path length; fired events accumulate in
+/// events(). Not internally synchronized — in a sharded/fan-in deployment
+/// subscribe via ShardedSink::add_observer or a FanInCollector.
 class MicroburstObserver : public SinkObserver {
  public:
   explicit MicroburstObserver(std::string queue_query,

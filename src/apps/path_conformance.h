@@ -62,9 +62,11 @@ class PathConformanceChecker {
   PathPolicy policy_;
 };
 
-// Subscribes conformance checking to a PintFramework: each flow's path is
-// checked against the policy the moment `path_query` finishes decoding it;
-// verdicts accumulate in verdicts().
+/// Subscribes conformance checking to a PintFramework: each flow's path is
+/// checked against the policy the moment `path_query` finishes decoding it;
+/// verdicts accumulate in verdicts(). Not internally synchronized — in a
+/// sharded/fan-in deployment subscribe via ShardedSink::add_observer or a
+/// FanInCollector.
 class ConformanceObserver : public SinkObserver {
  public:
   ConformanceObserver(PathPolicy policy, std::string path_query);

@@ -59,11 +59,13 @@ class QueueTomography {
   std::size_t dropped_ = 0;
 };
 
-// Subscribes a QueueTomography to a PintFramework: decoded paths of
-// `path_query` register flows; dynamic per-flow samples of `sample_query`
-// (e.g. a queue-occupancy query) become tomography samples. Register via
-// PintFramework::Builder::add_observer() — no framework internals touched.
-// Both queries must use the same flow definition.
+/// Subscribes a QueueTomography to a PintFramework: decoded paths of
+/// `path_query` register flows; dynamic per-flow samples of `sample_query`
+/// (e.g. a queue-occupancy query) become tomography samples. Register via
+/// PintFramework::Builder::add_observer() — no framework internals touched.
+/// Both queries must use the same flow definition. Not internally
+/// synchronized — in a sharded/fan-in deployment subscribe via
+/// ShardedSink::add_observer or a FanInCollector.
 class TomographyObserver : public SinkObserver {
  public:
   TomographyObserver(QueueTomography& tomography, std::string sample_query,

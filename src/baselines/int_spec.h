@@ -36,7 +36,8 @@ struct IntInstructionHeader {
   std::uint8_t hop_count = 0;
 
   void request(IntInstruction ins) {
-    instruction_bitmap |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(ins));
+    instruction_bitmap |=
+        static_cast<std::uint8_t>(1u << static_cast<unsigned>(ins));
   }
   bool requests(IntInstruction ins) const {
     return (instruction_bitmap >> static_cast<unsigned>(ins)) & 1;

@@ -95,7 +95,8 @@ inline Digest encode_step(const SchemeConfig& cfg, const InstanceHashes& h,
 // Convenience: run the whole k-hop chain for one packet.
 // blocks[i-1] is hop i's message block.
 inline Digest encode_path(const SchemeConfig& cfg, const InstanceHashes& h,
-                          PacketId packet, std::span<const std::uint64_t> blocks,
+                          PacketId packet,
+                          std::span<const std::uint64_t> blocks,
                           unsigned bits) {
   Digest dig = 0;
   for (HopIndex i = 1; i <= blocks.size(); ++i) {
@@ -107,8 +108,8 @@ inline Digest encode_path(const SchemeConfig& cfg, const InstanceHashes& h,
 // Multi-instance chain: one digest per instance (caller concatenates for
 // wire format; we keep lanes separate for clarity).
 std::vector<Digest> encode_path_multi(const SchemeConfig& cfg,
-                                      const GlobalHash& root, unsigned instances,
-                                      PacketId packet,
+                                      const GlobalHash& root,
+                                      unsigned instances, PacketId packet,
                                       std::span<const std::uint64_t> blocks,
                                       unsigned bits);
 

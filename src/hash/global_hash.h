@@ -110,7 +110,8 @@ class GlobalHash {
         p * 18446744073709551615.0);  // (2^64 - 1) as double
   }
 
-  static constexpr std::uint64_t kDomainTag = 0x50494E5448415348ULL;  // "PINTHASH"
+  // "PINTHASH"
+  static constexpr std::uint64_t kDomainTag = 0x50494E5448415348ULL;
   static constexpr std::uint64_t kDeriveTag = 0xDE121BEDFACADE00ULL;
 
   std::uint64_t seed_;

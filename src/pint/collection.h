@@ -1,12 +1,13 @@
-// Sink-to-collector telemetry reporting (paper Section 2, item 3 and
-// Section 3.4).
-//
-// INT sinks forward variable-size per-hop stacks to the analysis cluster —
-// report size grows with path length, and fixed-header processors like
-// Confluo [43] cannot batch them efficiently. PINT's sink forwards only the
-// fixed-width digest plus a small fixed header, so collection traffic is
-// constant per packet and smaller. This module models both report formats
-// and accounts the collection traffic each generates.
+/// \file
+/// Sink-to-collector telemetry reporting (paper Section 2, item 3 and
+/// Section 3.4).
+///
+/// INT sinks forward variable-size per-hop stacks to the analysis cluster —
+/// report size grows with path length, and fixed-header processors like
+/// Confluo [43] cannot batch them efficiently. PINT's sink forwards only the
+/// fixed-width digest plus a small fixed header, so collection traffic is
+/// constant per packet and smaller. This module models both report formats
+/// and accounts the collection traffic each generates.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +18,11 @@
 namespace pint {
 
 struct CollectorReportSpec {
-  // Fixed report envelope (flow key, timestamps, sink id...).
+  /// Fixed report envelope (flow key, timestamps, sink id...).
   Bytes envelope_bytes = 16;
 };
 
-// Collection bytes for one packet's telemetry, INT vs PINT.
+/// Collection bytes for one packet's telemetry, INT vs PINT.
 inline Bytes int_report_bytes(const CollectorReportSpec& spec, unsigned hops,
                               unsigned values_per_hop) {
   const IntHeaderSpec int_spec{values_per_hop};
@@ -34,7 +35,7 @@ inline Bytes pint_report_bytes(const CollectorReportSpec& spec,
   return spec.envelope_bytes + pint_spec.overhead_bytes();
 }
 
-// Running accountant for a deployment's collection traffic.
+/// Running accountant for a deployment's collection traffic.
 class CollectionAccountant {
  public:
   explicit CollectionAccountant(CollectorReportSpec spec = {}) : spec_(spec) {}

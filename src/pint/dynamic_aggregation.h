@@ -1,11 +1,12 @@
-// Dynamic per-flow aggregation: per-hop latency quantiles
-// (paper Example #1, Section 4.1; Theorems 1 and 2).
-//
-// Each packet carries the (compressed) value of one uniformly chosen hop,
-// selected by distributed reservoir sampling: hop i overwrites the digest
-// when g(packet, i) <= 1/i. The Recording Module re-runs the same hashes to
-// attribute every digest to its hop, producing per-(flow, hop) sub-streams;
-// quantiles come from raw samples or a KLL sketch (the paper's PINT_S).
+/// \file
+/// Dynamic per-flow aggregation: per-hop latency quantiles
+/// (paper Example #1, Section 4.1; Theorems 1 and 2).
+///
+/// Each packet carries the (compressed) value of one uniformly chosen hop,
+/// selected by distributed reservoir sampling: hop i overwrites the digest
+/// when g(packet, i) <= 1/i. The Recording Module re-runs the same hashes to
+/// attribute every digest to its hop, producing per-(flow, hop) sub-streams;
+/// quantiles come from raw samples or a KLL sketch (the paper's PINT_S).
 #pragma once
 
 #include <cstdint>
@@ -26,7 +27,7 @@ namespace pint {
 struct DynamicAggregationConfig {
   unsigned bits = 8;          // digest bit budget
   double max_value = 1 << 30; // largest value that must be representable
-  // When true, use the zero-mean randomized rounding of Section 4.3.
+  /// When true, use the zero-mean randomized rounding of Section 4.3.
   bool randomized_rounding = false;
 };
 
@@ -34,13 +35,13 @@ class DynamicAggregationQuery {
  public:
   DynamicAggregationQuery(DynamicAggregationConfig config, std::uint64_t seed);
 
-  // Switch side: hop i overwrites the digest with its compressed value iff
-  // its reservoir decision fires.
+  /// Switch side: hop i overwrites the digest with its compressed value iff
+  /// its reservoir decision fires.
   Digest encode_step(PacketId packet, HopIndex i, Digest cur,
                      double value) const;
 
-  // Sink side: which hop's value this packet carries (k = path length), and
-  // the decompressed value.
+  /// Sink side: which hop's value this packet carries (k = path length), and
+  /// the decompressed value.
   struct Sample {
     HopIndex hop;
     double value;
@@ -57,38 +58,38 @@ class DynamicAggregationQuery {
   GlobalHash rounding_;
 };
 
-// Recording + Inference for one flow: per-hop sub-streams held either as raw
-// samples (exact, linear space) or as KLL sketches (paper's PINT_S,
-// O(eps^-1) space). Space budget, when given, is split evenly across the k
-// hops (Section 4.1). An optional sliding window (Section 4.1: "we can use a
-// sliding-window sketch to reflect only the most recent measurements")
-// answers windowed quantile queries alongside the all-time ones.
+/// Recording + Inference for one flow: per-hop sub-streams held either as raw
+/// samples (exact, linear space) or as KLL sketches (paper's PINT_S,
+/// O(eps^-1) space). Space budget, when given, is split evenly across the k
+/// hops (Section 4.1). An optional sliding window (Section 4.1: "we can use a
+/// sliding-window sketch to reflect only the most recent measurements")
+/// answers windowed quantile queries alongside the all-time ones.
 class FlowLatencyRecorder {
  public:
-  // sketch_bytes = 0 keeps raw samples; otherwise each hop gets a KLL sketch
-  // sized to about sketch_bytes / k bytes. `bytes_per_item` is the storage
-  // cost of one retained identifier — the paper's Recording Module stores
-  // b-bit compressed codes, so pass (bits+7)/8 to model Fig. 9's
-  // 100-300 byte sketches faithfully (default: raw 8-byte doubles).
+  /// sketch_bytes = 0 keeps raw samples; otherwise each hop gets a KLL sketch
+  /// sized to about sketch_bytes / k bytes. `bytes_per_item` is the storage
+  /// cost of one retained identifier — the paper's Recording Module stores
+  /// b-bit compressed codes, so pass (bits+7)/8 to model Fig. 9's
+  /// 100-300 byte sketches faithfully (default: raw 8-byte doubles).
   FlowLatencyRecorder(unsigned k, std::size_t sketch_bytes = 0,
                       std::uint64_t seed = 0x4C415245C0DE,
                       std::size_t bytes_per_item = 8);
 
   void add(const DynamicAggregationQuery::Sample& sample);
 
-  // phi-quantile of the sub-stream observed at `hop` (1-based).
+  /// phi-quantile of the sub-stream observed at `hop` (1-based).
   std::optional<double> quantile(HopIndex hop, double phi) const;
 
-  // Enable per-hop sliding windows over the most recent `window` samples
-  // (must be called before the first add()).
+  /// Enable per-hop sliding windows over the most recent `window` samples
+  /// (must be called before the first add()).
   void enable_sliding_window(std::size_t window, std::size_t blocks = 8);
 
-  // phi-quantile over the recent window at `hop`; nullopt if windows are
-  // disabled or empty.
+  /// phi-quantile over the recent window at `hop`; nullopt if windows are
+  /// disabled or empty.
   std::optional<double> windowed_quantile(HopIndex hop, double phi) const;
 
-  // Values appearing in at least a theta fraction at `hop` (Theorem 2),
-  // values keyed by their compressed code.
+  /// Values appearing in at least a theta fraction at `hop` (Theorem 2),
+  /// values keyed by their compressed code.
   std::vector<std::uint64_t> frequent_values(HopIndex hop, double theta) const;
 
   std::size_t samples_at(HopIndex hop) const;

@@ -1,11 +1,12 @@
-// ValueExtractor registry: how a Query names the value it aggregates.
-//
-// An extractor turns a SwitchView into the scalar v(p, s) a query encodes.
-// Queries reference extractors by name; the registry resolves names at
-// PintFramework::Builder::build() time, so an unknown name is a typed build
-// error instead of a silent misconfiguration. The Table-1 metrics are
-// pre-registered; applications add their own with register_extractor() and
-// never touch framework code.
+/// \file
+/// ValueExtractor registry: how a Query names the value it aggregates.
+///
+/// An extractor turns a SwitchView into the scalar v(p, s) a query encodes.
+/// Queries reference extractors by name; the registry resolves names at
+/// PintFramework::Builder::build() time, so an unknown name is a typed build
+/// error instead of a silent misconfiguration. The Table-1 metrics are
+/// pre-registered; applications add their own with register_extractor() and
+/// never touch framework code.
 #pragma once
 
 #include <functional>
@@ -22,7 +23,7 @@ using ValueExtractor = std::function<double(const SwitchView&)>;
 
 namespace extractor {
 
-// Built-in extractor names (registered by every ValueExtractorRegistry).
+/// Built-in extractor names (registered by every ValueExtractorRegistry).
 inline constexpr std::string_view kSwitchId = "switch_id";
 inline constexpr std::string_view kHopLatency = "hop_latency";
 inline constexpr std::string_view kLinkUtilization = "link_utilization";
@@ -33,18 +34,18 @@ inline constexpr std::string_view kIngressTimestamp = "ingress_timestamp";
 
 class ValueExtractorRegistry {
  public:
-  // Starts with the built-ins registered.
+  /// Starts with the built-ins registered.
   ValueExtractorRegistry();
 
-  // Returns false (and leaves the registry unchanged) if `name` is taken.
+  /// Returns false (and leaves the registry unchanged) if `name` is taken.
   bool add(std::string name, ValueExtractor fn);
 
-  // nullptr if unknown.
+  /// nullptr if unknown.
   const ValueExtractor* find(std::string_view name) const;
 
   bool contains(std::string_view name) const { return find(name) != nullptr; }
 
-  // Registered names, sorted (diagnostics / error messages).
+  /// Registered names, sorted (diagnostics / error messages).
   std::vector<std::string> names() const;
 
  private:

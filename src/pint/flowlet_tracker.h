@@ -1,12 +1,13 @@
-// Flowlet-aware path tracing (paper Section 7, "Tracing flows with multipath
-// routing").
-//
-// Under flowlet load balancing a flow's route changes over time. The tracker
-// runs a HashedPathDecoder for the current flowlet and a PathChangeDetector
-// armed with every hop resolved so far. A packet that contradicts known hops
-// signals a route change: the current decoder is archived and a fresh one
-// starts for the new flowlet. Each flowlet's path is recovered provided
-// enough of its packets reach the sink — exactly the paper's claim.
+/// \file
+/// Flowlet-aware path tracing (paper Section 7, "Tracing flows with multipath
+/// routing").
+///
+/// Under flowlet load balancing a flow's route changes over time. The tracker
+/// runs a HashedPathDecoder for the current flowlet and a PathChangeDetector
+/// armed with every hop resolved so far. A packet that contradicts known hops
+/// signals a route change: the current decoder is archived and a fresh one
+/// starts for the new flowlet. Each flowlet's path is recovered provided
+/// enough of its packets reach the sink — exactly the paper's claim.
 #pragma once
 
 #include <cstdint>
@@ -25,16 +26,16 @@ class FlowletTracker {
   FlowletTracker(const PathTracingQuery& query, unsigned k,
                  std::vector<std::uint64_t> universe);
 
-  // Feed one packet's digest lanes. Returns true if a route change was
-  // detected (a new flowlet decoder was started).
+  /// Feed one packet's digest lanes. Returns true if a route change was
+  /// detected (a new flowlet decoder was started).
   bool add_packet(PacketId packet, std::span<const Digest> lanes);
 
-  // Paths of fully decoded flowlets, oldest first.
+  /// Paths of fully decoded flowlets, oldest first.
   const std::vector<std::vector<SwitchId>>& completed_paths() const {
     return completed_;
   }
 
-  // Current flowlet's decoding progress.
+  /// Current flowlet's decoding progress.
   unsigned current_resolved() const { return decoder_->resolved_count(); }
   bool current_complete() const { return decoder_->complete(); }
   std::uint64_t route_changes() const { return route_changes_; }

@@ -388,6 +388,11 @@ SinkReport PintFramework::at_sink(const Packet& packet, unsigned k) {
   return report;
 }
 
+void PintFramework::at_sink(const Packet& packet, unsigned k,
+                            SinkReport& report) {
+  sink_one(packet, k, report);
+}
+
 void PintFramework::at_sink(std::span<const Packet> packets, unsigned k,
                             std::span<SinkReport> reports) {
   if (!reports.empty() && reports.size() != packets.size()) {

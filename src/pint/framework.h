@@ -1,31 +1,32 @@
-// PINT end-to-end framework facade (paper Fig. 3).
-//
-// Wires the Query Engine, the per-query encoding logic (switch side), and
-// the Recording/Inference modules (sink side) into one object, around an
-// open, registry-driven core:
-//
-//   * Queries name the value they aggregate via a ValueExtractor registry
-//     (extractor.h): any metric computable from a SwitchView can back a
-//     query — nothing is hardcoded, and several queries may share an
-//     aggregation type.
-//   * A PintFramework is constructed only through PintFramework::Builder,
-//     which registers QuerySpecs, extractors, per-query recorder factories
-//     and observers, validates bit budgets and extractor names at build
-//     time, and returns typed BuildErrors instead of silently
-//     misconfiguring.
-//   * The sink emits a generic SinkReport of per-query observations
-//     (sink_report.h) and notifies registered SinkObservers, so
-//     applications subscribe to query results instead of poking framework
-//     internals.
-//   * Batched overloads at_switch(span<Packet>) / at_sink(span<const
-//     Packet>) process packets with no per-packet allocation on the steady
-//     path — the hook for sharding and multi-sink scale-out.
-//
-// Wire model (unchanged from the paper): a packet's digest lanes hold, for
-// each query in its selected query set (in set order), that query's lanes
-// (path tracing may use several instances). The sink recomputes the set
-// from the packet id, so no lane metadata travels on the wire — exactly how
-// PINT stays header-free.
+/// \file
+/// PINT end-to-end framework facade (paper Fig. 3).
+///
+/// Wires the Query Engine, the per-query encoding logic (switch side), and
+/// the Recording/Inference modules (sink side) into one object, around an
+/// open, registry-driven core:
+///
+///   * Queries name the value they aggregate via a ValueExtractor registry
+///     (extractor.h): any metric computable from a SwitchView can back a
+///     query — nothing is hardcoded, and several queries may share an
+///     aggregation type.
+///   * A PintFramework is constructed only through PintFramework::Builder,
+///     which registers QuerySpecs, extractors, per-query recorder factories
+///     and observers, validates bit budgets and extractor names at build
+///     time, and returns typed BuildErrors instead of silently
+///     misconfiguring.
+///   * The sink emits a generic SinkReport of per-query observations
+///     (sink_report.h) and notifies registered SinkObservers, so
+///     applications subscribe to query results instead of poking framework
+///     internals.
+///   * Batched overloads at_switch(span<Packet>) / at_sink(span<const
+///     Packet>) process packets with no per-packet allocation on the steady
+///     path — the hook for sharding and multi-sink scale-out.
+///
+/// Wire model (unchanged from the paper): a packet's digest lanes hold, for
+/// each query in its selected query set (in set order), that query's lanes
+/// (path tracing may use several instances). The sink recomputes the set
+/// from the packet id, so no lane metadata travels on the wire — exactly how
+/// PINT stays header-free.
 #pragma once
 
 #include <cstdint>
@@ -75,7 +76,7 @@ struct BuildError {
 
 class PintFramework;
 
-// Result of Builder::build(): exactly one of framework/error is set.
+/// Result of Builder::build(): exactly one of framework/error is set.
 struct BuildResult {
   std::unique_ptr<PintFramework> framework;
   std::optional<BuildError> error;
@@ -96,23 +97,23 @@ class PintFramework {
     Builder& global_bit_budget(unsigned bits);
     Builder& seed(std::uint64_t seed);
 
-    // Universe of switch IDs for static per-flow (path) decoding.
+    /// Universe of switch IDs for static per-flow (path) decoding.
     Builder& switch_universe(std::vector<std::uint64_t> ids);
 
-    // Register a custom metric extractor; duplicate names surface as a
-    // kDuplicateExtractor build error.
+    /// Register a custom metric extractor; duplicate names surface as a
+    /// kDuplicateExtractor build error.
     Builder& register_extractor(std::string name, ValueExtractor fn);
 
-    // Register one query (spec registry keyed by query.name).
+    /// Register one query (spec registry keyed by query.name).
     Builder& add_query(QuerySpec spec);
 
-    // Non-owning; must outlive the framework.
+    /// Non-owning; must outlive the framework.
     Builder& add_observer(SinkObserver* observer);
 
-    // Validates and constructs. The builder can be reused afterwards.
+    /// Validates and constructs. The builder can be reused afterwards.
     BuildResult build() const;
 
-    // Throws std::invalid_argument with the BuildError message on failure.
+    /// Throws std::invalid_argument with the BuildError message on failure.
     std::unique_ptr<PintFramework> build_or_throw() const;
 
    private:
@@ -126,38 +127,43 @@ class PintFramework {
   };
 
   // --- switch side ---------------------------------------------------------
-  // Called by every switch in path order; `i` is the 1-based hop number.
+  /// Called by every switch in path order; `i` is the 1-based hop number.
   void at_switch(Packet& packet, HopIndex i, const SwitchView& view);
 
-  // Batched hot path: every packet in `packets` crosses this switch at hop
-  // `i` under the same view. Allocation-free per packet on the steady path
-  // (a packet's own digest lanes are sized once, at its first hop).
+  /// Batched hot path: every packet in `packets` crosses this switch at hop
+  /// `i` under the same view. Allocation-free per packet on the steady path
+  /// (a packet's own digest lanes are sized once, at its first hop).
   void at_switch(std::span<Packet> packets, HopIndex i,
                  const SwitchView& view);
 
   // --- sink side -----------------------------------------------------------
-  // Extracts the digest, updates recorders, notifies observers, and returns
-  // what was learned. `k` = the flow's path length in switches (from TTL).
+  /// Extracts the digest, updates recorders, notifies observers, and returns
+  /// what was learned. `k` = the flow's path length in switches (from TTL).
   SinkReport at_sink(const Packet& packet, unsigned k);
 
-  // Batched hot path. `reports` must be empty (observer-only delivery) or
-  // have one entry per packet; entries are overwritten, not appended, so a
-  // caller-owned buffer makes the loop allocation-free.
+  /// Scalar hot path: like the returning overload, but fills a caller-owned
+  /// report (cleared first) — no 400-byte return copy. ShardedSink workers
+  /// drain their queues through this.
+  void at_sink(const Packet& packet, unsigned k, SinkReport& report);
+
+  /// Batched hot path. `reports` must be empty (observer-only delivery) or
+  /// have one entry per packet; entries are overwritten, not appended, so a
+  /// caller-owned buffer makes the loop allocation-free.
   void at_sink(std::span<const Packet> packets, unsigned k,
                std::span<SinkReport> reports = {});
 
-  // Non-owning; must outlive the framework.
+  /// Non-owning; must outlive the framework.
   void add_observer(SinkObserver* observer);
 
   // --- wire format ---------------------------------------------------------
-  // Lane widths (bits) of the packet's query set, in wire order. Returns the
-  // lane count; `out` (if non-empty) receives the widths and must hold at
-  // least max_lanes() entries.
+  /// Lane widths (bits) of the packet's query set, in wire order. Returns the
+  /// lane count; `out` (if non-empty) receives the widths and must hold at
+  /// least max_lanes() entries.
   std::size_t lane_widths(PacketId packet, std::span<unsigned> out) const;
   std::size_t max_lanes() const { return max_lanes_; }
 
-  // Bit-pack the packet's digest lanes into wire bytes, and back. Both ends
-  // derive the lane layout from the packet id alone (header-free).
+  /// Bit-pack the packet's digest lanes into wire bytes, and back. Both ends
+  /// derive the lane layout from the packet id alone (header-free).
   std::vector<std::uint8_t> pack_wire(const Packet& packet) const;
   void unpack_wire(std::span<const std::uint8_t> bytes, Packet& packet) const;
 
@@ -168,7 +174,7 @@ class PintFramework {
   const QuerySpec* spec(std::string_view query) const;
   std::vector<std::string_view> query_names() const;
 
-  // Flow key of `tuple` under a query's flow definition.
+  /// Flow key of `tuple` under a query's flow definition.
   std::uint64_t flow_key_for(std::string_view query,
                              const FiveTuple& tuple) const;
 
@@ -177,24 +183,24 @@ class PintFramework {
   // declared) query of the matching aggregation type — convenient for the
   // common one-query-per-family mix.
 
-  // Path of a flow, if fully decoded.
+  /// Path of a flow, if fully decoded.
   std::optional<std::vector<SwitchId>> flow_path(std::string_view query,
                                                  std::uint64_t flow_key) const;
   std::optional<std::vector<SwitchId>> flow_path(std::uint64_t flow_key) const;
 
-  // Fraction of hops resolved for a flow (0 if unseen).
+  /// Fraction of hops resolved for a flow (0 if unseen).
   double path_progress(std::string_view query, std::uint64_t flow_key) const;
   double path_progress(std::uint64_t flow_key) const;
 
-  // Latency quantile for (flow, hop), if samples exist.
+  /// Latency quantile for (flow, hop), if samples exist.
   std::optional<double> latency_quantile(std::string_view query,
                                          std::uint64_t flow_key, HopIndex hop,
                                          double phi) const;
   std::optional<double> latency_quantile(std::uint64_t flow_key, HopIndex hop,
                                          double phi) const;
 
-  // Values appearing in at least a theta-fraction of (flow, hop)'s samples
-  // (Theorem 2); empty if the flow is unknown.
+  /// Values appearing in at least a theta-fraction of (flow, hop)'s samples
+  /// (Theorem 2); empty if the flow is unknown.
   std::vector<std::uint64_t> latency_frequent_values(std::string_view query,
                                                      std::uint64_t flow_key,
                                                      HopIndex hop,
@@ -229,9 +235,9 @@ class PintFramework {
 
   PintFramework() = default;
 
-  // `view` extracts per call; `hoisted` (one value per binding) takes
-  // precedence when non-null — the batched path evaluates each extractor
-  // once per batch instead of once per packet.
+  /// `view` extracts per call; `hoisted` (one value per binding) takes
+  /// precedence when non-null — the batched path evaluates each extractor
+  /// once per batch instead of once per packet.
   void encode_one(Packet& packet, HopIndex i, const SwitchView* view,
                   const double* hoisted);
   void sink_one(const Packet& packet, unsigned k, SinkReport& report);

@@ -1,11 +1,12 @@
-// Routing-loop detection extension (paper Appendix A.4, Algorithm 2).
-//
-// A switch that sees its own hash already in the digest may be witnessing a
-// loop. To suppress false positives, packets carry a small counter c; the
-// digest is frozen once c > 0 and a loop is reported only after T + 1
-// matches. The FP probability per packet is roughly (k-1) * 2^-b(T+1) for a
-// k-hop path, e.g. b=14, T=3 gives ~5e-13 (paper's numbers; validated in
-// bench_loop_detection).
+/// \file
+/// Routing-loop detection extension (paper Appendix A.4, Algorithm 2).
+///
+/// A switch that sees its own hash already in the digest may be witnessing a
+/// loop. To suppress false positives, packets carry a small counter c; the
+/// digest is frozen once c > 0 and a loop is reported only after T + 1
+/// matches. The FP probability per packet is roughly (k-1) * 2^-b(T+1) for a
+/// k-hop path, e.g. b=14, T=3 gives ~5e-13 (paper's numbers; validated in
+/// bench_loop_detection).
 #pragma once
 
 #include <cstdint>
@@ -22,7 +23,7 @@ struct LoopDetectionConfig {
   unsigned threshold = 1;  // T: matches tolerated before reporting
 };
 
-// Per-packet telemetry state for the loop-detection query.
+/// Per-packet telemetry state for the loop-detection query.
 struct LoopDigest {
   Digest digest = 0;
   std::uint32_t counter = 0;
@@ -35,8 +36,8 @@ class LoopDetector {
         g_(GlobalHash(seed).derive(0x100D)),
         h_(GlobalHash(seed).derive(0x100E)) {}
 
-  // Algorithm 2: process packet at switch `sid`, hop `i`. Returns true if
-  // the switch reports LOOP.
+  /// Algorithm 2: process packet at switch `sid`, hop `i`. Returns true if
+  /// the switch reports LOOP.
   bool process(PacketId packet, HopIndex i, SwitchId sid,
                LoopDigest& state) const {
     const Digest mine = h_.digest2(sid, packet, config_.bits);
@@ -51,7 +52,7 @@ class LoopDetector {
     return false;
   }
 
-  // Extra header bits this query consumes: b + ceil(log2(T+1)).
+  /// Extra header bits this query consumes: b + ceil(log2(T+1)).
   unsigned total_bits() const {
     unsigned counter_bits = 0;
     while ((1u << counter_bits) < config_.threshold + 1) ++counter_bits;

@@ -1,11 +1,12 @@
-// Open switch-metric surface for PINT queries.
-//
-// The paper (Section 3, Table 1) lets a query aggregate *any* value v(p, s)
-// the data plane can compute. The seed hardcoded the three evaluated metrics
-// as struct fields; this header replaces that with an open key/value map so
-// new metrics can back queries without editing the framework. The Table-1
-// metrics keep fast fixed slots (branch-free array reads on the hot path);
-// anything else spills into a small overflow vector.
+/// \file
+/// Open switch-metric surface for PINT queries.
+///
+/// The paper (Section 3, Table 1) lets a query aggregate *any* value v(p, s)
+/// the data plane can compute. The seed hardcoded the three evaluated metrics
+/// as struct fields; this header replaces that with an open key/value map so
+/// new metrics can back queries without editing the framework. The Table-1
+/// metrics keep fast fixed slots (branch-free array reads on the hot path);
+/// anything else spills into a small overflow vector.
 #pragma once
 
 #include <array>
@@ -17,13 +18,13 @@
 
 namespace pint {
 
-// Identifies one metric a switch can report. Ids below metric::kFirstCustom
-// are fixed slots; user metrics start at metric::kFirstCustom.
+/// Identifies one metric a switch can report. Ids below metric::kFirstCustom
+/// are fixed slots; user metrics start at metric::kFirstCustom.
 using MetricId = std::uint16_t;
 
 namespace metric {
 
-// Fixed slots: the INT-compatible metrics of Table 1.
+/// Fixed slots: the INT-compatible metrics of Table 1.
 inline constexpr MetricId kHopLatencyNs = 0;
 inline constexpr MetricId kLinkUtilization = 1;  // egress port of the packet
 inline constexpr MetricId kQueueOccupancy = 2;
@@ -38,9 +39,9 @@ inline constexpr MetricId kFirstCustom = kNumFixedSlots;
 
 }  // namespace metric
 
-// What a switch tells PINT about itself when a packet passes. The switch id
-// stays a first-class field (it identifies the reporter; path tracing encodes
-// it); every other metric is a (MetricId -> double) entry.
+/// What a switch tells PINT about itself when a packet passes. The switch id
+/// stays a first-class field (it identifies the reporter; path tracing encodes
+/// it); every other metric is a (MetricId -> double) entry.
 class SwitchView {
  public:
   SwitchView() = default;

@@ -1,11 +1,12 @@
-// Path-change detection for multipath / flowlet routing (paper Section 7,
-// "Tracing flows with multipath routing").
-//
-// Once (part of) a flow's path is known, every further Baseline packet is a
-// consistency check: a packet whose digest disagrees with h(known switch,
-// packet) proves the flow's route changed (with per-packet detection
-// probability 1 - 2^-q when the full path is known). On detection, the
-// caller typically forks a fresh decoder for the new flowlet path.
+/// \file
+/// Path-change detection for multipath / flowlet routing (paper Section 7,
+/// "Tracing flows with multipath routing").
+///
+/// Once (part of) a flow's path is known, every further Baseline packet is a
+/// consistency check: a packet whose digest disagrees with h(known switch,
+/// packet) proves the flow's route changed (with per-packet detection
+/// probability 1 - 2^-q when the full path is known). On detection, the
+/// caller typically forks a fresh decoder for the new flowlet path.
 #pragma once
 
 #include <cstdint>
@@ -21,13 +22,13 @@ namespace pint {
 
 class PathChangeDetector {
  public:
-  // Hashes/config must mirror the encoding side (same as the decoder's).
+  /// Hashes/config must mirror the encoding side (same as the decoder's).
   PathChangeDetector(unsigned k, SchemeConfig scheme, InstanceHashes hashes,
                      unsigned bits)
       : k_(k), scheme_(std::move(scheme)), hashes_(hashes), bits_(bits),
         known_(k) {}
 
-  // Record a resolved hop (e.g. from HashedPathDecoder).
+  /// Record a resolved hop (e.g. from HashedPathDecoder).
   void set_known(HopIndex hop, SwitchId sid) { known_[hop - 1] = sid; }
   std::size_t known_hops() const {
     std::size_t n = 0;
@@ -35,9 +36,9 @@ class PathChangeDetector {
     return n;
   }
 
-  // Check one packet against current knowledge. Returns the hop whose
-  // digest contradicts the known switch (proving a route change), or
-  // nullopt if the packet is consistent / uninformative.
+  /// Check one packet against current knowledge. Returns the hop whose
+  /// digest contradicts the known switch (proving a route change), or
+  /// nullopt if the packet is consistent / uninformative.
   std::optional<HopIndex> check(PacketId packet, Digest digest) const {
     const unsigned layer = select_layer(scheme_, hashes_.layer, packet);
     if (layer != 0) {
@@ -60,8 +61,8 @@ class PathChangeDetector {
     return std::nullopt;
   }
 
-  // Detection probability for a single Baseline packet when the whole path
-  // is known: 1 - 2^-q (paper Section 7).
+  /// Detection probability for a single Baseline packet when the whole path
+  /// is known: 1 - 2^-q (paper Section 7).
   double detection_probability() const {
     return 1.0 - 1.0 / static_cast<double>(std::uint64_t{1} << bits_);
   }

@@ -1,11 +1,12 @@
-// Per-packet aggregation: bottleneck statistics for congestion control
-// (paper Example #3, Sections 4.3 and 6.1).
-//
-// Instead of INT's per-hop stack, each switch folds its value into a single
-// running aggregate on the packet — for HPCC, the *maximum* link utilization
-// (the bottleneck). Values are compressed with randomized multiplicative
-// rounding so 8 bits suffice for eps = 0.025 and the systematic error
-// cancels across packets.
+/// \file
+/// Per-packet aggregation: bottleneck statistics for congestion control
+/// (paper Example #3, Sections 4.3 and 6.1).
+///
+/// Instead of INT's per-hop stack, each switch folds its value into a single
+/// running aggregate on the packet — for HPCC, the *maximum* link utilization
+/// (the bottleneck). Values are compressed with randomized multiplicative
+/// rounding so 8 bits suffice for eps = 0.025 and the systematic error
+/// cancels across packets.
 #pragma once
 
 #include <algorithm>
@@ -33,8 +34,8 @@ class PerPacketQuery {
         compressor_(config.eps, config.max_value),
         rounding_(GlobalHash(seed).derive(0xBEEF)) {}
 
-  // Switch side: fold `value` into the digest. Max/min compare in code
-  // space, which is order-preserving because the compressor is monotone.
+  /// Switch side: fold `value` into the digest. Max/min compare in code
+  /// space, which is order-preserving because the compressor is monotone.
   Digest encode_step(PacketId packet, Digest cur, double value) const {
     const Digest code =
         compressor_.encode_randomized(value, rounding_, packet);

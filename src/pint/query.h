@@ -1,11 +1,12 @@
-// PINT query language (paper Section 3.3).
-//
-// A query is the tuple <value, aggregation type, bit budget, optional: space
-// budget, flow definition, frequency>. The value is named by a ValueExtractor
-// registered with the framework (extractor.h) — any metric computable from a
-// SwitchView can back a query; nothing is hardcoded. The Query Engine
-// (query_engine.h) compiles a set of queries plus a global per-packet bit
-// budget into an execution plan.
+/// \file
+/// PINT query language (paper Section 3.3).
+///
+/// A query is the tuple <value, aggregation type, bit budget, optional: space
+/// budget, flow definition, frequency>. The value is named by a ValueExtractor
+/// registered with the framework (extractor.h) — any metric computable from a
+/// SwitchView can back a query; nothing is hardcoded. The Query Engine
+/// (query_engine.h) compiles a set of queries plus a global per-packet bit
+/// budget into an execution plan.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +16,7 @@
 
 namespace pint {
 
-// Paper Section 3.1.
+/// Paper Section 3.1.
 enum class AggregationType : std::uint8_t {
   kPerPacket,       // e.g. max link utilization along the path (HPCC)
   kStaticPerFlow,   // e.g. path tracing (value fixed per (flow, switch))
@@ -25,23 +26,23 @@ enum class AggregationType : std::uint8_t {
 struct Query {
   std::string name;
 
-  // Name of the ValueExtractor producing v(p, s). Empty selects the
-  // aggregation type's canonical Table-1 metric: switch_id for static
-  // per-flow, hop_latency for dynamic per-flow, link_utilization for
-  // per-packet.
+  /// Name of the ValueExtractor producing v(p, s). Empty selects the
+  /// aggregation type's canonical Table-1 metric: switch_id for static
+  /// per-flow, hop_latency for dynamic per-flow, link_utilization for
+  /// per-packet.
   std::string extractor;
 
   AggregationType aggregation = AggregationType::kStaticPerFlow;
 
-  // Per-packet bits this query needs when it runs on a packet.
+  /// Per-packet bits this query needs when it runs on a packet.
   unsigned bit_budget = 8;
 
-  // Optional per-flow storage allowed at the Recording Module (0 = default).
+  /// Optional per-flow storage allowed at the Recording Module (0 = default).
   std::size_t space_budget_bytes = 0;
 
   FlowDefinition flow_definition = FlowDefinition::kFiveTuple;
 
-  // Fraction of packets that should carry this query's digest, in (0, 1].
+  /// Fraction of packets that should carry this query's digest, in (0, 1].
   double frequency = 1.0;
 };
 

@@ -1,11 +1,12 @@
-// PINT Query Engine (paper Section 3.4, Fig. 3).
-//
-// The engine compiles concurrent queries and a global per-packet bit budget
-// into an *execution plan*: a probability distribution over query sets, each
-// set's cumulative bit budget within the global budget, and each query
-// appearing with total probability equal to its requested frequency. All
-// switches select the same set for a packet by hashing the packet id with
-// the global query-selection hash, so no coordination bits are added.
+/// \file
+/// PINT Query Engine (paper Section 3.4, Fig. 3).
+///
+/// The engine compiles concurrent queries and a global per-packet bit budget
+/// into an *execution plan*: a probability distribution over query sets, each
+/// set's cumulative bit budget within the global budget, and each query
+/// appearing with total probability equal to its requested frequency. All
+/// switches select the same set for a packet by hashing the packet id with
+/// the global query-selection hash, so no coordination bits are added.
 #pragma once
 
 #include <cstddef>
@@ -25,29 +26,29 @@ struct QuerySet {
 struct ExecutionPlan {
   std::vector<QuerySet> sets;
 
-  // Total probability each query runs with (diagnostics).
+  /// Total probability each query runs with (diagnostics).
   std::vector<double> query_coverage;
 };
 
 class QueryEngine {
  public:
-  // Throws std::invalid_argument if any single query exceeds the global
-  // budget or the mix is infeasible (sum of frequency-weighted bits exceeds
-  // the budget even with perfect packing is allowed to fail at compile()).
+  /// Throws std::invalid_argument if any single query exceeds the global
+  /// budget or the mix is infeasible (sum of frequency-weighted bits exceeds
+  /// the budget even with perfect packing is allowed to fail at compile()).
   QueryEngine(std::vector<Query> queries, unsigned global_bit_budget,
               std::uint64_t seed = 0x9E37C0DE);
 
-  // Greedy fractional packing: repeatedly form the set of queries with
-  // positive residual frequency that fits the budget (preferring higher
-  // residuals), assign it the largest probability that keeps every member
-  // within its residual, and subtract. Reproduces the Section 6.4 plan
-  // exactly for the paper's three-query workload.
+  /// Greedy fractional packing: repeatedly form the set of queries with
+  /// positive residual frequency that fits the budget (preferring higher
+  /// residuals), assign it the largest probability that keeps every member
+  /// within its residual, and subtract. Reproduces the Section 6.4 plan
+  /// exactly for the paper's three-query workload.
   const ExecutionPlan& plan() const { return plan_; }
 
-  // The query set a given packet runs (same answer on every switch).
+  /// The query set a given packet runs (same answer on every switch).
   const QuerySet& set_for_packet(PacketId packet) const;
 
-  // True iff query q runs on this packet.
+  /// True iff query q runs on this packet.
   bool query_runs(std::size_t query_index, PacketId packet) const;
 
   const std::vector<Query>& queries() const { return queries_; }

@@ -1,11 +1,12 @@
-// QuerySpec: everything the framework needs to run one query.
-//
-// The Query (query.h) is the paper's declarative tuple; a QuerySpec adds the
-// per-module tuning for whichever aggregation type the query uses, plus an
-// optional factory for the sink-side recorder so applications control how
-// dynamic samples are retained (raw, sketched, windowed...) without the
-// framework knowing the difference. The Builder keeps a registry of specs
-// keyed by query name.
+/// \file
+/// QuerySpec: everything the framework needs to run one query.
+///
+/// The Query (query.h) is the paper's declarative tuple; a QuerySpec adds the
+/// per-module tuning for whichever aggregation type the query uses, plus an
+/// optional factory for the sink-side recorder so applications control how
+/// dynamic samples are retained (raw, sketched, windowed...) without the
+/// framework knowing the difference. The Builder keeps a registry of specs
+/// keyed by query name.
 #pragma once
 
 #include <cstdint>
@@ -18,26 +19,26 @@
 
 namespace pint {
 
-// Builds the per-flow recorder for a dynamic per-flow query. `k` is the
-// flow's path length, `seed` is derived per (query, flow).
+/// Builds the per-flow recorder for a dynamic per-flow query. `k` is the
+/// flow's path length, `seed` is derived per (query, flow).
 using RecorderFactory =
     std::function<FlowLatencyRecorder(unsigned k, std::uint64_t seed)>;
 
 struct QuerySpec {
   Query query;
 
-  // Module tuning; only the struct matching query.aggregation is used. The
-  // digest widths inside are synced to query.bit_budget at build time.
+  /// Module tuning; only the struct matching query.aggregation is used. The
+  /// digest widths inside are synced to query.bit_budget at build time.
   PathTracingConfig path;
   DynamicAggregationConfig dynamic;
   PerPacketConfig perpacket;
 
-  // Optional; defaults to FlowLatencyRecorder(k, query.space_budget_bytes,
-  // seed). Only consulted for dynamic per-flow queries.
+  /// Optional; defaults to FlowLatencyRecorder(k, query.space_budget_bytes,
+  /// seed). Only consulted for dynamic per-flow queries.
   RecorderFactory recorder_factory;
 };
 
-// Convenience constructors for the three aggregation families.
+/// Convenience constructors for the three aggregation families.
 inline QuerySpec make_path_query(std::string name, unsigned bit_budget,
                                  double frequency,
                                  PathTracingConfig tuning = {}) {

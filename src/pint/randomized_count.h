@@ -1,12 +1,13 @@
-// Randomized counting per-packet aggregation (paper Section 4.3,
-// "Randomized counting"; Morris [55]).
-//
-// Counting events along the path (e.g. how many hops exceeded a latency
-// threshold) exactly needs log2(k) bits; a Morris-style counter does it in
-// O(log log k + log 1/eps) bits. Each participating hop increments the
-// counter probabilistically — the coin is the global hash of
-// (packet id, hop, current counter value), so the sink can replay nothing
-// but still gets an unbiased estimate from the final exponent.
+/// \file
+/// Randomized counting per-packet aggregation (paper Section 4.3,
+/// "Randomized counting"; Morris [55]).
+///
+/// Counting events along the path (e.g. how many hops exceeded a latency
+/// threshold) exactly needs log2(k) bits; a Morris-style counter does it in
+/// O(log log k + log 1/eps) bits. Each participating hop increments the
+/// counter probabilistically — the coin is the global hash of
+/// (packet id, hop, current counter value), so the sink can replay nothing
+/// but still gets an unbiased estimate from the final exponent.
 #pragma once
 
 #include <cmath>
@@ -27,16 +28,16 @@ class RandomizedCountQuery {
   RandomizedCountQuery(RandomizedCountConfig config, std::uint64_t seed)
       : config_(config), coin_(GlobalHash(seed).derive(0xC027)) {}
 
-  // Largest count representable before the exponent saturates.
+  /// Largest count representable before the exponent saturates.
   double max_count() const {
     const double max_exp =
         static_cast<double>((std::uint64_t{1} << config_.bits) - 1);
     return (std::pow(config_.a, max_exp) - 1.0) / (config_.a - 1.0);
   }
 
-  // Switch side: hop i increments the counter iff its event fired.
-  // Increment happens with probability a^-counter (Morris), decided by the
-  // deterministic per-(packet, hop) coin.
+  /// Switch side: hop i increments the counter iff its event fired.
+  /// Increment happens with probability a^-counter (Morris), decided by the
+  /// deterministic per-(packet, hop) coin.
   Digest encode_step(PacketId packet, HopIndex i, Digest counter,
                      bool event) const {
     if (!event) return counter;
@@ -48,7 +49,7 @@ class RandomizedCountQuery {
     return counter;
   }
 
-  // Sink side: unbiased estimate of the number of events on the path.
+  /// Sink side: unbiased estimate of the number of events on the path.
   double decode(Digest counter) const {
     return (std::pow(config_.a, static_cast<double>(counter)) - 1.0) /
            (config_.a - 1.0);

@@ -1,12 +1,13 @@
-// Recording Module storage manager (paper Sections 3.3-3.4).
-//
-// The Recording Module sits off-switch and stores per-flow state (decoders,
-// sketches). Queries carry an optional per-flow space budget, and an
-// operator-level memory ceiling bounds the total. This manager owns the
-// per-flow entries, tracks an approximate byte accounting, and evicts the
-// least-recently-updated flows when over the ceiling — the paper's
-// observation that "oftentimes one mostly cares about tracing large flows"
-// makes LRU the natural policy: active (large) flows keep refreshing.
+/// \file
+/// Recording Module storage manager (paper Sections 3.3-3.4).
+///
+/// The Recording Module sits off-switch and stores per-flow state (decoders,
+/// sketches). Queries carry an optional per-flow space budget, and an
+/// operator-level memory ceiling bounds the total. This manager owns the
+/// per-flow entries, tracks an approximate byte accounting, and evicts the
+/// least-recently-updated flows when over the ceiling — the paper's
+/// observation that "oftentimes one mostly cares about tracing large flows"
+/// makes LRU the natural policy: active (large) flows keep refreshing.
 #pragma once
 
 #include <cstdint>
@@ -24,16 +25,18 @@ class RecordingStore {
   using SizeFn = std::function<std::size_t(const PerFlowState&)>;
   using Factory = std::function<PerFlowState(std::uint64_t flow_key)>;
 
-  // `capacity_bytes` = 0 disables eviction. `size_of` reports a state's
-  // approximate footprint (re-evaluated on every touch).
+  /// `capacity_bytes` = 0 disables eviction. `size_of` reports a state's
+  /// approximate footprint (re-evaluated on every touch).
   RecordingStore(std::size_t capacity_bytes, Factory factory, SizeFn size_of)
       : capacity_(capacity_bytes), factory_(std::move(factory)),
         size_of_(std::move(size_of)) {
-    if (!factory_ || !size_of_) throw std::invalid_argument("callbacks required");
+    if (!factory_ || !size_of_) {
+      throw std::invalid_argument("callbacks required");
+    }
   }
 
-  // Get or create the state for a flow and mark it most-recently-used.
-  // May evict other flows to stay within capacity.
+  /// Get or create the state for a flow and mark it most-recently-used.
+  /// May evict other flows to stay within capacity.
   PerFlowState& touch(std::uint64_t flow_key) {
     auto it = entries_.find(flow_key);
     if (it == entries_.end()) {
@@ -56,7 +59,7 @@ class RecordingStore {
     return it->second.state;
   }
 
-  // Read-only lookup without LRU effect.
+  /// Read-only lookup without LRU effect.
   const PerFlowState* find(std::uint64_t flow_key) const {
     auto it = entries_.find(flow_key);
     return it == entries_.end() ? nullptr : &it->second.state;

@@ -1,0 +1,323 @@
+#include "pint/report_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <iterator>
+
+namespace pint {
+
+// Wire layout (all integers LEB128 varints unless noted):
+//
+//   magic "PRS1" (4 bytes)
+//   name_count, then per name: length + raw bytes
+//   record_count, then per record:
+//     name_index
+//     tag byte: 0 = AggregateObservation   (payload: fixed8 value bits)
+//               1 = HopSampleObservation   (payload: hop, fixed8 value bits)
+//               2 = PathDigestObservation  (payload: resolved, length, flag)
+//               3 = path-decoded event     (payload: count, count * SwitchId)
+//     packet_id
+//     flow (fixed 8 bytes LE: flow keys are hashes, varints would expand)
+//     path_length (k)
+//     payload per tag
+//
+// Doubles are encoded as their IEEE-754 bit pattern (fixed 8 bytes LE), so
+// encode/decode round-trips are byte-exact.
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'P', 'R', 'S', '1'};
+
+constexpr std::uint8_t kTagAggregate = 0;
+constexpr std::uint8_t kTagHopSample = 1;
+constexpr std::uint8_t kTagPathDigest = 2;
+constexpr std::uint8_t kTagPathEvent = 3;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_fixed64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+// Bounded reader over the input buffer; every get_* returns false on
+// truncation so decode() can reject malformed input without throwing.
+struct Reader {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+
+  bool get_varint(std::uint64_t& v) {
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (p == end) return false;
+      const std::uint8_t byte = *p++;
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;  // varint longer than 64 bits
+  }
+
+  bool get_fixed64(std::uint64_t& v) {
+    if (end - p < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    return true;
+  }
+
+  bool get_byte(std::uint8_t& b) {
+    if (p == end) return false;
+    b = *p++;
+    return true;
+  }
+
+  bool get_bytes(std::string_view& s, std::size_t n) {
+    if (static_cast<std::size_t>(end - p) < n) return false;
+    s = std::string_view(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+// --- ReportEncoder ----------------------------------------------------------
+
+std::uint32_t ReportEncoder::intern(std::string_view name) {
+  auto it = name_index_.find(name);
+  if (it != name_index_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), index);
+  return index;
+}
+
+void ReportEncoder::add(const SinkContext& ctx, std::string_view query,
+                        const Observation& obs) {
+  Record r;
+  r.ctx = ctx;
+  r.name_index = intern(query);
+  if (const auto* agg = std::get_if<AggregateObservation>(&obs)) {
+    r.tag = kTagAggregate;
+    r.a = std::bit_cast<std::uint64_t>(agg->value);
+  } else if (const auto* hs = std::get_if<HopSampleObservation>(&obs)) {
+    r.tag = kTagHopSample;
+    r.a = hs->hop;
+    r.b = std::bit_cast<std::uint64_t>(hs->value);
+  } else {
+    const auto& pd = std::get<PathDigestObservation>(obs);
+    r.tag = kTagPathDigest;
+    r.a = pd.resolved_hops;
+    r.b = pd.path_length;
+    r.flag = pd.complete ? 1 : 0;
+  }
+  records_.push_back(std::move(r));
+}
+
+void ReportEncoder::add_path(const SinkContext& ctx, std::string_view query,
+                             const std::vector<SwitchId>& path) {
+  Record r;
+  r.ctx = ctx;
+  r.name_index = intern(query);
+  r.tag = kTagPathEvent;
+  r.path = path;
+  records_.push_back(std::move(r));
+}
+
+void ReportEncoder::add(PacketId packet, unsigned k,
+                        const SinkReport& report) {
+  SinkContext ctx;
+  ctx.packet_id = packet;
+  ctx.flow = 0;  // a report does not carry per-query flow keys
+  ctx.path_length = k;
+  for (const QueryObservation& entry : report) {
+    add(ctx, entry.query, entry.observation);
+  }
+}
+
+std::vector<std::uint8_t> ReportEncoder::finish() {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + 32 * records_.size());  // rough; avoids early regrowth
+  for (std::uint8_t byte : kMagic) out.push_back(byte);
+  put_varint(out, names_.size());
+  for (const std::string& name : names_) {
+    put_varint(out, name.size());
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  put_varint(out, records_.size());
+  for (const Record& r : records_) {
+    put_varint(out, r.name_index);
+    out.push_back(r.tag);
+    put_varint(out, r.ctx.packet_id);
+    put_fixed64(out, r.ctx.flow);
+    put_varint(out, r.ctx.path_length);
+    switch (r.tag) {
+      case kTagAggregate:
+        put_fixed64(out, r.a);
+        break;
+      case kTagHopSample:
+        put_varint(out, r.a);
+        put_fixed64(out, r.b);
+        break;
+      case kTagPathDigest:
+        put_varint(out, r.a);
+        put_varint(out, r.b);
+        out.push_back(r.flag);
+        break;
+      case kTagPathEvent:
+        put_varint(out, r.path.size());
+        for (SwitchId sid : r.path) put_varint(out, sid);
+        break;
+    }
+  }
+  names_.clear();
+  name_index_.clear();
+  records_.clear();
+  return out;
+}
+
+// --- ReportDecoder ----------------------------------------------------------
+
+std::string_view ReportDecoder::intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  interned_.emplace_back(name);
+  const std::string_view stable = interned_.back();
+  index_.emplace(stable, stable);
+  return stable;
+}
+
+bool ReportDecoder::decode(std::span<const std::uint8_t> bytes,
+                           std::vector<StreamRecord>& out) {
+  Reader in{bytes.data(), bytes.data() + bytes.size()};
+  std::string_view magic;
+  if (!in.get_bytes(magic, 4) ||
+      std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return false;
+  }
+
+  // Counts come off the wire: cap speculative reserves so a corrupt header
+  // cannot force a huge allocation before parsing fails.
+  constexpr std::uint64_t kReserveCap = 4096;
+
+  // Names stay as views into `bytes` until the whole buffer validates;
+  // interning rejected buffers would let malformed input grow the
+  // decoder's name storage without bound.
+  std::uint64_t name_count = 0;
+  if (!in.get_varint(name_count)) return false;
+  std::vector<std::string_view> names;
+  names.reserve(std::min(name_count, kReserveCap));
+  for (std::uint64_t i = 0; i < name_count; ++i) {
+    std::uint64_t len = 0;
+    std::string_view raw;
+    if (!in.get_varint(len) || !in.get_bytes(raw, len)) return false;
+    names.push_back(raw);
+  }
+
+  std::uint64_t record_count = 0;
+  if (!in.get_varint(record_count)) return false;
+  std::vector<StreamRecord> parsed;
+  parsed.reserve(std::min(record_count, kReserveCap));
+  std::vector<std::uint32_t> record_names;
+  record_names.reserve(std::min(record_count, kReserveCap));
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    std::uint64_t name_index = 0;
+    std::uint8_t tag = 0;
+    StreamRecord rec;
+    std::uint64_t packet_id = 0;
+    std::uint64_t k = 0;
+    if (!in.get_varint(name_index) || name_index >= names.size() ||
+        !in.get_byte(tag) || !in.get_varint(packet_id) ||
+        !in.get_fixed64(rec.ctx.flow) || !in.get_varint(k)) {
+      return false;
+    }
+    record_names.push_back(static_cast<std::uint32_t>(name_index));
+    rec.ctx.packet_id = packet_id;
+    rec.ctx.path_length = static_cast<unsigned>(k);
+    switch (tag) {
+      case kTagAggregate: {
+        std::uint64_t bits = 0;
+        if (!in.get_fixed64(bits)) return false;
+        rec.observation = AggregateObservation{std::bit_cast<double>(bits)};
+        break;
+      }
+      case kTagHopSample: {
+        std::uint64_t hop = 0;
+        std::uint64_t bits = 0;
+        if (!in.get_varint(hop) || !in.get_fixed64(bits)) return false;
+        rec.observation = HopSampleObservation{
+            static_cast<HopIndex>(hop), std::bit_cast<double>(bits)};
+        break;
+      }
+      case kTagPathDigest: {
+        std::uint64_t resolved = 0;
+        std::uint64_t length = 0;
+        std::uint8_t complete = 0;
+        if (!in.get_varint(resolved) || !in.get_varint(length) ||
+            !in.get_byte(complete)) {
+          return false;
+        }
+        rec.observation = PathDigestObservation{
+            static_cast<unsigned>(resolved), static_cast<unsigned>(length),
+            complete != 0};
+        break;
+      }
+      case kTagPathEvent: {
+        std::uint64_t count = 0;
+        if (!in.get_varint(count)) return false;
+        rec.path_event = true;
+        rec.path.reserve(std::min(count, kReserveCap));
+        for (std::uint64_t j = 0; j < count; ++j) {
+          std::uint64_t sid = 0;
+          if (!in.get_varint(sid)) return false;
+          rec.path.push_back(static_cast<SwitchId>(sid));
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+    parsed.push_back(std::move(rec));
+  }
+  if (in.p != in.end) return false;  // trailing bytes: not one of our buffers
+  // Fully validated: intern the names and point the records at the stable
+  // storage.
+  std::vector<std::string_view> stable;
+  stable.reserve(names.size());
+  for (std::string_view name : names) stable.push_back(intern(name));
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    parsed[i].query = stable[record_names[i]];
+  }
+  out.insert(out.end(), std::make_move_iterator(parsed.begin()),
+             std::make_move_iterator(parsed.end()));
+  return true;
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+void dispatch(std::span<const StreamRecord> records,
+              std::span<SinkObserver* const> observers) {
+  for (const StreamRecord& rec : records) {
+    if (rec.path_event) {
+      for (SinkObserver* o : observers) {
+        o->on_path_decoded(rec.ctx, rec.query, rec.path);
+      }
+    } else {
+      for (SinkObserver* o : observers) {
+        o->on_observation(rec.ctx, rec.query, rec.observation);
+      }
+    }
+  }
+}
+
+}  // namespace pint

@@ -1,0 +1,145 @@
+/// \file
+/// Compact serialization of sink observer streams (SinkReport <-> bytes).
+///
+/// Multi-sink scale-out splits the Recording Module across processes: each
+/// sink decodes its share of the digests locally and ships the *results* —
+/// its observer stream of (context, query, observation) events — to one
+/// central Inference Module. This codec defines that wire format:
+///
+///  * `ReportEncoder` accumulates events (or whole SinkReports) and
+///    `finish()`es them into one self-contained buffer: a magic/version
+///    header, an interned query-name table, then varint-packed records.
+///    Doubles travel as raw IEEE-754 bits, so a round trip is byte-exact.
+///  * `ReportDecoder` parses buffers from any number of sinks; it returns
+///    false on malformed input instead of throwing, and interns query names
+///    so decoded `string_view`s stay valid for the decoder's lifetime.
+///  * `dispatch()` replays decoded records into ordinary SinkObservers, so
+///    the `src/apps/` adapters work unchanged behind a fan-in.
+///  * `EncodingObserver` is the sink-side adapter: subscribe it (via
+///    `ShardedSink::add_observer` for serialized delivery) and every
+///    callback lands in an encoder.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "pint/sink_report.h"
+
+namespace pint {
+
+/// One decoded observer event: an observation, or (when `path_event` is
+/// true) a completed path decode carrying `path`.
+struct StreamRecord {
+  SinkContext ctx{};
+  std::string_view query;
+  Observation observation{};
+  bool path_event = false;
+  std::vector<SwitchId> path{};
+};
+
+/// Accumulates observer events and serializes them into one buffer.
+///
+/// Not thread-safe: serialize access (ShardedSink's observer relay already
+/// does). `finish()` resets the encoder for the next epoch, so one encoder
+/// can emit a stream of buffers.
+class ReportEncoder {
+ public:
+  /// Records one `SinkObserver::on_observation` event.
+  void add(const SinkContext& ctx, std::string_view query,
+           const Observation& obs);
+
+  /// Records one `SinkObserver::on_path_decoded` event.
+  void add_path(const SinkContext& ctx, std::string_view query,
+                const std::vector<SwitchId>& path);
+
+  /// Records every entry of a SinkReport under one packet context. The
+  /// report does not carry per-query flow keys, so `ctx.flow` is encoded
+  /// as 0 for these records.
+  void add(PacketId packet, unsigned k, const SinkReport& report);
+
+  /// Events recorded since the last finish().
+  std::size_t records() const { return records_.size(); }
+
+  /// Serializes everything recorded so far and resets the encoder.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  struct Record {
+    SinkContext ctx;
+    std::uint32_t name_index = 0;
+    std::uint8_t tag = 0;
+    // Payload union by tag (see report_codec.cc for the wire layout).
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint8_t flag = 0;
+    std::vector<SwitchId> path;
+  };
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::uint32_t intern(std::string_view name);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      name_index_;
+  std::vector<Record> records_;
+};
+
+/// Parses buffers produced by ReportEncoder::finish().
+///
+/// A decoder may ingest buffers from many sinks; query names are interned
+/// once and every decoded `StreamRecord::query` view stays valid for the
+/// decoder's lifetime.
+class ReportDecoder {
+ public:
+  /// Appends the buffer's records to `out`. Returns false (leaving `out`
+  /// untouched) if the buffer is truncated, has a bad magic/version, or
+  /// references an out-of-range name.
+  bool decode(std::span<const std::uint8_t> bytes,
+              std::vector<StreamRecord>& out);
+
+ private:
+  std::string_view intern(std::string_view name);
+
+  std::deque<std::string> interned_;  // stable storage for query names
+  std::unordered_map<std::string_view, std::string_view> index_;
+};
+
+/// Replays decoded records into observers, in record order: observation
+/// records fire `on_observation`, path events fire `on_path_decoded`.
+void dispatch(std::span<const StreamRecord> records,
+              std::span<SinkObserver* const> observers);
+
+/// Sink-side adapter: every observer callback is recorded into `encoder`.
+/// The encoder must outlive the observer. Register through
+/// `ShardedSink::add_observer` so calls arrive serialized.
+class EncodingObserver : public SinkObserver {
+ public:
+  explicit EncodingObserver(ReportEncoder& encoder) : encoder_(encoder) {}
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    encoder_.add(ctx, query, obs);
+  }
+
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    encoder_.add_path(ctx, query, path);
+  }
+
+ private:
+  ReportEncoder& encoder_;
+};
+
+}  // namespace pint

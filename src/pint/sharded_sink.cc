@@ -1,0 +1,219 @@
+#include "pint/sharded_sink.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hash/global_hash.h"
+
+namespace pint {
+
+// Partitioning by P is correct iff each query's flow key is a function of
+// P's key (all packets sharing a query key must share a shard). Five-tuple
+// refines ip-pair, which refines source-ip and destination-ip; source and
+// destination are incomparable, so a mix of both has no common partition.
+std::optional<FlowDefinition> common_flow_partition(const PintFramework& fw) {
+  bool has_src = false;
+  bool has_dst = false;
+  bool has_pair = false;
+  for (std::string_view name : fw.query_names()) {
+    const QuerySpec* spec = fw.spec(name);
+    if (spec->query.aggregation == AggregationType::kPerPacket) {
+      continue;  // stateless at the sink: any shard may decode it
+    }
+    switch (spec->query.flow_definition) {
+      case FlowDefinition::kFiveTuple:
+        break;
+      case FlowDefinition::kIpPair:
+        has_pair = true;
+        break;
+      case FlowDefinition::kSourceIp:
+        has_src = true;
+        break;
+      case FlowDefinition::kDestinationIp:
+        has_dst = true;
+        break;
+    }
+  }
+  if (has_src && has_dst) return std::nullopt;
+  if (has_src) return FlowDefinition::kSourceIp;
+  if (has_dst) return FlowDefinition::kDestinationIp;
+  if (has_pair) return FlowDefinition::kIpPair;
+  return FlowDefinition::kFiveTuple;
+}
+
+class ShardedSink::Relay : public SinkObserver {
+ public:
+  explicit Relay(ShardedSink& parent) : parent_(parent) {}
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
+    for (SinkObserver* o : parent_.observers_) {
+      o->on_observation(ctx, query, obs);
+    }
+  }
+
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
+    for (SinkObserver* o : parent_.observers_) {
+      o->on_path_decoded(ctx, query, path);
+    }
+  }
+
+ private:
+  ShardedSink& parent_;
+};
+
+ShardedSink::ShardedSink(const PintFramework::Builder& builder,
+                         unsigned num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedSink needs at least one shard");
+  }
+  relay_ = std::make_unique<Relay>(*this);
+  shards_.reserve(num_shards);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->fw = builder.build_or_throw();
+    shard->fw->add_observer(relay_.get());
+    shards_.push_back(std::move(shard));
+  }
+  const std::optional<FlowDefinition> def =
+      common_flow_partition(*shards_[0]->fw);
+  if (!def.has_value()) {
+    if (num_shards > 1) {
+      throw std::invalid_argument(
+          "queries aggregate by both source and destination IP: no flow "
+          "partition keeps both consistent across shards");
+    }
+    partition_def_ = FlowDefinition::kFiveTuple;  // single shard: moot
+  } else {
+    partition_def_ = *def;
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+ShardedSink::~ShardedSink() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+      // Discard batches no worker has started: they hold pointers into
+      // caller buffers that are only guaranteed alive through the next
+      // flush(), and destruction without a flush() (early exit, unwind)
+      // must not touch them.
+      shard->pending_batches -= shard->work.size();
+      shard->work.clear();
+      if (shard->pending_batches == 0) shard->idle.notify_all();
+    }
+    shard->wake.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+unsigned ShardedSink::shard_of(const FiveTuple& tuple) const {
+  const std::uint64_t key = flow_key(tuple, partition_def_);
+  return static_cast<unsigned>(mix64(key) % shards_.size());
+}
+
+void ShardedSink::submit(std::span<const Packet> packets, unsigned k,
+                         std::span<SinkReport> reports) {
+  if (!reports.empty() && reports.size() != packets.size()) {
+    throw std::invalid_argument("reports must be empty or match packets");
+  }
+  std::vector<Batch> staged(shards_.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    Batch& b = staged[shard_of(packets[i].tuple)];
+    b.packets.push_back(&packets[i]);
+    if (!reports.empty()) b.reports.push_back(&reports[i]);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (staged[s].packets.empty()) continue;
+    staged[s].k = k;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      ++shards_[s]->pending_batches;
+      shards_[s]->work.push_back(std::move(staged[s]));
+    }
+    shards_[s]->wake.notify_one();
+  }
+}
+
+void ShardedSink::flush() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->idle.wait(lock, [&] { return shard->pending_batches == 0; });
+  }
+}
+
+void ShardedSink::add_observer(SinkObserver* observer) {
+  std::lock_guard<std::mutex> lock(observer_mutex_);
+  observers_.push_back(observer);
+}
+
+std::uint64_t ShardedSink::packets_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->processed;
+  return total;
+}
+
+void ShardedSink::worker_loop(Shard& shard) {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.wake.wait(lock, [&] { return shard.stop || !shard.work.empty(); });
+      if (shard.work.empty()) return;  // stop requested and drained
+      batch = std::move(shard.work.front());
+      shard.work.pop_front();
+    }
+    SinkReport scratch;
+    for (std::size_t i = 0; i < batch.packets.size(); ++i) {
+      SinkReport& out =
+          batch.reports.empty() ? scratch : *batch.reports[i];
+      shard.fw->at_sink(*batch.packets[i], batch.k, out);
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.processed += batch.packets.size();
+      --shard.pending_batches;
+      if (shard.pending_batches == 0) shard.idle.notify_all();
+    }
+  }
+}
+
+// --- merged inference -------------------------------------------------------
+
+std::optional<std::vector<SwitchId>> ShardedSink::flow_path(
+    std::string_view query, const FiveTuple& tuple) const {
+  const PintFramework& fw = shard(shard_of(tuple));
+  return fw.flow_path(query, fw.flow_key_for(query, tuple));
+}
+
+double ShardedSink::path_progress(std::string_view query,
+                                  const FiveTuple& tuple) const {
+  const PintFramework& fw = shard(shard_of(tuple));
+  return fw.path_progress(query, fw.flow_key_for(query, tuple));
+}
+
+std::optional<double> ShardedSink::latency_quantile(std::string_view query,
+                                                    const FiveTuple& tuple,
+                                                    HopIndex hop,
+                                                    double phi) const {
+  const PintFramework& fw = shard(shard_of(tuple));
+  return fw.latency_quantile(query, fw.flow_key_for(query, tuple), hop, phi);
+}
+
+std::vector<std::uint64_t> ShardedSink::latency_frequent_values(
+    std::string_view query, const FiveTuple& tuple, HopIndex hop,
+    double theta) const {
+  const PintFramework& fw = shard(shard_of(tuple));
+  return fw.latency_frequent_values(query, fw.flow_key_for(query, tuple), hop,
+                                    theta);
+}
+
+}  // namespace pint

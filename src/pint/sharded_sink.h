@@ -1,0 +1,162 @@
+/// \file
+/// Sharded, multi-threaded sink: the Recording Module scaled across cores.
+///
+/// PINT's sink-side work (paper Section 3.4: the Recording and Inference
+/// Modules) is embarrassingly parallel per flow — every recorder and path
+/// decoder is keyed by a flow key, and packets of different flows never
+/// share state. A ShardedSink exploits this: incoming digests are
+/// partitioned by `hash(flow_key) % num_shards`, each shard owns a private
+/// PintFramework replica (identical build, identical seeds, so decoding is
+/// bit-for-bit the seed behavior), and one worker thread per shard drains
+/// batches through the framework's `at_sink` hot path with no locks on the
+/// decode path.
+///
+/// Because all of a flow's packets land on the same shard and each shard
+/// preserves submission order, the per-packet SinkReports are identical to
+/// the single-threaded sink's — only cross-flow observer interleaving
+/// differs. The merged Inference-Module view routes each query to the shard
+/// that owns the flow.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "packet/flow.h"
+#include "packet/packet.h"
+#include "pint/framework.h"
+#include "pint/sink_report.h"
+
+namespace pint {
+
+/// The coarsest flow definition that keeps every registered per-flow query
+/// consistent under partitioning, or nullopt if none exists (a mix of
+/// source-IP- and destination-IP-keyed queries). Used by ShardedSink for
+/// its shard key and by fan-in pipelines for sink homing.
+std::optional<FlowDefinition> common_flow_partition(const PintFramework& fw);
+
+/// A sink whose Recording Module is partitioned across worker threads.
+///
+/// Construction builds `num_shards` identical PintFramework instances from
+/// one Builder (the Builder is reusable, and identical seeds make every
+/// replica decode identically). Threading contract:
+///
+///  * `submit()` may be called from one producer thread at a time; the
+///    submitted packets (and the optional report buffer) must stay alive and
+///    unmodified until the next `flush()` returns.
+///  * Observers registered through `add_observer()` are invoked from shard
+///    worker threads but serialized under an internal mutex, so ordinary
+///    single-threaded observers (the `src/apps/` adapters) work unchanged.
+///    Observers registered on the Builder itself bypass this serialization
+///    and must be thread-safe — prefer `add_observer()` here.
+///  * The merged inference accessors and `shard()` must only be called when
+///    the sink is quiescent (after `flush()`, before the next `submit()`).
+class ShardedSink {
+ public:
+  /// Builds `num_shards` framework replicas and starts one worker per shard.
+  ///
+  /// Throws `std::invalid_argument` if the Builder fails validation, if
+  /// `num_shards` is zero, or if `num_shards > 1` and the registered
+  /// queries' flow definitions admit no common partition key (source-IP and
+  /// destination-IP aggregation cannot be partitioned consistently at one
+  /// sink — split them across sinks instead, see `docs/ARCHITECTURE.md`).
+  ShardedSink(const PintFramework::Builder& builder, unsigned num_shards);
+  ~ShardedSink();
+
+  ShardedSink(const ShardedSink&) = delete;
+  ShardedSink& operator=(const ShardedSink&) = delete;
+
+  /// Partitions `packets` by flow and enqueues each group on its shard.
+  ///
+  /// `k` is the flows' path length in switches (as in
+  /// `PintFramework::at_sink`). If `reports` is non-empty it must have one
+  /// entry per packet; entry `i` is overwritten with packet `i`'s
+  /// SinkReport, so after `flush()` the buffer holds the merged report
+  /// stream in submission order — byte-identical to the single-threaded
+  /// sink's output for the same input. Destroying the sink without a
+  /// flush() discards batches no worker has started (a batch already being
+  /// processed still needs its buffers alive until the destructor joins).
+  void submit(std::span<const Packet> packets, unsigned k,
+              std::span<SinkReport> reports = {});
+
+  /// Blocks until every submitted packet has been processed.
+  void flush();
+
+  /// Serialized observer delivery (see the class contract). Must be called
+  /// before the first `submit()`.
+  void add_observer(SinkObserver* observer);
+
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// The flow definition packets are partitioned by: the coarsest
+  /// definition among the registered per-flow queries.
+  FlowDefinition partition_definition() const { return partition_def_; }
+
+  /// Which shard owns flows with this tuple.
+  unsigned shard_of(const FiveTuple& tuple) const;
+
+  /// Shard `s`'s framework replica (for inspection; quiescent only).
+  const PintFramework& shard(unsigned s) const { return *shards_[s]->fw; }
+
+  /// Total packets decoded across all shards (quiescent only).
+  std::uint64_t packets_processed() const;
+
+  /// \name Merged Inference-Module view
+  /// Each call routes to the shard that owns the flow, so results match the
+  /// single-threaded framework exactly. Quiescent only.
+  ///@{
+  std::optional<std::vector<SwitchId>> flow_path(std::string_view query,
+                                                 const FiveTuple& tuple) const;
+  double path_progress(std::string_view query, const FiveTuple& tuple) const;
+  std::optional<double> latency_quantile(std::string_view query,
+                                         const FiveTuple& tuple, HopIndex hop,
+                                         double phi) const;
+  std::vector<std::uint64_t> latency_frequent_values(std::string_view query,
+                                                     const FiveTuple& tuple,
+                                                     HopIndex hop,
+                                                     double theta) const;
+  ///@}
+
+ private:
+  // One unit of handoff: pointers into the caller's submit() spans.
+  struct Batch {
+    std::vector<const Packet*> packets;
+    std::vector<SinkReport*> reports;  // empty, or one per packet
+    unsigned k = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<PintFramework> fw;
+    std::mutex mutex;
+    std::condition_variable wake;   // worker waits for work / stop
+    std::condition_variable idle;   // flush() waits for pending == 0
+    std::deque<Batch> work;
+    std::size_t pending_batches = 0;
+    std::uint64_t processed = 0;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  // Forwards shard-thread callbacks to observers_ under observer_mutex_.
+  class Relay;
+
+  void worker_loop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  FlowDefinition partition_def_ = FlowDefinition::kFiveTuple;
+  std::unique_ptr<Relay> relay_;
+  std::mutex observer_mutex_;
+  std::vector<SinkObserver*> observers_;
+};
+
+}  // namespace pint

@@ -1,12 +1,13 @@
-// Structured sink-side results and the observer interface.
-//
-// The sink's Recording Module learns one thing per query that ran on a
-// packet; instead of three fixed struct fields, a SinkReport is a small
-// inline list of per-query observations (variant-typed, allocation-free up
-// to kMaxQueriesPerPacket entries — enough for any feasible execution plan,
-// which the Builder enforces). Applications normally do not poll reports at
-// all: they register a SinkObserver and receive every observation — plus
-// path-decoded events — as callbacks.
+/// \file
+/// Structured sink-side results and the observer interface.
+///
+/// The sink's Recording Module learns one thing per query that ran on a
+/// packet; instead of three fixed struct fields, a SinkReport is a small
+/// inline list of per-query observations (variant-typed, allocation-free up
+/// to kMaxQueriesPerPacket entries — enough for any feasible execution plan,
+/// which the Builder enforces). Applications normally do not poll reports at
+/// all: they register a SinkObserver and receive every observation — plus
+/// path-decoded events — as callbacks.
 #pragma once
 
 #include <array>
@@ -20,21 +21,21 @@
 
 namespace pint {
 
-// One per-packet aggregate (e.g. the decoded bottleneck utilization).
+/// One per-packet aggregate (e.g. the decoded bottleneck utilization).
 struct AggregateObservation {
   double value = 0.0;
   bool operator==(const AggregateObservation&) const = default;
 };
 
-// One dynamic per-flow sample: the hop this packet's digest carried and the
-// decompressed value.
+/// One dynamic per-flow sample: the hop this packet's digest carried and the
+/// decompressed value.
 struct HopSampleObservation {
   HopIndex hop = 0;
   double value = 0.0;
   bool operator==(const HopSampleObservation&) const = default;
 };
 
-// Progress of a static per-flow (distributed coding) decode.
+/// Progress of a static per-flow (distributed coding) decode.
 struct PathDigestObservation {
   unsigned resolved_hops = 0;
   unsigned path_length = 0;
@@ -45,15 +46,15 @@ struct PathDigestObservation {
 using Observation = std::variant<AggregateObservation, HopSampleObservation,
                                  PathDigestObservation>;
 
-// (query name, observation) pair; the name view points at the framework's
-// registered QuerySpec and stays valid for the framework's lifetime.
+/// (query name, observation) pair; the name view points at the framework's
+/// registered QuerySpec and stays valid for the framework's lifetime.
 struct QueryObservation {
   std::string_view query;
   Observation observation;
 };
 
-// Everything the sink learned from one packet. Fixed inline capacity so the
-// batched hot path fills reports without allocating.
+/// Everything the sink learned from one packet. Fixed inline capacity so the
+/// batched hot path fills reports without allocating.
 class SinkReport {
  public:
   static constexpr std::size_t kMaxQueriesPerPacket = 16;
@@ -71,7 +72,7 @@ class SinkReport {
   const QueryObservation* begin() const { return entries_.data(); }
   const QueryObservation* end() const { return entries_.data() + count_; }
 
-  // The observation of `query`, if it ran on this packet.
+  /// The observation of `query`, if it ran on this packet.
   const Observation* find(std::string_view query) const {
     for (std::size_t i = 0; i < count_; ++i) {
       if (entries_[i].query == query) return &entries_[i].observation;
@@ -79,7 +80,7 @@ class SinkReport {
     return nullptr;
   }
 
-  // Convenience: the decoded per-packet aggregate of `query`, if present.
+  /// Convenience: the decoded per-packet aggregate of `query`, if present.
   std::optional<double> aggregate_value(std::string_view query) const {
     const Observation* obs = find(query);
     if (obs == nullptr) return std::nullopt;
@@ -94,23 +95,23 @@ class SinkReport {
   std::size_t count_ = 0;
 };
 
-// Per-packet context handed to observers alongside each observation.
+/// Per-packet context handed to observers alongside each observation.
 struct SinkContext {
   PacketId packet_id = 0;
   std::uint64_t flow = 0;        // flow key under the query's flow definition
   unsigned path_length = 0;      // k
 };
 
-// Subscribe to sink-side query results. Callbacks fire synchronously from
-// at_sink(), in query-set order; implementations must not re-enter the
-// framework. Observers are non-owning: the caller keeps them alive for the
-// framework's lifetime.
+/// Subscribe to sink-side query results. Callbacks fire synchronously from
+/// at_sink(), in query-set order; implementations must not re-enter the
+/// framework. Observers are non-owning: the caller keeps them alive for the
+/// framework's lifetime.
 class SinkObserver {
  public:
   virtual ~SinkObserver() = default;
 
-  // Every observation of every query (including partial path-decode
-  // progress).
+  /// Every observation of every query (including partial path-decode
+  /// progress).
   virtual void on_observation(const SinkContext& ctx, std::string_view query,
                               const Observation& obs) {
     (void)ctx;
@@ -118,7 +119,7 @@ class SinkObserver {
     (void)obs;
   }
 
-  // Fired once per (query, flow) when a static per-flow decode completes.
+  /// Fired once per (query, flow) when a static per-flow decode completes.
   virtual void on_path_decoded(const SinkContext& ctx, std::string_view query,
                                const std::vector<SwitchId>& path) {
     (void)ctx;

@@ -1,9 +1,10 @@
-// Static per-flow aggregation: path tracing (paper Example #2, Section 4.2).
-//
-// Every (flow, switch) value is fixed — here, the switch ID — so the
-// distributed coding schemes spread the path over many packets. The encoder
-// runs on switches; the decoder lives in the Inference Module and needs the
-// flow's hop count (from TTL) and the network's switch-ID universe.
+/// \file
+/// Static per-flow aggregation: path tracing (paper Example #2, Section 4.2).
+///
+/// Every (flow, switch) value is fixed — here, the switch ID — so the
+/// distributed coding schemes spread the path over many packets. The encoder
+/// runs on switches; the decoder lives in the Inference Module and needs the
+/// flow's hop count (from TTL) and the network's switch-ID universe.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +37,8 @@ struct PathTracingConfig {
   SchemeVariant variant = SchemeVariant::kMultiLayer;
 };
 
-// Switch- and sink-side logic for one path-tracing query. Copyable; every
-// switch constructs it from the same (config, seed) pair.
+/// Switch- and sink-side logic for one path-tracing query. Copyable; every
+/// switch constructs it from the same (config, seed) pair.
 class PathTracingQuery {
  public:
   PathTracingQuery(PathTracingConfig config, std::uint64_t seed);
@@ -45,9 +46,9 @@ class PathTracingQuery {
   unsigned total_bits() const { return config_.bits * config_.instances; }
   const PathTracingConfig& config() const { return config_; }
 
-  // Switch side: hop `i` (1-based) updates all digest lanes with its ID.
-  // `lanes` must have config().instances entries. Encodes in place — no
-  // allocation, so the framework's batched hot path can run it per packet.
+  /// Switch side: hop `i` (1-based) updates all digest lanes with its ID.
+  /// `lanes` must have config().instances entries. Encodes in place — no
+  /// allocation, so the framework's batched hot path can run it per packet.
   void encode(PacketId packet, HopIndex i, SwitchId sid,
               std::span<Digest> lanes) const;
   void encode(PacketId packet, HopIndex i, SwitchId sid,
@@ -55,13 +56,13 @@ class PathTracingQuery {
     encode(packet, i, sid, std::span<Digest>(lanes));
   }
 
-  // Sink side: a per-flow decoder for a k-hop flow over the given switch-ID
-  // universe.
+  /// Sink side: a per-flow decoder for a k-hop flow over the given switch-ID
+  /// universe.
   HashedPathDecoder make_decoder(unsigned k,
                                  std::vector<std::uint64_t> universe) const;
 
-  // Shared-protocol accessors (used by FlowletTracker / PathChangeDetector,
-  // which must evaluate the same hashes the switches do).
+  /// Shared-protocol accessors (used by FlowletTracker / PathChangeDetector,
+  /// which must evaluate the same hashes the switches do).
   const SchemeConfig& scheme() const { return scheme_; }
   const GlobalHash& root() const { return root_; }
   const InstanceHashes& instance_hashes(unsigned inst) const {

@@ -1,10 +1,11 @@
-// Wire format for PINT digests.
-//
-// On the wire, a packet carries a single bitstring whose width is the global
-// bit budget (padded to whole bytes at the link layer); internally we keep
-// one Digest per query lane. This module bit-packs lanes into bytes and back,
-// given the lane widths implied by the packet's query set — which both ends
-// derive from the packet id, so no lane metadata is transmitted.
+/// \file
+/// Wire format for PINT digests.
+///
+/// On the wire, a packet carries a single bitstring whose width is the global
+/// bit budget (padded to whole bytes at the link layer); internally we keep
+/// one Digest per query lane. This module bit-packs lanes into bytes and back,
+/// given the lane widths implied by the packet's query set — which both ends
+/// derive from the packet id, so no lane metadata is transmitted.
 #pragma once
 
 #include <cstdint>
@@ -16,17 +17,17 @@
 
 namespace pint {
 
-// Pack lanes (lane i occupying widths[i] low bits) LSB-first into bytes.
+/// Pack lanes (lane i occupying widths[i] low bits) LSB-first into bytes.
 std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
                                        std::span<const unsigned> widths);
 
-// Inverse of pack_digests.
+/// Inverse of pack_digests.
 std::vector<Digest> unpack_digests(std::span<const std::uint8_t> bytes,
                                    std::span<const unsigned> widths);
 
-// Allocation-free variants for the batched hot path: the caller owns the
-// buffers. `out` must hold wire_bytes(widths) / widths.size() entries;
-// returns the bytes / lanes written.
+/// Allocation-free variants for the batched hot path: the caller owns the
+/// buffers. `out` must hold wire_bytes(widths) / widths.size() entries;
+/// returns the bytes / lanes written.
 std::size_t pack_digests_into(std::span<const Digest> lanes,
                               std::span<const unsigned> widths,
                               std::span<std::uint8_t> out);
@@ -34,7 +35,7 @@ std::size_t unpack_digests_into(std::span<const std::uint8_t> bytes,
                                 std::span<const unsigned> widths,
                                 std::span<Digest> out);
 
-// Total wire bytes for a set of lane widths.
+/// Total wire bytes for a set of lane widths.
 constexpr std::size_t wire_bytes(std::span<const unsigned> widths) {
   std::size_t bits = 0;
   for (unsigned w : widths) bits += w;

@@ -1,0 +1,89 @@
+#include "sim/fanin.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hash/global_hash.h"
+
+namespace pint {
+
+bool FanInCollector::ingest(std::span<const std::uint8_t> bytes) {
+  std::vector<StreamRecord> records;
+  if (!decoder_.decode(bytes, records)) return false;
+  dispatch(records, observers_);
+  bytes_ingested_ += bytes.size();
+  records_ingested_ += records.size();
+  return true;
+}
+
+FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
+                             FanInConfig config)
+    : config_(config) {
+  if (config_.num_sinks == 0) {
+    throw std::invalid_argument("FanInPipeline needs at least one sink");
+  }
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  sinks_.reserve(config_.num_sinks);
+  for (unsigned i = 0; i < config_.num_sinks; ++i) {
+    auto node = std::make_unique<SinkNode>();
+    node->sink =
+        std::make_unique<ShardedSink>(builder, config_.shards_per_sink);
+    node->tap = std::make_unique<EncodingObserver>(node->encoder);
+    node->sink->add_observer(node->tap.get());
+    sinks_.push_back(std::move(node));
+  }
+  // Splitting flows across sink hosts needs the same partition feasibility
+  // as splitting across shards; ShardedSink only enforces it when it has
+  // more than one shard, so re-check here for the multi-sink case.
+  if (config_.num_sinks > 1 &&
+      !common_flow_partition(sinks_[0]->sink->shard(0)).has_value()) {
+    throw std::invalid_argument(
+        "queries aggregate by both source and destination IP: no flow "
+        "partition keeps both consistent across sinks");
+  }
+}
+
+unsigned FanInPipeline::sink_of(const FiveTuple& tuple) const {
+  // Same partition rule as the shards, one level up: flows (under the
+  // coarsest common definition) are homed to exactly one sink host.
+  const std::uint64_t key =
+      flow_key(tuple, sinks_[0]->sink->partition_definition());
+  // Salted so sink and shard selection stay independent: otherwise all of a
+  // sink's flows would collapse onto a few of its shards.
+  return static_cast<unsigned>(mix64(key ^ 0xFA41D) % sinks_.size());
+}
+
+void FanInPipeline::deliver(const Packet& packet, unsigned k) {
+  SinkNode& node = *sinks_[sink_of(packet.tuple)];
+  std::vector<Packet>& staged = node.staging[k];
+  staged.push_back(packet);
+  if (staged.size() >= config_.batch_size) submit_staged(node, k);
+}
+
+void FanInPipeline::submit_staged(SinkNode& node, unsigned k) {
+  std::vector<Packet>& staged = node.staging[k];
+  if (staged.empty()) return;
+  // The submitted span must outlive the sink's flush(): park the batch on
+  // the in-flight list until ship_epoch().
+  node.in_flight.push_back(std::move(staged));
+  staged.clear();
+  node.sink->submit(node.in_flight.back(), k);
+}
+
+void FanInPipeline::ship_epoch() {
+  for (auto& node : sinks_) {
+    for (auto& [k, staged] : node->staging) {
+      if (!staged.empty()) submit_staged(*node, k);
+    }
+    node->sink->flush();
+    node->in_flight.clear();
+    if (node->encoder.records() == 0) continue;
+    const std::vector<std::uint8_t> bytes = node->encoder.finish();
+    bytes_shipped_ += bytes.size();
+    if (!collector_.ingest(bytes)) {
+      throw std::runtime_error("fan-in collector rejected a sink stream");
+    }
+  }
+}
+
+}  // namespace pint

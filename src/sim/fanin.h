@@ -1,0 +1,115 @@
+/// \file
+/// Multi-sink fan-in: N sharded sinks feeding one Inference Module.
+///
+/// The second scale-out axis after intra-sink sharding (pint/sharded_sink.h):
+/// when one host cannot absorb the digest stream, the Recording Module is
+/// split across several sink hosts, each homed to a disjoint set of flows
+/// (in a datacenter fan-in topology, a collector per ToR/pod). Every sink
+/// decodes locally and ships its observer stream — serialized with the
+/// report codec (pint/report_codec.h) — to a central collector, which
+/// replays the records into ordinary SinkObservers. The data path is:
+///
+///     switches -> sink host 1: ShardedSink -> bytes --+
+///     switches -> sink host 2: ShardedSink -> bytes --+-> FanInCollector
+///     switches -> sink host N: ShardedSink -> bytes --+     (Inference)
+///
+/// Flows are routed to sinks by the same coarsest-common flow partition the
+/// shards use, so every per-flow recorder lives at exactly one (sink, shard)
+/// and results match a single monolithic sink.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/packet.h"
+#include "pint/framework.h"
+#include "pint/report_codec.h"
+#include "pint/sharded_sink.h"
+
+namespace pint {
+
+/// Sizing of the fan-in pipeline.
+struct FanInConfig {
+  unsigned num_sinks = 2;        ///< independent sink hosts
+  unsigned shards_per_sink = 1;  ///< worker threads inside each sink
+  /// Packets staged per (sink, path length) before a submit() is issued.
+  std::size_t batch_size = 256;
+};
+
+/// The central Inference-Module endpoint: ingests encoded streams from any
+/// number of sinks and replays them into registered observers.
+class FanInCollector {
+ public:
+  /// Observers receive every record of every ingested stream, in stream
+  /// order. Register before the first ingest().
+  void add_observer(SinkObserver* observer) { observers_.push_back(observer); }
+
+  /// Decodes one buffer and dispatches its records. Returns false (and
+  /// dispatches nothing) on malformed input.
+  bool ingest(std::span<const std::uint8_t> bytes);
+
+  std::uint64_t bytes_ingested() const { return bytes_ingested_; }
+  std::uint64_t records_ingested() const { return records_ingested_; }
+
+ private:
+  ReportDecoder decoder_;
+  std::vector<SinkObserver*> observers_;
+  std::uint64_t bytes_ingested_ = 0;
+  std::uint64_t records_ingested_ = 0;
+};
+
+/// N sharded sink hosts plus the collector, wired through the codec.
+///
+/// Single-producer: deliver() and ship_epoch() must come from one thread
+/// (the simulator's delivery path). Packets are copied into per-sink
+/// staging, so the caller's packet may be transient.
+class FanInPipeline {
+ public:
+  /// Builds `config.num_sinks` sinks, each with `config.shards_per_sink`
+  /// shards, from one Builder (all replicas decode identically).
+  FanInPipeline(const PintFramework::Builder& builder, FanInConfig config);
+
+  /// Routes one delivered packet (with its switch-hop count `k`) to its
+  /// owning sink. Suitable as a `SimConfig::sink_tap`.
+  void deliver(const Packet& packet, unsigned k);
+
+  /// Flushes every sink, serializes each sink's pending observer stream,
+  /// and ships the buffers to the collector. Call at epoch boundaries (or
+  /// once, at end of run).
+  void ship_epoch();
+
+  /// Which sink host owns flows with this tuple.
+  unsigned sink_of(const FiveTuple& tuple) const;
+
+  unsigned num_sinks() const { return static_cast<unsigned>(sinks_.size()); }
+  const ShardedSink& sink(unsigned i) const { return *sinks_[i]->sink; }
+  FanInCollector& collector() { return collector_; }
+  const FanInCollector& collector() const { return collector_; }
+
+  /// Total encoded bytes shipped sink -> collector so far.
+  std::uint64_t bytes_shipped() const { return bytes_shipped_; }
+
+ private:
+  struct SinkNode {
+    std::unique_ptr<ShardedSink> sink;
+    ReportEncoder encoder;
+    std::unique_ptr<EncodingObserver> tap;
+    // Per path-length staging (submit spans must be homogeneous in k), and
+    // the in-flight batches a pending flush() still references.
+    std::unordered_map<unsigned, std::vector<Packet>> staging;
+    std::deque<std::vector<Packet>> in_flight;
+  };
+
+  void submit_staged(SinkNode& node, unsigned k);
+
+  FanInConfig config_;
+  std::vector<std::unique_ptr<SinkNode>> sinks_;
+  FanInCollector collector_;
+  std::uint64_t bytes_shipped_ = 0;
+};
+
+}  // namespace pint

@@ -52,35 +52,8 @@ Simulator::Simulator(const Graph& topology, std::vector<bool> is_host,
   if (is_host_.size() != topology.num_nodes())
     throw std::invalid_argument("is_host size mismatch");
   if (config_.telemetry == TelemetryMode::kPint && config_.pint_full) {
-    // Section 6.4 combined mix through the real framework: path tracing on
-    // every packet, latency on the rest, HPCC on a pint_frequency fraction.
-    PathTracingConfig path_tuning;
-    path_tuning.bits = 8;
-    path_tuning.instances = 1;
-    path_tuning.d = 5;
-    DynamicAggregationConfig latency_tuning;
-    latency_tuning.max_value = 1e8;  // hop latencies in ns
-    PerPacketConfig cc_tuning;
-    cc_tuning.eps = 0.025;
-    cc_tuning.max_value = kUtilScale * 100.0;
-    std::vector<std::uint64_t> universe;
-    for (NodeId n = 0; n < topology.num_nodes(); ++n) {
-      if (!is_host_[n]) universe.push_back(n);
-    }
-    framework_ =
-        PintFramework::Builder()
-            .global_bit_budget(config_.pint_bit_budget)
-            .seed(config_.seed ^ 0x6040)
-            .switch_universe(std::move(universe))
-            .add_query(make_path_query("path", 8, 1.0, path_tuning))
-            .add_query(make_dynamic_query("latency",
-                                          std::string(extractor::kHopLatency),
-                                          8, 1.0 - config_.pint_frequency,
-                                          latency_tuning))
-            .add_query(make_perpacket_query(
-                "hpcc", std::string(extractor::kLinkUtilization), 8,
-                config_.pint_frequency, cc_tuning))
-            .build_or_throw();
+    framework_ = full_framework_builder(config_, topology, is_host_)
+                     .build_or_throw();
   } else if (config_.telemetry == TelemetryMode::kPint) {
     PerPacketConfig pp;
     pp.bits = config_.pint_bit_budget;
@@ -103,6 +76,39 @@ Simulator::Simulator(const Graph& topology, std::vector<bool> is_host,
       links_.emplace(link_key(u, v), std::move(l));
     }
   }
+}
+
+PintFramework::Builder Simulator::full_framework_builder(
+    const SimConfig& config, const Graph& topology,
+    const std::vector<bool>& is_host) {
+  // Section 6.4 combined mix through the real framework: path tracing on
+  // every packet, latency on the rest, HPCC on a pint_frequency fraction.
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = 5;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e8;  // hop latencies in ns
+  PerPacketConfig cc_tuning;
+  cc_tuning.eps = 0.025;
+  cc_tuning.max_value = kUtilScale * 100.0;
+  std::vector<std::uint64_t> universe;
+  for (NodeId n = 0; n < topology.num_nodes(); ++n) {
+    if (!is_host[n]) universe.push_back(n);
+  }
+  PintFramework::Builder builder;
+  builder.global_bit_budget(config.pint_bit_budget)
+      .seed(config.seed ^ 0x6040)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    1.0 - config.pint_frequency,
+                                    latency_tuning))
+      .add_query(make_perpacket_query(
+          "hpcc", std::string(extractor::kLinkUtilization), 8,
+          config.pint_frequency, cc_tuning));
+  return builder;
 }
 
 Simulator::DirectedLink& Simulator::link(NodeId a, NodeId b) {
@@ -187,7 +193,8 @@ void Simulator::try_send(FlowState& flow) {
          flow.next_seq - flow.acked < window) {
     send_packet(flow, flow.next_seq, /*retransmit=*/false);
     flow.next_seq += std::min<std::uint64_t>(
-        config_.mtu_payload, static_cast<std::uint64_t>(flow.size) - flow.next_seq);
+        config_.mtu_payload,
+        static_cast<std::uint64_t>(flow.size) - flow.next_seq);
   }
 }
 
@@ -367,6 +374,7 @@ void Simulator::handle_data_at_host(SimPacket pkt) {
   // sink (this host) extracts the digest, feeds the Recording Module, and
   // echoes only the decoded bottleneck value.
   if (framework_ != nullptr) {
+    if (config_.sink_tap) config_.sink_tap(pkt.pint_pkt, pkt.switch_hops);
     const SinkReport report =
         framework_->at_sink(pkt.pint_pkt, pkt.switch_hops);
     if (const auto util = report.aggregate_value("hpcc")) {

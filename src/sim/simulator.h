@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -59,6 +60,13 @@ struct SimConfig {
   // framework's Query Engine packs the queries into `pint_bit_budget`.
   bool pint_full = false;
 
+  // Full-framework mode: also hand every delivered data packet's telemetry
+  // view (the PINT packet and its switch-hop count) to this callback, in
+  // delivery order. This is the mirror point multi-sink fan-in pipelines
+  // (sim/fanin.h) use to feed external ShardedSinks the exact stream the
+  // in-simulator sink consumes.
+  std::function<void(const Packet& packet, unsigned switch_hops)> sink_tap;
+
   // Fixed extra per-packet overhead in bytes (used by the Fig. 1/2 sweep
   // where overhead is the x-axis; applied when telemetry == kNone).
   Bytes extra_overhead_bytes = 0;
@@ -91,8 +99,8 @@ struct FlowStats {
   TimeNs fct() const { return done ? finish - start : -1; }
   double goodput_bps(TimeNs horizon) const {
     const TimeNs t = done ? finish - start : horizon - start;
-    return t > 0 ? static_cast<double>(size) * 8.0 / (static_cast<double>(t) / 1e9)
-                 : 0.0;
+    if (t <= 0) return 0.0;
+    return static_cast<double>(size) * 8.0 / (static_cast<double>(t) / 1e9);
   }
 };
 
@@ -126,6 +134,14 @@ class Simulator {
   // sink, and the framework flow key of a simulated flow.
   const PintFramework* framework() const { return framework_.get(); }
   std::uint64_t framework_flow_key(std::uint32_t flow_id) const;
+
+  // The Builder the simulator uses for full-framework (Section 6.4) mode:
+  // the three-query mix over `topology`'s switches. External sink pipelines
+  // (ShardedSink, sim/fanin.h) build from the same configuration so their
+  // replicas decode the simulator's digests bit-for-bit.
+  static PintFramework::Builder full_framework_builder(
+      const SimConfig& config, const Graph& topology,
+      const std::vector<bool>& is_host);
 
  private:
   struct SimPacket {

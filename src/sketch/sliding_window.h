@@ -25,8 +25,10 @@ class SlidingWindowQuantiles {
                          std::uint64_t seed = 0x51D301DC0FFEEULL)
       : window_(window), block_size_(window / blocks), kll_k_(kll_k),
         seed_(seed) {
-    if (blocks == 0 || window == 0 || window % blocks != 0)
-      throw std::invalid_argument("window must be a positive multiple of blocks");
+    if (blocks == 0 || window == 0 || window % blocks != 0) {
+      throw std::invalid_argument(
+          "window must be a positive multiple of blocks");
+    }
   }
 
   void add(double value) {

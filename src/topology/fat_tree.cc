@@ -48,7 +48,9 @@ FatTree make_fat_tree(unsigned k, bool with_hosts) {
 }
 
 FatTree make_hpcc_fat_tree(double scale) {
-  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("scale in (0,1]");
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("scale in (0,1]");
+  }
   const auto scaled = [scale](unsigned n) {
     return std::max(1u, static_cast<unsigned>(n * scale));
   };

@@ -20,14 +20,16 @@ double HpccSender::measure_inflight_int(const AckFeedback& ack) {
     for (std::size_t j = 0; j < ack.int_hops.size(); ++j) {
       const HpccHopInfo& cur = ack.int_hops[j];
       const HpccHopInfo& prev = prev_hops_[j];
-      const double dt = static_cast<double>(cur.timestamp - prev.timestamp) / 1e9;
+      const double dt =
+          static_cast<double>(cur.timestamp - prev.timestamp) / 1e9;
       if (dt <= 0.0 || cur.bandwidth_bps <= 0.0) continue;
       const double tx_rate_bps = (cur.tx_bytes - prev.tx_bytes) * 8.0 / dt;
       // Use the smaller queue of the two reports (HPCC's qlen min) to avoid
       // double counting transient bursts.
       const double qlen = std::min(cur.qlen_bytes, prev.qlen_bytes);
       const double u_j =
-          qlen * 8.0 / (cur.bandwidth_bps * T) + tx_rate_bps / cur.bandwidth_bps;
+          qlen * 8.0 / (cur.bandwidth_bps * T) +
+          tx_rate_bps / cur.bandwidth_bps;
       u_max = std::max(u_max, u_j);
     }
   }

@@ -103,7 +103,7 @@ TEST_F(ConformanceFixture, PartialDecodeCanProveViolationEarly) {
   EXPECT_EQ(checker.check(dec, 5).verdict, Conformance::kViolation);
 }
 
-// --- microburst ---------------------------------------------------------------
+// --- microburst --------------------------------------------------------------
 
 TEST(Microburst, DetectsBurstAboveBaseline) {
   MicroburstDetector det(3, {128, 8, 0.9, 4.0, 256}, 7);
@@ -140,7 +140,7 @@ TEST(Microburst, RejectsBadHop) {
   EXPECT_THROW(det.add(3, 1.0), std::out_of_range);
 }
 
-// --- load analysis ------------------------------------------------------------
+// --- load analysis -----------------------------------------------------------
 
 TEST(LoadAnalysis, RanksAndFairness) {
   LoadAnalyzer la(0.2);
@@ -186,7 +186,7 @@ TEST(LoadAnalysis, UnknownSwitch) {
   EXPECT_FALSE(la.load_of(123).has_value());
 }
 
-// --- anomaly detection ---------------------------------------------------------
+// --- anomaly detection -------------------------------------------------------
 
 TEST(Anomaly, DetectsLatencyShift) {
   LatencyAnomalyDetector det(4, {0.5, 8.0, 64});
@@ -208,8 +208,12 @@ TEST(Anomaly, DetectsDownwardShift) {
   LatencyAnomalyDetector det(1, {0.5, 8.0, 64});
   Rng rng(19);
   std::optional<AnomalyEvent> ev;
-  for (int i = 0; i < 300 && !ev; ++i) ev = det.add(1, 200.0 + rng.uniform() * 10);
-  for (int i = 0; i < 500 && !ev; ++i) ev = det.add(1, 140.0 + rng.uniform() * 10);
+  for (int i = 0; i < 300 && !ev; ++i) {
+    ev = det.add(1, 200.0 + rng.uniform() * 10);
+  }
+  for (int i = 0; i < 500 && !ev; ++i) {
+    ev = det.add(1, 140.0 + rng.uniform() * 10);
+  }
   ASSERT_TRUE(ev.has_value());
   EXPECT_FALSE(ev->upward);
 }
@@ -242,7 +246,7 @@ TEST(Anomaly, RebaselinesAfterAlarm) {
   EXPECT_EQ(post_alarms, 0);
 }
 
-// --- tomography -----------------------------------------------------------------
+// --- tomography --------------------------------------------------------------
 
 TEST(Tomography, RekeysSamplesToSwitches) {
   QueueTomography tomo;

@@ -178,7 +178,8 @@ TEST(Peeling, MessageBeforeCompleteThrows) {
 // --- hashed decoder ---------------------------------------------------------
 
 class HashedDecoderTest
-    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, unsigned>> {
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, unsigned, unsigned>> {
 };
 
 TEST_P(HashedDecoderTest, DecodesPathOverUniverse) {
@@ -189,7 +190,9 @@ TEST_P(HashedDecoderTest, DecodesPathOverUniverse) {
 
   // The true path: an arbitrary distinct selection from the universe.
   std::vector<std::uint64_t> blocks(k);
-  for (unsigned i = 0; i < k; ++i) blocks[i] = universe[(i * 13) % universe_size];
+  for (unsigned i = 0; i < k; ++i) {
+    blocks[i] = universe[(i * 13) % universe_size];
+  }
 
   HashedDecoderConfig cfg;
   cfg.k = k;

@@ -16,7 +16,7 @@
 namespace pint {
 namespace {
 
-// --- wire format ---------------------------------------------------------------
+// --- wire format -------------------------------------------------------------
 
 TEST(WireFormat, RoundTripMixedWidths) {
   const std::vector<unsigned> widths{8, 3, 1, 16, 64, 5};
@@ -64,7 +64,7 @@ TEST(WireFormat, RejectsBadInput) {
       std::invalid_argument);
 }
 
-// --- path change detection --------------------------------------------------------
+// --- path change detection ---------------------------------------------------
 
 class PathChangeFixture : public ::testing::Test {
  protected:
@@ -135,7 +135,7 @@ TEST_F(PathChangeFixture, UnknownHopsAreUninformative) {
   }
 }
 
-// --- bit-vector fast path ----------------------------------------------------------
+// --- bit-vector fast path ----------------------------------------------------
 
 TEST(FastPath, MakeFastRoundsProbabilities) {
   SchemeConfig cfg = make_multilayer_scheme(25);

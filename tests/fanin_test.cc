@@ -1,0 +1,165 @@
+// Multi-sink scale-out, end to end: simulated fat-tree traffic encodes
+// digests at real switches; a sink_tap mirrors the delivered stream into a
+// FanInPipeline (several ShardedSink hosts feeding one collector through
+// the report codec); the fan-in's merged inference must match the
+// simulator's own monolithic sink exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sim/fanin.h"
+#include "sim/simulator.h"
+#include "topology/fat_tree.h"
+
+namespace pint {
+namespace {
+
+struct CountingObserver : SinkObserver {
+  std::uint64_t observations = 0;
+  std::uint64_t paths = 0;
+
+  void on_observation(const SinkContext&, std::string_view,
+                      const Observation&) override {
+    ++observations;
+  }
+  void on_path_decoded(const SinkContext&, std::string_view,
+                       const std::vector<SwitchId>&) override {
+    ++paths;
+  }
+};
+
+// Mirrors Simulator::framework_flow_key's tuple synthesis so the test can
+// address the same flow in the fan-in pipeline.
+FiveTuple sim_flow_tuple(NodeId src, NodeId dst, std::uint32_t flow_id) {
+  FiveTuple tuple;
+  tuple.src_ip = src;
+  tuple.dst_ip = dst;
+  tuple.src_port = static_cast<std::uint16_t>(flow_id & 0xFFFF);
+  tuple.dst_port = static_cast<std::uint16_t>(flow_id >> 16);
+  return tuple;
+}
+
+TEST(FanIn, MatchesMonolithicSinkOnSimulatedTraffic) {
+  FatTree ft = make_fat_tree(4);
+  std::vector<bool> is_host(ft.graph.num_nodes(), false);
+  for (NodeId h : ft.nodes.hosts) is_host[h] = true;
+
+  SimConfig cfg;
+  cfg.telemetry = TelemetryMode::kPint;
+  cfg.pint_full = true;
+  cfg.pint_bit_budget = 16;
+  cfg.pint_frequency = 1.0 / 16.0;
+  cfg.transport = TransportKind::kHpcc;
+  cfg.hpcc.base_rtt = 20 * kMicro;
+  cfg.seed = 5;
+
+  // The fan-in builds its sink replicas from the simulator's own builder,
+  // so decoding is bit-for-bit the monolithic sink's.
+  FanInConfig fan_cfg;
+  fan_cfg.num_sinks = 2;
+  fan_cfg.shards_per_sink = 2;
+  fan_cfg.batch_size = 64;
+  FanInPipeline pipeline(
+      Simulator::full_framework_builder(cfg, ft.graph, is_host), fan_cfg);
+  CountingObserver central;
+  pipeline.collector().add_observer(&central);
+
+  std::uint64_t tapped = 0;
+  cfg.sink_tap = [&](const Packet& packet, unsigned switch_hops) {
+    ++tapped;
+    pipeline.deliver(packet, switch_hops);
+  };
+
+  Simulator sim(ft.graph, is_host, cfg);
+  struct FlowRef {
+    NodeId src, dst;
+    std::uint32_t id;
+  };
+  std::vector<FlowRef> flows;
+  // A mix of cross-pod (5 switch hops) and same-pod flows.
+  const auto& hosts = ft.nodes.hosts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const NodeId src = hosts[i];
+    const NodeId dst = hosts[hosts.size() - 1 - i];
+    flows.push_back({src, dst, sim.add_flow(src, dst, 1'500'000, 0)});
+  }
+  sim.run_until(1 * kSecond);
+  pipeline.ship_epoch();
+
+  ASSERT_GT(tapped, 0u);
+  EXPECT_GT(pipeline.bytes_shipped(), 0u);
+  EXPECT_GT(central.observations, 0u);
+  EXPECT_GT(central.paths, 0u);
+
+  // Every sink host processed its share; nothing was lost or duplicated.
+  std::uint64_t processed = 0;
+  for (unsigned s = 0; s < pipeline.num_sinks(); ++s) {
+    processed += pipeline.sink(s).packets_processed();
+  }
+  EXPECT_EQ(processed, tapped);
+
+  const PintFramework* mono = sim.framework();
+  ASSERT_NE(mono, nullptr);
+  for (const FlowRef& flow : flows) {
+    ASSERT_TRUE(sim.flow_stats()[flow.id].done) << "flow " << flow.id;
+    const FiveTuple tuple = sim_flow_tuple(flow.src, flow.dst, flow.id);
+    const std::uint64_t fkey = sim.framework_flow_key(flow.id);
+
+    // Path tracing: identical decode state.
+    EXPECT_EQ(pipeline.sink(pipeline.sink_of(tuple))
+                  .path_progress("path", tuple),
+              mono->path_progress("path", fkey));
+    const auto mono_path = mono->flow_path(fkey);
+    ASSERT_TRUE(mono_path.has_value());
+    EXPECT_EQ(pipeline.sink(pipeline.sink_of(tuple)).flow_path("path", tuple),
+              mono_path);
+
+    // Latency quantiles: identical recorder state at every hop.
+    const unsigned k = sim.flow_stats()[flow.id].path_hops;
+    for (HopIndex hop = 1; hop <= k; ++hop) {
+      EXPECT_EQ(pipeline.sink(pipeline.sink_of(tuple))
+                    .latency_quantile("latency", tuple, hop, 0.5),
+                mono->latency_quantile(fkey, hop, 0.5))
+          << "hop " << hop;
+    }
+  }
+}
+
+TEST(FanIn, ValidatesConfiguration) {
+  std::vector<std::uint64_t> universe{1, 2, 3};
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0));
+  EXPECT_THROW(FanInPipeline(builder, FanInConfig{.num_sinks = 0}),
+               std::invalid_argument);
+}
+
+TEST(FanIn, RejectsUnpartitionableMixAcrossSinks) {
+  // Source- + destination-keyed queries cannot be split across sink hosts
+  // consistently, even with one shard per sink (where ShardedSink itself
+  // has nothing to enforce).
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec by_source = make_dynamic_query(
+      "per_source", std::string(extractor::kHopLatency), 8, 0.5, tuning);
+  by_source.query.flow_definition = FlowDefinition::kSourceIp;
+  QuerySpec by_dest = make_dynamic_query(
+      "per_dest", std::string(extractor::kQueueOccupancy), 8, 0.5, tuning);
+  by_dest.query.flow_definition = FlowDefinition::kDestinationIp;
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16).add_query(by_source).add_query(by_dest);
+
+  EXPECT_THROW(
+      FanInPipeline(builder,
+                    FanInConfig{.num_sinks = 2, .shards_per_sink = 1}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      FanInPipeline(builder,
+                    FanInConfig{.num_sinks = 1, .shards_per_sink = 1}));
+}
+
+}  // namespace
+}  // namespace pint

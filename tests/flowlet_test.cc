@@ -12,7 +12,7 @@
 namespace pint {
 namespace {
 
-// --- flowlet tracking ---------------------------------------------------------
+// --- flowlet tracking --------------------------------------------------------
 
 struct FlowletFixture : public ::testing::Test {
   static constexpr unsigned kHops = 5;
@@ -92,7 +92,7 @@ TEST_F(FlowletFixture, NoFalseChangesOnStableRoute) {
   EXPECT_EQ(tracker.route_changes(), 0u);
 }
 
-// --- sliding window recorder -----------------------------------------------------
+// --- sliding window recorder -------------------------------------------------
 
 TEST(SlidingRecorder, WindowedQuantileTracksRecentRegime) {
   FlowLatencyRecorder rec(2);
@@ -126,7 +126,7 @@ TEST(SlidingRecorder, EnableAfterAddThrows) {
   EXPECT_THROW(rec.enable_sliding_window(100), std::logic_error);
 }
 
-// --- query compiler ---------------------------------------------------------------
+// --- query compiler ----------------------------------------------------------
 
 Query q(std::string name, AggregationType agg) {
   Query out;

@@ -115,7 +115,9 @@ TEST_P(FragSchemeSweep, FragmentationUnderEverySchemeFamily) {
   PacketId p = 1;
   while (!codec.complete() && p < 300000) {
     Digest d = 0;
-    for (HopIndex i = 1; i <= k; ++i) d = codec.encode_step(p, i, d, values[i - 1]);
+    for (HopIndex i = 1; i <= k; ++i) {
+      d = codec.encode_step(p, i, d, values[i - 1]);
+    }
     codec.add_packet(p, d);
     ++p;
   }

@@ -208,7 +208,7 @@ TEST(DynamicAggregation, FrequentValues) {
   EXPECT_TRUE(found);
 }
 
-// --- per-packet aggregation ---------------------------------------------------
+// --- per-packet aggregation --------------------------------------------------
 
 TEST(PerPacket, MaxTracksBottleneck) {
   PerPacketConfig cfg;
@@ -260,7 +260,7 @@ TEST(PerPacket, MinAndSumOps) {
   EXPECT_NEAR(minq.decode(d), 10.0, 10.0 * 0.1);
 }
 
-// --- loop detection -----------------------------------------------------------
+// --- loop detection ----------------------------------------------------------
 
 TEST(LoopDetection, DetectsRealLoop) {
   LoopDetectionConfig cfg;
@@ -308,7 +308,7 @@ TEST(LoopDetection, TotalBits) {
   EXPECT_EQ(LoopDetector({14, 3}, 1).total_bits(), 16u);
 }
 
-// --- framework ----------------------------------------------------------------
+// --- framework ---------------------------------------------------------------
 
 PintFramework::Builder paper_builder() {
   PathTracingConfig path_tuning;

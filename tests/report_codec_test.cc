@@ -1,0 +1,215 @@
+// Report codec: the sink -> Inference-Module wire format must round-trip
+// every observer event byte-exactly (doubles travel as IEEE-754 bits) and
+// reject malformed buffers instead of throwing or misparsing.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pint/report_codec.h"
+
+namespace pint {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Exact record equality, NaN-safe.
+void expect_equal(const StreamRecord& got, const StreamRecord& want) {
+  EXPECT_EQ(got.ctx.packet_id, want.ctx.packet_id);
+  EXPECT_EQ(got.ctx.flow, want.ctx.flow);
+  EXPECT_EQ(got.ctx.path_length, want.ctx.path_length);
+  EXPECT_EQ(got.query, want.query);
+  ASSERT_EQ(got.path_event, want.path_event);
+  if (want.path_event) {
+    EXPECT_EQ(got.path, want.path);
+    return;
+  }
+  ASSERT_EQ(got.observation.index(), want.observation.index());
+  if (const auto* agg = std::get_if<AggregateObservation>(&want.observation)) {
+    EXPECT_TRUE(same_bits(
+        std::get<AggregateObservation>(got.observation).value, agg->value));
+  } else if (const auto* hs =
+                 std::get_if<HopSampleObservation>(&want.observation)) {
+    const auto& g = std::get<HopSampleObservation>(got.observation);
+    EXPECT_EQ(g.hop, hs->hop);
+    EXPECT_TRUE(same_bits(g.value, hs->value));
+  } else {
+    const auto& pd = std::get<PathDigestObservation>(want.observation);
+    EXPECT_EQ(std::get<PathDigestObservation>(got.observation), pd);
+  }
+}
+
+double awkward_double(Rng& rng) {
+  switch (rng.uniform_int(8)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:
+      return std::numeric_limits<double>::infinity();
+    case 3:
+      return -std::numeric_limits<double>::infinity();
+    case 4:
+      return std::numeric_limits<double>::quiet_NaN();
+    case 5:
+      return std::numeric_limits<double>::denorm_min();
+    case 6:
+      return -1e308;
+    default:
+      return rng.uniform(-1e9, 1e9);
+  }
+}
+
+std::vector<StreamRecord> random_records(Rng& rng, std::size_t count) {
+  static const std::string kNames[] = {"path", "latency", "hpcc",
+                                       "a-much-longer-query-name", ""};
+  std::vector<StreamRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    StreamRecord rec;
+    rec.ctx.packet_id = rng.next();
+    rec.ctx.flow = rng.next();
+    rec.ctx.path_length = static_cast<unsigned>(rng.uniform_int(64));
+    rec.query = kNames[rng.uniform_int(std::size(kNames))];
+    switch (rng.uniform_int(4)) {
+      case 0:
+        rec.observation = AggregateObservation{awkward_double(rng)};
+        break;
+      case 1:
+        rec.observation = HopSampleObservation{
+            static_cast<HopIndex>(rng.uniform_int(1u << 20)),
+            awkward_double(rng)};
+        break;
+      case 2:
+        rec.observation = PathDigestObservation{
+            static_cast<unsigned>(rng.uniform_int(32)),
+            static_cast<unsigned>(rng.uniform_int(32)), rng.bernoulli(0.5)};
+        break;
+      default: {
+        rec.path_event = true;
+        const std::size_t hops = rng.uniform_int(12);
+        for (std::size_t h = 0; h < hops; ++h) {
+          rec.path.push_back(static_cast<SwitchId>(rng.next()));
+        }
+        break;
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> encode_all(
+    const std::vector<StreamRecord>& records) {
+  ReportEncoder enc;
+  for (const StreamRecord& rec : records) {
+    if (rec.path_event) {
+      enc.add_path(rec.ctx, rec.query, rec.path);
+    } else {
+      enc.add(rec.ctx, rec.query, rec.observation);
+    }
+  }
+  return enc.finish();
+}
+
+TEST(ReportCodec, RandomizedRoundTripIsExact) {
+  Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<StreamRecord> want =
+        random_records(rng, 1 + rng.uniform_int(200));
+    const std::vector<std::uint8_t> bytes = encode_all(want);
+
+    ReportDecoder dec;
+    std::vector<StreamRecord> got;
+    ASSERT_TRUE(dec.decode(bytes, got)) << "trial " << trial;
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_equal(got[i], want[i]);
+    }
+  }
+}
+
+TEST(ReportCodec, EncoderResetsBetweenEpochsAndDecoderInternsNames) {
+  SinkContext ctx;
+  ctx.packet_id = 7;
+  ReportEncoder enc;
+  enc.add(ctx, "latency", AggregateObservation{1.0});
+  const auto first = enc.finish();
+  EXPECT_EQ(enc.records(), 0u);
+  enc.add(ctx, "latency", AggregateObservation{2.0});
+  enc.add(ctx, "path", AggregateObservation{3.0});
+  const auto second = enc.finish();
+
+  ReportDecoder dec;
+  std::vector<StreamRecord> records;
+  ASSERT_TRUE(dec.decode(first, records));
+  ASSERT_TRUE(dec.decode(second, records));
+  ASSERT_EQ(records.size(), 3u);
+  // Interning: the same name from two buffers is one stable string, so
+  // views from different epochs compare equal and point at one storage.
+  EXPECT_EQ(records[0].query, records[1].query);
+  EXPECT_EQ(records[0].query.data(), records[1].query.data());
+}
+
+TEST(ReportCodec, SinkReportEntriesEncodeUnderOnePacketContext) {
+  SinkReport report;
+  report.add("path", PathDigestObservation{3, 5, false});
+  report.add("latency", HopSampleObservation{2, 123.5});
+  report.add("hpcc", AggregateObservation{0.75});
+  ReportEncoder enc;
+  enc.add(/*packet=*/42, /*k=*/5, report);
+
+  ReportDecoder dec;
+  std::vector<StreamRecord> records;
+  ASSERT_TRUE(dec.decode(enc.finish(), records));
+  ASSERT_EQ(records.size(), 3u);
+  for (const StreamRecord& rec : records) {
+    EXPECT_EQ(rec.ctx.packet_id, 42u);
+    EXPECT_EQ(rec.ctx.flow, 0u);  // reports carry no per-query flow keys
+    EXPECT_EQ(rec.ctx.path_length, 5u);
+  }
+  EXPECT_EQ(records[0].query, "path");
+  EXPECT_EQ(records[1].query, "latency");
+  EXPECT_EQ(records[2].query, "hpcc");
+}
+
+TEST(ReportCodec, RejectsMalformedInput) {
+  Rng rng(0xBAD);
+  const std::vector<StreamRecord> want = random_records(rng, 40);
+  const std::vector<std::uint8_t> bytes = encode_all(want);
+
+  ReportDecoder dec;
+  std::vector<StreamRecord> out;
+
+  // Empty and bad-magic buffers.
+  EXPECT_FALSE(dec.decode({}, out));
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(dec.decode(bad_magic, out));
+
+  // Every strict prefix is truncated somewhere; none may parse.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        dec.decode(std::span<const std::uint8_t>(bytes.data(), len), out))
+        << "prefix " << len;
+  }
+
+  // Trailing garbage is rejected too (buffers are framed externally).
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(dec.decode(padded, out));
+
+  EXPECT_TRUE(out.empty());  // failures must not emit partial records
+  ASSERT_TRUE(dec.decode(bytes, out));  // the pristine buffer still parses
+  EXPECT_EQ(out.size(), want.size());
+}
+
+}  // namespace
+}  // namespace pint

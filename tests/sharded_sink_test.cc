@@ -1,0 +1,240 @@
+// ShardedSink: the multi-threaded Recording Module must be externally
+// indistinguishable from the single-threaded sink. The load-bearing check is
+// byte-identical merged SinkReport streams for the paper's three-query mix
+// (Section 6.4) at several shard counts, plus merged-inference equality and
+// the flow-partition rules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "pint/framework.h"
+#include "pint/report_codec.h"
+#include "pint/sharded_sink.h"
+
+namespace pint {
+namespace {
+
+constexpr unsigned kHops = 5;
+constexpr std::size_t kFlows = 120;
+constexpr std::size_t kPacketsPerFlow = 24;
+
+PintFramework::Builder three_query_builder() {
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = kHops;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e6;
+  PerPacketConfig cc_tuning;
+  cc_tuning.eps = 0.025;
+  cc_tuning.max_value = 1e6;
+  std::vector<std::uint64_t> universe;
+  for (std::uint64_t s = 1; s <= 32; ++s) universe.push_back(s);
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .seed(0xC0FFEE)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    15.0 / 16.0, latency_tuning))
+      .add_query(make_perpacket_query(
+          "hpcc", std::string(extractor::kLinkUtilization), 8, 1.0 / 16.0,
+          cc_tuning));
+  return builder;
+}
+
+FiveTuple tuple_of_flow(std::size_t flow) {
+  FiveTuple t;
+  t.src_ip = 0x0A000000u + static_cast<std::uint32_t>(flow % 7);
+  t.dst_ip = 0x0B000000u + static_cast<std::uint32_t>(flow % 11);
+  t.src_port = static_cast<std::uint16_t>(1000 + flow);
+  t.dst_port = 80;
+  return t;
+}
+
+// kFlows flows, each with a fixed kHops-switch path, interleaved round-robin
+// (packet j of every flow, then packet j+1) — the order a real sink would
+// see concurrent flows in. Digests are encoded by a dedicated "network"
+// framework replica.
+std::vector<Packet> make_encoded_traffic() {
+  const auto network = three_query_builder().build_or_throw();
+  std::vector<Packet> packets;
+  packets.reserve(kFlows * kPacketsPerFlow);
+  PacketId next_id = 1;
+  for (std::size_t j = 0; j < kPacketsPerFlow; ++j) {
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      Packet p;
+      p.id = next_id++;
+      p.tuple = tuple_of_flow(f);
+      packets.push_back(std::move(p));
+    }
+  }
+  for (Packet& p : packets) {
+    const std::size_t f = (p.id - 1) % kFlows;
+    for (HopIndex i = 1; i <= kHops; ++i) {
+      // Flow f's path: switches f%8+1 .. f%8+kHops (within the universe).
+      SwitchView view(static_cast<SwitchId>(f % 8 + i));
+      view.set(metric::kHopLatencyNs, 100.0 * i + static_cast<double>(f));
+      view.set(metric::kLinkUtilization, 0.1 * i + 0.01 * (f % 10));
+      network->at_switch(p, i, view);
+    }
+  }
+  return packets;
+}
+
+// The merged report stream, canonicalized to bytes: submission order, one
+// report per packet.
+std::vector<std::uint8_t> stream_bytes(std::span<const Packet> packets,
+                                       std::span<const SinkReport> reports) {
+  ReportEncoder enc;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    enc.add(packets[i].id, kHops, reports[i]);
+  }
+  return enc.finish();
+}
+
+struct CountingObserver : SinkObserver {
+  std::atomic<std::uint64_t> observations{0};
+  std::atomic<std::uint64_t> paths_decoded{0};
+
+  void on_observation(const SinkContext&, std::string_view,
+                      const Observation&) override {
+    ++observations;
+  }
+  void on_path_decoded(const SinkContext&, std::string_view,
+                       const std::vector<SwitchId>&) override {
+    ++paths_decoded;
+  }
+};
+
+TEST(ShardedSink, MergedReportsByteIdenticalToSingleThreaded) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  const auto builder = three_query_builder();
+
+  // Single-threaded reference.
+  const auto baseline = builder.build_or_throw();
+  std::vector<SinkReport> base_reports(packets.size());
+  baseline->at_sink(std::span<const Packet>(packets), kHops, base_reports);
+  const std::vector<std::uint8_t> base_bytes =
+      stream_bytes(packets, base_reports);
+  ASSERT_FALSE(base_bytes.empty());
+
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    ShardedSink sink(builder, shards);
+    EXPECT_EQ(sink.partition_definition(), FlowDefinition::kFiveTuple);
+    std::vector<SinkReport> reports(packets.size());
+    // Submit in several batches to exercise the queue, not one giant span.
+    const std::size_t half = packets.size() / 2;
+    sink.submit(std::span<const Packet>(packets.data(), half), kHops,
+                std::span<SinkReport>(reports.data(), half));
+    sink.submit(
+        std::span<const Packet>(packets.data() + half, packets.size() - half),
+        kHops, std::span<SinkReport>(reports.data() + half,
+                                     packets.size() - half));
+    sink.flush();
+    EXPECT_EQ(sink.packets_processed(), packets.size());
+    EXPECT_EQ(stream_bytes(packets, reports), base_bytes)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardedSink, MergedInferenceMatchesSingleThreaded) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  const auto builder = three_query_builder();
+
+  const auto baseline = builder.build_or_throw();
+  baseline->at_sink(std::span<const Packet>(packets), kHops);
+
+  ShardedSink sink(builder, 4);
+  sink.submit(packets, kHops);
+  sink.flush();
+
+  std::size_t paths_checked = 0;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    const FiveTuple tuple = tuple_of_flow(f);
+    const std::uint64_t fkey = baseline->flow_key_for("path", tuple);
+    EXPECT_EQ(sink.path_progress("path", tuple),
+              baseline->path_progress("path", fkey));
+    const auto base_path = baseline->flow_path("path", fkey);
+    const auto sharded_path = sink.flow_path("path", tuple);
+    EXPECT_EQ(sharded_path, base_path);
+    if (base_path.has_value()) ++paths_checked;
+    for (HopIndex hop = 1; hop <= kHops; ++hop) {
+      EXPECT_EQ(sink.latency_quantile("latency", tuple, hop, 0.5),
+                baseline->latency_quantile(
+                    "latency", baseline->flow_key_for("latency", tuple), hop,
+                    0.5));
+    }
+  }
+  // With 24 packets over a 5-hop path, most flows must fully decode.
+  EXPECT_GT(paths_checked, kFlows / 2);
+}
+
+TEST(ShardedSink, SerializedObserversSeeEveryEvent) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  const auto builder = three_query_builder();
+
+  const auto baseline = builder.build_or_throw();
+  CountingObserver reference;
+  baseline->add_observer(&reference);
+  baseline->at_sink(std::span<const Packet>(packets), kHops);
+
+  ShardedSink sink(builder, 4);
+  CountingObserver counter;
+  sink.add_observer(&counter);
+  sink.submit(packets, kHops);
+  sink.flush();
+
+  EXPECT_EQ(counter.observations.load(), reference.observations.load());
+  EXPECT_EQ(counter.paths_decoded.load(), reference.paths_decoded.load());
+}
+
+TEST(ShardedSink, PartitionUsesCoarsestFlowDefinition) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec by_source = make_dynamic_query(
+      "per_source", std::string(extractor::kHopLatency), 8, 1.0, tuning);
+  by_source.query.flow_definition = FlowDefinition::kSourceIp;
+  std::vector<std::uint64_t> universe{1, 2, 3, 4};
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0))
+      .add_query(by_source);
+
+  ShardedSink sink(builder, 4);
+  EXPECT_EQ(sink.partition_definition(), FlowDefinition::kSourceIp);
+  // Flows sharing a source must land on one shard, whatever the rest of the
+  // tuple says — otherwise the per-source recorder state would split.
+  FiveTuple a = tuple_of_flow(1);
+  FiveTuple b = tuple_of_flow(2);
+  b.src_ip = a.src_ip;
+  EXPECT_EQ(sink.shard_of(a), sink.shard_of(b));
+}
+
+TEST(ShardedSink, RejectsUnpartitionableQueryMix) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec by_source = make_dynamic_query(
+      "per_source", std::string(extractor::kHopLatency), 8, 0.5, tuning);
+  by_source.query.flow_definition = FlowDefinition::kSourceIp;
+  QuerySpec by_dest = make_dynamic_query(
+      "per_dest", std::string(extractor::kQueueOccupancy), 8, 0.5, tuning);
+  by_dest.query.flow_definition = FlowDefinition::kDestinationIp;
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16).add_query(by_source).add_query(by_dest);
+
+  EXPECT_THROW(ShardedSink(builder, 2), std::invalid_argument);
+  EXPECT_NO_THROW(ShardedSink(builder, 1));  // one shard: nothing to split
+}
+
+TEST(ShardedSink, RejectsZeroShardsAndBadBuilder) {
+  EXPECT_THROW(ShardedSink(three_query_builder(), 0), std::invalid_argument);
+  PintFramework::Builder empty;
+  EXPECT_THROW(ShardedSink(empty, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pint

@@ -12,7 +12,7 @@
 namespace pint {
 namespace {
 
-// --- recording store ----------------------------------------------------------
+// --- recording store ---------------------------------------------------------
 
 struct FakeState {
   std::uint64_t flow = 0;
@@ -86,7 +86,7 @@ TEST(RecordingStore, ManyFlowsChurn) {
   EXPECT_EQ(store.find(0), nullptr);
 }
 
-// --- INT spec -------------------------------------------------------------------
+// --- INT spec ----------------------------------------------------------------
 
 TEST(IntSpec, BitmapAndValueCount) {
   IntInstructionHeader h;
@@ -145,7 +145,7 @@ TEST(IntSpec, OverheadMatchesSection2Numbers) {
   EXPECT_EQ(p5.wire_bytes(), 108);
 }
 
-// --- LT codes --------------------------------------------------------------------
+// --- LT codes ----------------------------------------------------------------
 
 TEST(LtCode, SolitonCdfIsMonotoneAndComplete) {
   RobustSoliton rs(50);

@@ -14,10 +14,12 @@ using namespace pint::bench;
 
 namespace {
 
+bool g_smoke = false;
+
 HarnessResult run_overhead(double load, Bytes overhead, std::uint64_t seed) {
   HarnessConfig hc;
   hc.load = load;
-  hc.traffic_duration = 15 * kMilli;
+  hc.traffic_duration = (g_smoke ? 1 : 15) * kMilli;
   hc.drain_horizon = 500 * kMilli;
   hc.fat_tree_k = 4;
   hc.seed = seed;
@@ -32,10 +34,14 @@ HarnessResult run_overhead(double load, Bytes overhead, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_smoke = bench::smoke_mode(argc, argv);
   const Bytes kLongFlow = 5'000'000;
-  const std::vector<std::uint64_t> seeds{42, 43, 44};
+  const std::vector<std::uint64_t> seeds =
+      g_smoke ? std::vector<std::uint64_t>{42}
+              : std::vector<std::uint64_t>{42, 43, 44};
   bench::header("Figs. 1 & 2 | normalized FCT / long-flow goodput vs overhead");
+  if (g_smoke) bench::note_smoke();
   bench::row("%-10s %-6s | %-12s %-14s | %-12s %-16s", "overhead", "load",
              "avg FCT", "FCT (norm)", "goodput", "goodput (norm)");
   for (double load : {0.3, 0.7}) {

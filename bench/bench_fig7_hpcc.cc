@@ -14,11 +14,13 @@ using namespace pint::bench;
 
 namespace {
 
+bool g_smoke = false;
+
 HarnessResult run_hpcc(TelemetryMode mode, const FlowSizeDist& dist,
                        double load, std::uint64_t seed) {
   HarnessConfig hc;
   hc.load = load;
-  hc.traffic_duration = 12 * kMilli;
+  hc.traffic_duration = (g_smoke ? 1 : 12) * kMilli;
   hc.drain_horizon = 500 * kMilli;
   hc.fat_tree_k = 4;
   hc.seed = seed;
@@ -54,8 +56,10 @@ void slowdown_table(const char* title, const FlowSizeDist& dist,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_smoke = bench::smoke_mode(argc, argv);
   bench::header("Fig. 7a | large-flow goodput gain of PINT over INT vs load");
+  if (g_smoke) bench::note_smoke();
   bench::row("%-8s | %-14s %-14s %-10s", "load", "INT [Gbps]", "PINT [Gbps]",
              "gain");
   const Bytes kLarge = 2'000'000;

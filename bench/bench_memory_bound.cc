@@ -1,0 +1,213 @@
+// Bounded-memory Recording Module under a heavy-tailed workload: a
+// million-flow Zipf packet stream (a few elephants carry most packets,
+// mice appear once or twice) decoded through frameworks built with several
+// memory ceilings. For each ceiling the harness reports
+//   * sink decode throughput (the eviction machinery's hot-path cost),
+//   * Recording-Module occupancy: resident flows, used/peak bytes,
+//     evictions — and checks the accounting invariant that peak usage
+//     never exceeds the ceiling by more than one entry,
+//   * re-decode accuracy: the fraction of the top-100 elephant flows whose
+//     full path still decodes, even though mice churn keeps evicting idle
+//     state (the paper's "one mostly cares about tracing large flows").
+// Run with --smoke (or PINT_BENCH_SMOKE=1) for the tiny CI configuration.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "pint/framework.h"
+#include "workload/zipf.h"
+
+namespace pint {
+namespace {
+
+constexpr unsigned kHops = 5;
+constexpr std::size_t kChunk = 8192;
+constexpr double kZipfS = 1.05;
+constexpr std::size_t kTopElephants = 100;
+
+struct RunConfig {
+  std::size_t flows = 0;
+  std::size_t packets = 0;
+  std::vector<std::size_t> ceilings;  // 0 = unbounded
+};
+
+PintFramework::Builder mix_builder(std::size_t memory_ceiling) {
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = kHops;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e8;
+  PerPacketConfig cc_tuning;
+  cc_tuning.eps = 0.025;
+  cc_tuning.max_value = 1e6;
+  std::vector<std::uint64_t> universe;
+  for (std::uint64_t s = 1; s <= 64; ++s) universe.push_back(s);
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .seed(0x5CA1E)
+      .memory_ceiling_bytes(memory_ceiling)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    15.0 / 16.0, latency_tuning))
+      .add_query(make_perpacket_query(
+          "hpcc", std::string(extractor::kLinkUtilization), 8, 1.0 / 16.0,
+          cc_tuning));
+  return builder;
+}
+
+FiveTuple tuple_of_flow(std::size_t flow) {
+  FiveTuple t;
+  t.src_ip = 0x0A000000u + static_cast<std::uint32_t>(flow);
+  t.dst_ip = 0x0B000000u + static_cast<std::uint32_t>(flow);
+  t.src_port = static_cast<std::uint16_t>(flow);
+  t.dst_port = 443;
+  return t;
+}
+
+struct RunResult {
+  double decode_seconds = 0.0;
+  MemoryReport memory;
+  double elephant_decode_rate = 0.0;
+  bool peak_ok = true;
+};
+
+// Streams `cfg.packets` Zipf-popular packets through a fresh framework
+// built with `ceiling`, in chunks (encode with a network replica, then
+// time only the sink's batched decode). The Rng seed is fixed, so every
+// ceiling sees the identical packet stream.
+RunResult run_ceiling(const RunConfig& cfg, std::size_t ceiling) {
+  const auto network = mix_builder(0).build_or_throw();
+  const auto sink = mix_builder(ceiling).build_or_throw();
+  Rng rng(0x2F10C5);
+  const ZipfDist zipf(cfg.flows, kZipfS);
+  std::vector<std::uint32_t> counts(cfg.flows, 0);
+  std::vector<Packet> batch(kChunk);
+  RunResult out;
+
+  PacketId next_id = 1;
+  std::size_t remaining = cfg.packets;
+  while (remaining > 0) {
+    const std::size_t n = std::min(kChunk, remaining);
+    remaining -= n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t f =
+          static_cast<std::size_t>(zipf.sample(rng)) - 1;
+      ++counts[f];
+      Packet& p = batch[i];
+      p.id = next_id++;
+      p.tuple = tuple_of_flow(f);
+      p.digests.clear();  // reused buffer: force fresh lane sizing
+      p.hops_traversed = 0;
+      for (HopIndex hop = 1; hop <= kHops; ++hop) {
+        SwitchView view(static_cast<SwitchId>((f + hop) % 64 + 1));
+        view.set(metric::kHopLatencyNs,
+                 500.0 * hop + static_cast<double>(f % 97));
+        view.set(metric::kLinkUtilization, 0.05 * hop);
+        network->at_switch(p, hop, view);
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    sink->at_sink(std::span<const Packet>(batch.data(), n), kHops);
+    out.decode_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  out.memory = sink->memory_report();
+  for (const QueryMemoryStats& q : out.memory) {
+    if (q.capacity_bytes > 0 &&
+        q.peak_used_bytes > q.capacity_bytes + q.max_entry_bytes) {
+      out.peak_ok = false;
+    }
+  }
+
+  // Re-decode accuracy over the top elephants by true packet count.
+  std::vector<std::size_t> ranks(cfg.flows);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  const std::size_t top = std::min(kTopElephants, cfg.flows);
+  std::partial_sort(ranks.begin(), ranks.begin() + top, ranks.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return counts[a] > counts[b];
+                    });
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < top; ++i) {
+    const std::uint64_t fkey =
+        sink->flow_key_for("path", tuple_of_flow(ranks[i]));
+    if (sink->flow_path("path", fkey).has_value()) ++decoded;
+  }
+  out.elephant_decode_rate =
+      static_cast<double>(decoded) / static_cast<double>(top);
+  return out;
+}
+
+}  // namespace
+}  // namespace pint
+
+int main(int argc, char** argv) {
+  using namespace pint;
+  const bool smoke = bench::smoke_mode(argc, argv);
+  RunConfig cfg;
+  if (smoke) {
+    cfg.flows = 2000;
+    cfg.packets = 10000;
+    cfg.ceilings = {0, 512u << 10, 128u << 10};
+  } else {
+    cfg.flows = 1'000'000;
+    cfg.packets = 4'000'000;
+    // Unbounded is omitted: a million resident decoders+recorders is
+    // multiple GB — exactly the OOM this module exists to prevent.
+    cfg.ceilings = {64u << 20, 16u << 20, 4u << 20};
+  }
+
+  bench::header(
+      "Bounded-memory Recording Module — Zipf flow churn vs ceiling\n"
+      "(three-query mix; decode throughput, occupancy/evictions, and\n"
+      "top-100 elephant path re-decode rate at each memory ceiling)");
+  if (smoke) bench::note_smoke();
+  std::printf("traffic: %zu flows, %zu packets, Zipf s=%.2f, k=%u\n\n",
+              cfg.flows, cfg.packets, kZipfS, kHops);
+  bench::row("%-12s %11s %9s %9s %9s %10s %9s %6s", "ceiling", "Mpkts/s",
+             "resident", "used MB", "peak MB", "evictions", "top100", "peak");
+
+  const double mpkts = static_cast<double>(cfg.packets) / 1e6;
+  bool all_ok = true;
+  for (const std::size_t ceiling : cfg.ceilings) {
+    const RunResult r = run_ceiling(cfg, ceiling);
+    all_ok = all_ok && r.peak_ok;
+    char label[32];
+    if (ceiling == 0) {
+      std::snprintf(label, sizeof label, "unbounded");
+    } else if (ceiling >= (1u << 20)) {
+      std::snprintf(label, sizeof label, "%zu MiB", ceiling >> 20);
+    } else {
+      std::snprintf(label, sizeof label, "%zu KiB", ceiling >> 10);
+    }
+    std::size_t peak = 0;
+    for (const QueryMemoryStats& q : r.memory) peak += q.peak_used_bytes;
+    bench::row("%-12s %11.2f %9llu %9.1f %9.1f %10llu %8.0f%% %6s", label,
+               mpkts / r.decode_seconds,
+               static_cast<unsigned long long>(r.memory.total.flows),
+               static_cast<double>(r.memory.total.used_bytes) / (1 << 20),
+               static_cast<double>(peak) / (1 << 20),
+               static_cast<unsigned long long>(r.memory.total.evictions),
+               100.0 * r.elephant_decode_rate, r.peak_ok ? "ok" : "FAIL");
+  }
+  std::printf(
+      "\npeak column checks peak_used <= ceiling + one entry per store;\n"
+      "top100 = fraction of the 100 largest flows with a fully decoded "
+      "path.\n");
+  if (!all_ok) {
+    std::printf("FAIL: a store exceeded its ceiling by more than one "
+                "entry\n");
+    return 1;
+  }
+  return 0;
+}

@@ -20,8 +20,8 @@ namespace pint {
 namespace {
 
 constexpr unsigned kHops = 5;
-constexpr std::size_t kFlows = 16384;
-constexpr std::size_t kPacketsPerFlow = 16;
+std::size_t kFlows = 16384;      // shrunk in smoke mode
+std::size_t kPacketsPerFlow = 16;
 constexpr std::size_t kSubmitBatch = 8192;
 
 PintFramework::Builder mix_builder() {
@@ -107,12 +107,17 @@ double time_sharded(const PintFramework::Builder& builder,
 }  // namespace
 }  // namespace pint
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pint;
+  const bool smoke = bench::smoke_mode(argc, argv);
+  if (smoke) {
+    kFlows = 1024;  // packets-per-flow stays 16 so the decode gate holds
+  }
   bench::header(
       "Sharded sink scaling — Recording Module decode throughput\n"
       "(three-query mix, 16-bit budget; merged results verified identical\n"
       "to the single-threaded sink before timing)");
+  if (smoke) bench::note_smoke();
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
 

@@ -5,10 +5,31 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pint::bench {
+
+// True when the harness should run its tiny CI smoke configuration
+// (`--smoke` on the command line, or PINT_BENCH_SMOKE=1 in the
+// environment): a fraction of the full workload, finishing in seconds —
+// just enough for CI to catch bit-rot in the bench code paths. Statistical
+// conclusions from smoke runs are meaningless; every bench prints a note
+// when smoke mode is active.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  const char* env = std::getenv("PINT_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+// Standard banner so smoke-mode output is unmistakable in CI logs.
+inline void note_smoke() {
+  std::printf("[smoke mode: tiny workload, results not meaningful]\n");
+}
 
 inline void header(const std::string& title) {
   std::printf(

@@ -64,8 +64,12 @@ double LatencyAnomalyDetector::baseline_mean(HopIndex hop) const {
 }
 
 AnomalyObserver::AnomalyObserver(std::string latency_query,
-                                 AnomalyConfig config)
-    : query_(std::move(latency_query)), config_(config) {}
+                                 AnomalyConfig config,
+                                 std::size_t memory_ceiling_bytes)
+    : query_(std::move(latency_query)), config_(config),
+      detectors_(memory_ceiling_bytes, [](const LatencyAnomalyDetector& d) {
+        return d.approx_bytes();
+      }) {}
 
 void AnomalyObserver::on_observation(const SinkContext& ctx,
                                      std::string_view query,
@@ -73,15 +77,11 @@ void AnomalyObserver::on_observation(const SinkContext& ctx,
   if (query != query_ || ctx.path_length == 0) return;
   const auto* sample = std::get_if<HopSampleObservation>(&obs);
   if (sample == nullptr) return;
-  auto it = detectors_.find(ctx.flow);
-  if (it == detectors_.end()) {
-    it = detectors_
-             .emplace(ctx.flow,
-                      LatencyAnomalyDetector(ctx.path_length, config_))
-             .first;
-  }
   if (sample->hop == 0 || sample->hop > ctx.path_length) return;
-  if (const auto event = it->second.add(sample->hop, sample->value)) {
+  LatencyAnomalyDetector& detector = detectors_.touch(ctx.flow, [&] {
+    return LatencyAnomalyDetector(ctx.path_length, config_);
+  });
+  if (const auto event = detector.add(sample->hop, sample->value)) {
     events_.push_back(FlowAnomaly{ctx.flow, *event});
   }
 }

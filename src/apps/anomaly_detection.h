@@ -13,10 +13,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "pint/recording_store.h"
 #include "pint/sink_report.h"
 
 namespace pint {
@@ -41,6 +41,11 @@ class LatencyAnomalyDetector {
 
   double baseline_mean(HopIndex hop) const;
 
+  /// Approximate footprint (for RecordingStore accounting).
+  std::size_t approx_bytes() const {
+    return sizeof(*this) + hops_.capacity() * sizeof(HopState);
+  }
+
  private:
   struct HopState {
     std::size_t n = 0;
@@ -61,13 +66,15 @@ class LatencyAnomalyDetector {
 /// Subscribes per-flow anomaly detection to a PintFramework: every dynamic
 /// per-flow sample of `latency_query` feeds a per-flow CUSUM detector (sized
 /// to the flow's path length on first sight); fired events accumulate in
-/// events(). Not internally synchronized — in a sharded/fan-in deployment
-/// subscribe via ShardedSink::add_observer or a FanInCollector, both of
-/// which serialize delivery.
+/// events(). `memory_ceiling_bytes` bounds the detectors in an LRU
+/// RecordingStore (0 = unbounded): least-recently-sampled flows are evicted
+/// and re-baseline from scratch if they return. Not internally synchronized
+/// — in a sharded/fan-in deployment subscribe via ShardedSink::add_observer
+/// or a FanInCollector, both of which serialize delivery.
 class AnomalyObserver : public SinkObserver {
  public:
-  explicit AnomalyObserver(std::string latency_query,
-                           AnomalyConfig config = {});
+  explicit AnomalyObserver(std::string latency_query, AnomalyConfig config = {},
+                           std::size_t memory_ceiling_bytes = 0);
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override;
@@ -77,12 +84,15 @@ class AnomalyObserver : public SinkObserver {
     AnomalyEvent event;
   };
   const std::vector<FlowAnomaly>& events() const { return events_; }
-  std::size_t flows_tracked() const { return detectors_.size(); }
+  std::size_t flows_tracked() const { return detectors_.flows(); }
+  const RecordingStore<LatencyAnomalyDetector>& detectors() const {
+    return detectors_;
+  }
 
  private:
   std::string query_;
   AnomalyConfig config_;
-  std::unordered_map<std::uint64_t, LatencyAnomalyDetector> detectors_;
+  RecordingStore<LatencyAnomalyDetector> detectors_;
   std::vector<FlowAnomaly> events_;
 };
 

@@ -84,10 +84,12 @@ std::vector<SwitchId> LoadAnalyzer::sleep_candidates(
 }
 
 LoadObserver::LoadObserver(LoadAnalyzer& analyzer, std::string util_query,
-                           std::string path_query)
+                           std::string path_query,
+                           std::size_t memory_ceiling_bytes)
     : analyzer_(analyzer),
       util_query_(std::move(util_query)),
-      path_query_(std::move(path_query)) {}
+      path_query_(std::move(path_query)),
+      paths_(memory_ceiling_bytes, vector_entry_bytes<SwitchId>) {}
 
 void LoadObserver::on_observation(const SinkContext& ctx,
                                   std::string_view query,
@@ -95,20 +97,21 @@ void LoadObserver::on_observation(const SinkContext& ctx,
   if (query != util_query_) return;
   const auto* sample = std::get_if<HopSampleObservation>(&obs);
   if (sample == nullptr) return;
-  auto it = paths_.find(ctx.flow);
-  if (it == paths_.end() || sample->hop == 0 ||
-      sample->hop > it->second.size()) {
+  // refresh(): attributing a sample keeps the flow's path resident under a
+  // memory ceiling; unknown (or evicted) flows stay unattributed.
+  const std::vector<SwitchId>* path = paths_.refresh(ctx.flow);
+  if (path == nullptr || sample->hop == 0 || sample->hop > path->size()) {
     ++unattributed_;
     return;
   }
-  analyzer_.add(it->second[sample->hop - 1], sample->value);
+  analyzer_.add((*path)[sample->hop - 1], sample->value);
 }
 
 void LoadObserver::on_path_decoded(const SinkContext& ctx,
                                    std::string_view query,
                                    const std::vector<SwitchId>& path) {
   if (query != path_query_) return;
-  paths_[ctx.flow] = path;
+  paths_.put(ctx.flow, path);
 }
 
 }  // namespace pint

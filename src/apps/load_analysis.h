@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "pint/recording_store.h"
 #include "pint/sink_report.h"
 #include "sketch/kll.h"
 
@@ -68,13 +69,16 @@ class LoadAnalyzer {
 /// `path_query` teach the observer each flow's hop->switch mapping; dynamic
 /// per-flow samples of `util_query` (a utilization metric) are then re-keyed
 /// to the switch that produced them. Samples arriving before the flow's path
-/// decodes are counted in unattributed(). Both queries must use the same
-/// flow definition. Not internally synchronized — in a sharded/fan-in
-/// deployment subscribe via ShardedSink::add_observer or a FanInCollector.
+/// decodes are counted in unattributed(). `memory_ceiling_bytes` bounds the
+/// flow->path registry in an LRU RecordingStore (0 = unbounded); samples of
+/// evicted flows count as unattributed until the path decodes again. Both
+/// queries must use the same flow definition. Not internally synchronized —
+/// in a sharded/fan-in deployment subscribe via ShardedSink::add_observer or
+/// a FanInCollector.
 class LoadObserver : public SinkObserver {
  public:
   LoadObserver(LoadAnalyzer& analyzer, std::string util_query,
-               std::string path_query);
+               std::string path_query, std::size_t memory_ceiling_bytes = 0);
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override;
@@ -82,12 +86,15 @@ class LoadObserver : public SinkObserver {
                        const std::vector<SwitchId>& path) override;
 
   std::size_t unattributed() const { return unattributed_; }
+  const RecordingStore<std::vector<SwitchId>>& path_store() const {
+    return paths_;
+  }
 
  private:
   LoadAnalyzer& analyzer_;
   std::string util_query_;
   std::string path_query_;
-  std::unordered_map<std::uint64_t, std::vector<SwitchId>> paths_;
+  RecordingStore<std::vector<SwitchId>> paths_;
   std::size_t unattributed_ = 0;
 };
 

@@ -48,8 +48,12 @@ double MicroburstDetector::baseline_median(HopIndex hop) const {
 
 MicroburstObserver::MicroburstObserver(std::string queue_query,
                                        MicroburstConfig config,
-                                       std::uint64_t seed)
-    : query_(std::move(queue_query)), config_(config), seed_(seed) {}
+                                       std::uint64_t seed,
+                                       std::size_t memory_ceiling_bytes)
+    : query_(std::move(queue_query)), config_(config), seed_(seed),
+      detectors_(memory_ceiling_bytes, [](const MicroburstDetector& d) {
+        return d.approx_bytes();
+      }) {}
 
 void MicroburstObserver::on_observation(const SinkContext& ctx,
                                         std::string_view query,
@@ -58,14 +62,10 @@ void MicroburstObserver::on_observation(const SinkContext& ctx,
   const auto* sample = std::get_if<HopSampleObservation>(&obs);
   if (sample == nullptr) return;
   if (sample->hop == 0 || sample->hop > ctx.path_length) return;
-  auto it = detectors_.find(ctx.flow);
-  if (it == detectors_.end()) {
-    it = detectors_
-             .emplace(ctx.flow, MicroburstDetector(ctx.path_length, config_,
-                                                   seed_ ^ ctx.flow))
-             .first;
-  }
-  if (const auto event = it->second.add(sample->hop, sample->value)) {
+  MicroburstDetector& detector = detectors_.touch(ctx.flow, [&] {
+    return MicroburstDetector(ctx.path_length, config_, seed_ ^ ctx.flow);
+  });
+  if (const auto event = detector.add(sample->hop, sample->value)) {
     events_.push_back(FlowBurst{ctx.flow, *event});
   }
 }

@@ -11,10 +11,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "pint/recording_store.h"
 #include "pint/sink_report.h"
 #include "sketch/kll.h"
 #include "sketch/sliding_window.h"
@@ -47,6 +47,15 @@ class MicroburstDetector {
   double baseline_median(HopIndex hop) const;
   std::size_t samples(HopIndex hop) const { return counts_.at(hop - 1); }
 
+  /// Approximate footprint (for RecordingStore accounting).
+  std::size_t approx_bytes() const {
+    std::size_t bytes =
+        sizeof(*this) + counts_.capacity() * sizeof(std::size_t);
+    for (const KllSketch& sketch : baseline_) bytes += sketch.size_bytes();
+    for (const SlidingWindowQuantiles& win : recent_) bytes += win.size_bytes();
+    return bytes;
+  }
+
  private:
   MicroburstConfig config_;
   std::vector<KllSketch> baseline_;
@@ -57,13 +66,16 @@ class MicroburstDetector {
 /// Subscribes microburst detection to a PintFramework: every dynamic
 /// per-flow sample of `queue_query` (queue occupancy) feeds a per-flow
 /// detector sized to the flow's path length; fired events accumulate in
-/// events(). Not internally synchronized — in a sharded/fan-in deployment
-/// subscribe via ShardedSink::add_observer or a FanInCollector.
+/// events(). `memory_ceiling_bytes` bounds the detectors in an LRU
+/// RecordingStore (0 = unbounded); evicted flows restart their baselines if
+/// they return. Not internally synchronized — in a sharded/fan-in
+/// deployment subscribe via ShardedSink::add_observer or a FanInCollector.
 class MicroburstObserver : public SinkObserver {
  public:
   explicit MicroburstObserver(std::string queue_query,
                               MicroburstConfig config = {},
-                              std::uint64_t seed = 0xB0257);
+                              std::uint64_t seed = 0xB0257,
+                              std::size_t memory_ceiling_bytes = 0);
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override;
@@ -73,13 +85,16 @@ class MicroburstObserver : public SinkObserver {
     MicroburstEvent event;
   };
   const std::vector<FlowBurst>& events() const { return events_; }
-  std::size_t flows_tracked() const { return detectors_.size(); }
+  std::size_t flows_tracked() const { return detectors_.flows(); }
+  const RecordingStore<MicroburstDetector>& detectors() const {
+    return detectors_;
+  }
 
  private:
   std::string query_;
   MicroburstConfig config_;
   std::uint64_t seed_;
-  std::unordered_map<std::uint64_t, MicroburstDetector> detectors_;
+  RecordingStore<MicroburstDetector> detectors_;
   std::vector<FlowBurst> events_;
 };
 

@@ -8,17 +8,19 @@ namespace pint {
 
 void QueueTomography::register_flow(std::uint64_t flow_key,
                                     std::vector<SwitchId> path) {
-  flows_[flow_key] = std::move(path);
+  flows_.put(flow_key, std::move(path));
 }
 
 void QueueTomography::add_sample(std::uint64_t flow_key, HopIndex hop,
                                  double queue_depth) {
-  auto fit = flows_.find(flow_key);
-  if (fit == flows_.end() || hop == 0 || hop > fit->second.size()) {
+  // refresh(): an actively-sampling flow keeps its path resident under a
+  // memory ceiling, but an unknown (or evicted) flow is never re-created.
+  const std::vector<SwitchId>* path = flows_.refresh(flow_key);
+  if (path == nullptr || hop == 0 || hop > path->size()) {
     ++dropped_;
     return;
   }
-  const SwitchId sid = fit->second[hop - 1];
+  const SwitchId sid = (*path)[hop - 1];
   auto it = switches_.find(sid);
   if (it == switches_.end()) {
     State st;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "pint/recording_store.h"
 #include "pint/sink_report.h"
 #include "sketch/kll.h"
 
@@ -24,13 +25,21 @@ namespace pint {
 
 class QueueTomography {
  public:
-  explicit QueueTomography(std::uint64_t seed = 0x70406) : seed_(seed) {}
+  // `memory_ceiling_bytes` bounds the per-flow path registry (LRU
+  // RecordingStore; 0 = unbounded). Per-switch state is bounded by the
+  // network size and is never evicted. Samples from evicted flows count as
+  // dropped until the flow's path is registered again.
+  explicit QueueTomography(std::uint64_t seed = 0x70406,
+                           std::size_t memory_ceiling_bytes = 0)
+      : seed_(seed),
+        flows_(memory_ceiling_bytes, vector_entry_bytes<SwitchId>) {}
 
   // Register a flow's switch-level path so (flow, hop) samples re-key.
   void register_flow(std::uint64_t flow_key, std::vector<SwitchId> path);
 
   // One dynamic-aggregation sample from a flow: hop index + queue depth.
-  // Unknown flows or out-of-range hops are counted and dropped.
+  // Unknown flows or out-of-range hops are counted and dropped. A sample
+  // refreshes its flow's recency in the bounded registry.
   void add_sample(std::uint64_t flow_key, HopIndex hop, double queue_depth);
 
   // Per-switch queue quantile, if the switch has samples.
@@ -46,6 +55,10 @@ class QueueTomography {
 
   std::size_t dropped_samples() const { return dropped_; }
   std::size_t switches_observed() const { return switches_.size(); }
+  std::size_t flows_registered() const { return flows_.flows(); }
+  const RecordingStore<std::vector<SwitchId>>& flow_store() const {
+    return flows_;
+  }
 
  private:
   struct State {
@@ -54,7 +67,7 @@ class QueueTomography {
   };
 
   std::uint64_t seed_;
-  std::unordered_map<std::uint64_t, std::vector<SwitchId>> flows_;
+  RecordingStore<std::vector<SwitchId>> flows_;
   std::unordered_map<SwitchId, State> switches_;
   std::size_t dropped_ = 0;
 };

@@ -106,6 +106,22 @@ std::optional<std::uint64_t> HashedPathDecoder::value_at(HopIndex hop) const {
   return std::nullopt;
 }
 
+std::size_t HashedPathDecoder::approx_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += hashes_.capacity() * sizeof(InstanceHashes);
+  for (const auto& cands : candidates_) {
+    bytes += sizeof(cands) + cands.capacity() * sizeof(std::uint64_t);
+  }
+  bytes += records_.capacity() * sizeof(XorRecord);
+  for (const XorRecord& rec : records_) {
+    bytes += rec.unknown.capacity() * sizeof(HopIndex);
+  }
+  for (const auto& [hop, idxs] : hop_to_records_) {
+    bytes += kMapNodeOverheadBytes + idxs.capacity() * sizeof(std::size_t);
+  }
+  return bytes;
+}
+
 std::vector<std::uint64_t> HashedPathDecoder::path() const {
   if (!complete()) throw std::runtime_error("path not fully decoded");
   std::vector<std::uint64_t> out;

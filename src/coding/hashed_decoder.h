@@ -52,6 +52,11 @@ class HashedPathDecoder {
 
   std::uint64_t packets_consumed() const { return packets_; }
 
+  // Approximate heap + object footprint in bytes, for the Recording
+  // Module's memory accounting. Shrinks as candidate sets are filtered and
+  // grows with buffered XOR records.
+  std::size_t approx_bytes() const;
+
  private:
   struct XorRecord {
     PacketId packet;

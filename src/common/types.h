@@ -36,6 +36,13 @@ constexpr TimeNs kMicro = 1'000;
 constexpr TimeNs kMilli = 1'000'000;
 constexpr TimeNs kSecond = 1'000'000'000;
 
+// Approximate per-entry bookkeeping charged for node-based map storage
+// (hash/tree node plus bucket pointer). Shared by every approximate size
+// function (RecordingStore size callbacks, decoder/sketch footprints) so
+// the Recording Module's memory accounting treats map-resident state
+// consistently across modules.
+inline constexpr std::size_t kMapNodeOverheadBytes = 48;
+
 // Returns a bitmask with the low `bits` bits set. `bits` must be in [0, 64].
 constexpr std::uint64_t low_bits_mask(unsigned bits) {
   return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);

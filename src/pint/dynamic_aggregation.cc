@@ -120,4 +120,15 @@ std::size_t FlowLatencyRecorder::samples_at(HopIndex hop) const {
   return counts_[hop - 1];
 }
 
+std::size_t FlowLatencyRecorder::approx_bytes() const {
+  std::size_t bytes = sizeof(*this) + counts_.capacity() * sizeof(std::size_t);
+  for (const auto& hop_samples : raw_) {
+    bytes += sizeof(hop_samples) + hop_samples.capacity() * sizeof(double);
+  }
+  for (const KllSketch& sketch : sketches_) bytes += sketch.size_bytes();
+  for (const SpaceSaving& freq : frequents_) bytes += freq.size_bytes();
+  for (const SlidingWindowQuantiles& win : windows_) bytes += win.size_bytes();
+  return bytes;
+}
+
 }  // namespace pint

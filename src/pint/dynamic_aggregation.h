@@ -95,6 +95,11 @@ class FlowLatencyRecorder {
   std::size_t samples_at(HopIndex hop) const;
   unsigned k() const { return k_; }
 
+  /// Approximate heap + object footprint in bytes, for the Recording
+  /// Module's memory accounting. Grows with raw samples (or sketch
+  /// compactions) and the frequent-value counters.
+  std::size_t approx_bytes() const;
+
  private:
   unsigned k_;
   bool use_sketch_;

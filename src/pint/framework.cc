@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "pint/wire_format.h"
@@ -70,6 +72,8 @@ const char* to_string(BuildErrorCode code) {
       return "query mix infeasible within the global bit budget";
     case BuildErrorCode::kTooManyConcurrentQueries:
       return "execution plan set exceeds SinkReport capacity";
+    case BuildErrorCode::kInconsistentMemoryBudget:
+      return "inconsistent Recording-Module memory budget";
   }
   return "unknown build error";
 }
@@ -81,6 +85,9 @@ PintFramework::Builder::~Builder() = default;
 PintFramework::Builder::Builder(Builder&&) noexcept = default;
 PintFramework::Builder& PintFramework::Builder::operator=(Builder&&) noexcept =
     default;
+PintFramework::Builder::Builder(const Builder&) = default;
+PintFramework::Builder& PintFramework::Builder::operator=(const Builder&) =
+    default;
 
 PintFramework::Builder& PintFramework::Builder::global_bit_budget(
     unsigned bits) {
@@ -91,6 +98,38 @@ PintFramework::Builder& PintFramework::Builder::global_bit_budget(
 PintFramework::Builder& PintFramework::Builder::seed(std::uint64_t seed) {
   seed_ = seed;
   return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::memory_ceiling_bytes(
+    std::size_t bytes) {
+  memory_ceiling_ = bytes;
+  return *this;
+}
+
+PintFramework::Builder PintFramework::Builder::with_memory_divided(
+    unsigned parts) const {
+  if (parts == 0) throw std::invalid_argument("parts > 0");
+  Builder out(*this);
+  // The ceiling never rounds from bounded down to "unbounded" (0). A
+  // per-query budget, however, must not be clamped up: budgets rounded up
+  // could sum past the divided ceiling and fail a build the undivided
+  // Builder accepts. A budget that divides to zero instead falls back to
+  // "share the remainder", which can never over-commit.
+  if (memory_ceiling_ != 0) {
+    out.memory_ceiling_ = std::max<std::size_t>(1, memory_ceiling_ / parts);
+  }
+  for (QuerySpec& spec : out.specs_) {
+    if (spec.memory_budget_bytes == 0) continue;
+    spec.memory_budget_bytes = spec.memory_budget_bytes / parts;
+    if (spec.memory_budget_bytes == 0 && memory_ceiling_ == 0) {
+      // Without a ceiling there is no remainder to fall back to, and a
+      // zero budget would mean *unbounded* — a bounded config must never
+      // divide into an unbounded one. With no ceiling there is also
+      // nothing to over-commit, so clamping up is safe.
+      spec.memory_budget_bytes = 1;
+    }
+  }
+  return out;
 }
 
 PintFramework::Builder& PintFramework::Builder::switch_universe(
@@ -210,6 +249,60 @@ BuildResult PintFramework::Builder::build() const {
     engine_queries.push_back(q);
   }
 
+  // Recording-Module budgets: explicit per-query budgets carve shares out
+  // of the ceiling; the remainder splits evenly across the unbudgeted
+  // per-flow queries. Per-packet queries keep no sink state and may not
+  // carry a budget.
+  std::size_t explicit_total = 0;
+  std::size_t unbudgeted_per_flow = 0;
+  for (const Binding& b : fw->bindings_) {
+    const Query& q = b.spec.query;
+    if (q.aggregation == AggregationType::kPerPacket) {
+      if (b.spec.memory_budget_bytes > 0) {
+        return fail(BuildErrorCode::kInconsistentMemoryBudget,
+                    "'" + q.name +
+                        "' is per-packet and keeps no per-flow sink state");
+      }
+      continue;
+    }
+    if (b.spec.memory_budget_bytes > 0) {
+      explicit_total += b.spec.memory_budget_bytes;
+    } else {
+      ++unbudgeted_per_flow;
+    }
+  }
+  std::size_t share = 0;
+  if (memory_ceiling_ > 0) {
+    if (explicit_total > memory_ceiling_) {
+      return fail(BuildErrorCode::kInconsistentMemoryBudget,
+                  std::string("per-query budgets total ") +
+                      std::to_string(explicit_total) + " bytes, above the " +
+                      std::to_string(memory_ceiling_) + "-byte ceiling");
+    }
+    if (unbudgeted_per_flow > 0) {
+      share = (memory_ceiling_ - explicit_total) / unbudgeted_per_flow;
+      if (share == 0) {
+        return fail(BuildErrorCode::kInconsistentMemoryBudget,
+                    std::string("ceiling leaves no budget for ") +
+                        std::to_string(unbudgeted_per_flow) +
+                        " unbudgeted per-flow query(ies)");
+      }
+    }
+  }
+  for (Binding& b : fw->bindings_) {
+    const Query& q = b.spec.query;
+    if (q.aggregation == AggregationType::kPerPacket) continue;
+    const std::size_t cap =
+        b.spec.memory_budget_bytes > 0 ? b.spec.memory_budget_bytes : share;
+    if (q.aggregation == AggregationType::kStaticPerFlow) {
+      b.decoders.set_capacity_bytes(cap);
+    } else {
+      b.recorders.set_capacity_bytes(cap);
+    }
+  }
+  fw->memory_ceiling_ = memory_ceiling_;
+  fw->memory_bounded_ = memory_ceiling_ > 0 || explicit_total > 0;
+
   try {
     fw->engine_ =
         std::make_unique<QueryEngine>(std::move(engine_queries), budget_,
@@ -302,8 +395,13 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
                              SinkReport& report) {
   report.clear();
   const QuerySet& set = engine_->set_for_packet(packet.id);
-  if (set.query_indices.empty()) return;
-  if (packet.digests.size() != lanes_for_set(set)) return;  // no digest
+  if (set.query_indices.empty() ||
+      packet.digests.size() != lanes_for_set(set)) {  // no digest to decode
+    // Still stamp the counters: a bounded framework's reports must carry
+    // them on every packet, decodable or not.
+    if (memory_bounded_) fill_memory_counters(report.memory);
+    return;
+  }
   // Queries usually share a flow definition: hash the tuple at most once
   // per definition per packet.
   constexpr std::size_t kNumFlowDefs = 4;
@@ -326,12 +424,8 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
     Observation obs;
     switch (b.spec.query.aggregation) {
       case AggregationType::kStaticPerFlow: {
-        auto it = b.decoders.find(fkey);
-        if (it == b.decoders.end()) {
-          it = b.decoders.emplace(fkey, b.path->make_decoder(k, switch_ids_))
-                   .first;
-        }
-        HashedPathDecoder& decoder = it->second;
+        HashedPathDecoder& decoder = b.decoders.touch(
+            fkey, [&] { return b.path->make_decoder(k, switch_ids_); });
         const bool was_complete = decoder.complete();
         if (!was_complete) {
           decoder.add_packet(
@@ -340,8 +434,10 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
         }
         obs = PathDigestObservation{decoder.resolved_count(), decoder.k(),
                                     decoder.complete()};
-        if (!was_complete && decoder.complete() &&
-            b.paths_reported.insert(fkey).second) {
+        // Incomplete->complete edge: once per decoder residency. A flow
+        // evicted and rebuilt under a memory ceiling announces again on
+        // re-completion (see the Binding comment).
+        if (!was_complete && decoder.complete()) {
           std::vector<SwitchId> path;
           path.reserve(decoder.k());
           for (std::uint64_t v : decoder.path()) {
@@ -354,21 +450,16 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
         break;
       }
       case AggregationType::kDynamicPerFlow: {
-        auto it = b.recorders.find(fkey);
-        if (it == b.recorders.end()) {
+        FlowLatencyRecorder& recorder = b.recorders.touch(fkey, [&] {
           const std::uint64_t recorder_seed = seed_ ^ fkey ^ b.recorder_salt;
-          it = b.recorders
-                   .emplace(fkey,
-                            b.spec.recorder_factory
-                                ? b.spec.recorder_factory(k, recorder_seed)
-                                : FlowLatencyRecorder(
-                                      k, b.spec.query.space_budget_bytes,
-                                      recorder_seed))
-                   .first;
-        }
+          return b.spec.recorder_factory
+                     ? b.spec.recorder_factory(k, recorder_seed)
+                     : FlowLatencyRecorder(k, b.spec.query.space_budget_bytes,
+                                           recorder_seed);
+        });
         const DynamicAggregationQuery::Sample sample =
             b.dynamic->decode(packet.id, packet.digests[lane], k);
-        it->second.add(sample);
+        recorder.add(sample);
         obs = HopSampleObservation{sample.hop, sample.value};
         break;
       }
@@ -379,6 +470,16 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
     report.add(name, obs);
     for (SinkObserver* o : observers_) o->on_observation(ctx, name, obs);
     lane += b.lanes;
+  }
+  if (memory_bounded_) {
+    fill_memory_counters(report.memory);
+    if (report.memory.evictions != last_reported_evictions_) {
+      last_reported_evictions_ = report.memory.evictions;
+      if (!observers_.empty()) {
+        const MemoryReport mem = memory_report();
+        for (SinkObserver* o : observers_) o->on_memory_report(mem);
+      }
+    }
   }
 }
 
@@ -406,6 +507,66 @@ void PintFramework::at_sink(std::span<const Packet> packets, unsigned k,
 
 void PintFramework::add_observer(SinkObserver* observer) {
   observers_.push_back(observer);
+}
+
+// --- memory accounting ------------------------------------------------------
+
+namespace {
+
+// The per-flow stores differ only in state type; every counter read is
+// shared. `visit_store` routes a binding's active store (if any) through
+// one generic callable so the stat-filling logic exists once.
+template <typename Binding, typename Fn>
+void visit_store(const Binding& b, Fn&& fn) {
+  switch (b.spec.query.aggregation) {
+    case AggregationType::kStaticPerFlow:
+      fn(b.decoders);
+      break;
+    case AggregationType::kDynamicPerFlow:
+      fn(b.recorders);
+      break;
+    case AggregationType::kPerPacket:
+      break;  // stateless at the sink
+  }
+}
+
+}  // namespace
+
+void PintFramework::fill_memory_counters(MemoryCounters& out) const {
+  out = MemoryCounters{};
+  out.bounded = memory_bounded_;
+  out.capacity_bytes = memory_ceiling_;
+  for (const Binding& b : bindings_) {
+    visit_store(b, [&](const auto& store) {
+      out.used_bytes += store.used_bytes();
+      out.flows += store.flows();
+      out.evictions += store.evictions();
+      out.over_budget = out.over_budget || store.over_budget();
+      if (memory_ceiling_ == 0) out.capacity_bytes += store.capacity_bytes();
+    });
+  }
+}
+
+MemoryReport PintFramework::memory_report() const {
+  MemoryReport out;
+  fill_memory_counters(out.total);
+  for (const Binding& b : bindings_) {
+    if (b.spec.query.aggregation == AggregationType::kPerPacket) continue;
+    if (out.query_count == MemoryReport::kMaxQueries) break;
+    QueryMemoryStats& q = out.queries[out.query_count++];
+    q.query = b.spec.query.name;
+    visit_store(b, [&](const auto& store) {
+      q.used_bytes = store.used_bytes();
+      q.capacity_bytes = store.capacity_bytes();
+      q.peak_used_bytes = store.peak_used_bytes();
+      q.max_entry_bytes = store.max_entry_bytes();
+      q.flows = store.flows();
+      q.evictions = store.evictions();
+      q.created = store.created();
+      q.over_budget = store.over_budget();
+    });
+  }
+  return out;
 }
 
 // --- wire format ------------------------------------------------------------
@@ -489,13 +650,12 @@ std::uint64_t PintFramework::flow_key_for(std::string_view query,
 namespace {
 
 std::optional<std::vector<SwitchId>> binding_flow_path(
-    const std::unordered_map<std::uint64_t, HashedPathDecoder>& decoders,
-    std::uint64_t fkey) {
-  auto it = decoders.find(fkey);
-  if (it == decoders.end() || !it->second.complete()) return std::nullopt;
+    const RecordingStore<HashedPathDecoder>& decoders, std::uint64_t fkey) {
+  const HashedPathDecoder* decoder = decoders.find(fkey);
+  if (decoder == nullptr || !decoder->complete()) return std::nullopt;
   std::vector<SwitchId> out;
-  out.reserve(it->second.k());
-  for (std::uint64_t v : it->second.path()) {
+  out.reserve(decoder->k());
+  for (std::uint64_t v : decoder->path()) {
     out.push_back(static_cast<SwitchId>(v));
   }
   return out;
@@ -521,9 +681,9 @@ double PintFramework::path_progress(std::string_view query,
                                     std::uint64_t fkey) const {
   const Binding* b = find_binding(query);
   if (b == nullptr) return 0.0;
-  auto it = b->decoders.find(fkey);
-  if (it == b->decoders.end() || it->second.k() == 0) return 0.0;
-  return static_cast<double>(it->second.resolved_count()) / it->second.k();
+  const HashedPathDecoder* decoder = b->decoders.find(fkey);
+  if (decoder == nullptr || decoder->k() == 0) return 0.0;
+  return static_cast<double>(decoder->resolved_count()) / decoder->k();
 }
 
 double PintFramework::path_progress(std::uint64_t fkey) const {
@@ -537,9 +697,9 @@ std::optional<double> PintFramework::latency_quantile(std::string_view query,
                                                       double phi) const {
   const Binding* b = find_binding(query);
   if (b == nullptr) return std::nullopt;
-  auto it = b->recorders.find(fkey);
-  if (it == b->recorders.end()) return std::nullopt;
-  return it->second.quantile(hop, phi);
+  const FlowLatencyRecorder* recorder = b->recorders.find(fkey);
+  if (recorder == nullptr) return std::nullopt;
+  return recorder->quantile(hop, phi);
 }
 
 std::optional<double> PintFramework::latency_quantile(std::uint64_t fkey,
@@ -555,9 +715,9 @@ std::vector<std::uint64_t> PintFramework::latency_frequent_values(
     double theta) const {
   const Binding* b = find_binding(query);
   if (b == nullptr) return {};
-  auto it = b->recorders.find(fkey);
-  if (it == b->recorders.end()) return {};
-  return it->second.frequent_values(hop, theta);
+  const FlowLatencyRecorder* recorder = b->recorders.find(fkey);
+  if (recorder == nullptr) return {};
+  return recorder->frequent_values(hop, theta);
 }
 
 std::vector<std::uint64_t> PintFramework::latency_frequent_values(

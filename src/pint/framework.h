@@ -35,8 +35,6 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "coding/hashed_decoder.h"
@@ -48,6 +46,7 @@
 #include "pint/query.h"
 #include "pint/query_engine.h"
 #include "pint/query_spec.h"
+#include "pint/recording_store.h"
 #include "pint/sink_report.h"
 #include "pint/static_aggregation.h"
 
@@ -65,6 +64,9 @@ enum class BuildErrorCode : std::uint8_t {
   kEmptySwitchUniverse,  // static query with no switch universe
   kInfeasiblePlan,       // query mix cannot meet frequencies in the budget
   kTooManyConcurrentQueries,  // a plan set exceeds SinkReport capacity
+  kInconsistentMemoryBudget,  // per-query budgets over-commit the ceiling,
+                              // leave a per-flow query with nothing, or sit
+                              // on a stateless per-packet query
 };
 
 const char* to_string(BuildErrorCode code);
@@ -93,9 +95,33 @@ class PintFramework {
     ~Builder();
     Builder(Builder&&) noexcept;
     Builder& operator=(Builder&&) noexcept;
+    Builder(const Builder&);
+    Builder& operator=(const Builder&);
 
     Builder& global_bit_budget(unsigned bits);
     Builder& seed(std::uint64_t seed);
+
+    /// Total Recording-Module storage (bytes) across every per-flow
+    /// query's decoders/recorders; 0 (the default) keeps the seed
+    /// behavior — unbounded maps, no eviction, byte-identical output.
+    /// With a ceiling set, per-query QuerySpec::memory_budget_bytes carve
+    /// out explicit shares and the remainder is split evenly across the
+    /// unbudgeted per-flow queries; least-recently-updated flows are
+    /// evicted when a store crosses its share (see pint/recording_store.h).
+    Builder& memory_ceiling_bytes(std::size_t bytes);
+    std::size_t memory_ceiling() const { return memory_ceiling_; }
+
+    /// Copy of this builder with the memory ceiling and every per-query
+    /// budget divided by `parts`. Bounded never becomes unbounded: the
+    /// ceiling floors at 1 byte, and under a ceiling a per-query budget
+    /// that divides to zero falls back to sharing the remainder (so
+    /// divided budgets cannot over-commit the divided ceiling), while
+    /// without a ceiling it floors at 1 byte. ShardedSink builds its
+    /// per-shard replicas through this so that the shard budgets sum to
+    /// (at most) the configured ceiling. A ceiling below one byte per
+    /// per-flow query per part is unsatisfiable and still fails the
+    /// replica build loudly (kInconsistentMemoryBudget).
+    Builder with_memory_divided(unsigned parts) const;
 
     /// Universe of switch IDs for static per-flow (path) decoding.
     Builder& switch_universe(std::vector<std::uint64_t> ids);
@@ -119,6 +145,7 @@ class PintFramework {
    private:
     unsigned budget_ = 16;
     std::uint64_t seed_ = 0x50494E54;  // "PINT"
+    std::size_t memory_ceiling_ = 0;   // 0 = unbounded (seed behavior)
     std::vector<std::uint64_t> universe_;
     ValueExtractorRegistry registry_;
     std::optional<std::string> duplicate_extractor_;
@@ -170,6 +197,19 @@ class PintFramework {
   // --- introspection -------------------------------------------------------
   const QueryEngine& engine() const { return *engine_; }
   unsigned global_bit_budget() const { return engine_->global_bit_budget(); }
+
+  /// True when a memory ceiling or any per-query budget is configured.
+  bool memory_bounded() const { return memory_bounded_; }
+  std::size_t memory_ceiling_bytes() const { return memory_ceiling_; }
+
+  /// Snapshot of every per-flow query's Recording-Module storage
+  /// (occupancy, peak, evictions). Cheap. While bounding is enabled the
+  /// sizes are refreshed on every touch; an unbounded store deliberately
+  /// sizes entries only at creation (hot-path economics — see
+  /// recording_store.h), so unbounded used/peak figures understate state
+  /// that grows after creation. Pushed automatically to observers
+  /// (on_memory_report) after packets that evicted flows.
+  MemoryReport memory_report() const;
   std::size_t lanes_for_set(const QuerySet& set) const;
   const QuerySpec* spec(std::string_view query) const;
   std::vector<std::string_view> query_names() const;
@@ -227,10 +267,19 @@ class PintFramework {
     std::optional<DynamicAggregationQuery> dynamic;
     std::optional<PerPacketQuery> perpacket;
 
-    // Recording module state (off-switch storage), keyed by flow.
-    std::unordered_map<std::uint64_t, HashedPathDecoder> decoders;
-    std::unordered_map<std::uint64_t, FlowLatencyRecorder> recorders;
-    std::unordered_set<std::uint64_t> paths_reported;
+    // Recording module state (off-switch storage), keyed by flow and held
+    // in LRU-evicting stores. Capacity 0 (no ceiling) keeps every flow —
+    // the seed behavior. The Builder assigns capacities after validating
+    // the memory budgets; only the store matching the aggregation type is
+    // ever populated. on_path_decoded fires on each decoder's
+    // incomplete->complete edge — once per flow unbounded; under a ceiling
+    // a flow whose decoder was evicted announces again when its rebuilt
+    // decoder re-completes, so bounded downstream consumers can re-learn
+    // evicted paths (dedupe downstream if duplicates matter).
+    RecordingStore<HashedPathDecoder> decoders{
+        0, [](const HashedPathDecoder& d) { return d.approx_bytes(); }};
+    RecordingStore<FlowLatencyRecorder> recorders{
+        0, [](const FlowLatencyRecorder& r) { return r.approx_bytes(); }};
   };
 
   PintFramework() = default;
@@ -245,6 +294,9 @@ class PintFramework {
   const Binding* find_binding(std::string_view query) const;
   const Binding* find_binding(AggregationType aggregation) const;
 
+  /// Sums the per-binding store counters into `out` (sets `bounded`).
+  void fill_memory_counters(MemoryCounters& out) const;
+
   std::uint64_t seed_ = 0;
   std::unique_ptr<QueryEngine> engine_;
   std::vector<Binding> bindings_;  // in engine order
@@ -252,6 +304,9 @@ class PintFramework {
   std::vector<SinkObserver*> observers_;
   std::size_t max_lanes_ = 0;
   std::vector<double> extract_scratch_;  // batched at_switch hoisting
+  bool memory_bounded_ = false;
+  std::size_t memory_ceiling_ = 0;
+  std::uint64_t last_reported_evictions_ = 0;  // on_memory_report edge
 };
 
 }  // namespace pint

@@ -36,6 +36,14 @@ struct QuerySpec {
   /// Optional; defaults to FlowLatencyRecorder(k, query.space_budget_bytes,
   /// seed). Only consulted for dynamic per-flow queries.
   RecorderFactory recorder_factory;
+
+  /// Optional Recording-Module storage budget (bytes) for this query's
+  /// per-flow state across *all* flows; 0 means "share the Builder's
+  /// memory_ceiling_bytes() remainder" (or stay unbounded when no ceiling is
+  /// set either). Setting it on a per-packet query — which keeps no sink
+  /// state — or over-committing the ceiling is a kInconsistentMemoryBudget
+  /// build error.
+  std::size_t memory_budget_bytes = 0;
 };
 
 /// Convenience constructors for the three aggregation families.

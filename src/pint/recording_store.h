@@ -8,16 +8,36 @@
 /// least-recently-updated flows when over the ceiling — the paper's
 /// observation that "oftentimes one mostly cares about tracing large flows"
 /// makes LRU the natural policy: active (large) flows keep refreshing.
+///
+/// Accounting contract: `used_bytes()` is always the exact sum of the last
+/// reported size of every resident entry (sizes may grow *or shrink* between
+/// touches — a path decoder's candidate sets shrink as hops resolve). The
+/// flow being touched is never evicted, so `used_bytes()` may transiently
+/// exceed the capacity by at most one entry; `peak_used_bytes()` records the
+/// high-water mark and `over_budget()` flags the only persistent overshoot
+/// case (a sole protected entry larger than the whole ceiling).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
 
 namespace pint {
+
+/// Footprint of a vector-valued store entry (the common application case:
+/// a per-flow path), including the map-node overhead.
+template <typename T>
+std::size_t vector_entry_bytes(const std::vector<T>& v) {
+  return sizeof(v) + v.capacity() * sizeof(T) + kMapNodeOverheadBytes;
+}
 
 template <typename PerFlowState>
 class RecordingStore {
@@ -26,7 +46,10 @@ class RecordingStore {
   using Factory = std::function<PerFlowState(std::uint64_t flow_key)>;
 
   /// `capacity_bytes` = 0 disables eviction. `size_of` reports a state's
-  /// approximate footprint (re-evaluated on every touch).
+  /// approximate footprint — re-evaluated on every touch while a capacity
+  /// is set; an unbounded store sizes entries once at creation (and on
+  /// put()) so the no-ceiling hot path never walks state it will not
+  /// evict.
   RecordingStore(std::size_t capacity_bytes, Factory factory, SizeFn size_of)
       : capacity_(capacity_bytes), factory_(std::move(factory)),
         size_of_(std::move(size_of)) {
@@ -35,28 +58,83 @@ class RecordingStore {
     }
   }
 
+  /// Factory-less store: every insertion must go through the
+  /// `touch(flow_key, make)` overload (the framework builds decoders with
+  /// call-site context — path length, seeds — that no stored factory can
+  /// know up front).
+  RecordingStore(std::size_t capacity_bytes, SizeFn size_of)
+      : capacity_(capacity_bytes), size_of_(std::move(size_of)) {
+    if (!size_of_) throw std::invalid_argument("size_of required");
+  }
+
   /// Get or create the state for a flow and mark it most-recently-used.
   /// May evict other flows to stay within capacity.
   PerFlowState& touch(std::uint64_t flow_key) {
+    if (!factory_) throw std::logic_error("store built without a factory");
+    return touch(flow_key, [&] { return factory_(flow_key); });
+  }
+
+  /// Like `touch(flow_key)`, but builds a missing state with `make()` —
+  /// used when construction needs per-call context.
+  template <typename MakeFn>
+  PerFlowState& touch(std::uint64_t flow_key, MakeFn&& make) {
     auto it = entries_.find(flow_key);
     if (it == entries_.end()) {
-      lru_.push_front(flow_key);
-      Entry e{factory_(flow_key), lru_.begin(), 0};
+      // Exception safety: user callbacks (factory, size fn) run before any
+      // container mutation, and the map emplace lands before the LRU push
+      // (rolled back if the push throws), so a failure at any point leaves
+      // the store consistent — no orphaned LRU keys, no inflated used_.
+      Entry e{make(), lru_.end(), 0};
       e.bytes = size_of_(e.state);
-      used_ += e.bytes;
       it = entries_.emplace(flow_key, std::move(e)).first;
-      ++created_;
-    } else {
-      lru_.erase(it->second.lru_pos);
-      lru_.push_front(flow_key);
+      try {
+        lru_.push_front(flow_key);
+      } catch (...) {
+        entries_.erase(it);
+        throw;
+      }
       it->second.lru_pos = lru_.begin();
-      // Re-account: state sizes grow as digests accumulate.
-      const std::size_t now = size_of_(it->second.state);
-      used_ += now - it->second.bytes;
-      it->second.bytes = now;
+      used_ += it->second.bytes;
+      ++created_;
+      max_entry_bytes_ = std::max(max_entry_bytes_, it->second.bytes);
+    } else {
+      bump(it);
     }
     enforce_capacity(flow_key);
+    peak_used_ = std::max(peak_used_, used_);
     return it->second.state;
+  }
+
+  /// Insert or overwrite a flow's state in one accounted step and mark it
+  /// most-recently-used. May evict other flows. Unlike touch(), the
+  /// assigned state is re-sized even when unbounded (an overwrite replaces
+  /// the entry wholesale, so its stale creation size would never heal).
+  PerFlowState& put(std::uint64_t flow_key, PerFlowState value) {
+    auto it = entries_.find(flow_key);
+    if (it == entries_.end()) {
+      return touch(flow_key, [&] { return std::move(value); });
+    }
+    it->second.state = std::move(value);
+    bump(it);
+    if (capacity_ == 0) reaccount(it);
+    enforce_capacity(flow_key);
+    peak_used_ = std::max(peak_used_, used_);
+    return it->second.state;
+  }
+
+  /// Mark an existing flow most-recently-used and re-account its size
+  /// (while a capacity is set; like touch(), an unbounded store keeps
+  /// creation-time sizes to stay off the hot path). Returns nullptr (and
+  /// has no effect) if the flow is not resident. Unlike touch(), never
+  /// creates state — for consumers that only want to refresh flows they
+  /// already track (e.g. a sample landing on a stored path).
+  PerFlowState* refresh(std::uint64_t flow_key) {
+    auto it = entries_.find(flow_key);
+    if (it == entries_.end()) return nullptr;
+    bump(it);
+    enforce_capacity(flow_key);
+    peak_used_ = std::max(peak_used_, used_);
+    return &it->second.state;
   }
 
   /// Read-only lookup without LRU effect.
@@ -77,8 +155,30 @@ class RecordingStore {
   std::size_t flows() const { return entries_.size(); }
   std::size_t used_bytes() const { return used_; }
   std::size_t capacity_bytes() const { return capacity_; }
+
+  /// Reset the ceiling (0 disables eviction). A lowered ceiling takes
+  /// effect on the next touch — no immediate eviction sweep.
+  void set_capacity_bytes(std::size_t capacity_bytes) {
+    capacity_ = capacity_bytes;
+  }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t created() const { return created_; }
+
+  /// High-water mark of used_bytes() as observable between operations
+  /// (recorded after each touch's eviction pass, so the mid-touch
+  /// transient of "new entry accounted, victims not yet evicted" is not
+  /// counted); at most capacity_bytes() plus one entry — the protected
+  /// flow of the touch that crossed the ceiling.
+  std::size_t peak_used_bytes() const { return peak_used_; }
+
+  /// Largest single-entry footprint ever accounted.
+  std::size_t max_entry_bytes() const { return max_entry_bytes_; }
+
+  /// True while the store cannot get back under its ceiling because the
+  /// only remaining (touch-protected) entry alone exceeds it. The entry is
+  /// deliberately kept — evicting the flow being updated would livelock the
+  /// caller — and the flag lets operators see the budget is unsatisfiable.
+  bool over_budget() const { return capacity_ != 0 && used_ > capacity_; }
 
  private:
   struct Entry {
@@ -86,6 +186,33 @@ class RecordingStore {
     std::list<std::uint64_t>::iterator lru_pos;
     std::size_t bytes;
   };
+
+  void bump(typename std::unordered_map<std::uint64_t, Entry>::iterator it) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(it->first);
+    it->second.lru_pos = lru_.begin();
+    // Unbounded stores never evict, so walking the state for a fresh size
+    // on every touch would only tax the decode hot path; entries keep
+    // their creation-time size until a capacity is set.
+    if (capacity_ != 0) reaccount(it);
+  }
+
+  void reaccount(typename std::unordered_map<std::uint64_t, Entry>::iterator
+                     it) {
+    // States grow as digests accumulate, but may also shrink (decoders
+    // drop candidate sets as hops resolve), so both directions are
+    // handled explicitly instead of leaning on unsigned wraparound.
+    const std::size_t now = size_of_(it->second.state);
+    const std::size_t before = it->second.bytes;
+    if (now >= before) {
+      used_ += now - before;
+    } else {
+      const std::size_t shrink = before - now;
+      used_ = used_ >= shrink ? used_ - shrink : 0;
+    }
+    it->second.bytes = now;
+    max_entry_bytes_ = std::max(max_entry_bytes_, now);
+  }
 
   void enforce_capacity(std::uint64_t protect) {
     if (capacity_ == 0) return;
@@ -106,6 +233,8 @@ class RecordingStore {
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = most recent
   std::size_t used_ = 0;
+  std::size_t peak_used_ = 0;
+  std::size_t max_entry_bytes_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t created_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "pint/sharded_sink.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -61,6 +62,16 @@ class ShardedSink::Relay : public SinkObserver {
     }
   }
 
+  // Per-shard snapshots: each covers the reporting shard's stores only
+  // (shards hold disjoint flows); use ShardedSink::memory_report() for the
+  // merged view.
+  void on_memory_report(const MemoryReport& report) override {
+    std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
+    for (SinkObserver* o : parent_.observers_) {
+      o->on_memory_report(report);
+    }
+  }
+
  private:
   ShardedSink& parent_;
 };
@@ -71,10 +82,15 @@ ShardedSink::ShardedSink(const PintFramework::Builder& builder,
     throw std::invalid_argument("ShardedSink needs at least one shard");
   }
   relay_ = std::make_unique<Relay>(*this);
+  // Each shard holds 1/num_shards of the flows, so it gets 1/num_shards of
+  // every Recording-Module budget; with no budgets set this is a no-op copy.
+  const PintFramework::Builder replica_builder =
+      num_shards > 1 ? builder.with_memory_divided(num_shards)
+                     : PintFramework::Builder(builder);
   shards_.reserve(num_shards);
   for (unsigned s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->fw = builder.build_or_throw();
+    shard->fw = replica_builder.build_or_throw();
     shard->fw->add_observer(relay_.get());
     shards_.push_back(std::move(shard));
   }
@@ -159,6 +175,34 @@ std::uint64_t ShardedSink::packets_processed() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->processed;
   return total;
+}
+
+MemoryReport ShardedSink::memory_report() const {
+  MemoryReport merged = shards_[0]->fw->memory_report();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const MemoryReport part = shards_[s]->fw->memory_report();
+    // Replicas are built from one Builder: same queries, same order.
+    for (std::size_t q = 0; q < merged.query_count; ++q) {
+      QueryMemoryStats& into = merged.queries[q];
+      const QueryMemoryStats& from = part.queries[q];
+      into.used_bytes += from.used_bytes;
+      into.capacity_bytes += from.capacity_bytes;
+      into.peak_used_bytes += from.peak_used_bytes;
+      into.max_entry_bytes = std::max(into.max_entry_bytes,
+                                      from.max_entry_bytes);
+      into.flows += from.flows;
+      into.evictions += from.evictions;
+      into.created += from.created;
+      into.over_budget = into.over_budget || from.over_budget;
+    }
+    merged.total.used_bytes += part.total.used_bytes;
+    merged.total.capacity_bytes += part.total.capacity_bytes;
+    merged.total.flows += part.total.flows;
+    merged.total.evictions += part.total.evictions;
+    merged.total.over_budget =
+        merged.total.over_budget || part.total.over_budget;
+  }
+  return merged;
 }
 
 void ShardedSink::worker_loop(Shard& shard) {

@@ -63,6 +63,14 @@ class ShardedSink {
  public:
   /// Builds `num_shards` framework replicas and starts one worker per shard.
   ///
+  /// When the Builder carries Recording-Module budgets
+  /// (`memory_ceiling_bytes()` / per-query `memory_budget_bytes`), each
+  /// replica is built with those budgets divided by `num_shards`, so the
+  /// shards' stores together stay within the configured totals (flows are
+  /// partitioned, not duplicated). Eviction *timing* then differs from a
+  /// single-threaded sink with the undivided ceiling — identical merged
+  /// output is only guaranteed with bounding off.
+  ///
   /// Throws `std::invalid_argument` if the Builder fails validation, if
   /// `num_shards` is zero, or if `num_shards > 1` and the registered
   /// queries' flow definitions admit no common partition key (source-IP and
@@ -84,6 +92,11 @@ class ShardedSink {
   /// sink's output for the same input. Destroying the sink without a
   /// flush() discards batches no worker has started (a batch already being
   /// processed still needs its buffers alive until the destructor joins).
+  ///
+  /// \throws std::invalid_argument if `reports` is non-empty and
+  ///   `reports.size() != packets.size()` — a silently mismatched buffer
+  ///   would scribble reports at wrong indices, so it fails loudly before
+  ///   anything is enqueued (no partial submission).
   void submit(std::span<const Packet> packets, unsigned k,
               std::span<SinkReport> reports = {});
 
@@ -110,6 +123,15 @@ class ShardedSink {
 
   /// Total packets decoded across all shards (quiescent only).
   std::uint64_t packets_processed() const;
+
+  /// Merged Recording-Module storage stats: per-query counters summed
+  /// across every shard's store (capacities sum back to roughly the
+  /// Builder's configured budgets — each shard received budget/num_shards).
+  /// `peak_used_bytes` sums per-shard peaks that need not have coincided,
+  /// so it is an upper bound on any simultaneous total: the per-store
+  /// "peak <= share + one entry" invariant merges to at most
+  /// ceiling + num_shards entries, not ceiling + one. Quiescent only.
+  MemoryReport memory_report() const;
 
   /// \name Merged Inference-Module view
   /// Each call routes to the shard that owns the flow, so results match the

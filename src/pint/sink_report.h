@@ -53,13 +53,45 @@ struct QueryObservation {
   Observation observation;
 };
 
+/// Aggregate Recording-Module storage accounting, summed over every
+/// per-flow query's store. Attached to each SinkReport when memory bounding
+/// is enabled (`bounded` set); with no ceiling configured it stays
+/// all-zeros, so unbounded report streams are unchanged. Not part of the
+/// report codec's wire stream.
+struct MemoryCounters {
+  std::size_t used_bytes = 0;
+  std::size_t capacity_bytes = 0;
+  std::uint64_t flows = 0;      // resident per-flow states
+  std::uint64_t evictions = 0;  // cumulative LRU evictions
+  bool bounded = false;
+  bool over_budget = false;  // some store's sole flow exceeds its ceiling
+  bool operator==(const MemoryCounters&) const = default;
+};
+
+/// One per-flow query's Recording-Module storage stats (see
+/// RecordingStore); `query` points at the framework's registered spec.
+struct QueryMemoryStats {
+  std::string_view query;
+  std::size_t used_bytes = 0;
+  std::size_t capacity_bytes = 0;  // 0 = unbounded
+  std::size_t peak_used_bytes = 0;
+  std::size_t max_entry_bytes = 0;  // largest single flow ever accounted
+  std::uint64_t flows = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t created = 0;
+  bool over_budget = false;
+};
+
 /// Everything the sink learned from one packet. Fixed inline capacity so the
 /// batched hot path fills reports without allocating.
 class SinkReport {
  public:
   static constexpr std::size_t kMaxQueriesPerPacket = 16;
 
-  void clear() { count_ = 0; }
+  void clear() {
+    count_ = 0;
+    memory = MemoryCounters{};
+  }
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
 
@@ -90,9 +122,38 @@ class SinkReport {
     return std::nullopt;
   }
 
+  /// Recording-Module occupancy after this packet was recorded; all-zeros
+  /// (`bounded == false`) unless the framework was built with a memory
+  /// ceiling or per-query budgets.
+  MemoryCounters memory;
+
  private:
   std::array<QueryObservation, kMaxQueriesPerPacket> entries_{};
   std::size_t count_ = 0;
+};
+
+/// Snapshot of the Recording Module's per-query storage, delivered through
+/// SinkObserver::on_memory_report after any packet whose processing evicted
+/// at least one flow, and available on demand from
+/// PintFramework::memory_report(). Holds up to kMaxQueries per-flow query
+/// entries (further queries are still summed into `total`).
+struct MemoryReport {
+  static constexpr std::size_t kMaxQueries = SinkReport::kMaxQueriesPerPacket;
+
+  std::array<QueryMemoryStats, kMaxQueries> queries{};
+  std::size_t query_count = 0;
+  MemoryCounters total;
+
+  const QueryMemoryStats* begin() const { return queries.data(); }
+  const QueryMemoryStats* end() const { return queries.data() + query_count; }
+
+  /// Stats of `query`, if it is a per-flow query within capacity.
+  const QueryMemoryStats* find(std::string_view query) const {
+    for (std::size_t i = 0; i < query_count; ++i) {
+      if (queries[i].query == query) return &queries[i];
+    }
+    return nullptr;
+  }
 };
 
 /// Per-packet context handed to observers alongside each observation.
@@ -126,6 +187,10 @@ class SinkObserver {
     (void)query;
     (void)path;
   }
+
+  /// Fired after any packet whose processing evicted at least one flow from
+  /// a Recording-Module store (never fires when memory bounding is off).
+  virtual void on_memory_report(const MemoryReport& report) { (void)report; }
 };
 
 }  // namespace pint

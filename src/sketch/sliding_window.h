@@ -55,6 +55,15 @@ class SlidingWindowQuantiles {
     return n;
   }
 
+  // Approximate footprint: the live blocks' sketches plus the object.
+  std::size_t size_bytes() const {
+    std::size_t bytes = sizeof(*this);
+    for (const Block& b : blocks_) {
+      bytes += sizeof(Block) + b.sketch.size_bytes();
+    }
+    return bytes;
+  }
+
  private:
   struct Block {
     KllSketch sketch;

@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/types.h"
+
 namespace pint {
 
 class SpaceSaving {
@@ -71,6 +73,16 @@ class SpaceSaving {
   std::uint64_t total() const { return total_; }
   std::size_t capacity() const { return capacity_; }
   std::size_t monitored() const { return counters_.size(); }
+
+  // Approximate footprint: hash-map and multimap nodes for each monitored
+  // value plus the object itself.
+  std::size_t size_bytes() const {
+    return sizeof(*this) +
+           counters_.size() * (sizeof(std::uint64_t) + sizeof(Entry) +
+                               kMapNodeOverheadBytes) +
+           by_count_.size() *
+               (2 * sizeof(std::uint64_t) + kMapNodeOverheadBytes);
+  }
 
  private:
   struct Entry {

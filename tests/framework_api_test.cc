@@ -107,6 +107,84 @@ TEST(Builder, StaticQueryWithoutUniverseIsTypedError) {
   EXPECT_EQ(r.error->code, BuildErrorCode::kEmptySwitchUniverse);
 }
 
+TEST(Builder, MemoryBudgetOnPerPacketQueryIsTypedError) {
+  QuerySpec spec = make_perpacket_query("hpcc", "", 8, 1.0);
+  spec.memory_budget_bytes = 4096;  // per-packet queries keep no sink state
+  const BuildResult r = PintFramework::Builder()
+                            .global_bit_budget(16)
+                            .add_query(spec)
+                            .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kInconsistentMemoryBudget);
+  EXPECT_NE(r.error->message.find("hpcc"), std::string::npos);
+}
+
+TEST(Builder, OvercommittedMemoryBudgetsAreTypedError) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec a = make_dynamic_query("a", std::string(extractor::kHopLatency),
+                                   8, 0.5, tuning);
+  a.memory_budget_bytes = 800;
+  QuerySpec b = make_dynamic_query("b", std::string(extractor::kQueueOccupancy),
+                                   8, 0.5, tuning);
+  b.memory_budget_bytes = 400;
+  const BuildResult r = PintFramework::Builder()
+                            .global_bit_budget(16)
+                            .memory_ceiling_bytes(1000)  // 800 + 400 > 1000
+                            .add_query(a)
+                            .add_query(b)
+                            .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kInconsistentMemoryBudget);
+}
+
+TEST(Builder, CeilingLeavingNoShareIsTypedError) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec greedy = make_dynamic_query(
+      "greedy", std::string(extractor::kHopLatency), 8, 0.5, tuning);
+  greedy.memory_budget_bytes = 1000;  // consumes the whole ceiling
+  const BuildResult r =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .memory_ceiling_bytes(1000)
+          .add_query(greedy)
+          .add_query(make_dynamic_query(
+              "starved", std::string(extractor::kQueueOccupancy), 8, 0.5,
+              tuning))
+          .build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->code, BuildErrorCode::kInconsistentMemoryBudget);
+  EXPECT_NE(r.error->message.find("unbudgeted"), std::string::npos);
+}
+
+TEST(Builder, ConsistentMemoryBudgetsBuild) {
+  DynamicAggregationConfig tuning;
+  tuning.max_value = 1e6;
+  QuerySpec budgeted = make_dynamic_query(
+      "budgeted", std::string(extractor::kHopLatency), 8, 0.5, tuning);
+  budgeted.memory_budget_bytes = 64 << 10;
+  const BuildResult r =
+      PintFramework::Builder()
+          .global_bit_budget(16)
+          .memory_ceiling_bytes(256 << 10)
+          .add_query(budgeted)
+          .add_query(make_dynamic_query(
+              "shared", std::string(extractor::kQueueOccupancy), 8, 0.5,
+              tuning))
+          .build();
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  EXPECT_TRUE(r.framework->memory_bounded());
+  EXPECT_EQ(r.framework->memory_ceiling_bytes(), 256u << 10);
+  const MemoryReport mem = r.framework->memory_report();
+  const QueryMemoryStats* budgeted_stats = mem.find("budgeted");
+  const QueryMemoryStats* shared_stats = mem.find("shared");
+  ASSERT_NE(budgeted_stats, nullptr);
+  ASSERT_NE(shared_stats, nullptr);
+  EXPECT_EQ(budgeted_stats->capacity_bytes, 64u << 10);
+  EXPECT_EQ(shared_stats->capacity_bytes, (256u << 10) - (64u << 10));
+}
+
 TEST(Builder, InfeasibleMixIsTypedError) {
   // Two full-frequency 8-bit queries cannot share an 8-bit budget.
   const BuildResult r = PintFramework::Builder()

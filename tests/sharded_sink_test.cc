@@ -236,5 +236,22 @@ TEST(ShardedSink, RejectsZeroShardsAndBadBuilder) {
   EXPECT_THROW(ShardedSink(empty, 2), std::invalid_argument);
 }
 
+TEST(ShardedSink, SubmitRejectsMismatchedReportBuffer) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  ShardedSink sink(three_query_builder(), 2);
+  std::vector<SinkReport> too_small(packets.size() - 1);
+  EXPECT_THROW(sink.submit(packets, kHops, too_small), std::invalid_argument);
+  std::vector<SinkReport> too_big(packets.size() + 1);
+  EXPECT_THROW(sink.submit(packets, kHops, too_big), std::invalid_argument);
+  // The failed submits enqueued nothing: no partial batches to drain.
+  sink.flush();
+  EXPECT_EQ(sink.packets_processed(), 0u);
+  // A matching buffer (or none) still works on the same sink.
+  std::vector<SinkReport> right(packets.size());
+  sink.submit(packets, kHops, right);
+  sink.flush();
+  EXPECT_EQ(sink.packets_processed(), packets.size());
+}
+
 }  // namespace
 }  // namespace pint

@@ -48,13 +48,55 @@ TEST(RecordingStore, EvictsLruWhenOverCapacity) {
 }
 
 TEST(RecordingStore, GrowingStateReaccounted) {
-  auto store = make_store(0);
+  auto store = make_store(100'000);  // bounded: sizes refresh per touch
   FakeState& s = store.touch(7);
   EXPECT_EQ(store.used_bytes(), 100u);
   s.bytes = 500;
   store.touch(7);
   EXPECT_EQ(store.used_bytes(), 500u);
   EXPECT_EQ(store.created(), 1u);  // no re-creation
+}
+
+TEST(RecordingStore, UnboundedStoreKeepsCreationSizes) {
+  // With no capacity there is nothing to evict, so touch() deliberately
+  // skips the per-touch size walk (hot-path cost for a disabled feature);
+  // used_bytes() reflects creation-time sizes.
+  auto store = make_store(0);
+  FakeState& s = store.touch(7);
+  s.bytes = 500;
+  store.touch(7);
+  EXPECT_EQ(store.used_bytes(), 100u);
+  // put() replaces the entry wholesale and does re-account.
+  store.put(7, FakeState{7, 300});
+  EXPECT_EQ(store.used_bytes(), 300u);
+}
+
+TEST(RecordingStore, ShrinkingStateReaccountedExplicitly) {
+  // Regression: the old re-accounting (`used_ += now - bytes`) leaned on
+  // unsigned wraparound when a state shrank below its prior size — path
+  // decoders do exactly that as candidate sets are filtered.
+  auto store = make_store(100'000);
+  FakeState& s = store.touch(7);
+  EXPECT_EQ(store.used_bytes(), 100u);
+  s.bytes = 40;  // state shrank
+  store.touch(7);
+  EXPECT_EQ(store.used_bytes(), 40u);
+  EXPECT_EQ(store.created(), 1u);
+  // A second flow keeps summing correctly after the shrink.
+  store.touch(8);
+  EXPECT_EQ(store.used_bytes(), 140u);
+}
+
+TEST(RecordingStore, ShrinkBelowCapacityCancelsEvictionPressure) {
+  auto store = make_store(250);
+  FakeState& a = store.touch(1);
+  store.touch(2);
+  a.bytes = 10;
+  store.touch(1);  // re-account: 10 + 100
+  store.touch(3);  // 210 total: fits, nothing evicted
+  EXPECT_EQ(store.flows(), 3u);
+  EXPECT_EQ(store.evictions(), 0u);
+  EXPECT_EQ(store.used_bytes(), 210u);
 }
 
 TEST(RecordingStore, NeverEvictsFlowBeingTouched) {
@@ -64,6 +106,125 @@ TEST(RecordingStore, NeverEvictsFlowBeingTouched) {
       [](const FakeState& s) { return s.bytes; });
   store.touch(1);  // over capacity but must survive
   EXPECT_NE(store.find(1), nullptr);
+}
+
+TEST(RecordingStore, SoleOversizedFlowKeptAndFlagged) {
+  // A single protected entry above the whole ceiling is deliberately kept
+  // (evicting the flow being updated would livelock); the condition is
+  // surfaced through over_budget() and clears once the state shrinks back.
+  RecordingStore<FakeState> store(
+      50, [](std::uint64_t f) { return FakeState{f, 100}; },
+      [](const FakeState& s) { return s.bytes; });
+  FakeState& s = store.touch(1);
+  EXPECT_EQ(store.flows(), 1u);
+  EXPECT_EQ(store.used_bytes(), 100u);
+  EXPECT_TRUE(store.over_budget());
+  EXPECT_EQ(store.evictions(), 0u);
+  s.bytes = 30;
+  store.touch(1);
+  EXPECT_FALSE(store.over_budget());
+  EXPECT_EQ(store.used_bytes(), 30u);
+}
+
+TEST(RecordingStore, PeakExcludesMidTouchTransient) {
+  // Degenerate share (smaller than one entry): inserting flow 2 while the
+  // oversized flow 1 is still resident transiently accounts both, but the
+  // peak is recorded after the eviction pass, so the documented
+  // "peak <= capacity + one entry" bound holds even here.
+  RecordingStore<FakeState> store(
+      50, [](std::uint64_t f) { return FakeState{f, 100}; },
+      [](const FakeState& s) { return s.bytes; });
+  store.touch(1);
+  store.touch(2);  // mid-touch used_ hits 200; flow 1 evicted before peak
+  EXPECT_EQ(store.used_bytes(), 100u);
+  EXPECT_EQ(store.peak_used_bytes(), 100u);
+  EXPECT_LE(store.peak_used_bytes(),
+            store.capacity_bytes() + store.max_entry_bytes());
+}
+
+TEST(RecordingStore, OversizedNewcomerEvictsRestThenFlags) {
+  auto store = make_store(250);
+  store.touch(1);
+  store.touch(2);
+  FakeState& big = store.touch(3);
+  big.bytes = 400;
+  store.touch(3);  // re-account: over ceiling; 1 and 2 must go
+  EXPECT_EQ(store.flows(), 1u);
+  EXPECT_EQ(store.evictions(), 2u);
+  EXPECT_EQ(store.used_bytes(), 400u);
+  EXPECT_TRUE(store.over_budget());
+}
+
+TEST(RecordingStore, RefreshBumpsWithoutCreating) {
+  auto store = make_store(250);
+  EXPECT_EQ(store.refresh(9), nullptr);  // unknown flow: not created
+  EXPECT_EQ(store.flows(), 0u);
+  store.touch(1);
+  store.touch(2);
+  EXPECT_NE(store.refresh(1), nullptr);  // 1 is now most recent
+  store.touch(3);                        // evicts 2, not 1
+  EXPECT_NE(store.find(1), nullptr);
+  EXPECT_EQ(store.find(2), nullptr);
+}
+
+TEST(RecordingStore, ThrowingFactoryLeavesStoreUntouched) {
+  auto store = make_store(250);
+  store.touch(1);
+  EXPECT_THROW(store.touch(2,
+                           []() -> FakeState {
+                             throw std::runtime_error("recorder factory");
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(store.flows(), 1u);
+  EXPECT_EQ(store.used_bytes(), 100u);
+  // No dangling LRU node: later eviction passes walk only real entries.
+  store.touch(3);
+  store.touch(4);  // 300 bytes total: evicts 1
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.flows(), 2u);
+  // Retrying the failed key works normally.
+  EXPECT_EQ(store.touch(2).flow, 2u);
+}
+
+TEST(RecordingStore, PutInsertsOrOverwritesWithAccounting) {
+  RecordingStore<FakeState> store(0,
+                                  [](const FakeState& s) { return s.bytes; });
+  store.put(1, FakeState{1, 100});
+  EXPECT_EQ(store.used_bytes(), 100u);
+  store.put(1, FakeState{1, 30});  // overwrite re-accounts, no re-create
+  EXPECT_EQ(store.used_bytes(), 30u);
+  EXPECT_EQ(store.flows(), 1u);
+  EXPECT_EQ(store.created(), 1u);
+}
+
+TEST(RecordingStore, FactorylessStoreUsesTouchSiteFactory) {
+  RecordingStore<FakeState> store(
+      0, [](const FakeState& s) { return s.bytes; });
+  FakeState& s = store.touch(5, [] { return FakeState{5, 64}; });
+  EXPECT_EQ(s.flow, 5u);
+  EXPECT_EQ(store.used_bytes(), 64u);
+  EXPECT_THROW(store.touch(6), std::logic_error);  // no stored factory
+}
+
+TEST(RecordingStore, PeakStaysWithinCeilingPlusOneEntry) {
+  // Heavy-tailed churn: sizes vary 40..360 bytes, most keys are one-shot
+  // mice. The transient overshoot of the accounting must never exceed the
+  // ceiling by more than the largest single entry.
+  const std::size_t kCeiling = 5000;
+  RecordingStore<FakeState> store(
+      kCeiling,
+      [](std::uint64_t f) { return FakeState{f, 40 + (f * 17) % 321}; },
+      [](const FakeState& s) { return s.bytes; });
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    store.touch(1000 + i);               // one-shot mouse
+    FakeState& s = store.touch(i % 5);   // hot flows refresh constantly
+    if (i % 100 == 0) s.bytes += 8;      // ...and slowly grow
+  }
+  EXPECT_GT(store.evictions(), 0u);
+  EXPECT_LE(store.used_bytes(), kCeiling + store.max_entry_bytes());
+  EXPECT_LE(store.peak_used_bytes(), kCeiling + store.max_entry_bytes());
+  // The few hot flows survive the churn.
+  for (std::uint64_t f = 0; f < 5; ++f) EXPECT_NE(store.find(f), nullptr);
 }
 
 TEST(RecordingStore, EraseFreesBytes) {

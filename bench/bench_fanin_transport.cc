@@ -1,0 +1,270 @@
+// Fan-in transport throughput: N sharded sinks shipping framed report
+// streams to one collector over both ByteStream implementations (SPSC
+// ring vs unix socketpair), plus the cost of backpressure policies. This
+// is the sink -> Inference-Module leg of the multi-sink scale-out (this
+// repo's extension; the paper's sinks are monolithic).
+//
+// Before timing, the harness verifies the collector's merged record
+// stream is byte-identical to a monolithic sink's on the same traffic
+// (lossless config), and that a deliberately starved drop-newest config
+// reports exact drop counts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "pint/framework.h"
+#include "pint/report_codec.h"
+#include "sim/fanin.h"
+
+namespace pint {
+namespace {
+
+constexpr unsigned kHops = 5;
+std::size_t kFlows = 8192;  // shrunk in smoke mode
+std::size_t kPacketsPerFlow = 16;
+
+PintFramework::Builder mix_builder() {
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = kHops;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e8;
+  PerPacketConfig cc_tuning;
+  cc_tuning.eps = 0.025;
+  cc_tuning.max_value = 1e6;
+  std::vector<std::uint64_t> universe;
+  for (std::uint64_t s = 1; s <= 64; ++s) universe.push_back(s);
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .seed(0xFA417)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    15.0 / 16.0, latency_tuning))
+      .add_query(make_perpacket_query(
+          "hpcc", std::string(extractor::kLinkUtilization), 8, 1.0 / 16.0,
+          cc_tuning));
+  return builder;
+}
+
+std::vector<Packet> make_traffic() {
+  const auto network = mix_builder().build_or_throw();
+  std::vector<Packet> packets;
+  packets.reserve(kFlows * kPacketsPerFlow);
+  PacketId next_id = 1;
+  for (std::size_t j = 0; j < kPacketsPerFlow; ++j) {
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      Packet p;
+      p.id = next_id++;
+      p.tuple.src_ip = 0x0A000000u + static_cast<std::uint32_t>(f);
+      p.tuple.dst_ip = 0x0B000000u + static_cast<std::uint32_t>(f % 2048);
+      p.tuple.src_port = static_cast<std::uint16_t>(f);
+      p.tuple.dst_port = 443;
+      packets.push_back(std::move(p));
+    }
+  }
+  for (Packet& p : packets) {
+    const std::size_t f = (p.id - 1) % kFlows;
+    for (HopIndex i = 1; i <= kHops; ++i) {
+      SwitchView view(static_cast<SwitchId>((f + i) % 64 + 1));
+      view.set(metric::kHopLatencyNs, 500.0 * i + static_cast<double>(f % 97));
+      view.set(metric::kLinkUtilization, 0.05 * i);
+      network->at_switch(p, i, view);
+    }
+  }
+  return packets;
+}
+
+struct RecordingObserver : SinkObserver {
+  struct Rec {
+    SinkContext ctx;
+    std::string query;
+    bool path_event = false;
+    Observation obs{};
+    std::vector<SwitchId> path;
+  };
+  std::vector<Rec> records;
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    records.push_back({ctx, std::string(query), false, obs, {}});
+  }
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    records.push_back({ctx, std::string(query), true, {}, path});
+  }
+};
+
+std::vector<std::uint8_t> canonical_bytes(
+    std::vector<RecordingObserver::Rec> records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.ctx.packet_id < b.ctx.packet_id;
+                   });
+  ReportEncoder enc;
+  for (const auto& rec : records) {
+    if (rec.path_event) {
+      enc.add_path(rec.ctx, rec.query, rec.path);
+    } else {
+      enc.add(rec.ctx, rec.query, rec.obs);
+    }
+  }
+  return enc.finish();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t bytes_shipped = 0;
+  TransportCounters transport;
+};
+
+RunResult run_pipeline(const PintFramework::Builder& builder,
+                       std::span<const Packet> packets, FanInConfig cfg,
+                       unsigned epochs) {
+  FanInPipeline pipeline(builder, cfg);
+  const std::size_t per_epoch = packets.size() / epochs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    pipeline.deliver(packets[i], kHops);
+    if (per_epoch > 0 && (i + 1) % per_epoch == 0) pipeline.ship_epoch();
+  }
+  pipeline.shutdown();
+  RunResult r;
+  r.seconds = seconds_since(t0);
+  r.bytes_shipped = pipeline.bytes_shipped();
+  r.transport = pipeline.transport_counters();
+  return r;
+}
+
+}  // namespace
+}  // namespace pint
+
+int main(int argc, char** argv) {
+  using namespace pint;
+  const bool smoke = bench::smoke_mode(argc, argv);
+  if (smoke) kFlows = 512;
+  bench::header(
+      "Fan-in transport — framed sink->collector streams\n"
+      "(three-query mix; epoch framing + CRC over SPSC ring vs unix\n"
+      "socketpair; collector output verified byte-identical to a\n"
+      "monolithic sink before timing)");
+  if (smoke) bench::note_smoke();
+
+  const auto builder = mix_builder();
+  const std::vector<Packet> packets = make_traffic();
+  const double mpkts = static_cast<double>(packets.size()) / 1e6;
+  std::printf("traffic: %zu flows x %zu packets = %zu packets, k=%u\n\n",
+              kFlows, kPacketsPerFlow, packets.size(), kHops);
+
+  // Correctness gate 1: lossless fan-in == monolithic sink, byte for byte.
+  {
+    const auto mono = builder.build_or_throw();
+    RecordingObserver mono_records;
+    mono->add_observer(&mono_records);
+    mono->at_sink(std::span<const Packet>(packets), kHops);
+
+    FanInConfig cfg;
+    cfg.num_sinks = 2;
+    cfg.shards_per_sink = 2;
+    FanInPipeline pipeline(builder, cfg);
+    RecordingObserver central;
+    pipeline.collector().add_observer(&central);
+    for (const Packet& p : packets) pipeline.deliver(p, kHops);
+    pipeline.shutdown();
+    if (canonical_bytes(central.records) !=
+        canonical_bytes(mono_records.records)) {
+      std::printf("FAIL: fan-in records differ from monolithic sink\n");
+      return 1;
+    }
+    if (pipeline.transport_counters().frames_dropped != 0 ||
+        pipeline.collector().errors_total() != 0) {
+      std::printf("FAIL: lossless config dropped frames or saw errors\n");
+      return 1;
+    }
+    std::printf("verified: merged records byte-identical to monolithic\n");
+  }
+
+  // Correctness gate 2: starved drop-newest reports exact drop counts.
+  {
+    FanInConfig cfg;
+    cfg.num_sinks = 2;
+    cfg.backpressure = BackpressurePolicy::kDropNewest;
+    cfg.stream_capacity_bytes = 8192;
+    cfg.max_frame_records = 64;
+    FanInPipeline pipeline(builder, cfg);
+    for (const Packet& p : packets) pipeline.deliver(p, kHops);
+    pipeline.ship_epoch();
+    pipeline.shutdown();
+    const TransportCounters t = pipeline.transport_counters();
+    std::uint64_t missed = 0;
+    for (unsigned s = 0; s < pipeline.num_sinks(); ++s) {
+      missed +=
+          pipeline.collector().source_status(pipeline.source_id(s))
+              ->frames_missed;
+    }
+    if (t.frames_dropped == 0 || missed != t.frames_dropped) {
+      std::printf("FAIL: drop accounting inexact (dropped=%llu missed=%llu)\n",
+                  static_cast<unsigned long long>(t.frames_dropped),
+                  static_cast<unsigned long long>(missed));
+      return 1;
+    }
+    std::printf(
+        "verified: drop-newest drops counted exactly "
+        "(dropped=%llu == receiver gaps)\n\n",
+        static_cast<unsigned long long>(t.frames_dropped));
+  }
+
+  const unsigned epochs = 8;
+  bench::row("%-34s %10s %12s %12s", "configuration", "time", "Mpkts/s",
+             "shipped MiB");
+  for (const StreamKind stream :
+       {StreamKind::kSpscRing, StreamKind::kSocketPair}) {
+    for (const unsigned sinks : {1u, 2u, 4u}) {
+      FanInConfig cfg;
+      cfg.num_sinks = sinks;
+      cfg.shards_per_sink = 1;
+      cfg.stream = stream;
+      const RunResult r = run_pipeline(builder, packets, cfg, epochs);
+      const std::string label =
+          std::string(stream == StreamKind::kSpscRing ? "ring" : "socketpair") +
+          ", " + std::to_string(sinks) + " sink(s)";
+      bench::row("%-34s %9.3f s %12.2f %12.2f", label.c_str(), r.seconds,
+                 mpkts / r.seconds,
+                 static_cast<double>(r.bytes_shipped) / (1024.0 * 1024.0));
+    }
+  }
+
+  // Policy cost under a tight pipe: blocking waits vs counted drops.
+  std::printf("\n");
+  for (const BackpressurePolicy policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDropNewest}) {
+    FanInConfig cfg;
+    cfg.num_sinks = 2;
+    cfg.stream_capacity_bytes = 16384;
+    cfg.max_frame_records = 128;
+    cfg.backpressure = policy;
+    const RunResult r = run_pipeline(builder, packets, cfg, epochs);
+    const bool block = policy == BackpressurePolicy::kBlock;
+    bench::row("%-34s %9.3f s   waits=%llu dropped=%llu",
+               block ? "16 KiB pipe, block" : "16 KiB pipe, drop-newest",
+               r.seconds,
+               static_cast<unsigned long long>(r.transport.blocked_waits),
+               static_cast<unsigned long long>(r.transport.frames_dropped));
+  }
+  std::printf(
+      "\nNote: both streams are in-process; socketpair adds two syscalls\n"
+      "per frame leg, the ring adds none. Framing cost (CRC-32 + 26-byte\n"
+      "header per frame) is shared by both.\n");
+  return 0;
+}

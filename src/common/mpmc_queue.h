@@ -1,0 +1,112 @@
+// Bounded multi-producer/multi-consumer queue (Dmitry Vyukov's sequence-
+// numbered ring). Each cell carries an atomic sequence that tells both
+// sides whether the cell is ready for them; producers and consumers claim
+// cells with one CAS on their own cursor and never touch the other side's,
+// so enqueue/dequeue are wait-free against each other and lock-free among
+// themselves. No mutexes on the data path — this is the front-end that
+// lets several NIC-queue threads feed one ShardedSink shard concurrently.
+//
+// try_push/try_pop are non-blocking: a full queue refuses the push (the
+// caller decides whether to spin, sleep, or drop — an explicit
+// backpressure decision), an empty queue refuses the pop. Capacity is
+// rounded up to a power of two.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pint {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : cells_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+        mask_(cells_.size() - 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  /// False when the queue is full (value untouched).
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the cell is still owned by a lagging consumer: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // no producer has published this cell yet: empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size hint (monitoring only).
+  std::size_t approx_size() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producers
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumers
+};
+
+}  // namespace pint

@@ -106,6 +106,12 @@ PintFramework::Builder& PintFramework::Builder::memory_ceiling_bytes(
   return *this;
 }
 
+PintFramework::Builder& PintFramework::Builder::memory_report_interval_packets(
+    std::uint64_t packets) {
+  memory_report_interval_ = packets;
+  return *this;
+}
+
 PintFramework::Builder PintFramework::Builder::with_memory_divided(
     unsigned parts) const {
   if (parts == 0) throw std::invalid_argument("parts > 0");
@@ -302,6 +308,7 @@ BuildResult PintFramework::Builder::build() const {
   }
   fw->memory_ceiling_ = memory_ceiling_;
   fw->memory_bounded_ = memory_ceiling_ > 0 || explicit_total > 0;
+  fw->memory_report_interval_ = memory_report_interval_;
 
   try {
     fw->engine_ =
@@ -400,6 +407,7 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
     // Still stamp the counters: a bounded framework's reports must carry
     // them on every packet, decodable or not.
     if (memory_bounded_) fill_memory_counters(report.memory);
+    heartbeat_tick();
     return;
   }
   // Queries usually share a flow definition: hash the tuple at most once
@@ -481,6 +489,16 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
       }
     }
   }
+  heartbeat_tick();
+}
+
+void PintFramework::heartbeat_tick() {
+  if (memory_report_interval_ == 0) return;
+  if (++packets_since_memory_report_ < memory_report_interval_) return;
+  packets_since_memory_report_ = 0;
+  if (observers_.empty()) return;
+  const MemoryReport mem = memory_report();
+  for (SinkObserver* o : observers_) o->on_memory_report(mem);
 }
 
 SinkReport PintFramework::at_sink(const Packet& packet, unsigned k) {

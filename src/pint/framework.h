@@ -111,6 +111,19 @@ class PintFramework {
     Builder& memory_ceiling_bytes(std::size_t bytes);
     std::size_t memory_ceiling() const { return memory_ceiling_; }
 
+    /// Emit `on_memory_report` every `packets` sink packets (0, the
+    /// default, disables the heartbeat). Complements the eviction-edge
+    /// trigger: an operator dashboard hears about occupancy even while
+    /// nothing is being evicted — and, unlike the edge trigger, the
+    /// heartbeat fires with memory bounding off too (occupancy figures
+    /// are then the unbounded stores' creation-time estimates). Inside a
+    /// ShardedSink every replica counts its own packets, so expect one
+    /// report per shard per interval.
+    Builder& memory_report_interval_packets(std::uint64_t packets);
+    std::uint64_t memory_report_interval() const {
+      return memory_report_interval_;
+    }
+
     /// Copy of this builder with the memory ceiling and every per-query
     /// budget divided by `parts`. Bounded never becomes unbounded: the
     /// ceiling floors at 1 byte, and under a ceiling a per-query budget
@@ -146,6 +159,7 @@ class PintFramework {
     unsigned budget_ = 16;
     std::uint64_t seed_ = 0x50494E54;  // "PINT"
     std::size_t memory_ceiling_ = 0;   // 0 = unbounded (seed behavior)
+    std::uint64_t memory_report_interval_ = 0;  // 0 = no heartbeat
     std::vector<std::uint64_t> universe_;
     ValueExtractorRegistry registry_;
     std::optional<std::string> duplicate_extractor_;
@@ -201,6 +215,11 @@ class PintFramework {
   /// True when a memory ceiling or any per-query budget is configured.
   bool memory_bounded() const { return memory_bounded_; }
   std::size_t memory_ceiling_bytes() const { return memory_ceiling_; }
+
+  /// Packets between heartbeat memory reports (0 = heartbeat off).
+  std::uint64_t memory_report_interval() const {
+    return memory_report_interval_;
+  }
 
   /// Snapshot of every per-flow query's Recording-Module storage
   /// (occupancy, peak, evictions). Cheap. While bounding is enabled the
@@ -290,6 +309,7 @@ class PintFramework {
   void encode_one(Packet& packet, HopIndex i, const SwitchView* view,
                   const double* hoisted);
   void sink_one(const Packet& packet, unsigned k, SinkReport& report);
+  void heartbeat_tick();  // periodic on_memory_report, counted per packet
 
   const Binding* find_binding(std::string_view query) const;
   const Binding* find_binding(AggregationType aggregation) const;
@@ -307,6 +327,8 @@ class PintFramework {
   bool memory_bounded_ = false;
   std::size_t memory_ceiling_ = 0;
   std::uint64_t last_reported_evictions_ = 0;  // on_memory_report edge
+  std::uint64_t memory_report_interval_ = 0;   // heartbeat period (packets)
+  std::uint64_t packets_since_memory_report_ = 0;
 };
 
 }  // namespace pint

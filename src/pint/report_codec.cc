@@ -145,18 +145,36 @@ void ReportEncoder::add(PacketId packet, unsigned k,
   }
 }
 
-std::vector<std::uint8_t> ReportEncoder::finish() {
+// Serializes records [lo, hi) into one self-contained buffer. The name
+// table is rebuilt per range (only the names the range uses, in first-use
+// order), so for the full range the output is byte-identical to the
+// historical single-buffer format.
+std::vector<std::uint8_t> ReportEncoder::encode_range(std::size_t lo,
+                                                      std::size_t hi) const {
+  constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> local_of(names_.size(), kUnmapped);
+  std::vector<std::uint32_t> used;  // global name indices, first-use order
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::uint32_t g = records_[i].name_index;
+    if (local_of[g] == kUnmapped) {
+      local_of[g] = static_cast<std::uint32_t>(used.size());
+      used.push_back(g);
+    }
+  }
+
   std::vector<std::uint8_t> out;
-  out.reserve(64 + 32 * records_.size());  // rough; avoids early regrowth
+  out.reserve(64 + 32 * (hi - lo));  // rough; avoids early regrowth
   for (std::uint8_t byte : kMagic) out.push_back(byte);
-  put_varint(out, names_.size());
-  for (const std::string& name : names_) {
+  put_varint(out, used.size());
+  for (const std::uint32_t g : used) {
+    const std::string& name = names_[g];
     put_varint(out, name.size());
     out.insert(out.end(), name.begin(), name.end());
   }
-  put_varint(out, records_.size());
-  for (const Record& r : records_) {
-    put_varint(out, r.name_index);
+  put_varint(out, hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Record& r = records_[i];
+    put_varint(out, local_of[r.name_index]);
     out.push_back(r.tag);
     put_varint(out, r.ctx.packet_id);
     put_fixed64(out, r.ctx.flow);
@@ -180,9 +198,30 @@ std::vector<std::uint8_t> ReportEncoder::finish() {
         break;
     }
   }
+  return out;
+}
+
+void ReportEncoder::reset() {
   names_.clear();
   name_index_.clear();
   records_.clear();
+}
+
+std::vector<std::uint8_t> ReportEncoder::finish() {
+  std::vector<std::uint8_t> out = encode_range(0, records_.size());
+  reset();
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> ReportEncoder::finish_chunked(
+    std::size_t max_records) {
+  if (max_records == 0) max_records = 1;
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t lo = 0; lo < records_.size(); lo += max_records) {
+    out.push_back(encode_range(lo, std::min(lo + max_records,
+                                            records_.size())));
+  }
+  reset();
   return out;
 }
 

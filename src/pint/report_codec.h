@@ -69,6 +69,14 @@ class ReportEncoder {
   /// Serializes everything recorded so far and resets the encoder.
   std::vector<std::uint8_t> finish();
 
+  /// Like finish(), but splits the pending records into buffers of at most
+  /// `max_records` records each, in record order. Every buffer is
+  /// self-contained (own magic + name table), so each can be framed,
+  /// shipped, and decoded independently — losing one frame costs only that
+  /// frame's records, not the epoch. Resets the encoder.
+  std::vector<std::vector<std::uint8_t>> finish_chunked(
+      std::size_t max_records);
+
  private:
   struct Record {
     SinkContext ctx;
@@ -89,6 +97,8 @@ class ReportEncoder {
   };
 
   std::uint32_t intern(std::string_view name);
+  std::vector<std::uint8_t> encode_range(std::size_t lo, std::size_t hi) const;
+  void reset();
 
   std::vector<std::string> names_;
   std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>

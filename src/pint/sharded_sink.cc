@@ -77,9 +77,12 @@ class ShardedSink::Relay : public SinkObserver {
 };
 
 ShardedSink::ShardedSink(const PintFramework::Builder& builder,
-                         unsigned num_shards) {
+                         unsigned num_shards, std::size_t queue_depth) {
   if (num_shards == 0) {
     throw std::invalid_argument("ShardedSink needs at least one shard");
+  }
+  if (queue_depth == 0) {
+    throw std::invalid_argument("ShardedSink needs a nonzero queue depth");
   }
   relay_ = std::make_unique<Relay>(*this);
   // Each shard holds 1/num_shards of the flows, so it gets 1/num_shards of
@@ -89,7 +92,7 @@ ShardedSink::ShardedSink(const PintFramework::Builder& builder,
                      : PintFramework::Builder(builder);
   shards_.reserve(num_shards);
   for (unsigned s = 0; s < num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_unique<Shard>(queue_depth);
     shard->fw = replica_builder.build_or_throw();
     shard->fw->add_observer(relay_.get());
     shards_.push_back(std::move(shard));
@@ -115,16 +118,22 @@ ShardedSink::~ShardedSink() {
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
-      shard->stop = true;
-      // Discard batches no worker has started: they hold pointers into
-      // caller buffers that are only guaranteed alive through the next
-      // flush(), and destruction without a flush() (early exit, unwind)
-      // must not touch them.
-      shard->pending_batches -= shard->work.size();
-      shard->work.clear();
-      if (shard->pending_batches == 0) shard->idle.notify_all();
+      shard->stop.store(true, std::memory_order_release);
     }
     shard->wake.notify_one();
+  }
+  // Discard batches no worker has started: they hold pointers into caller
+  // buffers that are only guaranteed alive through the next flush(), and
+  // destruction without a flush() (early exit, unwind) must not touch
+  // them. The queue is multi-consumer, so draining here races the workers
+  // safely and empties the backlog before they could process it (workers
+  // re-check stop between batches); a batch a worker grabbed concurrently
+  // counts as already being processed. Destroying a Batch only frees its
+  // pointer vectors.
+  for (auto& shard : shards_) {
+    Batch batch;
+    while (shard->queue.try_pop(batch)) {
+    }
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -150,19 +159,36 @@ void ShardedSink::submit(std::span<const Packet> packets, unsigned k,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (staged[s].packets.empty()) continue;
     staged[s].k = k;
-    {
-      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
-      ++shards_[s]->pending_batches;
-      shards_[s]->work.push_back(std::move(staged[s]));
+    Shard& shard = *shards_[s];
+    // pending goes up before the batch is visible anywhere, so a flush()
+    // racing this submit can never observe "all done" mid-handoff.
+    shard.pending_batches.fetch_add(1, std::memory_order_acq_rel);
+    // Bounded queue full = backpressure: this producer waits (the batch
+    // is already partitioned; blocking here is the kBlock policy — the
+    // sink never grows an unbounded backlog).
+    while (!shard.queue.try_push(std::move(staged[s]))) {
+      std::this_thread::yield();
     }
-    shards_[s]->wake.notify_one();
+    // Publish after the push: a worker that observes queued > 0 is
+    // guaranteed to find the batch (release pairs with the worker's
+    // acquire load).
+    shard.queued.fetch_add(1, std::memory_order_release);
+    {
+      // Empty critical section: the worker either holds the mutex and is
+      // about to re-check its predicate, or is already asleep and the
+      // notify below lands after it released the mutex.
+      std::lock_guard<std::mutex> lock(shard.mutex);
+    }
+    shard.wake.notify_one();
   }
 }
 
 void ShardedSink::flush() {
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mutex);
-    shard->idle.wait(lock, [&] { return shard->pending_batches == 0; });
+    shard->idle.wait(lock, [&] {
+      return shard->pending_batches.load(std::memory_order_acquire) == 0;
+    });
   }
 }
 
@@ -173,7 +199,9 @@ void ShardedSink::add_observer(SinkObserver* observer) {
 
 std::uint64_t ShardedSink::packets_processed() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->processed;
+  for (const auto& shard : shards_) {
+    total += shard->processed.load(std::memory_order_acquire);
+  }
   return total;
 }
 
@@ -206,27 +234,36 @@ MemoryReport ShardedSink::memory_report() const {
 }
 
 void ShardedSink::worker_loop(Shard& shard) {
+  SinkReport scratch;
   for (;;) {
+    // Checked between batches, not just when idle: once destruction sets
+    // stop, the remaining backlog must be discarded (by ~ShardedSink),
+    // not processed against possibly-dead caller buffers.
+    if (shard.stop.load(std::memory_order_acquire)) return;
     Batch batch;
-    {
-      std::unique_lock<std::mutex> lock(shard.mutex);
-      shard.wake.wait(lock, [&] { return shard.stop || !shard.work.empty(); });
-      if (shard.work.empty()) return;  // stop requested and drained
-      batch = std::move(shard.work.front());
-      shard.work.pop_front();
+    if (shard.queue.try_pop(batch)) {
+      shard.queued.fetch_sub(1, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < batch.packets.size(); ++i) {
+        SinkReport& out = batch.reports.empty() ? scratch : *batch.reports[i];
+        shard.fw->at_sink(*batch.packets[i], batch.k, out);
+      }
+      shard.processed.fetch_add(batch.packets.size(),
+                                std::memory_order_release);
+      if (shard.pending_batches.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        // Last outstanding batch: wake flush(). Taking the mutex orders
+        // this notify after any flush() entered its predicate check.
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.idle.notify_all();
+      }
+      continue;
     }
-    SinkReport scratch;
-    for (std::size_t i = 0; i < batch.packets.size(); ++i) {
-      SinkReport& out =
-          batch.reports.empty() ? scratch : *batch.reports[i];
-      shard.fw->at_sink(*batch.packets[i], batch.k, out);
-    }
-    {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.processed += batch.packets.size();
-      --shard.pending_batches;
-      if (shard.pending_batches == 0) shard.idle.notify_all();
-    }
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.wake.wait(lock, [&] {
+      return shard.stop.load(std::memory_order_acquire) ||
+             shard.queued.load(std::memory_order_acquire) > 0;
+    });
+    if (shard.stop.load(std::memory_order_acquire)) return;
   }
 }
 

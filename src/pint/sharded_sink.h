@@ -18,9 +18,9 @@
 /// that owns the flow.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mpmc_queue.h"
 #include "common/types.h"
 #include "packet/flow.h"
 #include "packet/packet.h"
@@ -49,18 +50,32 @@ std::optional<FlowDefinition> common_flow_partition(const PintFramework& fw);
 /// one Builder (the Builder is reusable, and identical seeds make every
 /// replica decode identically). Threading contract:
 ///
-///  * `submit()` may be called from one producer thread at a time; the
-///    submitted packets (and the optional report buffer) must stay alive and
-///    unmodified until the next `flush()` returns.
+///  * `submit()` is multi-producer: any number of threads — NIC queues, in
+///    practice — may call it concurrently. Each shard fronts its worker
+///    with a bounded lock-free MPMC queue (common/mpmc_queue.h); when a
+///    shard's queue is full, submit blocks (yield-spin) until the worker
+///    drains it — explicit backpressure instead of unbounded queue growth.
+///    Per-flow determinism is preserved whenever each flow's packets are
+///    submitted by one producer in order (the queue keeps per-producer
+///    FIFO); packets of one flow spread across racing producers arrive in
+///    a nondeterministic order, exactly as they would from racing NIC
+///    queues. Submitted packets (and the optional report buffer) must stay
+///    alive and unmodified until the next `flush()` returns.
 ///  * Observers registered through `add_observer()` are invoked from shard
 ///    worker threads but serialized under an internal mutex, so ordinary
 ///    single-threaded observers (the `src/apps/` adapters) work unchanged.
 ///    Observers registered on the Builder itself bypass this serialization
 ///    and must be thread-safe — prefer `add_observer()` here.
+///  * `flush()` waits for every batch submitted *before* the call; quiesce
+///    (join or barrier) producer threads first if "everything" must mean
+///    their batches too.
 ///  * The merged inference accessors and `shard()` must only be called when
 ///    the sink is quiescent (after `flush()`, before the next `submit()`).
 class ShardedSink {
  public:
+  /// Batches a shard's MPMC queue can hold before submit() blocks.
+  static constexpr std::size_t kDefaultQueueDepth = 256;
+
   /// Builds `num_shards` framework replicas and starts one worker per shard.
   ///
   /// When the Builder carries Recording-Module budgets
@@ -76,7 +91,8 @@ class ShardedSink {
   /// queries' flow definitions admit no common partition key (source-IP and
   /// destination-IP aggregation cannot be partitioned consistently at one
   /// sink — split them across sinks instead, see `docs/ARCHITECTURE.md`).
-  ShardedSink(const PintFramework::Builder& builder, unsigned num_shards);
+  ShardedSink(const PintFramework::Builder& builder, unsigned num_shards,
+              std::size_t queue_depth = kDefaultQueueDepth);
   ~ShardedSink();
 
   ShardedSink(const ShardedSink&) = delete;
@@ -84,7 +100,8 @@ class ShardedSink {
 
   /// Partitions `packets` by flow and enqueues each group on its shard.
   ///
-  /// `k` is the flows' path length in switches (as in
+  /// Safe to call concurrently from several producer threads (see the
+  /// class contract). `k` is the flows' path length in switches (as in
   /// `PintFramework::at_sink`). If `reports` is non-empty it must have one
   /// entry per packet; entry `i` is overwritten with packet `i`'s
   /// SinkReport, so after `flush()` the buffer holds the merged report
@@ -158,14 +175,27 @@ class ShardedSink {
   };
 
   struct Shard {
+    explicit Shard(std::size_t queue_depth) : queue(queue_depth) {}
+
     std::unique_ptr<PintFramework> fw;
-    std::mutex mutex;
+    MpmcQueue<Batch> queue;  // multi-producer front-end, worker consumes
+    // queued counts published batches (sleep/wake signal): pushes that
+    // completed their post-push increment, minus pops. A worker can pop a
+    // batch before its producer's increment lands, so the counter is
+    // signed and transiently negative — the sleep predicate treats <= 0
+    // as "nothing published" and the producer's notify-after-increment
+    // keeps liveness. pending counts batches not yet fully processed
+    // (flush signal).
+    std::atomic<std::ptrdiff_t> queued{0};
+    std::atomic<std::size_t> pending_batches{0};
+    std::atomic<std::uint64_t> processed{0};
+    std::mutex mutex;               // guards cv sleeps
     std::condition_variable wake;   // worker waits for work / stop
     std::condition_variable idle;   // flush() waits for pending == 0
-    std::deque<Batch> work;
-    std::size_t pending_batches = 0;
-    std::uint64_t processed = 0;
-    bool stop = false;
+    // atomic: the worker re-checks it between batches without the mutex,
+    // so destruction stops the drain instead of processing a backlog of
+    // batches whose caller buffers may already be gone.
+    std::atomic<bool> stop{false};
     std::thread worker;
   };
 

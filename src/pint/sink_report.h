@@ -68,6 +68,22 @@ struct MemoryCounters {
   bool operator==(const MemoryCounters&) const = default;
 };
 
+/// Fan-in transport accounting: what happened to the framed report stream
+/// between this pipeline's sinks and the collector. All-zeros
+/// (`active == false`) everywhere except reports stamped by a fan-in
+/// pipeline (sim/fanin.h), so local-sink report streams are unchanged.
+/// `frames_dropped` counts payload frames the drop-newest backpressure
+/// policy refused to ship (BASEL-style: admission under pressure is an
+/// explicit, observable policy, not an accident of queue growth).
+struct TransportCounters {
+  std::uint64_t frames_shipped = 0;  ///< payload frames written to streams
+  std::uint64_t frames_dropped = 0;  ///< payload frames dropped (drop-newest)
+  std::uint64_t bytes_shipped = 0;   ///< framed bytes written to streams
+  std::uint64_t blocked_waits = 0;   ///< writer stalls under kBlock policy
+  bool active = false;
+  bool operator==(const TransportCounters&) const = default;
+};
+
 /// One per-flow query's Recording-Module storage stats (see
 /// RecordingStore); `query` points at the framework's registered spec.
 struct QueryMemoryStats {
@@ -91,6 +107,7 @@ class SinkReport {
   void clear() {
     count_ = 0;
     memory = MemoryCounters{};
+    transport = TransportCounters{};
   }
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
@@ -126,6 +143,10 @@ class SinkReport {
   /// (`bounded == false`) unless the framework was built with a memory
   /// ceiling or per-query budgets.
   MemoryCounters memory;
+
+  /// Fan-in transport accounting; all-zeros (`active == false`) unless
+  /// stamped by a FanInPipeline (see `FanInPipeline::epoch_report`).
+  TransportCounters transport;
 
  private:
   std::array<QueryObservation, kMaxQueriesPerPacket> entries_{};
@@ -188,8 +209,11 @@ class SinkObserver {
     (void)path;
   }
 
-  /// Fired after any packet whose processing evicted at least one flow from
-  /// a Recording-Module store (never fires when memory bounding is off).
+  /// Fired after any packet whose processing evicted at least one flow
+  /// from a Recording-Module store, and — when
+  /// `Builder::memory_report_interval_packets` is set — every N sink
+  /// packets as a heartbeat (the heartbeat fires with bounding off too).
+  /// With neither eviction nor a configured interval it never fires.
   virtual void on_memory_report(const MemoryReport& report) { (void)report; }
 };
 

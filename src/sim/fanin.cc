@@ -1,11 +1,35 @@
 #include "sim/fanin.h"
 
+#include <array>
 #include <stdexcept>
 #include <utility>
 
 #include "hash/global_hash.h"
 
 namespace pint {
+
+// --- FanInCollector ---------------------------------------------------------
+
+void FanInCollector::ingest_stream(std::uint32_t source,
+                                   std::span<const std::uint8_t> bytes) {
+  SourceState& state = sources_[source];
+  state.reassembler.feed(bytes);
+  bytes_ingested_ += bytes.size();
+  process_events(state);
+}
+
+void FanInCollector::end_stream(std::uint32_t source) {
+  SourceState& state = sources_[source];
+  state.reassembler.finish();
+  process_events(state);
+  if (state.status.epoch_open) {
+    // The source died between an epoch-open and its close marker: partial
+    // data, surfaced instead of silently merged.
+    ++state.status.epochs_incomplete;
+    state.status.epoch_open = false;
+  }
+  state.status.ended = true;
+}
 
 bool FanInCollector::ingest(std::span<const std::uint8_t> bytes) {
   std::vector<StreamRecord> records;
@@ -16,6 +40,97 @@ bool FanInCollector::ingest(std::span<const std::uint8_t> bytes) {
   return true;
 }
 
+const FanInCollector::SourceStatus* FanInCollector::source_status(
+    std::uint32_t source) const {
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? nullptr : &it->second.status;
+}
+
+std::uint64_t FanInCollector::incomplete_epochs() const {
+  std::uint64_t total = 0;
+  for (const auto& [source, state] : sources_) {
+    total += state.status.epochs_incomplete;
+  }
+  return total;
+}
+
+void FanInCollector::note_error(const FrameError& error) {
+  ++errors_total_;
+  if (errors_.size() < kMaxLoggedErrors) errors_.push_back(error);
+}
+
+void FanInCollector::process_events(SourceState& state) {
+  while (auto event = state.reassembler.next()) {
+    if (const auto* error = std::get_if<FrameError>(&*event)) {
+      note_error(*error);
+      if (error->code == FrameErrorCode::kSequenceGap) {
+        state.status.frames_missed += error->detail;
+      }
+      continue;
+    }
+    handle_frame(state, std::get<Frame>(*event));
+  }
+}
+
+void FanInCollector::handle_frame(SourceState& state, const Frame& frame) {
+  ++frames_ingested_;
+  switch (frame.type) {
+    case FrameType::kEpochOpen:
+      if (state.status.epoch_open) {
+        // Two opens without a close: the previous epoch never finished.
+        ++state.status.epochs_incomplete;
+      }
+      state.status.epoch_open = true;
+      state.status.current_epoch = frame.epoch;
+      state.payloads_this_epoch = 0;
+      break;
+    case FrameType::kPayload: {
+      ++state.status.payload_frames;
+      ++state.payloads_this_epoch;
+      std::vector<StreamRecord> records;
+      if (!decoder_.decode(frame.payload, records)) {
+        // The frame checksum passed but the codec rejected the buffer —
+        // an encoder bug or a malicious stream; typed, not fatal.
+        ++state.status.decode_failures;
+        break;
+      }
+      dispatch(records, observers_);
+      records_ingested_ += records.size();
+      break;
+    }
+    case FrameType::kEpochClose:
+      if (!state.status.epoch_open) {
+        ++state.status.epochs_incomplete;  // close without an open
+        break;
+      }
+      state.status.epoch_open = false;
+      // The close marker says how many payload frames were shipped; fewer
+      // received means frames were lost in transit.
+      if (state.payloads_this_epoch == frame.close_payload_count()) {
+        ++state.status.epochs_completed;
+      } else {
+        ++state.status.epochs_incomplete;
+      }
+      break;
+  }
+}
+
+// --- FanInPipeline ----------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<ByteStream> make_stream(const FanInConfig& config) {
+  switch (config.stream) {
+    case StreamKind::kSpscRing:
+      return std::make_unique<SpscRingStream>(config.stream_capacity_bytes);
+    case StreamKind::kSocketPair:
+      return std::make_unique<SocketPairStream>(config.stream_capacity_bytes);
+  }
+  throw std::invalid_argument("unknown StreamKind");
+}
+
+}  // namespace
+
 FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
                              FanInConfig config)
     : config_(config) {
@@ -23,13 +138,15 @@ FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
     throw std::invalid_argument("FanInPipeline needs at least one sink");
   }
   if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.max_frame_records == 0) config_.max_frame_records = 1;
   sinks_.reserve(config_.num_sinks);
   for (unsigned i = 0; i < config_.num_sinks; ++i) {
-    auto node = std::make_unique<SinkNode>();
+    auto node = std::make_unique<SinkNode>(source_id(i));
     node->sink =
         std::make_unique<ShardedSink>(builder, config_.shards_per_sink);
     node->tap = std::make_unique<EncodingObserver>(node->encoder);
     node->sink->add_observer(node->tap.get());
+    node->stream = make_stream(config_);
     sinks_.push_back(std::move(node));
   }
   // Splitting flows across sink hosts needs the same partition feasibility
@@ -55,6 +172,7 @@ unsigned FanInPipeline::sink_of(const FiveTuple& tuple) const {
 
 void FanInPipeline::deliver(const Packet& packet, unsigned k) {
   SinkNode& node = *sinks_[sink_of(packet.tuple)];
+  if (node.dead) return;  // a killed source hears nothing further
   std::vector<Packet>& staged = node.staging[k];
   staged.push_back(packet);
   if (staged.size() >= config_.batch_size) submit_staged(node, k);
@@ -64,26 +182,137 @@ void FanInPipeline::submit_staged(SinkNode& node, unsigned k) {
   std::vector<Packet>& staged = node.staging[k];
   if (staged.empty()) return;
   // The submitted span must outlive the sink's flush(): park the batch on
-  // the in-flight list until ship_epoch().
+  // the in-flight list until the epoch closes.
   node.in_flight.push_back(std::move(staged));
   staged.clear();
   node.sink->submit(node.in_flight.back(), k);
 }
 
-void FanInPipeline::ship_epoch() {
-  for (auto& node : sinks_) {
-    for (auto& [k, staged] : node->staging) {
-      if (!staged.empty()) submit_staged(*node, k);
+void FanInPipeline::flush_sink(SinkNode& node) {
+  for (auto& [k, staged] : node.staging) {
+    if (!staged.empty()) submit_staged(node, k);
+  }
+  node.sink->flush();
+  node.in_flight.clear();
+}
+
+bool FanInPipeline::write_frame(SinkNode& node,
+                                std::span<const std::uint8_t> bytes,
+                                bool droppable) {
+  for (;;) {
+    if (node.stream->try_write(bytes)) {
+      node.bytes_shipped += bytes.size();
+      return true;
     }
-    node->sink->flush();
-    node->in_flight.clear();
-    if (node->encoder.records() == 0) continue;
-    const std::vector<std::uint8_t> bytes = node->encoder.finish();
-    bytes_shipped_ += bytes.size();
-    if (!collector_.ingest(bytes)) {
-      throw std::runtime_error("fan-in collector rejected a sink stream");
+    if (droppable &&
+        config_.backpressure == BackpressurePolicy::kDropNewest) {
+      return false;
+    }
+    if (bytes.size() > node.stream->capacity()) {
+      // kBlock can never succeed: the frame exceeds what an empty pipe
+      // accepts. Fail loudly instead of spinning forever.
+      throw std::runtime_error(
+          "fan-in frame larger than the stream capacity; raise "
+          "FanInConfig::stream_capacity_bytes or lower max_frame_records");
+    }
+    // kBlock: the "network" is in-process, so blocking means draining the
+    // collector side until the pipe has room.
+    ++node.blocked_waits;
+    pump_source(node);
+  }
+}
+
+void FanInPipeline::ship_epoch_frames(SinkNode& node, bool send_close) {
+  flush_sink(node);
+  const std::vector<std::vector<std::uint8_t>> chunks =
+      node.encoder.finish_chunked(config_.max_frame_records);
+  // Empty epochs still ship their bracket: a silent source and a dead one
+  // must look different to the collector.
+  write_frame(node, node.writer.make_open(), /*droppable=*/false);
+  for (const std::vector<std::uint8_t>& chunk : chunks) {
+    const std::vector<std::uint8_t> frame = node.writer.make_payload(chunk);
+    if (write_frame(node, frame, /*droppable=*/true)) {
+      ++node.frames_shipped;
+    } else {
+      node.writer.payload_dropped();
     }
   }
+  if (send_close) {
+    write_frame(node, node.writer.make_close(), /*droppable=*/false);
+  }
+}
+
+void FanInPipeline::pump_source(SinkNode& node) {
+  std::array<std::uint8_t, 4096> buf;
+  for (;;) {
+    const std::size_t n = node.stream->read(buf);
+    if (n == 0) break;
+    collector_.ingest_stream(node.writer.source(),
+                             std::span<const std::uint8_t>(buf.data(), n));
+  }
+  if (node.stream->eof() && !node.eof_reported) {
+    collector_.end_stream(node.writer.source());
+    node.eof_reported = true;
+  }
+}
+
+void FanInPipeline::pump_all() {
+  for (auto& node : sinks_) pump_source(*node);
+}
+
+void FanInPipeline::ship_epoch() {
+  for (auto& node : sinks_) {
+    if (!node->dead) ship_epoch_frames(*node, /*send_close=*/true);
+  }
+  pump_all();
+}
+
+void FanInPipeline::kill_source_mid_epoch(unsigned sink) {
+  SinkNode& node = *sinks_[sink];
+  if (node.dead) return;
+  // The source gets its epoch open and its payloads out, then vanishes
+  // before the close marker — the classic mid-epoch crash.
+  ship_epoch_frames(node, /*send_close=*/false);
+  node.stream->close_write();
+  node.dead = true;
+  pump_source(node);
+}
+
+void FanInPipeline::shutdown() {
+  for (auto& node : sinks_) {
+    if (node->dead) continue;
+    ship_epoch_frames(*node, /*send_close=*/true);
+    node->stream->close_write();
+    // Closed means closed: a later deliver()/ship_epoch()/shutdown() must
+    // not write into the closed stream (socketpair would refuse forever,
+    // the ring would feed a source the collector already saw end).
+    node->dead = true;
+  }
+  pump_all();
+}
+
+TransportCounters FanInPipeline::transport_counters() const {
+  TransportCounters t;
+  t.active = true;
+  for (const auto& node : sinks_) {
+    t.frames_shipped += node->frames_shipped;
+    t.frames_dropped += node->writer.frames_dropped();
+    t.bytes_shipped += node->bytes_shipped;
+    t.blocked_waits += node->blocked_waits;
+  }
+  return t;
+}
+
+SinkReport FanInPipeline::epoch_report() const {
+  SinkReport report;
+  report.transport = transport_counters();
+  return report;
+}
+
+std::uint64_t FanInPipeline::bytes_shipped() const {
+  std::uint64_t total = 0;
+  for (const auto& node : sinks_) total += node->bytes_shipped;
+  return total;
 }
 
 }  // namespace pint

@@ -1,21 +1,36 @@
 /// \file
-/// Multi-sink fan-in: N sharded sinks feeding one Inference Module.
+/// Multi-sink fan-in: N sharded sinks feeding one Inference Module over a
+/// real streaming transport.
 ///
 /// The second scale-out axis after intra-sink sharding (pint/sharded_sink.h):
 /// when one host cannot absorb the digest stream, the Recording Module is
 /// split across several sink hosts, each homed to a disjoint set of flows
 /// (in a datacenter fan-in topology, a collector per ToR/pod). Every sink
-/// decodes locally and ships its observer stream — serialized with the
-/// report codec (pint/report_codec.h) — to a central collector, which
-/// replays the records into ordinary SinkObservers. The data path is:
+/// decodes locally, serializes its observer stream with the report codec
+/// (pint/report_codec.h), and ships it through a byte stream
+/// (transport/stream.h) under epoch/sequence framing (pint/frame.h):
 ///
-///     switches -> sink host 1: ShardedSink -> bytes --+
-///     switches -> sink host 2: ShardedSink -> bytes --+-> FanInCollector
-///     switches -> sink host N: ShardedSink -> bytes --+     (Inference)
+///   sink 1: ShardedSink -> codec -> frames -> stream --+
+///   sink 2: ShardedSink -> codec -> frames -> stream --+-> FanInCollector
+///   sink N: ShardedSink -> codec -> frames -> stream --+   (Inference)
+///
+/// Each reporting interval is one *epoch*: an epoch-open marker, the
+/// interval's payload frames (each a self-contained codec buffer), and an
+/// epoch-close marker carrying the shipped-frame count, so the collector
+/// can tell "all arrived" from "some lost" and report a source that died
+/// mid-epoch instead of silently swallowing partial data.
+///
+/// The transport is bounded, so what happens when it fills is an explicit
+/// BASEL-style policy, not an accident of queue growth:
+///  * kBlock — the sink waits for the collector to drain (lossless);
+///  * kDropNewest — the frame is dropped and counted; the receiver also
+///    sees the sequence gap. Exact drop counts surface in
+///    `FanInPipeline::epoch_report()` (a SinkReport with TransportCounters).
 ///
 /// Flows are routed to sinks by the same coarsest-common flow partition the
 /// shards use, so every per-flow recorder lives at exactly one (sink, shard)
-/// and results match a single monolithic sink.
+/// and — when no frames are dropped — merged results are byte-identical to
+/// a single monolithic sink.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +41,25 @@
 #include <vector>
 
 #include "packet/packet.h"
+#include "pint/frame.h"
 #include "pint/framework.h"
 #include "pint/report_codec.h"
 #include "pint/sharded_sink.h"
+#include "transport/stream.h"
 
 namespace pint {
+
+/// Which ByteStream implementation carries sink -> collector frames.
+enum class StreamKind : std::uint8_t {
+  kSpscRing,    ///< in-memory SPSC ring (tests/bench, shared-memory shape)
+  kSocketPair,  ///< unix socketpair: a real kernel transport
+};
+
+/// What a sink does when its stream cannot take the next payload frame.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,       ///< wait for the collector to drain (lossless)
+  kDropNewest,  ///< drop the new frame, count it (bounded latency)
+};
 
 /// Sizing of the fan-in pipeline.
 struct FanInConfig {
@@ -38,35 +67,99 @@ struct FanInConfig {
   unsigned shards_per_sink = 1;  ///< worker threads inside each sink
   /// Packets staged per (sink, path length) before a submit() is issued.
   std::size_t batch_size = 256;
+  StreamKind stream = StreamKind::kSpscRing;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Per-sink stream capacity (ring size / socket buffer hint). Must
+  /// comfortably hold one payload frame (~32 bytes per record plus paths)
+  /// or kBlock shipping fails loudly.
+  std::size_t stream_capacity_bytes = 1 << 18;
+  /// Records per payload frame: an epoch's observer stream is split into
+  /// self-contained codec buffers of at most this many records, so one
+  /// dropped frame costs only its own records.
+  std::size_t max_frame_records = 1024;
 };
 
-/// The central Inference-Module endpoint: ingests encoded streams from any
-/// number of sinks and replays them into registered observers.
+/// The central Inference-Module endpoint: reassembles framed streams from
+/// any number of sources, tracks epoch integrity per source, decodes
+/// payloads, and replays the records into registered observers.
 class FanInCollector {
  public:
+  /// Per-source receive-side accounting.
+  struct SourceStatus {
+    std::uint32_t current_epoch = 0;   ///< last epoch seen open
+    bool epoch_open = false;           ///< inside an epoch right now
+    bool ended = false;                ///< stream reached end-of-stream
+    std::uint64_t epochs_completed = 0;   ///< closed with all frames present
+    std::uint64_t epochs_incomplete = 0;  ///< died mid-epoch or frames lost
+    std::uint64_t payload_frames = 0;
+    std::uint64_t frames_missed = 0;   ///< summed sequence-gap sizes
+    std::uint64_t decode_failures = 0;  ///< payloads the codec rejected
+  };
+
   /// Observers receive every record of every ingested stream, in stream
-  /// order. Register before the first ingest().
+  /// order. Register before the first ingest.
   void add_observer(SinkObserver* observer) { observers_.push_back(observer); }
 
-  /// Decodes one buffer and dispatches its records. Returns false (and
-  /// dispatches nothing) on malformed input.
+  /// Feeds raw stream bytes from `source` through its reassembler and
+  /// processes every complete frame. Malformed bytes surface as typed
+  /// FrameErrors in errors(), never as exceptions.
+  void ingest_stream(std::uint32_t source,
+                     std::span<const std::uint8_t> bytes);
+
+  /// Signals end-of-stream for `source` (the transport hit EOF). An epoch
+  /// still open at this point is counted incomplete — the source died
+  /// mid-epoch.
+  void end_stream(std::uint32_t source);
+
+  /// Legacy unframed entry: decodes one self-contained codec buffer and
+  /// dispatches its records. Returns false (and dispatches nothing) on
+  /// malformed input. Bypasses epoch/sequence accounting.
   bool ingest(std::span<const std::uint8_t> bytes);
+
+  /// Receive-side accounting for one source (nullptr if never heard from).
+  const SourceStatus* source_status(std::uint32_t source) const;
+
+  /// Frame-layer errors observed so far, in arrival order (capped at
+  /// kMaxLoggedErrors; `errors_total()` keeps counting past the cap).
+  static constexpr std::size_t kMaxLoggedErrors = 1024;
+  std::span<const FrameError> errors() const { return errors_; }
+  std::uint64_t errors_total() const { return errors_total_; }
+
+  /// Sources that ever ended a stream mid-epoch, summed.
+  std::uint64_t incomplete_epochs() const;
 
   std::uint64_t bytes_ingested() const { return bytes_ingested_; }
   std::uint64_t records_ingested() const { return records_ingested_; }
+  std::uint64_t frames_ingested() const { return frames_ingested_; }
 
  private:
+  struct SourceState {
+    FrameReassembler reassembler;
+    SourceStatus status;
+    std::uint64_t payloads_this_epoch = 0;
+  };
+
+  void process_events(SourceState& state);
+  void handle_frame(SourceState& state, const Frame& frame);
+  void note_error(const FrameError& error);
+
   ReportDecoder decoder_;
   std::vector<SinkObserver*> observers_;
+  std::unordered_map<std::uint32_t, SourceState> sources_;
+  std::vector<FrameError> errors_;
+  std::uint64_t errors_total_ = 0;
   std::uint64_t bytes_ingested_ = 0;
   std::uint64_t records_ingested_ = 0;
+  std::uint64_t frames_ingested_ = 0;
 };
 
-/// N sharded sink hosts plus the collector, wired through the codec.
+/// N sharded sink hosts plus the collector, wired through framed streams.
 ///
-/// Single-producer: deliver() and ship_epoch() must come from one thread
-/// (the simulator's delivery path). Packets are copied into per-sink
-/// staging, so the caller's packet may be transient.
+/// Single-producer: deliver(), ship_epoch(), and the fault hooks must come
+/// from one thread (the simulator's delivery path). Packets are copied
+/// into per-sink staging, so the caller's packet may be transient. The
+/// pipeline pumps its own streams (the "network" here is in-process), so
+/// the kBlock policy drains the collector inline instead of deadlocking.
 class FanInPipeline {
  public:
   /// Builds `config.num_sinks` sinks, each with `config.shards_per_sink`
@@ -77,10 +170,21 @@ class FanInPipeline {
   /// owning sink. Suitable as a `SimConfig::sink_tap`.
   void deliver(const Packet& packet, unsigned k);
 
-  /// Flushes every sink, serializes each sink's pending observer stream,
-  /// and ships the buffers to the collector. Call at epoch boundaries (or
-  /// once, at end of run).
+  /// Closes out one reporting epoch: flushes every sink, splits each
+  /// sink's pending observer stream into framed payload buffers, ships
+  /// them under an epoch-open/close bracket (applying the backpressure
+  /// policy), and pumps the streams into the collector.
   void ship_epoch();
+
+  /// Fault injection: sink `i` ships its next epoch's open marker and
+  /// payload frames, then dies — no epoch-close marker, stream closed.
+  /// The collector must report the epoch incomplete; other sources are
+  /// unaffected. A dead sink ignores later deliver()/ship_epoch() work.
+  void kill_source_mid_epoch(unsigned sink);
+
+  /// Clean shutdown: ships a final epoch, closes every stream, and pumps
+  /// until the collector has seen every source's end-of-stream.
+  void shutdown();
 
   /// Which sink host owns flows with this tuple.
   unsigned sink_of(const FiveTuple& tuple) const;
@@ -90,26 +194,54 @@ class FanInPipeline {
   FanInCollector& collector() { return collector_; }
   const FanInCollector& collector() const { return collector_; }
 
-  /// Total encoded bytes shipped sink -> collector so far.
-  std::uint64_t bytes_shipped() const { return bytes_shipped_; }
+  /// Wire-level frame id of sink `i` (stable across the pipeline's life).
+  std::uint32_t source_id(unsigned i) const { return i + 1; }
+
+  /// Merged transport accounting across every sink's stream.
+  TransportCounters transport_counters() const;
+
+  /// A SinkReport carrying the merged TransportCounters (`active` set) —
+  /// the fan-in's per-epoch operational report, shaped like every other
+  /// sink report so observers and dashboards reuse their plumbing.
+  SinkReport epoch_report() const;
+
+  /// Total framed bytes shipped sink -> collector so far.
+  std::uint64_t bytes_shipped() const;
 
  private:
   struct SinkNode {
+    explicit SinkNode(std::uint32_t source) : writer(source) {}
+
     std::unique_ptr<ShardedSink> sink;
     ReportEncoder encoder;
     std::unique_ptr<EncodingObserver> tap;
+    FrameWriter writer;
+    std::unique_ptr<ByteStream> stream;
     // Per path-length staging (submit spans must be homogeneous in k), and
     // the in-flight batches a pending flush() still references.
     std::unordered_map<unsigned, std::vector<Packet>> staging;
     std::deque<std::vector<Packet>> in_flight;
+    // Writer-side transport counters for this stream.
+    std::uint64_t frames_shipped = 0;
+    std::uint64_t bytes_shipped = 0;
+    std::uint64_t blocked_waits = 0;
+    bool dead = false;       // killed by fault injection
+    bool eof_reported = false;
   };
 
   void submit_staged(SinkNode& node, unsigned k);
+  void flush_sink(SinkNode& node);
+  /// Applies the backpressure policy; returns false if the frame was
+  /// dropped (only possible for droppable frames under kDropNewest).
+  bool write_frame(SinkNode& node, std::span<const std::uint8_t> bytes,
+                   bool droppable);
+  void ship_epoch_frames(SinkNode& node, bool send_close);
+  void pump_source(SinkNode& node);
+  void pump_all();
 
   FanInConfig config_;
   std::vector<std::unique_ptr<SinkNode>> sinks_;
   FanInCollector collector_;
-  std::uint64_t bytes_shipped_ = 0;
 };
 
 }  // namespace pint

@@ -1,0 +1,151 @@
+#include "transport/stream.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace pint {
+
+// --- SpscRingStream ---------------------------------------------------------
+
+SpscRingStream::SpscRingStream(std::size_t capacity_bytes) {
+  const std::size_t size =
+      std::bit_ceil(std::max<std::size_t>(capacity_bytes, 64));
+  buffer_.resize(size);
+  mask_ = size - 1;
+}
+
+bool SpscRingStream::try_write(std::span<const std::uint8_t> bytes) {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  if (buffer_.size() - (head - tail) < bytes.size()) return false;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    buffer_[(head + i) & mask_] = bytes[i];
+  }
+  head_.store(head + bytes.size(), std::memory_order_release);
+  return true;
+}
+
+std::size_t SpscRingStream::read(std::span<std::uint8_t> out) {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  const std::size_t n = std::min(out.size(), head - tail);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = buffer_[(tail + i) & mask_];
+  }
+  tail_.store(tail + n, std::memory_order_release);
+  return n;
+}
+
+void SpscRingStream::close_write() {
+  write_closed_.store(true, std::memory_order_release);
+}
+
+bool SpscRingStream::eof() const {
+  // Order matters: check closed before emptiness, so a concurrent
+  // write+close cannot present as "closed and empty" mid-write.
+  if (!write_closed_.load(std::memory_order_acquire)) return false;
+  return head_.load(std::memory_order_acquire) ==
+         tail_.load(std::memory_order_acquire);
+}
+
+// --- SocketPairStream -------------------------------------------------------
+
+SocketPairStream::SocketPairStream(std::size_t buffer_hint_bytes) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error(std::string("socketpair: ") +
+                             std::strerror(errno));
+  }
+  write_fd_ = fds[0];
+  read_fd_ = fds[1];
+  const int hint = static_cast<int>(
+      std::min<std::size_t>(buffer_hint_bytes, 1 << 30));
+  ::setsockopt(write_fd_, SOL_SOCKET, SO_SNDBUF, &hint, sizeof(hint));
+  ::setsockopt(read_fd_, SOL_SOCKET, SO_RCVBUF, &hint, sizeof(hint));
+  capacity_ = buffer_hint_bytes;
+  // Non-blocking behavior comes from MSG_DONTWAIT on every send/recv: a
+  // full send buffer surfaces as EAGAIN (the backpressure signal), an
+  // empty receive buffer as a 0-byte read.
+}
+
+SocketPairStream::~SocketPairStream() {
+  if (write_fd_ >= 0) ::close(write_fd_);
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+bool SocketPairStream::try_write(std::span<const std::uint8_t> bytes) {
+  if (write_closed_) return false;
+  // Drain any remainder of a previously accepted chunk first: bytes must
+  // leave in write order, and a refusal here means the pipe is still full.
+  while (!pending_.empty()) {
+    const ssize_t n = ::send(write_fd_, pending_.data(), pending_.size(),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    pending_.erase(pending_.begin(), pending_.begin() + n);
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(write_fd_, bytes.data() + sent,
+                             bytes.size() - sent, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (sent == 0) return false;  // nothing consumed: clean refusal
+        // The kernel took a prefix; the chunk is committed. Buffer the
+        // tail so the all-or-nothing contract holds for the *caller* (the
+        // chunk was accepted) and for the wire (no interleaving: the tail
+        // flushes before any later chunk). Bounded by one chunk.
+        pending_.assign(bytes.begin() + static_cast<std::ptrdiff_t>(sent),
+                        bytes.end());
+        return true;
+      }
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::size_t SocketPairStream::read(std::span<std::uint8_t> out) {
+  if (out.empty() || saw_eof_) return 0;
+  const ssize_t n = ::recv(read_fd_, out.data(), out.size(), MSG_DONTWAIT);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+  }
+  if (n == 0) {
+    saw_eof_ = true;  // writer shut down and the pipe is drained
+    return 0;
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void SocketPairStream::close_write() {
+  if (write_closed_) return;
+  // Best-effort flush of a partially sent chunk tail. Blocking here could
+  // deadlock a single-threaded pipeline (nobody drains the reader while we
+  // block), so an undeliverable tail is abandoned: the reader then hits
+  // end-of-stream mid-frame and the frame layer reports a typed
+  // truncation error instead of anything silent.
+  while (!pending_.empty()) {
+    const ssize_t n = ::send(write_fd_, pending_.data(), pending_.size(),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n <= 0) break;
+    pending_.erase(pending_.begin(), pending_.begin() + n);
+  }
+  write_closed_ = true;
+  ::shutdown(write_fd_, SHUT_WR);
+}
+
+bool SocketPairStream::eof() const { return saw_eof_; }
+
+}  // namespace pint

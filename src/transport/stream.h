@@ -1,0 +1,127 @@
+/// \file
+/// Byte-stream transport for the sink -> collector fan-in path.
+///
+/// The fan-in pipeline (sim/fanin.h) used to hand codec buffers to the
+/// collector as in-process vectors; a real deployment ships them over a
+/// network. `ByteStream` is the seam: an ordered, bounded, *lossless* byte
+/// pipe with a non-blocking writer — when the pipe is full, `try_write`
+/// refuses the whole chunk instead of blocking or truncating, which is the
+/// hook the fan-in's explicit backpressure policies (block / drop-newest)
+/// act on. Two implementations:
+///
+///  * `SpscRingStream` — an in-memory single-producer/single-consumer ring
+///    (power-of-two capacity, acquire/release atomics, no locks). The
+///    default for tests and benches; also the shape a shared-memory
+///    transport between pinned threads would take.
+///  * `SocketPairStream` — a connected `socketpair(AF_UNIX, SOCK_STREAM)`
+///    with both ends non-blocking, exercising a real kernel transport:
+///    bounded send buffers, partial reads, EAGAIN backpressure. The fan-in
+///    behaves identically over either (tests/fanin_test.cc verifies).
+///
+/// Writers and readers transfer raw bytes with no message boundaries;
+/// pint/frame.h layers epoch/sequence framing on top so torn and truncated
+/// streams are detected rather than misparsed.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <atomic>
+#include <span>
+#include <vector>
+
+namespace pint {
+
+/// Ordered, bounded byte pipe between one writer and one reader.
+///
+/// Contract (both implementations):
+///  * `try_write` is all-or-nothing: it returns false — and consumes no
+///    bytes — unless the whole chunk was accepted. Interleaving partial
+///    chunks would tear frames, so the transport never does it.
+///  * `read` returns up to `out.size()` bytes (possibly 0) without
+///    blocking; bytes arrive in write order, unmodified.
+///  * `close_write()` signals end-of-stream: once the pipe drains,
+///    `read` returns 0 and `eof()` turns true. A torn frame at that point
+///    is the *frame* layer's truncation error, not silent loss.
+///  * One writer thread and one reader thread; the two may differ.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Accepts the whole chunk or none of it (false = pipe full).
+  virtual bool try_write(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Up to `out.size()` bytes, in order; 0 when empty (or drained + closed).
+  virtual std::size_t read(std::span<std::uint8_t> out) = 0;
+
+  /// No more writes will come (idempotent).
+  virtual void close_write() = 0;
+
+  /// True once the writer closed and every byte was read.
+  virtual bool eof() const = 0;
+
+  /// Bytes a single try_write can ever accept (capacity of the pipe).
+  virtual std::size_t capacity() const = 0;
+};
+
+/// Lock-free single-producer/single-consumer ring buffer stream.
+///
+/// Capacity is rounded up to a power of two. The producer owns `head_`,
+/// the consumer owns `tail_`; each publishes with release and observes the
+/// other with acquire, so data written before a head bump is visible to a
+/// reader that sees the bump — the textbook SPSC contract, TSAN-clean.
+class SpscRingStream final : public ByteStream {
+ public:
+  /// \param capacity_bytes usable capacity; rounded up to a power of two
+  ///   (minimum 64). A try_write larger than this can never succeed.
+  explicit SpscRingStream(std::size_t capacity_bytes);
+
+  bool try_write(std::span<const std::uint8_t> bytes) override;
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void close_write() override;
+  bool eof() const override;
+  std::size_t capacity() const override { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;  // size is a power of two
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};  // total bytes ever written
+  std::atomic<std::size_t> tail_{0};  // total bytes ever read
+  std::atomic<bool> write_closed_{false};
+};
+
+/// Unix-domain socketpair stream: a real kernel byte pipe.
+///
+/// Both fds are non-blocking. `try_write` refuses the chunk when the send
+/// buffer cannot take all of it at once (probed with MSG_PEEK-free
+/// best-effort: a short `send` is rolled back by buffering the remainder
+/// internally — see stream.cc — so the all-or-nothing contract holds).
+/// `close_write` shuts down the writer half so the reader sees EOF.
+class SocketPairStream final : public ByteStream {
+ public:
+  /// \param buffer_hint_bytes requested SO_SNDBUF/SO_RCVBUF; the kernel
+  ///   may round it. Throws std::runtime_error if socketpair() fails.
+  explicit SocketPairStream(std::size_t buffer_hint_bytes = 1 << 16);
+  ~SocketPairStream() override;
+
+  SocketPairStream(const SocketPairStream&) = delete;
+  SocketPairStream& operator=(const SocketPairStream&) = delete;
+
+  bool try_write(std::span<const std::uint8_t> bytes) override;
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void close_write() override;
+  bool eof() const override;
+  std::size_t capacity() const override { return capacity_; }
+
+ private:
+  int write_fd_ = -1;
+  int read_fd_ = -1;
+  std::size_t capacity_ = 0;
+  // Tail of a chunk the kernel only partially accepted: drained before any
+  // new chunk so the byte order (and the all-or-nothing contract as seen
+  // by callers) is preserved.
+  std::vector<std::uint8_t> pending_;
+  bool write_closed_ = false;
+  bool saw_eof_ = false;
+};
+
+}  // namespace pint

@@ -1,12 +1,18 @@
-// Multi-sink scale-out, end to end: simulated fat-tree traffic encodes
-// digests at real switches; a sink_tap mirrors the delivered stream into a
-// FanInPipeline (several ShardedSink hosts feeding one collector through
-// the report codec); the fan-in's merged inference must match the
-// simulator's own monolithic sink exactly.
+// Multi-sink fan-in over the framed streaming transport.
+//
+// Load-bearing checks: (1) over both stream implementations (SPSC ring and
+// unix socketpair), at 1/2/4 sinks x 1/2/4 shards, the collector's merged
+// record stream is byte-identical to the monolithic sink's when no frames
+// are dropped; (2) drop-newest backpressure reports exact dropped-frame
+// counts (writer counter == receiver sequence gaps == SinkReport
+// TransportCounters); (3) a source killed mid-epoch is reported as an
+// incomplete epoch while the surviving sources keep decoding; (4) the
+// original end-to-end simulator path still matches the monolithic sink.
 #include <gtest/gtest.h>
 
-#include <atomic>
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/fanin.h"
@@ -15,6 +21,10 @@
 
 namespace pint {
 namespace {
+
+constexpr unsigned kHops = 5;
+constexpr std::size_t kFlows = 120;
+constexpr std::size_t kPacketsPerFlow = 24;
 
 struct CountingObserver : SinkObserver {
   std::uint64_t observations = 0;
@@ -30,6 +40,108 @@ struct CountingObserver : SinkObserver {
   }
 };
 
+// Captures the full record stream so two sides can be compared exactly.
+struct RecordingObserver : SinkObserver {
+  struct Rec {
+    SinkContext ctx;
+    std::string query;
+    bool path_event = false;
+    Observation obs{};
+    std::vector<SwitchId> path;
+  };
+  std::vector<Rec> records;
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    records.push_back({ctx, std::string(query), false, obs, {}});
+  }
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    records.push_back({ctx, std::string(query), true, {}, path});
+  }
+};
+
+// Canonical bytes of a record stream: stable-sorted by packet id (each
+// packet's records come from exactly one sink, in order, so this is a
+// total order on both the monolithic and the fan-in stream), then
+// re-encoded with the report codec.
+std::vector<std::uint8_t> canonical_bytes(
+    std::vector<RecordingObserver::Rec> records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.ctx.packet_id < b.ctx.packet_id;
+                   });
+  ReportEncoder enc;
+  for (const auto& rec : records) {
+    if (rec.path_event) {
+      enc.add_path(rec.ctx, rec.query, rec.path);
+    } else {
+      enc.add(rec.ctx, rec.query, rec.obs);
+    }
+  }
+  return enc.finish();
+}
+
+PintFramework::Builder three_query_builder() {
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = kHops;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e6;
+  PerPacketConfig cc_tuning;
+  cc_tuning.eps = 0.025;
+  cc_tuning.max_value = 1e6;
+  std::vector<std::uint64_t> universe;
+  for (std::uint64_t s = 1; s <= 32; ++s) universe.push_back(s);
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .seed(0xFA41)
+      .switch_universe(std::move(universe))
+      .add_query(make_path_query("path", 8, 1.0, path_tuning))
+      .add_query(make_dynamic_query("latency",
+                                    std::string(extractor::kHopLatency), 8,
+                                    15.0 / 16.0, latency_tuning))
+      .add_query(make_perpacket_query(
+          "hpcc", std::string(extractor::kLinkUtilization), 8, 1.0 / 16.0,
+          cc_tuning));
+  return builder;
+}
+
+FiveTuple tuple_of_flow(std::size_t flow) {
+  FiveTuple t;
+  t.src_ip = 0x0A000000u + static_cast<std::uint32_t>(flow % 13);
+  t.dst_ip = 0x0B000000u + static_cast<std::uint32_t>(flow % 17);
+  t.src_port = static_cast<std::uint16_t>(1000 + flow);
+  t.dst_port = 443;
+  return t;
+}
+
+std::vector<Packet> make_encoded_traffic() {
+  const auto network = three_query_builder().build_or_throw();
+  std::vector<Packet> packets;
+  packets.reserve(kFlows * kPacketsPerFlow);
+  PacketId next_id = 1;
+  for (std::size_t j = 0; j < kPacketsPerFlow; ++j) {
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      Packet p;
+      p.id = next_id++;
+      p.tuple = tuple_of_flow(f);
+      packets.push_back(std::move(p));
+    }
+  }
+  for (Packet& p : packets) {
+    const std::size_t f = (p.id - 1) % kFlows;
+    for (HopIndex i = 1; i <= kHops; ++i) {
+      SwitchView view(static_cast<SwitchId>(f % 8 + i));
+      view.set(metric::kHopLatencyNs, 100.0 * i + static_cast<double>(f));
+      view.set(metric::kLinkUtilization, 0.1 * i + 0.01 * (f % 10));
+      network->at_switch(p, i, view);
+    }
+  }
+  return packets;
+}
+
 // Mirrors Simulator::framework_flow_key's tuple synthesis so the test can
 // address the same flow in the fan-in pipeline.
 FiveTuple sim_flow_tuple(NodeId src, NodeId dst, std::uint32_t flow_id) {
@@ -39,6 +151,187 @@ FiveTuple sim_flow_tuple(NodeId src, NodeId dst, std::uint32_t flow_id) {
   tuple.src_port = static_cast<std::uint16_t>(flow_id & 0xFFFF);
   tuple.dst_port = static_cast<std::uint16_t>(flow_id >> 16);
   return tuple;
+}
+
+// The acceptance matrix: both stream implementations, 1/2/4 sources x
+// 1/2/4 shards, several epochs — merged records must be byte-identical to
+// the monolithic sink's stream whenever nothing is dropped.
+TEST(FanIn, ByteIdenticalToMonolithicAcrossStreamsSinksShards) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  const auto builder = three_query_builder();
+
+  const auto mono = builder.build_or_throw();
+  RecordingObserver mono_records;
+  mono->add_observer(&mono_records);
+  mono->at_sink(std::span<const Packet>(packets), kHops);
+  const std::vector<std::uint8_t> mono_bytes =
+      canonical_bytes(mono_records.records);
+  ASSERT_FALSE(mono_bytes.empty());
+
+  for (const StreamKind stream :
+       {StreamKind::kSpscRing, StreamKind::kSocketPair}) {
+    for (const unsigned sinks : {1u, 2u, 4u}) {
+      for (const unsigned shards : {1u, 2u, 4u}) {
+        FanInConfig cfg;
+        cfg.num_sinks = sinks;
+        cfg.shards_per_sink = shards;
+        cfg.batch_size = 64;
+        cfg.stream = stream;
+        cfg.max_frame_records = 128;  // several payload frames per epoch
+        FanInPipeline pipeline(builder, cfg);
+        RecordingObserver central;
+        pipeline.collector().add_observer(&central);
+
+        // Three epochs plus the shutdown flush.
+        const std::size_t third = packets.size() / 3;
+        for (std::size_t i = 0; i < packets.size(); ++i) {
+          pipeline.deliver(packets[i], kHops);
+          if (i + 1 == third || i + 1 == 2 * third) pipeline.ship_epoch();
+        }
+        pipeline.shutdown();
+
+        const std::string label = std::string("stream=") +
+                                  (stream == StreamKind::kSpscRing
+                                       ? "ring"
+                                       : "socketpair") +
+                                  " sinks=" + std::to_string(sinks) +
+                                  " shards=" + std::to_string(shards);
+        // Lossless transport: nothing dropped, nothing missed, every
+        // epoch closed complete.
+        EXPECT_EQ(pipeline.transport_counters().frames_dropped, 0u) << label;
+        EXPECT_EQ(pipeline.collector().errors_total(), 0u) << label;
+        EXPECT_EQ(pipeline.collector().incomplete_epochs(), 0u) << label;
+        for (unsigned s = 0; s < sinks; ++s) {
+          const auto* status =
+              pipeline.collector().source_status(pipeline.source_id(s));
+          ASSERT_NE(status, nullptr) << label;
+          EXPECT_EQ(status->epochs_completed, 3u) << label << " sink " << s;
+          EXPECT_TRUE(status->ended) << label;
+        }
+        EXPECT_EQ(canonical_bytes(central.records), mono_bytes) << label;
+      }
+    }
+  }
+}
+
+// Drop-newest backpressure: a deliberately tiny ring forces drops, and the
+// dropped-frame count must be exact and visible everywhere it is promised:
+// the writer-side TransportCounters (via SinkReport), the receiver-side
+// sequence gaps, and the epoch accounting (epochs still complete, because
+// the close marker counts only shipped frames).
+TEST(FanIn, DropNewestReportsExactDropCounts) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  const auto builder = three_query_builder();
+
+  FanInConfig cfg;
+  cfg.num_sinks = 2;
+  cfg.shards_per_sink = 1;
+  cfg.batch_size = 64;
+  cfg.stream = StreamKind::kSpscRing;
+  cfg.backpressure = BackpressurePolicy::kDropNewest;
+  cfg.stream_capacity_bytes = 8192;  // holds only a few frames
+  cfg.max_frame_records = 64;
+  FanInPipeline pipeline(builder, cfg);
+  CountingObserver central;
+  pipeline.collector().add_observer(&central);
+
+  for (const Packet& packet : packets) pipeline.deliver(packet, kHops);
+  pipeline.ship_epoch();
+  pipeline.shutdown();
+
+  const SinkReport report = pipeline.epoch_report();
+  ASSERT_TRUE(report.transport.active);
+  EXPECT_GT(report.transport.frames_dropped, 0u)
+      << "config did not force drops; shrink the ring";
+  // Writer-side drop count == receiver-side missing-frame count.
+  std::uint64_t missed = 0;
+  std::uint64_t payload_frames = 0;
+  for (unsigned s = 0; s < pipeline.num_sinks(); ++s) {
+    const auto* status =
+        pipeline.collector().source_status(pipeline.source_id(s));
+    ASSERT_NE(status, nullptr);
+    missed += status->frames_missed;
+    payload_frames += status->payload_frames;
+    // Deliberate drops are reconciled by the close marker: epochs close
+    // as complete, with the loss explicit in the counters instead.
+    EXPECT_EQ(status->epochs_incomplete, 0u) << "sink " << s;
+  }
+  EXPECT_EQ(missed, report.transport.frames_dropped);
+  EXPECT_EQ(payload_frames, report.transport.frames_shipped);
+  // What did arrive decoded fine (partial delivery, not corruption): the
+  // only frame-layer events are the sequence gaps the drops created.
+  EXPECT_GT(central.observations, 0u);
+  EXPECT_GT(pipeline.collector().errors_total(), 0u);
+  for (const FrameError& error : pipeline.collector().errors()) {
+    EXPECT_EQ(error.code, FrameErrorCode::kSequenceGap);
+  }
+}
+
+// Fault injection: one source dies between its epoch-open and epoch-close.
+// The collector must report that epoch incomplete, and the surviving
+// source's flows must keep decoding normally.
+TEST(FanIn, KilledSourceMidEpochIsReportedAndOthersKeepDecoding) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+  const auto builder = three_query_builder();
+
+  FanInConfig cfg;
+  cfg.num_sinks = 2;
+  cfg.shards_per_sink = 2;
+  cfg.batch_size = 32;
+  FanInPipeline pipeline(builder, cfg);
+  RecordingObserver central;
+  pipeline.collector().add_observer(&central);
+
+  // Epoch 1 completes normally for both sources.
+  const std::size_t half = packets.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) pipeline.deliver(packets[i], kHops);
+  pipeline.ship_epoch();
+  const std::size_t records_after_epoch1 = central.records.size();
+  ASSERT_GT(records_after_epoch1, 0u);
+
+  // Source 0 dies mid-epoch 2; the rest of the traffic keeps flowing.
+  const unsigned dead = 0;
+  const unsigned alive = 1;
+  pipeline.kill_source_mid_epoch(dead);
+  for (std::size_t i = half; i < packets.size(); ++i) {
+    pipeline.deliver(packets[i], kHops);
+  }
+  pipeline.ship_epoch();
+  pipeline.shutdown();
+
+  const auto* dead_status =
+      pipeline.collector().source_status(pipeline.source_id(dead));
+  ASSERT_NE(dead_status, nullptr);
+  EXPECT_EQ(dead_status->epochs_completed, 1u);
+  EXPECT_EQ(dead_status->epochs_incomplete, 1u);  // the one it died inside
+  EXPECT_TRUE(dead_status->ended);
+  EXPECT_EQ(pipeline.collector().incomplete_epochs(), 1u);
+
+  const auto* alive_status =
+      pipeline.collector().source_status(pipeline.source_id(alive));
+  ASSERT_NE(alive_status, nullptr);
+  EXPECT_EQ(alive_status->epochs_incomplete, 0u);
+  EXPECT_EQ(alive_status->epochs_completed, 3u);  // 2 epochs + shutdown
+  EXPECT_TRUE(alive_status->ended);
+
+  // The survivor's flows decoded end to end: its post-kill records
+  // arrived, and its merged inference matches a monolithic sink fed the
+  // same packets.
+  EXPECT_GT(central.records.size(), records_after_epoch1);
+  const auto mono = builder.build_or_throw();
+  mono->at_sink(std::span<const Packet>(packets), kHops);
+  std::size_t surviving_flows = 0;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    const FiveTuple tuple = tuple_of_flow(f);
+    if (pipeline.sink_of(tuple) != alive) continue;
+    ++surviving_flows;
+    const std::uint64_t fkey = mono->flow_key_for("path", tuple);
+    EXPECT_EQ(pipeline.sink(alive).flow_path("path", tuple),
+              mono->flow_path("path", fkey));
+    EXPECT_EQ(pipeline.sink(alive).path_progress("path", tuple),
+              mono->path_progress("path", fkey));
+  }
+  EXPECT_GT(surviving_flows, 0u);
 }
 
 TEST(FanIn, MatchesMonolithicSinkOnSimulatedTraffic) {
@@ -92,6 +385,8 @@ TEST(FanIn, MatchesMonolithicSinkOnSimulatedTraffic) {
   EXPECT_GT(pipeline.bytes_shipped(), 0u);
   EXPECT_GT(central.observations, 0u);
   EXPECT_GT(central.paths, 0u);
+  EXPECT_EQ(pipeline.collector().errors_total(), 0u);
+  EXPECT_EQ(pipeline.transport_counters().frames_dropped, 0u);
 
   // Every sink host processed its share; nothing was lost or duplicated.
   std::uint64_t processed = 0;

@@ -196,6 +196,59 @@ TEST(MemoryBound, ObserverReceivesMemoryReportsOnEviction) {
   EXPECT_EQ(watcher.last.query_count, mem.query_count);
 }
 
+TEST(MemoryBound, HeartbeatFiresOnPacketInterval) {
+  const std::vector<Packet> packets = make_heavy_tailed_traffic();
+  constexpr std::uint64_t kInterval = 100;
+
+  // Unbounded + interval: evictions are impossible, so every report the
+  // observer sees is a heartbeat — exactly one per interval.
+  {
+    MemoryWatcher watcher;
+    auto builder = mix_builder(0);
+    builder.memory_report_interval_packets(kInterval).add_observer(&watcher);
+    const auto fw = builder.build_or_throw();
+    EXPECT_FALSE(fw->memory_bounded());
+    EXPECT_EQ(fw->memory_report_interval(), kInterval);
+    fw->at_sink(std::span<const Packet>(packets), kHops);
+    EXPECT_EQ(watcher.reports, packets.size() / kInterval);
+    EXPECT_FALSE(watcher.last.total.bounded);
+    EXPECT_GT(watcher.last.total.flows, 0u);  // occupancy is still visible
+  }
+
+  // Bounded + interval: the heartbeat comes *in addition to* the
+  // eviction-edge trigger, never instead of it.
+  {
+    MemoryWatcher edge_only;
+    auto eb = mix_builder(256u << 10);
+    eb.add_observer(&edge_only);
+    eb.build_or_throw()->at_sink(std::span<const Packet>(packets), kHops);
+    ASSERT_GT(edge_only.reports, 0u);
+
+    MemoryWatcher both;
+    auto bb = mix_builder(256u << 10);
+    bb.memory_report_interval_packets(kInterval).add_observer(&both);
+    bb.build_or_throw()->at_sink(std::span<const Packet>(packets), kHops);
+    EXPECT_GE(both.reports, edge_only.reports);
+    EXPECT_GE(both.reports, packets.size() / kInterval);
+  }
+
+  // Undecodable packets count toward the interval too: a sink mostly fed
+  // junk still reports on schedule.
+  {
+    MemoryWatcher watcher;
+    auto builder = mix_builder(0);
+    builder.memory_report_interval_packets(5).add_observer(&watcher);
+    const auto fw = builder.build_or_throw();
+    Packet blank;
+    blank.tuple = tuple_of_flow(1);
+    for (int i = 0; i < 12; ++i) {
+      blank.id = 0xB1A4C + i;
+      fw->at_sink(blank, kHops);
+    }
+    EXPECT_EQ(watcher.reports, 2u);
+  }
+}
+
 TEST(MemoryBound, NoCeilingIsByteIdenticalAndSilent) {
   const std::vector<Packet> packets = make_heavy_tailed_traffic();
 

@@ -180,6 +180,137 @@ TEST(ReportCodec, SinkReportEntriesEncodeUnderOnePacketContext) {
   EXPECT_EQ(records[2].query, "hpcc");
 }
 
+TEST(ReportCodec, ChunkedFinishSplitsIntoSelfContainedBuffers) {
+  Rng rng(0xC4C4);
+  const std::vector<StreamRecord> want = random_records(rng, 157);
+
+  // Whole-buffer reference from an identical record stream.
+  ReportEncoder reference;
+  for (const StreamRecord& rec : want) {
+    if (rec.path_event) {
+      reference.add_path(rec.ctx, rec.query, rec.path);
+    } else {
+      reference.add(rec.ctx, rec.query, rec.observation);
+    }
+  }
+  const std::vector<std::uint8_t> whole = reference.finish();
+
+  ReportEncoder enc;
+  for (const StreamRecord& rec : want) {
+    if (rec.path_event) {
+      enc.add_path(rec.ctx, rec.query, rec.path);
+    } else {
+      enc.add(rec.ctx, rec.query, rec.observation);
+    }
+  }
+  const auto chunks = enc.finish_chunked(25);
+  ASSERT_EQ(chunks.size(), (want.size() + 24) / 25);
+  EXPECT_EQ(enc.records(), 0u);  // reset, like finish()
+
+  // Every chunk decodes on its own — even with a fresh decoder and even
+  // out of order — and the concatenated record stream equals the input.
+  {
+    ReportDecoder isolated;
+    std::vector<StreamRecord> alone;
+    ASSERT_TRUE(isolated.decode(chunks.back(), alone));
+  }
+  ReportDecoder dec;
+  std::vector<StreamRecord> got;
+  for (const auto& chunk : chunks) {
+    ASSERT_TRUE(dec.decode(chunk, got));
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_equal(got[i], want[i]);
+  }
+
+  // A single chunk covering everything is byte-identical to finish():
+  // the chunked path is the same wire format, not a dialect.
+  ReportEncoder enc2;
+  for (const StreamRecord& rec : want) {
+    if (rec.path_event) {
+      enc2.add_path(rec.ctx, rec.query, rec.path);
+    } else {
+      enc2.add(rec.ctx, rec.query, rec.observation);
+    }
+  }
+  const auto one = enc2.finish_chunked(want.size());
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], whole);
+}
+
+TEST(ReportCodec, FuzzedBitFlipsNeverCrashOrEmitOnFailure) {
+  Rng rng(0xF1157);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::vector<StreamRecord> want =
+        random_records(rng, 1 + rng.uniform_int(60));
+    std::vector<std::uint8_t> bytes = encode_all(want);
+    // Flip 1-4 random bits anywhere in the buffer.
+    const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.uniform_int(bytes.size());
+      bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    }
+    ReportDecoder dec;
+    std::vector<StreamRecord> out;
+    // The decoder has no checksum (framing adds that); a flip may decode
+    // to different-but-well-formed records or be rejected — either is
+    // fine. What it must never do: crash, or emit records AND fail.
+    const bool ok = dec.decode(bytes, out);
+    if (!ok) {
+      EXPECT_TRUE(out.empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ReportCodec, FuzzedSplicesNeverCrash) {
+  Rng rng(0x5011CE);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> a =
+        encode_all(random_records(rng, 1 + rng.uniform_int(40)));
+    const std::vector<std::uint8_t> b =
+        encode_all(random_records(rng, 1 + rng.uniform_int(40)));
+    // Random cross-splices, truncations, and duplications.
+    std::vector<std::uint8_t> spliced(
+        a.begin(), a.begin() + rng.uniform_int(a.size() + 1));
+    spliced.insert(spliced.end(),
+                   b.begin() + rng.uniform_int(b.size()), b.end());
+    ReportDecoder dec;
+    std::vector<StreamRecord> out;
+    const bool ok = dec.decode(spliced, out);
+    if (!ok) {
+      EXPECT_TRUE(out.empty()) << "trial " << trial;
+    }
+    // Reuse the same decoder afterwards: a rejected buffer must not
+    // poison it for good input.
+    std::vector<StreamRecord> fresh;
+    EXPECT_TRUE(dec.decode(b, fresh)) << "trial " << trial;
+  }
+}
+
+TEST(ReportCodec, FuzzedGarbageNeverCrashes) {
+  Rng rng(0x6A26A6E);
+  ReportDecoder dec;
+  std::vector<StreamRecord> out;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.uniform_int(2048));
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng.next());
+    // Mostly rejected at the magic check; sometimes prefix a real magic
+    // so the inner parse paths get exercised too.
+    if (rng.bernoulli(0.5) && garbage.size() >= 4) {
+      garbage[0] = 'P';
+      garbage[1] = 'R';
+      garbage[2] = 'S';
+      garbage[3] = '1';
+    }
+    const bool ok = dec.decode(garbage, out);
+    if (!ok) {
+      EXPECT_TRUE(out.empty()) << "trial " << trial;
+    }
+    out.clear();
+  }
+}
+
 TEST(ReportCodec, RejectsMalformedInput) {
   Rng rng(0xBAD);
   const std::vector<StreamRecord> want = random_records(rng, 40);

@@ -1,0 +1,98 @@
+// Machine-readable bench results: every harness can emit its measurements
+// as JSON next to its human-readable rows, so CI (and humans) can diff
+// runs against the checked-in BENCH_baseline.json instead of eyeballing
+// stdout. Schema (deliberately flat — one record per measured number):
+//
+//   {
+//     "schema": "pint-bench-v1",
+//     "smoke": false,
+//     "results": [
+//       {"bench": "bench_hotpath", "config": "pipeline_sync",
+//        "metric": "packets_per_sec", "value": 123456.0, "unit": "pps",
+//        "higher_is_better": true},
+//       ...
+//     ]
+//   }
+//
+// The output path comes from `--json=PATH` on the command line or the
+// PINT_BENCH_JSON environment variable; with neither set, nothing is
+// written. tools/check_bench_regression.py consumes this format.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pint::bench {
+
+class JsonWriter {
+ public:
+  /// Records one measurement. `config` distinguishes variants of one bench
+  /// (e.g. "pipeline_sync" vs "pipeline_async"); names are identifiers —
+  /// no JSON escaping is applied, so keep them [A-Za-z0-9_.-].
+  void add(std::string_view bench, std::string_view config,
+           std::string_view metric, double value, std::string_view unit,
+           bool higher_is_better = true) {
+    results_.push_back(Result{std::string(bench), std::string(config),
+                              std::string(metric), value, std::string(unit),
+                              higher_is_better});
+  }
+
+  /// Writes the collected results; returns false on I/O failure. No-op
+  /// (returns true) when `path` is empty.
+  bool write(const std::string& path, bool smoke) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"pint-bench-v1\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n  \"results\": [", smoke ? "true"
+                                                                : "false");
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      std::fprintf(f,
+                   "%s\n    {\"bench\": \"%s\", \"config\": \"%s\", "
+                   "\"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                   "\"higher_is_better\": %s}",
+                   i == 0 ? "" : ",", r.bench.c_str(), r.config.c_str(),
+                   r.metric.c_str(), r.value, r.unit.c_str(),
+                   r.higher_is_better ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("[json results written to %s]\n", path.c_str());
+    return ok;
+  }
+
+  /// Resolves the output path: `--json=PATH` wins, then PINT_BENCH_JSON,
+  /// then empty (no JSON output).
+  static std::string path_from(int argc, char** argv) {
+    constexpr std::string_view kFlag = "--json=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (arg.substr(0, kFlag.size()) == kFlag) {
+        return std::string(arg.substr(kFlag.size()));
+      }
+    }
+    const char* env = std::getenv("PINT_BENCH_JSON");
+    return env != nullptr ? std::string(env) : std::string();
+  }
+
+ private:
+  struct Result {
+    std::string bench;
+    std::string config;
+    std::string metric;
+    double value;
+    std::string unit;
+    bool higher_is_better;
+  };
+
+  std::vector<Result> results_;
+};
+
+}  // namespace pint::bench

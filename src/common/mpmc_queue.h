@@ -17,10 +17,50 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace pint {
+
+/// One CPU "relax" hint: tells the core we are in a spin-wait so it can
+/// yield pipeline resources to the sibling hyperthread without an OS call.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Bounded exponential backoff for full/empty-queue waits: spin with
+/// `cpu_relax` first (doubling each round — cheap, keeps the waiter on-core
+/// for the common microsecond-scale stall), then fall back to
+/// `std::this_thread::yield()` once the spin budget is exhausted (the
+/// consumer is descheduled; burning cycles would only keep it off the
+/// core — the 1-core CI box makes pure spinning pathological). Replaces
+/// the raw yield() loop ShardedSink::submit used to run.
+class Backoff {
+ public:
+  void wait() {
+    if (round_ < kSpinRounds) {
+      const unsigned spins = 1u << round_;
+      for (unsigned i = 0; i < spins; ++i) cpu_relax();
+      ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { round_ = 0; }
+
+ private:
+  // 2^0 + ... + 2^9 ≈ 1k relax hints (~microseconds) before yielding.
+  static constexpr unsigned kSpinRounds = 10;
+  unsigned round_ = 0;
+};
 
 template <typename T>
 class MpmcQueue {

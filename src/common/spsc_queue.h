@@ -1,0 +1,78 @@
+// Bounded single-producer/single-consumer queue of typed items: the
+// per-shard observer-relay ring behind ShardedSink's async observer mode.
+// One cache-line-separated index per side, acquire/release publication —
+// the classic SPSC contract (the byte-level sibling is
+// transport/stream.h's SpscRingStream). try_push/try_pop are non-blocking;
+// a full queue refuses the push so the caller can apply an explicit
+// OverflowPolicy (block with backoff, or drop and count).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pint {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity)
+      : cells_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+        mask_(cells_.size() - 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  /// False when the queue is full (value untouched). Producer thread only.
+  bool try_push(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ == cells_.size()) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ == cells_.size()) return false;
+    }
+    cells_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty. Consumer thread only.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = std::move(cells_[tail & mask_]);
+    // Release the cell: drop payloads the moved-from state may still pin
+    // (vectors keep their capacity after a move) so a drained ring holds
+    // no stale heap.
+    cells_[tail & mask_] = T{};
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size hint (monitoring only); exact from the producer thread.
+  std::size_t approx_size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<T> cells_;
+  std::size_t mask_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer writes
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer writes
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;  // producer's view of tail
+  alignas(kCacheLine) std::size_t head_cache_ = 0;  // consumer's view of head
+};
+
+}  // namespace pint

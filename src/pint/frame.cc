@@ -102,6 +102,11 @@ std::uint32_t Frame::close_payload_count() const {
   return read_u32(payload.data());
 }
 
+std::uint32_t FrameView::close_payload_count() const {
+  if (type != FrameType::kEpochClose || payload.size() != 4) return 0;
+  return read_u32(payload.data());
+}
+
 void append_frame(std::vector<std::uint8_t>& out, FrameType type,
                   std::uint32_t source, std::uint32_t epoch, std::uint32_t seq,
                   std::span<const std::uint8_t> payload) {
@@ -169,7 +174,10 @@ std::vector<std::uint8_t> FrameWriter::make_close() {
 
 void FrameReassembler::feed(std::span<const std::uint8_t> bytes) {
   // Reclaim the consumed prefix before growing; amortized O(1) per byte.
-  if (cursor_ > 4096 && cursor_ > buffer_.size() / 2) {
+  // Only while no events are pending: parsed frames (and outstanding
+  // FrameViews) reference payload bytes by absolute buffer offset, and
+  // compaction would shift them.
+  if (events_.empty() && cursor_ > 4096 && cursor_ > buffer_.size() / 2) {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(cursor_));
     cursor_ = 0;
@@ -179,15 +187,47 @@ void FrameReassembler::feed(std::span<const std::uint8_t> bytes) {
 
 void FrameReassembler::finish() { finished_ = true; }
 
-std::optional<FrameEvent> FrameReassembler::next() {
+std::optional<FrameReassembler::ParsedEvent> FrameReassembler::next_parsed() {
   if (events_.empty()) parse_more();
   if (events_.empty()) return std::nullopt;
   // Swap-out instead of move-construct: dodges a GCC 12 spurious
   // -Wmaybe-uninitialized on moving a variant out of the deque.
-  FrameEvent event{FrameError{}};
+  ParsedEvent event{FrameError{}};
   std::swap(event, events_.front());
   events_.pop_front();
   return event;
+}
+
+std::optional<FrameEvent> FrameReassembler::next() {
+  std::optional<ParsedEvent> parsed = next_parsed();
+  if (!parsed.has_value()) return std::nullopt;
+  if (const auto* error = std::get_if<FrameError>(&*parsed)) return *error;
+  const ParsedFrame& pf = std::get<ParsedFrame>(*parsed);
+  Frame frame;
+  frame.type = pf.type;
+  frame.source = pf.source;
+  frame.epoch = pf.epoch;
+  frame.seq = pf.seq;
+  frame.payload.assign(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(pf.payload_offset),
+      buffer_.begin() +
+          static_cast<std::ptrdiff_t>(pf.payload_offset + pf.payload_len));
+  return frame;
+}
+
+std::optional<FrameViewEvent> FrameReassembler::next_view() {
+  std::optional<ParsedEvent> parsed = next_parsed();
+  if (!parsed.has_value()) return std::nullopt;
+  if (const auto* error = std::get_if<FrameError>(&*parsed)) return *error;
+  const ParsedFrame& pf = std::get<ParsedFrame>(*parsed);
+  FrameView view;
+  view.type = pf.type;
+  view.source = pf.source;
+  view.epoch = pf.epoch;
+  view.seq = pf.seq;
+  view.payload = std::span<const std::uint8_t>(
+      buffer_.data() + pf.payload_offset, pf.payload_len);
+  return view;
 }
 
 void FrameReassembler::parse_more() {
@@ -306,13 +346,14 @@ void FrameReassembler::parse_more() {
     }
     if (seq + 1 > it->second) it->second = seq + 1;
 
-    Frame frame;
+    ParsedFrame frame;
     frame.type = static_cast<FrameType>(type);
     frame.source = source;
     frame.epoch = epoch;
     frame.seq = seq;
-    frame.payload.assign(payload, payload + payload_len);
-    events_.push_back(std::move(frame));
+    frame.payload_offset = cursor_ + kFrameHeaderBytes;
+    frame.payload_len = payload_len;
+    events_.push_back(frame);
     ++frames_parsed_;
     cursor_ += frame_size;
     bytes_consumed_ += frame_size;

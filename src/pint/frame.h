@@ -79,6 +79,24 @@ struct FrameError {
 /// A reassembler event: a frame, or a typed error.
 using FrameEvent = std::variant<Frame, FrameError>;
 
+/// A validated frame whose payload is a view into the reassembler's parse
+/// buffer — the zero-copy sibling of `Frame`. Valid until the next
+/// `feed()` or `finish()` on the owning reassembler (draining events via
+/// `next()`/`next_view()` does not invalidate it); consume before feeding.
+struct FrameView {
+  FrameType type = FrameType::kPayload;
+  std::uint32_t source = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t seq = 0;
+  std::span<const std::uint8_t> payload{};
+
+  /// Payload-frame count carried by an epoch-close marker (0 otherwise).
+  std::uint32_t close_payload_count() const;
+};
+
+/// A zero-copy reassembler event: a frame view, or a typed error.
+using FrameViewEvent = std::variant<FrameView, FrameError>;
+
 /// Serialized size of a frame header on the wire.
 inline constexpr std::size_t kFrameHeaderBytes = 26;
 
@@ -145,8 +163,16 @@ class FrameReassembler {
   void feed(std::span<const std::uint8_t> bytes);
 
   /// Next parsed event, or nullopt when the buffered bytes hold no
-  /// complete frame (and no pending error).
+  /// complete frame (and no pending error). The frame's payload is an
+  /// owning copy; prefer `next_view()` on hot paths.
   std::optional<FrameEvent> next();
+
+  /// Zero-copy variant of `next()`: the frame's payload is a view into
+  /// the reassembler's parse buffer, valid until the next `feed()` or
+  /// `finish()`. The fan-in collector drains frames through this, so a
+  /// payload crosses from transport bytes to the report decoder without
+  /// an intermediate copy.
+  std::optional<FrameViewEvent> next_view();
 
   /// Marks end-of-stream: a partially buffered frame is surfaced as
   /// kTruncatedStream by the following next() calls.
@@ -156,12 +182,27 @@ class FrameReassembler {
   std::uint64_t bytes_consumed() const { return bytes_consumed_; }
 
  private:
+  // Parsed frames reference the payload by position in buffer_ (offset is
+  // absolute); materialization — as a copying Frame or a borrowed
+  // FrameView — happens at next()/next_view() time. feed() compacts the
+  // buffer only while no events are pending, so stored offsets stay valid.
+  struct ParsedFrame {
+    FrameType type = FrameType::kPayload;
+    std::uint32_t source = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t seq = 0;
+    std::size_t payload_offset = 0;
+    std::size_t payload_len = 0;
+  };
+  using ParsedEvent = std::variant<ParsedFrame, FrameError>;
+
   void parse_more();  // moves bytes from buffer_ into events_
+  std::optional<ParsedEvent> next_parsed();
 
   std::size_t max_payload_;
   std::vector<std::uint8_t> buffer_;
   std::size_t cursor_ = 0;  // consumed prefix of buffer_
-  std::deque<FrameEvent> events_;
+  std::deque<ParsedEvent> events_;
   std::unordered_map<std::uint32_t, std::uint32_t> next_seq_;  // per source
   std::uint64_t frames_parsed_ = 0;
   std::uint64_t bytes_consumed_ = 0;

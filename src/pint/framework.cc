@@ -112,6 +112,25 @@ PintFramework::Builder& PintFramework::Builder::memory_report_interval_packets(
   return *this;
 }
 
+PintFramework::Builder& PintFramework::Builder::memory_report_interval(
+    std::chrono::nanoseconds interval) {
+  memory_report_interval_time_ =
+      interval.count() < 0 ? std::chrono::nanoseconds{0} : interval;
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::async_observers(
+    std::size_t depth, OverflowPolicy policy) {
+  async_depth_ = depth;
+  async_policy_ = policy;
+  return *this;
+}
+
+PintFramework::Builder& PintFramework::Builder::recording_arena(bool enabled) {
+  recording_arena_ = enabled;
+  return *this;
+}
+
 PintFramework::Builder PintFramework::Builder::with_memory_divided(
     unsigned parts) const {
   if (parts == 0) throw std::invalid_argument("parts > 0");
@@ -297,6 +316,12 @@ BuildResult PintFramework::Builder::build() const {
   }
   for (Binding& b : fw->bindings_) {
     const Query& q = b.spec.query;
+    if (!recording_arena_) {
+      // Stores default to arena-backed nodes; flip to the heap before any
+      // flow is recorded (the toggle requires an empty store).
+      b.decoders.set_arena(false);
+      b.recorders.set_arena(false);
+    }
     if (q.aggregation == AggregationType::kPerPacket) continue;
     const std::size_t cap =
         b.spec.memory_budget_bytes > 0 ? b.spec.memory_budget_bytes : share;
@@ -309,6 +334,8 @@ BuildResult PintFramework::Builder::build() const {
   fw->memory_ceiling_ = memory_ceiling_;
   fw->memory_bounded_ = memory_ceiling_ > 0 || explicit_total > 0;
   fw->memory_report_interval_ = memory_report_interval_;
+  fw->memory_report_interval_time_ = memory_report_interval_time_;
+  fw->last_timed_memory_report_ = std::chrono::steady_clock::now();
 
   try {
     fw->engine_ =
@@ -399,7 +426,7 @@ void PintFramework::at_switch(std::span<Packet> packets, HopIndex i,
 // --- sink side --------------------------------------------------------------
 
 void PintFramework::sink_one(const Packet& packet, unsigned k,
-                             SinkReport& report) {
+                             SinkReport& report, const FlowKeyHint* hint) {
   report.clear();
   const QuerySet& set = engine_->set_for_packet(packet.id);
   if (set.query_indices.empty() ||
@@ -411,10 +438,16 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
     return;
   }
   // Queries usually share a flow definition: hash the tuple at most once
-  // per definition per packet.
+  // per definition per packet — and not at all for a definition the caller
+  // already hashed (ShardedSink's shard-routing key arrives as `hint`).
   constexpr std::size_t kNumFlowDefs = 4;
   std::array<std::uint64_t, kNumFlowDefs> key_cache;
   std::uint8_t key_computed = 0;
+  if (hint != nullptr) {
+    const auto d = static_cast<std::size_t>(hint->def);
+    key_cache[d] = hint->key;
+    key_computed = static_cast<std::uint8_t>(1u << d);
+  }
   const auto cached_flow_key = [&](FlowDefinition def) {
     const auto d = static_cast<std::size_t>(def);
     if (!((key_computed >> d) & 1u)) {
@@ -493,23 +526,40 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
 }
 
 void PintFramework::heartbeat_tick() {
-  if (memory_report_interval_ == 0) return;
-  if (++packets_since_memory_report_ < memory_report_interval_) return;
-  packets_since_memory_report_ = 0;
-  if (observers_.empty()) return;
+  bool fire = false;
+  if (memory_report_interval_ != 0 &&
+      ++packets_since_memory_report_ >= memory_report_interval_) {
+    packets_since_memory_report_ = 0;
+    fire = true;
+  }
+  if (memory_report_interval_time_.count() > 0) {
+    // Clock reads happen only with the time heartbeat configured, so the
+    // default hot path stays syscall-free.
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_timed_memory_report_ >= memory_report_interval_time_) {
+      last_timed_memory_report_ = now;
+      fire = true;
+    }
+  }
+  if (!fire || observers_.empty()) return;
   const MemoryReport mem = memory_report();
   for (SinkObserver* o : observers_) o->on_memory_report(mem);
 }
 
 SinkReport PintFramework::at_sink(const Packet& packet, unsigned k) {
   SinkReport report;
-  sink_one(packet, k, report);
+  sink_one(packet, k, report, nullptr);
   return report;
 }
 
 void PintFramework::at_sink(const Packet& packet, unsigned k,
                             SinkReport& report) {
-  sink_one(packet, k, report);
+  sink_one(packet, k, report, nullptr);
+}
+
+void PintFramework::at_sink(const Packet& packet, unsigned k,
+                            SinkReport& report, const FlowKeyHint& hint) {
+  sink_one(packet, k, report, &hint);
 }
 
 void PintFramework::at_sink(std::span<const Packet> packets, unsigned k,
@@ -519,7 +569,7 @@ void PintFramework::at_sink(std::span<const Packet> packets, unsigned k,
   }
   SinkReport scratch;
   for (std::size_t i = 0; i < packets.size(); ++i) {
-    sink_one(packets[i], k, reports.empty() ? scratch : reports[i]);
+    sink_one(packets[i], k, reports.empty() ? scratch : reports[i], nullptr);
   }
 }
 

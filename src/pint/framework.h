@@ -29,6 +29,7 @@
 /// PINT stays header-free.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -78,6 +79,16 @@ struct BuildError {
 
 class PintFramework;
 
+/// A flow key a caller already computed for one flow definition, handed
+/// into `at_sink` so the framework does not hash the tuple again for
+/// queries using that definition. ShardedSink hashes each packet once for
+/// shard routing and forwards the result here, so the digest's flow key is
+/// computed exactly once end to end.
+struct FlowKeyHint {
+  FlowDefinition def = FlowDefinition::kFiveTuple;
+  std::uint64_t key = 0;
+};
+
 /// Result of Builder::build(): exactly one of framework/error is set.
 struct BuildResult {
   std::unique_ptr<PintFramework> framework;
@@ -124,6 +135,41 @@ class PintFramework {
       return memory_report_interval_;
     }
 
+    /// Time-based heartbeat: emit `on_memory_report` whenever at least
+    /// `interval` has elapsed since the last report (checked as packets
+    /// pass the sink, so an idle sink stays silent — this is a telemetry
+    /// cadence, not a timer thread). Zero (the default) disables it.
+    /// Composes with the packet-interval trigger; inside a ShardedSink
+    /// every shard replica keeps its own clock, so expect one report per
+    /// shard per interval.
+    Builder& memory_report_interval(std::chrono::nanoseconds interval);
+    std::chrono::nanoseconds memory_report_interval_time() const {
+      return memory_report_interval_time_;
+    }
+
+    /// Opt-in asynchronous observer delivery for ShardedSink: each shard
+    /// worker publishes observer events into a `depth`-deep SPSC ring
+    /// consumed by one dedicated relay thread, so expensive observer
+    /// callbacks leave the packet path. `policy` decides what a full ring
+    /// does to the worker: kBlock (lossless, bounded-memory backpressure)
+    /// or kDropNewest (events dropped and counted exactly — see
+    /// `ShardedSink::observer_counters`). Per-shard event order is
+    /// preserved either way. `depth` 0 (the default) keeps the serialized
+    /// synchronous delivery. A plain PintFramework ignores this: its
+    /// observers always run inline in at_sink().
+    Builder& async_observers(std::size_t depth,
+                             OverflowPolicy policy = OverflowPolicy::kBlock);
+    std::size_t async_observer_depth() const { return async_depth_; }
+    OverflowPolicy async_observer_policy() const { return async_policy_; }
+
+    /// Whether Recording-Module stores draw their per-flow nodes from a
+    /// slab arena (common/arena.h). On by default — fewer mallocs and
+    /// better locality under eviction churn, with identical behavior and
+    /// accounting; off reverts to the global heap (the bench's arena
+    /// on/off comparison).
+    Builder& recording_arena(bool enabled);
+    bool recording_arena_enabled() const { return recording_arena_; }
+
     /// Copy of this builder with the memory ceiling and every per-query
     /// budget divided by `parts`. Bounded never becomes unbounded: the
     /// ceiling floors at 1 byte, and under a ceiling a per-query budget
@@ -160,6 +206,10 @@ class PintFramework {
     std::uint64_t seed_ = 0x50494E54;  // "PINT"
     std::size_t memory_ceiling_ = 0;   // 0 = unbounded (seed behavior)
     std::uint64_t memory_report_interval_ = 0;  // 0 = no heartbeat
+    std::chrono::nanoseconds memory_report_interval_time_{0};  // 0 = off
+    std::size_t async_depth_ = 0;  // 0 = synchronous observer delivery
+    OverflowPolicy async_policy_ = OverflowPolicy::kBlock;
+    bool recording_arena_ = true;
     std::vector<std::uint64_t> universe_;
     ValueExtractorRegistry registry_;
     std::optional<std::string> duplicate_extractor_;
@@ -186,6 +236,13 @@ class PintFramework {
   /// report (cleared first) — no 400-byte return copy. ShardedSink workers
   /// drain their queues through this.
   void at_sink(const Packet& packet, unsigned k, SinkReport& report);
+
+  /// Scalar hot path with a precomputed flow key: `hint.key` must equal
+  /// `flow_key(packet.tuple, hint.def)` — the framework seeds its per-packet
+  /// key cache with it instead of rehashing. ShardedSink forwards the key it
+  /// hashed for shard routing through this overload.
+  void at_sink(const Packet& packet, unsigned k, SinkReport& report,
+               const FlowKeyHint& hint);
 
   /// Batched hot path. `reports` must be empty (observer-only delivery) or
   /// have one entry per packet; entries are overwritten, not appended, so a
@@ -219,6 +276,11 @@ class PintFramework {
   /// Packets between heartbeat memory reports (0 = heartbeat off).
   std::uint64_t memory_report_interval() const {
     return memory_report_interval_;
+  }
+
+  /// Minimum elapsed time between timed heartbeat reports (0 = off).
+  std::chrono::nanoseconds memory_report_interval_time() const {
+    return memory_report_interval_time_;
   }
 
   /// Snapshot of every per-flow query's Recording-Module storage
@@ -308,7 +370,8 @@ class PintFramework {
   /// once per batch instead of once per packet.
   void encode_one(Packet& packet, HopIndex i, const SwitchView* view,
                   const double* hoisted);
-  void sink_one(const Packet& packet, unsigned k, SinkReport& report);
+  void sink_one(const Packet& packet, unsigned k, SinkReport& report,
+                const FlowKeyHint* hint);
   void heartbeat_tick();  // periodic on_memory_report, counted per packet
 
   const Binding* find_binding(std::string_view query) const;
@@ -329,6 +392,8 @@ class PintFramework {
   std::uint64_t last_reported_evictions_ = 0;  // on_memory_report edge
   std::uint64_t memory_report_interval_ = 0;   // heartbeat period (packets)
   std::uint64_t packets_since_memory_report_ = 0;
+  std::chrono::nanoseconds memory_report_interval_time_{0};  // 0 = off
+  std::chrono::steady_clock::time_point last_timed_memory_report_{};
 };
 
 }  // namespace pint

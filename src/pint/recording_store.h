@@ -22,12 +22,14 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 
 namespace pint {
@@ -50,6 +52,12 @@ class RecordingStore {
   /// is set; an unbounded store sizes entries once at creation (and on
   /// put()) so the no-ceiling hot path never walks state it will not
   /// evict.
+  ///
+  /// By default the store's own nodes (hash-map entries, LRU links) come
+  /// from a private SlabArena (common/arena.h): steady-state create/evict
+  /// churn recycles pooled nodes instead of hitting the heap. `set_arena`
+  /// (before first use) switches back to plain heap allocation — identical
+  /// behavior and accounting, only the allocator differs.
   RecordingStore(std::size_t capacity_bytes, Factory factory, SizeFn size_of)
       : capacity_(capacity_bytes), factory_(std::move(factory)),
         size_of_(std::move(size_of)) {
@@ -66,6 +74,28 @@ class RecordingStore {
       : capacity_(capacity_bytes), size_of_(std::move(size_of)) {
     if (!size_of_) throw std::invalid_argument("size_of required");
   }
+
+  /// Enables or disables the slab arena behind the store's containers.
+  /// Only valid while the store is empty (the builder configures stores
+  /// before any packet arrives); throws std::logic_error otherwise.
+  void set_arena(bool enabled) {
+    if (enabled == (arena_ != nullptr)) return;  // no-op, any time
+    if (!entries_.empty()) {
+      throw std::logic_error("RecordingStore: arena toggle on a live store");
+    }
+    if (enabled) {
+      arena_ = std::make_unique<SlabArena>();
+    }
+    SlabArena* backing = enabled ? arena_.get() : nullptr;
+    // Propagating move-assignments swap in the new allocator; both
+    // containers are empty, so no elements move between arenas.
+    entries_ = EntryMap(0, MapHash{}, MapEq{}, MapAlloc{backing});
+    lru_ = LruList(ListAlloc{backing});
+    if (!enabled) arena_.reset();
+  }
+
+  /// The store's slab arena, or nullptr when arena-backing is disabled.
+  const SlabArena* arena() const { return arena_.get(); }
 
   /// Get or create the state for a flow and mark it most-recently-used.
   /// May evict other flows to stay within capacity.
@@ -181,24 +211,33 @@ class RecordingStore {
   bool over_budget() const { return capacity_ != 0 && used_ > capacity_; }
 
  private:
+  using ListAlloc = ArenaAllocator<std::uint64_t>;
+  using LruList = std::list<std::uint64_t, ListAlloc>;
+
   struct Entry {
     PerFlowState state;
-    std::list<std::uint64_t>::iterator lru_pos;
+    typename LruList::iterator lru_pos;
     std::size_t bytes;
   };
 
-  void bump(typename std::unordered_map<std::uint64_t, Entry>::iterator it) {
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(it->first);
-    it->second.lru_pos = lru_.begin();
+  using MapHash = std::hash<std::uint64_t>;
+  using MapEq = std::equal_to<std::uint64_t>;
+  using MapAlloc = ArenaAllocator<std::pair<const std::uint64_t, Entry>>;
+  using EntryMap =
+      std::unordered_map<std::uint64_t, Entry, MapHash, MapEq, MapAlloc>;
+
+  void bump(typename EntryMap::iterator it) {
+    // Relink the existing node instead of erase+push: no allocator round
+    // trip on the touch path, and lru_pos stays valid (splice moves the
+    // node, invalidating nothing).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     // Unbounded stores never evict, so walking the state for a fresh size
     // on every touch would only tax the decode hot path; entries keep
     // their creation-time size until a capacity is set.
     if (capacity_ != 0) reaccount(it);
   }
 
-  void reaccount(typename std::unordered_map<std::uint64_t, Entry>::iterator
-                     it) {
+  void reaccount(typename EntryMap::iterator it) {
     // States grow as digests accumulate, but may also shrink (decoders
     // drop candidate sets as hops resolve), so both directions are
     // handled explicitly instead of leaning on unsigned wraparound.
@@ -230,8 +269,11 @@ class RecordingStore {
   std::size_t capacity_;
   Factory factory_;
   SizeFn size_of_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::list<std::uint64_t> lru_;  // front = most recent
+  // Declared before the containers so it is destroyed after them: nodes
+  // must not outlive the slabs they live in.
+  std::unique_ptr<SlabArena> arena_ = std::make_unique<SlabArena>();
+  EntryMap entries_{0, MapHash{}, MapEq{}, MapAlloc{arena_.get()}};
+  LruList lru_{ListAlloc{arena_.get()}};  // front = most recent
   std::size_t used_ = 0;
   std::size_t peak_used_ = 0;
   std::size_t max_entry_bytes_ = 0;

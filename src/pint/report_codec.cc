@@ -236,8 +236,17 @@ std::string_view ReportDecoder::intern(std::string_view name) {
   return stable;
 }
 
-bool ReportDecoder::decode(std::span<const std::uint8_t> bytes,
-                           std::vector<StreamRecord>& out) {
+// Validating zero-copy parse: names stay views into `bytes`, records land
+// in flyweight scratch, path elements pack into one pooled vector. Nothing
+// is interned and no observer sees anything until the whole buffer
+// validates — interning rejected buffers would let malformed input grow
+// the decoder's name storage without bound, and partial dispatch would
+// leak phantom records downstream.
+bool ReportDecoder::parse(std::span<const std::uint8_t> bytes) {
+  names_scratch_.clear();
+  records_scratch_.clear();
+  path_pool_.clear();
+
   Reader in{bytes.data(), bytes.data() + bytes.size()};
   std::string_view magic;
   if (!in.get_bytes(magic, 4) ||
@@ -249,96 +258,139 @@ bool ReportDecoder::decode(std::span<const std::uint8_t> bytes,
   // cannot force a huge allocation before parsing fails.
   constexpr std::uint64_t kReserveCap = 4096;
 
-  // Names stay as views into `bytes` until the whole buffer validates;
-  // interning rejected buffers would let malformed input grow the
-  // decoder's name storage without bound.
   std::uint64_t name_count = 0;
   if (!in.get_varint(name_count)) return false;
-  std::vector<std::string_view> names;
-  names.reserve(std::min(name_count, kReserveCap));
+  names_scratch_.reserve(std::min(name_count, kReserveCap));
   for (std::uint64_t i = 0; i < name_count; ++i) {
     std::uint64_t len = 0;
     std::string_view raw;
     if (!in.get_varint(len) || !in.get_bytes(raw, len)) return false;
-    names.push_back(raw);
+    names_scratch_.push_back(raw);
   }
 
   std::uint64_t record_count = 0;
   if (!in.get_varint(record_count)) return false;
-  std::vector<StreamRecord> parsed;
-  parsed.reserve(std::min(record_count, kReserveCap));
-  std::vector<std::uint32_t> record_names;
-  record_names.reserve(std::min(record_count, kReserveCap));
+  records_scratch_.reserve(std::min(record_count, kReserveCap));
   for (std::uint64_t i = 0; i < record_count; ++i) {
     std::uint64_t name_index = 0;
-    std::uint8_t tag = 0;
-    StreamRecord rec;
+    CompactRecord rec;
     std::uint64_t packet_id = 0;
     std::uint64_t k = 0;
-    if (!in.get_varint(name_index) || name_index >= names.size() ||
-        !in.get_byte(tag) || !in.get_varint(packet_id) ||
+    if (!in.get_varint(name_index) || name_index >= names_scratch_.size() ||
+        !in.get_byte(rec.tag) || !in.get_varint(packet_id) ||
         !in.get_fixed64(rec.ctx.flow) || !in.get_varint(k)) {
       return false;
     }
-    record_names.push_back(static_cast<std::uint32_t>(name_index));
+    rec.name = static_cast<std::uint32_t>(name_index);
     rec.ctx.packet_id = packet_id;
     rec.ctx.path_length = static_cast<unsigned>(k);
-    switch (tag) {
-      case kTagAggregate: {
-        std::uint64_t bits = 0;
-        if (!in.get_fixed64(bits)) return false;
-        rec.observation = AggregateObservation{std::bit_cast<double>(bits)};
+    switch (rec.tag) {
+      case kTagAggregate:
+        if (!in.get_fixed64(rec.a)) return false;
         break;
-      }
-      case kTagHopSample: {
-        std::uint64_t hop = 0;
-        std::uint64_t bits = 0;
-        if (!in.get_varint(hop) || !in.get_fixed64(bits)) return false;
-        rec.observation = HopSampleObservation{
-            static_cast<HopIndex>(hop), std::bit_cast<double>(bits)};
+      case kTagHopSample:
+        if (!in.get_varint(rec.a) || !in.get_fixed64(rec.b)) return false;
         break;
-      }
-      case kTagPathDigest: {
-        std::uint64_t resolved = 0;
-        std::uint64_t length = 0;
-        std::uint8_t complete = 0;
-        if (!in.get_varint(resolved) || !in.get_varint(length) ||
-            !in.get_byte(complete)) {
+      case kTagPathDigest:
+        if (!in.get_varint(rec.a) || !in.get_varint(rec.b) ||
+            !in.get_byte(rec.flag)) {
           return false;
         }
-        rec.observation = PathDigestObservation{
-            static_cast<unsigned>(resolved), static_cast<unsigned>(length),
-            complete != 0};
         break;
-      }
       case kTagPathEvent: {
         std::uint64_t count = 0;
         if (!in.get_varint(count)) return false;
-        rec.path_event = true;
-        rec.path.reserve(std::min(count, kReserveCap));
+        rec.path_off = static_cast<std::uint32_t>(path_pool_.size());
         for (std::uint64_t j = 0; j < count; ++j) {
           std::uint64_t sid = 0;
           if (!in.get_varint(sid)) return false;
-          rec.path.push_back(static_cast<SwitchId>(sid));
+          path_pool_.push_back(static_cast<SwitchId>(sid));
         }
+        rec.path_len = static_cast<std::uint32_t>(count);
         break;
       }
       default:
         return false;
     }
-    parsed.push_back(std::move(rec));
+    records_scratch_.push_back(rec);
   }
-  if (in.p != in.end) return false;  // trailing bytes: not one of our buffers
-  // Fully validated: intern the names and point the records at the stable
-  // storage.
-  std::vector<std::string_view> stable;
-  stable.reserve(names.size());
-  for (std::string_view name : names) stable.push_back(intern(name));
-  for (std::size_t i = 0; i < parsed.size(); ++i) {
-    parsed[i].query = stable[record_names[i]];
+  return in.p == in.end;  // trailing bytes: not one of our buffers
+}
+
+namespace {
+
+Observation make_observation(std::uint8_t tag, std::uint64_t a,
+                             std::uint64_t b, std::uint8_t flag) {
+  switch (tag) {
+    case kTagHopSample:
+      return HopSampleObservation{static_cast<HopIndex>(a),
+                                  std::bit_cast<double>(b)};
+    case kTagPathDigest:
+      return PathDigestObservation{static_cast<unsigned>(a),
+                                   static_cast<unsigned>(b), flag != 0};
+    default:  // kTagAggregate (parse() admits no other tag here)
+      return AggregateObservation{std::bit_cast<double>(a)};
   }
-  out.insert(out.end(), std::make_move_iterator(parsed.begin()),
-             std::make_move_iterator(parsed.end()));
+}
+
+}  // namespace
+
+bool ReportDecoder::decode(std::span<const std::uint8_t> bytes,
+                           std::vector<StreamRecord>& out) {
+  if (!parse(bytes)) return false;
+  // Fully validated: intern the names and materialize owning records.
+  stable_scratch_.clear();
+  stable_scratch_.reserve(names_scratch_.size());
+  for (std::string_view name : names_scratch_) {
+    stable_scratch_.push_back(intern(name));
+  }
+  out.reserve(out.size() + records_scratch_.size());
+  for (const CompactRecord& rec : records_scratch_) {
+    StreamRecord sr;
+    sr.ctx = rec.ctx;
+    sr.query = stable_scratch_[rec.name];
+    if (rec.tag == kTagPathEvent) {
+      sr.path_event = true;
+      sr.path.assign(path_pool_.begin() + rec.path_off,
+                     path_pool_.begin() + rec.path_off + rec.path_len);
+    } else {
+      sr.observation = make_observation(rec.tag, rec.a, rec.b, rec.flag);
+    }
+    out.push_back(std::move(sr));
+  }
+  return true;
+}
+
+bool ReportDecoder::dispatch(std::span<const std::uint8_t> bytes,
+                             std::span<SinkObserver* const> observers,
+                             std::uint64_t* records_out) {
+  if (!parse(bytes)) return false;
+  // Validated: intern the (few) names, then replay straight from scratch —
+  // the only per-record work is the callback itself.
+  stable_scratch_.clear();
+  stable_scratch_.reserve(names_scratch_.size());
+  for (std::string_view name : names_scratch_) {
+    stable_scratch_.push_back(intern(name));
+  }
+  for (const CompactRecord& rec : records_scratch_) {
+    const std::string_view query = stable_scratch_[rec.name];
+    if (rec.tag == kTagPathEvent) {
+      // on_path_decoded takes a vector; refill one reused buffer (no
+      // allocation once its capacity covers the longest path).
+      path_call_.assign(path_pool_.begin() + rec.path_off,
+                        path_pool_.begin() + rec.path_off + rec.path_len);
+      for (SinkObserver* o : observers) {
+        o->on_path_decoded(rec.ctx, query, path_call_);
+      }
+    } else {
+      const Observation obs =
+          make_observation(rec.tag, rec.a, rec.b, rec.flag);
+      for (SinkObserver* o : observers) {
+        o->on_observation(rec.ctx, query, obs);
+      }
+    }
+  }
+  if (records_out != nullptr) *records_out += records_scratch_.size();
   return true;
 }
 

@@ -111,6 +111,13 @@ class ReportEncoder {
 /// A decoder may ingest buffers from many sinks; query names are interned
 /// once and every decoded `StreamRecord::query` view stays valid for the
 /// decoder's lifetime.
+///
+/// The hot path is `dispatch()`: it reads varints and name-table views
+/// directly off the input bytes into reusable scratch (no per-record
+/// vectors, no string materialization — steady-state decoding allocates
+/// nothing once the scratch is warm) and replays the records straight into
+/// observers. `decode()` shares the same zero-copy parse and then
+/// materializes owning StreamRecords for callers that want them.
 class ReportDecoder {
  public:
   /// Appends the buffer's records to `out`. Returns false (leaving `out`
@@ -119,11 +126,53 @@ class ReportDecoder {
   bool decode(std::span<const std::uint8_t> bytes,
               std::vector<StreamRecord>& out);
 
+  /// Zero-copy replay: parses `bytes` and fires the records into
+  /// `observers` in record order, reading straight from the input span.
+  /// The buffer is fully validated *before* the first callback, so a
+  /// malformed buffer returns false and dispatches nothing — exactly
+  /// decode()'s rejection behavior. `records_out`, if non-null, is
+  /// incremented by the number of records replayed. Query-name views
+  /// passed to callbacks are interned and stay valid for the decoder's
+  /// lifetime.
+  ///
+  /// Not reentrant: callbacks replay out of this decoder's reused
+  /// scratch, so an observer must not call back into the *same* decoder
+  /// (or the FanInCollector that owns it) — mirroring SinkObserver's
+  /// no-reentry contract toward the framework. Observers that forward
+  /// into another pipeline must buffer and replay after dispatch()
+  /// returns (or use a separate decoder).
+  bool dispatch(std::span<const std::uint8_t> bytes,
+                std::span<SinkObserver* const> observers,
+                std::uint64_t* records_out = nullptr);
+
  private:
+  // One parsed record, flyweight: names are indices into names_scratch_,
+  // path elements live in path_pool_ — nothing owns heap of its own, so
+  // the scratch vectors are reused buffer after buffer.
+  struct CompactRecord {
+    SinkContext ctx{};
+    std::uint32_t name = 0;
+    std::uint8_t tag = 0;
+    std::uint8_t flag = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t path_off = 0;
+    std::uint32_t path_len = 0;
+  };
+
   std::string_view intern(std::string_view name);
+  /// Validating zero-copy parse into the scratch members; false on any
+  /// malformed input (scratch contents are then meaningless).
+  bool parse(std::span<const std::uint8_t> bytes);
 
   std::deque<std::string> interned_;  // stable storage for query names
   std::unordered_map<std::string_view, std::string_view> index_;
+  // Reused across calls: cleared, never shrunk.
+  std::vector<std::string_view> names_scratch_;  // views into the input
+  std::vector<std::string_view> stable_scratch_;  // interned counterparts
+  std::vector<CompactRecord> records_scratch_;
+  std::vector<SwitchId> path_pool_;   // all path records' elements, packed
+  std::vector<SwitchId> path_call_;   // one path, for the callback signature
 };
 
 /// Replays decoded records into observers, in record order: observation

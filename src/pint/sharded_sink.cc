@@ -42,12 +42,26 @@ std::optional<FlowDefinition> common_flow_partition(const PintFramework& fw) {
   return FlowDefinition::kFiveTuple;
 }
 
-class ShardedSink::Relay : public SinkObserver {
+// Registered on one shard's framework replica; runs on that shard's worker
+// thread. Sync mode forwards inline under the observer mutex (the pre-async
+// behavior); async mode captures the callback as an ObserverEvent and
+// publishes it to the shard's SPSC ring for the relay thread.
+class ShardedSink::ShardRelay : public SinkObserver {
  public:
-  explicit Relay(ShardedSink& parent) : parent_(parent) {}
+  ShardRelay(ShardedSink& parent, Shard& shard)
+      : parent_(parent), shard_(shard) {}
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override {
+    if (parent_.async_mode_) {
+      ObserverEvent ev;
+      ev.kind = ObserverEvent::Kind::kObservation;
+      ev.ctx = ctx;
+      ev.query = query;
+      ev.obs = obs;
+      parent_.publish_event(shard_, std::move(ev));
+      return;
+    }
     std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
     for (SinkObserver* o : parent_.observers_) {
       o->on_observation(ctx, query, obs);
@@ -56,6 +70,15 @@ class ShardedSink::Relay : public SinkObserver {
 
   void on_path_decoded(const SinkContext& ctx, std::string_view query,
                        const std::vector<SwitchId>& path) override {
+    if (parent_.async_mode_) {
+      ObserverEvent ev;
+      ev.kind = ObserverEvent::Kind::kPath;
+      ev.ctx = ctx;
+      ev.query = query;
+      ev.path = path;
+      parent_.publish_event(shard_, std::move(ev));
+      return;
+    }
     std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
     for (SinkObserver* o : parent_.observers_) {
       o->on_path_decoded(ctx, query, path);
@@ -66,6 +89,13 @@ class ShardedSink::Relay : public SinkObserver {
   // (shards hold disjoint flows); use ShardedSink::memory_report() for the
   // merged view.
   void on_memory_report(const MemoryReport& report) override {
+    if (parent_.async_mode_) {
+      ObserverEvent ev;
+      ev.kind = ObserverEvent::Kind::kMemory;
+      ev.memory = std::make_unique<MemoryReport>(report);
+      parent_.publish_event(shard_, std::move(ev));
+      return;
+    }
     std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
     for (SinkObserver* o : parent_.observers_) {
       o->on_memory_report(report);
@@ -74,6 +104,7 @@ class ShardedSink::Relay : public SinkObserver {
 
  private:
   ShardedSink& parent_;
+  Shard& shard_;
 };
 
 ShardedSink::ShardedSink(const PintFramework::Builder& builder,
@@ -84,17 +115,25 @@ ShardedSink::ShardedSink(const PintFramework::Builder& builder,
   if (queue_depth == 0) {
     throw std::invalid_argument("ShardedSink needs a nonzero queue depth");
   }
-  relay_ = std::make_unique<Relay>(*this);
+  async_mode_ = builder.async_observer_depth() > 0;
+  async_policy_ = builder.async_observer_policy();
   // Each shard holds 1/num_shards of the flows, so it gets 1/num_shards of
   // every Recording-Module budget; with no budgets set this is a no-op copy.
   const PintFramework::Builder replica_builder =
       num_shards > 1 ? builder.with_memory_divided(num_shards)
                      : PintFramework::Builder(builder);
   shards_.reserve(num_shards);
+  shard_relays_.reserve(num_shards);
   for (unsigned s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>(queue_depth);
     shard->fw = replica_builder.build_or_throw();
-    shard->fw->add_observer(relay_.get());
+    if (async_mode_) {
+      shard->obs_ring = std::make_unique<SpscQueue<ObserverEvent>>(
+          builder.async_observer_depth());
+    }
+    shard_relays_.push_back(
+        std::make_unique<ShardRelay>(*this, *shard));
+    shard->fw->add_observer(shard_relays_.back().get());
     shards_.push_back(std::move(shard));
   }
   const std::optional<FlowDefinition> def =
@@ -111,6 +150,9 @@ ShardedSink::ShardedSink(const PintFramework::Builder& builder,
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+  if (async_mode_) {
+    relay_thread_ = std::thread([this] { relay_loop(); });
   }
 }
 
@@ -138,6 +180,14 @@ ShardedSink::~ShardedSink() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  if (relay_thread_.joinable()) {
+    // Workers are gone, so no more events can be published; the relay
+    // drains what remains (kBlock stays loss-free through destruction)
+    // and exits.
+    relay_stop_.store(true, std::memory_order_seq_cst);
+    wake_relay();
+    relay_thread_.join();
+  }
 }
 
 unsigned ShardedSink::shard_of(const FiveTuple& tuple) const {
@@ -152,8 +202,13 @@ void ShardedSink::submit(std::span<const Packet> packets, unsigned k,
   }
   std::vector<Batch> staged(shards_.size());
   for (std::size_t i = 0; i < packets.size(); ++i) {
-    Batch& b = staged[shard_of(packets[i].tuple)];
+    // Hash each packet's partition flow key exactly once: the same value
+    // routes the packet to its shard here and rides along as a
+    // FlowKeyHint so the worker's at_sink() skips the rehash.
+    const std::uint64_t pkey = flow_key(packets[i].tuple, partition_def_);
+    Batch& b = staged[mix64(pkey) % shards_.size()];
     b.packets.push_back(&packets[i]);
+    b.keys.push_back(pkey);
     if (!reports.empty()) b.reports.push_back(&reports[i]);
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -163,11 +218,13 @@ void ShardedSink::submit(std::span<const Packet> packets, unsigned k,
     // pending goes up before the batch is visible anywhere, so a flush()
     // racing this submit can never observe "all done" mid-handoff.
     shard.pending_batches.fetch_add(1, std::memory_order_acq_rel);
-    // Bounded queue full = backpressure: this producer waits (the batch
-    // is already partitioned; blocking here is the kBlock policy — the
-    // sink never grows an unbounded backlog).
+    // Bounded queue full = backpressure: this producer waits with bounded
+    // exponential backoff (spin -> pause -> yield; the batch is already
+    // partitioned, and blocking here is the kBlock policy — the sink
+    // never grows an unbounded backlog).
+    Backoff backoff;
     while (!shard.queue.try_push(std::move(staged[s]))) {
-      std::this_thread::yield();
+      backoff.wait();
     }
     // Publish after the push: a worker that observes queued > 0 is
     // guaranteed to find the batch (release pairs with the worker's
@@ -190,11 +247,144 @@ void ShardedSink::flush() {
       return shard->pending_batches.load(std::memory_order_acquire) == 0;
     });
   }
+  if (!async_mode_) return;
+  // Every flushed packet's events are published (workers publish inside
+  // at_sink, before marking the batch done); wait for the relay to deliver
+  // them so post-flush reads of observer state are race-free. consumed is
+  // bumped with release *after* each callback returns, so the acquire
+  // loads here order those callbacks before flush()'s return.
+  for (auto& shard : shards_) {
+    Backoff backoff;
+    while (shard->obs_consumed.load(std::memory_order_acquire) <
+           shard->obs_published.load(std::memory_order_acquire)) {
+      if (relay_sleeping_.load(std::memory_order_seq_cst)) wake_relay();
+      backoff.wait();
+    }
+  }
 }
 
 void ShardedSink::add_observer(SinkObserver* observer) {
   std::lock_guard<std::mutex> lock(observer_mutex_);
   observers_.push_back(observer);
+}
+
+// --- async observer relay ---------------------------------------------------
+//
+// Wakeup handshake: producers bump obs_published (seq_cst) then load
+// relay_sleeping_ (seq_cst) and only notify when it reads true; the relay
+// stores relay_sleeping_ = true (seq_cst) before its wait predicate reads
+// the counters. In the seq_cst total order, a producer that misses the
+// sleeping flag must have published before the relay's predicate read, so
+// the predicate sees the event — no missed wakeups, and the fast path
+// (relay awake) costs the producer one uncontended atomic load, no mutex.
+
+void ShardedSink::wake_relay() {
+  {
+    // Empty critical section, same reasoning as the worker wakeup above:
+    // the relay either holds the mutex and is about to re-check its
+    // predicate, or is asleep and the notify lands after it released it.
+    std::lock_guard<std::mutex> lock(relay_mutex_);
+  }
+  relay_wake_.notify_one();
+}
+
+void ShardedSink::publish_event(Shard& shard, ObserverEvent&& event) {
+  if (!shard.obs_ring->try_push(std::move(event))) {
+    if (async_policy_ == OverflowPolicy::kDropNewest) {
+      // Exact accounting: every emitted event lands in published or
+      // dropped, never both, never neither.
+      shard.obs_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // kBlock: bounded exponential backoff until the relay frees a slot.
+    // Wake the relay only if it is actually asleep — taking relay_mutex_
+    // on every retry would contend with the thread doing the draining.
+    shard.obs_blocked.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    do {
+      if (relay_sleeping_.load(std::memory_order_seq_cst)) wake_relay();
+      backoff.wait();
+    } while (!shard.obs_ring->try_push(std::move(event)));
+  }
+  shard.obs_published.fetch_add(1, std::memory_order_seq_cst);
+  if (relay_sleeping_.load(std::memory_order_seq_cst)) wake_relay();
+}
+
+void ShardedSink::deliver_event(const ObserverEvent& event) {
+  std::lock_guard<std::mutex> lock(observer_mutex_);
+  switch (event.kind) {
+    case ObserverEvent::Kind::kObservation:
+      for (SinkObserver* o : observers_) {
+        o->on_observation(event.ctx, event.query, event.obs);
+      }
+      break;
+    case ObserverEvent::Kind::kPath:
+      for (SinkObserver* o : observers_) {
+        o->on_path_decoded(event.ctx, event.query, event.path);
+      }
+      break;
+    case ObserverEvent::Kind::kMemory:
+      for (SinkObserver* o : observers_) {
+        o->on_memory_report(*event.memory);
+      }
+      break;
+  }
+}
+
+std::size_t ShardedSink::drain_rings() {
+  std::size_t delivered = 0;
+  for (auto& shard : shards_) {
+    ObserverEvent event;
+    while (shard->obs_ring->try_pop(event)) {
+      deliver_event(event);
+      // After the callback: flush()'s acquire read of consumed must order
+      // the callback's side effects before flush() returns.
+      shard->obs_consumed.fetch_add(1, std::memory_order_release);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+void ShardedSink::relay_loop() {
+  const auto work_pending = [&] {
+    for (auto& shard : shards_) {
+      if (shard->obs_published.load(std::memory_order_seq_cst) !=
+          shard->obs_consumed.load(std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (;;) {
+    if (drain_rings() > 0) continue;
+    std::unique_lock<std::mutex> lock(relay_mutex_);
+    relay_sleeping_.store(true, std::memory_order_seq_cst);
+    relay_wake_.wait(lock, [&] {
+      return relay_stop_.load(std::memory_order_acquire) || work_pending();
+    });
+    relay_sleeping_.store(false, std::memory_order_seq_cst);
+    if (relay_stop_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      // Stop is only set after the workers joined: one final drain makes
+      // kBlock delivery loss-free through destruction.
+      drain_rings();
+      return;
+    }
+  }
+}
+
+TransportCounters ShardedSink::observer_counters() const {
+  TransportCounters t;
+  t.active = async_mode_;
+  for (const auto& shard : shards_) {
+    t.observer_events +=
+        shard->obs_published.load(std::memory_order_acquire);
+    t.observer_drops += shard->obs_dropped.load(std::memory_order_acquire);
+    t.observer_blocked_waits +=
+        shard->obs_blocked.load(std::memory_order_acquire);
+  }
+  return t;
 }
 
 std::uint64_t ShardedSink::packets_processed() const {
@@ -245,7 +435,9 @@ void ShardedSink::worker_loop(Shard& shard) {
       shard.queued.fetch_sub(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < batch.packets.size(); ++i) {
         SinkReport& out = batch.reports.empty() ? scratch : *batch.reports[i];
-        shard.fw->at_sink(*batch.packets[i], batch.k, out);
+        // Reuse the partition key submit() hashed for shard routing.
+        shard.fw->at_sink(*batch.packets[i], batch.k, out,
+                          FlowKeyHint{partition_def_, batch.keys[i]});
       }
       shard.processed.fetch_add(batch.packets.size(),
                                 std::memory_order_release);

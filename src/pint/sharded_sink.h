@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "common/spsc_queue.h"
 #include "common/types.h"
 #include "packet/flow.h"
 #include "packet/packet.h"
@@ -64,11 +65,19 @@ std::optional<FlowDefinition> common_flow_partition(const PintFramework& fw);
 ///  * Observers registered through `add_observer()` are invoked from shard
 ///    worker threads but serialized under an internal mutex, so ordinary
 ///    single-threaded observers (the `src/apps/` adapters) work unchanged.
-///    Observers registered on the Builder itself bypass this serialization
-///    and must be thread-safe — prefer `add_observer()` here.
-///  * `flush()` waits for every batch submitted *before* the call; quiesce
-///    (join or barrier) producer threads first if "everything" must mean
-///    their batches too.
+///    With `Builder::async_observers(depth, policy)` the callbacks instead
+///    leave the packet path entirely: each shard worker publishes events
+///    into a per-shard SPSC ring and one dedicated relay thread delivers
+///    them (still serialized, still per-shard FIFO). A full ring applies
+///    the explicit OverflowPolicy — kBlock (lossless backpressure with
+///    bounded exponential backoff) or kDropNewest (drop the event, count
+///    it exactly — see `observer_counters()`). Observers registered on the
+///    Builder itself bypass all of this and must be thread-safe — prefer
+///    `add_observer()` here.
+///  * `flush()` waits for every batch submitted *before* the call — and, in
+///    async-observer mode, for the relay to drain every event those batches
+///    published. Quiesce (join or barrier) producer threads first if
+///    "everything" must mean their batches too.
 ///  * The merged inference accessors and `shard()` must only be called when
 ///    the sink is quiescent (after `flush()`, before the next `submit()`).
 class ShardedSink {
@@ -124,6 +133,18 @@ class ShardedSink {
   /// before the first `submit()`.
   void add_observer(SinkObserver* observer);
 
+  /// True when the Builder enabled `async_observers`.
+  bool async_observers() const { return async_mode_; }
+
+  /// Async observer-stage accounting (`active` only in async mode):
+  /// `observer_events` = events published to the relay rings (== events
+  /// delivered once `flush()` returns), `observer_drops` = events the
+  /// kDropNewest overflow policy refused (exact: published + dropped is
+  /// every event the shard frameworks emitted),
+  /// `observer_blocked_waits` = full-ring stalls a kBlock producer sat
+  /// through. Safe to call any time; exact when quiescent.
+  TransportCounters observer_counters() const;
+
   unsigned num_shards() const {
     return static_cast<unsigned>(shards_.size());
   }
@@ -167,11 +188,29 @@ class ShardedSink {
   ///@}
 
  private:
-  // One unit of handoff: pointers into the caller's submit() spans.
+  // One unit of handoff: pointers into the caller's submit() spans, plus
+  // the partition flow key submit() already hashed per packet — forwarded
+  // to the framework as a FlowKeyHint so the digest is hashed exactly once
+  // (shard routing and store lookup share the result).
   struct Batch {
     std::vector<const Packet*> packets;
+    std::vector<std::uint64_t> keys;   // one per packet (partition def)
     std::vector<SinkReport*> reports;  // empty, or one per packet
     unsigned k = 0;
+  };
+
+  // One observer callback, captured for relay off the packet path. Query
+  // names point at the shard framework's registered specs (alive for the
+  // sink's lifetime); paths and memory reports are copied.
+  struct ObserverEvent {
+    enum class Kind : std::uint8_t { kObservation, kPath, kMemory };
+
+    Kind kind = Kind::kObservation;
+    SinkContext ctx{};
+    std::string_view query{};
+    Observation obs{};
+    std::vector<SwitchId> path{};
+    std::unique_ptr<MemoryReport> memory{};
   };
 
   struct Shard {
@@ -179,6 +218,13 @@ class ShardedSink {
 
     std::unique_ptr<PintFramework> fw;
     MpmcQueue<Batch> queue;  // multi-producer front-end, worker consumes
+    // Async observer stage (null in sync mode): the shard worker is the
+    // sole producer, the relay thread the sole consumer.
+    std::unique_ptr<SpscQueue<ObserverEvent>> obs_ring;
+    std::atomic<std::uint64_t> obs_published{0};
+    std::atomic<std::uint64_t> obs_consumed{0};
+    std::atomic<std::uint64_t> obs_dropped{0};
+    std::atomic<std::uint64_t> obs_blocked{0};
     // queued counts published batches (sleep/wake signal): pushes that
     // completed their post-push increment, minus pops. A worker can pop a
     // batch before its producer's increment lands, so the counter is
@@ -199,16 +245,31 @@ class ShardedSink {
     std::thread worker;
   };
 
-  // Forwards shard-thread callbacks to observers_ under observer_mutex_.
-  class Relay;
+  // Per-shard framework observer: forwards callbacks to observers_ under
+  // observer_mutex_ (sync mode) or publishes them to the shard's ring
+  // (async mode).
+  class ShardRelay;
 
   void worker_loop(Shard& shard);
+  void publish_event(Shard& shard, ObserverEvent&& event);
+  void deliver_event(const ObserverEvent& event);
+  void relay_loop();
+  std::size_t drain_rings();
+  void wake_relay();
 
   std::vector<std::unique_ptr<Shard>> shards_;
   FlowDefinition partition_def_ = FlowDefinition::kFiveTuple;
-  std::unique_ptr<Relay> relay_;
+  std::vector<std::unique_ptr<ShardRelay>> shard_relays_;
   std::mutex observer_mutex_;
   std::vector<SinkObserver*> observers_;
+  // Async observer stage.
+  bool async_mode_ = false;
+  OverflowPolicy async_policy_ = OverflowPolicy::kBlock;
+  std::mutex relay_mutex_;                  // guards relay sleep
+  std::condition_variable relay_wake_;
+  std::atomic<bool> relay_sleeping_{false};  // seq_cst handshake, see .cc
+  std::atomic<bool> relay_stop_{false};
+  std::thread relay_thread_;
 };
 
 }  // namespace pint

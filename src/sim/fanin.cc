@@ -13,15 +13,22 @@ namespace pint {
 void FanInCollector::ingest_stream(std::uint32_t source,
                                    std::span<const std::uint8_t> bytes) {
   SourceState& state = sources_[source];
-  state.reassembler.feed(bytes);
+  if (state.status.ended) return;  // a finished source hears nothing more
+  if (state.reassembler == nullptr) {
+    state.reassembler = std::make_unique<FrameReassembler>();
+  }
+  state.reassembler->feed(bytes);
   bytes_ingested_ += bytes.size();
   process_events(state);
 }
 
 void FanInCollector::end_stream(std::uint32_t source) {
   SourceState& state = sources_[source];
-  state.reassembler.finish();
-  process_events(state);
+  if (state.status.ended) return;
+  if (state.reassembler != nullptr) {
+    state.reassembler->finish();
+    process_events(state);
+  }
   if (state.status.epoch_open) {
     // The source died between an epoch-open and its close marker: partial
     // data, surfaced instead of silently merged.
@@ -29,6 +36,18 @@ void FanInCollector::end_stream(std::uint32_t source) {
     state.status.epoch_open = false;
   }
   state.status.ended = true;
+  // Epoch GC: the parse buffer and per-source sequence ledger are dead
+  // weight now — free them so long-running fan-ins do not accumulate
+  // state for every source that ever connected.
+  state.reassembler.reset();
+}
+
+std::size_t FanInCollector::live_sources() const {
+  std::size_t live = 0;
+  for (const auto& [source, state] : sources_) {
+    if (state.reassembler != nullptr) ++live;
+  }
+  return live;
 }
 
 bool FanInCollector::ingest(std::span<const std::uint8_t> bytes) {
@@ -60,7 +79,7 @@ void FanInCollector::note_error(const FrameError& error) {
 }
 
 void FanInCollector::process_events(SourceState& state) {
-  while (auto event = state.reassembler.next()) {
+  while (auto event = state.reassembler->next_view()) {
     if (const auto* error = std::get_if<FrameError>(&*event)) {
       note_error(*error);
       if (error->code == FrameErrorCode::kSequenceGap) {
@@ -68,11 +87,12 @@ void FanInCollector::process_events(SourceState& state) {
       }
       continue;
     }
-    handle_frame(state, std::get<Frame>(*event));
+    handle_frame(state, std::get<FrameView>(*event));
   }
 }
 
-void FanInCollector::handle_frame(SourceState& state, const Frame& frame) {
+void FanInCollector::handle_frame(SourceState& state,
+                                  const FrameView& frame) {
   ++frames_ingested_;
   switch (frame.type) {
     case FrameType::kEpochOpen:
@@ -87,15 +107,17 @@ void FanInCollector::handle_frame(SourceState& state, const Frame& frame) {
     case FrameType::kPayload: {
       ++state.status.payload_frames;
       ++state.payloads_this_epoch;
-      std::vector<StreamRecord> records;
-      if (!decoder_.decode(frame.payload, records)) {
+      // Zero-copy: the payload view (into the reassembler buffer) goes
+      // straight through the decoder's streaming dispatch — observers
+      // fire with no intermediate record materialization, and the
+      // decoder's scratch is reused across frames and sources.
+      if (!decoder_.dispatch(frame.payload, observers_,
+                             &records_ingested_)) {
         // The frame checksum passed but the codec rejected the buffer —
         // an encoder bug or a malicious stream; typed, not fatal.
         ++state.status.decode_failures;
         break;
       }
-      dispatch(records, observers_);
-      records_ingested_ += records.size();
       break;
     }
     case FrameType::kEpochClose:
@@ -299,6 +321,14 @@ TransportCounters FanInPipeline::transport_counters() const {
     t.frames_dropped += node->writer.frames_dropped();
     t.bytes_shipped += node->bytes_shipped;
     t.blocked_waits += node->blocked_waits;
+    // Async observer-stage accounting (zero when the sinks deliver
+    // synchronously) rides its own fields, so epoch_report() exposes the
+    // whole pipeline's admission behavior with stream-writer and
+    // observer-ring pressure separately attributable.
+    const TransportCounters obs = node->sink->observer_counters();
+    t.observer_events += obs.observer_events;
+    t.observer_drops += obs.observer_drops;
+    t.observer_blocked_waits += obs.observer_blocked_waits;
   }
   return t;
 }

@@ -97,19 +97,34 @@ class FanInCollector {
   };
 
   /// Observers receive every record of every ingested stream, in stream
-  /// order. Register before the first ingest.
+  /// order. Register before the first ingest. Callbacks replay out of the
+  /// collector's reused decode scratch, so observers must not re-enter
+  /// this collector (no ingest/end_stream from inside a callback) — the
+  /// same no-reentry contract SinkObserver has toward the framework.
   void add_observer(SinkObserver* observer) { observers_.push_back(observer); }
 
   /// Feeds raw stream bytes from `source` through its reassembler and
-  /// processes every complete frame. Malformed bytes surface as typed
-  /// FrameErrors in errors(), never as exceptions.
+  /// processes every complete frame — zero-copy: payloads go from the
+  /// reassembler's parse buffer straight into the report decoder's
+  /// dispatch, no intermediate frame or record materialization. Malformed
+  /// bytes surface as typed FrameErrors in errors(), never as exceptions.
+  /// Bytes for a source that already ended are ignored.
   void ingest_stream(std::uint32_t source,
                      std::span<const std::uint8_t> bytes);
 
   /// Signals end-of-stream for `source` (the transport hit EOF). An epoch
   /// still open at this point is counted incomplete — the source died
-  /// mid-epoch.
+  /// mid-epoch. The source's reassembler (parse buffer, sequence ledger)
+  /// is freed immediately — epoch-based GC, so a long-running collector's
+  /// memory scales with *live* sources, not with every source that ever
+  /// connected; the compact SourceStatus survives for reporting.
   void end_stream(std::uint32_t source);
+
+  /// Sources whose streams have not ended (each holds a live reassembler).
+  std::size_t live_sources() const;
+
+  /// Sources ever heard from, live or ended (compact status records).
+  std::size_t sources_tracked() const { return sources_.size(); }
 
   /// Legacy unframed entry: decodes one self-contained codec buffer and
   /// dispatches its records. Returns false (and dispatches nothing) on
@@ -134,13 +149,15 @@ class FanInCollector {
 
  private:
   struct SourceState {
-    FrameReassembler reassembler;
+    // Null once the stream ended: the heavy reassembly state is dropped
+    // (see end_stream), only the status summary stays.
+    std::unique_ptr<FrameReassembler> reassembler;
     SourceStatus status;
     std::uint64_t payloads_this_epoch = 0;
   };
 
   void process_events(SourceState& state);
-  void handle_frame(SourceState& state, const Frame& frame);
+  void handle_frame(SourceState& state, const FrameView& frame);
   void note_error(const FrameError& error);
 
   ReportDecoder decoder_;

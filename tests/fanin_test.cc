@@ -456,5 +456,54 @@ TEST(FanIn, RejectsUnpartitionableMixAcrossSinks) {
                     FanInConfig{.num_sinks = 1, .shards_per_sink = 1}));
 }
 
+// Epoch-based collector GC: once a source's stream ends, its reassembler
+// and sequence ledger are freed — a long-running fan-in that rotates
+// through many sources keeps memory proportional to *live* sources, while
+// the compact per-source status stays queryable.
+TEST(FanIn, CollectorDropsDeadSourceStateButKeepsStatus) {
+  constexpr std::uint32_t kSources = 200;
+  FanInCollector collector;
+  CountingObserver obs;
+  collector.add_observer(&obs);
+
+  // One valid payload buffer, reused for every source's single epoch.
+  ReportEncoder enc;
+  SinkContext ctx{42, 7, 5};
+  enc.add(ctx, "latency", Observation{HopSampleObservation{2, 123.5}});
+  const std::vector<std::uint8_t> payload = enc.finish();
+
+  for (std::uint32_t src = 1; src <= kSources; ++src) {
+    FrameWriter writer(src);
+    std::vector<std::uint8_t> wire = writer.make_open();
+    const std::vector<std::uint8_t> pf = writer.make_payload(payload);
+    wire.insert(wire.end(), pf.begin(), pf.end());
+    const std::vector<std::uint8_t> close = writer.make_close();
+    wire.insert(wire.end(), close.begin(), close.end());
+    collector.ingest_stream(src, wire);
+    EXPECT_EQ(collector.live_sources(), 1u);  // only the current source
+    collector.end_stream(src);
+    EXPECT_EQ(collector.live_sources(), 0u);  // GC'd immediately
+  }
+
+  // Every dead source's summary survives the GC.
+  EXPECT_EQ(collector.sources_tracked(), kSources);
+  for (std::uint32_t src = 1; src <= kSources; ++src) {
+    const auto* status = collector.source_status(src);
+    ASSERT_NE(status, nullptr) << "source " << src;
+    EXPECT_TRUE(status->ended);
+    EXPECT_EQ(status->epochs_completed, 1u);
+    EXPECT_EQ(status->epochs_incomplete, 0u);
+    EXPECT_EQ(status->payload_frames, 1u);
+  }
+  EXPECT_EQ(obs.observations, kSources);
+
+  // Bytes for an ended source are ignored, not reassembled.
+  FrameWriter writer(1);
+  const std::vector<std::uint8_t> late = writer.make_open();
+  collector.ingest_stream(1, late);
+  EXPECT_EQ(collector.live_sources(), 0u);
+  EXPECT_EQ(collector.source_status(1)->epochs_completed, 1u);
+}
+
 }  // namespace
 }  // namespace pint

@@ -336,5 +336,57 @@ TEST(Frame, OversizedDeclaredPayloadIsRejected) {
   EXPECT_EQ(frames, 1u);  // the open marker still parses
 }
 
+TEST(Frame, ZeroCopyViewsMatchMaterializedFrames) {
+  Rng rng(0x2E0C);
+  const TestStream ts = make_stream(rng, /*source=*/9, /*epochs=*/3,
+                                    /*payloads=*/5);
+
+  // Reference pass: owning frames.
+  Collected ref = collect(rng, ts.wire);
+  ASSERT_EQ(ref.frames.size(), ts.frame_count);
+
+  // View pass: same chunked feeding, zero-copy next_view(). Views are
+  // consumed (compared/copied) before the next feed, per the contract.
+  FrameReassembler reassembler;
+  std::vector<Frame> viewed;
+  std::size_t off = 0;
+  const auto pump = [&] {
+    while (auto event = reassembler.next_view()) {
+      if (auto* view = std::get_if<FrameView>(&*event)) {
+        Frame copy;
+        copy.type = view->type;
+        copy.source = view->source;
+        copy.epoch = view->epoch;
+        copy.seq = view->seq;
+        copy.payload.assign(view->payload.begin(), view->payload.end());
+        if (view->type == FrameType::kEpochClose) {
+          EXPECT_EQ(view->close_payload_count(), copy.close_payload_count());
+        }
+        viewed.push_back(std::move(copy));
+      }
+    }
+  };
+  while (off < ts.wire.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng.uniform_int(53),
+                                                ts.wire.size() - off);
+    reassembler.feed(
+        std::span<const std::uint8_t>(ts.wire.data() + off, n));
+    off += n;
+    pump();
+  }
+  reassembler.finish();
+  pump();
+
+  ASSERT_EQ(viewed.size(), ref.frames.size());
+  for (std::size_t i = 0; i < viewed.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(viewed[i].type),
+              static_cast<int>(ref.frames[i].type));
+    EXPECT_EQ(viewed[i].source, ref.frames[i].source);
+    EXPECT_EQ(viewed[i].epoch, ref.frames[i].epoch);
+    EXPECT_EQ(viewed[i].seq, ref.frames[i].seq);
+    EXPECT_EQ(viewed[i].payload, ref.frames[i].payload);
+  }
+}
+
 }  // namespace
 }  // namespace pint

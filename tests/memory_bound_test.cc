@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "apps/anomaly_detection.h"
@@ -246,6 +248,68 @@ TEST(MemoryBound, HeartbeatFiresOnPacketInterval) {
       fw->at_sink(blank, kHops);
     }
     EXPECT_EQ(watcher.reports, 2u);
+  }
+}
+
+TEST(MemoryBound, HeartbeatFiresOnTimeInterval) {
+  const std::vector<Packet> packets = make_heavy_tailed_traffic();
+
+  // A 1 ns interval has elapsed by every packet (decoding one takes far
+  // longer), so the timed heartbeat fires on essentially every packet —
+  // and the packet-interval trigger stays off.
+  {
+    MemoryWatcher watcher;
+    auto builder = mix_builder(0);
+    builder.memory_report_interval(std::chrono::nanoseconds{1})
+        .add_observer(&watcher);
+    const auto fw = builder.build_or_throw();
+    EXPECT_EQ(fw->memory_report_interval(), 0u);
+    EXPECT_EQ(fw->memory_report_interval_time(),
+              std::chrono::nanoseconds{1});
+    fw->at_sink(std::span<const Packet>(packets), kHops);
+    EXPECT_GE(watcher.reports, packets.size() / 2);
+  }
+
+  // An hour-long interval fires nothing inside a fast test run.
+  {
+    MemoryWatcher watcher;
+    auto builder = mix_builder(0);
+    builder.memory_report_interval(std::chrono::hours{1})
+        .add_observer(&watcher);
+    builder.build_or_throw()->at_sink(std::span<const Packet>(packets),
+                                      kHops);
+    EXPECT_EQ(watcher.reports, 0u);
+  }
+
+  // Paced batches: each round sleeps past the interval, so every round's
+  // first packet reports — a dashboard hears from a mostly-idle sink.
+  {
+    MemoryWatcher watcher;
+    auto builder = mix_builder(0);
+    builder.memory_report_interval(std::chrono::milliseconds{5})
+        .add_observer(&watcher);
+    const auto fw = builder.build_or_throw();
+    constexpr int kRounds = 3;
+    const std::size_t per_round = packets.size() / kRounds;
+    for (int r = 0; r < kRounds; ++r) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{6});
+      fw->at_sink(std::span<const Packet>(packets.data() + r * per_round,
+                                          per_round),
+                  kHops);
+    }
+    EXPECT_GE(watcher.reports, static_cast<std::uint64_t>(kRounds));
+  }
+
+  // Both triggers together: the union fires at least as often as either.
+  {
+    MemoryWatcher both;
+    auto builder = mix_builder(0);
+    builder.memory_report_interval_packets(100)
+        .memory_report_interval(std::chrono::hours{1})
+        .add_observer(&both);
+    builder.build_or_throw()->at_sink(std::span<const Packet>(packets),
+                                      kHops);
+    EXPECT_GE(both.reports, packets.size() / 100);
   }
 }
 

@@ -342,5 +342,101 @@ TEST(ReportCodec, RejectsMalformedInput) {
   EXPECT_EQ(out.size(), want.size());
 }
 
+// --- zero-copy dispatch -----------------------------------------------------
+
+// Captures dispatch callbacks as owning StreamRecords so they can be
+// compared against decode() output with expect_equal.
+struct CapturingObserver : SinkObserver {
+  std::vector<StreamRecord> records;
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    StreamRecord rec;
+    rec.ctx = ctx;
+    rec.query = query;
+    rec.observation = obs;
+    records.push_back(std::move(rec));
+  }
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    StreamRecord rec;
+    rec.ctx = ctx;
+    rec.query = query;
+    rec.path_event = true;
+    rec.path = path;
+    records.push_back(std::move(rec));
+  }
+};
+
+TEST(ReportCodec, StreamingDispatchMatchesDecodePlusReplay) {
+  Rng rng(0x5EED);
+  const std::vector<StreamRecord> want = random_records(rng, 300);
+  const std::vector<std::uint8_t> bytes = encode_all(want);
+
+  // Reference: materializing decode, then the free-function replay.
+  ReportDecoder ref_dec;
+  std::vector<StreamRecord> decoded;
+  ASSERT_TRUE(ref_dec.decode(bytes, decoded));
+  CapturingObserver replayed;
+  SinkObserver* replay_list[] = {&replayed};
+  dispatch(decoded, replay_list);
+
+  // Zero-copy streaming dispatch straight off the buffer.
+  ReportDecoder dec;
+  CapturingObserver streamed;
+  SinkObserver* stream_list[] = {&streamed};
+  std::uint64_t count = 0;
+  ASSERT_TRUE(dec.dispatch(bytes, stream_list, &count));
+  EXPECT_EQ(count, want.size());
+  ASSERT_EQ(streamed.records.size(), replayed.records.size());
+  for (std::size_t i = 0; i < streamed.records.size(); ++i) {
+    expect_equal(streamed.records[i], replayed.records[i]);
+  }
+}
+
+TEST(ReportCodec, StreamingDispatchRejectsWithoutCallbacks) {
+  Rng rng(0xD15);
+  const std::vector<std::uint8_t> bytes =
+      encode_all(random_records(rng, 40));
+  ReportDecoder dec;
+  CapturingObserver obs;
+  SinkObserver* observers[] = {&obs};
+  // Truncations and corruptions must fire *no* callbacks: dispatch
+  // validates the whole buffer before the first one (a half-replayed
+  // frame downstream would be indistinguishable from real records).
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::uint64_t count = 0;
+    EXPECT_FALSE(dec.dispatch(
+        std::span<const std::uint8_t>(bytes.data(), len), observers, &count))
+        << "prefix " << len;
+    EXPECT_EQ(count, 0u);
+  }
+  EXPECT_TRUE(obs.records.empty());
+  // The decoder stays usable after rejection.
+  EXPECT_TRUE(dec.dispatch(bytes, observers));
+  EXPECT_EQ(obs.records.size(), 40u);
+}
+
+TEST(ReportCodec, StreamingDispatchReusesScratchAcrossEpochs) {
+  Rng rng(0xEC0);
+  ReportDecoder dec;
+  CapturingObserver obs;
+  SinkObserver* observers[] = {&obs};
+  std::vector<StreamRecord> all_want;
+  // Many epochs through one decoder: interned name views handed to early
+  // callbacks must stay valid (and correct) after later buffers reuse the
+  // scratch.
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const std::vector<StreamRecord> want = random_records(rng, 50);
+    const std::vector<std::uint8_t> bytes = encode_all(want);
+    ASSERT_TRUE(dec.dispatch(bytes, observers));
+    for (const StreamRecord& rec : want) all_want.push_back(rec);
+  }
+  ASSERT_EQ(obs.records.size(), all_want.size());
+  for (std::size_t i = 0; i < all_want.size(); ++i) {
+    expect_equal(obs.records[i], all_want[i]);
+  }
+}
+
 }  // namespace
 }  // namespace pint

@@ -333,6 +333,71 @@ TEST(ShardedSink, MpmcFourProducerStressMatchesSingleProducerBaseline) {
   }
 }
 
+// Extreme-contention variant: queue depth 2 keeps every producer almost
+// permanently in the submit() backoff path (spin -> pause -> yield), the
+// exact regime the bounded exponential backoff replaces the raw yield()
+// spin in. No submission may be lost or duplicated.
+TEST(ShardedSink, ContendedProducersWithTinyQueuesLoseNothing) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::size_t kPackets = 4000;  // per producer
+  constexpr std::size_t kSubmitBatch = 8;
+
+  const auto builder = three_query_builder();
+  const auto network = builder.build_or_throw();
+  std::vector<std::vector<Packet>> traffic(kProducers);
+  PacketId next_id = 1;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    traffic[p].reserve(kPackets);
+    for (std::size_t j = 0; j < kPackets; ++j) {
+      Packet pkt;
+      pkt.id = next_id++;
+      pkt.tuple.src_ip = 0x0A000000u + (p << 12) +
+                         static_cast<std::uint32_t>(j % 50);
+      pkt.tuple.dst_ip = 0x0B000000u;
+      pkt.tuple.src_port = static_cast<std::uint16_t>(j % 50);
+      pkt.tuple.dst_port = static_cast<std::uint16_t>(p);
+      // One fixed path per flow (p, j % 50): path decoding requires every
+      // packet of a flow to traverse the same switches.
+      const std::size_t f = p * 50 + j % 50;
+      for (HopIndex i = 1; i <= kHops; ++i) {
+        SwitchView view(static_cast<SwitchId>((f + i) % 8 + 1));
+        view.set(metric::kHopLatencyNs, 10.0 * i);
+        view.set(metric::kLinkUtilization, 0.01 * i);
+        network->at_switch(pkt, i, view);
+      }
+      traffic[p].push_back(std::move(pkt));
+    }
+  }
+
+  const auto baseline = builder.build_or_throw();
+  CountingObserver reference;
+  baseline->add_observer(&reference);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    baseline->at_sink(std::span<const Packet>(traffic[p]), kHops);
+  }
+
+  ShardedSink sink(builder, 2, /*queue_depth=*/2);
+  CountingObserver counter;
+  sink.add_observer(&counter);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const std::span<const Packet> packets(traffic[p]);
+      for (std::size_t off = 0; off < packets.size(); off += kSubmitBatch) {
+        const std::size_t n = std::min(kSubmitBatch, packets.size() - off);
+        sink.submit(packets.subspan(off, n), kHops);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  sink.flush();
+
+  EXPECT_EQ(sink.packets_processed(), kProducers * kPackets);
+  EXPECT_EQ(counter.observations.load(), reference.observations.load());
+  EXPECT_EQ(counter.paths_decoded.load(), reference.paths_decoded.load());
+}
+
 TEST(ShardedSink, SubmitRejectsMismatchedReportBuffer) {
   const std::vector<Packet> packets = make_encoded_traffic();
   ShardedSink sink(three_query_builder(), 2);

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a bench-json result file against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Matches results on (bench, config, metric) and flags entries whose value
+moved against their `higher_is_better` direction by more than the
+threshold fraction. Exits 1 when any regression is flagged — the CI step
+that runs this is non-blocking, so the exit code annotates the job rather
+than gating the merge (timing on shared runners is noisy; a smoke-mode
+current run is noisier still and is labeled as such).
+
+Entries present on only one side are reported informationally: new benches
+are expected to appear, and retired configs to vanish, without failing the
+check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "pint-bench-v1":
+        sys.exit(f"{path}: not a pint-bench-v1 file")
+    results = {}
+    for r in data.get("results", []):
+        results[(r["bench"], r["config"], r["metric"])] = r
+    return data, results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="flag moves worse than this fraction")
+    args = parser.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    if bool(base_doc.get("smoke")) != bool(cur_doc.get("smoke")):
+        # Smoke and full runs use different workload sizes; their absolute
+        # throughputs are not comparable, and flagging the difference as a
+        # regression would turn the check into permanent noise. Verify the
+        # structure (every baseline series still exists) and stop there.
+        print("note: smoke/full mode mismatch between baseline and current "
+              "— timing comparison skipped (workloads differ by design)")
+        missing = sorted(set(base) - set(cur))
+        for key in missing:
+            print(f"  [missing] {'/'.join(key)} (in baseline, not in "
+                  f"current run)")
+        if missing:
+            print(f"\n{len(missing)} baseline series missing from the "
+                  "current run")
+            return 1
+        print("structure check passed: every baseline series is present")
+        return 0
+
+    if cur_doc.get("smoke"):
+        print("note: both runs are smoke mode — numbers are noisy; treat "
+              "flags as prompts for a local full run")
+
+    regressions = []
+    for key, b in sorted(base.items()):
+        c = cur.get(key)
+        name = "/".join(key)
+        if c is None:
+            print(f"  [gone]  {name} (baseline only)")
+            continue
+        bv, cv = b["value"], c["value"]
+        if bv == 0:
+            continue
+        change = (cv - bv) / bv
+        worse = -change if b.get("higher_is_better", True) else change
+        marker = "  [ok]  "
+        if worse > args.threshold:
+            marker = "  [REGRESSION]"
+            regressions.append(name)
+        print(f"{marker} {name}: baseline {bv:.6g} -> current {cv:.6g} "
+              f"({change:+.1%})")
+    for key in sorted(set(cur) - set(base)):
+        print(f"  [new]   {'/'.join(key)} (no baseline)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: " + ", ".join(regressions))
+        print("If intentional (machine change, workload change), refresh "
+              "BENCH_baseline.json per docs/PERFORMANCE.md.")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -331,7 +332,7 @@ void bench_decode_stage(const Workload& w, unsigned reps, JsonWriter& json) {
       std::uint64_t records = 0;
       const auto t0 = std::chrono::steady_clock::now();
       for (const auto& buf : buffers) {
-        dec.dispatch(buf, observers, &records);
+        std::ignore = dec.dispatch(buf, observers, &records);
       }
       const std::chrono::duration<double> dt =
           std::chrono::steady_clock::now() - t0;

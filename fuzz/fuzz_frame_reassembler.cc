@@ -1,0 +1,62 @@
+// Fuzz target: FrameReassembler over arbitrary byte streams.
+//
+// The reassembler is the first parser untrusted collector-side input hits
+// (transport bytes -> frames), so its contract is the one worth fuzzing
+// hardest: feeding arbitrary bytes in arbitrary chunkings must never
+// throw, never hand out a payload larger than the configured cap, and
+// always terminate — malformed input costs FrameError events, nothing
+// else.
+//
+// Input layout: byte 0 steers the feed chunking (so the fuzzer can explore
+// torn-header/torn-payload boundaries), the rest is the stream.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+
+#include "fuzz/fuzz_util.h"
+#include "pint/frame.h"
+
+namespace {
+
+// Small cap so the fuzzer reaches kOversizedPayload with 2-byte lengths.
+constexpr std::size_t kMaxPayload = 1u << 16;
+
+void check_event(const pint::FrameViewEvent& event) {
+  if (const auto* frame = std::get_if<pint::FrameView>(&event)) {
+    FUZZ_CHECK(frame->payload.size() <= kMaxPayload);
+    // close_payload_count() must be total for every frame type, including
+    // close markers with torn/short payloads that slipped past the CRC.
+    const std::uint32_t count = frame->close_payload_count();
+    if (frame->type != pint::FrameType::kEpochClose) FUZZ_CHECK(count == 0);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pint_fuzz::ParamReader params(data, size);
+  const std::size_t chunk = 1 + params.byte() % 64;
+  std::span<const std::uint8_t> stream(params.rest_data(),
+                                       params.rest_size());
+
+  pint::FrameReassembler reasm(kMaxPayload);
+  std::uint64_t parsed_before = 0;
+  for (std::size_t off = 0; off < stream.size(); off += chunk) {
+    reasm.feed(stream.subspan(off, std::min(chunk, stream.size() - off)));
+    while (auto event = reasm.next_view()) check_event(*event);
+    // Counters are monotone and bounded by what was fed.
+    FUZZ_CHECK(reasm.frames_parsed() >= parsed_before);
+    parsed_before = reasm.frames_parsed();
+    FUZZ_CHECK(reasm.bytes_consumed() <= off + chunk);
+  }
+  reasm.finish();
+  while (auto event = reasm.next_view()) check_event(*event);
+  // Drained and finished: the event stream must stay dry (no event can
+  // materialize out of nothing).
+  FUZZ_CHECK(!reasm.next_view().has_value());
+  FUZZ_CHECK(!reasm.next().has_value());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Fuzz target: ReportDecoder over arbitrary report-codec buffers —
+// differential between the two decode paths.
+//
+// decode() (materializing) and dispatch() (zero-copy replay) share one
+// wire format but walk it with different code; the contract is that they
+// agree exactly: same accept/reject verdict on every input, and on accept
+// the replayed callback stream equals the materialized record list. Any
+// divergence is a parser bug, so this target runs both on the same bytes
+// and cross-checks, with dispatch()'s validate-before-first-callback
+// guarantee checked on the reject side.
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "pint/report_codec.h"
+#include "pint/sink_report.h"
+
+namespace {
+
+// Records the callback stream shape (which callback, for which context)
+// so two replays can be compared event by event.
+struct TraceObserver : pint::SinkObserver {
+  struct Event {
+    bool path_event = false;
+    pint::PacketId packet = 0;
+    std::uint64_t flow = 0;
+    std::size_t query_len = 0;
+    std::size_t path_len = 0;
+
+    bool operator==(const Event&) const = default;
+  };
+
+  void on_observation(const pint::SinkContext& ctx, std::string_view query,
+                      const pint::Observation&) override {
+    events.push_back({false, ctx.packet_id, ctx.flow, query.size(), 0});
+  }
+
+  void on_path_decoded(const pint::SinkContext& ctx, std::string_view query,
+                       const std::vector<pint::SwitchId>& path) override {
+    events.push_back(
+        {true, ctx.packet_id, ctx.flow, query.size(), path.size()});
+  }
+
+  std::vector<Event> events;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  // Path 1: materializing decode.
+  pint::ReportDecoder materializing;
+  std::vector<pint::StreamRecord> records;
+  const bool decode_ok = materializing.decode(bytes, records);
+  if (!decode_ok) FUZZ_CHECK(records.empty());  // reject leaves out untouched
+
+  // Path 2: zero-copy dispatch on a fresh decoder (no shared intern state).
+  pint::ReportDecoder replaying;
+  TraceObserver dispatched;
+  pint::SinkObserver* observers[] = {&dispatched};
+  std::uint64_t dispatched_records = 0;
+  const bool dispatch_ok =
+      replaying.dispatch(bytes, observers, &dispatched_records);
+
+  FUZZ_CHECK(decode_ok == dispatch_ok);
+  if (!dispatch_ok) {
+    // Validate-before-first-callback: a rejected buffer replays nothing.
+    FUZZ_CHECK(dispatched.events.empty());
+    FUZZ_CHECK(dispatched_records == 0);
+    return 0;
+  }
+
+  FUZZ_CHECK(dispatched_records == records.size());
+  FUZZ_CHECK(dispatched.events.size() == records.size());
+
+  // Replaying the materialized records through the free dispatch() must
+  // produce the identical callback stream.
+  TraceObserver rematerialized;
+  pint::SinkObserver* observers2[] = {&rematerialized};
+  pint::dispatch(records, observers2);
+  FUZZ_CHECK(rematerialized.events == dispatched.events);
+
+  // Per-record agreement beyond the trace shape.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const pint::StreamRecord& rec = records[i];
+    FUZZ_CHECK(rec.path_event == dispatched.events[i].path_event);
+    if (rec.path_event) {
+      FUZZ_CHECK(rec.path.size() == dispatched.events[i].path_len);
+    }
+    // Decoded query views must be interned (usable after this call), which
+    // at minimum means non-dangling right now.
+    FUZZ_CHECK(rec.query.data() != nullptr);
+  }
+
+  // Decoding the same buffer again on the warm decoder must be idempotent
+  // (interning is append-only; scratch reuse must not leak state).
+  std::vector<pint::StreamRecord> again;
+  FUZZ_CHECK(materializing.decode(bytes, again));
+  FUZZ_CHECK(again.size() == records.size());
+  return 0;
+}

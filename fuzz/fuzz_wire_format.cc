@@ -1,0 +1,85 @@
+// Fuzz target: digest bit-packing (pint/wire_format.h).
+//
+// The packer sits on the simulated wire: every packet's digest bitstring
+// goes through pack_digests/unpack_digests, and both ends must agree on
+// the layout bit-for-bit. This target derives a lane-width vector and a
+// wire payload from the fuzz input, then checks:
+//
+//  * unpack on a correctly sized buffer never throws and yields in-range
+//    lanes (lane i < 2^widths[i]);
+//  * pack(unpack(x)) is a fixed point — repacking decoded lanes and
+//    decoding again reproduces them exactly;
+//  * the allocation-free *_into variants agree with the allocating ones;
+//  * the documented throwing paths (width out of [1,64], wrong buffer
+//    size) throw std::invalid_argument and nothing else.
+//
+// Input layout: byte 0 = lane count (capped), then one byte per lane
+// width, then the wire payload.
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+#include "fuzz/fuzz_util.h"
+#include "pint/wire_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pint_fuzz::ParamReader params(data, size);
+  const std::size_t lane_count = params.byte() % 17;  // 0..16 lanes
+  std::vector<unsigned> widths(lane_count);
+  for (unsigned& w : widths) w = 1 + params.byte() % 64;  // valid [1, 64]
+
+  // Wire payload: exactly wire_bytes(widths), taken from the input and
+  // zero-padded if the input runs short.
+  std::vector<std::uint8_t> wire(pint::wire_bytes(widths), 0);
+  const std::size_t avail = std::min(wire.size(), params.rest_size());
+  for (std::size_t i = 0; i < avail; ++i) wire[i] = params.rest_data()[i];
+
+  // Well-formed inputs must decode without throwing, in range.
+  const std::vector<pint::Digest> lanes = pint::unpack_digests(wire, widths);
+  FUZZ_CHECK(lanes.size() == widths.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    FUZZ_CHECK(lanes[i] <= pint::low_bits_mask(widths[i]));
+  }
+
+  // pack -> unpack fixed point. (wire itself may differ from the repacked
+  // bytes only in the padding bits of the last byte, so the comparison is
+  // on lanes, not bytes.)
+  const std::vector<std::uint8_t> repacked = pint::pack_digests(lanes, widths);
+  FUZZ_CHECK(repacked.size() == wire.size());
+  FUZZ_CHECK(pint::unpack_digests(repacked, widths) == lanes);
+
+  // The caller-owned-buffer variants must agree with the allocating ones.
+  std::vector<std::uint8_t> packed_into(wire.size(), 0xFF);
+  FUZZ_CHECK(pint::pack_digests_into(lanes, widths, packed_into) ==
+             repacked.size());
+  FUZZ_CHECK(packed_into == repacked);
+  std::vector<pint::Digest> unpacked_into(widths.size(), ~pint::Digest{0});
+  FUZZ_CHECK(pint::unpack_digests_into(wire, widths, unpacked_into) ==
+             lanes.size());
+  FUZZ_CHECK(unpacked_into == lanes);
+
+  // Malformed-argument paths: must throw std::invalid_argument, not crash
+  // or misparse. Any other exception type escapes and counts as a crash.
+  if (!widths.empty()) {
+    std::vector<unsigned> bad = widths;
+    bad[0] = 65;  // width out of range
+    try {
+      std::ignore = pint::unpack_digests(wire, bad);
+      FUZZ_CHECK(false && "width 65 must throw");
+    } catch (const std::invalid_argument&) {
+    }
+    std::vector<std::uint8_t> short_wire(wire);
+    short_wire.pop_back();  // wire_bytes mismatch
+    try {
+      std::ignore = pint::unpack_digests(short_wire, widths);
+      FUZZ_CHECK(false && "short buffer must throw");
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Fallback driver for the fuzz targets when libFuzzer is unavailable
+// (non-Clang toolchains: -fsanitize=fuzzer is Clang-only). Linked in by
+// fuzz/CMakeLists.txt instead of the fuzzer runtime; the target's
+// LLVMFuzzerTestOneInput is unchanged.
+//
+// Modes:
+//   fuzz_x CORPUS_DIR_OR_FILES...              replay every corpus input
+//   fuzz_x --mutations=N [--seed=S] CORPUS...  replay, then run N extra
+//       iterations of deterministically mutated corpus inputs (bit flips,
+//       truncations, splices, random inserts) — a bounded smoke fuzz that
+//       needs no fuzzer runtime. The RNG is a fixed-seed xorshift, so a
+//       failing run reproduces with the same --seed.
+//
+// A crashing input aborts the process (FUZZ_CHECK or a sanitizer report),
+// which is the failure signal; otherwise the driver prints a summary and
+// exits 0.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::uint64_t rng_state = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t next_rand() {
+  // xorshift64: deterministic, seedable, good enough to diversify inputs.
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 7;
+  rng_state ^= rng_state << 17;
+  return rng_state;
+}
+
+bool read_file(const std::string& path, Bytes& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+void collect_inputs(const std::string& path, std::vector<Bytes>& corpus) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "warning: cannot stat %s\n", path.c_str());
+    return;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return;
+    while (dirent* entry = ::readdir(dir)) {
+      if (entry->d_name[0] == '.') continue;
+      collect_inputs(path + "/" + entry->d_name, corpus);
+    }
+    ::closedir(dir);
+    return;
+  }
+  Bytes bytes;
+  if (read_file(path, bytes)) corpus.push_back(std::move(bytes));
+}
+
+Bytes mutate(const std::vector<Bytes>& corpus) {
+  Bytes input = corpus[next_rand() % corpus.size()];
+  const std::size_t ops = 1 + next_rand() % 4;
+  for (std::size_t op = 0; op < ops; ++op) {
+    switch (next_rand() % 5) {
+      case 0:  // bit flip
+        if (!input.empty()) {
+          input[next_rand() % input.size()] ^=
+              static_cast<std::uint8_t>(1u << (next_rand() % 8));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!input.empty()) {
+          input[next_rand() % input.size()] =
+              static_cast<std::uint8_t>(next_rand());
+        }
+        break;
+      case 2:  // truncate
+        if (!input.empty()) input.resize(next_rand() % input.size());
+        break;
+      case 3: {  // splice: append a suffix of another corpus input
+        const Bytes& other = corpus[next_rand() % corpus.size()];
+        if (!other.empty()) {
+          const std::size_t from = next_rand() % other.size();
+          input.insert(input.end(), other.begin() + from, other.end());
+        }
+        break;
+      }
+      default: {  // insert random bytes
+        const std::size_t n = next_rand() % 16;
+        const std::size_t at = input.empty() ? 0 : next_rand() % input.size();
+        Bytes noise(n);
+        for (auto& b : noise) b = static_cast<std::uint8_t>(next_rand());
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                     noise.begin(), noise.end());
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mutations = 0;
+  std::vector<Bytes> corpus;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutations=", 0) == 0) {
+      mutations = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      rng_state = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      if (rng_state == 0) rng_state = 1;  // xorshift fixed point
+    } else if (arg.rfind("-", 0) == 0) {
+      // Ignore unknown libFuzzer-style flags (-runs=..., -seed=...) so CI
+      // recipes written for libFuzzer degrade to a plain corpus replay.
+      std::fprintf(stderr, "note: ignoring flag %s\n", arg.c_str());
+    } else {
+      collect_inputs(arg, corpus);
+    }
+  }
+  std::size_t executed = 0;
+  for (const Bytes& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  if (mutations > 0 && corpus.empty()) {
+    corpus.push_back(Bytes{});  // mutate from the empty input
+  }
+  for (std::uint64_t i = 0; i < mutations; ++i) {
+    const Bytes input = mutate(corpus);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::printf("standalone fuzz driver: %zu inputs executed, 0 crashes\n",
+              executed);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "apps/load_analysis.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 #include <variant>
 
@@ -111,7 +112,7 @@ void LoadObserver::on_path_decoded(const SinkContext& ctx,
                                    std::string_view query,
                                    const std::vector<SwitchId>& path) {
   if (query != path_query_) return;
-  paths_.put(ctx.flow, path);
+  std::ignore = paths_.put(ctx.flow, path);
 }
 
 }  // namespace pint

@@ -1,6 +1,7 @@
 #include "apps/tomography.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 #include <variant>
 
@@ -8,7 +9,8 @@ namespace pint {
 
 void QueueTomography::register_flow(std::uint64_t flow_key,
                                     std::vector<SwitchId> path) {
-  flows_.put(flow_key, std::move(path));
+  // Registration cares about the insertion, not the stored reference.
+  std::ignore = flows_.put(flow_key, std::move(path));
 }
 
 void QueueTomography::add_sample(std::uint64_t flow_key, HopIndex hop,

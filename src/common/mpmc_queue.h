@@ -10,6 +10,22 @@
 // caller decides whether to spin, sleep, or drop — an explicit
 // backpressure decision), an empty queue refuses the pop. Capacity is
 // rounded up to a power of two.
+//
+// Memory-ordering invariant (the exact acquire/release pairing): each
+// cell's `seq` is a state word that hands the cell back and forth.
+//
+//  * A producer claims cell `pos` when seq == pos (CAS on head_, relaxed:
+//    the CAS only arbitrates ownership; all data ordering rides on seq),
+//    writes the value, then seq.store(pos + 1, release) — publication.
+//  * A consumer waits for seq == pos + 1; its seq.load(acquire) pairs
+//    with that release store, so the value read happens-after the
+//    producer's write. It moves the value out, then
+//    seq.store(pos + capacity, release) — recycling the cell for the
+//    producer one lap ahead, whose seq.load(acquire) pairs with it so the
+//    overwrite happens-after the consumer's read.
+//  * seq values only ever advance (pos -> pos+1 -> pos+capacity -> ...),
+//    so a stale load conservatively reads "not ready for me" — the
+//    `diff < 0` full/empty exits — and never grants ownership early.
 #pragma once
 
 #include <algorithm>
@@ -18,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -65,9 +82,27 @@ class Backoff {
 template <typename T>
 class MpmcQueue {
  public:
+  // The cell protocol bakes in assumptions about T:
+  //  * every cell carries a default-constructed T until a producer claims
+  //    it (and again after its value is moved out), so T must be
+  //    (nothrow-)default-constructible;
+  //  * the value transfer happens *between* the ownership CAS and the seq
+  //    release-store; a throwing move-assignment there would leave a
+  //    claimed cell whose seq never advances, wedging the ring for every
+  //    thread — so the move must be noexcept.
   explicit MpmcQueue(std::size_t capacity)
       : cells_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
         mask_(cells_.size() - 1) {
+    // Asserted here rather than at class scope so nested payload types
+    // (whose default member initializers are only visible once the
+    // enclosing class is complete) are fully formed when checked.
+    static_assert(std::is_nothrow_default_constructible_v<T>,
+                  "MpmcQueue<T> default-constructs every cell payload; T "
+                  "must be nothrow default-constructible");
+    static_assert(std::is_nothrow_move_assignable_v<T>,
+                  "MpmcQueue<T> transfers payloads by move-assignment "
+                  "between claiming a cell and publishing its seq; a "
+                  "throwing move would wedge the ring");
     for (std::size_t i = 0; i < cells_.size(); ++i) {
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
@@ -79,7 +114,7 @@ class MpmcQueue {
   std::size_t capacity() const { return cells_.size(); }
 
   /// False when the queue is full (value untouched).
-  bool try_push(T&& value) {
+  [[nodiscard]] bool try_push(T&& value) {
     Cell* cell;
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
@@ -104,7 +139,7 @@ class MpmcQueue {
   }
 
   /// False when the queue is empty.
-  bool try_pop(T& out) {
+  [[nodiscard]] bool try_pop(T& out) {
     Cell* cell;
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {

@@ -1,0 +1,108 @@
+/// \file
+/// Annotated mutex / scoped-lock / condition-variable wrappers.
+///
+/// Clang's `-Wthread-safety` analysis (common/thread_annotations.h) only
+/// tracks capability types that carry the attributes. libstdc++'s
+/// `std::mutex` and `std::lock_guard` carry none, so code that wants the
+/// compile-time race check uses these thin wrappers instead: identical
+/// runtime behavior (they *are* std::mutex / std::condition_variable
+/// underneath, futex fast path included), plus the annotations that let
+/// the analysis prove every `PINT_GUARDED_BY` member is only touched under
+/// its lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace pint {
+
+/// `std::mutex` with capability annotations. Satisfies *BasicLockable*
+/// (lock/unlock) so generic code still works; prefer `MutexLock` over
+/// calling lock()/unlock() directly.
+class PINT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PINT_ACQUIRE() { mu_.lock(); }
+  void unlock() PINT_RELEASE() { mu_.unlock(); }
+  bool try_lock() PINT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock with mid-scope unlock/relock (the shape `std::unique_lock`
+/// provides, minus the empty/deferred states the analysis cannot track).
+/// The scoped-capability annotation makes the analysis treat construction
+/// as acquisition and destruction as release, and track the explicit
+/// unlock()/lock() calls in between.
+class PINT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PINT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PINT_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before slow work the lock must not cover).
+  void unlock() PINT_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Reacquires after an early unlock().
+  void lock() PINT_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable whose waits take the annotated `Mutex` directly, so
+/// the analysis sees that the caller must hold the lock across the wait
+/// (`std::condition_variable` requires a `std::unique_lock`, which the
+/// analysis cannot see through). The mutex is released while sleeping and
+/// reacquired before returning — standard CV semantics.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// One sleep/wake cycle; like all CV waits, may wake spuriously.
+  void wait(Mutex& mu) PINT_REQUIRES(mu) {
+    // Adopt the already-held mutex for the duration of the wait; release()
+    // hands ownership back so the MutexLock (or caller) stays the one true
+    // unlocker. The analysis sees a REQUIRES function: held in, held out.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Waits until `pred()` holds; the predicate runs with `mu` held.
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) PINT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pint

@@ -1,0 +1,79 @@
+/// \file
+/// Clang thread-safety-analysis attribute macros.
+///
+/// Wraps the Clang `-Wthread-safety` attributes (the compile-time race
+/// detector: every lock-protected member declares its lock, and a missed
+/// acquisition is a build error, not a TSAN flake) behind `PINT_*` macros
+/// that expand to nothing on compilers without the attributes (GCC), so
+/// annotated code builds everywhere and is *checked* wherever Clang builds
+/// it — CI runs a blocking `-Wthread-safety -Werror` job.
+///
+/// The attributes only work on annotated capability types; std::mutex in
+/// libstdc++ carries none, so lock-protected code uses the annotated
+/// wrappers in common/mutex.h (`pint::Mutex`, `pint::MutexLock`,
+/// `pint::CondVar`) instead of the raw std types.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PINT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PINT_THREAD_ANNOTATION__(x)  // not Clang: annotations compile away
+#endif
+
+/// Declares a type to be a capability (lockable). Example:
+///   class PINT_CAPABILITY("mutex") Mutex { ... };
+#define PINT_CAPABILITY(x) PINT_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PINT_SCOPED_CAPABILITY PINT_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member is only read/written with `x` held.
+#define PINT_GUARDED_BY(x) PINT_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is only accessed with `x` held.
+#define PINT_PT_GUARDED_BY(x) PINT_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusively) and does not release it.
+#define PINT_ACQUIRE(...) \
+  PINT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define PINT_RELEASE(...) \
+  PINT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function may acquire the capability; the boolean first argument is the
+/// return value that means "acquired".
+#define PINT_TRY_ACQUIRE(...) \
+  PINT_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively) across the call.
+#define PINT_REQUIRES(...) \
+  PINT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself —
+/// catches self-deadlock at compile time).
+#define PINT_EXCLUDES(...) PINT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define PINT_RETURN_CAPABILITY(x) PINT_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Lock-ordering declaration: this capability must be acquired before `...`.
+#define PINT_ACQUIRED_BEFORE(...) \
+  PINT_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// Lock-ordering declaration: this capability must be acquired after `...`.
+#define PINT_ACQUIRED_AFTER(...) \
+  PINT_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis (use sparingly, and say why at the use site).
+#define PINT_NO_THREAD_SAFETY_ANALYSIS \
+  PINT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Runtime assertion that the calling thread holds the capability; tells
+/// the analysis to assume it from here on.
+#define PINT_ASSERT_CAPABILITY(x) \
+  PINT_THREAD_ANNOTATION__(assert_capability(x))

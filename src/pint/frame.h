@@ -66,7 +66,7 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 
   /// Payload-frame count carried by an epoch-close marker (0 otherwise).
-  std::uint32_t close_payload_count() const;
+  [[nodiscard]] std::uint32_t close_payload_count() const;
 };
 
 /// One decode failure, with enough context to attribute it.
@@ -91,7 +91,7 @@ struct FrameView {
   std::span<const std::uint8_t> payload{};
 
   /// Payload-frame count carried by an epoch-close marker (0 otherwise).
-  std::uint32_t close_payload_count() const;
+  [[nodiscard]] std::uint32_t close_payload_count() const;
 };
 
 /// A zero-copy reassembler event: a frame view, or a typed error.
@@ -116,20 +116,21 @@ class FrameWriter {
 
   /// Opens the next epoch (first call opens epoch 1). Must not already be
   /// in an epoch.
-  std::vector<std::uint8_t> make_open();
+  [[nodiscard]] std::vector<std::uint8_t> make_open();
 
   /// One payload frame inside the open epoch. The sequence number is
   /// consumed even if the caller then drops the frame (so receivers see
   /// the gap); a dropped frame must be reported via payload_dropped() to
   /// keep the epoch-close count equal to frames actually shipped.
-  std::vector<std::uint8_t> make_payload(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::vector<std::uint8_t> make_payload(
+      std::span<const std::uint8_t> bytes);
 
   /// Tells the writer the frame from the last make_payload() was dropped
   /// instead of written (backpressure drop-newest).
   void payload_dropped();
 
   /// Closes the open epoch; the marker carries the shipped-payload count.
-  std::vector<std::uint8_t> make_close();
+  [[nodiscard]] std::vector<std::uint8_t> make_close();
 
   std::uint32_t source() const { return source_; }
   std::uint32_t epoch() const { return epoch_; }
@@ -165,14 +166,14 @@ class FrameReassembler {
   /// Next parsed event, or nullopt when the buffered bytes hold no
   /// complete frame (and no pending error). The frame's payload is an
   /// owning copy; prefer `next_view()` on hot paths.
-  std::optional<FrameEvent> next();
+  [[nodiscard]] std::optional<FrameEvent> next();
 
   /// Zero-copy variant of `next()`: the frame's payload is a view into
   /// the reassembler's parse buffer, valid until the next `feed()` or
   /// `finish()`. The fan-in collector drains frames through this, so a
   /// payload crosses from transport bytes to the report decoder without
   /// an intermediate copy.
-  std::optional<FrameViewEvent> next_view();
+  [[nodiscard]] std::optional<FrameViewEvent> next_view();
 
   /// Marks end-of-stream: a partially buffered frame is surfaced as
   /// kTruncatedStream by the following next() calls.

@@ -196,10 +196,10 @@ class PintFramework {
     Builder& add_observer(SinkObserver* observer);
 
     /// Validates and constructs. The builder can be reused afterwards.
-    BuildResult build() const;
+    [[nodiscard]] BuildResult build() const;
 
     /// Throws std::invalid_argument with the BuildError message on failure.
-    std::unique_ptr<PintFramework> build_or_throw() const;
+    [[nodiscard]] std::unique_ptr<PintFramework> build_or_throw() const;
 
    private:
     unsigned budget_ = 16;
@@ -349,7 +349,10 @@ class PintFramework {
     std::optional<PerPacketQuery> perpacket;
 
     // Recording module state (off-switch storage), keyed by flow and held
-    // in LRU-evicting stores. Capacity 0 (no ceiling) keeps every flow —
+    // in LRU-evicting stores. Unsynchronized, like the rest of the
+    // binding: mutated only inside at_sink()/at_sink_batch(), whose caller
+    // provides the serialization (one shard worker per framework instance
+    // under ShardedSink). Capacity 0 (no ceiling) keeps every flow —
     // the seed behavior. The Builder assigns capacities after validating
     // the memory budgets; only the store matching the aggregation type is
     // ever populated. on_path_decoded fires on each decoder's

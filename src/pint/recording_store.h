@@ -139,7 +139,8 @@ class RecordingStore {
   /// most-recently-used. May evict other flows. Unlike touch(), the
   /// assigned state is re-sized even when unbounded (an overwrite replaces
   /// the entry wholesale, so its stale creation size would never heal).
-  PerFlowState& put(std::uint64_t flow_key, PerFlowState value) {
+  [[nodiscard]] PerFlowState& put(std::uint64_t flow_key,
+                                  PerFlowState value) {
     auto it = entries_.find(flow_key);
     if (it == entries_.end()) {
       return touch(flow_key, [&] { return std::move(value); });
@@ -158,7 +159,7 @@ class RecordingStore {
   /// has no effect) if the flow is not resident. Unlike touch(), never
   /// creates state — for consumers that only want to refresh flows they
   /// already track (e.g. a sample landing on a stored path).
-  PerFlowState* refresh(std::uint64_t flow_key) {
+  [[nodiscard]] PerFlowState* refresh(std::uint64_t flow_key) {
     auto it = entries_.find(flow_key);
     if (it == entries_.end()) return nullptr;
     bump(it);
@@ -168,7 +169,7 @@ class RecordingStore {
   }
 
   /// Read-only lookup without LRU effect.
-  const PerFlowState* find(std::uint64_t flow_key) const {
+  [[nodiscard]] const PerFlowState* find(std::uint64_t flow_key) const {
     auto it = entries_.find(flow_key);
     return it == entries_.end() ? nullptr : &it->second.state;
   }
@@ -211,6 +212,16 @@ class RecordingStore {
   bool over_budget() const { return capacity_ != 0 && used_ > capacity_; }
 
  private:
+  // Threading contract: no locks — a store belongs to exactly one
+  // execution context. Framework-owned stores (Binding::decoders/
+  // recorders) are only touched under at_sink()/at_sink_batch(), which the
+  // framework already requires to be externally serialized; behind a
+  // ShardedSink each shard worker owns its framework instance outright.
+  // Reads (find) mutate nothing but also take no lock, so they must come
+  // from that same context — this is not a reader-writer structure. The
+  // LRU list + accounting make nearly every operation a write anyway, so
+  // a mutex here would serialize everything; sharding (one store per
+  // shard) is the supported way to scale, mirroring ShardedSink.
   using ListAlloc = ArenaAllocator<std::uint64_t>;
   using LruList = std::list<std::uint64_t, ListAlloc>;
 

@@ -67,14 +67,14 @@ class ReportEncoder {
   std::size_t records() const { return records_.size(); }
 
   /// Serializes everything recorded so far and resets the encoder.
-  std::vector<std::uint8_t> finish();
+  [[nodiscard]] std::vector<std::uint8_t> finish();
 
   /// Like finish(), but splits the pending records into buffers of at most
   /// `max_records` records each, in record order. Every buffer is
   /// self-contained (own magic + name table), so each can be framed,
   /// shipped, and decoded independently — losing one frame costs only that
   /// frame's records, not the epoch. Resets the encoder.
-  std::vector<std::vector<std::uint8_t>> finish_chunked(
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> finish_chunked(
       std::size_t max_records);
 
  private:
@@ -123,8 +123,8 @@ class ReportDecoder {
   /// Appends the buffer's records to `out`. Returns false (leaving `out`
   /// untouched) if the buffer is truncated, has a bad magic/version, or
   /// references an out-of-range name.
-  bool decode(std::span<const std::uint8_t> bytes,
-              std::vector<StreamRecord>& out);
+  [[nodiscard]] bool decode(std::span<const std::uint8_t> bytes,
+                            std::vector<StreamRecord>& out);
 
   /// Zero-copy replay: parses `bytes` and fires the records into
   /// `observers` in record order, reading straight from the input span.
@@ -141,9 +141,9 @@ class ReportDecoder {
   /// no-reentry contract toward the framework. Observers that forward
   /// into another pipeline must buffer and replay after dispatch()
   /// returns (or use a separate decoder).
-  bool dispatch(std::span<const std::uint8_t> bytes,
-                std::span<SinkObserver* const> observers,
-                std::uint64_t* records_out = nullptr);
+  [[nodiscard]] bool dispatch(std::span<const std::uint8_t> bytes,
+                              std::span<SinkObserver* const> observers,
+                              std::uint64_t* records_out = nullptr);
 
  private:
   // One parsed record, flyweight: names are indices into names_scratch_,

@@ -62,7 +62,7 @@ class ShardedSink::ShardRelay : public SinkObserver {
       parent_.publish_event(shard_, std::move(ev));
       return;
     }
-    std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
+    MutexLock lock(parent_.observer_mutex_);
     for (SinkObserver* o : parent_.observers_) {
       o->on_observation(ctx, query, obs);
     }
@@ -79,7 +79,7 @@ class ShardedSink::ShardRelay : public SinkObserver {
       parent_.publish_event(shard_, std::move(ev));
       return;
     }
-    std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
+    MutexLock lock(parent_.observer_mutex_);
     for (SinkObserver* o : parent_.observers_) {
       o->on_path_decoded(ctx, query, path);
     }
@@ -96,7 +96,7 @@ class ShardedSink::ShardRelay : public SinkObserver {
       parent_.publish_event(shard_, std::move(ev));
       return;
     }
-    std::lock_guard<std::mutex> lock(parent_.observer_mutex_);
+    MutexLock lock(parent_.observer_mutex_);
     for (SinkObserver* o : parent_.observers_) {
       o->on_memory_report(report);
     }
@@ -159,7 +159,7 @@ ShardedSink::ShardedSink(const PintFramework::Builder& builder,
 ShardedSink::~ShardedSink() {
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       shard->stop.store(true, std::memory_order_release);
     }
     shard->wake.notify_one();
@@ -234,7 +234,7 @@ void ShardedSink::submit(std::span<const Packet> packets, unsigned k,
       // Empty critical section: the worker either holds the mutex and is
       // about to re-check its predicate, or is already asleep and the
       // notify below lands after it released the mutex.
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
     }
     shard.wake.notify_one();
   }
@@ -242,8 +242,8 @@ void ShardedSink::submit(std::span<const Packet> packets, unsigned k,
 
 void ShardedSink::flush() {
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mutex);
-    shard->idle.wait(lock, [&] {
+    MutexLock lock(shard->mutex);
+    shard->idle.wait(shard->mutex, [&] {
       return shard->pending_batches.load(std::memory_order_acquire) == 0;
     });
   }
@@ -264,7 +264,7 @@ void ShardedSink::flush() {
 }
 
 void ShardedSink::add_observer(SinkObserver* observer) {
-  std::lock_guard<std::mutex> lock(observer_mutex_);
+  MutexLock lock(observer_mutex_);
   observers_.push_back(observer);
 }
 
@@ -283,7 +283,7 @@ void ShardedSink::wake_relay() {
     // Empty critical section, same reasoning as the worker wakeup above:
     // the relay either holds the mutex and is about to re-check its
     // predicate, or is asleep and the notify lands after it released it.
-    std::lock_guard<std::mutex> lock(relay_mutex_);
+    MutexLock lock(relay_mutex_);
   }
   relay_wake_.notify_one();
 }
@@ -311,7 +311,7 @@ void ShardedSink::publish_event(Shard& shard, ObserverEvent&& event) {
 }
 
 void ShardedSink::deliver_event(const ObserverEvent& event) {
-  std::lock_guard<std::mutex> lock(observer_mutex_);
+  MutexLock lock(observer_mutex_);
   switch (event.kind) {
     case ObserverEvent::Kind::kObservation:
       for (SinkObserver* o : observers_) {
@@ -358,9 +358,9 @@ void ShardedSink::relay_loop() {
   };
   for (;;) {
     if (drain_rings() > 0) continue;
-    std::unique_lock<std::mutex> lock(relay_mutex_);
+    MutexLock lock(relay_mutex_);
     relay_sleeping_.store(true, std::memory_order_seq_cst);
-    relay_wake_.wait(lock, [&] {
+    relay_wake_.wait(relay_mutex_, [&] {
       return relay_stop_.load(std::memory_order_acquire) || work_pending();
     });
     relay_sleeping_.store(false, std::memory_order_seq_cst);
@@ -445,13 +445,13 @@ void ShardedSink::worker_loop(Shard& shard) {
           1) {
         // Last outstanding batch: wake flush(). Taking the mutex orders
         // this notify after any flush() entered its predicate check.
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         shard.idle.notify_all();
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(shard.mutex);
-    shard.wake.wait(lock, [&] {
+    MutexLock lock(shard.mutex);
+    shard.wake.wait(shard.mutex, [&] {
       return shard.stop.load(std::memory_order_acquire) ||
              shard.queued.load(std::memory_order_acquire) > 0;
     });

@@ -19,10 +19,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -30,7 +28,9 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "common/mutex.h"
 #include "common/spsc_queue.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "packet/flow.h"
 #include "packet/packet.h"
@@ -131,7 +131,7 @@ class ShardedSink {
 
   /// Serialized observer delivery (see the class contract). Must be called
   /// before the first `submit()`.
-  void add_observer(SinkObserver* observer);
+  void add_observer(SinkObserver* observer) PINT_EXCLUDES(observer_mutex_);
 
   /// True when the Builder enabled `async_observers`.
   bool async_observers() const { return async_mode_; }
@@ -235,9 +235,12 @@ class ShardedSink {
     std::atomic<std::ptrdiff_t> queued{0};
     std::atomic<std::size_t> pending_batches{0};
     std::atomic<std::uint64_t> processed{0};
-    std::mutex mutex;               // guards cv sleeps
-    std::condition_variable wake;   // worker waits for work / stop
-    std::condition_variable idle;   // flush() waits for pending == 0
+    // The mutex guards no plain data (the predicates above are atomics):
+    // it exists so the cv sleep/notify pairs are race-free. Annotated
+    // anyway so the analysis checks every wait holds it.
+    Mutex mutex;
+    CondVar wake;  // worker waits for work / stop
+    CondVar idle;  // flush() waits for pending == 0
     // atomic: the worker re-checks it between batches without the mutex,
     // so destruction stops the drain instead of processing a backlog of
     // batches whose caller buffers may already be gone.
@@ -250,23 +253,25 @@ class ShardedSink {
   // (async mode).
   class ShardRelay;
 
-  void worker_loop(Shard& shard);
-  void publish_event(Shard& shard, ObserverEvent&& event);
-  void deliver_event(const ObserverEvent& event);
-  void relay_loop();
-  std::size_t drain_rings();
-  void wake_relay();
+  void worker_loop(Shard& shard) PINT_EXCLUDES(observer_mutex_);
+  void publish_event(Shard& shard, ObserverEvent&& event)
+      PINT_EXCLUDES(relay_mutex_);
+  void deliver_event(const ObserverEvent& event)
+      PINT_EXCLUDES(observer_mutex_);
+  void relay_loop() PINT_EXCLUDES(relay_mutex_, observer_mutex_);
+  std::size_t drain_rings() PINT_EXCLUDES(observer_mutex_);
+  void wake_relay() PINT_EXCLUDES(relay_mutex_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   FlowDefinition partition_def_ = FlowDefinition::kFiveTuple;
   std::vector<std::unique_ptr<ShardRelay>> shard_relays_;
-  std::mutex observer_mutex_;
-  std::vector<SinkObserver*> observers_;
+  Mutex observer_mutex_;
+  std::vector<SinkObserver*> observers_ PINT_GUARDED_BY(observer_mutex_);
   // Async observer stage.
   bool async_mode_ = false;
   OverflowPolicy async_policy_ = OverflowPolicy::kBlock;
-  std::mutex relay_mutex_;                  // guards relay sleep
-  std::condition_variable relay_wake_;
+  Mutex relay_mutex_;     // guards only the relay's cv sleep (see .cc)
+  CondVar relay_wake_;
   std::atomic<bool> relay_sleeping_{false};  // seq_cst handshake, see .cc
   std::atomic<bool> relay_stop_{false};
   std::thread relay_thread_;

@@ -18,12 +18,12 @@
 namespace pint {
 
 /// Pack lanes (lane i occupying widths[i] low bits) LSB-first into bytes.
-std::vector<std::uint8_t> pack_digests(std::span<const Digest> lanes,
-                                       std::span<const unsigned> widths);
+[[nodiscard]] std::vector<std::uint8_t> pack_digests(
+    std::span<const Digest> lanes, std::span<const unsigned> widths);
 
 /// Inverse of pack_digests.
-std::vector<Digest> unpack_digests(std::span<const std::uint8_t> bytes,
-                                   std::span<const unsigned> widths);
+[[nodiscard]] std::vector<Digest> unpack_digests(
+    std::span<const std::uint8_t> bytes, std::span<const unsigned> widths);
 
 /// Allocation-free variants for the batched hot path: the caller owns the
 /// buffers. `out` must hold wire_bytes(widths) / widths.size() entries;

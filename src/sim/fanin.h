@@ -129,7 +129,7 @@ class FanInCollector {
   /// Legacy unframed entry: decodes one self-contained codec buffer and
   /// dispatches its records. Returns false (and dispatches nothing) on
   /// malformed input. Bypasses epoch/sequence accounting.
-  bool ingest(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool ingest(std::span<const std::uint8_t> bytes);
 
   /// Receive-side accounting for one source (nullptr if never heard from).
   const SourceStatus* source_status(std::uint32_t source) const;
@@ -160,6 +160,15 @@ class FanInCollector {
   void handle_frame(SourceState& state, const FrameView& frame);
   void note_error(const FrameError& error);
 
+  // Threading contract: the collector is single-threaded by design — every
+  // ledger below (per-source reassembly state, error log, byte/record
+  // totals) is mutated only from the one thread that calls
+  // ingest_stream()/end_stream(). Concurrency lives *upstream*: N sinks
+  // write framed bytes into their own ByteStreams concurrently, and the
+  // streams serialize delivery. Guarding these maps with a mutex would
+  // synchronize nothing (one thread) while hiding misuse from TSAN; if a
+  // concurrent collector is ever needed, shard it per-source like
+  // ShardedSink rather than locking this one.
   ReportDecoder decoder_;
   std::vector<SinkObserver*> observers_;
   std::unordered_map<std::uint32_t, SourceState> sources_;

@@ -48,16 +48,17 @@ class ByteStream {
   virtual ~ByteStream() = default;
 
   /// Accepts the whole chunk or none of it (false = pipe full).
-  virtual bool try_write(std::span<const std::uint8_t> bytes) = 0;
+  [[nodiscard]] virtual bool try_write(
+      std::span<const std::uint8_t> bytes) = 0;
 
   /// Up to `out.size()` bytes, in order; 0 when empty (or drained + closed).
-  virtual std::size_t read(std::span<std::uint8_t> out) = 0;
+  [[nodiscard]] virtual std::size_t read(std::span<std::uint8_t> out) = 0;
 
   /// No more writes will come (idempotent).
   virtual void close_write() = 0;
 
   /// True once the writer closed and every byte was read.
-  virtual bool eof() const = 0;
+  [[nodiscard]] virtual bool eof() const = 0;
 
   /// Bytes a single try_write can ever accept (capacity of the pipe).
   virtual std::size_t capacity() const = 0;
@@ -75,10 +76,10 @@ class SpscRingStream final : public ByteStream {
   ///   (minimum 64). A try_write larger than this can never succeed.
   explicit SpscRingStream(std::size_t capacity_bytes);
 
-  bool try_write(std::span<const std::uint8_t> bytes) override;
-  std::size_t read(std::span<std::uint8_t> out) override;
+  [[nodiscard]] bool try_write(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::size_t read(std::span<std::uint8_t> out) override;
   void close_write() override;
-  bool eof() const override;
+  [[nodiscard]] bool eof() const override;
   std::size_t capacity() const override { return buffer_.size(); }
 
  private:
@@ -106,22 +107,29 @@ class SocketPairStream final : public ByteStream {
   SocketPairStream(const SocketPairStream&) = delete;
   SocketPairStream& operator=(const SocketPairStream&) = delete;
 
-  bool try_write(std::span<const std::uint8_t> bytes) override;
-  std::size_t read(std::span<std::uint8_t> out) override;
+  [[nodiscard]] bool try_write(std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] std::size_t read(std::span<std::uint8_t> out) override;
   void close_write() override;
-  bool eof() const override;
+  [[nodiscard]] bool eof() const override;
   std::size_t capacity() const override { return capacity_; }
 
  private:
-  int write_fd_ = -1;
-  int read_fd_ = -1;
-  std::size_t capacity_ = 0;
+  // Threading contract (no locks; the kernel socket is the only shared
+  // state): write_fd_/pending_/write_closed_ are touched only by the single
+  // writer thread, read_fd_/saw_eof_ only by the single reader thread —
+  // ByteStream's one-writer/one-reader rule partitions the members by
+  // thread, so there is nothing for a mutex to guard. A second writer (or
+  // reader) would race on pending_ unsynchronized; that usage is outside
+  // the interface contract, and TSAN's fanin/transport suites would flag it.
+  int write_fd_ = -1;   // writer thread only
+  int read_fd_ = -1;    // reader thread only
+  std::size_t capacity_ = 0;  // immutable after construction
   // Tail of a chunk the kernel only partially accepted: drained before any
   // new chunk so the byte order (and the all-or-nothing contract as seen
-  // by callers) is preserved.
+  // by callers) is preserved. Writer thread only.
   std::vector<std::uint8_t> pending_;
-  bool write_closed_ = false;
-  bool saw_eof_ = false;
+  bool write_closed_ = false;  // writer thread only
+  bool saw_eof_ = false;       // reader thread only
 };
 
 }  // namespace pint

@@ -140,7 +140,9 @@ TEST(RecordingStoreArena, OnAndOffAreBehaviorallyIdentical) {
     const auto* a = with_arena.find(f);
     const auto* b = no_arena.find(f);
     ASSERT_EQ(a == nullptr, b == nullptr) << "flow " << f;
-    if (a != nullptr) EXPECT_EQ(*a, *b);
+    if (a != nullptr) {
+      EXPECT_EQ(*a, *b);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -198,7 +199,7 @@ TEST(Builder, InfeasibleMixIsTypedError) {
 
 TEST(Builder, BuildOrThrowCarriesMessage) {
   try {
-    PintFramework::Builder().build_or_throw();
+    std::ignore = PintFramework::Builder().build_or_throw();
     FAIL() << "expected throw";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("no queries"), std::string::npos);

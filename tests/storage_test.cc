@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 
 #include "baselines/int_spec.h"
 #include "coding/lt_code.h"
@@ -67,7 +68,7 @@ TEST(RecordingStore, UnboundedStoreKeepsCreationSizes) {
   store.touch(7);
   EXPECT_EQ(store.used_bytes(), 100u);
   // put() replaces the entry wholesale and does re-account.
-  store.put(7, FakeState{7, 300});
+  std::ignore = store.put(7, FakeState{7, 300});
   EXPECT_EQ(store.used_bytes(), 300u);
 }
 
@@ -189,9 +190,10 @@ TEST(RecordingStore, ThrowingFactoryLeavesStoreUntouched) {
 TEST(RecordingStore, PutInsertsOrOverwritesWithAccounting) {
   RecordingStore<FakeState> store(0,
                                   [](const FakeState& s) { return s.bytes; });
-  store.put(1, FakeState{1, 100});
+  std::ignore = store.put(1, FakeState{1, 100});
   EXPECT_EQ(store.used_bytes(), 100u);
-  store.put(1, FakeState{1, 30});  // overwrite re-accounts, no re-create
+  // overwrite re-accounts, no re-create
+  std::ignore = store.put(1, FakeState{1, 30});
   EXPECT_EQ(store.used_bytes(), 30u);
   EXPECT_EQ(store.flows(), 1u);
   EXPECT_EQ(store.created(), 1u);

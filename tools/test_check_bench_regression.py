@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py.
+
+Run directly (`python3 -m unittest tools.test_check_bench_regression`) or
+via ctest, which registers this file as the `bench_regression_tool_test`
+suite. The tests drive main() end to end through temp files — the tool's
+contract is its exit code plus the report text, so that is what is
+asserted, not internals.
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "check_bench_regression.py")
+_SPEC = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _TOOL)
+cbr = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(cbr)
+
+
+def doc(results, smoke=False):
+    out = {"schema": "pint-bench-v1", "results": results}
+    if smoke:
+        out["smoke"] = True
+    return out
+
+
+def series(bench, value, higher_is_better=True, config="default",
+           metric="throughput"):
+    return {
+        "bench": bench,
+        "config": config,
+        "metric": metric,
+        "value": value,
+        "higher_is_better": higher_is_better,
+    }
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def run_tool(self, baseline, current, threshold=None):
+        """Returns (exit_code, stdout_text)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            argv = [base_path, cur_path]
+            if threshold is not None:
+                argv += ["--threshold", str(threshold)]
+            stdout = io.StringIO()
+            old_argv = sys.argv
+            sys.argv = ["check_bench_regression.py"] + argv
+            try:
+                with contextlib.redirect_stdout(stdout):
+                    code = cbr.main()
+            finally:
+                sys.argv = old_argv
+            return code, stdout.getvalue()
+
+    def test_improvement_passes(self):
+        code, out = self.run_tool(doc([series("decode", 100.0)]),
+                                  doc([series("decode", 150.0)]))
+        self.assertEqual(code, 0)
+        self.assertIn("[ok]", out)
+        self.assertIn("no regressions", out)
+
+    def test_regression_fails(self):
+        code, out = self.run_tool(doc([series("decode", 100.0)]),
+                                  doc([series("decode", 50.0)]))
+        self.assertEqual(code, 1)
+        self.assertIn("[REGRESSION]", out)
+        self.assertIn("decode/default/throughput", out)
+
+    def test_lower_is_better_direction(self):
+        # Latency going DOWN is an improvement, not a regression.
+        base = doc([series("latency", 10.0, higher_is_better=False)])
+        code, _ = self.run_tool(base,
+                                doc([series("latency", 5.0,
+                                            higher_is_better=False)]))
+        self.assertEqual(code, 0)
+        # ... and going up past the threshold fails.
+        code, out = self.run_tool(base,
+                                  doc([series("latency", 20.0,
+                                              higher_is_better=False)]))
+        self.assertEqual(code, 1)
+        self.assertIn("[REGRESSION]", out)
+
+    def test_move_within_threshold_passes(self):
+        code, out = self.run_tool(doc([series("decode", 100.0)]),
+                                  doc([series("decode", 90.0)]),
+                                  threshold=0.20)
+        self.assertEqual(code, 0)
+        self.assertIn("-10.0%", out)
+
+    def test_new_and_gone_series_are_informational(self):
+        code, out = self.run_tool(doc([series("old", 100.0)]),
+                                  doc([series("new", 100.0)]))
+        self.assertEqual(code, 0)
+        self.assertIn("[gone]", out)
+        self.assertIn("[new]", out)
+
+    def test_smoke_mismatch_checks_structure_only(self):
+        # Full baseline vs smoke current: no timing comparison, even for a
+        # huge drop — but every baseline series must still exist.
+        code, out = self.run_tool(doc([series("decode", 100.0)]),
+                                  doc([series("decode", 1.0)], smoke=True))
+        self.assertEqual(code, 0)
+        self.assertIn("structure check passed", out)
+        self.assertNotIn("[REGRESSION]", out)
+
+    def test_smoke_mismatch_missing_series_fails(self):
+        code, out = self.run_tool(
+            doc([series("decode", 100.0), series("encode", 50.0)]),
+            doc([series("decode", 100.0)], smoke=True))
+        self.assertEqual(code, 1)
+        self.assertIn("[missing]", out)
+        self.assertIn("encode/default/throughput", out)
+
+    def test_both_smoke_compares_with_note(self):
+        code, out = self.run_tool(doc([series("decode", 100.0)], smoke=True),
+                                  doc([series("decode", 50.0)], smoke=True))
+        self.assertEqual(code, 1)
+        self.assertIn("both runs are smoke mode", out)
+        self.assertIn("[REGRESSION]", out)
+
+    def test_zero_baseline_skipped(self):
+        code, _ = self.run_tool(doc([series("decode", 0.0)]),
+                                doc([series("decode", 1.0)]))
+        self.assertEqual(code, 0)
+
+    def test_bad_schema_rejected(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_tool({"schema": "nonsense", "results": []}, doc([]))
+        self.assertIn("not a pint-bench-v1 file", str(ctx.exception))
+
+
+if __name__ == "__main__":
+    unittest.main()

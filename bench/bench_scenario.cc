@@ -1,0 +1,126 @@
+// Scenario-harness throughput: runs the checked-in .scn specs end to end
+// through the full-framework simulator (topology build, CDF traffic,
+// fault episodes, all four detection apps as observers) and reports
+// discrete-event throughput plus what the apps detected.
+//
+// Full mode stretches leaf_spine_load until the simulator has moved over a
+// million data packets (episode times are unscaled, so fault scenarios run
+// at their checked-in durations). Smoke mode runs every scenario once at
+// its native duration — enough for CI to catch bit-rot in the scenario
+// layer without meaningful numbers.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "scenario/scenario_runner.h"
+#include "scenario/scenario_spec.h"
+
+#ifndef PINT_SCENARIO_DIR
+#error "PINT_SCENARIO_DIR must point at tests/scenarios"
+#endif
+
+namespace pint::scenario {
+namespace {
+
+const char* kScenarios[] = {"microburst_storm.scn", "link_failure.scn",
+                            "loss_burst.scn", "leaf_spine_load.scn",
+                            "reorder_flap.scn"};
+
+ScenarioSpec load_spec(const std::string& name) {
+  const ScenarioParseResult parsed =
+      parse_scenario_file(std::string(PINT_SCENARIO_DIR) + "/" + name);
+  if (!parsed.ok()) {
+    for (const ScenarioParseError& e : parsed.errors) {
+      std::fprintf(stderr, "%s line %d [%s]: %s\n", name.c_str(), e.line,
+                   to_string(e.code), e.message.c_str());
+    }
+    std::exit(1);
+  }
+  return *parsed.spec;
+}
+
+struct TimedRun {
+  ScenarioResult result;
+  double seconds = 0.0;
+};
+
+TimedRun timed_run(const ScenarioSpec& spec, double scale) {
+  ScenarioRunOptions options;
+  options.duration_scale = scale;
+  options.capture_report_bytes = false;  // keep memory flat on long runs
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedRun run{run_scenario(spec, options), 0.0};
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return run;
+}
+
+// `check_detections` is off for scaled runs: the specs' expect directives
+// (utilization bands, event counts) are tuned for native durations and are
+// exercised by the scenario test tier; a stretched run only measures
+// throughput.
+void report(bench::JsonWriter& json, const std::string& config,
+            const TimedRun& run, bool check_detections) {
+  const auto& c = run.result.counters;
+  const double moved =
+      static_cast<double>(c.packets_delivered + c.acks_delivered);
+  const double pps = run.seconds > 0.0 ? moved / run.seconds : 0.0;
+  bench::row("%-20s %10.0f pkts %8.2fs %12.0f pkt/s%s", config.c_str(), moved,
+             run.seconds, pps,
+             !check_detections       ? ""
+             : run.result.all_passed() ? "  passing"
+                                       : "  NOT passing");
+  json.add("bench_scenario", config, "packets_per_sec", pps, "pps", true);
+  json.add("bench_scenario", config, "packets_moved", moved, "count", true);
+  if (check_detections) {
+    json.add("bench_scenario", config, "detections_passing",
+             run.result.all_passed() ? 1.0 : 0.0, "bool", true);
+  }
+}
+
+}  // namespace
+}  // namespace pint::scenario
+
+int main(int argc, char** argv) {
+  using namespace pint::scenario;
+  const bool smoke = pint::bench::smoke_mode(argc, argv);
+  pint::bench::JsonWriter json;
+
+  pint::bench::header("Scenario harness end-to-end (config-driven sims)");
+  if (smoke) pint::bench::note_smoke();
+  pint::bench::row("%-18s %10s %9s %13s", "scenario", "packets", "wall",
+                   "rate");
+
+  for (const char* file : kScenarios) {
+    const ScenarioSpec spec = load_spec(file);
+    report(json, spec.name, timed_run(spec, 1.0), /*check_detections=*/true);
+  }
+
+  {
+    // Scale the densest scenario until the simulator moves >= 1M data
+    // packets (delivered + acks grow ~linearly with duration). Smoke mode
+    // keeps the series present in the JSON (so the baseline comparison
+    // sees every config) but stops at a single doubled run.
+    ScenarioSpec spec = load_spec("leaf_spine_load.scn");
+    double scale = smoke ? 2.0 : 8.0;
+    TimedRun run = timed_run(spec, scale);
+    const auto moved = [&run] {
+      return run.result.counters.packets_delivered +
+             run.result.counters.acks_delivered;
+    };
+    while (!smoke && moved() < 1'000'000) {
+      scale *= 2.0;
+      run = timed_run(spec, scale);
+    }
+    std::fprintf(stderr, "  (scaled run: duration x%.0f)\n", scale);
+    report(json, "leaf_spine_load_scaled", run, /*check_detections=*/false);
+  }
+
+  return json.write(pint::bench::JsonWriter::path_from(argc, argv), smoke)
+             ? 0
+             : 1;
+}

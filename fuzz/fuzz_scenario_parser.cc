@@ -1,0 +1,82 @@
+// Fuzz target: scenario parser over arbitrary .scn text.
+//
+// parse_scenario() promises it NEVER throws: malformed input must come
+// back as typed ScenarioParseErrors with line numbers, and the spec is
+// engaged iff the error list is empty. This target feeds arbitrary bytes
+// through the parser and checks that contract plus the invariants the
+// runner relies on — every error has a printable code and an in-document
+// line number, and an accepted spec round-trips through the same limits
+// the parser enforced (so the runner can trust the ranges).
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <string_view>
+
+#include "fuzz/fuzz_util.h"
+#include "scenario/scenario_spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  pint::scenario::ScenarioParseResult result;
+  try {
+    result = pint::scenario::parse_scenario(text);
+  } catch (const std::exception&) {
+    FUZZ_CHECK(false && "parse_scenario threw");
+  } catch (...) {
+    FUZZ_CHECK(false && "parse_scenario threw a non-exception");
+  }
+
+  // Contract: spec engaged iff no errors.
+  FUZZ_CHECK(result.ok() == result.errors.empty());
+  FUZZ_CHECK(result.spec.has_value() == result.errors.empty());
+
+  if (!result.ok()) {
+    const long lines = 1 + std::count(text.begin(), text.end(), '\n');
+    for (const pint::scenario::ScenarioParseError& e : result.errors) {
+      // Every error names a real code and a line inside the document
+      // (0 is reserved for whole-spec errors like a missing section).
+      FUZZ_CHECK(pint::scenario::to_string(e.code) != nullptr);
+      FUZZ_CHECK(to_string(e.code)[0] != '\0');
+      FUZZ_CHECK(e.line >= 0);
+      FUZZ_CHECK(e.line <= lines);
+      FUZZ_CHECK(!e.message.empty());
+    }
+    return 0;
+  }
+
+  // Accepted specs must sit inside the ranges the parser claims to
+  // enforce — the runner sizes simulations off these without re-checking.
+  const pint::scenario::ScenarioSpec& spec = *result.spec;
+  FUZZ_CHECK(!spec.name.empty());
+  FUZZ_CHECK(spec.topology.k >= 2 && spec.topology.k <= 16);
+  FUZZ_CHECK(spec.topology.leaves >= 1 && spec.topology.leaves <= 64);
+  FUZZ_CHECK(spec.topology.spines >= 1 && spec.topology.spines <= 64);
+  FUZZ_CHECK(spec.topology.hosts_per_leaf >= 1 &&
+             spec.topology.hosts_per_leaf <= 64);
+  FUZZ_CHECK(spec.traffic.load > 0.0 && spec.traffic.load < 1.0);
+  FUZZ_CHECK(spec.traffic.zipf_s >= 0.0 && spec.traffic.zipf_s <= 5.0);
+  FUZZ_CHECK(spec.sim.duration > 0);
+  FUZZ_CHECK(spec.sim.rto > 0);
+  FUZZ_CHECK(spec.sim.bit_budget >= 16 && spec.sim.bit_budget <= 64);
+  for (const auto& ep : spec.episodes) {
+    FUZZ_CHECK(ep.at >= 0);
+  }
+  for (const auto& [key, value] : spec.tuning) {
+    FUZZ_CHECK(!key.empty());
+    FUZZ_CHECK(key.find('.') != std::string::npos);
+    (void)value;
+  }
+
+  // Parsing is a pure function of the text: a second pass must agree on
+  // the verdict and on the episode/expect shape (catches stray global or
+  // scratch state inside the parser).
+  const auto again = pint::scenario::parse_scenario(text);
+  FUZZ_CHECK(again.ok());
+  FUZZ_CHECK(again.spec->name == spec.name);
+  FUZZ_CHECK(again.spec->episodes.size() == spec.episodes.size());
+  FUZZ_CHECK(again.spec->expects.size() == spec.expects.size());
+  FUZZ_CHECK(again.spec->tuning == spec.tuning);
+  return 0;
+}

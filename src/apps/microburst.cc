@@ -34,7 +34,8 @@ std::optional<MicroburstEvent> MicroburstDetector::add(
 
   const double base = baseline_[idx].quantile(0.5);
   const double rec = recent_[idx].quantile(config_.detection_quantile);
-  if (base > 0.0 && rec > config_.burst_factor * base) {
+  if (base > 0.0 && rec > config_.burst_factor * base &&
+      rec >= config_.min_queue) {
     return MicroburstEvent{hop, rec, base};
   }
   return std::nullopt;

@@ -27,6 +27,12 @@ struct MicroburstConfig {
   double detection_quantile = 0.9;
   double burst_factor = 4.0;      // recent q90 > factor * baseline median
   std::size_t min_baseline = 256; // samples before detection arms
+  // Absolute floor the recent quantile must also clear before an event
+  // fires (0 = disabled). burst_factor alone is scale-free: a flow whose
+  // baseline is a near-empty queue trips the ratio on tiny natural
+  // fluctuations. A floor in queue-occupancy units anchors "burst" to a
+  // magnitude that actually threatens the buffer.
+  double min_queue = 0.0;
 };
 
 struct MicroburstEvent {

@@ -1,0 +1,447 @@
+#include "scenario/scenario_runner.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include <cstdio>
+#include <cstdlib>
+#include "apps/anomaly_detection.h"
+#include "apps/load_analysis.h"
+#include "apps/microburst.h"
+#include "apps/tomography.h"
+#include "pint/report_codec.h"
+#include "workload/traffic_gen.h"
+
+namespace pint::scenario {
+
+namespace {
+
+void name_tier(NamedTopology& topo, const std::vector<NodeId>& nodes,
+               const char* role) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::string name = role + std::to_string(i);
+    topo.names[nodes[i]] = name;
+    topo.by_name.emplace(std::move(name), nodes[i]);
+  }
+}
+
+NodeId resolve_node(const NamedTopology& topo, const std::string& name) {
+  const auto it = topo.by_name.find(name);
+  if (it == topo.by_name.end()) {
+    throw std::invalid_argument("scenario references unknown node '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+std::pair<NodeId, NodeId> resolve_link(const NamedTopology& topo,
+                                       const std::string& link) {
+  const std::size_t dash = link.find('-');
+  if (dash == std::string::npos) {
+    throw std::invalid_argument("bad link name '" + link + "'");
+  }
+  return {resolve_node(topo, link.substr(0, dash)),
+          resolve_node(topo, link.substr(dash + 1))};
+}
+
+double tuned(const ScenarioSpec& spec, const std::string& key,
+             double fallback) {
+  const auto it = spec.tuning.find(key);
+  return it == spec.tuning.end() ? fallback : it->second;
+}
+
+// One scripted change to link state at a simulation time.
+struct Transition {
+  TimeNs at = 0;
+  std::function<void()> apply;
+};
+
+}  // namespace
+
+NamedTopology build_topology(const TopologySpec& spec) {
+  const auto make_tree = [&spec] {
+    if (spec.kind == TopologyKind::kFatTree) {
+      FatTreeOptions options;
+      options.k = spec.k;
+      options.pods = spec.pods;
+      options.oversubscription = spec.oversubscription;
+      return make_fat_tree(options);
+    }
+    return make_leaf_spine(spec.leaves, spec.spines, spec.hosts_per_leaf);
+  };
+  NamedTopology topo{make_tree(), {}, {}, {}};
+  topo.is_host.assign(topo.tree.graph.num_nodes(), false);
+  for (NodeId host : topo.tree.nodes.hosts) topo.is_host[host] = true;
+  topo.names.resize(topo.tree.graph.num_nodes());
+  name_tier(topo, topo.tree.nodes.cores, "core");
+  name_tier(topo, topo.tree.nodes.aggs, "agg");
+  name_tier(topo, topo.tree.nodes.edges, "edge");
+  name_tier(topo, topo.tree.nodes.hosts, "host");
+  return topo;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const ScenarioRunOptions& options) {
+  NamedTopology topo = build_topology(spec.topology);
+  const std::vector<NodeId>& hosts = topo.tree.nodes.hosts;
+  if (hosts.size() < 2) {
+    throw std::invalid_argument("scenario topology needs >= 2 hosts");
+  }
+
+  // Detection apps, tunable from the spec's `tune` directives.
+  MicroburstConfig micro_cfg;
+  micro_cfg.window =
+      static_cast<std::size_t>(tuned(spec, "microburst.window", 128));
+  micro_cfg.detection_quantile =
+      tuned(spec, "microburst.detection_quantile", 0.9);
+  micro_cfg.burst_factor = tuned(spec, "microburst.burst_factor", 4.0);
+  micro_cfg.min_baseline = static_cast<std::size_t>(
+      tuned(spec, "microburst.min_baseline", 256));
+  micro_cfg.min_queue = tuned(spec, "microburst.min_queue_kb", 0.0) * 1024.0;
+  AnomalyConfig anomaly_cfg;
+  anomaly_cfg.drift_allowance = tuned(spec, "anomaly.drift_allowance", 0.5);
+  anomaly_cfg.threshold = tuned(spec, "anomaly.threshold", 8.0);
+  anomaly_cfg.warmup =
+      static_cast<std::size_t>(tuned(spec, "anomaly.warmup", 64));
+
+  QueueTomography tomography(spec.seed ^ 0x70406);
+  TomographyObserver tomo_obs(tomography, "queue", "path");
+  MicroburstObserver micro_obs("queue", micro_cfg, spec.seed ^ 0xB0257);
+  AnomalyObserver anomaly_obs("latency", anomaly_cfg);
+  LoadAnalyzer analyzer(tuned(spec, "load.ewma_alpha", 0.05),
+                        spec.seed ^ 0x10AD);
+  LoadObserver load_obs(analyzer, "util", "path");
+  ReportEncoder encoder;
+  EncodingObserver enc_obs(encoder);
+
+  SimConfig cfg;
+  cfg.telemetry = TelemetryMode::kPint;
+  cfg.pint_full = true;
+  cfg.pint_bit_budget = spec.sim.bit_budget;
+  cfg.pint_frequency = spec.sim.pint_frequency;
+  cfg.transport = spec.sim.transport == "hpcc" ? TransportKind::kHpcc
+                                               : TransportKind::kTcpReno;
+  cfg.switch_buffer_bytes = spec.sim.buffer_bytes;
+  cfg.rto = spec.sim.rto;
+  cfg.host_bandwidth_bps = spec.sim.host_gbps * 1e9;
+  cfg.fabric_bandwidth_bps = spec.sim.fabric_gbps * 1e9;
+  cfg.seed = spec.seed;
+  cfg.framework_builder = [&](const SimConfig& c, const Graph& g,
+                              const std::vector<bool>& is_host) {
+    // Five-query detection mix (header comment): every set pairs the
+    // always-on path query with one value query, so mass must sum to 1.
+    const double f = c.pint_frequency;
+    const double queue_freq = 0.6 - f;
+    PathTracingConfig path_tuning;
+    path_tuning.bits = 8;
+    path_tuning.instances = 1;
+    path_tuning.d = 5;
+    DynamicAggregationConfig queue_tuning;
+    queue_tuning.max_value = static_cast<double>(c.switch_buffer_bytes);
+    DynamicAggregationConfig latency_tuning;
+    latency_tuning.max_value = 1e8;  // hop latencies in ns
+    DynamicAggregationConfig util_tuning;
+    util_tuning.max_value = Simulator::kUtilScale * 100.0;
+    PerPacketConfig cc_tuning;
+    cc_tuning.eps = 0.025;
+    cc_tuning.max_value = Simulator::kUtilScale * 100.0;
+    std::vector<std::uint64_t> universe;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (!is_host[n]) universe.push_back(n);
+    }
+    PintFramework::Builder builder;
+    builder.global_bit_budget(c.pint_bit_budget)
+        .seed(c.seed ^ 0x6040)
+        .switch_universe(std::move(universe))
+        .add_query(make_path_query("path", 8, 1.0, path_tuning))
+        .add_query(make_dynamic_query("queue",
+                                      std::string(extractor::kQueueOccupancy),
+                                      8, queue_freq, queue_tuning))
+        .add_query(make_dynamic_query("latency",
+                                      std::string(extractor::kHopLatency), 8,
+                                      0.30, latency_tuning))
+        .add_query(make_perpacket_query(
+            "hpcc", std::string(extractor::kLinkUtilization), 8, f,
+            cc_tuning))
+        .add_query(make_dynamic_query(
+            "util", std::string(extractor::kLinkUtilization), 8, 0.10,
+            util_tuning));
+    builder.add_observer(&tomo_obs)
+        .add_observer(&micro_obs)
+        .add_observer(&anomaly_obs)
+        .add_observer(&load_obs);
+    if (options.capture_report_bytes) builder.add_observer(&enc_obs);
+    return builder;
+  };
+
+  Simulator sim(topo.tree.graph, topo.is_host, cfg);
+
+  const TimeNs duration = static_cast<TimeNs>(
+      static_cast<double>(spec.sim.duration) * options.duration_scale);
+
+  // Background traffic.
+  std::optional<FlowSizeDist> dist;
+  if (spec.traffic.dist == "custom") {
+    dist.emplace(spec.name + "_custom", spec.traffic.custom_cdf);
+  } else {
+    FlowSizeDist named = FlowSizeDist::web_search();
+    if (!FlowSizeDist::named(spec.traffic.dist, named)) {
+      throw std::invalid_argument("unknown flow-size dist '" +
+                                  spec.traffic.dist + "'");
+    }
+    dist.emplace(std::move(named));
+  }
+  TrafficGenConfig traffic_cfg;
+  traffic_cfg.load = spec.traffic.load;
+  traffic_cfg.host_bandwidth_bps = cfg.host_bandwidth_bps;
+  traffic_cfg.num_hosts = static_cast<std::uint32_t>(hosts.size());
+  traffic_cfg.duration = duration;
+  traffic_cfg.seed = spec.seed;
+  traffic_cfg.zipf_s = spec.traffic.zipf_s;
+  const std::vector<FlowArrival> arrivals =
+      generate_traffic(traffic_cfg, *dist);
+  for (const FlowArrival& fa : arrivals) {
+    sim.add_flow(hosts[fa.src_host], hosts[fa.dst_host], fa.size, fa.start);
+  }
+
+  // Episodes: microburst storms become extra flows; link episodes become
+  // scripted state transitions applied between run_until segments.
+  std::vector<Transition> transitions;
+  std::size_t flows_total = arrivals.size();
+  // Long-lived probe flow into a victim host, started at t=0 from the far
+  // side of the host range. For a microburst it arms the detector baseline;
+  // for link episodes it guarantees foreground traffic across the faulted
+  // link — background traffic is heavy-tailed enough that a 2ms episode on
+  // one link can otherwise see no packets at all.
+  const auto add_probe = [&](const EpisodeSpec& ep) {
+    if (ep.probe_size == 0) return;
+    if (ep.victim_host >= hosts.size()) {
+      throw std::invalid_argument("episode victim_host out of range");
+    }
+    const std::uint32_t probe_src =
+        (ep.victim_host + static_cast<std::uint32_t>(hosts.size()) / 2) %
+        static_cast<std::uint32_t>(hosts.size());
+    sim.add_flow(hosts[probe_src], hosts[ep.victim_host], ep.probe_size, 0);
+    ++flows_total;
+  };
+  if (!options.suppress_episodes) {
+    for (const EpisodeSpec& ep : spec.episodes) {
+      switch (ep.kind) {
+        case EpisodeKind::kMicroburst: {
+          if (ep.victim_host >= hosts.size()) {
+            throw std::invalid_argument("microburst victim_host out of range");
+          }
+          // Incast: `flows` simultaneous senders, preferring hosts in other
+          // racks so the burst converges on the victim's edge downlink.
+          const std::uint32_t victim_rack =
+              topo.tree.host_rack[ep.victim_host];
+          std::vector<std::uint32_t> senders;
+          for (int pass = 0; pass < 2 && senders.size() < ep.flows; ++pass) {
+            for (std::uint32_t i = 0;
+                 i < hosts.size() && senders.size() < ep.flows; ++i) {
+              const std::uint32_t h =
+                  (ep.victim_host + 1 + i) %
+                  static_cast<std::uint32_t>(hosts.size());
+              if (h == ep.victim_host) continue;
+              const bool other_rack = topo.tree.host_rack[h] != victim_rack;
+              if (pass == 0 ? other_rack : !other_rack) senders.push_back(h);
+            }
+          }
+          for (const std::uint32_t s : senders) {
+            sim.add_flow(hosts[s], hosts[ep.victim_host], ep.flow_size,
+                         ep.at);
+            ++flows_total;
+          }
+          break;
+        }
+        case EpisodeKind::kLinkFailure: {
+          const auto [a, b] = resolve_link(topo, ep.link);
+          const double factor = ep.rate_factor;
+          transitions.push_back(
+              {ep.at, [&sim, a, b, factor] {
+                 sim.set_link_rate_factor(a, b, factor);
+               }});
+          if (ep.end > 0) {
+            transitions.push_back({ep.end, [&sim, a, b] {
+                                     sim.set_link_rate_factor(a, b, 1.0);
+                                   }});
+          }
+          break;
+        }
+        case EpisodeKind::kLossBurst: {
+          const auto [a, b] = resolve_link(topo, ep.link);
+          const double prob = ep.prob;
+          transitions.push_back({ep.at, [&sim, a, b, prob] {
+                                   sim.set_link_loss(a, b, prob);
+                                   sim.set_link_loss(b, a, prob);
+                                 }});
+          transitions.push_back({ep.end, [&sim, a, b] {
+                                   sim.set_link_loss(a, b, 0.0);
+                                   sim.set_link_loss(b, a, 0.0);
+                                 }});
+          break;
+        }
+        case EpisodeKind::kReorder: {
+          const auto [a, b] = resolve_link(topo, ep.link);
+          const TimeNs jitter = ep.jitter;
+          transitions.push_back({ep.at, [&sim, a, b, jitter] {
+                                   sim.set_link_reorder(a, b, jitter);
+                                   sim.set_link_reorder(b, a, jitter);
+                                 }});
+          transitions.push_back({ep.end, [&sim, a, b] {
+                                   sim.set_link_reorder(a, b, 0);
+                                   sim.set_link_reorder(b, a, 0);
+                                 }});
+          break;
+        }
+        case EpisodeKind::kPathFlap: {
+          const auto [a, b] = resolve_link(topo, ep.link);
+          const double factor = ep.rate_factor;
+          bool degraded = false;
+          std::size_t toggles = 0;
+          for (TimeNs t = ep.at; t < ep.end && toggles < 1000;
+               t += ep.period, ++toggles) {
+            degraded = !degraded;
+            const double f = degraded ? factor : 1.0;
+            transitions.push_back({t, [&sim, a, b, f] {
+                                     sim.set_link_rate_factor(a, b, f);
+                                   }});
+          }
+          transitions.push_back({ep.end, [&sim, a, b] {
+                                   sim.set_link_rate_factor(a, b, 1.0);
+                                 }});
+          break;
+        }
+      }
+      add_probe(ep);
+    }
+  }
+  std::stable_sort(transitions.begin(), transitions.end(),
+                   [](const Transition& x, const Transition& y) {
+                     return x.at < y.at;
+                   });
+  for (const Transition& tr : transitions) {
+    if (tr.at >= duration) break;
+    sim.run_until(tr.at);
+    tr.apply();
+    if (std::getenv("PINT_SCN_DEBUG") != nullptr) {
+      std::fprintf(stderr, "dbg transition applied at %lld\n",
+                   static_cast<long long>(tr.at));
+    }
+  }
+  sim.run_until(duration);
+
+  // Harvest results.
+  ScenarioResult result;
+  result.name = spec.name;
+  result.counters = sim.counters();
+  result.flows_total = flows_total;
+  for (const FlowStats& fs : sim.flow_stats()) {
+    if (fs.done) ++result.flows_completed;
+  }
+  result.microburst_events = micro_obs.events().size();
+  result.anomaly_events = anomaly_obs.events().size();
+
+  const std::vector<SwitchLoad> loads = analyzer.all_loads();
+  if (!loads.empty()) {
+    double sum = 0.0;
+    for (const SwitchLoad& l : loads) sum += l.mean_utilization;
+    result.mean_fabric_utilization =
+        sum / static_cast<double>(loads.size()) / Simulator::kUtilScale;
+  }
+
+  if (const char* dbg = std::getenv("PINT_SCN_DEBUG")) {
+    (void)dbg;
+    for (NodeId n = 0; n < topo.tree.graph.num_nodes(); ++n) {
+      if (topo.is_host[n]) continue;
+      const auto q50 = tomography.queue_quantile(n, 0.5);
+      const auto q99 = tomography.queue_quantile(n, 0.99);
+      std::fprintf(stderr, "dbg %s q50=%f q99=%f\n", topo.names[n].c_str(),
+                   q50.value_or(-1), q99.value_or(-1));
+    }
+  }
+  std::optional<SwitchId> hottest;
+  double hottest_q90 = -1.0;
+  for (NodeId n = 0; n < topo.tree.graph.num_nodes(); ++n) {
+    if (topo.is_host[n]) continue;
+    const auto q90 = tomography.queue_quantile(n, 0.9);
+    if (q90.has_value() && *q90 > hottest_q90) {
+      hottest_q90 = *q90;
+      hottest = n;
+    }
+  }
+  if (hottest.has_value()) result.hottest_switch = topo.names[*hottest];
+
+  // A burst event names (flow, hop); the tomography path registry re-keys
+  // it to the switch that produced the queue samples.
+  struct FiredBurst {
+    SwitchId at;
+    MicroburstEvent event;
+  };
+  const auto burst_switches = [&]() {
+    std::vector<FiredBurst> fired;
+    for (const MicroburstObserver::FlowBurst& fb : micro_obs.events()) {
+      const std::vector<SwitchId>* path =
+          tomography.flow_store().find(fb.flow);
+      if (path != nullptr && fb.event.hop >= 1 &&
+          fb.event.hop <= path->size()) {
+        fired.push_back({(*path)[fb.event.hop - 1], fb.event});
+      }
+    }
+    return fired;
+  };
+
+  for (const ExpectSpec& ex : spec.expects) {
+    ExpectOutcome outcome;
+    outcome.expect = ex;
+    std::ostringstream detail;
+    if (ex.what == "microburst_detected") {
+      const NodeId target = resolve_node(topo, ex.node);
+      const std::vector<FiredBurst> fired = burst_switches();
+      outcome.passed = std::any_of(
+          fired.begin(), fired.end(),
+          [target](const FiredBurst& fb) { return fb.at == target; });
+      detail << result.microburst_events << " burst events; fired at:";
+      for (const FiredBurst& fb : fired) {
+        detail << " " << topo.names[fb.at] << "(q" << fb.event.recent_quantile
+               << "/b" << fb.event.baseline_median << ")";
+      }
+    } else if (ex.what == "tomography_hotspot") {
+      resolve_node(topo, ex.node);  // validate the reference
+      outcome.passed = result.hottest_switch == ex.node;
+      detail << "hottest switch by p90 queue: "
+             << (result.hottest_switch.empty() ? "(none)"
+                                               : result.hottest_switch);
+    } else if (ex.what == "anomaly") {
+      outcome.passed = result.anomaly_events >= ex.min_events;
+      detail << result.anomaly_events << " anomaly events (need >= "
+             << ex.min_events << ")";
+    } else if (ex.what == "load") {
+      outcome.passed = result.mean_fabric_utilization >= ex.min_value &&
+                       result.mean_fabric_utilization <= ex.max_value;
+      detail << "mean fabric utilization " << result.mean_fabric_utilization
+             << " (band [" << ex.min_value << ", " << ex.max_value << "])";
+    } else if (ex.what == "deliveries") {
+      outcome.passed = result.counters.packets_delivered >= ex.min_events;
+      detail << result.counters.packets_delivered
+             << " packets delivered (need >= " << ex.min_events << ")";
+    } else if (ex.what == "injected_losses") {
+      outcome.passed = result.counters.packets_lost_injected >= ex.min_events;
+      detail << result.counters.packets_lost_injected
+             << " injected losses (need >= " << ex.min_events << ")";
+    } else {
+      outcome.passed = false;
+      detail << "unknown expect kind";
+    }
+    outcome.detail = detail.str();
+    result.outcomes.push_back(std::move(outcome));
+  }
+
+  if (options.capture_report_bytes) result.report_bytes = encoder.finish();
+  return result;
+}
+
+}  // namespace pint::scenario

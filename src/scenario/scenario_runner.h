@@ -1,0 +1,97 @@
+// Executes a parsed ScenarioSpec end to end: builds the topology, drives
+// CDF/Poisson/Zipf traffic and the scripted fault episodes through the
+// discrete-event simulator in full-framework PINT mode, feeds the four
+// telemetry apps (microburst, tomography, anomaly, load) as sink
+// observers, and evaluates the spec's `expect` directives against what
+// the apps actually detected.
+//
+// The runner swaps the simulator's default Section-6.4 query mix for a
+// five-query detection mix via SimConfig::framework_builder:
+//
+//   path    8b @ 1.00  (every packet; re-keys samples to switches)
+//   queue   8b @ rest  (dynamic queue occupancy -> microburst/tomography)
+//   latency 8b @ 0.30  (dynamic hop latency     -> anomaly CUSUM)
+//   hpcc    8b @ f     (per-packet utilization  -> congestion control)
+//   util    8b @ 0.10  (dynamic utilization     -> load analysis)
+//
+// with f = SimKnobs::pint_frequency (<= 0.5) and rest = 0.6 - f, so the
+// greedy Query Engine packs {path, X} pairs into a 16-bit global budget.
+//
+// Determinism: the same (spec, options) pair produces byte-identical
+// ScenarioResult::report_bytes — the encoded observer stream — across
+// runs; tests diff the bytes directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.h"
+#include "sim/simulator.h"
+#include "topology/fat_tree.h"
+
+namespace pint::scenario {
+
+// A generated topology with stable role+index node names ("core0", "agg1",
+// "edge2", "host3") matching the spec's `link=` / `switch=` references.
+struct NamedTopology {
+  FatTree tree;
+  std::vector<bool> is_host;
+  std::map<std::string, NodeId> by_name;
+  std::vector<std::string> names;  // NodeId -> name
+};
+
+// Throws std::invalid_argument only for specs that bypassed the parser's
+// range checks (a parsed-ok spec always builds).
+NamedTopology build_topology(const TopologySpec& spec);
+
+struct ScenarioRunOptions {
+  // Multiplies the spec's sim duration (bench full mode stretches the run
+  // to reach its packet floor; episode times are unscaled).
+  double duration_scale = 1.0;
+  // Control run: keep topology/traffic but skip every episode, to assert
+  // the detectors stay quiet without the injected faults.
+  bool suppress_episodes = false;
+  // Capture the encoded observer stream for byte-identical determinism
+  // checks (off in bench mode to keep memory flat).
+  bool capture_report_bytes = true;
+};
+
+struct ExpectOutcome {
+  ExpectSpec expect;
+  bool passed = false;
+  std::string detail;  // what was actually observed
+};
+
+struct ScenarioResult {
+  std::string name;
+  SimCounters counters;
+  std::size_t flows_total = 0;
+  std::size_t flows_completed = 0;
+
+  // App-level observations (also exposed raw so control runs can assert
+  // detectors stayed quiet without any expect directives).
+  std::size_t microburst_events = 0;
+  std::size_t anomaly_events = 0;
+  double mean_fabric_utilization = 0.0;  // across switches, as a fraction
+  std::string hottest_switch;            // by p90 queue depth ("" if none)
+
+  std::vector<ExpectOutcome> outcomes;
+  std::vector<std::uint8_t> report_bytes;
+
+  bool all_passed() const {
+    for (const ExpectOutcome& o : outcomes) {
+      if (!o.passed) return false;
+    }
+    return true;
+  }
+};
+
+// Runs the scenario to completion. Throws std::invalid_argument for specs
+// whose references do not resolve (unknown link/switch/host names) — the
+// parser cannot know the topology's size, so resolution happens here.
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const ScenarioRunOptions& options = {});
+
+}  // namespace pint::scenario

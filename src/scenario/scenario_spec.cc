@@ -1,0 +1,704 @@
+#include "scenario/scenario_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace pint::scenario {
+
+namespace {
+
+// Hard ceilings: a parsed-ok spec must describe a simulation a test
+// machine can actually run (the fuzz target parses arbitrary bytes).
+constexpr std::size_t kMaxSpecBytes = 1 << 20;
+constexpr std::size_t kMaxErrors = 64;
+constexpr std::size_t kMaxEpisodes = 64;
+constexpr std::size_t kMaxExpects = 64;
+constexpr std::size_t kMaxCdfPoints = 64;
+constexpr std::size_t kMaxTuning = 64;
+constexpr std::size_t kMaxNameLen = 64;
+
+struct Parser {
+  ScenarioSpec spec;
+  std::vector<ScenarioParseError> errors;
+  int line_no = 0;
+  bool have_scenario = false;
+  bool have_seed = false;
+  bool have_topology = false;
+  bool have_sim = false;
+  bool have_traffic = false;
+
+  void error(ParseErrorCode code, std::string message) {
+    if (errors.size() < kMaxErrors) {
+      errors.push_back({line_no, code, std::move(message)});
+    }
+  }
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end && !s.empty();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end && std::isfinite(out);
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+bool valid_name(std::string_view s) {
+  if (s.empty() || s.size() > kMaxNameLen) return false;
+  return std::all_of(s.begin(), s.end(), is_name_char);
+}
+
+// "edge0-agg1": two role+index node names joined by a dash.
+bool valid_link_name(std::string_view s) {
+  const std::size_t dash = s.find('-');
+  if (dash == std::string_view::npos || dash == 0 || dash + 1 >= s.size()) {
+    return false;
+  }
+  const auto valid_node = [](std::string_view node) {
+    static constexpr std::string_view kRoles[] = {"core", "agg", "edge",
+                                                  "host"};
+    for (const std::string_view role : kRoles) {
+      if (node.size() > role.size() && node.substr(0, role.size()) == role) {
+        std::uint64_t idx = 0;
+        return parse_u64(node.substr(role.size()), idx) && idx < 1'000'000;
+      }
+    }
+    return false;
+  };
+  return s.size() <= 2 * kMaxNameLen && valid_node(s.substr(0, dash)) &&
+         valid_node(s.substr(dash + 1));
+}
+
+// Splits "key=value"; returns false (and reports) on malformed tokens.
+bool split_kv(Parser& p, std::string_view token, std::string_view& key,
+              std::string_view& value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 > token.size()) {
+    p.error(ParseErrorCode::kBadValue,
+            "expected key=value, got '" + std::string(token) + "'");
+    return false;
+  }
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+struct KvReader {
+  Parser& p;
+  std::string_view directive;
+
+  bool u64(std::string_view key, std::string_view value, std::uint64_t lo,
+           std::uint64_t hi, std::uint64_t& out) {
+    std::uint64_t v = 0;
+    if (!parse_u64(value, v)) {
+      p.error(ParseErrorCode::kBadValue, std::string(directive) + " " +
+                                             std::string(key) +
+                                             ": not an integer");
+      return false;
+    }
+    if (v < lo || v > hi) {
+      std::ostringstream os;
+      os << directive << " " << key << "=" << v << " outside [" << lo << ", "
+         << hi << "]";
+      p.error(ParseErrorCode::kOutOfRange, os.str());
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  bool real(std::string_view key, std::string_view value, double lo, double hi,
+            double& out) {
+    double v = 0.0;
+    if (!parse_double(value, v)) {
+      p.error(ParseErrorCode::kBadValue, std::string(directive) + " " +
+                                             std::string(key) +
+                                             ": not a number");
+      return false;
+    }
+    if (v < lo || v > hi) {
+      std::ostringstream os;
+      os << directive << " " << key << "=" << v << " outside [" << lo << ", "
+         << hi << "]";
+      p.error(ParseErrorCode::kOutOfRange, os.str());
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  void unknown(std::string_view key) {
+    p.error(ParseErrorCode::kUnknownKey, std::string(directive) +
+                                             ": unknown key '" +
+                                             std::string(key) + "'");
+  }
+};
+
+void parse_topology(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (p.have_topology) {
+    p.error(ParseErrorCode::kDuplicate, "duplicate topology directive");
+    return;
+  }
+  p.have_topology = true;
+  if (tokens.size() < 2) {
+    p.error(ParseErrorCode::kMissingField, "topology needs a kind");
+    return;
+  }
+  TopologySpec& topo = p.spec.topology;
+  if (tokens[1] == "fat_tree") {
+    topo.kind = TopologyKind::kFatTree;
+  } else if (tokens[1] == "leaf_spine") {
+    topo.kind = TopologyKind::kLeafSpine;
+  } else {
+    p.error(ParseErrorCode::kUnknownKind,
+            "unknown topology '" + std::string(tokens[1]) + "'");
+    return;
+  }
+  KvReader kv{p, "topology"};
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    std::uint64_t v = 0;
+    if (topo.kind == TopologyKind::kFatTree) {
+      if (key == "k") {
+        if (kv.u64(key, value, 2, 16, v)) {
+          if (v % 2 != 0) {
+            p.error(ParseErrorCode::kOutOfRange, "topology k must be even");
+          } else {
+            topo.k = static_cast<unsigned>(v);
+          }
+        }
+      } else if (key == "pods") {
+        if (kv.u64(key, value, 1, 16, v)) topo.pods = static_cast<unsigned>(v);
+      } else if (key == "oversubscription") {
+        if (kv.u64(key, value, 1, 8, v)) {
+          topo.oversubscription = static_cast<unsigned>(v);
+        }
+      } else {
+        kv.unknown(key);
+      }
+    } else {
+      if (key == "leaves") {
+        if (kv.u64(key, value, 2, 64, v)) {
+          topo.leaves = static_cast<unsigned>(v);
+        }
+      } else if (key == "spines") {
+        if (kv.u64(key, value, 1, 64, v)) {
+          topo.spines = static_cast<unsigned>(v);
+        }
+      } else if (key == "hosts_per_leaf") {
+        if (kv.u64(key, value, 1, 64, v)) {
+          topo.hosts_per_leaf = static_cast<unsigned>(v);
+        }
+      } else {
+        kv.unknown(key);
+      }
+    }
+  }
+  if (topo.kind == TopologyKind::kFatTree && topo.pods > topo.k) {
+    p.error(ParseErrorCode::kOutOfRange, "topology pods must be <= k");
+  }
+}
+
+void parse_sim(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (p.have_sim) {
+    p.error(ParseErrorCode::kDuplicate, "duplicate sim directive");
+    return;
+  }
+  p.have_sim = true;
+  SimKnobs& sim = p.spec.sim;
+  KvReader kv{p, "sim"};
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    std::uint64_t v = 0;
+    double d = 0.0;
+    if (key == "budget") {
+      // >= 16 so every {path, X} query set of the runner's 8-bit-per-query
+      // mix fits the global budget (the Query Engine rejects tighter mixes).
+      if (kv.u64(key, value, 16, 64, v)) {
+        sim.bit_budget = static_cast<unsigned>(v);
+      }
+    } else if (key == "transport") {
+      if (value == "tcp" || value == "hpcc") {
+        sim.transport = std::string(value);
+      } else {
+        p.error(ParseErrorCode::kBadValue,
+                "sim transport must be tcp or hpcc");
+      }
+    } else if (key == "duration_ms") {
+      if (kv.u64(key, value, 1, 10'000, v)) {
+        sim.duration = static_cast<TimeNs>(v) * kMilli;
+      }
+    } else if (key == "buffer_kb") {
+      if (kv.u64(key, value, 16, 65'536, v)) {
+        sim.buffer_bytes = static_cast<Bytes>(v) * 1024;
+      }
+    } else if (key == "host_gbps") {
+      if (kv.real(key, value, 0.1, 400.0, d)) sim.host_gbps = d;
+    } else if (key == "fabric_gbps") {
+      if (kv.real(key, value, 0.1, 400.0, d)) sim.fabric_gbps = d;
+    } else if (key == "pint_frequency") {
+      // Capped at 0.5 so the runner's query mix keeps probability mass for
+      // the queue/latency/util detection queries.
+      if (kv.real(key, value, 0.01, 0.5, d)) sim.pint_frequency = d;
+    } else if (key == "rto_us") {
+      if (kv.u64(key, value, 100, 1'000'000, v)) {
+        sim.rto = static_cast<TimeNs>(v) * kMicro;
+      }
+    } else {
+      kv.unknown(key);
+    }
+  }
+}
+
+void parse_traffic(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (p.have_traffic) {
+    p.error(ParseErrorCode::kDuplicate, "duplicate traffic directive");
+    return;
+  }
+  p.have_traffic = true;
+  TrafficSpec& traffic = p.spec.traffic;
+  KvReader kv{p, "traffic"};
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    double d = 0.0;
+    if (key == "load") {
+      if (kv.real(key, value, 0.001, 0.999, d)) traffic.load = d;
+    } else if (key == "dist") {
+      if (value == "web_search" || value == "hadoop" || value == "custom") {
+        traffic.dist = std::string(value);
+      } else {
+        p.error(ParseErrorCode::kUnknownKind,
+                "traffic dist must be web_search, hadoop, or custom");
+      }
+    } else if (key == "zipf_s") {
+      if (kv.real(key, value, 0.0, 5.0, d)) traffic.zipf_s = d;
+    } else {
+      kv.unknown(key);
+    }
+  }
+}
+
+void parse_cdf_point(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (p.spec.traffic.custom_cdf.size() >= kMaxCdfPoints) {
+    p.error(ParseErrorCode::kOutOfRange, "too many cdf_point directives");
+    return;
+  }
+  CdfPoint point;
+  bool have_size = false, have_p = false;
+  KvReader kv{p, "cdf_point"};
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    std::uint64_t v = 0;
+    double d = 0.0;
+    if (key == "size") {
+      if (kv.u64(key, value, 1, 1'000'000'000, v)) {
+        point.size = static_cast<Bytes>(v);
+        have_size = true;
+      }
+    } else if (key == "p") {
+      if (kv.real(key, value, 1e-9, 1.0, d)) {
+        point.cum_prob = d;
+        have_p = true;
+      }
+    } else {
+      kv.unknown(key);
+    }
+  }
+  if (!have_size || !have_p) {
+    p.error(ParseErrorCode::kMissingField, "cdf_point needs size= and p=");
+    return;
+  }
+  p.spec.traffic.custom_cdf.push_back(point);
+}
+
+void parse_episode(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (p.spec.episodes.size() >= kMaxEpisodes) {
+    p.error(ParseErrorCode::kOutOfRange, "too many episodes");
+    return;
+  }
+  if (tokens.size() < 2) {
+    p.error(ParseErrorCode::kMissingField, "episode needs a kind");
+    return;
+  }
+  EpisodeSpec ep;
+  bool needs_link = true;
+  if (tokens[1] == "microburst") {
+    ep.kind = EpisodeKind::kMicroburst;
+    needs_link = false;
+  } else if (tokens[1] == "link_failure") {
+    ep.kind = EpisodeKind::kLinkFailure;
+  } else if (tokens[1] == "loss_burst") {
+    ep.kind = EpisodeKind::kLossBurst;
+  } else if (tokens[1] == "reorder") {
+    ep.kind = EpisodeKind::kReorder;
+  } else if (tokens[1] == "path_flap") {
+    ep.kind = EpisodeKind::kPathFlap;
+  } else {
+    p.error(ParseErrorCode::kUnknownKind,
+            "unknown episode '" + std::string(tokens[1]) + "'");
+    return;
+  }
+  KvReader kv{p, "episode"};
+  bool have_at = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    std::uint64_t v = 0;
+    double d = 0.0;
+    if (key == "at_ms") {
+      if (kv.u64(key, value, 0, 10'000, v)) {
+        ep.at = static_cast<TimeNs>(v) * kMilli;
+        have_at = true;
+      }
+    } else if (key == "end_ms" || key == "recover_ms") {
+      if (kv.u64(key, value, 0, 10'000, v)) {
+        ep.end = static_cast<TimeNs>(v) * kMilli;
+      }
+    } else if (key == "link") {
+      if (valid_link_name(value)) {
+        ep.link = std::string(value);
+      } else {
+        p.error(ParseErrorCode::kBadValue,
+                "episode link must look like edge0-agg1");
+      }
+    } else if (key == "rate_factor") {
+      if (kv.real(key, value, 1e-6, 1.0, d)) ep.rate_factor = d;
+    } else if (key == "prob") {
+      if (kv.real(key, value, 0.0, 1.0, d)) ep.prob = d;
+    } else if (key == "jitter_us") {
+      if (kv.u64(key, value, 1, 1'000'000, v)) {
+        ep.jitter = static_cast<TimeNs>(v) * kMicro;
+      }
+    } else if (key == "period_us") {
+      if (kv.u64(key, value, 1, 1'000'000, v)) {
+        ep.period = static_cast<TimeNs>(v) * kMicro;
+      }
+    } else if (key == "victim_host") {
+      if (kv.u64(key, value, 0, 1'000'000, v)) {
+        ep.victim_host = static_cast<unsigned>(v);
+      }
+    } else if (key == "flows") {
+      if (kv.u64(key, value, 1, 1024, v)) ep.flows = static_cast<unsigned>(v);
+    } else if (key == "size_kb") {
+      if (kv.u64(key, value, 1, 1'000'000, v)) {
+        ep.flow_size = static_cast<Bytes>(v) * 1000;
+      }
+    } else if (key == "probe_kb") {
+      if (kv.u64(key, value, 1, 1'000'000, v)) {
+        ep.probe_size = static_cast<Bytes>(v) * 1000;
+      }
+    } else {
+      kv.unknown(key);
+    }
+  }
+  if (!have_at) {
+    p.error(ParseErrorCode::kMissingField, "episode needs at_ms=");
+    return;
+  }
+  if (needs_link && ep.link.empty()) {
+    p.error(ParseErrorCode::kMissingField,
+            "episode " + std::string(tokens[1]) + " needs link=");
+    return;
+  }
+  if (ep.end != 0 && ep.end < ep.at) {
+    p.error(ParseErrorCode::kOutOfRange, "episode ends before it starts");
+    return;
+  }
+  if (ep.kind == EpisodeKind::kPathFlap && ep.period == 0) {
+    p.error(ParseErrorCode::kMissingField, "path_flap needs period_us=");
+    return;
+  }
+  if ((ep.kind == EpisodeKind::kLossBurst ||
+       ep.kind == EpisodeKind::kReorder ||
+       ep.kind == EpisodeKind::kPathFlap) &&
+      ep.end == 0) {
+    p.error(ParseErrorCode::kMissingField, "episode needs end_ms=");
+    return;
+  }
+  p.spec.episodes.push_back(std::move(ep));
+}
+
+void parse_expect(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (p.spec.expects.size() >= kMaxExpects) {
+    p.error(ParseErrorCode::kOutOfRange, "too many expects");
+    return;
+  }
+  if (tokens.size() < 2) {
+    p.error(ParseErrorCode::kMissingField, "expect needs a kind");
+    return;
+  }
+  ExpectSpec ex;
+  ex.what = std::string(tokens[1]);
+  const bool known =
+      ex.what == "microburst_detected" || ex.what == "tomography_hotspot" ||
+      ex.what == "anomaly" || ex.what == "load" || ex.what == "deliveries" ||
+      ex.what == "injected_losses";
+  if (!known) {
+    p.error(ParseErrorCode::kUnknownKind, "unknown expect '" + ex.what + "'");
+    return;
+  }
+  KvReader kv{p, "expect"};
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    std::uint64_t v = 0;
+    double d = 0.0;
+    if (key == "switch") {
+      if (valid_name(value)) {
+        ex.node = std::string(value);
+      } else {
+        p.error(ParseErrorCode::kBadValue, "expect switch: bad node name");
+      }
+    } else if (key == "min") {
+      if (kv.real(key, value, 0.0, 1e18, d)) ex.min_value = d;
+    } else if (key == "max") {
+      if (kv.real(key, value, 0.0, 1e18, d)) ex.max_value = d;
+    } else if (key == "min_events") {
+      if (kv.u64(key, value, 1, 1'000'000'000, v)) ex.min_events = v;
+    } else {
+      kv.unknown(key);
+    }
+  }
+  if ((ex.what == "microburst_detected" || ex.what == "tomography_hotspot") &&
+      ex.node.empty()) {
+    p.error(ParseErrorCode::kMissingField, "expect " + ex.what +
+                                               " needs switch=");
+    return;
+  }
+  if (ex.what == "load" && ex.max_value <= ex.min_value) {
+    p.error(ParseErrorCode::kOutOfRange, "expect load needs min= < max=");
+    return;
+  }
+  if ((ex.what == "deliveries" || ex.what == "injected_losses" ||
+       ex.what == "anomaly") &&
+      ex.min_events == 0) {
+    p.error(ParseErrorCode::kMissingField,
+            "expect " + ex.what + " needs min_events=");
+    return;
+  }
+  p.spec.expects.push_back(std::move(ex));
+}
+
+void parse_tune(Parser& p, const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 3) {
+    p.error(ParseErrorCode::kMissingField,
+            "tune needs an app name and key=value pairs");
+    return;
+  }
+  if (!valid_name(tokens[1])) {
+    p.error(ParseErrorCode::kBadValue, "tune: bad app name");
+    return;
+  }
+  KvReader kv{p, "tune"};
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(p, tokens[i], key, value)) continue;
+    if (!valid_name(key)) {
+      p.error(ParseErrorCode::kBadValue, "tune: bad key name");
+      continue;
+    }
+    double d = 0.0;
+    if (!kv.real(key, value, 0.0, 1e18, d)) continue;
+    if (p.spec.tuning.size() >= kMaxTuning) {
+      p.error(ParseErrorCode::kOutOfRange, "too many tune entries");
+      return;
+    }
+    p.spec.tuning[std::string(tokens[1]) + "." + std::string(key)] = d;
+  }
+}
+
+void validate_whole(Parser& p) {
+  p.line_no = 0;
+  if (!p.have_scenario) {
+    p.error(ParseErrorCode::kMissingSection, "missing scenario directive");
+  }
+  TrafficSpec& traffic = p.spec.traffic;
+  if (traffic.dist == "custom") {
+    if (traffic.custom_cdf.empty()) {
+      p.error(ParseErrorCode::kMissingSection,
+              "dist=custom needs cdf_point directives");
+    } else {
+      // Pre-validate what FlowSizeDist would reject so a parsed-ok spec
+      // never throws downstream.
+      const auto& cdf = traffic.custom_cdf;
+      for (std::size_t i = 1; i < cdf.size(); ++i) {
+        if (cdf[i].size < cdf[i - 1].size) {
+          p.error(ParseErrorCode::kOutOfRange,
+                  "custom CDF sizes must be non-decreasing");
+          break;
+        }
+        if (cdf[i].cum_prob <= cdf[i - 1].cum_prob) {
+          p.error(ParseErrorCode::kOutOfRange,
+                  "custom CDF probabilities must be strictly increasing");
+          break;
+        }
+      }
+      if (std::abs(cdf.back().cum_prob - 1.0) > 1e-9) {
+        p.error(ParseErrorCode::kOutOfRange,
+                "custom CDF must end at probability 1");
+      }
+    }
+  } else if (!traffic.custom_cdf.empty()) {
+    p.error(ParseErrorCode::kOutOfRange,
+            "cdf_point requires traffic dist=custom");
+  }
+  for (const EpisodeSpec& ep : p.spec.episodes) {
+    if (ep.at >= p.spec.sim.duration) {
+      p.error(ParseErrorCode::kOutOfRange,
+              "episode starts at or after sim duration");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(ParseErrorCode code) {
+  switch (code) {
+    case ParseErrorCode::kUnknownDirective: return "unknown-directive";
+    case ParseErrorCode::kUnknownKind: return "unknown-kind";
+    case ParseErrorCode::kUnknownKey: return "unknown-key";
+    case ParseErrorCode::kBadValue: return "bad-value";
+    case ParseErrorCode::kOutOfRange: return "out-of-range";
+    case ParseErrorCode::kMissingField: return "missing-field";
+    case ParseErrorCode::kDuplicate: return "duplicate";
+    case ParseErrorCode::kMissingSection: return "missing-section";
+  }
+  return "unknown";
+}
+
+ScenarioParseResult parse_scenario(std::string_view text) {
+  ScenarioParseResult result;
+  Parser p;
+  if (text.size() > kMaxSpecBytes) {
+    p.error(ParseErrorCode::kOutOfRange, "spec exceeds 1 MiB");
+    result.errors = std::move(p.errors);
+    return result;
+  }
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    ++p.line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::vector<std::string_view> tokens = tokenize(line);
+    const std::string_view directive = tokens[0];
+    if (directive == "scenario") {
+      if (p.have_scenario) {
+        p.error(ParseErrorCode::kDuplicate, "duplicate scenario directive");
+      } else if (tokens.size() != 2 || !valid_name(tokens[1])) {
+        p.error(ParseErrorCode::kBadValue,
+                "scenario needs one [A-Za-z0-9_-] name");
+      } else {
+        p.have_scenario = true;
+        p.spec.name = std::string(tokens[1]);
+      }
+    } else if (directive == "seed") {
+      std::uint64_t v = 0;
+      if (p.have_seed) {
+        p.error(ParseErrorCode::kDuplicate, "duplicate seed directive");
+      } else if (tokens.size() != 2 || !parse_u64(tokens[1], v)) {
+        p.error(ParseErrorCode::kBadValue, "seed needs one integer");
+      } else {
+        p.have_seed = true;
+        p.spec.seed = v;
+      }
+    } else if (directive == "topology") {
+      parse_topology(p, tokens);
+    } else if (directive == "sim") {
+      parse_sim(p, tokens);
+    } else if (directive == "traffic") {
+      parse_traffic(p, tokens);
+    } else if (directive == "cdf_point") {
+      parse_cdf_point(p, tokens);
+    } else if (directive == "episode") {
+      parse_episode(p, tokens);
+    } else if (directive == "expect") {
+      parse_expect(p, tokens);
+    } else if (directive == "tune") {
+      parse_tune(p, tokens);
+    } else {
+      p.error(ParseErrorCode::kUnknownDirective,
+              "unknown directive '" + std::string(directive) + "'");
+    }
+    if (p.errors.size() >= kMaxErrors) break;
+  }
+
+  validate_whole(p);
+  if (p.errors.empty()) {
+    result.spec = std::move(p.spec);
+  } else {
+    result.errors = std::move(p.errors);
+  }
+  return result;
+}
+
+ScenarioParseResult parse_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ScenarioParseResult result;
+    result.errors.push_back({0, ParseErrorCode::kMissingSection,
+                             "cannot read scenario file: " + path});
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  return parse_scenario(text);
+}
+
+}  // namespace pint::scenario

@@ -1,0 +1,165 @@
+// Declarative simulation scenarios (.scn files).
+//
+// The paper's evaluation (Sections 2, 6) is a matrix of topology x workload
+// x stress condition; this module makes that matrix data instead of code
+// (the BASEL principle from PAPERS.md: behavior under stress should come
+// from explicit declarative specifications). A ScenarioSpec composes a
+// parameterized topology, CDF-driven Poisson/Zipf traffic, scripted fault
+// episodes, and the *expected detections* — what the telemetry apps must
+// report for the scenario to pass.
+//
+// The format is line-based, one directive per line, `#` comments:
+//
+//   scenario  link_failure_demo
+//   seed      11
+//   topology  fat_tree k=4 oversubscription=1
+//   sim       budget=16 transport=tcp duration_ms=8 buffer_kb=256
+//   traffic   load=0.30 dist=web_search zipf_s=0.9
+//   episode   link_failure at_ms=2 recover_ms=6 link=edge0-agg0 rate_factor=0.02
+//   tune      microburst min_baseline=64
+//   expect    tomography_hotspot switch=edge0
+//
+// Parsing NEVER throws: malformed input produces typed ScenarioParseErrors
+// with line numbers (the fuzz target feeds arbitrary bytes through here).
+// Range limits on every knob keep a hostile spec from describing an
+// absurdly large simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/flow_size_dist.h"
+
+namespace pint::scenario {
+
+enum class ParseErrorCode : std::uint8_t {
+  kUnknownDirective,
+  kUnknownKind,     // bad topology/episode/expect kind token
+  kUnknownKey,      // key=value key not valid for this directive
+  kBadValue,        // token is not key=value, or value fails to parse
+  kOutOfRange,      // parsed fine but outside the accepted range
+  kMissingField,    // a required key never appeared
+  kDuplicate,       // a one-shot directive appeared twice
+  kMissingSection,  // spec ended without a mandatory directive
+};
+
+struct ScenarioParseError {
+  int line = 0;  // 1-based; 0 for whole-spec errors
+  ParseErrorCode code = ParseErrorCode::kBadValue;
+  std::string message;
+};
+
+const char* to_string(ParseErrorCode code);
+
+enum class TopologyKind : std::uint8_t { kFatTree, kLeafSpine };
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kFatTree;
+  // fat_tree knobs (topology/fat_tree.h FatTreeOptions)
+  unsigned k = 4;
+  unsigned pods = 0;  // 0 = all k
+  unsigned oversubscription = 1;
+  // leaf_spine knobs
+  unsigned leaves = 4;
+  unsigned spines = 4;
+  unsigned hosts_per_leaf = 4;
+};
+
+struct TrafficSpec {
+  double load = 0.3;                  // of aggregate host bandwidth
+  std::string dist = "web_search";    // named dist, or "custom"
+  double zipf_s = 0.0;                // pair-popularity skew (0 = uniform)
+  std::vector<CdfPoint> custom_cdf;   // rows from `cdf_point` directives
+};
+
+struct SimKnobs {
+  unsigned bit_budget = 16;
+  std::string transport = "tcp";      // "tcp" | "hpcc"
+  TimeNs duration = 8 * kMilli;
+  Bytes buffer_bytes = 256 * 1024;
+  double host_gbps = 10.0;
+  double fabric_gbps = 40.0;
+  double pint_frequency = 0.15;       // hpcc-query share of the mix
+  // Retransmission timeout. The simulator default (5ms) is over half a
+  // typical 8ms scenario: one un-recovered loss silences a flow for most
+  // of the run, so loss/failure scenarios set this to ~1ms.
+  TimeNs rto = 5 * kMilli;
+};
+
+enum class EpisodeKind : std::uint8_t {
+  kMicroburst,   // incast storm of `flows` x `size` into `victim_host`
+  kLinkFailure,  // degrade `link` to `rate_factor`, restore at `recover`
+  kLossBurst,    // random drops with `prob` on `link` during [at, end]
+  kReorder,      // extra jitter up to `jitter` on `link` during [at, end]
+  kPathFlap,     // toggle `link` between `rate_factor` and 1 every `period`
+};
+
+struct EpisodeSpec {
+  EpisodeKind kind = EpisodeKind::kMicroburst;
+  TimeNs at = 0;          // episode start
+  TimeNs end = 0;         // end / recovery time (0 = never for link_failure)
+  std::string link;       // "edge0-agg0" (role+index names, see runner)
+  double rate_factor = 0.02;
+  double prob = 0.2;
+  TimeNs jitter = 0;
+  TimeNs period = 0;      // path_flap toggle period
+  unsigned victim_host = 0;
+  unsigned flows = 8;
+  Bytes flow_size = 60'000;
+  // Microburst only: size of a long-lived "probe" flow to the victim,
+  // started at t=0 from a far host (0 = none). The probe's calm pre-storm
+  // queue samples arm the detector's baseline, so the storm registers as a
+  // change instead of being the flow's whole history.
+  Bytes probe_size = 0;
+};
+
+// What a passing run must have detected. `what` is one of:
+//   microburst_detected switch=<name>   — microburst app fired at <name>
+//   tomography_hotspot  switch=<name>   — hottest-queue ranking puts <name>
+//                                         first
+//   anomaly             min_events=<n>  — anomaly detector fired >= n times
+//   load                min=<f> max=<f> — mean fabric utilization in band
+//   deliveries          min=<n>         — sanity floor on delivered packets
+//   injected_losses     min=<n>         — the loss episode really dropped
+struct ExpectSpec {
+  std::string what;
+  std::string node;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::uint64_t min_events = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  TopologySpec topology;
+  TrafficSpec traffic;
+  SimKnobs sim;
+  std::vector<EpisodeSpec> episodes;
+  std::vector<ExpectSpec> expects;
+  // `tune <app> key=value` knobs, flattened to "app.key" -> value; the
+  // runner maps them onto detector configs (docs/SCENARIOS.md lists them).
+  std::map<std::string, double> tuning;
+};
+
+struct ScenarioParseResult {
+  std::optional<ScenarioSpec> spec;  // engaged iff errors is empty
+  std::vector<ScenarioParseError> errors;
+
+  bool ok() const { return spec.has_value(); }
+};
+
+// Parses a complete .scn document. Never throws; every problem is a typed
+// error naming its line. On any error the spec is absent.
+ScenarioParseResult parse_scenario(std::string_view text);
+
+// Reads `path` and parses it; an unreadable file is a kMissingSection
+// error on line 0.
+ScenarioParseResult parse_scenario_file(const std::string& path);
+
+}  // namespace pint::scenario

@@ -9,10 +9,7 @@ namespace pint {
 
 namespace {
 
-// Utilization is scaled before multiplicative compression so the interesting
-// range [~1e-4, ~10] maps onto codes the 8-bit budget can express
-// (Section 4.3: 8 bits support eps = 0.025).
-constexpr double kUtilScale = 1e4;
+constexpr double kUtilScale = Simulator::kUtilScale;
 constexpr double kLineEncoding = 66.0 / 64.0;  // IEEE 802.3 64b/66b
 
 std::uint64_t link_key(NodeId a, NodeId b) {
@@ -52,8 +49,12 @@ Simulator::Simulator(const Graph& topology, std::vector<bool> is_host,
   if (is_host_.size() != topology.num_nodes())
     throw std::invalid_argument("is_host size mismatch");
   if (config_.telemetry == TelemetryMode::kPint && config_.pint_full) {
-    framework_ = full_framework_builder(config_, topology, is_host_)
-                     .build_or_throw();
+    framework_ =
+        config_.framework_builder
+            ? config_.framework_builder(config_, topology, is_host_)
+                  .build_or_throw()
+            : full_framework_builder(config_, topology, is_host_)
+                  .build_or_throw();
   } else if (config_.telemetry == TelemetryMode::kPint) {
     PerPacketConfig pp;
     pp.bits = config_.pint_bit_budget;
@@ -125,6 +126,24 @@ const Simulator::DirectedLink* Simulator::find_link(NodeId a, NodeId b) const {
 double Simulator::link_utilization(NodeId from, NodeId to) const {
   const DirectedLink* l = find_link(from, to);
   return l == nullptr ? 0.0 : l->ewma_util;
+}
+
+void Simulator::set_link_rate_factor(NodeId a, NodeId b, double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("rate factor must be > 0");
+  link(a, b).rate_factor = factor;
+  link(b, a).rate_factor = factor;
+}
+
+void Simulator::set_link_loss(NodeId from, NodeId to, double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("loss probability in [0,1]");
+  }
+  link(from, to).loss_prob = probability;
+}
+
+void Simulator::set_link_reorder(NodeId from, NodeId to, TimeNs max_jitter) {
+  if (max_jitter < 0) throw std::invalid_argument("jitter must be >= 0");
+  link(from, to).reorder_jitter = max_jitter;
 }
 
 std::uint64_t Simulator::framework_flow_key(std::uint32_t flow_id) const {
@@ -249,8 +268,8 @@ void Simulator::start_transmission(DirectedLink& l) {
   }
   l.transmitting = true;
   const Bytes wire = l.queue.front().wire_bytes(config_);
-  const double ser_ns =
-      static_cast<double>(wire) * 8.0 * kLineEncoding / l.bandwidth_bps * 1e9;
+  const double ser_ns = static_cast<double>(wire) * 8.0 * kLineEncoding /
+                        (l.bandwidth_bps * l.rate_factor) * 1e9;
   DirectedLink* lp = &l;  // stable: unordered_map never erases
   queue_.after(static_cast<TimeNs>(ser_ns), [this, lp] {
     SimPacket pkt = std::move(lp->queue.front());
@@ -315,8 +334,20 @@ void Simulator::on_dequeue(DirectedLink& l, SimPacket pkt) {
   if (!is_host_[l.from]) apply_switch_telemetry(l, pkt, tau);
   l.tx_bytes += static_cast<double>(wire);
 
-  // Propagation to the next node.
-  queue_.after(l.prop_delay, [this, p = std::move(pkt)]() mutable {
+  // Fault injection: lossy-link episodes drop at dequeue (after telemetry,
+  // like a corrupted frame failing its FCS downstream of the egress pipe).
+  if (l.loss_prob > 0.0 && rng_.uniform() < l.loss_prob) {
+    ++counters_.packets_lost_injected;
+    return;
+  }
+
+  // Propagation to the next node (+ reordering jitter when injected).
+  TimeNs prop = l.prop_delay;
+  if (l.reorder_jitter > 0) {
+    prop += static_cast<TimeNs>(
+        rng_.uniform_int(static_cast<std::uint64_t>(l.reorder_jitter) + 1));
+  }
+  queue_.after(prop, [this, p = std::move(pkt)]() mutable {
     ++p.hop;
     p.node_arrival = queue_.now();
     deliver(std::move(p));

@@ -67,6 +67,17 @@ struct SimConfig {
   // in-simulator sink consumes.
   std::function<void(const Packet& packet, unsigned switch_hops)> sink_tap;
 
+  // Full-framework mode: replaces Simulator::full_framework_builder as the
+  // source of the PintFramework. Scenario runs use this to swap in a
+  // different query mix (e.g. adding queue-occupancy and utilization
+  // queries for the detection apps) and to attach observers before the
+  // simulator builds. The callback must honor `config.pint_bit_budget` or
+  // build_or_throw will reject the mix.
+  std::function<PintFramework::Builder(
+      const SimConfig& config, const Graph& topology,
+      const std::vector<bool>& is_host)>
+      framework_builder;
+
   // Fixed extra per-packet overhead in bytes (used by the Fig. 1/2 sweep
   // where overhead is the x-axis; applied when telemetry == kNone).
   Bytes extra_overhead_bytes = 0;
@@ -106,7 +117,8 @@ struct FlowStats {
 
 struct SimCounters {
   std::uint64_t packets_delivered = 0;
-  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_dropped = 0;      // tail drops (buffer overflow)
+  std::uint64_t packets_lost_injected = 0;  // fault-injected link losses
   std::uint64_t acks_delivered = 0;
   std::uint64_t telemetry_bytes_total = 0;
 };
@@ -129,6 +141,32 @@ class Simulator {
 
   // Telemetry introspection for tests: a link's current EWMA utilization.
   double link_utilization(NodeId from, NodeId to) const;
+
+  // Scale factor applied to EWMA utilization before digest compression
+  // (Section 4.3: maps the interesting range onto 8-bit codes). Public so
+  // load-tracking consumers can convert digested values back to fractions.
+  static constexpr double kUtilScale = 1e4;
+
+  // --- Fault injection (scenario episodes) -------------------------------
+  // All three take effect immediately for packets not yet serialized; call
+  // them from scheduled events to script failures mid-run.
+
+  // Degrades (or restores) the serialization rate of BOTH directions of the
+  // (a, b) edge. factor = 1 restores full rate; a small factor (e.g. 0.02)
+  // models a failing link: packets still trickle through, so egress
+  // telemetry keeps sampling the huge standing queue. Throws if no such
+  // edge or factor <= 0.
+  void set_link_rate_factor(NodeId a, NodeId b, double factor);
+
+  // Random drop probability at dequeue on the DIRECTED link from -> to
+  // (0 disables). Injected losses count in packets_lost_injected, not in
+  // packets_dropped.
+  void set_link_loss(NodeId from, NodeId to, double probability);
+
+  // Adds uniform random extra propagation delay in [0, max_jitter] per
+  // packet on the DIRECTED link from -> to (0 disables), reordering
+  // deliveries inside the window.
+  void set_link_reorder(NodeId from, NodeId to, TimeNs max_jitter);
 
   // Full-framework mode: the Recording/Inference state accumulated by the
   // sink, and the framework flow key of a simulated flow.
@@ -184,6 +222,11 @@ class Simulator {
     double ewma_util = 0.0;
     double tx_bytes = 0.0;       // cumulative
     TimeNs last_dequeue = 0;
+
+    // Fault-injection state (scenario episodes).
+    double rate_factor = 1.0;    // serialization-rate multiplier
+    double loss_prob = 0.0;      // random drop probability at dequeue
+    TimeNs reorder_jitter = 0;   // max extra propagation delay
   };
 
   struct FlowState {

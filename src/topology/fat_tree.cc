@@ -6,12 +6,26 @@
 namespace pint {
 
 FatTree make_fat_tree(unsigned k, bool with_hosts) {
+  FatTreeOptions options;
+  options.k = k;
+  options.with_hosts = with_hosts;
+  return make_fat_tree(options);
+}
+
+FatTree make_fat_tree(const FatTreeOptions& options) {
+  const unsigned k = options.k;
   if (k < 2 || k % 2 != 0) throw std::invalid_argument("k_ary even, >= 2");
+  const unsigned pods = options.pods == 0 ? k : options.pods;
+  if (pods > k) throw std::invalid_argument("pods <= k");
+  if (options.oversubscription < 1) {
+    throw std::invalid_argument("oversubscription >= 1");
+  }
   const unsigned half = k / 2;
+  const unsigned hosts_per_edge = half * options.oversubscription;
   const unsigned num_core = half * half;
-  const unsigned num_agg = k * half;
-  const unsigned num_edge = k * half;
-  const unsigned num_host = with_hosts ? num_edge * half : 0;
+  const unsigned num_agg = pods * half;
+  const unsigned num_edge = pods * half;
+  const unsigned num_host = options.with_hosts ? num_edge * hosts_per_edge : 0;
 
   FatTree ft{Graph(num_core + num_agg + num_edge + num_host), {}, {}};
   NodeId next = 0;
@@ -21,7 +35,7 @@ FatTree make_fat_tree(unsigned k, bool with_hosts) {
   for (unsigned i = 0; i < num_host; ++i) ft.nodes.hosts.push_back(next++);
 
   // Pod structure: pod p owns aggs [p*half, (p+1)*half) and same for edges.
-  for (unsigned pod = 0; pod < k; ++pod) {
+  for (unsigned pod = 0; pod < pods; ++pod) {
     for (unsigned a = 0; a < half; ++a) {
       const NodeId agg = ft.nodes.aggs[pod * half + a];
       // Each agg connects to `half` cores: core group a.
@@ -34,14 +48,42 @@ FatTree make_fat_tree(unsigned k, bool with_hosts) {
       }
     }
   }
-  if (with_hosts) {
+  if (options.with_hosts) {
     ft.host_rack.resize(num_host);
     for (unsigned e = 0; e < num_edge; ++e) {
-      for (unsigned h = 0; h < half; ++h) {
-        const unsigned host_idx = e * half + h;
+      for (unsigned h = 0; h < hosts_per_edge; ++h) {
+        const unsigned host_idx = e * hosts_per_edge + h;
         ft.graph.add_edge(ft.nodes.edges[e], ft.nodes.hosts[host_idx]);
         ft.host_rack[host_idx] = e;
       }
+    }
+  }
+  return ft;
+}
+
+FatTree make_leaf_spine(unsigned leaves, unsigned spines,
+                        unsigned hosts_per_leaf) {
+  if (leaves < 2) throw std::invalid_argument("leaves >= 2");
+  if (spines < 1) throw std::invalid_argument("spines >= 1");
+  if (hosts_per_leaf < 1) throw std::invalid_argument("hosts_per_leaf >= 1");
+  const unsigned num_host = leaves * hosts_per_leaf;
+
+  // Spines fill the `cores` tier; the agg tier is empty (two switch tiers).
+  FatTree ft{Graph(spines + leaves + num_host), {}, {}};
+  NodeId next = 0;
+  for (unsigned i = 0; i < spines; ++i) ft.nodes.cores.push_back(next++);
+  for (unsigned i = 0; i < leaves; ++i) ft.nodes.edges.push_back(next++);
+  for (unsigned i = 0; i < num_host; ++i) ft.nodes.hosts.push_back(next++);
+
+  for (NodeId leaf : ft.nodes.edges) {
+    for (NodeId spine : ft.nodes.cores) ft.graph.add_edge(leaf, spine);
+  }
+  ft.host_rack.resize(num_host);
+  for (unsigned l = 0; l < leaves; ++l) {
+    for (unsigned h = 0; h < hosts_per_leaf; ++h) {
+      const unsigned host_idx = l * hosts_per_leaf + h;
+      ft.graph.add_edge(ft.nodes.edges[l], ft.nodes.hosts[host_idx]);
+      ft.host_rack[host_idx] = l;
     }
   }
   return ft;

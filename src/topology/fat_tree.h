@@ -33,6 +33,30 @@ struct FatTree {
 // Canonical K-ary fat-tree; K must be even.
 FatTree make_fat_tree(unsigned k_ary, bool with_hosts = true);
 
+// Parameterized fat-tree for scenario specs. Departs from the canonical
+// tree on two knobs:
+//  * `pods` — build only this many pods (default 0 = all K). Fewer pods
+//    shrink the tree without changing per-pod wiring, so path shapes
+//    (host-edge-agg-core-agg-edge-host) are preserved.
+//  * `oversubscription` — host-side fan-out multiplier at the edge tier:
+//    each edge switch serves (K/2) * oversubscription hosts (default 1 =
+//    rearrangeably non-blocking). 2 means a 2:1 oversubscribed edge, the
+//    common datacenter shape where the access tier can offer twice the
+//    uplink capacity.
+struct FatTreeOptions {
+  unsigned k = 4;
+  unsigned pods = 0;              // 0 = k pods (canonical)
+  unsigned oversubscription = 1;  // hosts per edge = (k/2) * this
+  bool with_hosts = true;
+};
+FatTree make_fat_tree(const FatTreeOptions& options);
+
+// Two-tier leaf-spine (Clos) fabric: every leaf connects to every spine,
+// `hosts_per_leaf` hosts per leaf. Switch paths are host-leaf-spine-leaf-
+// host (3 switch hops) — the small-diameter counterpart to the fat-tree.
+FatTree make_leaf_spine(unsigned leaves, unsigned spines,
+                        unsigned hosts_per_leaf);
+
 // The HPCC evaluation topology of Section 6.1 (scaled by `scale` in (0,1]
 // for faster simulation: scale=0.5 halves every tier, min 1 per tier).
 FatTree make_hpcc_fat_tree(double scale = 1.0);

@@ -1,5 +1,6 @@
 #include "workload/flow_size_dist.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,76 +8,110 @@ namespace pint {
 
 FlowSizeDist::FlowSizeDist(std::string name, std::vector<Bytes> deciles,
                            Bytes min_size)
-    : name_(std::move(name)), deciles_(std::move(deciles)),
-      min_size_(min_size) {
-  if (deciles_.size() != 10) throw std::invalid_argument("10 deciles");
-  for (std::size_t i = 1; i < deciles_.size(); ++i) {
-    if (deciles_[i] < deciles_[i - 1])
-      throw std::invalid_argument("deciles must be ascending");
+    : name_(std::move(name)), min_size_(min_size) {
+  if (deciles.size() != 10) throw std::invalid_argument("10 deciles");
+  cdf_.reserve(deciles.size());
+  for (std::size_t i = 0; i < deciles.size(); ++i) {
+    cdf_.push_back(CdfPoint{deciles[i], (static_cast<double>(i) + 1.0) / 10.0});
   }
-  // Mean via the same log-linear interpolation used by sample(): numeric
-  // integration over the CDF.
-  double sum = 0.0;
-  const int steps = 10000;
-  Rng probe(12345);
-  for (int i = 0; i < steps; ++i) {
-    // Stratified probe of the inverse CDF.
-    const double u = (i + 0.5) / steps;
-    Rng local(probe.next());
-    (void)local;
-    // Reuse sampling logic deterministically.
-    const double pos = u * 10.0;
-    auto idx = static_cast<std::size_t>(pos);
-    double lo, hi;
-    if (idx == 0) {
-      lo = static_cast<double>(min_size_);
-      hi = static_cast<double>(deciles_[0]);
-    } else if (idx >= 9) {
-      lo = static_cast<double>(deciles_[8]);
-      hi = static_cast<double>(deciles_[9]);
-      idx = 9;
-    } else {
-      lo = static_cast<double>(deciles_[idx - 1]);
-      hi = static_cast<double>(deciles_[idx]);
-    }
-    const double frac = pos - static_cast<double>(idx);
-    sum += lo * std::pow(hi / lo, frac);
-  }
-  mean_ = sum / steps;
+  validate_and_finish();
 }
 
-Bytes FlowSizeDist::sample(Rng& rng) const {
-  const double u = rng.uniform();
-  const double pos = u * 10.0;
-  auto idx = static_cast<std::size_t>(pos);
-  double lo, hi;
-  if (idx == 0) {
-    lo = static_cast<double>(min_size_);
-    hi = static_cast<double>(deciles_[0]);
-  } else if (idx >= 9) {
-    lo = static_cast<double>(deciles_[8]);
-    hi = static_cast<double>(deciles_[9]);
-    idx = 9;
-  } else {
-    lo = static_cast<double>(deciles_[idx - 1]);
-    hi = static_cast<double>(deciles_[idx]);
+FlowSizeDist::FlowSizeDist(std::string name, std::vector<CdfPoint> cdf,
+                           Bytes min_size)
+    : name_(std::move(name)), cdf_(std::move(cdf)), min_size_(min_size) {
+  validate_and_finish();
+}
+
+void FlowSizeDist::validate_and_finish() {
+  if (cdf_.empty()) throw std::invalid_argument("empty CDF table");
+  if (min_size_ <= 0) throw std::invalid_argument("min_size must be positive");
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    if (cdf_[i].size <= 0) {
+      throw std::invalid_argument("CDF sizes must be positive");
+    }
+    if (!(cdf_[i].cum_prob > 0.0) || cdf_[i].cum_prob > 1.0) {
+      throw std::invalid_argument("CDF probabilities must lie in (0, 1]");
+    }
+    if (i > 0) {
+      if (cdf_[i].size < cdf_[i - 1].size) {
+        throw std::invalid_argument("CDF sizes must be non-decreasing");
+      }
+      if (cdf_[i].cum_prob <= cdf_[i - 1].cum_prob) {
+        throw std::invalid_argument(
+            "CDF probabilities must be strictly increasing");
+      }
+    }
   }
-  const double frac = pos - static_cast<double>(idx);
-  const double size = lo * std::pow(hi / lo, frac);
-  return std::max<Bytes>(min_size_, static_cast<Bytes>(size));
+  if (std::abs(cdf_.back().cum_prob - 1.0) > 1e-9) {
+    throw std::invalid_argument("CDF must end at cumulative probability 1");
+  }
+  cdf_.back().cum_prob = 1.0;
+  if (min_size_ > cdf_.front().size) {
+    throw std::invalid_argument("min_size exceeds the first CDF size");
+  }
+
+  sizes_.reserve(cdf_.size());
+  probs_.reserve(cdf_.size());
+  for (const CdfPoint& p : cdf_) {
+    sizes_.push_back(p.size);
+    probs_.push_back(p.cum_prob);
+  }
+
+  // Mean via stratified probes of the inverse CDF (numeric integration).
+  double sum = 0.0;
+  const int steps = 10000;
+  for (int i = 0; i < steps; ++i) {
+    sum += static_cast<double>(sample_at((i + 0.5) / steps));
+  }
+  mean_ = sum / steps;
+
+  deciles_.resize(10);
+  for (int d = 1; d <= 10; ++d) deciles_[d - 1] = sample_at(d / 10.0);
+}
+
+Bytes FlowSizeDist::sample_at(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  // Inclusive tail: at (or beyond) the final probability, return the
+  // maximum size exactly — interpolation rounding must not shave it.
+  if (u >= probs_.back()) return sizes_.back();
+  const auto it = std::lower_bound(probs_.begin(), probs_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - probs_.begin());
+  const double lo_p = idx == 0 ? 0.0 : probs_[idx - 1];
+  const double lo_s =
+      static_cast<double>(idx == 0 ? min_size_ : sizes_[idx - 1]);
+  const double hi_s = static_cast<double>(sizes_[idx]);
+  const double frac = (u - lo_p) / (probs_[idx] - lo_p);
+  const double size = lo_s == hi_s ? lo_s : lo_s * std::pow(hi_s / lo_s, frac);
+  return std::clamp(static_cast<Bytes>(size), min_size_, sizes_.back());
 }
 
 FlowSizeDist FlowSizeDist::web_search() {
   // Fig. 7b tick marks = deciles of the DCTCP web-search distribution.
   return FlowSizeDist("web_search",
-                      {7'000, 20'000, 30'000, 50'000, 73'000, 197'000,
-                       989'000, 2'000'000, 5'000'000, 30'000'000});
+                      std::vector<Bytes>{7'000, 20'000, 30'000, 50'000, 73'000,
+                                         197'000, 989'000, 2'000'000,
+                                         5'000'000, 30'000'000});
 }
 
 FlowSizeDist FlowSizeDist::hadoop() {
   // Fig. 7c tick marks = deciles of the Facebook Hadoop distribution.
-  return FlowSizeDist("hadoop", {324, 399, 500, 599, 699, 999, 7'000, 46'000,
-                                 120'000, 10'000'000});
+  return FlowSizeDist("hadoop",
+                      std::vector<Bytes>{324, 399, 500, 599, 699, 999, 7'000,
+                                         46'000, 120'000, 10'000'000},
+                      100);
+}
+
+bool FlowSizeDist::named(const std::string& name, FlowSizeDist& out) {
+  if (name == "web_search") {
+    out = web_search();
+    return true;
+  }
+  if (name == "hadoop") {
+    out = hadoop();
+    return true;
+  }
+  return false;
 }
 
 }  // namespace pint

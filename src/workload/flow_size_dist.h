@@ -2,10 +2,19 @@
 //
 // The paper draws flow sizes from the web-search workload of DCTCP
 // (Alizadeh et al., reference [3]) and the Hadoop workload measured at
-// Facebook (Roy et al., reference [62]). We encode each distribution by its
-// deciles — exactly the tick marks of Figs. 7b/7c, which the paper chose
-// "such that there are 10% of the flows between consecutive tick marks" —
-// and sample by log-linear interpolation between deciles.
+// Facebook (Roy et al., reference [62]). The canonical encodings are the
+// deciles of Figs. 7b/7c — the paper chose the tick marks "such that there
+// are 10% of the flows between consecutive tick marks" — but scenario specs
+// may supply arbitrary empirical CDF tables (size, cumulative probability),
+// so the general representation is a validated CDF with log-linear
+// interpolation between table points.
+//
+// Validation is strict and typed: an empty table, a zero size, a
+// non-monotone size or probability column, or a final probability other
+// than 1 is a std::invalid_argument at construction — never UB at sample
+// time. A single-bucket table is legal and degenerates to a (near) point
+// mass. Sampling is inclusive at the tail: sample_at(1.0) returns exactly
+// the table's maximum size.
 #pragma once
 
 #include <cstdint>
@@ -17,27 +26,63 @@
 
 namespace pint {
 
+/// One empirical-CDF table row: `cum_prob` of all flows are of size
+/// `size` bytes or smaller.
+struct CdfPoint {
+  Bytes size = 0;
+  double cum_prob = 0.0;
+};
+
 class FlowSizeDist {
  public:
-  // `deciles[i]` = flow size at CDF (i+1)/10; 10 entries, ascending.
+  /// `deciles[i]` = flow size at CDF (i+1)/10; 10 entries, ascending.
   FlowSizeDist(std::string name, std::vector<Bytes> deciles,
                Bytes min_size = 100);
 
-  Bytes sample(Rng& rng) const;
+  /// General empirical CDF: sizes ascending, probabilities strictly
+  /// ascending in (0, 1], last probability exactly 1 (within 1e-9).
+  /// `min_size` anchors the first bucket and must not exceed the first
+  /// table size. Throws std::invalid_argument on any malformed table.
+  FlowSizeDist(std::string name, std::vector<CdfPoint> cdf,
+               Bytes min_size = 100);
+
+  Bytes sample(Rng& rng) const { return sample_at(rng.uniform()); }
+
+  /// Deterministic inverse CDF: the flow size at cumulative probability
+  /// `u` (clamped into [0, 1]). Log-linear interpolation between table
+  /// points; u = 1 returns exactly max_size() (inclusive upper bound).
+  Bytes sample_at(double u) const;
 
   double mean() const { return mean_; }
   const std::string& name() const { return name_; }
+  Bytes min_size() const { return min_size_; }
+  Bytes max_size() const { return sizes_.back(); }
+
+  /// Deciles of the distribution (synthesized through sample_at for
+  /// general CDF tables).
   const std::vector<Bytes>& deciles() const { return deciles_; }
+
+  /// The CDF table this distribution samples from.
+  const std::vector<CdfPoint>& cdf() const { return cdf_; }
 
   // The two paper workloads (deciles from Fig. 7b / 7c tick marks).
   static FlowSizeDist web_search();
   static FlowSizeDist hadoop();
 
+  /// Looks up a built-in distribution ("web_search", "hadoop") by name;
+  /// returns false and leaves `out` untouched for unknown names.
+  static bool named(const std::string& name, FlowSizeDist& out);
+
  private:
+  void validate_and_finish();
+
   std::string name_;
+  std::vector<CdfPoint> cdf_;
+  std::vector<Bytes> sizes_;    // cdf_ sizes, for cheap access
+  std::vector<double> probs_;   // cdf_ cumulative probabilities
   std::vector<Bytes> deciles_;
   Bytes min_size_;
-  double mean_;
+  double mean_ = 0.0;
 };
 
 }  // namespace pint

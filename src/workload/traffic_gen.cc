@@ -1,7 +1,10 @@
 #include "workload/traffic_gen.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+
+#include "workload/zipf.h"
 
 namespace pint {
 
@@ -10,7 +13,18 @@ std::vector<FlowArrival> generate_traffic(const TrafficGenConfig& config,
   if (config.num_hosts < 2) throw std::invalid_argument(">= 2 hosts");
   if (config.load <= 0.0 || config.load >= 1.0)
     throw std::invalid_argument("load in (0,1)");
+  if (config.zipf_s < 0.0) throw std::invalid_argument("zipf_s must be >= 0");
   Rng rng(config.seed ^ 0x7AFF1CULL);
+
+  // Zipf pair popularity: rank r in [1, H*(H-1)] maps to the ordered host
+  // pair (idx / (H-1), skip-diagonal idx % (H-1)), so rank 1 is the single
+  // hottest pair and the tail pairs are almost never chosen.
+  std::unique_ptr<ZipfDist> pair_zipf;
+  if (config.zipf_s > 0.0) {
+    const std::uint64_t num_pairs =
+        static_cast<std::uint64_t>(config.num_hosts) * (config.num_hosts - 1);
+    pair_zipf = std::make_unique<ZipfDist>(num_pairs, config.zipf_s);
+  }
 
   // Aggregate flow arrival rate: load * total_capacity / mean_flow_size.
   const double total_capacity_Bps =
@@ -26,11 +40,20 @@ std::vector<FlowArrival> generate_traffic(const TrafficGenConfig& config,
     FlowArrival fa;
     fa.start = static_cast<TimeNs>(t * 1e9);
     fa.size = dist.sample(rng);
-    fa.src_host = static_cast<std::uint32_t>(rng.uniform_int(config.num_hosts));
-    do {
-      fa.dst_host =
+    if (pair_zipf) {
+      const std::uint64_t idx = pair_zipf->sample(rng) - 1;
+      fa.src_host = static_cast<std::uint32_t>(idx / (config.num_hosts - 1));
+      const std::uint32_t dst_r =
+          static_cast<std::uint32_t>(idx % (config.num_hosts - 1));
+      fa.dst_host = dst_r + (dst_r >= fa.src_host ? 1 : 0);
+    } else {
+      fa.src_host =
           static_cast<std::uint32_t>(rng.uniform_int(config.num_hosts));
-    } while (fa.dst_host == fa.src_host);
+      do {
+        fa.dst_host =
+            static_cast<std::uint32_t>(rng.uniform_int(config.num_hosts));
+      } while (fa.dst_host == fa.src_host);
+    }
     arrivals.push_back(fa);
   }
   return arrivals;

@@ -26,6 +26,11 @@ struct TrafficGenConfig {
   std::uint32_t num_hosts = 64;
   TimeNs duration = 10 * kMilli;
   std::uint64_t seed = 7;
+  // When > 0, (src, dst) pairs are drawn from a Zipf distribution with this
+  // skew over the num_hosts*(num_hosts-1) ordered host pairs instead of
+  // uniformly — a few hot pairs carry most flows (elephant communication
+  // patterns). 0 keeps the paper's uniform "random servers" choice.
+  double zipf_s = 0.0;
 };
 
 // All flow arrivals for the run, sorted by start time. Load is defined

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "workload/flow_size_dist.h"
+#include "workload/zipf.h"
 #include "workload/traffic_gen.h"
 
 namespace pint {
@@ -104,6 +109,109 @@ TEST(TrafficGen, RejectsBadConfig) {
   cfg.load = 1.5;
   EXPECT_THROW(generate_traffic(cfg, FlowSizeDist::hadoop()),
                std::invalid_argument);
+}
+
+// ---- Statistical closeness: the generators must actually produce the
+// ---- distributions they claim, not just plausible-looking numbers.
+
+TEST(WorkloadStats, SampledCdfIsKolmogorovCloseToTable) {
+  // One-sided empirical check at every table knot: |F_n(size) - F(size)|
+  // must stay within a KS-style band. 200k samples put the 1% critical
+  // value near 0.0036; 0.01 leaves slack for log-linear interpolation.
+  for (const FlowSizeDist& dist :
+       {FlowSizeDist::web_search(), FlowSizeDist::hadoop()}) {
+    Rng rng(42);
+    const int n = 200'000;
+    std::vector<Bytes> samples;
+    samples.reserve(n);
+    for (int i = 0; i < n; ++i) samples.push_back(dist.sample(rng));
+    std::sort(samples.begin(), samples.end());
+    for (const CdfPoint& knot : dist.cdf()) {
+      const auto below = std::upper_bound(samples.begin(), samples.end(),
+                                          knot.size) -
+                         samples.begin();
+      const double empirical = static_cast<double>(below) / n;
+      EXPECT_NEAR(empirical, knot.cum_prob, 0.01)
+          << dist.name() << " at size " << knot.size;
+    }
+  }
+}
+
+TEST(WorkloadStats, PoissonInterArrivalsAreExponential) {
+  // Poisson process => i.i.d. exponential gaps: mean ~= horizon/N and the
+  // coefficient of variation ~= 1 (a periodic generator would give ~0, a
+  // bursty one >> 1). Both are strong fingerprints at N ~ thousands.
+  TrafficGenConfig cfg;
+  cfg.load = 0.5;
+  cfg.num_hosts = 32;
+  cfg.duration = 200 * kMilli;
+  cfg.seed = 13;
+  const auto arrivals = generate_traffic(cfg, FlowSizeDist::web_search());
+  ASSERT_GT(arrivals.size(), 1000u);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(static_cast<double>(arrivals[i].start) -
+                   static_cast<double>(arrivals[i - 1].start));
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  const double expected_mean =
+      static_cast<double>(cfg.duration) / static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean / expected_mean, 1.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.1);  // CV of an exponential is 1
+}
+
+TEST(WorkloadStats, ZipfRankFrequencySlopeMatchesSkew) {
+  // log f(r) vs log r must be a line of slope -s. Least-squares fit over
+  // the 20 most popular ranks (each with thousands of hits at N=400k).
+  const double s = 1.2;
+  const std::uint64_t n = 1000;
+  ZipfDist zipf(n, s);
+  Rng rng(99);
+  std::vector<std::uint64_t> hits(n, 0);
+  const int samples = 400'000;
+  for (int i = 0; i < samples; ++i) ++hits[zipf.sample(rng) - 1];
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const int top = 20;
+  for (int r = 1; r <= top; ++r) {
+    ASSERT_GT(hits[r - 1], 100u) << "rank " << r;
+    const double x = std::log(static_cast<double>(r));
+    const double y = std::log(static_cast<double>(hits[r - 1]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope = (top * sxy - sx * sy) / (top * sxx - sx * sx);
+  EXPECT_NEAR(slope, -s, 0.1);
+}
+
+TEST(WorkloadStats, ZipfPairSkewConcentratesTraffic) {
+  // With pair-popularity skew the hottest ordered pair must carry a far
+  // larger flow share than the uniform 1/(H*(H-1)) baseline.
+  TrafficGenConfig cfg;
+  cfg.load = 0.5;
+  cfg.num_hosts = 16;
+  cfg.duration = 100 * kMilli;
+  cfg.seed = 21;
+  cfg.zipf_s = 1.2;
+  const auto arrivals = generate_traffic(cfg, FlowSizeDist::hadoop());
+  ASSERT_GT(arrivals.size(), 500u);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> count;
+  for (const auto& fa : arrivals) {
+    EXPECT_NE(fa.src_host, fa.dst_host);
+    ++count[{fa.src_host, fa.dst_host}];
+  }
+  std::size_t hottest = 0;
+  for (const auto& [pair, c] : count) hottest = std::max(hottest, c);
+  const double share =
+      static_cast<double>(hottest) / static_cast<double>(arrivals.size());
+  const double uniform_share = 1.0 / (16.0 * 15.0);  // ~0.4%
+  EXPECT_GT(share, 10.0 * uniform_share);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
-// Bounded-memory Recording Module under a heavy-tailed workload: a
-// million-flow Zipf packet stream (a few elephants carry most packets,
-// mice appear once or twice) decoded through frameworks built with several
-// memory ceilings. For each ceiling the harness reports
+// Bounded-memory Recording Module under a heavy-tailed workload, in two
+// acts.
+//
+// Act 1 (ceiling table): a million-flow Zipf packet stream (a few
+// elephants carry most packets, mice appear once or twice) decoded through
+// frameworks built with several memory ceilings. For each ceiling the
+// harness reports
 //   * sink decode throughput (the eviction machinery's hot-path cost),
 //   * Recording-Module occupancy: resident flows, used/peak bytes,
 //     evictions — and checks the accounting invariant that peak usage
@@ -9,17 +12,38 @@
 //   * re-decode accuracy: the fraction of the top-100 elephant flows whose
 //     full path still decodes, even though mice churn keeps evicting idle
 //     state (the paper's "one mostly cares about tracing large flows").
-// Run with --smoke (or PINT_BENCH_SMOKE=1) for the tiny CI configuration.
+//
+// Act 2 (policy matrix): the same Zipf churn at ONE ceiling, once per
+// admission/eviction policy (lru / doorkeeper / tinylfu — pint/policy.h),
+// followed by a mouse flood from a disjoint flow universe: one packet per
+// mouse, many more distinct mice than the store can hold. Plain LRU admits
+// every mouse and cycles the idle elephants out; the doorkeeper turns
+// one-packet mice away at the door; TinyLFU additionally retains a
+// high-frequency LRU tail over the low-frequency flow applying pressure.
+// Per policy the matrix reports top-100 elephant retention after the
+// flood, the re-decode rate after a short replay, evictions, resident
+// flows, and the exact admission-shed count — and asserts the exactness
+// invariant resident == created - evicted for every store (rejected
+// admissions never half-create state).
+//
+// Run with --smoke (or PINT_BENCH_SMOKE=1) for the tiny CI configuration;
+// pass --json=PATH (or PINT_BENCH_JSON) to emit pint-bench-v1 JSON for
+// tools/check_bench_regression.py against
+// bench/BENCH_memory_policy_baseline.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <numeric>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "pint/framework.h"
+#include "pint/policy.h"
 #include "workload/zipf.h"
 
 namespace pint {
@@ -29,14 +53,18 @@ constexpr unsigned kHops = 5;
 constexpr std::size_t kChunk = 8192;
 constexpr double kZipfS = 1.05;
 constexpr std::size_t kTopElephants = 100;
+constexpr std::size_t kRedecodePackets = 64;  // replay per elephant, act 2
 
 struct RunConfig {
   std::size_t flows = 0;
   std::size_t packets = 0;
-  std::vector<std::size_t> ceilings;  // 0 = unbounded
+  std::vector<std::size_t> ceilings;  // act 1 (0 = unbounded)
+  std::size_t policy_ceiling = 0;     // act 2
+  std::size_t flood_mice = 0;         // act 2: disjoint one-packet flows
 };
 
-PintFramework::Builder mix_builder(std::size_t memory_ceiling) {
+PintFramework::Builder mix_builder(std::size_t memory_ceiling,
+                                   StorePolicyKind policy) {
   PathTracingConfig path_tuning;
   path_tuning.bits = 8;
   path_tuning.instances = 1;
@@ -52,6 +80,7 @@ PintFramework::Builder mix_builder(std::size_t memory_ceiling) {
   builder.global_bit_budget(16)
       .seed(0x5CA1E)
       .memory_ceiling_bytes(memory_ceiling)
+      .default_store_policy(policy)
       .switch_universe(std::move(universe))
       .add_query(make_path_query("path", 8, 1.0, path_tuning))
       .add_query(make_dynamic_query("latency",
@@ -72,20 +101,70 @@ FiveTuple tuple_of_flow(std::size_t flow) {
   return t;
 }
 
+// Encodes one packet of `flow` through the (unbounded) network replica.
+void encode_packet(PintFramework& network, Packet& p, PacketId id,
+                   std::size_t flow) {
+  p.id = id;
+  p.tuple = tuple_of_flow(flow);
+  p.digests.clear();  // reused buffer: force fresh lane sizing
+  p.hops_traversed = 0;
+  for (HopIndex hop = 1; hop <= kHops; ++hop) {
+    SwitchView view(static_cast<SwitchId>((flow + hop) % 64 + 1));
+    view.set(metric::kHopLatencyNs,
+             500.0 * hop + static_cast<double>(flow % 97));
+    view.set(metric::kLinkUtilization, 0.05 * hop);
+    network.at_switch(p, hop, view);
+  }
+}
+
 struct RunResult {
-  double decode_seconds = 0.0;
+  double decode_seconds = 0.0;  // churn phase only
   MemoryReport memory;
   double elephant_decode_rate = 0.0;
   bool peak_ok = true;
+  // Act-2 extras (policy matrix).
+  double retention = 0.0;  // top elephants still decodable after the flood
+  double redecode = 0.0;   // ... after a kRedecodePackets replay each
+  bool exact = true;       // resident == created - evicted, every store
 };
 
+std::vector<std::size_t> top_flows(const std::vector<std::uint32_t>& counts,
+                                   std::size_t top) {
+  std::vector<std::size_t> ranks(counts.size());
+  std::iota(ranks.begin(), ranks.end(), 0);
+  top = std::min(top, ranks.size());
+  std::partial_sort(ranks.begin(), ranks.begin() + top, ranks.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return counts[a] > counts[b];
+                    });
+  ranks.resize(top);
+  return ranks;
+}
+
+double decodable_fraction(const PintFramework& sink,
+                          const std::vector<std::size_t>& flows) {
+  std::size_t decoded = 0;
+  for (const std::size_t f : flows) {
+    const std::uint64_t fkey = sink.flow_key_for("path", tuple_of_flow(f));
+    if (sink.flow_path("path", fkey).has_value()) ++decoded;
+  }
+  return flows.empty() ? 0.0
+                       : static_cast<double>(decoded) /
+                             static_cast<double>(flows.size());
+}
+
 // Streams `cfg.packets` Zipf-popular packets through a fresh framework
-// built with `ceiling`, in chunks (encode with a network replica, then
-// time only the sink's batched decode). The Rng seed is fixed, so every
-// ceiling sees the identical packet stream.
-RunResult run_ceiling(const RunConfig& cfg, std::size_t ceiling) {
-  const auto network = mix_builder(0).build_or_throw();
-  const auto sink = mix_builder(ceiling).build_or_throw();
+// built with `ceiling` and `policy`, in chunks (encode with a network
+// replica, then time only the sink's batched decode). The Rng seed is
+// fixed, so every ceiling and every policy sees the identical stream.
+// With `flood_mice > 0`, follows up with one packet each from that many
+// flows of a disjoint universe, then measures elephant retention and the
+// post-replay re-decode rate (act 2).
+RunResult run_one(const RunConfig& cfg, std::size_t ceiling,
+                  StorePolicyKind policy, std::size_t flood_mice) {
+  const auto network =
+      mix_builder(0, StorePolicyKind::kLru).build_or_throw();
+  const auto sink = mix_builder(ceiling, policy).build_or_throw();
   Rng rng(0x2F10C5);
   const ZipfDist zipf(cfg.flows, kZipfS);
   std::vector<std::uint32_t> counts(cfg.flows, 0);
@@ -101,18 +180,7 @@ RunResult run_ceiling(const RunConfig& cfg, std::size_t ceiling) {
       const std::size_t f =
           static_cast<std::size_t>(zipf.sample(rng)) - 1;
       ++counts[f];
-      Packet& p = batch[i];
-      p.id = next_id++;
-      p.tuple = tuple_of_flow(f);
-      p.digests.clear();  // reused buffer: force fresh lane sizing
-      p.hops_traversed = 0;
-      for (HopIndex hop = 1; hop <= kHops; ++hop) {
-        SwitchView view(static_cast<SwitchId>((f + hop) % 64 + 1));
-        view.set(metric::kHopLatencyNs,
-                 500.0 * hop + static_cast<double>(f % 97));
-        view.set(metric::kLinkUtilization, 0.05 * hop);
-        network->at_switch(p, hop, view);
-      }
+      encode_packet(*network, batch[i], next_id++, f);
     }
     const auto t0 = std::chrono::steady_clock::now();
     sink->at_sink(std::span<const Packet>(batch.data(), n), kHops);
@@ -121,30 +189,50 @@ RunResult run_ceiling(const RunConfig& cfg, std::size_t ceiling) {
             .count();
   }
 
+  const std::vector<std::size_t> elephants =
+      top_flows(counts, kTopElephants);
+
+  if (flood_mice > 0) {
+    // Mouse flood: one packet per flow from a universe disjoint from the
+    // churn flows. Under plain LRU each admitted mouse costs a resident
+    // entry and pressures an idle elephant out of the tail.
+    std::size_t sent = 0;
+    while (sent < flood_mice) {
+      const std::size_t n = std::min(kChunk, flood_mice - sent);
+      for (std::size_t i = 0; i < n; ++i) {
+        encode_packet(*network, batch[i], next_id++,
+                      cfg.flows + sent + i);  // disjoint flow ids
+      }
+      sent += n;
+      sink->at_sink(std::span<const Packet>(batch.data(), n), kHops);
+    }
+    out.retention = decodable_fraction(*sink, elephants);
+
+    // Re-decode: the elephants come back with a short burst each; an
+    // evicted flow must rebuild its decoder from scratch.
+    for (const std::size_t f : elephants) {
+      for (std::size_t i = 0; i < kRedecodePackets; ++i) {
+        encode_packet(*network, batch[i], next_id++, f);
+      }
+      sink->at_sink(std::span<const Packet>(batch.data(), kRedecodePackets),
+                    kHops);
+    }
+    out.redecode = decodable_fraction(*sink, elephants);
+  }
+
   out.memory = sink->memory_report();
   for (const QueryMemoryStats& q : out.memory) {
     if (q.capacity_bytes > 0 &&
         q.peak_used_bytes > q.capacity_bytes + q.max_entry_bytes) {
       out.peak_ok = false;
     }
+    // Exact accounting: nothing in this harness erases flows, so every
+    // created entry is either still resident or was evicted — rejected
+    // admissions must not have half-created state.
+    if (q.flows != q.created - q.evictions) out.exact = false;
   }
 
-  // Re-decode accuracy over the top elephants by true packet count.
-  std::vector<std::size_t> ranks(cfg.flows);
-  std::iota(ranks.begin(), ranks.end(), 0);
-  const std::size_t top = std::min(kTopElephants, cfg.flows);
-  std::partial_sort(ranks.begin(), ranks.begin() + top, ranks.end(),
-                    [&](std::size_t a, std::size_t b) {
-                      return counts[a] > counts[b];
-                    });
-  std::size_t decoded = 0;
-  for (std::size_t i = 0; i < top; ++i) {
-    const std::uint64_t fkey =
-        sink->flow_key_for("path", tuple_of_flow(ranks[i]));
-    if (sink->flow_path("path", fkey).has_value()) ++decoded;
-  }
-  out.elephant_decode_rate =
-      static_cast<double>(decoded) / static_cast<double>(top);
+  out.elephant_decode_rate = decodable_fraction(*sink, elephants);
   return out;
 }
 
@@ -154,18 +242,26 @@ RunResult run_ceiling(const RunConfig& cfg, std::size_t ceiling) {
 int main(int argc, char** argv) {
   using namespace pint;
   const bool smoke = bench::smoke_mode(argc, argv);
+  bench::JsonWriter json;
   RunConfig cfg;
   if (smoke) {
     cfg.flows = 2000;
     cfg.packets = 10000;
     cfg.ceilings = {0, 512u << 10, 128u << 10};
+    // Big enough that the top-100 elephants fit comfortably, small enough
+    // that the flood cycles a plain-LRU store many times over.
+    cfg.policy_ceiling = 2u << 20;
+    cfg.flood_mice = 20'000;
   } else {
     cfg.flows = 1'000'000;
     cfg.packets = 4'000'000;
     // Unbounded is omitted: a million resident decoders+recorders is
     // multiple GB — exactly the OOM this module exists to prevent.
     cfg.ceilings = {64u << 20, 16u << 20, 4u << 20};
+    cfg.policy_ceiling = 64u << 20;
+    cfg.flood_mice = 1'500'000;
   }
+  const double mpkts = static_cast<double>(cfg.packets) / 1e6;
 
   bench::header(
       "Bounded-memory Recording Module — Zipf flow churn vs ceiling\n"
@@ -177,11 +273,18 @@ int main(int argc, char** argv) {
   bench::row("%-12s %11s %9s %9s %9s %10s %9s %6s", "ceiling", "Mpkts/s",
              "resident", "used MB", "peak MB", "evictions", "top100", "peak");
 
-  const double mpkts = static_cast<double>(cfg.packets) / 1e6;
   bool all_ok = true;
-  for (const std::size_t ceiling : cfg.ceilings) {
-    const RunResult r = run_ceiling(cfg, ceiling);
-    all_ok = all_ok && r.peak_ok;
+  // JSON series are named by pressure tier, not absolute size: the smoke
+  // and full ceiling lists differ by construction (ceilings scale with the
+  // workload), and tier names keep the series structurally comparable
+  // across modes for tools/check_bench_regression.py.
+  static const char* const kTierNames[] = {"ceiling_roomy", "ceiling_mid",
+                                           "ceiling_tight"};
+  for (std::size_t tier = 0; tier < cfg.ceilings.size(); ++tier) {
+    const std::size_t ceiling = cfg.ceilings[tier];
+    const RunResult r =
+        run_one(cfg, ceiling, StorePolicyKind::kLru, /*flood_mice=*/0);
+    all_ok = all_ok && r.peak_ok && r.exact;
     char label[32];
     if (ceiling == 0) {
       std::snprintf(label, sizeof label, "unbounded");
@@ -199,15 +302,93 @@ int main(int argc, char** argv) {
                static_cast<double>(peak) / (1 << 20),
                static_cast<unsigned long long>(r.memory.total.evictions),
                100.0 * r.elephant_decode_rate, r.peak_ok ? "ok" : "FAIL");
+    const std::string config =
+        tier < std::size(kTierNames) ? kTierNames[tier]
+                                     : "ceiling_" + std::to_string(tier);
+    json.add("bench_memory_bound", config, "decode_mpkts_per_sec",
+             mpkts / r.decode_seconds, "Mpps", true);
+    json.add("bench_memory_bound", config, "top100_decode_pct",
+             100.0 * r.elephant_decode_rate, "pct", true);
+    json.add("bench_memory_bound", config, "evictions",
+             static_cast<double>(r.memory.total.evictions), "count", false);
   }
   std::printf(
       "\npeak column checks peak_used <= ceiling + one entry per store;\n"
       "top100 = fraction of the 100 largest flows with a fully decoded "
       "path.\n");
+
+  bench::header(
+      "Store-policy matrix — elephant retention through a mouse flood\n"
+      "(same Zipf churn at one ceiling per policy, then one packet each\n"
+      "from more distinct mice than the store can hold; pint/policy.h)");
+  std::printf("ceiling: %zu KiB, flood: %zu one-packet mice, "
+              "replay: %zu pkts/elephant\n\n",
+              cfg.policy_ceiling >> 10, cfg.flood_mice, kRedecodePackets);
+  bench::row("%-12s %11s %10s %10s %10s %10s %10s %6s", "policy", "Mpkts/s",
+             "retention", "redecode", "evictions", "resident", "rejected",
+             "exact");
+
+  struct PolicyRow {
+    StorePolicyKind kind;
+    RunResult result;
+  };
+  std::vector<PolicyRow> rows;
+  for (const StorePolicyKind kind :
+       {StorePolicyKind::kLru, StorePolicyKind::kDoorkeeper,
+        StorePolicyKind::kTinyLfu}) {
+    PolicyRow row{kind,
+                  run_one(cfg, cfg.policy_ceiling, kind, cfg.flood_mice)};
+    const RunResult& r = row.result;
+    all_ok = all_ok && r.peak_ok && r.exact;
+    bench::row("%-12s %11.2f %9.0f%% %9.0f%% %10llu %10llu %10llu %6s",
+               std::string(to_string(kind)).c_str(),
+               mpkts / r.decode_seconds, 100.0 * r.retention,
+               100.0 * r.redecode,
+               static_cast<unsigned long long>(r.memory.total.evictions),
+               static_cast<unsigned long long>(r.memory.total.flows),
+               static_cast<unsigned long long>(
+                   r.memory.total.admissions_rejected),
+               r.exact ? "ok" : "FAIL");
+    const std::string config = "policy_" + std::string(to_string(kind));
+    json.add("bench_memory_bound", config, "decode_mpkts_per_sec",
+             mpkts / r.decode_seconds, "Mpps", true);
+    json.add("bench_memory_bound", config, "elephant_retention_pct",
+             100.0 * r.retention, "pct", true);
+    json.add("bench_memory_bound", config, "top100_redecode_pct",
+             100.0 * r.redecode, "pct", true);
+    json.add("bench_memory_bound", config, "evictions",
+             static_cast<double>(r.memory.total.evictions), "count", false);
+    json.add("bench_memory_bound", config, "resident_flows",
+             static_cast<double>(r.memory.total.flows), "count", true);
+    json.add("bench_memory_bound", config, "admissions_rejected",
+             static_cast<double>(r.memory.total.admissions_rejected),
+             "count", false);
+    rows.push_back(std::move(row));
+  }
+  std::printf(
+      "\nretention = top-100 elephants still decodable right after the "
+      "flood;\nredecode = after each elephant replays %zu packets; "
+      "rejected = flows\nshed at admission (exact: resident == created - "
+      "evicted everywhere).\n",
+      kRedecodePackets);
+
+  // The point of the matrix: frequency-aware admission must beat plain
+  // LRU at keeping elephants decodable through mouse churn.
+  const double lru_retention = rows[0].result.retention;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].result.retention <= lru_retention) {
+      std::printf("FAIL: %s retention (%.0f%%) does not beat lru "
+                  "(%.0f%%)\n",
+                  std::string(to_string(rows[i].kind)).c_str(),
+                  100.0 * rows[i].result.retention, 100.0 * lru_retention);
+      all_ok = false;
+    }
+  }
+
   if (!all_ok) {
-    std::printf("FAIL: a store exceeded its ceiling by more than one "
-                "entry\n");
+    std::printf("FAIL: ceiling overshoot, inexact accounting, or a policy "
+                "that does not beat LRU\n");
     return 1;
   }
-  return 0;
+  return json.write(bench::JsonWriter::path_from(argc, argv), smoke) ? 0 : 1;
 }

@@ -65,11 +65,14 @@ double LatencyAnomalyDetector::baseline_mean(HopIndex hop) const {
 
 AnomalyObserver::AnomalyObserver(std::string latency_query,
                                  AnomalyConfig config,
-                                 std::size_t memory_ceiling_bytes)
+                                 std::size_t memory_ceiling_bytes,
+                                 StorePolicyKind store_policy)
     : query_(std::move(latency_query)), config_(config),
       detectors_(memory_ceiling_bytes, [](const LatencyAnomalyDetector& d) {
         return d.approx_bytes();
-      }) {}
+      }) {
+  detectors_.set_policy(make_store_policy(store_policy, 0xA70'4A11ULL));
+}
 
 void AnomalyObserver::on_observation(const SinkContext& ctx,
                                      std::string_view query,
@@ -78,10 +81,13 @@ void AnomalyObserver::on_observation(const SinkContext& ctx,
   const auto* sample = std::get_if<HopSampleObservation>(&obs);
   if (sample == nullptr) return;
   if (sample->hop == 0 || sample->hop > ctx.path_length) return;
-  LatencyAnomalyDetector& detector = detectors_.touch(ctx.flow, [&] {
+  // Admission-aware: a policy that sheds this (non-resident) flow costs no
+  // detector; the store counts the rejection.
+  LatencyAnomalyDetector* detector = detectors_.try_touch(ctx.flow, [&] {
     return LatencyAnomalyDetector(ctx.path_length, config_);
   });
-  if (const auto event = detector.add(sample->hop, sample->value)) {
+  if (detector == nullptr) return;
+  if (const auto event = detector->add(sample->hop, sample->value)) {
     events_.push_back(FlowAnomaly{ctx.flow, *event});
   }
 }

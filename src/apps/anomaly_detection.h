@@ -68,13 +68,17 @@ class LatencyAnomalyDetector {
 /// to the flow's path length on first sight); fired events accumulate in
 /// events(). `memory_ceiling_bytes` bounds the detectors in an LRU
 /// RecordingStore (0 = unbounded): least-recently-sampled flows are evicted
-/// and re-baseline from scratch if they return. Not internally synchronized
+/// and re-baseline from scratch if they return. `store_policy` swaps the
+/// store's admission/eviction policy (pint/policy.h) — e.g. kDoorkeeper
+/// sheds one-packet mice before they cost a detector; shed samples count in
+/// `detectors().admissions_rejected()`. Not internally synchronized
 /// — in a sharded/fan-in deployment subscribe via ShardedSink::add_observer
 /// or a FanInCollector, both of which serialize delivery.
 class AnomalyObserver : public SinkObserver {
  public:
   explicit AnomalyObserver(std::string latency_query, AnomalyConfig config = {},
-                           std::size_t memory_ceiling_bytes = 0);
+                           std::size_t memory_ceiling_bytes = 0,
+                           StorePolicyKind store_policy = StorePolicyKind::kLru);
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override;

@@ -86,11 +86,14 @@ std::vector<SwitchId> LoadAnalyzer::sleep_candidates(
 
 LoadObserver::LoadObserver(LoadAnalyzer& analyzer, std::string util_query,
                            std::string path_query,
-                           std::size_t memory_ceiling_bytes)
+                           std::size_t memory_ceiling_bytes,
+                           StorePolicyKind store_policy)
     : analyzer_(analyzer),
       util_query_(std::move(util_query)),
       path_query_(std::move(path_query)),
-      paths_(memory_ceiling_bytes, vector_entry_bytes<SwitchId>) {}
+      paths_(memory_ceiling_bytes, vector_entry_bytes<SwitchId>) {
+  paths_.set_policy(make_store_policy(store_policy, 0x10AD'0A11ULL));
+}
 
 void LoadObserver::on_observation(const SinkContext& ctx,
                                   std::string_view query,
@@ -112,6 +115,9 @@ void LoadObserver::on_path_decoded(const SinkContext& ctx,
                                    std::string_view query,
                                    const std::vector<SwitchId>& path) {
   if (query != path_query_) return;
+  // Forced put: a path decodes once per decoder residency, so an
+  // admit-on-second-sight policy would shed every flow. The flow already
+  // proved itself by decoding; the policy still drives eviction order.
   std::ignore = paths_.put(ctx.flow, path);
 }
 

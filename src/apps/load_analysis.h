@@ -71,14 +71,19 @@ class LoadAnalyzer {
 /// to the switch that produced them. Samples arriving before the flow's path
 /// decodes are counted in unattributed(). `memory_ceiling_bytes` bounds the
 /// flow->path registry in an LRU RecordingStore (0 = unbounded); samples of
-/// evicted flows count as unattributed until the path decodes again. Both
-/// queries must use the same flow definition. Not internally synchronized —
-/// in a sharded/fan-in deployment subscribe via ShardedSink::add_observer or
-/// a FanInCollector.
+/// evicted flows count as unattributed until the path decodes again.
+/// `store_policy` swaps the registry's eviction policy (pint/policy.h);
+/// admission verdicts are bypassed because a path registers exactly once
+/// per decode — a flow that decoded already proved itself — but a
+/// frequency policy (kTinyLfu) still retains hot flows' paths over
+/// one-off mice at eviction time. Both queries must use the same flow
+/// definition. Not internally synchronized — in a sharded/fan-in
+/// deployment subscribe via ShardedSink::add_observer or a FanInCollector.
 class LoadObserver : public SinkObserver {
  public:
   LoadObserver(LoadAnalyzer& analyzer, std::string util_query,
-               std::string path_query, std::size_t memory_ceiling_bytes = 0);
+               std::string path_query, std::size_t memory_ceiling_bytes = 0,
+               StorePolicyKind store_policy = StorePolicyKind::kLru);
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override;

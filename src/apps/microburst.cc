@@ -50,11 +50,14 @@ double MicroburstDetector::baseline_median(HopIndex hop) const {
 MicroburstObserver::MicroburstObserver(std::string queue_query,
                                        MicroburstConfig config,
                                        std::uint64_t seed,
-                                       std::size_t memory_ceiling_bytes)
+                                       std::size_t memory_ceiling_bytes,
+                                       StorePolicyKind store_policy)
     : query_(std::move(queue_query)), config_(config), seed_(seed),
       detectors_(memory_ceiling_bytes, [](const MicroburstDetector& d) {
         return d.approx_bytes();
-      }) {}
+      }) {
+  detectors_.set_policy(make_store_policy(store_policy, seed ^ 0xB0'0575ULL));
+}
 
 void MicroburstObserver::on_observation(const SinkContext& ctx,
                                         std::string_view query,
@@ -63,10 +66,13 @@ void MicroburstObserver::on_observation(const SinkContext& ctx,
   const auto* sample = std::get_if<HopSampleObservation>(&obs);
   if (sample == nullptr) return;
   if (sample->hop == 0 || sample->hop > ctx.path_length) return;
-  MicroburstDetector& detector = detectors_.touch(ctx.flow, [&] {
+  // Admission-aware: a policy that sheds this (non-resident) flow costs no
+  // detector; the store counts the rejection.
+  MicroburstDetector* detector = detectors_.try_touch(ctx.flow, [&] {
     return MicroburstDetector(ctx.path_length, config_, seed_ ^ ctx.flow);
   });
-  if (const auto event = detector.add(sample->hop, sample->value)) {
+  if (detector == nullptr) return;
+  if (const auto event = detector->add(sample->hop, sample->value)) {
     events_.push_back(FlowBurst{ctx.flow, *event});
   }
 }

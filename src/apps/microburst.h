@@ -74,14 +74,19 @@ class MicroburstDetector {
 /// detector sized to the flow's path length; fired events accumulate in
 /// events(). `memory_ceiling_bytes` bounds the detectors in an LRU
 /// RecordingStore (0 = unbounded); evicted flows restart their baselines if
-/// they return. Not internally synchronized — in a sharded/fan-in
-/// deployment subscribe via ShardedSink::add_observer or a FanInCollector.
+/// they return. `store_policy` swaps the store's admission/eviction policy
+/// (pint/policy.h); shed samples count in
+/// `detectors().admissions_rejected()`. Not internally synchronized — in a
+/// sharded/fan-in deployment subscribe via ShardedSink::add_observer or a
+/// FanInCollector.
 class MicroburstObserver : public SinkObserver {
  public:
   explicit MicroburstObserver(std::string queue_query,
                               MicroburstConfig config = {},
                               std::uint64_t seed = 0xB0257,
-                              std::size_t memory_ceiling_bytes = 0);
+                              std::size_t memory_ceiling_bytes = 0,
+                              StorePolicyKind store_policy =
+                                  StorePolicyKind::kLru);
 
   void on_observation(const SinkContext& ctx, std::string_view query,
                       const Observation& obs) override;

@@ -10,6 +10,8 @@ namespace pint {
 void QueueTomography::register_flow(std::uint64_t flow_key,
                                     std::vector<SwitchId> path) {
   // Registration cares about the insertion, not the stored reference.
+  // Forced put: paths register once per decode, so an admit-on-second-
+  // sight policy would shed every flow; the policy still drives eviction.
   std::ignore = flows_.put(flow_key, std::move(path));
 }
 

@@ -28,11 +28,18 @@ class QueueTomography {
   // `memory_ceiling_bytes` bounds the per-flow path registry (LRU
   // RecordingStore; 0 = unbounded). Per-switch state is bounded by the
   // network size and is never evicted. Samples from evicted flows count as
-  // dropped until the flow's path is registered again.
+  // dropped until the flow's path is registered again. `store_policy` swaps
+  // the registry's eviction policy (pint/policy.h); admission verdicts are
+  // bypassed (paths register once per decode, so admit-on-second-sight
+  // would shed everything) but a frequency policy still protects hot
+  // flows' paths at eviction time.
   explicit QueueTomography(std::uint64_t seed = 0x70406,
-                           std::size_t memory_ceiling_bytes = 0)
+                           std::size_t memory_ceiling_bytes = 0,
+                           StorePolicyKind store_policy = StorePolicyKind::kLru)
       : seed_(seed),
-        flows_(memory_ceiling_bytes, vector_entry_bytes<SwitchId>) {}
+        flows_(memory_ceiling_bytes, vector_entry_bytes<SwitchId>) {
+    flows_.set_policy(make_store_policy(store_policy, seed ^ 0x704'0A11ULL));
+  }
 
   // Register a flow's switch-level path so (flow, hop) samples re-key.
   void register_flow(std::uint64_t flow_key, std::vector<SwitchId> path);

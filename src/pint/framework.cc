@@ -131,6 +131,12 @@ PintFramework::Builder& PintFramework::Builder::recording_arena(bool enabled) {
   return *this;
 }
 
+PintFramework::Builder& PintFramework::Builder::default_store_policy(
+    StorePolicyKind kind) {
+  default_policy_ = kind;
+  return *this;
+}
+
 PintFramework::Builder PintFramework::Builder::with_memory_divided(
     unsigned parts) const {
   if (parts == 0) throw std::invalid_argument("parts > 0");
@@ -288,6 +294,13 @@ BuildResult PintFramework::Builder::build() const {
                     "'" + q.name +
                         "' is per-packet and keeps no per-flow sink state");
       }
+      if (b.spec.store_policy.has_value() &&
+          *b.spec.store_policy != StorePolicyKind::kLru) {
+        return fail(BuildErrorCode::kInconsistentMemoryBudget,
+                    "'" + q.name +
+                        "' is per-packet and keeps no per-flow sink state "
+                        "for a store policy to govern");
+      }
       continue;
     }
     if (b.spec.memory_budget_bytes > 0) {
@@ -325,14 +338,32 @@ BuildResult PintFramework::Builder::build() const {
     if (q.aggregation == AggregationType::kPerPacket) continue;
     const std::size_t cap =
         b.spec.memory_budget_bytes > 0 ? b.spec.memory_budget_bytes : share;
+    // Per-query policy (Builder default unless the spec overrides it).
+    // kLru yields a nullptr from make_store_policy — no policy object, the
+    // store's original code path. Each store gets its own policy instance
+    // seeded per binding so same-policy queries keep independent sketch
+    // randomness.
+    const StorePolicyKind policy_kind =
+        b.spec.store_policy.value_or(default_policy_);
+    const std::uint64_t policy_seed =
+        seed_ ^ 0xB0'11C1ULL ^ b.recorder_salt;
     if (q.aggregation == AggregationType::kStaticPerFlow) {
       b.decoders.set_capacity_bytes(cap);
+      b.decoders.set_policy(make_store_policy(policy_kind, policy_seed));
     } else {
       b.recorders.set_capacity_bytes(cap);
+      b.recorders.set_policy(make_store_policy(policy_kind, policy_seed));
     }
   }
   fw->memory_ceiling_ = memory_ceiling_;
   fw->memory_bounded_ = memory_ceiling_ > 0 || explicit_total > 0;
+  // The transport shedding class: only queries at the minimum registered
+  // priority are droppable under pressure. All-default priorities put
+  // every query in it — shedding then matches the priority-free behavior.
+  fw->min_priority_ = fw->bindings_.front().spec.priority;
+  for (const Binding& b : fw->bindings_) {
+    fw->min_priority_ = std::min(fw->min_priority_, b.spec.priority);
+  }
   fw->memory_report_interval_ = memory_report_interval_;
   fw->memory_report_interval_time_ = memory_report_interval_time_;
   fw->last_timed_memory_report_ = std::chrono::steady_clock::now();
@@ -465,8 +496,17 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
     Observation obs;
     switch (b.spec.query.aggregation) {
       case AggregationType::kStaticPerFlow: {
-        HashedPathDecoder& decoder = b.decoders.touch(
+        // Admission-aware: a policy that rejects the (non-resident) flow
+        // sheds this query's digest at the store door — no observation, no
+        // observer callback, exactly one admissions_rejected count. With
+        // no policy installed try_touch never returns nullptr.
+        HashedPathDecoder* decoder_p = b.decoders.try_touch(
             fkey, [&] { return b.path->make_decoder(k, switch_ids_); });
+        if (decoder_p == nullptr) {
+          lane += b.lanes;
+          continue;
+        }
+        HashedPathDecoder& decoder = *decoder_p;
         const bool was_complete = decoder.complete();
         if (!was_complete) {
           decoder.add_packet(
@@ -491,13 +531,18 @@ void PintFramework::sink_one(const Packet& packet, unsigned k,
         break;
       }
       case AggregationType::kDynamicPerFlow: {
-        FlowLatencyRecorder& recorder = b.recorders.touch(fkey, [&] {
+        FlowLatencyRecorder* recorder_p = b.recorders.try_touch(fkey, [&] {
           const std::uint64_t recorder_seed = seed_ ^ fkey ^ b.recorder_salt;
           return b.spec.recorder_factory
                      ? b.spec.recorder_factory(k, recorder_seed)
                      : FlowLatencyRecorder(k, b.spec.query.space_budget_bytes,
                                            recorder_seed);
         });
+        if (recorder_p == nullptr) {  // shed by the admission policy
+          lane += b.lanes;
+          continue;
+        }
+        FlowLatencyRecorder& recorder = *recorder_p;
         const DynamicAggregationQuery::Sample sample =
             b.dynamic->decode(packet.id, packet.digests[lane], k);
         recorder.add(sample);
@@ -609,6 +654,7 @@ void PintFramework::fill_memory_counters(MemoryCounters& out) const {
       out.used_bytes += store.used_bytes();
       out.flows += store.flows();
       out.evictions += store.evictions();
+      out.admissions_rejected += store.admissions_rejected();
       out.over_budget = out.over_budget || store.over_budget();
       if (memory_ceiling_ == 0) out.capacity_bytes += store.capacity_bytes();
     });
@@ -632,6 +678,10 @@ MemoryReport PintFramework::memory_report() const {
       q.evictions = store.evictions();
       q.created = store.created();
       q.over_budget = store.over_budget();
+      q.policy = store.policy_kind();
+      q.admissions_rejected = store.admissions_rejected();
+      q.doorkeeper_hits = store.doorkeeper_hits();
+      q.frequency_evictions = store.frequency_evictions();
     });
   }
   return out;
@@ -704,6 +754,17 @@ std::vector<std::string_view> PintFramework::query_names() const {
   out.reserve(bindings_.size());
   for (const Binding& b : bindings_) out.push_back(b.spec.query.name);
   return out;
+}
+
+bool PintFramework::flow_resident(std::string_view query,
+                                  std::uint64_t fkey) const {
+  const Binding* b = find_binding(query);
+  if (b == nullptr) return false;
+  bool resident = false;
+  visit_store(*b, [&](const auto& store) {
+    resident = store.find(fkey) != nullptr;
+  });
+  return resident;
 }
 
 std::uint64_t PintFramework::flow_key_for(std::string_view query,

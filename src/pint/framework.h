@@ -182,6 +182,16 @@ class PintFramework {
     /// replica build loudly (kInconsistentMemoryBudget).
     Builder with_memory_divided(unsigned parts) const;
 
+    /// Default admission/eviction policy for every per-flow query's
+    /// Recording-Module stores (pint/policy.h); individual queries
+    /// override via QuerySpec::store_policy. kLru (the default) installs
+    /// no policy object and keeps the stores on their original
+    /// byte-identical code path.
+    Builder& default_store_policy(StorePolicyKind kind);
+    StorePolicyKind default_store_policy() const {
+      return default_policy_;
+    }
+
     /// Universe of switch IDs for static per-flow (path) decoding.
     Builder& switch_universe(std::vector<std::uint64_t> ids);
 
@@ -210,6 +220,7 @@ class PintFramework {
     std::size_t async_depth_ = 0;  // 0 = synchronous observer delivery
     OverflowPolicy async_policy_ = OverflowPolicy::kBlock;
     bool recording_arena_ = true;
+    StorePolicyKind default_policy_ = StorePolicyKind::kLru;
     std::vector<std::uint64_t> universe_;
     ValueExtractorRegistry registry_;
     std::optional<std::string> duplicate_extractor_;
@@ -294,6 +305,17 @@ class PintFramework {
   std::size_t lanes_for_set(const QuerySet& set) const;
   const QuerySpec* spec(std::string_view query) const;
   std::vector<std::string_view> query_names() const;
+
+  /// Lowest QuerySpec::priority registered across all queries. Transport
+  /// layers (ShardedSink rings, fan-in frames) may shed only this class
+  /// under pressure; with all-default priorities every query is in it, so
+  /// shedding degenerates to the original priority-free behavior.
+  unsigned min_query_priority() const { return min_priority_; }
+
+  /// Whether a per-flow query currently holds Recording-Module state for
+  /// `flow_key` (no LRU effect). False for unknown/per-packet queries —
+  /// the bench's residency probe for policy comparisons.
+  bool flow_resident(std::string_view query, std::uint64_t flow_key) const;
 
   /// Flow key of `tuple` under a query's flow definition.
   std::uint64_t flow_key_for(std::string_view query,
@@ -392,6 +414,7 @@ class PintFramework {
   std::vector<double> extract_scratch_;  // batched at_switch hoisting
   bool memory_bounded_ = false;
   std::size_t memory_ceiling_ = 0;
+  unsigned min_priority_ = 1;
   std::uint64_t last_reported_evictions_ = 0;  // on_memory_report edge
   std::uint64_t memory_report_interval_ = 0;   // heartbeat period (packets)
   std::uint64_t packets_since_memory_report_ = 0;

@@ -1,0 +1,37 @@
+#include "pint/policy.h"
+
+namespace pint {
+
+const char* to_string(StorePolicyKind kind) {
+  switch (kind) {
+    case StorePolicyKind::kLru:
+      return "lru";
+    case StorePolicyKind::kDoorkeeper:
+      return "doorkeeper";
+    case StorePolicyKind::kTinyLfu:
+      return "tinylfu";
+  }
+  return "unknown";
+}
+
+std::optional<StorePolicyKind> parse_store_policy(std::string_view name) {
+  if (name == "lru") return StorePolicyKind::kLru;
+  if (name == "doorkeeper") return StorePolicyKind::kDoorkeeper;
+  if (name == "tinylfu") return StorePolicyKind::kTinyLfu;
+  return std::nullopt;
+}
+
+std::unique_ptr<StorePolicy> make_store_policy(StorePolicyKind kind,
+                                               std::uint64_t seed) {
+  switch (kind) {
+    case StorePolicyKind::kLru:
+      return nullptr;  // no policy object = the store's native LRU path
+    case StorePolicyKind::kDoorkeeper:
+      return std::make_unique<DoorkeeperPolicy>(seed);
+    case StorePolicyKind::kTinyLfu:
+      return std::make_unique<TinyLfuPolicy>(seed);
+  }
+  return nullptr;
+}
+
+}  // namespace pint

@@ -1,0 +1,322 @@
+/// \file
+/// Pluggable admission & eviction policies for Recording-Module stores.
+///
+/// BASEL (PAPERS.md) argues that what a bounded buffer does under pressure
+/// should be a declarative *specification* — explicit admit/process/evict
+/// verdicts — rather than policy baked into the data structure. This header
+/// is that specification surface for RecordingStore: a small StorePolicy
+/// interface consulted at the three decision points every bounded store
+/// has, plus two concrete policies aimed at the paper's regime ("oftentimes
+/// one mostly cares about tracing large flows"):
+///
+///  * kLru — the default. No policy object is installed at all, so the
+///    store runs the exact pre-policy code path: admit everything, evict
+///    the least-recently-updated flow. Byte-identical to the seed behavior
+///    (the identity tests assert this).
+///  * kDoorkeeper — admit-on-second-packet. A small aging Bloom filter
+///    remembers which flows have been seen once; a flow's first packet is
+///    rejected (no per-flow state is created) and its second admits it.
+///    One-packet mice — the bulk of a heavy-tailed flow count — never cost
+///    an entry, so elephant state survives mouse floods.
+///  * kTinyLfu — frequency-aware admission *and* eviction, TinyLFU-style:
+///    a doorkeeper Bloom filter fronts a count-min sketch of approximate
+///    flow frequencies. Admission is admit-on-second-packet (the
+///    doorkeeper); eviction gives the LRU tail a bounded second chance
+///    when its estimated frequency beats the flow applying the pressure,
+///    so a momentarily idle elephant outlives a burst of fresh mice.
+///
+/// Policies see only opaque 64-bit flow keys and keep a fixed, small
+/// auxiliary footprint (the doorkeeper is 8 KiB, the count-min sketch
+/// 64 KiB) that is deliberately *not* charged against the store's byte
+/// ceiling: it is a constant, not per-flow state.
+///
+/// Threading: a policy belongs to exactly one store, which belongs to one
+/// execution context (see recording_store.h) — no locks, by design.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "hash/global_hash.h"
+
+namespace pint {
+
+/// Which admission/eviction policy a Recording-Module store runs. kLru is
+/// the default everywhere and installs no policy object (the store's
+/// original code path, preserved byte-identically).
+enum class StorePolicyKind : std::uint8_t {
+  kLru,
+  kDoorkeeper,
+  kTinyLfu,
+};
+
+const char* to_string(StorePolicyKind kind);
+
+/// Parses "lru" / "doorkeeper" / "tinylfu" (the `.scn` and QuerySpec
+/// spellings); nullopt for anything else.
+std::optional<StorePolicyKind> parse_store_policy(std::string_view name);
+
+/// Verdict on a flow that is not resident and wants state created.
+enum class AdmitVerdict : std::uint8_t {
+  kAdmit,   ///< create per-flow state
+  kReject,  ///< shed: no state is created, the caller gets nullptr
+};
+
+/// Verdict on the LRU-tail flow an over-ceiling store proposes to evict.
+enum class EvictVerdict : std::uint8_t {
+  kEvict,   ///< evict it (the LRU default)
+  kRetain,  ///< give it a bounded second chance (rotated to most-recent)
+};
+
+/// Counters a policy maintains about its own decisions; surfaced through
+/// RecordingStore and relayed into MemoryReport per query (and per shard).
+/// Rejections and retains are counted by the *store* — the store is the
+/// arbiter of what actually happened — so this struct carries only the
+/// facts the policy alone knows.
+struct StorePolicyStats {
+  std::uint64_t doorkeeper_hits = 0;  ///< admits because the key was known
+  std::uint64_t frequency_evictions = 0;  ///< evicts decided by frequency
+};
+
+/// The BASEL-style buffering specification: three verdict hooks, called by
+/// RecordingStore at its three decision points. Implementations are
+/// infallible and allocation-free on every hook — these sit on the sink's
+/// decode hot path.
+class StorePolicy {
+ public:
+  virtual ~StorePolicy() = default;
+
+  virtual StorePolicyKind kind() const = 0;
+
+  /// A non-resident flow arrived. kReject sheds it: the store creates no
+  /// state and the admission-aware accessors return nullptr. Called for
+  /// *forced* creations too (touch()/put(), which must return state) — the
+  /// verdict is then ignored but the arrival still trains the policy.
+  virtual AdmitVerdict on_admit(std::uint64_t flow_key) = 0;
+
+  /// A resident flow was touched (hit). Trains frequency state.
+  virtual void on_hit(std::uint64_t flow_key) = 0;
+
+  /// The store is over its ceiling and `candidate` (the LRU tail) is up
+  /// for eviction while `pressure` (the just-touched, protected flow)
+  /// drives the pass. kRetain rotates the candidate to most-recent instead
+  /// of evicting; the store bounds retains per pass so eviction always
+  /// terminates.
+  virtual EvictVerdict on_evict_candidate(std::uint64_t candidate,
+                                          std::uint64_t pressure) = 0;
+
+  const StorePolicyStats& stats() const { return stats_; }
+
+ protected:
+  StorePolicyStats stats_;
+};
+
+/// Fixed-size aging Bloom filter over flow keys: the "doorkeeper" both
+/// concrete policies use. Two probes per key; resets itself after
+/// `reset_after` insertions so stale mice age out instead of accreting
+/// into false positives.
+class DoorkeeperFilter {
+ public:
+  static constexpr std::size_t kBits = 1u << 16;  // 8 KiB
+
+  explicit DoorkeeperFilter(std::uint64_t seed, std::uint64_t reset_after)
+      : seed_(seed), reset_after_(reset_after == 0 ? 1 : reset_after) {}
+
+  bool test(std::uint64_t key) const {
+    const std::uint64_t h = mix64(key ^ seed_);
+    return bit(h & (kBits - 1)) && bit((h >> 32) & (kBits - 1));
+  }
+
+  /// Inserts `key`; ages (clears) the filter first when the insertion
+  /// budget is spent, so membership never outlives ~reset_after inserts.
+  void insert(std::uint64_t key) {
+    if (inserts_ >= reset_after_) {
+      bits_.fill(0);
+      inserts_ = 0;
+      ++resets_;
+    }
+    const std::uint64_t h = mix64(key ^ seed_);
+    set(h & (kBits - 1));
+    set((h >> 32) & (kBits - 1));
+    ++inserts_;
+  }
+
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  bool bit(std::uint64_t i) const {
+    return (bits_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::uint64_t i) { bits_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+  std::uint64_t seed_;
+  std::uint64_t reset_after_;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t resets_ = 0;
+  std::array<std::uint64_t, kBits / 64> bits_{};
+};
+
+/// Admit-on-second-packet. First sight of a flow is rejected (and
+/// remembered in the doorkeeper); a flow seen again while its mark is
+/// still live is admitted. Eviction stays pure LRU.
+class DoorkeeperPolicy final : public StorePolicy {
+ public:
+  /// `reset_after` bounds doorkeeper staleness (inserts between clears).
+  /// The default caps the filter at 1/16 load (two probes over 64 Ki
+  /// bits), i.e. ~0.4% false-positive rate: a false positive ADMITS a
+  /// one-packet mouse, and under a sustained mouse flood every falsely
+  /// admitted mouse evicts an idle elephant — the FP rate, not the mean
+  /// residency, is what bounds how well elephants survive churn.
+  explicit DoorkeeperPolicy(std::uint64_t seed,
+                            std::uint64_t reset_after = 2048)
+      : filter_(mix64(seed ^ 0xD0D0'4B33ULL), reset_after) {}
+
+  StorePolicyKind kind() const override { return StorePolicyKind::kDoorkeeper; }
+
+  AdmitVerdict on_admit(std::uint64_t flow_key) override {
+    if (filter_.test(flow_key)) {
+      ++stats_.doorkeeper_hits;
+      return AdmitVerdict::kAdmit;
+    }
+    filter_.insert(flow_key);
+    return AdmitVerdict::kReject;
+  }
+
+  void on_hit(std::uint64_t) override {}
+
+  EvictVerdict on_evict_candidate(std::uint64_t, std::uint64_t) override {
+    return EvictVerdict::kEvict;
+  }
+
+  const DoorkeeperFilter& filter() const { return filter_; }
+
+ private:
+  DoorkeeperFilter filter_;
+};
+
+/// TinyLFU-style frequency sketch: a doorkeeper Bloom filter absorbing
+/// first occurrences, backed by a 4-row count-min sketch of saturating
+/// 8-bit counters. When the sample budget is spent every counter is
+/// halved and the doorkeeper cleared (the classic aging step), so
+/// estimates track the recent window rather than all of history.
+class FrequencySketch {
+ public:
+  static constexpr std::size_t kRows = 4;
+  static constexpr std::size_t kWidth = 1u << 14;  // 16 Ki counters/row
+  static constexpr std::uint64_t kSampleSize = 1u << 17;
+
+  explicit FrequencySketch(std::uint64_t seed)
+      : seed_(seed), doorkeeper_(mix64(seed ^ 0x7F41'D00CULL),
+                                 // Low-load doorkeeper (1/8 of the bits):
+                                 // a false positive here both admits a
+                                 // mouse and credits it a count, so the
+                                 // FP rate stays well under the aging
+                                 // period's worth of first-sights.
+                                 /*reset_after=*/4096) {}
+
+  /// Records one occurrence of `key`. The first occurrence in the current
+  /// window lands in the doorkeeper; later ones increment the sketch.
+  /// Returns true when the key was already known (doorkeeper or sketch).
+  bool record(std::uint64_t key) {
+    maybe_age();
+    ++samples_;
+    if (!doorkeeper_.test(key)) {
+      doorkeeper_.insert(key);
+      return false;
+    }
+    const std::uint64_t h = mix64(key ^ seed_);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      std::uint8_t& c = rows_[r][index(h, r)];
+      if (c < 255) ++c;
+    }
+    return true;
+  }
+
+  /// Approximate occurrence count of `key` in the recent window.
+  std::uint32_t estimate(std::uint64_t key) const {
+    const std::uint64_t h = mix64(key ^ seed_);
+    std::uint32_t est = 255;
+    for (std::size_t r = 0; r < kRows; ++r) {
+      est = std::min<std::uint32_t>(est, rows_[r][index(h, r)]);
+    }
+    return est + (doorkeeper_.test(key) ? 1u : 0u);
+  }
+
+  std::uint64_t ages() const { return ages_; }
+
+ private:
+  static std::size_t index(std::uint64_t h, std::size_t row) {
+    // Four probes carved from two mixes of the same key hash.
+    const std::uint64_t h2 = mix64(h + 0x9E3779B97F4A7C15ULL);
+    const std::uint64_t probe = row < 2 ? h : h2;
+    return static_cast<std::size_t>((probe >> (16 * (row & 1))) &
+                                    (kWidth - 1));
+  }
+
+  void maybe_age() {
+    if (samples_ < kSampleSize) return;
+    for (auto& row : rows_) {
+      for (std::uint8_t& c : row) c = static_cast<std::uint8_t>(c >> 1);
+    }
+    samples_ /= 2;  // halving counters halves the represented sample mass
+    ++ages_;
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t ages_ = 0;
+  DoorkeeperFilter doorkeeper_;
+  std::array<std::array<std::uint8_t, kWidth>, kRows> rows_{};
+};
+
+/// Frequency-aware admission and eviction. Admission is admit-on-second-
+/// packet (the sketch's doorkeeper); eviction compares the LRU tail's
+/// estimated frequency against the flow applying the pressure and retains
+/// the tail when it is strictly more frequent — a momentarily idle
+/// elephant beats a fresh mouse.
+class TinyLfuPolicy final : public StorePolicy {
+ public:
+  explicit TinyLfuPolicy(std::uint64_t seed) : sketch_(mix64(seed)) {}
+
+  StorePolicyKind kind() const override { return StorePolicyKind::kTinyLfu; }
+
+  AdmitVerdict on_admit(std::uint64_t flow_key) override {
+    if (sketch_.record(flow_key)) {
+      ++stats_.doorkeeper_hits;
+      return AdmitVerdict::kAdmit;
+    }
+    return AdmitVerdict::kReject;
+  }
+
+  void on_hit(std::uint64_t flow_key) override {
+    // Resident hits train the sketch too: an elephant's frequency must
+    // reflect every access, not just the misses that re-admitted it.
+    (void)sketch_.record(flow_key);
+  }
+
+  EvictVerdict on_evict_candidate(std::uint64_t candidate,
+                                  std::uint64_t pressure) override {
+    if (sketch_.estimate(candidate) > sketch_.estimate(pressure)) {
+      return EvictVerdict::kRetain;
+    }
+    ++stats_.frequency_evictions;
+    return EvictVerdict::kEvict;
+  }
+
+  const FrequencySketch& sketch() const { return sketch_; }
+
+ private:
+  FrequencySketch sketch_;
+};
+
+/// Policy factory. kLru returns nullptr by design: "no policy object" IS
+/// the LRU policy — the store then runs its original, byte-identical code
+/// path with zero per-touch overhead.
+std::unique_ptr<StorePolicy> make_store_policy(StorePolicyKind kind,
+                                               std::uint64_t seed);
+
+}  // namespace pint

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "pint/dynamic_aggregation.h"
 #include "pint/perpacket_aggregation.h"
+#include "pint/policy.h"
 #include "pint/query.h"
 #include "pint/static_aggregation.h"
 
@@ -44,6 +46,22 @@ struct QuerySpec {
   /// state — or over-committing the ceiling is a kInconsistentMemoryBudget
   /// build error.
   std::size_t memory_budget_bytes = 0;
+
+  /// Admission/eviction policy for this query's sink-side stores
+  /// (pint/policy.h). Unset inherits the Builder's default_store_policy()
+  /// (itself kLru unless overridden); kLru is the original byte-identical
+  /// path. A non-LRU policy on a per-packet query — which keeps no sink
+  /// state to admit or evict — is a kInconsistentMemoryBudget build error,
+  /// like a memory budget on one.
+  std::optional<StorePolicyKind> store_policy;
+
+  /// Relative delivery priority under transport pressure. When a bounded
+  /// observer ring (ShardedSink) or fan-in frame budget must shed, only
+  /// events/frames of the *lowest* registered priority are droppable;
+  /// higher classes take the blocking path instead. All queries default to
+  /// the same priority, so with no explicit priorities nothing changes —
+  /// a single class behaves exactly like the pre-priority code.
+  unsigned priority = 1;
 };
 
 /// Convenience constructors for the three aggregation families.

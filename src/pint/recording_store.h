@@ -9,6 +9,12 @@
 /// observation that "oftentimes one mostly cares about tracing large flows"
 /// makes LRU the natural policy: active (large) flows keep refreshing.
 ///
+/// LRU is the default, but admission and eviction are pluggable
+/// (pint/policy.h): `set_policy` installs a StorePolicy consulted on every
+/// arrival (admit/reject for the `try_*` accessors) and on every eviction
+/// candidate (evict/second-chance). With no policy installed the store runs
+/// its original LRU code path byte-identically.
+///
 /// Accounting contract: `used_bytes()` is always the exact sum of the last
 /// reported size of every resident entry (sizes may grow *or shrink* between
 /// touches — a path decoder's candidate sets shrink as hops resolve). The
@@ -31,6 +37,7 @@
 
 #include "common/arena.h"
 #include "common/types.h"
+#include "pint/policy.h"
 
 namespace pint {
 
@@ -97,8 +104,29 @@ class RecordingStore {
   /// The store's slab arena, or nullptr when arena-backing is disabled.
   const SlabArena* arena() const { return arena_.get(); }
 
+  /// Installs an admission/eviction policy (pint/policy.h); nullptr
+  /// reverts to plain LRU — the store then runs its original code path
+  /// byte-identically. Only valid while the store is empty (the builder
+  /// configures stores before any packet arrives), like `set_arena`;
+  /// throws std::logic_error otherwise.
+  void set_policy(std::unique_ptr<StorePolicy> policy) {
+    if (!entries_.empty()) {
+      throw std::logic_error("RecordingStore: policy change on a live store");
+    }
+    policy_ = std::move(policy);
+  }
+
+  /// The installed policy, or nullptr when the store runs plain LRU.
+  const StorePolicy* policy() const { return policy_.get(); }
+  StorePolicyKind policy_kind() const {
+    return policy_ == nullptr ? StorePolicyKind::kLru : policy_->kind();
+  }
+
   /// Get or create the state for a flow and mark it most-recently-used.
-  /// May evict other flows to stay within capacity.
+  /// May evict other flows to stay within capacity. Creation is *forced*:
+  /// an installed policy is trained on the arrival but cannot reject it
+  /// (this accessor must return state) — admission-gated callers use
+  /// `try_touch`.
   PerFlowState& touch(std::uint64_t flow_key) {
     if (!factory_) throw std::logic_error("store built without a factory");
     return touch(flow_key, [&] { return factory_(flow_key); });
@@ -108,31 +136,25 @@ class RecordingStore {
   /// used when construction needs per-call context.
   template <typename MakeFn>
   PerFlowState& touch(std::uint64_t flow_key, MakeFn&& make) {
-    auto it = entries_.find(flow_key);
-    if (it == entries_.end()) {
-      // Exception safety: user callbacks (factory, size fn) run before any
-      // container mutation, and the map emplace lands before the LRU push
-      // (rolled back if the push throws), so a failure at any point leaves
-      // the store consistent — no orphaned LRU keys, no inflated used_.
-      Entry e{make(), lru_.end(), 0};
-      e.bytes = size_of_(e.state);
-      it = entries_.emplace(flow_key, std::move(e)).first;
-      try {
-        lru_.push_front(flow_key);
-      } catch (...) {
-        entries_.erase(it);
-        throw;
-      }
-      it->second.lru_pos = lru_.begin();
-      used_ += it->second.bytes;
-      ++created_;
-      max_entry_bytes_ = std::max(max_entry_bytes_, it->second.bytes);
-    } else {
-      bump(it);
-    }
-    enforce_capacity(flow_key);
-    peak_used_ = std::max(peak_used_, used_);
-    return it->second.state;
+    return *touch_impl(flow_key, std::forward<MakeFn>(make),
+                       /*forced=*/true);
+  }
+
+  /// Admission-aware variant of `touch`: when the installed policy rejects
+  /// a non-resident flow, no state is created and nullptr is returned (the
+  /// rejection is counted in `admissions_rejected()`). Identical to
+  /// `touch` when no policy is installed or the flow is already resident.
+  [[nodiscard]] PerFlowState* try_touch(std::uint64_t flow_key) {
+    if (!factory_) throw std::logic_error("store built without a factory");
+    return try_touch(flow_key, [&] { return factory_(flow_key); });
+  }
+
+  /// Admission-aware `touch(flow_key, make)`; see `try_touch(flow_key)`.
+  template <typename MakeFn>
+  [[nodiscard]] PerFlowState* try_touch(std::uint64_t flow_key,
+                                        MakeFn&& make) {
+    return touch_impl(flow_key, std::forward<MakeFn>(make),
+                      /*forced=*/false);
   }
 
   /// Insert or overwrite a flow's state in one accounted step and mark it
@@ -145,12 +167,27 @@ class RecordingStore {
     if (it == entries_.end()) {
       return touch(flow_key, [&] { return std::move(value); });
     }
+    if (policy_ != nullptr) policy_->on_hit(flow_key);
     it->second.state = std::move(value);
     bump(it);
     if (capacity_ == 0) reaccount(it);
     enforce_capacity(flow_key);
     peak_used_ = std::max(peak_used_, used_);
     return it->second.state;
+  }
+
+  /// Admission-aware `put`: a non-resident flow the policy rejects is shed
+  /// (the value is dropped, nullptr returned, the rejection counted); an
+  /// overwrite of a resident flow is a hit and always succeeds. Identical
+  /// to `put` when no policy is installed.
+  [[nodiscard]] PerFlowState* try_put(std::uint64_t flow_key,
+                                      PerFlowState value) {
+    auto it = entries_.find(flow_key);
+    if (it == entries_.end()) {
+      return touch_impl(
+          flow_key, [&] { return std::move(value); }, /*forced=*/false);
+    }
+    return &put(flow_key, std::move(value));
   }
 
   /// Mark an existing flow most-recently-used and re-account its size
@@ -162,6 +199,7 @@ class RecordingStore {
   [[nodiscard]] PerFlowState* refresh(std::uint64_t flow_key) {
     auto it = entries_.find(flow_key);
     if (it == entries_.end()) return nullptr;
+    if (policy_ != nullptr) policy_->on_hit(flow_key);
     bump(it);
     enforce_capacity(flow_key);
     peak_used_ = std::max(peak_used_, used_);
@@ -194,6 +232,24 @@ class RecordingStore {
   }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t created() const { return created_; }
+
+  /// Non-resident arrivals the policy refused (try_touch/try_put returned
+  /// nullptr). Exact: every admission-gated arrival lands in `created()`
+  /// or here, never both. Always 0 without a policy.
+  std::uint64_t admissions_rejected() const { return admissions_rejected_; }
+
+  /// Eviction candidates the policy retained (second chances granted).
+  std::uint64_t evict_retains() const { return evict_retains_; }
+
+  /// Policy-internal counters (all-zeros without a policy): admissions
+  /// granted because the doorkeeper knew the key, and evictions decided by
+  /// a frequency comparison.
+  std::uint64_t doorkeeper_hits() const {
+    return policy_ == nullptr ? 0 : policy_->stats().doorkeeper_hits;
+  }
+  std::uint64_t frequency_evictions() const {
+    return policy_ == nullptr ? 0 : policy_->stats().frequency_evictions;
+  }
 
   /// High-water mark of used_bytes() as observable between operations
   /// (recorded after each touch's eviction pass, so the mid-touch
@@ -237,6 +293,47 @@ class RecordingStore {
   using EntryMap =
       std::unordered_map<std::uint64_t, Entry, MapHash, MapEq, MapAlloc>;
 
+  // Shared engine behind touch/try_touch/try_put. `forced` callers must
+  // receive state, so the policy is trained on the arrival but its verdict
+  // is ignored; admission-gated callers get nullptr on rejection.
+  template <typename MakeFn>
+  PerFlowState* touch_impl(std::uint64_t flow_key, MakeFn&& make,
+                           bool forced) {
+    auto it = entries_.find(flow_key);
+    if (it == entries_.end()) {
+      if (policy_ != nullptr) {
+        const AdmitVerdict verdict = policy_->on_admit(flow_key);
+        if (!forced && verdict == AdmitVerdict::kReject) {
+          ++admissions_rejected_;
+          return nullptr;
+        }
+      }
+      // Exception safety: user callbacks (factory, size fn) run before any
+      // container mutation, and the map emplace lands before the LRU push
+      // (rolled back if the push throws), so a failure at any point leaves
+      // the store consistent — no orphaned LRU keys, no inflated used_.
+      Entry e{make(), lru_.end(), 0};
+      e.bytes = size_of_(e.state);
+      it = entries_.emplace(flow_key, std::move(e)).first;
+      try {
+        lru_.push_front(flow_key);
+      } catch (...) {
+        entries_.erase(it);
+        throw;
+      }
+      it->second.lru_pos = lru_.begin();
+      used_ += it->second.bytes;
+      ++created_;
+      max_entry_bytes_ = std::max(max_entry_bytes_, it->second.bytes);
+    } else {
+      if (policy_ != nullptr) policy_->on_hit(flow_key);
+      bump(it);
+    }
+    enforce_capacity(flow_key);
+    peak_used_ = std::max(peak_used_, used_);
+    return &it->second.state;
+  }
+
   void bump(typename EntryMap::iterator it) {
     // Relink the existing node instead of erase+push: no allocator round
     // trip on the touch path, and lru_pos stays valid (splice moves the
@@ -266,10 +363,48 @@ class RecordingStore {
 
   void enforce_capacity(std::uint64_t protect) {
     if (capacity_ == 0) return;
+    if (policy_ == nullptr) {
+      // Plain LRU: the store's original eviction loop, untouched, so the
+      // default configuration stays byte-identical to the pre-policy code.
+      while (used_ > capacity_ && !lru_.empty()) {
+        const std::uint64_t victim = lru_.back();
+        if (victim == protect) break;  // never evict the flow being touched
+        auto it = entries_.find(victim);
+        used_ -= it->second.bytes;
+        lru_.pop_back();
+        entries_.erase(it);
+        ++evictions_;
+      }
+      return;
+    }
+    // Policy path: the LRU tail is only a *candidate* — the policy may
+    // grant a second chance (candidate spliced back to the front), capped
+    // at kMaxEvictRetains per pass so the ceiling still wins against a
+    // policy that would retain everything. Termination: every iteration
+    // evicts (entries shrink), retains (bounded), or rotates the protected
+    // flow off the tail (bounded by the retains that pushed it there).
+    std::size_t retains = 0;
     while (used_ > capacity_ && !lru_.empty()) {
       const std::uint64_t victim = lru_.back();
-      if (victim == protect) break;  // never evict the flow being touched
+      if (victim == protect) {
+        // Never evict the flow being touched. Alone it means the ceiling
+        // is unsatisfiable (over_budget); otherwise it only reached the
+        // tail because every other candidate was retained this pass —
+        // rotate it to the front and keep enforcing.
+        if (lru_.size() == 1) break;
+        lru_.splice(lru_.begin(), lru_,
+                    entries_.find(protect)->second.lru_pos);
+        continue;
+      }
       auto it = entries_.find(victim);
+      if (retains < kMaxEvictRetains &&
+          policy_->on_evict_candidate(victim, protect) ==
+              EvictVerdict::kRetain) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        ++retains;
+        ++evict_retains_;
+        continue;
+      }
       used_ -= it->second.bytes;
       lru_.pop_back();
       entries_.erase(it);
@@ -277,9 +412,15 @@ class RecordingStore {
     }
   }
 
+  // Second chances granted per eviction pass before the policy is
+  // overruled; bounds the work of one enforce_capacity call and guarantees
+  // forward progress even against a policy that always retains.
+  static constexpr std::size_t kMaxEvictRetains = 8;
+
   std::size_t capacity_;
   Factory factory_;
   SizeFn size_of_;
+  std::unique_ptr<StorePolicy> policy_;  // nullptr = plain LRU
   // Declared before the containers so it is destroyed after them: nodes
   // must not outlive the slabs they live in.
   std::unique_ptr<SlabArena> arena_ = std::make_unique<SlabArena>();
@@ -290,6 +431,8 @@ class RecordingStore {
   std::size_t max_entry_bytes_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t created_ = 0;
+  std::uint64_t admissions_rejected_ = 0;
+  std::uint64_t evict_retains_ = 0;
 };
 
 }  // namespace pint

@@ -136,6 +136,17 @@ ShardedSink::ShardedSink(const PintFramework::Builder& builder,
     shard->fw->add_observer(shard_relays_.back().get());
     shards_.push_back(std::move(shard));
   }
+  // Priority shedding classes, from any replica (identical specs): a
+  // query's events are droppable iff it sits at the minimum registered
+  // priority. All-default priorities put every query in the droppable
+  // class — kDropNewest then behaves exactly as before priorities existed.
+  {
+    const PintFramework& fw0 = *shards_[0]->fw;
+    const unsigned min_priority = fw0.min_query_priority();
+    for (std::string_view name : fw0.query_names()) {
+      sheddable_.emplace(name, fw0.spec(name)->priority == min_priority);
+    }
+  }
   const std::optional<FlowDefinition> def =
       common_flow_partition(*shards_[0]->fw);
   if (!def.has_value()) {
@@ -288,17 +299,30 @@ void ShardedSink::wake_relay() {
   relay_wake_.notify_one();
 }
 
+// Priority admission: only minimum-priority query events may be shed, and
+// memory reports never are — they carry the drop accounting an operator
+// needs to *see* the shedding. Consulted only on the full-ring slow path,
+// so the common (not-full) publish stays map-free.
+bool ShardedSink::event_sheddable(const ObserverEvent& event) const {
+  if (event.kind == ObserverEvent::Kind::kMemory) return false;
+  const auto it = sheddable_.find(event.query);
+  return it != sheddable_.end() && it->second;
+}
+
 void ShardedSink::publish_event(Shard& shard, ObserverEvent&& event) {
   if (!shard.obs_ring->try_push(std::move(event))) {
-    if (async_policy_ == OverflowPolicy::kDropNewest) {
+    if (async_policy_ == OverflowPolicy::kDropNewest &&
+        event_sheddable(event)) {
       // Exact accounting: every emitted event lands in published or
       // dropped, never both, never neither.
       shard.obs_dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    // kBlock: bounded exponential backoff until the relay frees a slot.
-    // Wake the relay only if it is actually asleep — taking relay_mutex_
-    // on every retry would contend with the thread doing the draining.
+    // kBlock — or a protected (higher-priority / memory-report) event
+    // under kDropNewest: bounded exponential backoff until the relay
+    // frees a slot. Wake the relay only if it is actually asleep — taking
+    // relay_mutex_ on every retry would contend with the thread doing the
+    // draining.
     shard.obs_blocked.fetch_add(1, std::memory_order_relaxed);
     Backoff backoff;
     do {
@@ -411,12 +435,16 @@ MemoryReport ShardedSink::memory_report() const {
       into.flows += from.flows;
       into.evictions += from.evictions;
       into.created += from.created;
+      into.admissions_rejected += from.admissions_rejected;
+      into.doorkeeper_hits += from.doorkeeper_hits;
+      into.frequency_evictions += from.frequency_evictions;
       into.over_budget = into.over_budget || from.over_budget;
     }
     merged.total.used_bytes += part.total.used_bytes;
     merged.total.capacity_bytes += part.total.capacity_bytes;
     merged.total.flows += part.total.flows;
     merged.total.evictions += part.total.evictions;
+    merged.total.admissions_rejected += part.total.admissions_rejected;
     merged.total.over_budget =
         merged.total.over_budget || part.total.over_budget;
   }

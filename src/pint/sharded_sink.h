@@ -25,6 +25,7 @@
 #include <span>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mpmc_queue.h"
@@ -71,9 +72,14 @@ std::optional<FlowDefinition> common_flow_partition(const PintFramework& fw);
 ///    them (still serialized, still per-shard FIFO). A full ring applies
 ///    the explicit OverflowPolicy — kBlock (lossless backpressure with
 ///    bounded exponential backoff) or kDropNewest (drop the event, count
-///    it exactly — see `observer_counters()`). Observers registered on the
-///    Builder itself bypass all of this and must be thread-safe — prefer
-///    `add_observer()` here.
+///    it exactly — see `observer_counters()`). Under kDropNewest only
+///    events of *sheddable* queries are dropped: those at the minimum
+///    registered QuerySpec::priority (with all-default priorities that is
+///    every query — the pre-priority behavior). Higher-priority events and
+///    memory reports (the operator's view of the shedding itself) instead
+///    take the blocking path, counted in `observer_blocked_waits`.
+///    Observers registered on the Builder itself bypass all of this and
+///    must be thread-safe — prefer `add_observer()` here.
 ///  * `flush()` waits for every batch submitted *before* the call — and, in
 ///    async-observer mode, for the relay to drain every event those batches
 ///    published. Quiesce (join or barrier) producer threads first if
@@ -254,6 +260,7 @@ class ShardedSink {
   class ShardRelay;
 
   void worker_loop(Shard& shard) PINT_EXCLUDES(observer_mutex_);
+  bool event_sheddable(const ObserverEvent& event) const;
   void publish_event(Shard& shard, ObserverEvent&& event)
       PINT_EXCLUDES(relay_mutex_);
   void deliver_event(const ObserverEvent& event)
@@ -264,6 +271,12 @@ class ShardedSink {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   FlowDefinition partition_def_ = FlowDefinition::kFiveTuple;
+  // Priority shedding classes: query name -> whether its observer events
+  // are droppable under kDropNewest (priority == the minimum registered).
+  // Keys view shard 0's registered specs (alive for the sink's lifetime);
+  // lookups hash by content, so any shard's name views match. Immutable
+  // after construction, read from shard workers without a lock.
+  std::unordered_map<std::string_view, bool> sheddable_;
   std::vector<std::unique_ptr<ShardRelay>> shard_relays_;
   Mutex observer_mutex_;
   std::vector<SinkObserver*> observers_ PINT_GUARDED_BY(observer_mutex_);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "pint/policy.h"
 
 namespace pint {
 
@@ -63,6 +64,9 @@ struct MemoryCounters {
   std::size_t capacity_bytes = 0;
   std::uint64_t flows = 0;      // resident per-flow states
   std::uint64_t evictions = 0;  // cumulative LRU evictions
+  /// Cumulative admissions shed by store policies (pint/policy.h); 0 under
+  /// the default (LRU) policy, which admits everything.
+  std::uint64_t admissions_rejected = 0;
   bool bounded = false;
   bool over_budget = false;  // some store's sole flow exceeds its ceiling
   bool operator==(const MemoryCounters&) const = default;
@@ -116,6 +120,13 @@ struct QueryMemoryStats {
   std::uint64_t flows = 0;
   std::uint64_t evictions = 0;
   std::uint64_t created = 0;
+  /// Admission/eviction policy the store runs (pint/policy.h) and its
+  /// decision counters — all-zeros under kLru, which admits everything
+  /// and never second-guesses an eviction.
+  StorePolicyKind policy = StorePolicyKind::kLru;
+  std::uint64_t admissions_rejected = 0;  ///< arrivals shed at the door
+  std::uint64_t doorkeeper_hits = 0;      ///< admits on a known key
+  std::uint64_t frequency_evictions = 0;  ///< evicts decided by frequency
   bool over_budget = false;
 };
 

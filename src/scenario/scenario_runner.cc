@@ -107,13 +107,23 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   anomaly_cfg.warmup =
       static_cast<std::size_t>(tuned(spec, "anomaly.warmup", 64));
 
-  QueueTomography tomography(spec.seed ^ 0x70406);
+  // Memory-bound tuning: `tune store ceiling_mb=.. policy=..` bounds the
+  // sink-side per-flow stores and picks their admission/eviction policy
+  // (parse_tune flattens the symbolic policy name to its numeric kind).
+  const std::size_t store_ceiling = static_cast<std::size_t>(
+      tuned(spec, "store.ceiling_mb", 0.0) * 1024.0 * 1024.0);
+  const auto store_policy = static_cast<StorePolicyKind>(
+      static_cast<int>(tuned(spec, "store.policy", 0.0)));
+
+  QueueTomography tomography(spec.seed ^ 0x70406, store_ceiling, store_policy);
   TomographyObserver tomo_obs(tomography, "queue", "path");
-  MicroburstObserver micro_obs("queue", micro_cfg, spec.seed ^ 0xB0257);
-  AnomalyObserver anomaly_obs("latency", anomaly_cfg);
+  MicroburstObserver micro_obs("queue", micro_cfg, spec.seed ^ 0xB0257,
+                               store_ceiling, store_policy);
+  AnomalyObserver anomaly_obs("latency", anomaly_cfg, store_ceiling,
+                              store_policy);
   LoadAnalyzer analyzer(tuned(spec, "load.ewma_alpha", 0.05),
                         spec.seed ^ 0x10AD);
-  LoadObserver load_obs(analyzer, "util", "path");
+  LoadObserver load_obs(analyzer, "util", "path", store_ceiling, store_policy);
   ReportEncoder encoder;
   EncodingObserver enc_obs(encoder);
 
@@ -169,6 +179,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
         .add_query(make_dynamic_query(
             "util", std::string(extractor::kLinkUtilization), 8, 0.10,
             util_tuning));
+    if (store_ceiling > 0) builder.memory_ceiling_bytes(store_ceiling);
+    builder.default_store_policy(store_policy);
     builder.add_observer(&tomo_obs)
         .add_observer(&micro_obs)
         .add_observer(&anomaly_obs)
@@ -344,6 +356,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   }
   result.microburst_events = micro_obs.events().size();
   result.anomaly_events = anomaly_obs.events().size();
+  result.store_admissions_rejected =
+      tomography.flow_store().admissions_rejected() +
+      micro_obs.detectors().admissions_rejected() +
+      anomaly_obs.detectors().admissions_rejected() +
+      load_obs.path_store().admissions_rejected();
 
   const std::vector<SwitchLoad> loads = analyzer.all_loads();
   if (!loads.empty()) {

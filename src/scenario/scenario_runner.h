@@ -74,6 +74,9 @@ struct ScenarioResult {
   // detectors stayed quiet without any expect directives).
   std::size_t microburst_events = 0;
   std::size_t anomaly_events = 0;
+  // Flows shed by the apps' store policy (`tune store policy=`), summed
+  // across the four detection apps' RecordingStores.
+  std::size_t store_admissions_rejected = 0;
   double mean_fabric_utilization = 0.0;  // across switches, as a fraction
   std::string hottest_switch;            // by p90 queue depth ("" if none)
 

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "pint/policy.h"
+
 namespace pint::scenario {
 
 namespace {
@@ -543,7 +545,19 @@ void parse_tune(Parser& p, const std::vector<std::string_view>& tokens) {
       continue;
     }
     double d = 0.0;
-    if (!kv.real(key, value, 0.0, 1e18, d)) continue;
+    if (tokens[1] == "store" && key == "policy") {
+      // Symbolic knob: the tuning map is numeric, so policy names flatten
+      // to their StorePolicyKind code ("store.policy" -> 0/1/2).
+      const auto kind = parse_store_policy(value);
+      if (!kind) {
+        p.error(ParseErrorCode::kBadValue,
+                "tune store policy= must be lru, doorkeeper, or tinylfu");
+        continue;
+      }
+      d = static_cast<double>(static_cast<int>(*kind));
+    } else if (!kv.real(key, value, 0.0, 1e18, d)) {
+      continue;
+    }
     if (p.spec.tuning.size() >= kMaxTuning) {
       p.error(ParseErrorCode::kOutOfRange, "too many tune entries");
       return;

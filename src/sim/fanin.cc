@@ -151,6 +151,38 @@ std::unique_ptr<ByteStream> make_stream(const FanInConfig& config) {
   throw std::invalid_argument("unknown StreamKind");
 }
 
+// Routes each observer event to its query's priority-class encoder, so an
+// epoch's record stream is grouped by priority at encode time (no re-sort
+// at ship time). With one class this is exactly EncodingObserver.
+class PriorityRoutingObserver final : public SinkObserver {
+ public:
+  PriorityRoutingObserver(
+      std::unordered_map<std::string_view, ReportEncoder*> routes,
+      ReportEncoder* fallback)
+      : routes_(std::move(routes)), fallback_(fallback) {}
+
+  void on_observation(const SinkContext& ctx, std::string_view query,
+                      const Observation& obs) override {
+    route(query).add(ctx, query, obs);
+  }
+
+  void on_path_decoded(const SinkContext& ctx, std::string_view query,
+                       const std::vector<SwitchId>& path) override {
+    route(query).add_path(ctx, query, path);
+  }
+
+ private:
+  ReportEncoder& route(std::string_view query) const {
+    const auto it = routes_.find(query);
+    return it == routes_.end() ? *fallback_ : *it->second;
+  }
+
+  // Keys view the sink's shard-0 specs; events from any shard carry
+  // equal-content views, and lookups hash by content.
+  std::unordered_map<std::string_view, ReportEncoder*> routes_;
+  ReportEncoder* fallback_;  // lowest class: unknown queries shed first
+};
+
 }  // namespace
 
 FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
@@ -166,7 +198,36 @@ FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
     auto node = std::make_unique<SinkNode>(source_id(i));
     node->sink =
         std::make_unique<ShardedSink>(builder, config_.shards_per_sink);
-    node->tap = std::make_unique<EncodingObserver>(node->encoder);
+    // One encoder per distinct QuerySpec::priority, descending — the
+    // epoch ship order. All-default priorities yield a single class.
+    const PintFramework& fw0 = node->sink->shard(0);
+    std::vector<unsigned> priorities;
+    for (std::string_view name : fw0.query_names()) {
+      const unsigned p = fw0.spec(name)->priority;
+      if (std::find(priorities.begin(), priorities.end(), p) ==
+          priorities.end()) {
+        priorities.push_back(p);
+      }
+    }
+    std::sort(priorities.rbegin(), priorities.rend());
+    node->classes.resize(priorities.size());
+    for (std::size_t c = 0; c < priorities.size(); ++c) {
+      node->classes[c].priority = priorities[c];
+    }
+    // The classes vector never resizes again, so encoder addresses are
+    // stable for the routing tap's lifetime.
+    std::unordered_map<std::string_view, ReportEncoder*> routes;
+    for (std::string_view name : fw0.query_names()) {
+      const unsigned p = fw0.spec(name)->priority;
+      for (PriorityClass& cls : node->classes) {
+        if (cls.priority == p) {
+          routes.emplace(name, &cls.encoder);
+          break;
+        }
+      }
+    }
+    node->tap = std::make_unique<PriorityRoutingObserver>(
+        std::move(routes), &node->classes.back().encoder);
     node->sink->add_observer(node->tap.get());
     node->stream = make_stream(config_);
     sinks_.push_back(std::move(node));
@@ -246,17 +307,24 @@ bool FanInPipeline::write_frame(SinkNode& node,
 
 void FanInPipeline::ship_epoch_frames(SinkNode& node, bool send_close) {
   flush_sink(node);
-  const std::vector<std::vector<std::uint8_t>> chunks =
-      node.encoder.finish_chunked(config_.max_frame_records);
   // Empty epochs still ship their bracket: a silent source and a dead one
   // must look different to the collector.
   write_frame(node, node.writer.make_open(), /*droppable=*/false);
-  for (const std::vector<std::uint8_t>& chunk : chunks) {
-    const std::vector<std::uint8_t> frame = node.writer.make_payload(chunk);
-    if (write_frame(node, frame, /*droppable=*/true)) {
-      ++node.frames_shipped;
-    } else {
-      node.writer.payload_dropped();
+  // Classes ship highest priority first; only the last (lowest) class's
+  // payloads are droppable, so under kDropNewest the stream sheds exactly
+  // the query class declared least important. A single class (all-default
+  // priorities) makes every payload droppable — the pre-priority behavior.
+  for (PriorityClass& cls : node.classes) {
+    const bool droppable = &cls == &node.classes.back();
+    const std::vector<std::vector<std::uint8_t>> chunks =
+        cls.encoder.finish_chunked(config_.max_frame_records);
+    for (const std::vector<std::uint8_t>& chunk : chunks) {
+      const std::vector<std::uint8_t> frame = node.writer.make_payload(chunk);
+      if (write_frame(node, frame, droppable)) {
+        ++node.frames_shipped;
+      } else {
+        node.writer.payload_dropped();
+      }
     }
   }
   if (send_close) {

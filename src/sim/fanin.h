@@ -26,6 +26,11 @@
 ///  * kDropNewest — the frame is dropped and counted; the receiver also
 ///    sees the sequence gap. Exact drop counts surface in
 ///    `FanInPipeline::epoch_report()` (a SinkReport with TransportCounters).
+///    Only frames of the *lowest-priority* query class are droppable
+///    (QuerySpec::priority): each epoch ships one self-contained record
+///    stream per priority class, highest first, and higher classes always
+///    take the blocking path. All-default priorities collapse to a single
+///    class — the pre-priority frame stream, byte-identical.
 ///
 /// Flows are routed to sinks by the same coarsest-common flow partition the
 /// shards use, so every per-flow recorder lives at exactly one (sink, shard)
@@ -235,12 +240,25 @@ class FanInPipeline {
   std::uint64_t bytes_shipped() const;
 
  private:
+  /// One priority class's pending observer stream. Classes ship in
+  /// descending priority order inside each epoch, and only the lowest
+  /// class's payload frames are droppable under kDropNewest — so under
+  /// pressure the stream sheds exactly the traffic the queries declared
+  /// least important. With all-default priorities there is a single class
+  /// and the frame stream is byte-identical to the pre-priority layout.
+  struct PriorityClass {
+    unsigned priority = 1;
+    ReportEncoder encoder;
+  };
+
   struct SinkNode {
     explicit SinkNode(std::uint32_t source) : writer(source) {}
 
     std::unique_ptr<ShardedSink> sink;
-    ReportEncoder encoder;
-    std::unique_ptr<EncodingObserver> tap;
+    // Descending priority; addresses are stable after construction (the
+    // routing tap holds pointers into it).
+    std::vector<PriorityClass> classes;
+    std::unique_ptr<SinkObserver> tap;
     FrameWriter writer;
     std::unique_ptr<ByteStream> stream;
     // Per path-length staging (submit spans must be homogeneous in k), and

@@ -281,6 +281,76 @@ TEST(AsyncObservers, BlockModeNeverDropsUnderPressure) {
   EXPECT_EQ(obs.records.size(), sync_obs.records.size());
 }
 
+TEST(AsyncObservers, DropNewestShedsOnlyMinimumPriorityQueries) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+
+  // Ground truth per query from a lossless synchronous run.
+  std::vector<SinkReport> sync_reports(packets.size());
+  const RecordingObserver sync_obs =
+      run_sink(three_query_builder(), 2, packets, sync_reports);
+  std::map<std::string, std::size_t> sync_counts;
+  for (const auto& rec : sync_obs.records) ++sync_counts[rec.query];
+  ASSERT_GT(sync_counts["hpcc"], 0u);
+
+  // Same mix, but path and latency outrank hpcc: under kDropNewest with a
+  // starved ring, ONLY the minimum-priority class (hpcc) may be shed.
+  // Higher classes block the publisher instead of dropping.
+  PathTracingConfig path_tuning;
+  path_tuning.bits = 8;
+  path_tuning.instances = 1;
+  path_tuning.d = kHops;
+  DynamicAggregationConfig latency_tuning;
+  latency_tuning.max_value = 1e6;
+  PerPacketConfig cc_tuning;
+  cc_tuning.eps = 0.025;
+  cc_tuning.max_value = 1e6;
+  std::vector<std::uint64_t> universe;
+  for (std::uint64_t s = 1; s <= 32; ++s) universe.push_back(s);
+  auto path_q = make_path_query("path", 8, 1.0, path_tuning);
+  path_q.priority = 2;
+  auto latency_q = make_dynamic_query("latency",
+                                      std::string(extractor::kHopLatency), 8,
+                                      15.0 / 16.0, latency_tuning);
+  latency_q.priority = 2;
+  PintFramework::Builder builder;
+  builder.global_bit_budget(16)
+      .seed(0xC0FFEE)
+      .switch_universe(std::move(universe))
+      .add_query(path_q)
+      .add_query(latency_q)
+      .add_query(make_perpacket_query(
+          "hpcc", std::string(extractor::kLinkUtilization), 8, 1.0 / 16.0,
+          cc_tuning));
+  builder.async_observers(2, OverflowPolicy::kDropNewest);
+  builder.memory_report_interval_packets(100);
+
+  struct MemoryCounter : SinkObserver {
+    std::uint64_t reports = 0;
+    void on_memory_report(const MemoryReport&) override { ++reports; }
+  };
+  RecordingObserver obs;
+  obs.delay = std::chrono::microseconds{200};
+  MemoryCounter memory;
+  ShardedSink sink(builder, 2);
+  sink.add_observer(&obs);
+  sink.add_observer(&memory);
+  sink.submit(packets, kHops, std::span<SinkReport>{});
+  sink.flush();
+
+  std::map<std::string, std::size_t> got_counts;
+  for (const auto& rec : obs.records) ++got_counts[rec.query];
+  // Protected classes are loss-free even while the ring starves...
+  EXPECT_EQ(got_counts["path"], sync_counts["path"]);
+  EXPECT_EQ(got_counts["latency"], sync_counts["latency"]);
+  // ...and every drop is accounted against the sheddable class.
+  const TransportCounters t = sink.observer_counters();
+  EXPECT_GT(t.observer_drops, 0u) << "workload did not pressure the ring";
+  EXPECT_EQ(got_counts["hpcc"] + t.observer_drops, sync_counts["hpcc"]);
+  // Memory heartbeats are never sheddable — the drop accounting itself
+  // must survive the shedding it reports.
+  EXPECT_GE(memory.reports, packets.size() / 100 / 2);
+}
+
 TEST(AsyncObservers, MemoryReportsRideTheRelay) {
   const std::vector<Packet> packets = make_encoded_traffic();
   auto builder = three_query_builder();

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -264,6 +265,128 @@ TEST(FanIn, DropNewestReportsExactDropCounts) {
   EXPECT_GT(pipeline.collector().errors_total(), 0u);
   for (const FrameError& error : pipeline.collector().errors()) {
     EXPECT_EQ(error.code, FrameErrorCode::kSequenceGap);
+  }
+}
+
+// Priority classes over the fan-in transport. A builder with distinct
+// QuerySpec::priority values ships one record stream per class, highest
+// first, and only the lowest class's payload frames are droppable: under a
+// starved drop-newest ring, high-priority queries arrive loss-free while
+// every dropped record is accounted against the lowest class.
+TEST(FanIn, PriorityClassesShedOnlyLowestClassUnderDrops) {
+  const std::vector<Packet> packets = make_encoded_traffic();
+
+  // hpcc outranks path and latency (which keep the default priority 1).
+  // The droppable class must carry real volume to pressure the ring, so
+  // the two high-rate queries are the ones left at the minimum priority.
+  const auto prioritized_builder = [] {
+    PathTracingConfig path_tuning;
+    path_tuning.bits = 8;
+    path_tuning.instances = 1;
+    path_tuning.d = kHops;
+    DynamicAggregationConfig latency_tuning;
+    latency_tuning.max_value = 1e6;
+    PerPacketConfig cc_tuning;
+    cc_tuning.eps = 0.025;
+    cc_tuning.max_value = 1e6;
+    std::vector<std::uint64_t> universe;
+    for (std::uint64_t s = 1; s <= 32; ++s) universe.push_back(s);
+    auto cc_q = make_perpacket_query("hpcc",
+                                     std::string(extractor::kLinkUtilization),
+                                     8, 1.0 / 16.0, cc_tuning);
+    cc_q.priority = 2;
+    PintFramework::Builder builder;
+    builder.global_bit_budget(16)
+        .seed(0xFA41)
+        .switch_universe(std::move(universe))
+        .add_query(make_path_query("path", 8, 1.0, path_tuning))
+        .add_query(make_dynamic_query("latency",
+                                      std::string(extractor::kHopLatency), 8,
+                                      15.0 / 16.0, latency_tuning))
+        .add_query(cc_q);
+    return builder;
+  }();
+
+  // Monolithic ground truth per query (priorities do not change what a
+  // local sink observes, only what the transport may shed).
+  const auto mono = prioritized_builder.build_or_throw();
+  RecordingObserver mono_records;
+  mono->add_observer(&mono_records);
+  mono->at_sink(std::span<const Packet>(packets), kHops);
+  std::map<std::string, std::size_t> mono_counts;
+  for (const auto& rec : mono_records.records) ++mono_counts[rec.query];
+  ASSERT_GT(mono_counts["hpcc"], 0u);
+
+  // Lossless transport first: a multi-class epoch stream still merges to
+  // the exact monolithic record set. Classes regroup records *within* a
+  // packet (the high class ships first), so the comparison canonicalizes
+  // on (packet, query) — under that order the streams are byte-identical.
+  const auto per_query_bytes = [](std::vector<RecordingObserver::Rec> recs) {
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.ctx.packet_id != b.ctx.packet_id) {
+                         return a.ctx.packet_id < b.ctx.packet_id;
+                       }
+                       return a.query < b.query;
+                     });
+    ReportEncoder enc;
+    for (const auto& rec : recs) {
+      if (rec.path_event) {
+        enc.add_path(rec.ctx, rec.query, rec.path);
+      } else {
+        enc.add(rec.ctx, rec.query, rec.obs);
+      }
+    }
+    return enc.finish();
+  };
+  {
+    FanInConfig cfg;
+    cfg.num_sinks = 2;
+    cfg.shards_per_sink = 1;
+    cfg.batch_size = 64;
+    cfg.stream = StreamKind::kSpscRing;
+    cfg.max_frame_records = 64;
+    FanInPipeline pipeline(prioritized_builder, cfg);
+    RecordingObserver central;
+    pipeline.collector().add_observer(&central);
+    for (const Packet& packet : packets) pipeline.deliver(packet, kHops);
+    pipeline.ship_epoch();
+    pipeline.shutdown();
+    EXPECT_EQ(pipeline.transport_counters().frames_dropped, 0u);
+    EXPECT_EQ(per_query_bytes(central.records),
+              per_query_bytes(mono_records.records));
+  }
+
+  // Starved ring: drops are forced, and they land exclusively on the
+  // lowest class.
+  {
+    FanInConfig cfg;
+    cfg.num_sinks = 2;
+    cfg.shards_per_sink = 1;
+    cfg.batch_size = 64;
+    cfg.stream = StreamKind::kSpscRing;
+    cfg.backpressure = BackpressurePolicy::kDropNewest;
+    cfg.stream_capacity_bytes = 8192;  // holds only a few frames
+    cfg.max_frame_records = 64;
+    FanInPipeline pipeline(prioritized_builder, cfg);
+    RecordingObserver central;
+    pipeline.collector().add_observer(&central);
+    for (const Packet& packet : packets) pipeline.deliver(packet, kHops);
+    pipeline.ship_epoch();
+    pipeline.shutdown();
+
+    const SinkReport report = pipeline.epoch_report();
+    ASSERT_TRUE(report.transport.active);
+    EXPECT_GT(report.transport.frames_dropped, 0u)
+        << "config did not force drops; shrink the ring";
+    std::map<std::string, std::size_t> got_counts;
+    for (const auto& rec : central.records) ++got_counts[rec.query];
+    // The high class is loss-free even while the ring sheds...
+    EXPECT_EQ(got_counts["hpcc"], mono_counts["hpcc"]);
+    // ...so every missing record belongs to the droppable (minimum
+    // priority) class.
+    EXPECT_LT(got_counts["path"] + got_counts["latency"],
+              mono_counts["path"] + mono_counts["latency"]);
   }
 }
 

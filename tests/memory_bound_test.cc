@@ -343,6 +343,27 @@ TEST(MemoryBound, NoCeilingIsByteIdenticalAndSilent) {
     EXPECT_EQ(roomy->latency_quantile("latency", fkey, 1, 0.5),
               plain->latency_quantile("latency", fkey, 1, 0.5));
   }
+
+  // Naming the default policy explicitly is NOT a behavior change: an
+  // explicit kLru builder (with and without a ceiling) must produce the
+  // exact report stream of the corresponding implicit-default builder.
+  auto lru_builder = mix_builder(0);
+  lru_builder.default_store_policy(StorePolicyKind::kLru);
+  const auto explicit_lru = lru_builder.build_or_throw();
+  std::vector<SinkReport> lru_reports(packets.size());
+  explicit_lru->at_sink(std::span<const Packet>(packets), kHops, lru_reports);
+  EXPECT_EQ(stream_bytes(packets, lru_reports),
+            stream_bytes(packets, plain_reports));
+
+  auto lru_roomy_builder = mix_builder(64u << 20);
+  lru_roomy_builder.default_store_policy(StorePolicyKind::kLru);
+  const auto lru_roomy = lru_roomy_builder.build_or_throw();
+  std::vector<SinkReport> lru_roomy_reports(packets.size());
+  lru_roomy->at_sink(std::span<const Packet>(packets), kHops,
+                     lru_roomy_reports);
+  EXPECT_EQ(lru_roomy->memory_report().total.admissions_rejected, 0u);
+  EXPECT_EQ(stream_bytes(packets, lru_roomy_reports),
+            stream_bytes(packets, plain_reports));
 }
 
 TEST(MemoryBound, ZipfChurnRespectsCeilingAtScale) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "pint/policy.h"
 #include "scenario/scenario_runner.h"
 #include "scenario/scenario_spec.h"
 
@@ -100,12 +101,37 @@ TEST(Scenario, ReorderFlapSurvivesAndDetects) {
   EXPECT_GT(result.flows_completed, 0u);
 }
 
+TEST(Scenario, MemorySqueezeShedsMiceAndStillDetects) {
+  const ScenarioSpec spec = load("memory_squeeze.scn");
+  // The symbolic policy knob flattens to its numeric kind.
+  const auto it = spec.tuning.find("store.policy");
+  ASSERT_NE(it, spec.tuning.end());
+  EXPECT_EQ(static_cast<int>(it->second),
+            static_cast<int>(StorePolicyKind::kDoorkeeper));
+  const ScenarioResult result = run_scenario(spec);
+  expect_all_pass(result);
+  // The doorkeeper turns one-packet mice away at admission: rejections are
+  // counted exactly while the load expectation above still passes.
+  EXPECT_GT(result.store_admissions_rejected, 0u);
+}
+
+TEST(Scenario, MemorySqueezeRejectsUnknownPolicy) {
+  const ScenarioParseResult parsed = parse_scenario(
+      "scenario bad\nseed 1\n"
+      "topology leaf_spine leaves=2 spines=2 hosts_per_leaf=2\n"
+      "sim budget=16 transport=tcp duration_ms=1 buffer_kb=64\n"
+      "traffic load=0.1 dist=hadoop\n"
+      "tune store policy=mru\n");
+  ASSERT_FALSE(parsed.errors.empty());
+  EXPECT_EQ(parsed.errors.front().code, ParseErrorCode::kBadValue);
+}
+
 TEST(Scenario, SameSeedByteIdenticalReports) {
   // The determinism gate: two runs of the same spec produce byte-identical
   // encoded observer streams, for every checked-in scenario.
   const char* files[] = {"microburst_storm.scn", "link_failure.scn",
                          "loss_burst.scn", "leaf_spine_load.scn",
-                         "reorder_flap.scn"};
+                         "reorder_flap.scn", "memory_squeeze.scn"};
   for (const char* file : files) {
     const ScenarioSpec spec = load(file);
     const ScenarioResult a = run_scenario(spec);

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a bench-json result file against the checked-in baseline.
+"""Compare a bench-json result file against one or more checked-in baselines.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
+    check_bench_regression.py --baseline a.json --baseline b.json CURRENT.json
 
 Matches results on (bench, config, metric) and flags entries whose value
 moved against their `higher_is_better` direction by more than the
@@ -10,6 +11,12 @@ threshold fraction. Exits 1 when any regression is flagged — the CI step
 that runs this is non-blocking, so the exit code annotates the job rather
 than gating the merge (timing on shared runners is noisy; a smoke-mode
 current run is noisier still and is labeled as such).
+
+`--baseline` is repeatable: one current run can be checked against several
+baseline files at once (e.g. per-bench baselines, or per-host profiles of
+the same bench), each compared independently with its own report section.
+The positional BASELINE form is kept for compatibility and is equivalent
+to a single `--baseline`.
 
 Entries present on only one side are reported informationally: new benches
 are expected to appear, and retired configs to vanish, without failing the
@@ -32,16 +39,10 @@ def load(path):
     return data, results
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="flag moves worse than this fraction")
-    args = parser.parse_args()
-
-    base_doc, base = load(args.baseline)
-    cur_doc, cur = load(args.current)
+def compare(baseline_path, cur_doc, cur, threshold):
+    """Compares one baseline file against the current run; returns the
+    number of flagged problems (regressions or missing series)."""
+    base_doc, base = load(baseline_path)
 
     if bool(base_doc.get("smoke")) != bool(cur_doc.get("smoke")):
         # Smoke and full runs use different workload sizes; their absolute
@@ -57,7 +58,7 @@ def main():
         if missing:
             print(f"\n{len(missing)} baseline series missing from the "
                   "current run")
-            return 1
+            return len(missing)
         print("structure check passed: every baseline series is present")
         return 0
 
@@ -78,7 +79,7 @@ def main():
         change = (cv - bv) / bv
         worse = -change if b.get("higher_is_better", True) else change
         marker = "  [ok]  "
-        if worse > args.threshold:
+        if worse > threshold:
             marker = "  [REGRESSION]"
             regressions.append(name)
         print(f"{marker} {name}: baseline {bv:.6g} -> current {cv:.6g} "
@@ -88,12 +89,45 @@ def main():
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0%}: " + ", ".join(regressions))
+              f"{threshold:.0%}: " + ", ".join(regressions))
         print("If intentional (machine change, workload change), refresh "
-              "BENCH_baseline.json per docs/PERFORMANCE.md.")
-        return 1
+              "the baseline per docs/PERFORMANCE.md.")
+        return len(regressions)
     print("\nno regressions beyond threshold")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+",
+                        help="[BASELINE.json] CURRENT.json — the last file "
+                             "is the current run; an optional first file is "
+                             "a baseline (legacy positional form)")
+    parser.add_argument("--baseline", action="append", default=[],
+                        help="baseline file to compare against; repeatable "
+                             "(per-bench baselines or per-host profiles)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="flag moves worse than this fraction")
+    args = parser.parse_args()
+
+    baselines = list(args.baseline)
+    if len(args.files) == 2 and not baselines:
+        baselines, current = [args.files[0]], args.files[1]
+    elif len(args.files) == 1 and baselines:
+        current = args.files[0]
+    else:
+        parser.error("expected either 'BASELINE CURRENT' or "
+                     "'--baseline B [--baseline B2 ...] CURRENT'")
+
+    cur_doc, cur = load(current)
+    problems = 0
+    for i, baseline in enumerate(baselines):
+        if len(baselines) > 1:
+            if i:
+                print()
+            print(f"=== {baseline} vs {current} ===")
+        problems += compare(baseline, cur_doc, cur, args.threshold)
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":

@@ -142,6 +142,74 @@ class CheckBenchRegressionTest(unittest.TestCase):
             self.run_tool({"schema": "nonsense", "results": []}, doc([]))
         self.assertIn("not a pint-bench-v1 file", str(ctx.exception))
 
+    def run_tool_multi(self, baselines, current, extra_argv=None):
+        """Runs main() with repeatable --baseline flags; returns
+        (exit_code, stdout_text)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            argv = []
+            for i, b in enumerate(baselines):
+                path = os.path.join(tmp, f"baseline{i}.json")
+                with open(path, "w") as f:
+                    json.dump(b, f)
+                argv += ["--baseline", path]
+            cur_path = os.path.join(tmp, "current.json")
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            argv.append(cur_path)
+            if extra_argv:
+                argv += extra_argv
+            stdout = io.StringIO()
+            old_argv = sys.argv
+            sys.argv = ["check_bench_regression.py"] + argv
+            try:
+                with contextlib.redirect_stdout(stdout):
+                    code = cbr.main()
+            finally:
+                sys.argv = old_argv
+            return code, stdout.getvalue()
+
+    def test_single_baseline_flag_matches_positional(self):
+        code, out = self.run_tool_multi([doc([series("decode", 100.0)])],
+                                        doc([series("decode", 150.0)]))
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+    def test_multiple_baselines_all_pass(self):
+        code, out = self.run_tool_multi(
+            [doc([series("decode", 100.0)]), doc([series("encode", 50.0)])],
+            doc([series("decode", 110.0), series("encode", 55.0)]))
+        self.assertEqual(code, 0)
+        # Each baseline gets its own labeled report section.
+        self.assertEqual(out.count("==="), 4)
+
+    def test_multiple_baselines_one_regression_fails(self):
+        # A regression against ANY baseline fails, even when the other
+        # baseline passes cleanly.
+        code, out = self.run_tool_multi(
+            [doc([series("decode", 100.0)]), doc([series("encode", 50.0)])],
+            doc([series("decode", 110.0), series("encode", 10.0)]))
+        self.assertEqual(code, 1)
+        self.assertIn("[REGRESSION]", out)
+        self.assertIn("encode/default/throughput", out)
+
+    def test_mixed_positional_and_flag_rejected(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for name in ("a.json", "b.json", "c.json"):
+                path = os.path.join(tmp, name)
+                with open(path, "w") as f:
+                    json.dump(doc([]), f)
+                paths.append(path)
+            old_argv = sys.argv
+            sys.argv = ["check_bench_regression.py", "--baseline", paths[0],
+                        paths[1], paths[2]]
+            try:
+                with self.assertRaises(SystemExit):
+                    with contextlib.redirect_stderr(io.StringIO()):
+                        cbr.main()
+            finally:
+                sys.argv = old_argv
+
 
 if __name__ == "__main__":
     unittest.main()

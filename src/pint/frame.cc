@@ -107,6 +107,19 @@ std::uint32_t FrameView::close_payload_count() const {
   return read_u32(payload.data());
 }
 
+std::optional<FrameType> peek_frame_type(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) return std::nullopt;
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    return std::nullopt;
+  }
+  if (bytes[4] != kVersion) return std::nullopt;
+  const std::uint8_t type = bytes[5];
+  if (type > static_cast<std::uint8_t>(FrameType::kEpochClose)) {
+    return std::nullopt;
+  }
+  return static_cast<FrameType>(type);
+}
+
 void append_frame(std::vector<std::uint8_t>& out, FrameType type,
                   std::uint32_t source, std::uint32_t epoch, std::uint32_t seq,
                   std::span<const std::uint8_t> payload) {

@@ -108,6 +108,14 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
                   std::uint32_t source, std::uint32_t epoch, std::uint32_t seq,
                   std::span<const std::uint8_t> payload);
 
+/// Reads the frame type out of a buffer that starts with a frame header
+/// (magic + version checked; CRC is *not* — this is a cheap peek, not a
+/// validation). nullopt if the buffer is too short, misaligned, or not a
+/// frame. The socket sender uses this to classify chunks it is about to
+/// write (epoch-open vs payload vs close) for reconnect resynchronization.
+[[nodiscard]] std::optional<FrameType> peek_frame_type(
+    std::span<const std::uint8_t> bytes);
+
 /// Per-source frame emitter: tracks the epoch/sequence state machine so
 /// call sites cannot emit out-of-protocol streams. Not thread-safe.
 class FrameWriter {

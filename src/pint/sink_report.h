@@ -105,6 +105,15 @@ struct TransportCounters {
   /// ring / cheaper observers) and stream pressure (remedy: larger
   /// stream capacity) stay attributable.
   std::uint64_t observer_blocked_waits = 0;
+  /// Socket-sender connection re-establishments (daemon transport only;
+  /// zero for in-process streams, which cannot lose a connection).
+  std::uint64_t sender_reconnects = 0;
+  /// Whole frames shed by senders resynchronizing to an epoch boundary
+  /// after a reconnect — kept separate from `frames_dropped` (a
+  /// backpressure decision) because the remedy differs: resync sheds call
+  /// for a steadier collector, drops for more capacity or lower priority
+  /// traffic.
+  std::uint64_t frames_resync_discarded = 0;
   bool active = false;
   bool operator==(const TransportCounters&) const = default;
 };

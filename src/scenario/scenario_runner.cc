@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include "apps/microburst.h"
 #include "apps/tomography.h"
 #include "pint/report_codec.h"
+#include "sim/fanin.h"
 #include "workload/traffic_gen.h"
 
 namespace pint::scenario {
@@ -58,6 +60,14 @@ struct Transition {
   TimeNs at = 0;
   std::function<void()> apply;
 };
+
+// `sim fanin=` value -> stream kind (the parser already rejected others).
+StreamKind fanin_kind(const std::string& name) {
+  if (name == "spsc") return StreamKind::kSpscRing;
+  if (name == "socketpair") return StreamKind::kSocketPair;
+  if (name == "daemon") return StreamKind::kDaemonUnix;
+  return StreamKind::kDaemonTcp;  // "daemon_tcp"
+}
 
 }  // namespace
 
@@ -126,6 +136,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   LoadObserver load_obs(analyzer, "util", "path", store_ceiling, store_policy);
   ReportEncoder encoder;
   EncodingObserver enc_obs(encoder);
+  const bool fanin_on = spec.sim.fanin != "none";
 
   SimConfig cfg;
   cfg.telemetry = TelemetryMode::kPint;
@@ -181,13 +192,46 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
             util_tuning));
     if (store_ceiling > 0) builder.memory_ceiling_bytes(store_ceiling);
     builder.default_store_policy(store_policy);
-    builder.add_observer(&tomo_obs)
-        .add_observer(&micro_obs)
-        .add_observer(&anomaly_obs)
-        .add_observer(&load_obs);
-    if (options.capture_report_bytes) builder.add_observer(&enc_obs);
+    // Under `sim fanin=` the apps hang off the central collector instead:
+    // sink replicas inside the pipeline must not share these (unsynchronized)
+    // observer objects across their shard threads.
+    if (!fanin_on) {
+      builder.add_observer(&tomo_obs)
+          .add_observer(&micro_obs)
+          .add_observer(&anomaly_obs)
+          .add_observer(&load_obs);
+      if (options.capture_report_bytes) builder.add_observer(&enc_obs);
+    }
     return builder;
   };
+
+  // Fan-in mode: the simulator's sink stream is mirrored through a
+  // FanInPipeline — partitioned across sink hosts, framed, shipped over
+  // the configured stream kind ("daemon"/"daemon_tcp": real sockets into
+  // a CollectorDaemon), and the detection apps observe the *merged
+  // collector* stream. Detections then prove the whole transport path,
+  // not just the in-simulator decode.
+  std::unique_ptr<FanInPipeline> pipeline;
+  if (fanin_on) {
+    FanInConfig fanin_cfg;
+    fanin_cfg.num_sinks = spec.sim.fanin_sinks;
+    fanin_cfg.shards_per_sink = 1;
+    fanin_cfg.batch_size = 64;
+    fanin_cfg.stream = fanin_kind(spec.sim.fanin);
+    fanin_cfg.max_frame_records = 256;
+    pipeline = std::make_unique<FanInPipeline>(
+        cfg.framework_builder(cfg, topo.tree.graph, topo.is_host), fanin_cfg);
+    pipeline->collector().add_observer(&tomo_obs);
+    pipeline->collector().add_observer(&micro_obs);
+    pipeline->collector().add_observer(&anomaly_obs);
+    pipeline->collector().add_observer(&load_obs);
+    if (options.capture_report_bytes) {
+      pipeline->collector().add_observer(&enc_obs);
+    }
+    cfg.sink_tap = [&pipeline](const Packet& packet, unsigned switch_hops) {
+      pipeline->deliver(packet, switch_hops);
+    };
+  }
 
   Simulator sim(topo.tree.graph, topo.is_host, cfg);
 
@@ -339,12 +383,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     if (tr.at >= duration) break;
     sim.run_until(tr.at);
     tr.apply();
+    // Close a reporting epoch at every scripted state change, so the
+    // fan-in stream exercises epoch brackets at the same boundaries the
+    // fault episodes create.
+    if (pipeline != nullptr) pipeline->ship_epoch();
     if (std::getenv("PINT_SCN_DEBUG") != nullptr) {
       std::fprintf(stderr, "dbg transition applied at %lld\n",
                    static_cast<long long>(tr.at));
     }
   }
   sim.run_until(duration);
+  // Final epoch + end-of-stream; after shutdown() the collector (and the
+  // apps it replays into) are safe to read from this thread.
+  if (pipeline != nullptr) pipeline->shutdown();
 
   // Harvest results.
   ScenarioResult result;
@@ -361,6 +412,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
       micro_obs.detectors().admissions_rejected() +
       anomaly_obs.detectors().admissions_rejected() +
       load_obs.path_store().admissions_rejected();
+  if (pipeline != nullptr) {
+    result.fanin_transport = pipeline->transport_counters();
+    result.fanin_errors = pipeline->collector().errors_total();
+    result.fanin_incomplete_epochs = pipeline->collector().incomplete_epochs();
+  }
 
   const std::vector<SwitchLoad> loads = analyzer.all_loads();
   if (!loads.empty()) {

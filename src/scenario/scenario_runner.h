@@ -19,7 +19,11 @@
 //
 // Determinism: the same (spec, options) pair produces byte-identical
 // ScenarioResult::report_bytes — the encoded observer stream — across
-// runs; tests diff the bytes directly.
+// runs; tests diff the bytes directly. Exception: under `sim fanin=` the
+// stream is the *merged* collector replay, and for the daemon kinds the
+// arrival interleaving across sink connections is scheduling-dependent,
+// so only the per-source record streams (not the global byte order) are
+// stable across runs.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "pint/sink_report.h"
 #include "scenario/scenario_spec.h"
 #include "sim/simulator.h"
 #include "topology/fat_tree.h"
@@ -79,6 +84,14 @@ struct ScenarioResult {
   std::size_t store_admissions_rejected = 0;
   double mean_fabric_utilization = 0.0;  // across switches, as a fraction
   std::string hottest_switch;            // by p90 queue depth ("" if none)
+
+  // Fan-in transport accounting when `sim fanin=` routed the observer
+  // stream through a FanInPipeline (`active` set); all-zeros otherwise.
+  TransportCounters fanin_transport;
+  // Receive-side integrity of the fan-in run: decode/frame errors and
+  // epochs that did not close complete (both must stay 0 on a healthy run).
+  std::uint64_t fanin_errors = 0;
+  std::uint64_t fanin_incomplete_epochs = 0;
 
   std::vector<ExpectOutcome> outcomes;
   std::vector<std::uint8_t> report_bytes;

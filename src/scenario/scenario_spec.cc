@@ -269,6 +269,19 @@ void parse_sim(Parser& p, const std::vector<std::string_view>& tokens) {
         p.error(ParseErrorCode::kBadValue,
                 "sim transport must be tcp or hpcc");
       }
+    } else if (key == "fanin") {
+      if (value == "none" || value == "spsc" || value == "socketpair" ||
+          value == "daemon" || value == "daemon_tcp") {
+        sim.fanin = std::string(value);
+      } else {
+        p.error(ParseErrorCode::kBadValue,
+                "sim fanin must be none, spsc, socketpair, daemon, or "
+                "daemon_tcp");
+      }
+    } else if (key == "fanin_sinks") {
+      if (kv.u64(key, value, 1, 16, v)) {
+        sim.fanin_sinks = static_cast<unsigned>(v);
+      }
     } else if (key == "duration_ms") {
       if (kv.u64(key, value, 1, 10'000, v)) {
         sim.duration = static_cast<TimeNs>(v) * kMilli;

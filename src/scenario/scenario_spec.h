@@ -13,7 +13,7 @@
 //   scenario  link_failure_demo
 //   seed      11
 //   topology  fat_tree k=4 oversubscription=1
-//   sim       budget=16 transport=tcp duration_ms=8 buffer_kb=256
+//   sim       budget=16 transport=tcp duration_ms=8 buffer_kb=256 fanin=daemon
 //   traffic   load=0.30 dist=web_search zipf_s=0.9
 //   episode   link_failure at_ms=2 recover_ms=6 link=edge0-agg0 rate_factor=0.02
 //   tune      microburst min_baseline=64
@@ -80,6 +80,14 @@ struct TrafficSpec {
 struct SimKnobs {
   unsigned bit_budget = 16;
   std::string transport = "tcp";      // "tcp" | "hpcc"
+  // Sink fan-in topology for the observer stream: "none" runs the apps
+  // in-process on the simulator's sink (the default); the other values
+  // route every sink packet through a FanInPipeline (sim/fanin.h) and
+  // feed the apps from the central collector instead — "daemon" and
+  // "daemon_tcp" cross real unix-domain / localhost-TCP sockets through
+  // a CollectorDaemon.
+  std::string fanin = "none";  // "none"|"spsc"|"socketpair"|"daemon"|"daemon_tcp"
+  unsigned fanin_sinks = 2;    // sink hosts when fanin != none
   TimeNs duration = 8 * kMilli;
   Bytes buffer_bytes = 256 * 1024;
   double host_gbps = 10.0;

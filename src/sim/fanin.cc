@@ -1,10 +1,17 @@
 #include "sim/fanin.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "hash/global_hash.h"
+#include "transport/sender.h"
 
 namespace pint {
 
@@ -40,6 +47,27 @@ void FanInCollector::end_stream(std::uint32_t source) {
   // weight now — free them so long-running fan-ins do not accumulate
   // state for every source that ever connected.
   state.reassembler.reset();
+}
+
+void FanInCollector::disconnect_stream(std::uint32_t source) {
+  SourceState& state = sources_[source];
+  if (state.status.ended) return;
+  if (state.reassembler != nullptr) {
+    // A frame torn by the disconnect surfaces as a typed truncation
+    // error before the buffer is discarded.
+    state.reassembler->finish();
+    process_events(state);
+  }
+  if (state.status.epoch_open) {
+    ++state.status.epochs_incomplete;
+    state.status.epoch_open = false;
+  }
+  ++state.status.disconnects;
+  // Fresh reassembler, fresh sequence baseline: the reconnected stream's
+  // first frame establishes its own ledger entry, so resuming at the next
+  // epoch boundary raises no false gap against the dead connection — and
+  // the dead connection's torn tail can never splice onto the new bytes.
+  state.reassembler = std::make_unique<FrameReassembler>();
 }
 
 std::size_t FanInCollector::live_sources() const {
@@ -137,19 +165,9 @@ void FanInCollector::handle_frame(SourceState& state,
   }
 }
 
-// --- FanInPipeline ----------------------------------------------------------
+// --- FanInSender ------------------------------------------------------------
 
 namespace {
-
-std::unique_ptr<ByteStream> make_stream(const FanInConfig& config) {
-  switch (config.stream) {
-    case StreamKind::kSpscRing:
-      return std::make_unique<SpscRingStream>(config.stream_capacity_bytes);
-    case StreamKind::kSocketPair:
-      return std::make_unique<SocketPairStream>(config.stream_capacity_bytes);
-  }
-  throw std::invalid_argument("unknown StreamKind");
-}
 
 // Routes each observer event to its query's priority-class encoder, so an
 // epoch's record stream is grouped by priority at encode time (no re-sort
@@ -185,6 +203,153 @@ class PriorityRoutingObserver final : public SinkObserver {
 
 }  // namespace
 
+FanInSender::FanInSender(const PintFramework::Builder& builder,
+                         std::uint32_t source,
+                         std::unique_ptr<ByteStream> stream, Config config)
+    : config_(config), writer_(source), stream_(std::move(stream)) {
+  if (stream_ == nullptr) {
+    throw std::invalid_argument("FanInSender needs a stream");
+  }
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.max_frame_records == 0) config_.max_frame_records = 1;
+  sink_ = std::make_unique<ShardedSink>(builder, config_.shards);
+  // One encoder per distinct QuerySpec::priority, descending — the
+  // epoch ship order. All-default priorities yield a single class.
+  const PintFramework& fw0 = sink_->shard(0);
+  std::vector<unsigned> priorities;
+  for (std::string_view name : fw0.query_names()) {
+    const unsigned p = fw0.spec(name)->priority;
+    if (std::find(priorities.begin(), priorities.end(), p) ==
+        priorities.end()) {
+      priorities.push_back(p);
+    }
+  }
+  std::sort(priorities.rbegin(), priorities.rend());
+  classes_.resize(priorities.size());
+  for (std::size_t c = 0; c < priorities.size(); ++c) {
+    classes_[c].priority = priorities[c];
+  }
+  // The classes vector never resizes again, so encoder addresses are
+  // stable for the routing tap's lifetime.
+  std::unordered_map<std::string_view, ReportEncoder*> routes;
+  for (std::string_view name : fw0.query_names()) {
+    const unsigned p = fw0.spec(name)->priority;
+    for (PriorityClass& cls : classes_) {
+      if (cls.priority == p) {
+        routes.emplace(name, &cls.encoder);
+        break;
+      }
+    }
+  }
+  tap_ = std::make_unique<PriorityRoutingObserver>(std::move(routes),
+                                                   &classes_.back().encoder);
+  sink_->add_observer(tap_.get());
+}
+
+void FanInSender::deliver(const Packet& packet, unsigned k) {
+  if (closed_) return;
+  std::vector<Packet>& staged = staging_[k];
+  staged.push_back(packet);
+  if (staged.size() >= config_.batch_size) submit_staged(k);
+}
+
+void FanInSender::submit_staged(unsigned k) {
+  std::vector<Packet>& staged = staging_[k];
+  if (staged.empty()) return;
+  // The submitted span must outlive the sink's flush(): park the batch on
+  // the in-flight list until the epoch closes.
+  in_flight_.push_back(std::move(staged));
+  staged.clear();
+  sink_->submit(in_flight_.back(), k);
+}
+
+void FanInSender::flush_sink() {
+  for (auto& [k, staged] : staging_) {
+    if (!staged.empty()) submit_staged(k);
+  }
+  sink_->flush();
+  in_flight_.clear();
+}
+
+bool FanInSender::write_frame(std::span<const std::uint8_t> bytes,
+                              bool droppable) {
+  if (bytes.size() > stream_->capacity()) {
+    // No retry loop could ever place this frame: it exceeds what an empty
+    // pipe accepts. Reject at chunking time with the typed error the
+    // streams themselves throw, before any backpressure policy runs.
+    throw OversizedChunkError(bytes.size(), stream_->capacity());
+  }
+  for (;;) {
+    if (stream_->try_write(bytes)) {
+      bytes_shipped_ += bytes.size();
+      return true;
+    }
+    if (droppable &&
+        config_.backpressure == BackpressurePolicy::kDropNewest) {
+      return false;
+    }
+    // kBlock: wait for the far end to drain. The embedding decides what
+    // waiting means — the in-process pipeline pumps the collector, a
+    // cross-process sender just yields while the daemon reads.
+    ++blocked_waits_;
+    if (on_block_) {
+      on_block_();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void FanInSender::ship_epoch(bool send_close) {
+  if (closed_) return;
+  flush_sink();
+  // Empty epochs still ship their bracket: a silent source and a dead one
+  // must look different to the collector.
+  write_frame(writer_.make_open(), /*droppable=*/false);
+  // Classes ship highest priority first; only the last (lowest) class's
+  // payloads are droppable, so under kDropNewest the stream sheds exactly
+  // the query class declared least important. A single class (all-default
+  // priorities) makes every payload droppable — the pre-priority behavior.
+  for (PriorityClass& cls : classes_) {
+    const bool droppable = &cls == &classes_.back();
+    const std::vector<std::vector<std::uint8_t>> chunks =
+        cls.encoder.finish_chunked(config_.max_frame_records);
+    for (const std::vector<std::uint8_t>& chunk : chunks) {
+      const std::vector<std::uint8_t> frame = writer_.make_payload(chunk);
+      if (write_frame(frame, droppable)) {
+        ++frames_shipped_;
+      } else {
+        writer_.payload_dropped();
+      }
+    }
+  }
+  if (send_close) {
+    write_frame(writer_.make_close(), /*droppable=*/false);
+  }
+}
+
+void FanInSender::close() {
+  if (closed_) return;
+  stream_->close_write();
+  // Closed means closed: a later deliver()/ship_epoch() must not write
+  // into the closed stream (a socket would refuse forever, the ring would
+  // feed a source the collector already saw end).
+  closed_ = true;
+}
+
+// --- FanInPipeline ----------------------------------------------------------
+
+namespace {
+
+std::string auto_unix_path() {
+  static std::atomic<unsigned> counter{0};
+  return "/tmp/pint-fanin-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+}  // namespace
+
 FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
                              FanInConfig config)
     : config_(config) {
@@ -193,210 +358,188 @@ FanInPipeline::FanInPipeline(const PintFramework::Builder& builder,
   }
   if (config_.batch_size == 0) config_.batch_size = 1;
   if (config_.max_frame_records == 0) config_.max_frame_records = 1;
-  sinks_.reserve(config_.num_sinks);
+  const bool daemon = is_daemon_kind(config_.stream);
+  if (daemon) {
+    CollectorDaemonConfig dc;
+    if (config_.stream == StreamKind::kDaemonUnix) {
+      dc.unix_path = auto_unix_path();
+    } else {
+      dc.tcp = true;  // ephemeral port, read back below
+    }
+    // One connection per source per pipeline run: EOF ends the source,
+    // which is what shutdown() waits on.
+    dc.end_stream_on_disconnect = true;
+    daemon_ = std::make_unique<CollectorDaemon>(collector_, std::move(dc));
+  }
+  FanInSender::Config sender_cfg;
+  sender_cfg.shards = config_.shards_per_sink;
+  sender_cfg.batch_size = config_.batch_size;
+  sender_cfg.max_frame_records = config_.max_frame_records;
+  sender_cfg.backpressure = config_.backpressure;
+  senders_.reserve(config_.num_sinks);
   for (unsigned i = 0; i < config_.num_sinks; ++i) {
-    auto node = std::make_unique<SinkNode>(source_id(i));
-    node->sink =
-        std::make_unique<ShardedSink>(builder, config_.shards_per_sink);
-    // One encoder per distinct QuerySpec::priority, descending — the
-    // epoch ship order. All-default priorities yield a single class.
-    const PintFramework& fw0 = node->sink->shard(0);
-    std::vector<unsigned> priorities;
-    for (std::string_view name : fw0.query_names()) {
-      const unsigned p = fw0.spec(name)->priority;
-      if (std::find(priorities.begin(), priorities.end(), p) ==
-          priorities.end()) {
-        priorities.push_back(p);
+    std::unique_ptr<ByteStream> stream;
+    switch (config_.stream) {
+      case StreamKind::kSpscRing:
+        stream = std::make_unique<SpscRingStream>(config_.stream_capacity_bytes);
+        break;
+      case StreamKind::kSocketPair:
+        stream =
+            std::make_unique<SocketPairStream>(config_.stream_capacity_bytes);
+        break;
+      case StreamKind::kDaemonUnix:
+      case StreamKind::kDaemonTcp: {
+        SocketSenderConfig sc;
+        sc.unix_path = daemon_->unix_path();
+        sc.tcp_port = daemon_->tcp_port();
+        sc.source = source_id(i);
+        sc.buffer_hint_bytes = config_.stream_capacity_bytes;
+        auto sender = std::make_unique<SocketSenderStream>(std::move(sc));
+        socket_senders_.push_back(sender.get());
+        stream = std::move(sender);
+        break;
       }
     }
-    std::sort(priorities.rbegin(), priorities.rend());
-    node->classes.resize(priorities.size());
-    for (std::size_t c = 0; c < priorities.size(); ++c) {
-      node->classes[c].priority = priorities[c];
+    auto node = std::make_unique<FanInSender>(builder, source_id(i),
+                                              std::move(stream), sender_cfg);
+    senders_.push_back(std::move(node));
+  }
+  eof_reported_.assign(config_.num_sinks, false);
+  for (unsigned i = 0; i < config_.num_sinks; ++i) {
+    if (daemon) {
+      // A blocked cross-process write just waits: the daemon thread
+      // drains the socket on its own schedule.
+      senders_[i]->set_on_block(
+          [] { std::this_thread::sleep_for(std::chrono::microseconds(50)); });
+    } else {
+      // In-process: blocking means draining the collector side until the
+      // pipe has room.
+      senders_[i]->set_on_block([this, i] { pump_source(i); });
     }
-    // The classes vector never resizes again, so encoder addresses are
-    // stable for the routing tap's lifetime.
-    std::unordered_map<std::string_view, ReportEncoder*> routes;
-    for (std::string_view name : fw0.query_names()) {
-      const unsigned p = fw0.spec(name)->priority;
-      for (PriorityClass& cls : node->classes) {
-        if (cls.priority == p) {
-          routes.emplace(name, &cls.encoder);
-          break;
-        }
-      }
-    }
-    node->tap = std::make_unique<PriorityRoutingObserver>(
-        std::move(routes), &node->classes.back().encoder);
-    node->sink->add_observer(node->tap.get());
-    node->stream = make_stream(config_);
-    sinks_.push_back(std::move(node));
   }
   // Splitting flows across sink hosts needs the same partition feasibility
   // as splitting across shards; ShardedSink only enforces it when it has
   // more than one shard, so re-check here for the multi-sink case.
   if (config_.num_sinks > 1 &&
-      !common_flow_partition(sinks_[0]->sink->shard(0)).has_value()) {
+      !common_flow_partition(senders_[0]->sink().shard(0)).has_value()) {
     throw std::invalid_argument(
         "queries aggregate by both source and destination IP: no flow "
         "partition keeps both consistent across sinks");
   }
+  if (daemon) {
+    // Started last: everything above may throw, and an unjoined thread
+    // must never escape the constructor.
+    daemon_thread_ = std::thread([this] { daemon_->run(); });
+  }
+}
+
+FanInPipeline::~FanInPipeline() {
+  if (daemon_thread_.joinable()) {
+    daemon_->stop();
+    daemon_thread_.join();
+  }
+}
+
+unsigned FanInPipeline::route_sink(const FiveTuple& tuple,
+                                   FlowDefinition partition,
+                                   unsigned num_sinks) {
+  // Same partition rule as the shards, one level up: flows (under the
+  // coarsest common definition) are homed to exactly one sink host.
+  // Salted so sink and shard selection stay independent: otherwise all of
+  // a sink's flows would collapse onto a few of its shards.
+  const std::uint64_t key = flow_key(tuple, partition);
+  return static_cast<unsigned>(mix64(key ^ 0xFA41D) % num_sinks);
 }
 
 unsigned FanInPipeline::sink_of(const FiveTuple& tuple) const {
-  // Same partition rule as the shards, one level up: flows (under the
-  // coarsest common definition) are homed to exactly one sink host.
-  const std::uint64_t key =
-      flow_key(tuple, sinks_[0]->sink->partition_definition());
-  // Salted so sink and shard selection stay independent: otherwise all of a
-  // sink's flows would collapse onto a few of its shards.
-  return static_cast<unsigned>(mix64(key ^ 0xFA41D) % sinks_.size());
+  return route_sink(tuple, senders_[0]->sink().partition_definition(),
+                    num_sinks());
 }
 
 void FanInPipeline::deliver(const Packet& packet, unsigned k) {
-  SinkNode& node = *sinks_[sink_of(packet.tuple)];
-  if (node.dead) return;  // a killed source hears nothing further
-  std::vector<Packet>& staged = node.staging[k];
-  staged.push_back(packet);
-  if (staged.size() >= config_.batch_size) submit_staged(node, k);
+  senders_[sink_of(packet.tuple)]->deliver(packet, k);
 }
 
-void FanInPipeline::submit_staged(SinkNode& node, unsigned k) {
-  std::vector<Packet>& staged = node.staging[k];
-  if (staged.empty()) return;
-  // The submitted span must outlive the sink's flush(): park the batch on
-  // the in-flight list until the epoch closes.
-  node.in_flight.push_back(std::move(staged));
-  staged.clear();
-  node.sink->submit(node.in_flight.back(), k);
-}
-
-void FanInPipeline::flush_sink(SinkNode& node) {
-  for (auto& [k, staged] : node.staging) {
-    if (!staged.empty()) submit_staged(node, k);
-  }
-  node.sink->flush();
-  node.in_flight.clear();
-}
-
-bool FanInPipeline::write_frame(SinkNode& node,
-                                std::span<const std::uint8_t> bytes,
-                                bool droppable) {
-  for (;;) {
-    if (node.stream->try_write(bytes)) {
-      node.bytes_shipped += bytes.size();
-      return true;
-    }
-    if (droppable &&
-        config_.backpressure == BackpressurePolicy::kDropNewest) {
-      return false;
-    }
-    if (bytes.size() > node.stream->capacity()) {
-      // kBlock can never succeed: the frame exceeds what an empty pipe
-      // accepts. Fail loudly instead of spinning forever.
-      throw std::runtime_error(
-          "fan-in frame larger than the stream capacity; raise "
-          "FanInConfig::stream_capacity_bytes or lower max_frame_records");
-    }
-    // kBlock: the "network" is in-process, so blocking means draining the
-    // collector side until the pipe has room.
-    ++node.blocked_waits;
-    pump_source(node);
-  }
-}
-
-void FanInPipeline::ship_epoch_frames(SinkNode& node, bool send_close) {
-  flush_sink(node);
-  // Empty epochs still ship their bracket: a silent source and a dead one
-  // must look different to the collector.
-  write_frame(node, node.writer.make_open(), /*droppable=*/false);
-  // Classes ship highest priority first; only the last (lowest) class's
-  // payloads are droppable, so under kDropNewest the stream sheds exactly
-  // the query class declared least important. A single class (all-default
-  // priorities) makes every payload droppable — the pre-priority behavior.
-  for (PriorityClass& cls : node.classes) {
-    const bool droppable = &cls == &node.classes.back();
-    const std::vector<std::vector<std::uint8_t>> chunks =
-        cls.encoder.finish_chunked(config_.max_frame_records);
-    for (const std::vector<std::uint8_t>& chunk : chunks) {
-      const std::vector<std::uint8_t> frame = node.writer.make_payload(chunk);
-      if (write_frame(node, frame, droppable)) {
-        ++node.frames_shipped;
-      } else {
-        node.writer.payload_dropped();
-      }
-    }
-  }
-  if (send_close) {
-    write_frame(node, node.writer.make_close(), /*droppable=*/false);
-  }
-}
-
-void FanInPipeline::pump_source(SinkNode& node) {
+void FanInPipeline::pump_source(unsigned i) {
+  FanInSender& sender = *senders_[i];
   std::array<std::uint8_t, 4096> buf;
   for (;;) {
-    const std::size_t n = node.stream->read(buf);
+    const std::size_t n = sender.stream().read(buf);
     if (n == 0) break;
-    collector_.ingest_stream(node.writer.source(),
+    collector_.ingest_stream(sender.source(),
                              std::span<const std::uint8_t>(buf.data(), n));
   }
-  if (node.stream->eof() && !node.eof_reported) {
-    collector_.end_stream(node.writer.source());
-    node.eof_reported = true;
+  if (sender.stream().eof() && !eof_reported_[i]) {
+    collector_.end_stream(sender.source());
+    eof_reported_[i] = true;
   }
 }
 
 void FanInPipeline::pump_all() {
-  for (auto& node : sinks_) pump_source(*node);
+  if (is_daemon_kind(config_.stream)) return;  // the daemon thread drains
+  for (unsigned i = 0; i < senders_.size(); ++i) pump_source(i);
 }
 
 void FanInPipeline::ship_epoch() {
-  for (auto& node : sinks_) {
-    if (!node->dead) ship_epoch_frames(*node, /*send_close=*/true);
+  for (auto& sender : senders_) {
+    if (!sender->closed()) sender->ship_epoch(/*send_close=*/true);
   }
   pump_all();
 }
 
 void FanInPipeline::kill_source_mid_epoch(unsigned sink) {
-  SinkNode& node = *sinks_[sink];
-  if (node.dead) return;
+  FanInSender& sender = *senders_[sink];
+  if (sender.closed()) return;
   // The source gets its epoch open and its payloads out, then vanishes
   // before the close marker — the classic mid-epoch crash.
-  ship_epoch_frames(node, /*send_close=*/false);
-  node.stream->close_write();
-  node.dead = true;
-  pump_source(node);
+  sender.ship_epoch(/*send_close=*/false);
+  sender.close();
+  if (!is_daemon_kind(config_.stream)) pump_source(sink);
 }
 
 void FanInPipeline::shutdown() {
-  for (auto& node : sinks_) {
-    if (node->dead) continue;
-    ship_epoch_frames(*node, /*send_close=*/true);
-    node->stream->close_write();
-    // Closed means closed: a later deliver()/ship_epoch()/shutdown() must
-    // not write into the closed stream (socketpair would refuse forever,
-    // the ring would feed a source the collector already saw end).
-    node->dead = true;
+  for (auto& sender : senders_) {
+    if (sender->closed()) continue;
+    sender->ship_epoch(/*send_close=*/true);
+    sender->close();
   }
-  pump_all();
+  if (!is_daemon_kind(config_.stream)) {
+    pump_all();
+    return;
+  }
+  // Cross-process: wait for the daemon to see every source's EOF, then
+  // join its thread. The join is the happens-before that makes the
+  // collector's single-threaded state readable from this thread.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (daemon_->sources_ended() < senders_.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  daemon_->stop();
+  daemon_thread_.join();
 }
 
 TransportCounters FanInPipeline::transport_counters() const {
   TransportCounters t;
   t.active = true;
-  for (const auto& node : sinks_) {
-    t.frames_shipped += node->frames_shipped;
-    t.frames_dropped += node->writer.frames_dropped();
-    t.bytes_shipped += node->bytes_shipped;
-    t.blocked_waits += node->blocked_waits;
+  for (const auto& sender : senders_) {
+    t.frames_shipped += sender->frames_shipped();
+    t.frames_dropped += sender->writer().frames_dropped();
+    t.bytes_shipped += sender->bytes_shipped();
+    t.blocked_waits += sender->blocked_waits();
     // Async observer-stage accounting (zero when the sinks deliver
     // synchronously) rides its own fields, so epoch_report() exposes the
     // whole pipeline's admission behavior with stream-writer and
     // observer-ring pressure separately attributable.
-    const TransportCounters obs = node->sink->observer_counters();
+    const TransportCounters obs = sender->sink().observer_counters();
     t.observer_events += obs.observer_events;
     t.observer_drops += obs.observer_drops;
     t.observer_blocked_waits += obs.observer_blocked_waits;
+  }
+  for (const SocketSenderStream* s : socket_senders_) {
+    t.sender_reconnects += s->reconnects();
+    t.frames_resync_discarded += s->frames_resync_discarded();
   }
   return t;
 }
@@ -409,7 +552,7 @@ SinkReport FanInPipeline::epoch_report() const {
 
 std::uint64_t FanInPipeline::bytes_shipped() const {
   std::uint64_t total = 0;
-  for (const auto& node : sinks_) total += node->bytes_shipped;
+  for (const auto& sender : senders_) total += sender->bytes_shipped();
   return total;
 }
 

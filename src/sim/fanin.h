@@ -14,6 +14,15 @@
 ///   sink 2: ShardedSink -> codec -> frames -> stream --+-> FanInCollector
 ///   sink N: ShardedSink -> codec -> frames -> stream --+   (Inference)
 ///
+/// The sending half of one sink host is its own class, `FanInSender`, so
+/// the same code runs in-process (FanInPipeline owns N of them) and
+/// out-of-process (a forked sink process owns one, over a
+/// `SocketSenderStream` to a `CollectorDaemon` — see
+/// transport/collector_daemon.h). `FanInPipeline` wires either topology:
+/// in-process stream kinds pump the collector inline; the daemon kinds
+/// run a real listener on a background thread and the bytes cross a
+/// kernel socket.
+///
 /// Each reporting interval is one *epoch*: an epoch-open marker, the
 /// interval's payload frames (each a self-contained codec buffer), and an
 /// epoch-close marker carrying the shipped-frame count, so the collector
@@ -40,8 +49,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -50,15 +61,26 @@
 #include "pint/framework.h"
 #include "pint/report_codec.h"
 #include "pint/sharded_sink.h"
+#include "transport/collector_daemon.h"
 #include "transport/stream.h"
 
 namespace pint {
 
+class SocketSenderStream;
+
 /// Which ByteStream implementation carries sink -> collector frames.
 enum class StreamKind : std::uint8_t {
   kSpscRing,    ///< in-memory SPSC ring (tests/bench, shared-memory shape)
-  kSocketPair,  ///< unix socketpair: a real kernel transport
+  kSocketPair,  ///< unix socketpair: a real kernel transport, one process
+  kDaemonUnix,  ///< CollectorDaemon over a unix-domain socket
+  kDaemonTcp,   ///< CollectorDaemon over localhost TCP
 };
+
+/// True for the kinds that run a CollectorDaemon listener (the bytes
+/// cross a real socket; the collector is fed by the daemon's thread).
+constexpr bool is_daemon_kind(StreamKind kind) {
+  return kind == StreamKind::kDaemonUnix || kind == StreamKind::kDaemonTcp;
+}
 
 /// What a sink does when its stream cannot take the next payload frame.
 enum class BackpressurePolicy : std::uint8_t {
@@ -87,7 +109,9 @@ struct FanInConfig {
 /// The central Inference-Module endpoint: reassembles framed streams from
 /// any number of sources, tracks epoch integrity per source, decodes
 /// payloads, and replays the records into registered observers.
-class FanInCollector {
+/// Implements `StreamIngest`, so a `CollectorDaemon` can feed it from
+/// real socket connections with identical semantics.
+class FanInCollector final : public StreamIngest {
  public:
   /// Per-source receive-side accounting.
   struct SourceStatus {
@@ -99,6 +123,7 @@ class FanInCollector {
     std::uint64_t payload_frames = 0;
     std::uint64_t frames_missed = 0;   ///< summed sequence-gap sizes
     std::uint64_t decode_failures = 0;  ///< payloads the codec rejected
+    std::uint64_t disconnects = 0;  ///< connection drops (source not ended)
   };
 
   /// Observers receive every record of every ingested stream, in stream
@@ -115,7 +140,7 @@ class FanInCollector {
   /// bytes surface as typed FrameErrors in errors(), never as exceptions.
   /// Bytes for a source that already ended are ignored.
   void ingest_stream(std::uint32_t source,
-                     std::span<const std::uint8_t> bytes);
+                     std::span<const std::uint8_t> bytes) override;
 
   /// Signals end-of-stream for `source` (the transport hit EOF). An epoch
   /// still open at this point is counted incomplete — the source died
@@ -123,7 +148,16 @@ class FanInCollector {
   /// is freed immediately — epoch-based GC, so a long-running collector's
   /// memory scales with *live* sources, not with every source that ever
   /// connected; the compact SourceStatus survives for reporting.
-  void end_stream(std::uint32_t source);
+  void end_stream(std::uint32_t source) override;
+
+  /// The source's connection dropped but the source is *not* done: an
+  /// open epoch is counted incomplete (with any torn frame tail surfacing
+  /// as a typed truncation error), and the reassembler is replaced with a
+  /// fresh one so a reconnected stream resumes at a clean frame boundary
+  /// with a fresh sequence baseline — the old connection's torn tail can
+  /// never splice onto the new connection's bytes. Counted per source in
+  /// SourceStatus::disconnects.
+  void disconnect_stream(std::uint32_t source) override;
 
   /// Sources whose streams have not ended (each holds a live reassembler).
   std::size_t live_sources() const;
@@ -168,9 +202,10 @@ class FanInCollector {
   // Threading contract: the collector is single-threaded by design — every
   // ledger below (per-source reassembly state, error log, byte/record
   // totals) is mutated only from the one thread that calls
-  // ingest_stream()/end_stream(). Concurrency lives *upstream*: N sinks
-  // write framed bytes into their own ByteStreams concurrently, and the
-  // streams serialize delivery. Guarding these maps with a mutex would
+  // ingest_stream()/end_stream()/disconnect_stream(). Concurrency lives
+  // *upstream*: N sinks write framed bytes into their own ByteStreams (or
+  // sockets) concurrently, and the streams — or the daemon's single event
+  // loop — serialize delivery. Guarding these maps with a mutex would
   // synchronize nothing (one thread) while hiding misuse from TSAN; if a
   // concurrent collector is ever needed, shard it per-source like
   // ShardedSink rather than locking this one.
@@ -184,60 +219,65 @@ class FanInCollector {
   std::uint64_t frames_ingested_ = 0;
 };
 
-/// N sharded sink hosts plus the collector, wired through framed streams.
-///
-/// Single-producer: deliver(), ship_epoch(), and the fault hooks must come
-/// from one thread (the simulator's delivery path). Packets are copied
-/// into per-sink staging, so the caller's packet may be transient. The
-/// pipeline pumps its own streams (the "network" here is in-process), so
-/// the kBlock policy drains the collector inline instead of deadlocking.
-class FanInPipeline {
+/// The sending half of one sink host: a ShardedSink, the priority-class
+/// encoders, and the epoch/frame shipping state machine, writing into any
+/// ByteStream. This is the piece a real deployment runs *in the sink
+/// process* — the fork-based integration test (tests/daemon_test.cc) runs
+/// exactly this class in child processes over a SocketSenderStream, so
+/// the cross-process path exercises the same shipping code (priority
+/// order, droppability, drop accounting) as the in-process pipeline.
+class FanInSender {
  public:
-  /// Builds `config.num_sinks` sinks, each with `config.shards_per_sink`
-  /// shards, from one Builder (all replicas decode identically).
-  FanInPipeline(const PintFramework::Builder& builder, FanInConfig config);
+  struct Config {
+    unsigned shards = 1;  ///< worker threads inside the sink
+    std::size_t batch_size = 256;
+    std::size_t max_frame_records = 1024;
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  };
 
-  /// Routes one delivered packet (with its switch-hop count `k`) to its
-  /// owning sink. Suitable as a `SimConfig::sink_tap`.
+  /// Builds the sink and takes ownership of the outbound stream. `source`
+  /// must match the id the far end attributes this stream to (for a
+  /// SocketSenderStream, its hello source id).
+  FanInSender(const PintFramework::Builder& builder, std::uint32_t source,
+              std::unique_ptr<ByteStream> stream, Config config);
+
+  FanInSender(const FanInSender&) = delete;
+  FanInSender& operator=(const FanInSender&) = delete;
+
+  /// Called every time a kBlock (or non-droppable) write is refused —
+  /// the embedding's chance to drain the far end (in-process: pump the
+  /// collector) or just wait (cross-process: the daemon drains on its
+  /// own). Default: a short sleep.
+  void set_on_block(std::function<void()> on_block) {
+    on_block_ = std::move(on_block);
+  }
+
+  /// Routes one delivered packet (with its switch-hop count `k`) into the
+  /// sink's staging. No-op once closed.
   void deliver(const Packet& packet, unsigned k);
 
-  /// Closes out one reporting epoch: flushes every sink, splits each
-  /// sink's pending observer stream into framed payload buffers, ships
-  /// them under an epoch-open/close bracket (applying the backpressure
-  /// policy), and pumps the streams into the collector.
-  void ship_epoch();
+  /// Closes out one reporting epoch: flushes the sink, splits the pending
+  /// observer stream into framed payload buffers per priority class, and
+  /// ships them under an epoch-open/close bracket, applying the
+  /// backpressure policy. `send_close=false` ships the open and payloads
+  /// but no close marker — the mid-epoch-death half of fault injection.
+  void ship_epoch(bool send_close = true);
 
-  /// Fault injection: sink `i` ships its next epoch's open marker and
-  /// payload frames, then dies — no epoch-close marker, stream closed.
-  /// The collector must report the epoch incomplete; other sources are
-  /// unaffected. A dead sink ignores later deliver()/ship_epoch() work.
-  void kill_source_mid_epoch(unsigned sink);
+  /// Closes the outbound stream; the far end sees end-of-stream. Further
+  /// deliver()/ship_epoch() calls are ignored.
+  void close();
+  bool closed() const { return closed_; }
 
-  /// Clean shutdown: ships a final epoch, closes every stream, and pumps
-  /// until the collector has seen every source's end-of-stream.
-  void shutdown();
+  std::uint32_t source() const { return writer_.source(); }
+  ByteStream& stream() { return *stream_; }
+  const ByteStream& stream() const { return *stream_; }
+  ShardedSink& sink() { return *sink_; }
+  const ShardedSink& sink() const { return *sink_; }
+  const FrameWriter& writer() const { return writer_; }
 
-  /// Which sink host owns flows with this tuple.
-  unsigned sink_of(const FiveTuple& tuple) const;
-
-  unsigned num_sinks() const { return static_cast<unsigned>(sinks_.size()); }
-  const ShardedSink& sink(unsigned i) const { return *sinks_[i]->sink; }
-  FanInCollector& collector() { return collector_; }
-  const FanInCollector& collector() const { return collector_; }
-
-  /// Wire-level frame id of sink `i` (stable across the pipeline's life).
-  std::uint32_t source_id(unsigned i) const { return i + 1; }
-
-  /// Merged transport accounting across every sink's stream.
-  TransportCounters transport_counters() const;
-
-  /// A SinkReport carrying the merged TransportCounters (`active` set) —
-  /// the fan-in's per-epoch operational report, shaped like every other
-  /// sink report so observers and dashboards reuse their plumbing.
-  SinkReport epoch_report() const;
-
-  /// Total framed bytes shipped sink -> collector so far.
-  std::uint64_t bytes_shipped() const;
+  std::uint64_t frames_shipped() const { return frames_shipped_; }
+  std::uint64_t bytes_shipped() const { return bytes_shipped_; }
+  std::uint64_t blocked_waits() const { return blocked_waits_; }
 
  private:
   /// One priority class's pending observer stream. Classes ship in
@@ -251,41 +291,124 @@ class FanInPipeline {
     ReportEncoder encoder;
   };
 
-  struct SinkNode {
-    explicit SinkNode(std::uint32_t source) : writer(source) {}
-
-    std::unique_ptr<ShardedSink> sink;
-    // Descending priority; addresses are stable after construction (the
-    // routing tap holds pointers into it).
-    std::vector<PriorityClass> classes;
-    std::unique_ptr<SinkObserver> tap;
-    FrameWriter writer;
-    std::unique_ptr<ByteStream> stream;
-    // Per path-length staging (submit spans must be homogeneous in k), and
-    // the in-flight batches a pending flush() still references.
-    std::unordered_map<unsigned, std::vector<Packet>> staging;
-    std::deque<std::vector<Packet>> in_flight;
-    // Writer-side transport counters for this stream.
-    std::uint64_t frames_shipped = 0;
-    std::uint64_t bytes_shipped = 0;
-    std::uint64_t blocked_waits = 0;
-    bool dead = false;       // killed by fault injection
-    bool eof_reported = false;
-  };
-
-  void submit_staged(SinkNode& node, unsigned k);
-  void flush_sink(SinkNode& node);
+  void submit_staged(unsigned k);
+  void flush_sink();
   /// Applies the backpressure policy; returns false if the frame was
   /// dropped (only possible for droppable frames under kDropNewest).
-  bool write_frame(SinkNode& node, std::span<const std::uint8_t> bytes,
-                   bool droppable);
-  void ship_epoch_frames(SinkNode& node, bool send_close);
-  void pump_source(SinkNode& node);
+  bool write_frame(std::span<const std::uint8_t> bytes, bool droppable);
+
+  Config config_;
+  std::unique_ptr<ShardedSink> sink_;
+  // Descending priority; addresses are stable after construction (the
+  // routing tap holds pointers into it).
+  std::vector<PriorityClass> classes_;
+  std::unique_ptr<SinkObserver> tap_;
+  FrameWriter writer_;
+  std::unique_ptr<ByteStream> stream_;
+  std::function<void()> on_block_;
+  // Per path-length staging (submit spans must be homogeneous in k), and
+  // the in-flight batches a pending flush() still references.
+  std::unordered_map<unsigned, std::vector<Packet>> staging_;
+  std::deque<std::vector<Packet>> in_flight_;
+  // Writer-side transport counters for this stream.
+  std::uint64_t frames_shipped_ = 0;
+  std::uint64_t bytes_shipped_ = 0;
+  std::uint64_t blocked_waits_ = 0;
+  bool closed_ = false;
+};
+
+/// N sharded sink hosts plus the collector, wired through framed streams.
+///
+/// Single-producer: deliver(), ship_epoch(), and the fault hooks must come
+/// from one thread (the simulator's delivery path). Packets are copied
+/// into per-sink staging, so the caller's packet may be transient.
+///
+/// In-process stream kinds (ring, socketpair) pump their own streams —
+/// the "network" is in-process, so the kBlock policy drains the collector
+/// inline instead of deadlocking. Daemon kinds run a real
+/// `CollectorDaemon` (unix-domain or localhost TCP) on a background
+/// thread; every sink's bytes cross a kernel socket through a
+/// `SocketSenderStream`, and the collector is fed only by the daemon
+/// thread. Read the collector (and source_status) after `shutdown()` —
+/// the daemon thread is joined there, which is the happens-before that
+/// makes the collector's single-threaded state safe to read.
+class FanInPipeline {
+ public:
+  /// Builds `config.num_sinks` sinks, each with `config.shards_per_sink`
+  /// shards, from one Builder (all replicas decode identically). Daemon
+  /// kinds bind their listener here (throws TransportError on failure)
+  /// and start the daemon thread.
+  FanInPipeline(const PintFramework::Builder& builder, FanInConfig config);
+
+  /// Stops and joins the daemon thread if shutdown() was not called.
+  ~FanInPipeline();
+
+  /// Routes one delivered packet (with its switch-hop count `k`) to its
+  /// owning sink. Suitable as a `SimConfig::sink_tap`.
+  void deliver(const Packet& packet, unsigned k);
+
+  /// Closes out one reporting epoch on every live sink (see
+  /// FanInSender::ship_epoch) and, for in-process kinds, pumps the
+  /// streams into the collector.
+  void ship_epoch();
+
+  /// Fault injection: sink `i` ships its next epoch's open marker and
+  /// payload frames, then dies — no epoch-close marker, stream closed.
+  /// The collector must report the epoch incomplete; other sources are
+  /// unaffected. A dead sink ignores later deliver()/ship_epoch() work.
+  void kill_source_mid_epoch(unsigned sink);
+
+  /// Clean shutdown: ships a final epoch, closes every stream, and waits
+  /// until the collector has seen every source's end-of-stream (daemon
+  /// kinds: joins the daemon thread). After this the collector is safe to
+  /// read from the calling thread.
+  void shutdown();
+
+  /// Which sink host owns flows with this tuple.
+  unsigned sink_of(const FiveTuple& tuple) const;
+
+  /// The routing rule behind sink_of, exposed so out-of-process senders
+  /// (forked sink processes) can partition traffic identically.
+  static unsigned route_sink(const FiveTuple& tuple, FlowDefinition partition,
+                             unsigned num_sinks);
+
+  unsigned num_sinks() const { return static_cast<unsigned>(senders_.size()); }
+  const ShardedSink& sink(unsigned i) const { return senders_[i]->sink(); }
+  FanInCollector& collector() { return collector_; }
+  const FanInCollector& collector() const { return collector_; }
+
+  /// The daemon listener, when running a daemon kind (else nullptr).
+  const CollectorDaemon* daemon() const { return daemon_.get(); }
+
+  /// Wire-level frame id of sink `i` (stable across the pipeline's life).
+  std::uint32_t source_id(unsigned i) const { return i + 1; }
+
+  /// Merged transport accounting across every sink's stream, including
+  /// sender reconnect/resync counters for daemon kinds.
+  TransportCounters transport_counters() const;
+
+  /// A SinkReport carrying the merged TransportCounters (`active` set) —
+  /// the fan-in's per-epoch operational report, shaped like every other
+  /// sink report so observers and dashboards reuse their plumbing.
+  SinkReport epoch_report() const;
+
+  /// Total framed bytes shipped sink -> collector so far.
+  std::uint64_t bytes_shipped() const;
+
+ private:
+  void pump_source(unsigned i);
   void pump_all();
 
   FanInConfig config_;
-  std::vector<std::unique_ptr<SinkNode>> sinks_;
+  std::vector<std::unique_ptr<FanInSender>> senders_;
+  std::vector<bool> eof_reported_;
   FanInCollector collector_;
+  // Daemon kinds only: the listener, its driving thread, and the raw
+  // sender handles (the senders_ streams, downcast once at construction)
+  // for reconnect/resync counters.
+  std::unique_ptr<CollectorDaemon> daemon_;
+  std::thread daemon_thread_;
+  std::vector<SocketSenderStream*> socket_senders_;
 };
 
 }  // namespace pint

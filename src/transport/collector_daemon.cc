@@ -1,0 +1,294 @@
+#include "transport/collector_daemon.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "transport/io_hooks.h"
+#include "transport/stream.h"
+
+namespace pint {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kHelloMagic = {'P', 'N', 'T', 'H'};
+constexpr std::uint8_t kHelloVersion = 1;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw TransportError(std::string(what) + ": " + std::strerror(errno));
+}
+
+int checked(int rc, const char* what) {
+  if (rc < 0) throw_errno(what);
+  return rc;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kHelloBytes> encode_hello(std::uint32_t source) {
+  std::array<std::uint8_t, kHelloBytes> out{};
+  std::copy(kHelloMagic.begin(), kHelloMagic.end(), out.begin());
+  out[4] = kHelloVersion;
+  // out[5..7] reserved, zero.
+  for (int i = 0; i < 4; ++i) {
+    out[8 + i] = static_cast<std::uint8_t>(source >> (8 * i));
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> decode_hello(
+    std::span<const std::uint8_t, kHelloBytes> bytes) {
+  if (!std::equal(kHelloMagic.begin(), kHelloMagic.end(), bytes.begin())) {
+    return std::nullopt;
+  }
+  if (bytes[4] != kHelloVersion) return std::nullopt;
+  std::uint32_t source = 0;
+  for (int i = 0; i < 4; ++i) {
+    source |= static_cast<std::uint32_t>(bytes[8 + i]) << (8 * i);
+  }
+  if (source == 0) return std::nullopt;
+  return source;
+}
+
+CollectorDaemon::CollectorDaemon(StreamIngest& ingest,
+                                 CollectorDaemonConfig config)
+    : ingest_(ingest), config_(std::move(config)) {
+  if (config_.unix_path.empty() && !config_.tcp) {
+    throw TransportError(
+        "CollectorDaemon needs a unix path and/or a TCP listener");
+  }
+  if (config_.read_chunk_bytes == 0) config_.read_chunk_bytes = 1 << 16;
+  read_buf_.resize(config_.read_chunk_bytes);
+  epoll_fd_ = checked(::epoll_create1(EPOLL_CLOEXEC), "epoll_create1");
+  wake_fd_ = checked(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK), "eventfd");
+  try {
+    add_to_epoll(wake_fd_);
+    if (!config_.unix_path.empty()) setup_unix_listener();
+    if (config_.tcp) setup_tcp_listener();
+  } catch (...) {
+    // Partially constructed: the destructor will not run, so release
+    // whatever was opened before rethrowing.
+    if (unix_listen_fd_ >= 0) ::close(unix_listen_fd_);
+    if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw;
+  }
+}
+
+CollectorDaemon::~CollectorDaemon() {
+  // Live connections are torn down through the normal policy so a daemon
+  // destroyed mid-stream surfaces every open epoch as incomplete instead
+  // of leaking silently half-merged sources.
+  while (!connections_.empty()) {
+    close_connection(connections_.begin()->first, /*orderly=*/false);
+  }
+  if (unix_listen_fd_ >= 0) {
+    ::close(unix_listen_fd_);
+    ::unlink(config_.unix_path.c_str());
+  }
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void CollectorDaemon::setup_unix_listener() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+    throw TransportError("unix socket path too long: " + config_.unix_path);
+  }
+  std::memcpy(addr.sun_path, config_.unix_path.c_str(),
+              config_.unix_path.size() + 1);
+  unix_listen_fd_ = checked(
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0),
+      "socket(AF_UNIX)");
+  ::unlink(config_.unix_path.c_str());  // replace a stale socket file
+  checked(::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)),
+          "bind(unix)");
+  checked(::listen(unix_listen_fd_, SOMAXCONN), "listen(unix)");
+  add_to_epoll(unix_listen_fd_);
+}
+
+void CollectorDaemon::setup_tcp_listener() {
+  tcp_listen_fd_ = checked(
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0),
+      "socket(AF_INET)");
+  const int one = 1;
+  checked(::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one)),
+          "setsockopt(SO_REUSEADDR)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.tcp_port);
+  checked(::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)),
+          "bind(tcp)");
+  checked(::listen(tcp_listen_fd_, SOMAXCONN), "listen(tcp)");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  checked(::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                        &len),
+          "getsockname");
+  bound_tcp_port_ = ntohs(bound.sin_port);
+  add_to_epoll(tcp_listen_fd_);
+}
+
+void CollectorDaemon::add_to_epoll(int fd) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  checked(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev), "epoll_ctl(ADD)");
+}
+
+void CollectorDaemon::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    poll_once(-1);
+  }
+}
+
+bool CollectorDaemon::poll_once(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t tok = 0;
+      // Drain the eventfd so a later stop() can poke again.
+      while (::read(wake_fd_, &tok, sizeof(tok)) > 0) {
+      }
+      continue;
+    }
+    if (fd == unix_listen_fd_ || fd == tcp_listen_fd_) {
+      accept_ready(fd);
+      continue;
+    }
+    // The fd may have been closed by an earlier event in this same batch.
+    if (connections_.find(fd) != connections_.end()) connection_ready(fd);
+  }
+  return n > 0;
+}
+
+void CollectorDaemon::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  // Best-effort poke; EINTR retried, a full eventfd already wakes the loop.
+  ssize_t rc;
+  do {
+    rc = ::write(wake_fd_, &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+}
+
+void CollectorDaemon::accept_ready(int listener_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listener_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Transient accept failures (aborted handshakes, fd pressure) must
+      // not kill the loop — the listener stays armed.
+      return;
+    }
+    connections_.emplace(fd, Connection{fd});
+    add_to_epoll(fd);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    live_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool CollectorDaemon::consume_hello(Connection& conn,
+                                    std::span<const std::uint8_t>& bytes) {
+  const std::size_t want = kHelloBytes - conn.hello_got;
+  const std::size_t take = std::min(want, bytes.size());
+  std::copy_n(bytes.begin(), take, conn.hello.begin() + conn.hello_got);
+  conn.hello_got += take;
+  bytes = bytes.subspan(take);
+  if (conn.hello_got < kHelloBytes) return true;  // need more bytes
+  const auto source =
+      decode_hello(std::span<const std::uint8_t, kHelloBytes>(conn.hello));
+  if (!source.has_value()) {
+    handshake_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (live_source_fds_.find(*source) != live_source_fds_.end()) {
+    // Another live connection already speaks for this source; splicing a
+    // second one in would interleave two frame streams. Reject the
+    // newcomer.
+    handshake_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  conn.source = *source;
+  live_source_fds_.emplace(*source, conn.fd);
+  return true;
+}
+
+void CollectorDaemon::connection_ready(int fd) {
+  for (;;) {
+    const ssize_t n = io_hooks().recv(fd, read_buf_.data(), read_buf_.size(),
+                                      MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_connection(fd, /*orderly=*/false);
+      return;
+    }
+    if (n == 0) {
+      close_connection(fd, /*orderly=*/true);
+      return;
+    }
+    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    Connection& conn = connections_.at(fd);
+    std::span<const std::uint8_t> bytes(read_buf_.data(),
+                                        static_cast<std::size_t>(n));
+    if (conn.source == 0) {
+      if (!consume_hello(conn, bytes)) {
+        close_connection(fd, /*orderly=*/false);
+        return;
+      }
+    }
+    if (!bytes.empty()) ingest_.ingest_stream(conn.source, bytes);
+  }
+}
+
+void CollectorDaemon::close_connection(int fd, bool orderly) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  const std::uint32_t source = it->second.source;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  live_connections_.fetch_sub(1, std::memory_order_relaxed);
+  if (source == 0) return;  // never attributed: nothing to report
+  live_source_fds_.erase(source);
+  if (config_.end_stream_on_disconnect) {
+    // One connection per source per run: EOF (orderly or not) is the end
+    // of the source. A mid-epoch death is the collector's ledger to call.
+    ingest_.end_stream(source);
+    sources_ended_.fetch_add(1, std::memory_order_relaxed);
+  } else if (orderly) {
+    ingest_.end_stream(source);
+    sources_ended_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ingest_.disconnect_stream(source);
+  }
+}
+
+}  // namespace pint

@@ -1,0 +1,202 @@
+/// \file
+/// Cross-process collector daemon: a socket listener + epoll event loop
+/// that feeds remote sink connections into a frame-stream consumer.
+///
+/// This is the first piece of the repo that crosses a process boundary.
+/// The fan-in pipeline (sim/fanin.h) was transport-ready — framed streams,
+/// per-source epoch ledgers, mid-epoch-death semantics — but pumped its
+/// bytes in-process. The daemon replaces the pump with real sockets:
+///
+///   sink proc 1: FanInSender -> SocketSenderStream --(unix/tcp)--+
+///   sink proc 2: FanInSender -> SocketSenderStream --(unix/tcp)--+--> epoll
+///   sink proc N: FanInSender -> SocketSenderStream --(unix/tcp)--+    loop
+///                                                                     |
+///                                           StreamIngest (FanInCollector)
+///
+/// The daemon listens on a unix-domain path, a localhost TCP port, or
+/// both. Each accepted connection identifies itself with a fixed 12-byte
+/// hello (magic, version, source id); every byte after the hello goes to
+/// `StreamIngest::ingest_stream` for that source — the existing
+/// `FrameReassembler` path, so loss, truncation, and corruption semantics
+/// are exactly the in-process ones. A connection that closes is either an
+/// orderly end-of-stream (`end_stream`: the source is done, a still-open
+/// epoch is a mid-epoch death) or a disconnect (`disconnect_stream`: the
+/// open epoch is incomplete but the source may reconnect and resume at the
+/// next epoch boundary) — governed by `end_stream_on_disconnect`. A
+/// SIGKILLed sink and a cleanly finished one both surface as kernel EOF;
+/// the *collector's* epoch ledger tells them apart: died-mid-epoch means
+/// the epoch-open had no close, and that is reported, never merged.
+///
+/// Threading: the daemon's sockets and every `StreamIngest` call live on
+/// the one thread driving `run()` or `poll_once()` — the ingest target
+/// keeps its single-threaded contract. `stop()` and the counters are safe
+/// from any thread. `run()` on a dedicated thread plus `stop()`+join is
+/// the in-process embedding (FanInPipeline daemon mode); a `poll_once()`
+/// loop on the main thread is the fork-safe embedding (no threads exist
+/// when child processes fork off — TSAN-clean).
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pint {
+
+/// The receiving side of a framed stream transport — what a listener
+/// needs from a collector. FanInCollector implements this; the daemon
+/// depends only on the interface, so transport stays below sim in the
+/// layering.
+class StreamIngest {
+ public:
+  virtual ~StreamIngest() = default;
+
+  /// Raw stream bytes from `source`, in connection arrival order.
+  virtual void ingest_stream(std::uint32_t source,
+                             std::span<const std::uint8_t> bytes) = 0;
+
+  /// The source finished for good (orderly end-of-stream). An epoch still
+  /// open is a mid-epoch death.
+  virtual void end_stream(std::uint32_t source) = 0;
+
+  /// The source's connection dropped but it may come back: an open epoch
+  /// is counted incomplete and reassembly state is reset so a reconnected
+  /// stream starts from a clean frame boundary — never spliced onto the
+  /// torn tail of the old connection.
+  virtual void disconnect_stream(std::uint32_t source) = 0;
+};
+
+/// Connection hello: the first bytes a sender writes, identifying which
+/// source id the connection carries. Fixed width so the daemon can parse
+/// it without framing.
+inline constexpr std::size_t kHelloBytes = 12;
+
+/// Serializes a hello for `source` (source 0 is invalid — it is the
+/// frame layer's "unattributable" sentinel).
+std::array<std::uint8_t, kHelloBytes> encode_hello(std::uint32_t source);
+
+/// Parses a hello; nullopt on bad magic/version or a zero source id.
+std::optional<std::uint32_t> decode_hello(
+    std::span<const std::uint8_t, kHelloBytes> bytes);
+
+/// Listener configuration. At least one of `unix_path` / `tcp` must be
+/// set; both may be (sinks pick either endpoint).
+struct CollectorDaemonConfig {
+  /// Filesystem path for the unix-domain listener; empty = no unix
+  /// listener. A stale socket file at the path is replaced. Unlinked on
+  /// destruction.
+  std::string unix_path;
+  /// Listen on 127.0.0.1 TCP. Port 0 binds an ephemeral port — read it
+  /// back with `tcp_port()`.
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  /// true: a closed connection ends its source for good (`end_stream` —
+  /// one connection per source per run; what FanInPipeline daemon mode
+  /// uses, so shutdown can wait on `sources_ended()`).
+  /// false: a closed connection is a `disconnect_stream` — the source may
+  /// reconnect and resume at the next epoch boundary.
+  bool end_stream_on_disconnect = true;
+  /// recv() buffer size per readiness callback.
+  std::size_t read_chunk_bytes = 1 << 16;
+};
+
+/// The listener + event loop. Construction binds and listens (throws
+/// TransportError on failure); no thread is spawned — the caller chooses
+/// the driving thread via `run()` or `poll_once()`.
+class CollectorDaemon {
+ public:
+  CollectorDaemon(StreamIngest& ingest, CollectorDaemonConfig config);
+
+  /// Closes every socket; still-live connections are torn down through
+  /// the same end/disconnect policy a runtime close takes. Must run on
+  /// the driving thread (or after it has been joined).
+  ~CollectorDaemon();
+
+  CollectorDaemon(const CollectorDaemon&) = delete;
+  CollectorDaemon& operator=(const CollectorDaemon&) = delete;
+
+  /// Event loop: blocks dispatching socket events until `stop()`.
+  void run();
+
+  /// One bounded event-loop step: waits up to `timeout_ms` (0 = just
+  /// poll) and dispatches whatever is ready. Returns true if any event
+  /// was handled. The fork-safe way to drive the daemon from a thread
+  /// that has other work (e.g. waitpid bookkeeping).
+  bool poll_once(int timeout_ms);
+
+  /// Requests `run()` to return; safe from any thread, idempotent.
+  void stop();
+
+  /// Bound TCP port (0 when no TCP listener) — the ephemeral-port
+  /// answer. Safe from any thread after construction.
+  std::uint16_t tcp_port() const { return bound_tcp_port_; }
+
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  // Counters, safe from any thread (relaxed atomics; exact values are
+  // settled once the driving thread is joined).
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_closed() const {
+    return connections_closed_.load(std::memory_order_relaxed);
+  }
+  /// Sources whose streams reached an orderly end (end_stream delivered).
+  std::uint64_t sources_ended() const {
+    return sources_ended_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped before attribution: bad hello, or a hello
+  /// claiming a source id another live connection already holds.
+  std::uint64_t handshake_failures() const {
+    return handshake_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t live_connections() const {
+    return live_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint32_t source = 0;  // 0 until the hello completes
+    std::array<std::uint8_t, kHelloBytes> hello{};
+    std::size_t hello_got = 0;
+  };
+
+  void setup_unix_listener();
+  void setup_tcp_listener();
+  void add_to_epoll(int fd);
+  void accept_ready(int listener_fd);
+  void connection_ready(int fd);
+  /// Tears one connection down. `orderly` = the peer half-closed (EOF);
+  /// anything else (recv error, daemon shutdown) is a drop. Both routes
+  /// go through the end/disconnect policy when the source was attributed.
+  void close_connection(int fd, bool orderly);
+  bool consume_hello(Connection& conn, std::span<const std::uint8_t>& bytes);
+
+  StreamIngest& ingest_;
+  CollectorDaemonConfig config_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() pokes the epoll_wait awake
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  std::uint16_t bound_tcp_port_ = 0;
+  std::unordered_map<int, Connection> connections_;          // by fd
+  std::unordered_map<std::uint32_t, int> live_source_fds_;  // source -> fd
+  std::vector<std::uint8_t> read_buf_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> sources_ended_{0};
+  std::atomic<std::uint64_t> handshake_failures_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> live_connections_{0};
+};
+
+}  // namespace pint

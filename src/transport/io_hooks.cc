@@ -1,0 +1,24 @@
+#include "transport/io_hooks.h"
+
+#include <sys/socket.h>
+
+namespace pint {
+
+namespace {
+
+ssize_t real_send(int fd, const void* buf, std::size_t len, int flags) {
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t real_recv(int fd, void* buf, std::size_t len, int flags) {
+  return ::recv(fd, buf, len, flags);
+}
+
+}  // namespace
+
+IoHooks& io_hooks() {
+  static IoHooks hooks{&real_send, &real_recv};
+  return hooks;
+}
+
+}  // namespace pint

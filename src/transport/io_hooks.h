@@ -1,0 +1,44 @@
+/// \file
+/// Syscall indirection for the socket transports — a test seam.
+///
+/// Every send/recv the transport layer issues goes through these pointers,
+/// which default to the real syscalls. Tests swap in wrappers that inject
+/// EINTR (or short writes) deterministically, so the retry discipline in
+/// `SocketPairStream`, `SocketSenderStream`, and `CollectorDaemon` is
+/// exercised without depending on signal-delivery timing.
+///
+/// Contract: the hooks are process-global and NOT synchronized. Swap them
+/// only while no transport object is active on another thread (tests
+/// install before spawning their threads and restore after joining).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace pint {
+
+struct IoHooks {
+  ssize_t (*send)(int fd, const void* buf, std::size_t len, int flags);
+  ssize_t (*recv)(int fd, void* buf, std::size_t len, int flags);
+};
+
+/// The process-wide hook table (defaults to the real syscalls).
+IoHooks& io_hooks();
+
+/// RAII installer: swaps the table in, restores the previous one on exit.
+class ScopedIoHooks {
+ public:
+  explicit ScopedIoHooks(IoHooks hooks) : saved_(io_hooks()) {
+    io_hooks() = hooks;
+  }
+  ~ScopedIoHooks() { io_hooks() = saved_; }
+
+  ScopedIoHooks(const ScopedIoHooks&) = delete;
+  ScopedIoHooks& operator=(const ScopedIoHooks&) = delete;
+
+ private:
+  IoHooks saved_;
+};
+
+}  // namespace pint

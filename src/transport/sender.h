@@ -1,0 +1,148 @@
+/// \file
+/// Sink-side socket sender: a `ByteStream` whose far end is a
+/// CollectorDaemon in another process.
+///
+/// `SocketSenderStream` connects (unix-domain or localhost TCP), sends the
+/// attribution hello, and then carries framed bytes with the same
+/// all-or-nothing `try_write` contract the in-process streams keep — so
+/// `FanInSender`/`FanInPipeline` ship over it unchanged, priority classes
+/// and drop accounting included.
+///
+/// What real sockets add, and how the sender keeps it typed:
+///
+///  * **Nonblocking connect.** Construction never blocks; the first
+///    writes return false (backpressure) until the connect completes.
+///    `wait_connected()` is the impatient caller's bounded wait.
+///  * **Reconnect with backoff.** A lost connection (daemon restart, RST)
+///    schedules an exponential-backoff reconnect; `try_write` keeps
+///    refusing (false) or shedding (below) meanwhile, never throws for
+///    connection loss.
+///  * **Epoch-boundary resynchronization.** A connection that dies with
+///    epoch bytes in flight leaves a torn epoch the collector already
+///    counts incomplete (`disconnect_stream`). Resuming mid-epoch would
+///    splice two half-epochs together, so the sender *discards* every
+///    chunk until the next epoch-open frame, counting each discarded
+///    payload frame (`frames_resync_discarded`). Discarded chunks return
+///    true — they are accepted-and-shed, exactly like a drop-newest drop,
+///    and their sequence numbers stay consumed so nothing is silently
+///    renumbered. The epoch-open that ends the resync window is never
+///    discarded: if it cannot be sent yet it returns false, so a kBlock
+///    writer retries it until the reconnect lands and the stream resumes
+///    cleanly at an epoch boundary. Reconnect therefore surfaces as a
+///    typed incomplete epoch plus exact shed counts — never corruption.
+///
+/// One writer thread, as every ByteStream. `read()` is always 0: the
+/// collector protocol is one-directional.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "transport/stream.h"
+
+namespace pint {
+
+/// Where and how a SocketSenderStream connects.
+struct SocketSenderConfig {
+  /// Non-empty: connect to this unix-domain path (takes precedence).
+  std::string unix_path;
+  /// Otherwise: connect to 127.0.0.1:tcp_port.
+  std::uint16_t tcp_port = 0;
+  /// Source id announced in the hello; must be nonzero and match the
+  /// FrameWriter feeding this stream.
+  std::uint32_t source = 0;
+  /// SO_SNDBUF hint and the stream's advertised capacity().
+  std::size_t buffer_hint_bytes = 1 << 18;
+  /// Reconnect after a lost connection (false: stay down, keep refusing).
+  bool reconnect = true;
+  std::chrono::milliseconds backoff_initial{1};
+  std::chrono::milliseconds backoff_max{200};
+  /// How long close_write() may spend flushing buffered bytes.
+  std::chrono::milliseconds close_flush_timeout{2000};
+};
+
+/// ByteStream over a client socket to a CollectorDaemon.
+class SocketSenderStream final : public ByteStream {
+ public:
+  /// Validates config and starts the first nonblocking connect attempt.
+  /// Throws TransportError only for configuration errors (no endpoint,
+  /// zero source); a daemon that is not up yet is a retry, not an error.
+  explicit SocketSenderStream(SocketSenderConfig config);
+  ~SocketSenderStream() override;
+
+  SocketSenderStream(const SocketSenderStream&) = delete;
+  SocketSenderStream& operator=(const SocketSenderStream&) = delete;
+
+  /// All-or-nothing, like every ByteStream, with two sender-specific
+  /// outcomes: false while disconnected/backing off (backpressure — retry
+  /// later), and true-but-shed for mid-epoch chunks inside a resync
+  /// window (counted in frames_resync_discarded / bytes_discarded).
+  [[nodiscard]] bool try_write(std::span<const std::uint8_t> bytes) override;
+
+  /// Always 0 — the sender never reads; reports flow one way.
+  [[nodiscard]] std::size_t read(std::span<std::uint8_t> out) override;
+
+  /// Flushes buffered bytes (bounded by close_flush_timeout), half-closes
+  /// the socket so the daemon sees an orderly EOF, then closes.
+  void close_write() override;
+
+  /// Never true: there is no read side to drain.
+  [[nodiscard]] bool eof() const override { return false; }
+
+  std::size_t capacity() const override { return config_.buffer_hint_bytes; }
+
+  /// Blocks up to `timeout` for the connection (and hello) to be
+  /// flushable; true if connected. Convenience for startup sequencing.
+  bool wait_connected(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] bool connected() const { return state_ == State::kConnected; }
+
+  /// Successful re-establishments after the first connect.
+  std::uint64_t reconnects() const { return reconnects_; }
+  /// Whole frames shed while waiting for an epoch boundary after a
+  /// reconnect (payload and close frames; the next open ends the window).
+  std::uint64_t frames_resync_discarded() const {
+    return frames_resync_discarded_;
+  }
+  std::uint64_t bytes_discarded() const { return bytes_discarded_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kDisconnected,  // between attempts (backoff) or before the first
+    kConnecting,    // nonblocking connect in flight
+    kConnected,
+  };
+
+  void start_connect();
+  /// Advances the connection state machine; true when writable.
+  bool ensure_connected();
+  void handle_disconnect();
+  /// Sends as much of `buf` as the socket takes (EINTR retried); returns
+  /// bytes consumed, or -1 after a connection loss (state already moved
+  /// to disconnected).
+  ssize_t send_some(const std::uint8_t* data, std::size_t len);
+  /// Drains hello_pending_ then pending_; true when both are empty.
+  bool flush_buffers();
+
+  SocketSenderConfig config_;
+  int fd_ = -1;
+  State state_ = State::kDisconnected;
+  bool write_closed_ = false;
+  bool in_epoch_ = false;     // an epoch-open was sent, its close was not
+  bool need_resync_ = false;  // shed until the next epoch-open chunk
+  std::vector<std::uint8_t> hello_pending_;
+  std::vector<std::uint8_t> pending_;  // tail of a partially sent chunk
+  std::chrono::steady_clock::time_point next_attempt_{};
+  std::chrono::milliseconds backoff_{0};
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t frames_resync_discarded_ = 0;
+  std::uint64_t bytes_discarded_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  bool ever_connected_ = false;
+};
+
+}  // namespace pint

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "transport/io_hooks.h"
+
 namespace pint {
 
 // --- SpscRingStream ---------------------------------------------------------
@@ -22,6 +24,10 @@ SpscRingStream::SpscRingStream(std::size_t capacity_bytes) {
 }
 
 bool SpscRingStream::try_write(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > buffer_.size()) {
+    // A refusal here could never clear — a kBlock writer would spin forever.
+    throw OversizedChunkError(bytes.size(), buffer_.size());
+  }
   const std::size_t head = head_.load(std::memory_order_relaxed);
   const std::size_t tail = tail_.load(std::memory_order_acquire);
   if (buffer_.size() - (head - tail) < bytes.size()) return false;
@@ -60,15 +66,22 @@ bool SpscRingStream::eof() const {
 SocketPairStream::SocketPairStream(std::size_t buffer_hint_bytes) {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-    throw std::runtime_error(std::string("socketpair: ") +
-                             std::strerror(errno));
+    throw TransportError(std::string("socketpair: ") + std::strerror(errno));
   }
   write_fd_ = fds[0];
   read_fd_ = fds[1];
   const int hint = static_cast<int>(
       std::min<std::size_t>(buffer_hint_bytes, 1 << 30));
-  ::setsockopt(write_fd_, SOL_SOCKET, SO_SNDBUF, &hint, sizeof(hint));
-  ::setsockopt(read_fd_, SOL_SOCKET, SO_RCVBUF, &hint, sizeof(hint));
+  if (::setsockopt(write_fd_, SOL_SOCKET, SO_SNDBUF, &hint, sizeof(hint)) !=
+          0 ||
+      ::setsockopt(read_fd_, SOL_SOCKET, SO_RCVBUF, &hint, sizeof(hint)) !=
+          0) {
+    const int err = errno;
+    ::close(write_fd_);
+    ::close(read_fd_);
+    write_fd_ = read_fd_ = -1;
+    throw TransportError(std::string("setsockopt: ") + std::strerror(err));
+  }
   capacity_ = buffer_hint_bytes;
   // Non-blocking behavior comes from MSG_DONTWAIT on every send/recv: a
   // full send buffer surfaces as EAGAIN (the backpressure signal), an
@@ -81,23 +94,30 @@ SocketPairStream::~SocketPairStream() {
 }
 
 bool SocketPairStream::try_write(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > capacity_) {
+    throw OversizedChunkError(bytes.size(), capacity_);
+  }
   if (write_closed_) return false;
   // Drain any remainder of a previously accepted chunk first: bytes must
   // leave in write order, and a refusal here means the pipe is still full.
   while (!pending_.empty()) {
-    const ssize_t n = ::send(write_fd_, pending_.data(), pending_.size(),
-                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    const ssize_t n = io_hooks().send(write_fd_, pending_.data(),
+                                      pending_.size(),
+                                      MSG_DONTWAIT | MSG_NOSIGNAL);
     if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not full: retry
       if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
-      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+      throw TransportError(std::string("send: ") + std::strerror(errno));
     }
     pending_.erase(pending_.begin(), pending_.begin() + n);
   }
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(write_fd_, bytes.data() + sent,
-                             bytes.size() - sent, MSG_DONTWAIT | MSG_NOSIGNAL);
+    const ssize_t n = io_hooks().send(write_fd_, bytes.data() + sent,
+                                      bytes.size() - sent,
+                                      MSG_DONTWAIT | MSG_NOSIGNAL);
     if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not full: retry
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         if (sent == 0) return false;  // nothing consumed: clean refusal
         // The kernel took a prefix; the chunk is committed. Buffer the
@@ -108,7 +128,7 @@ bool SocketPairStream::try_write(std::span<const std::uint8_t> bytes) {
                         bytes.end());
         return true;
       }
-      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+      throw TransportError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -117,16 +137,20 @@ bool SocketPairStream::try_write(std::span<const std::uint8_t> bytes) {
 
 std::size_t SocketPairStream::read(std::span<std::uint8_t> out) {
   if (out.empty() || saw_eof_) return 0;
-  const ssize_t n = ::recv(read_fd_, out.data(), out.size(), MSG_DONTWAIT);
-  if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
-    throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+  for (;;) {
+    const ssize_t n =
+        io_hooks().recv(read_fd_, out.data(), out.size(), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not empty: retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      throw TransportError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      saw_eof_ = true;  // writer shut down and the pipe is drained
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
   }
-  if (n == 0) {
-    saw_eof_ = true;  // writer shut down and the pipe is drained
-    return 0;
-  }
-  return static_cast<std::size_t>(n);
 }
 
 void SocketPairStream::close_write() {
@@ -135,10 +159,13 @@ void SocketPairStream::close_write() {
   // deadlock a single-threaded pipeline (nobody drains the reader while we
   // block), so an undeliverable tail is abandoned: the reader then hits
   // end-of-stream mid-frame and the frame layer reports a typed
-  // truncation error instead of anything silent.
+  // truncation error instead of anything silent. EINTR is a retry, not an
+  // abandonment — only EAGAIN/real errors stop the flush.
   while (!pending_.empty()) {
-    const ssize_t n = ::send(write_fd_, pending_.data(), pending_.size(),
-                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    const ssize_t n = io_hooks().send(write_fd_, pending_.data(),
+                                      pending_.size(),
+                                      MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     pending_.erase(pending_.begin(), pending_.begin() + n);
   }

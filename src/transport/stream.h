@@ -27,9 +27,44 @@
 #include <cstddef>
 #include <atomic>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace pint {
+
+/// Transport-layer failure surfaced as a typed exception: socket setup
+/// errors, unexpected syscall failures, and contract violations a caller
+/// can act on by name instead of string-matching what().
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A chunk no `try_write` on this stream could *ever* accept — it is
+/// larger than the pipe itself. Returning false would invite a livelock
+/// (a kBlock writer retries forever against a refusal that can never
+/// clear), so the streams throw this instead. The fix is configuration:
+/// raise the stream capacity or shrink the chunking
+/// (`FanInConfig::max_frame_records`).
+class OversizedChunkError final : public TransportError {
+ public:
+  OversizedChunkError(std::size_t chunk_bytes, std::size_t capacity_bytes)
+      : TransportError("chunk of " + std::to_string(chunk_bytes) +
+                       " bytes exceeds stream capacity of " +
+                       std::to_string(capacity_bytes) +
+                       " bytes and can never be written; raise the stream "
+                       "capacity or lower max_frame_records"),
+        chunk_bytes_(chunk_bytes),
+        capacity_bytes_(capacity_bytes) {}
+
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::size_t capacity_bytes_;
+};
 
 /// Ordered, bounded byte pipe between one writer and one reader.
 ///

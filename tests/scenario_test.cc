@@ -115,6 +115,55 @@ TEST(Scenario, MemorySqueezeShedsMiceAndStillDetects) {
   EXPECT_GT(result.store_admissions_rejected, 0u);
 }
 
+TEST(Scenario, DaemonFanInDetectsSameStorm) {
+  // The storm scenario with the observer stream crossing real sockets
+  // into a CollectorDaemon: the apps observe the merged collector replay
+  // and must reach the same detections, with the transport lossless.
+  const ScenarioSpec spec = load("daemon_fanin.scn");
+  ASSERT_EQ(spec.sim.fanin, "daemon");
+  ASSERT_EQ(spec.sim.fanin_sinks, 3u);
+  const ScenarioResult result = run_scenario(spec);
+  expect_all_pass(result);
+  EXPECT_GT(result.microburst_events, 0u);
+  EXPECT_TRUE(result.fanin_transport.active);
+  EXPECT_GT(result.fanin_transport.frames_shipped, 0u);
+  EXPECT_EQ(result.fanin_transport.frames_dropped, 0u);
+  EXPECT_EQ(result.fanin_transport.sender_reconnects, 0u);
+  EXPECT_EQ(result.fanin_transport.frames_resync_discarded, 0u);
+  EXPECT_EQ(result.fanin_errors, 0u);
+  EXPECT_EQ(result.fanin_incomplete_epochs, 0u);
+}
+
+TEST(Scenario, FanInKindsAgreeOnDetections) {
+  // The same storm detected through every fan-in stream kind — from the
+  // in-memory ring to localhost TCP through the daemon. The transport
+  // must never change what the apps conclude.
+  for (const char* kind : {"spsc", "socketpair", "daemon_tcp"}) {
+    ScenarioSpec spec = load("microburst_storm.scn");
+    spec.sim.fanin = kind;
+    spec.sim.fanin_sinks = 2;
+    const ScenarioResult result = run_scenario(spec);
+    for (const ExpectOutcome& o : result.outcomes) {
+      EXPECT_TRUE(o.passed) << "fanin=" << kind << ": expect "
+                            << o.expect.what << " " << o.expect.node << " — "
+                            << o.detail;
+    }
+    EXPECT_TRUE(result.fanin_transport.active) << kind;
+    EXPECT_EQ(result.fanin_errors, 0u) << kind;
+    EXPECT_EQ(result.fanin_incomplete_epochs, 0u) << kind;
+  }
+}
+
+TEST(Scenario, RejectsUnknownFanin) {
+  const ScenarioParseResult parsed = parse_scenario(
+      "scenario bad\nseed 1\n"
+      "topology leaf_spine leaves=2 spines=2 hosts_per_leaf=2\n"
+      "sim budget=16 transport=tcp duration_ms=1 fanin=carrier_pigeon\n"
+      "traffic load=0.1 dist=hadoop\n");
+  ASSERT_FALSE(parsed.errors.empty());
+  EXPECT_EQ(parsed.errors.front().code, ParseErrorCode::kBadValue);
+}
+
 TEST(Scenario, MemorySqueezeRejectsUnknownPolicy) {
   const ScenarioParseResult parsed = parse_scenario(
       "scenario bad\nseed 1\n"

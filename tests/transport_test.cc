@@ -4,6 +4,10 @@
 // pipeline treats them interchangeably.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -11,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "transport/io_hooks.h"
 #include "transport/stream.h"
 
 namespace pint {
@@ -84,10 +89,173 @@ TEST_P(ByteStreamContract, ChunkedReadsReassembleExactly) {
   EXPECT_EQ(got, want);
 }
 
+TEST_P(ByteStreamContract, OversizedChunkThrowsTypedError) {
+  // A chunk bigger than the whole pipe could never be accepted; returning
+  // false would livelock a kBlock writer retrying forever. Both
+  // implementations must throw the typed error instead, and an exact-
+  // capacity chunk must still be writable.
+  auto stream = make(128);
+  const std::size_t cap = stream->capacity();
+  const auto too_big = pattern_bytes(cap + 1, 21);
+  try {
+    (void)stream->try_write(too_big);
+    FAIL() << "oversized chunk did not throw";
+  } catch (const OversizedChunkError& e) {
+    EXPECT_EQ(e.chunk_bytes(), cap + 1);
+    EXPECT_EQ(e.capacity_bytes(), cap);
+  }
+  // The stream stays usable after the rejection.
+  EXPECT_TRUE(stream->try_write(pattern_bytes(16, 22)));
+  EXPECT_EQ(drain(*stream), pattern_bytes(16, 22));
+}
+
 INSTANTIATE_TEST_SUITE_P(Transports, ByteStreamContract, ::testing::Bool(),
                          [](const auto& info) {
                            return info.param ? "SocketPair" : "SpscRing";
                          });
+
+// --- EINTR injection --------------------------------------------------------
+//
+// The io_hooks seam lets these tests interrupt exactly the syscalls they
+// mean to, deterministically — no SIGALRM storms, no timing dependence.
+// The regression they pin: SocketPairStream used to treat EINTR as fatal
+// in try_write and read, and the close_write flush loop abandoned the
+// pending tail on any send() <= 0, EINTR included.
+
+// Hook state (tests are single-threaded while hooks are installed).
+std::atomic<int> g_eintr_every_n_sends{0};  // 0 = off
+std::atomic<int> g_send_calls{0};
+std::atomic<int> g_eintr_every_n_recvs{0};
+std::atomic<int> g_recv_calls{0};
+std::atomic<int> g_send_byte_cap{0};  // >0: real-send at most this many bytes
+std::atomic<int> g_eagain_after_sends{0};  // >0: EAGAIN once budget is spent
+
+ssize_t interrupting_send(int fd, const void* buf, std::size_t len,
+                          int flags) {
+  const int call = g_send_calls.fetch_add(1) + 1;
+  const int every = g_eintr_every_n_sends.load();
+  if (every > 0 && call % every == 0) {
+    errno = EINTR;
+    return -1;
+  }
+  const int budget = g_eagain_after_sends.load();
+  if (budget > 0 && call > budget) {
+    errno = EAGAIN;
+    return -1;
+  }
+  std::size_t n = len;
+  const int cap = g_send_byte_cap.load();
+  if (cap > 0) n = std::min(n, static_cast<std::size_t>(cap));
+  return ::send(fd, buf, n, flags);
+}
+
+ssize_t interrupting_recv(int fd, void* buf, std::size_t len, int flags) {
+  const int call = g_recv_calls.fetch_add(1) + 1;
+  const int every = g_eintr_every_n_recvs.load();
+  if (every > 0 && call % every == 0) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+void reset_injection() {
+  g_eintr_every_n_sends = 0;
+  g_send_calls = 0;
+  g_eintr_every_n_recvs = 0;
+  g_recv_calls = 0;
+  g_send_byte_cap = 0;
+  g_eagain_after_sends = 0;
+}
+
+TEST(SocketPairStreamEintr, TryWriteRetriesInterruptedSends) {
+  reset_injection();
+  SocketPairStream stream(1 << 14);
+  const auto want = pattern_bytes(1000, 31);
+  {
+    // Every second send is interrupted and each accepts at most 100
+    // bytes, so one chunk takes many syscalls with EINTR hit on half.
+    g_eintr_every_n_sends = 2;
+    g_send_byte_cap = 100;
+    ScopedIoHooks hooks({&interrupting_send, &interrupting_recv});
+    ASSERT_TRUE(stream.try_write(want));
+  }
+  EXPECT_GT(g_send_calls.load(), 15);  // the cap really split the chunk
+  // Small sends carry per-skb kernel accounting, so the stream may have
+  // parked a tail after a genuine EAGAIN; drain + close + drain recovers
+  // every byte regardless.
+  std::vector<std::uint8_t> got = drain(stream);
+  stream.close_write();
+  const auto rest = drain(stream);
+  got.insert(got.end(), rest.begin(), rest.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SocketPairStreamEintr, ReadRetriesInterruptedRecvs) {
+  reset_injection();
+  SocketPairStream stream(1 << 14);
+  const auto want = pattern_bytes(512, 43);
+  ASSERT_TRUE(stream.try_write(want));
+  // Every read's first recv is interrupted; the retry must deliver the
+  // bytes instead of throwing (old behavior) or reporting empty.
+  g_eintr_every_n_recvs = 2;
+  g_recv_calls = 1;  // phase so call #2, #4, ... (each first try) hit EINTR
+  ScopedIoHooks hooks({&interrupting_send, &interrupting_recv});
+  EXPECT_EQ(drain(stream), want);
+}
+
+TEST(SocketPairStreamEintr, PendingTailDrainRetriesEintr) {
+  reset_injection();
+  SocketPairStream stream(1 << 14);
+  {
+    // First write: the hook lets 10 bytes through, then fakes a full
+    // kernel buffer — the stream must buffer the 90-byte tail and report
+    // the chunk accepted.
+    g_send_byte_cap = 10;
+    g_eagain_after_sends = 1;
+    ScopedIoHooks hooks({&interrupting_send, &interrupting_recv});
+    ASSERT_TRUE(stream.try_write(pattern_bytes(100, 57)));
+  }
+  reset_injection();
+  {
+    // Second write: draining the pending tail hits EINTR on every other
+    // send; the drain must retry through it, then take the new chunk.
+    g_eintr_every_n_sends = 2;
+    ScopedIoHooks hooks({&interrupting_send, &interrupting_recv});
+    ASSERT_TRUE(stream.try_write(pattern_bytes(50, 58)));
+  }
+  EXPECT_GT(g_send_calls.load(), 1);  // the EINTR really fired
+  auto want = pattern_bytes(100, 57);
+  const auto second = pattern_bytes(50, 58);
+  want.insert(want.end(), second.begin(), second.end());
+  std::vector<std::uint8_t> got = drain(stream);
+  stream.close_write();
+  const auto rest = drain(stream);
+  got.insert(got.end(), rest.begin(), rest.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SocketPairStreamEintr, CloseWriteFlushesTailThroughEintr) {
+  reset_injection();
+  SocketPairStream stream(1 << 14);
+  {
+    g_send_byte_cap = 10;
+    g_eagain_after_sends = 1;
+    ScopedIoHooks hooks({&interrupting_send, &interrupting_recv});
+    ASSERT_TRUE(stream.try_write(pattern_bytes(100, 71)));  // 90-byte tail
+  }
+  reset_injection();
+  {
+    // The flush loop's first send is interrupted. The old code broke out
+    // on any n <= 0 and silently abandoned the tail.
+    g_eintr_every_n_sends = 2;
+    g_send_calls = 1;  // phase: the very next send call hits EINTR
+    ScopedIoHooks hooks({&interrupting_send, &interrupting_recv});
+    stream.close_write();
+  }
+  EXPECT_EQ(drain(stream), pattern_bytes(100, 71));
+  EXPECT_TRUE(stream.eof());
+}
 
 TEST(SpscRingStream, RefusesWritesBeyondCapacityAllOrNothing) {
   SpscRingStream stream(128);  // rounds to 128

@@ -191,6 +191,7 @@ struct PipelineConfig {
   OverflowPolicy policy = OverflowPolicy::kBlock;
   unsigned observer_work = 0;
   unsigned shards = 2;
+  unsigned relay_threads = 1;  // async only; clamped to shard count
 };
 
 struct PipelineRun {
@@ -206,7 +207,7 @@ PipelineRun run_pipeline(const Workload& w, const PipelineConfig& cfg) {
   auto builder = three_query_builder();
   builder.recording_arena(cfg.arena);
   if (cfg.async_depth > 0) {
-    builder.async_observers(cfg.async_depth, cfg.policy);
+    builder.async_observers(cfg.async_depth, cfg.policy, cfg.relay_threads);
   }
 
   ShardedSink sink(builder, cfg.shards);
@@ -257,14 +258,21 @@ PipelineRun run_pipeline(const Workload& w, const PipelineConfig& cfg) {
   return run;
 }
 
-// Best-of-N wall-clock: each rep builds a fresh pipeline (stores start
-// empty), so reps are independent and the best rep is the least-disturbed.
-PipelineRun best_of(const Workload& w, const PipelineConfig& cfg,
-                    unsigned reps) {
-  PipelineRun best;
+// Best-of-N wall-clock over the whole config matrix, rep-major: each rep
+// builds a fresh pipeline (stores start empty), so reps are independent
+// and the best rep is the least-disturbed. Interleaving the configs
+// inside each rep — rather than running one config's reps back to back —
+// means a slow noise epoch on the host degrades every config's draw for
+// that rep equally instead of biasing whichever config it landed on.
+std::vector<PipelineRun> best_of_matrix(const Workload& w,
+                                        const std::vector<PipelineConfig>& cfgs,
+                                        unsigned reps) {
+  std::vector<PipelineRun> best(cfgs.size());
   for (unsigned r = 0; r < reps; ++r) {
-    PipelineRun run = run_pipeline(w, cfg);
-    if (run.pps > best.pps) best = std::move(run);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      PipelineRun run = run_pipeline(w, cfgs[i]);
+      if (run.pps > best[i].pps) best[i] = std::move(run);
+    }
   }
   return best;
 }
@@ -399,7 +407,10 @@ int run(int argc, char** argv) {
 
   const std::size_t flows = smoke ? 80 : 600;
   const std::size_t packets_per_flow = smoke ? 10 : 60;
-  const unsigned reps = smoke ? 1 : 3;
+  // Each pipeline pass times a ~50 ms window; co-tenant interference on
+  // the CI host swings single draws by ±15%+. Best-of-7 converges both
+  // sides of every before/after ratio to their least-disturbed draw.
+  const unsigned reps = smoke ? 1 : 7;
   constexpr unsigned kHeavyWork = 192;  // FNV rounds per observer event
 
   double encode_pps = 0;
@@ -409,6 +420,7 @@ int run(int argc, char** argv) {
   row("  at_switch encode           %12.0f hop-encodes/s", encode_pps);
 
   JsonWriter json;
+  row("  host profile               %12s", JsonWriter::default_profile().c_str());
   json.add("bench_hotpath", "at_switch", "hop_encodes_per_sec", encode_pps,
            "eps");
 
@@ -417,17 +429,26 @@ int run(int argc, char** argv) {
   // The measured matrix. *_heavy configs model an expensive sink-side
   // observer (dashboard/detector); pipeline_sync_heap_* is the pre-PR
   // shape (before), the rest are this PR's configurations (after).
+  //
+  // Async depth: with the chunked relay transport the ring depth is an
+  // in-flight *event budget*, not a per-event handshake count. 1024 events
+  // is barely two submit bursts (~2 x 512 packets x ~2 events/packet), so
+  // on hosts with fewer cores than threads the producer and relay are
+  // forced into lockstep — each runs for one burst, blocks, and yields.
+  // kAsyncDepth gives both sides several bursts of runway between context
+  // switches; at ~136 B/event it bounds in-flight memory at ~2 MiB/shard.
+  constexpr std::size_t kAsyncDepth = 16384;
   const std::vector<PipelineConfig> configs = {
       {"pipeline_sync_heap_light", /*arena=*/false, 0, OverflowPolicy::kBlock,
        0},
       {"pipeline_arena_light", /*arena=*/true, 0, OverflowPolicy::kBlock, 0},
-      {"pipeline_async_block_light", /*arena=*/true, 1024,
+      {"pipeline_async_block_light", /*arena=*/true, kAsyncDepth,
        OverflowPolicy::kBlock, 0},
       {"pipeline_sync_heap_heavy", /*arena=*/false, 0, OverflowPolicy::kBlock,
        kHeavyWork},
       {"pipeline_arena_heavy", /*arena=*/true, 0, OverflowPolicy::kBlock,
        kHeavyWork},
-      {"pipeline_async_block_heavy", /*arena=*/true, 1024,
+      {"pipeline_async_block_heavy", /*arena=*/true, kAsyncDepth,
        OverflowPolicy::kBlock, kHeavyWork},
       {"pipeline_async_drop_heavy", /*arena=*/true, 256,
        OverflowPolicy::kDropNewest, kHeavyWork},
@@ -435,8 +456,10 @@ int run(int argc, char** argv) {
 
   std::uint64_t total_events = 0;  // lossless ground truth, set by 1st run
   row("%-28s %14s %10s %10s", "config", "packets/s", "events", "drops");
-  for (const PipelineConfig& cfg : configs) {
-    const PipelineRun result = best_of(w, cfg, reps);
+  const std::vector<PipelineRun> results = best_of_matrix(w, configs, reps);
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    const PipelineConfig& cfg = configs[ci];
+    const PipelineRun& result = results[ci];
     row("%-28s %14.0f %10llu %10llu", cfg.name.c_str(), result.pps,
         static_cast<unsigned long long>(result.sink_events),
         static_cast<unsigned long long>(result.sink_drops));
@@ -475,6 +498,53 @@ int run(int argc, char** argv) {
     }
   }
   row("gates: fan-in identity OK, drop accounting exact OK");
+
+  // Relay/worker thread-scaling matrix: how the async transport behaves as
+  // the worker (shard) and relay pools grow. On a 1-core host every row is
+  // oversubscribed and the series documents scheduling overhead, not
+  // speedup — which is exactly why the numbers are keyed by host profile
+  // (see bench_json.h) and only ever compared within one profile. Runs in
+  // smoke mode too, so CI exercises the multi-relay construction paths.
+  header("thread scaling (async transport, kBlock)");
+  row("%-28s %14s %10s %10s", "config", "packets/s", "events", "drops");
+  std::vector<PipelineConfig> scaling;
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    PipelineConfig cfg;
+    cfg.name = "scale_workers_" + std::to_string(workers);
+    cfg.async_depth = kAsyncDepth;
+    cfg.shards = workers;
+    scaling.push_back(std::move(cfg));
+  }
+  for (const unsigned relays : {1u, 2u, 4u, 8u}) {
+    // 8 shards so every relay count differs (relays are clamped to the
+    // shard count); scale_relays_1 intentionally duplicates
+    // scale_workers_8 as the series' shared anchor point.
+    PipelineConfig cfg;
+    cfg.name = "scale_relays_" + std::to_string(relays);
+    cfg.async_depth = kAsyncDepth;
+    cfg.shards = 8;
+    cfg.relay_threads = relays;
+    scaling.push_back(std::move(cfg));
+  }
+  const std::vector<PipelineRun> scaled = best_of_matrix(w, scaling, reps);
+  for (std::size_t ci = 0; ci < scaling.size(); ++ci) {
+    const PipelineRun& result = scaled[ci];
+    row("%-28s %14.0f %10llu %10llu", scaling[ci].name.c_str(), result.pps,
+        static_cast<unsigned long long>(result.sink_events),
+        static_cast<unsigned long long>(result.sink_drops));
+    json.add("bench_hotpath", scaling[ci].name, "packets_per_sec",
+             result.pps, "pps");
+    // All rows are lossless kBlock: whatever the thread topology, every
+    // emitted event must be delivered exactly once.
+    if (result.sink_events != total_events || result.sink_drops != 0) {
+      std::printf("GATE FAILED: %s lost observer events (%llu/%llu)\n",
+                  scaling[ci].name.c_str(),
+                  static_cast<unsigned long long>(result.sink_events),
+                  static_cast<unsigned long long>(total_events));
+      return 1;
+    }
+  }
+  row("gate: thread-scaling delivery exact OK");
 
   header("stage micro-benchmarks");
   bench_decode_stage(w, reps, json);

@@ -6,6 +6,7 @@
 //   {
 //     "schema": "pint-bench-v1",
 //     "smoke": false,
+//     "profile": "1core",
 //     "results": [
 //       {"bench": "bench_hotpath", "config": "pipeline_sync",
 //        "metric": "packets_per_sec", "value": 123456.0, "unit": "pps",
@@ -17,12 +18,21 @@
 // The output path comes from `--json=PATH` on the command line or the
 // PINT_BENCH_JSON environment variable; with neither set, nothing is
 // written. tools/check_bench_regression.py consumes this format.
+//
+// "profile" names the host class the numbers were measured on (thread
+// budget is the dominant variable for the sharded-sink series: a 1-core
+// container and a 64-core box produce numbers that must never be compared
+// against each other). It defaults to "<hardware_concurrency>core" and is
+// overridden with PINT_BENCH_PROFILE; the regression checker's --profile
+// flag matches baselines against it.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace pint::bench {
@@ -40,6 +50,20 @@ class JsonWriter {
                               higher_is_better});
   }
 
+  /// Overrides the host profile key (default: PINT_BENCH_PROFILE, else
+  /// "<hardware_concurrency>core"). Same identifier rules as add().
+  void set_profile(std::string_view profile) {
+    profile_ = std::string(profile);
+  }
+
+  /// The effective host profile key for this run.
+  static std::string default_profile() {
+    const char* env = std::getenv("PINT_BENCH_PROFILE");
+    if (env != nullptr && env[0] != '\0') return std::string(env);
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return std::to_string(hw) + "core";
+  }
+
   /// Writes the collected results; returns false on I/O failure. No-op
   /// (returns true) when `path` is empty.
   bool write(const std::string& path, bool smoke) const {
@@ -49,9 +73,12 @@ class JsonWriter {
       std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
       return false;
     }
+    const std::string profile =
+        profile_.empty() ? default_profile() : profile_;
     std::fprintf(f, "{\n  \"schema\": \"pint-bench-v1\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n  \"results\": [", smoke ? "true"
-                                                                : "false");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"profile\": \"%s\",\n  \"results\": [",
+                 profile.c_str());
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const Result& r = results_[i];
       std::fprintf(f,
@@ -93,6 +120,7 @@ class JsonWriter {
   };
 
   std::vector<Result> results_;
+  std::string profile_;  // empty -> default_profile() at write time
 };
 
 }  // namespace pint::bench

@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cacheline.h"
+
 namespace pint {
 
 /// One CPU "relax" hint: tells the core we are in a spin-wait so it can
@@ -176,12 +178,17 @@ class MpmcQueue {
     T value;
   };
 
-  static constexpr std::size_t kCacheLine = 64;
-
   std::vector<Cell> cells_;
   std::size_t mask_;
-  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producers
-  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumers
+  // Both cursors are multi-writer by design (CAS arbitration) — padding
+  // cannot remove that contention, but private lines keep producer CAS
+  // traffic off the consumers' cursor and both off cells_/mask_.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};  // producers
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  // consumers
 };
+
+// See common/cacheline.h: a decayed alignas here would silently put both
+// cursors on one line — the textbook MPMC false-sharing bug.
+PINT_ASSERT_CACHELINE_ALIGNED(MpmcQueue<int>);
 
 }  // namespace pint

@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cacheline.h"
+
 namespace pint {
 
 template <typename T>
@@ -103,14 +105,21 @@ class SpscQueue {
   }
 
  private:
-  static constexpr std::size_t kCacheLine = 64;
-
   std::vector<T> cells_;
   std::size_t mask_;
-  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer writes
-  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer writes
-  alignas(kCacheLine) std::size_t tail_cache_ = 0;  // producer's view of tail
-  alignas(kCacheLine) std::size_t head_cache_ = 0;  // consumer's view of head
+  // Four private cache lines (common/cacheline.h): each index has one
+  // writer and one reader, and each side's stale-tolerant cache of the
+  // other index is written only by its owner — separating all four keeps
+  // a push from invalidating the popper's lines and vice versa.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};  // producer
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  // consumer
+  alignas(kCacheLineBytes) std::size_t tail_cache_ = 0;  // producer's view
+  alignas(kCacheLineBytes) std::size_t head_cache_ = 0;  // consumer's view
 };
+
+// The index/cache lines above are the queue's whole point; if the alignas
+// decays the ring still works, just slower on every core count — make it
+// a compile error instead.
+PINT_ASSERT_CACHELINE_ALIGNED(SpscQueue<int>);
 
 }  // namespace pint

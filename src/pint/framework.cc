@@ -120,9 +120,13 @@ PintFramework::Builder& PintFramework::Builder::memory_report_interval(
 }
 
 PintFramework::Builder& PintFramework::Builder::async_observers(
-    std::size_t depth, OverflowPolicy policy) {
+    std::size_t depth, OverflowPolicy policy, unsigned relay_threads) {
+  if (relay_threads == 0) {
+    throw std::invalid_argument("async_observers needs >= 1 relay thread");
+  }
   async_depth_ = depth;
   async_policy_ = policy;
+  async_relay_threads_ = relay_threads;
   return *this;
 }
 

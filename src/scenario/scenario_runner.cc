@@ -216,7 +216,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     FanInConfig fanin_cfg;
     fanin_cfg.num_sinks = spec.sim.fanin_sinks;
     fanin_cfg.shards_per_sink = 1;
-    fanin_cfg.batch_size = 64;
+    // Match FanInConfig's default burst size: big enough to amortize the
+    // MPMC push and flow-key hashing per submit(span), small enough that
+    // an episode's tail packets never sit staged past a detection window.
+    fanin_cfg.batch_size = 256;
     fanin_cfg.stream = fanin_kind(spec.sim.fanin);
     fanin_cfg.max_frame_records = 256;
     pipeline = std::make_unique<FanInPipeline>(

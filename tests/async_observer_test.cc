@@ -351,6 +351,66 @@ TEST(AsyncObservers, DropNewestShedsOnlyMinimumPriorityQueries) {
   EXPECT_GE(memory.reports, packets.size() / 100 / 2);
 }
 
+TEST(AsyncObservers, CoalescedWakeupsLoseNothingAcrossFlushCycles) {
+  // Regression test for the wakeup-coalescing bug class: the relay sleeps
+  // between batches and the worker publishes under a deferred-fold counter
+  // protocol, so the dangerous schedule is "tiny batch, flush, repeat" —
+  // every cycle forces a sleep/wake (or inline-delivery) transition, and a
+  // lost wakeup or a stale fold shows up as a hung flush() or a count that
+  // lags the submitted traffic. Run the same cycle-chopped workload with a
+  // fast observer (worker keeps up: the inline path delivers) and a slow
+  // one (ring path + real relay wakeups); both must stay exact after
+  // EVERY cycle, not just at the end.
+  const std::vector<Packet> packets = make_encoded_traffic();
+  std::vector<SinkReport> sync_reports(packets.size());
+  const RecordingObserver sync_obs =
+      run_sink(three_query_builder(), 2, packets, sync_reports);
+  ASSERT_FALSE(sync_obs.records.empty());
+
+  for (const auto delay :
+       {std::chrono::microseconds{0}, std::chrono::microseconds{3}}) {
+    auto builder = three_query_builder();
+    builder.async_observers(64, OverflowPolicy::kBlock);
+    RecordingObserver obs;
+    obs.delay = delay;
+    ShardedSink sink(builder, 2);
+    sink.add_observer(&obs);
+
+    const std::span<const Packet> all(packets);
+    constexpr std::size_t kCycle = 7;  // odd and tiny: never batch-aligned
+    for (std::size_t off = 0; off < all.size(); off += kCycle) {
+      const std::size_t n = std::min(kCycle, all.size() - off);
+      sink.submit(all.subspan(off, n), kHops);
+      sink.flush();
+      // flush() has drained the transport: the published counter and the
+      // observer's view must agree exactly, mid-stream.
+      const TransportCounters t = sink.observer_counters();
+      ASSERT_EQ(t.observer_events, obs.records.size())
+          << "after submitting " << (off + n) << " packets (delay "
+          << delay.count() << "us)";
+      ASSERT_EQ(t.observer_drops, 0u);
+    }
+
+    // The chopped-up schedule must still produce the exact synchronous
+    // stream: same events, same per-shard order.
+    EXPECT_EQ(obs.records.size(), sync_obs.records.size());
+    EXPECT_EQ(canonical_bytes(obs.records),
+              canonical_bytes(sync_obs.records))
+        << "delay " << delay.count() << "us";
+    std::map<std::uint64_t, PacketId> last_seen;
+    for (const auto& rec : obs.records) {
+      if (rec.query != "path") continue;
+      auto [it, first] =
+          last_seen.try_emplace(rec.ctx.flow, rec.ctx.packet_id);
+      if (!first) {
+        EXPECT_LE(it->second, rec.ctx.packet_id)
+            << "flow " << rec.ctx.flow << " reordered across flush cycles";
+        it->second = rec.ctx.packet_id;
+      }
+    }
+  }
+}
+
 TEST(AsyncObservers, MemoryReportsRideTheRelay) {
   const std::vector<Packet> packets = make_encoded_traffic();
   auto builder = three_query_builder();

@@ -4,6 +4,7 @@
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
     check_bench_regression.py --baseline a.json --baseline b.json CURRENT.json
+    check_bench_regression.py --profile 1core --baseline b.json CURRENT.json
 
 Matches results on (bench, config, metric) and flags entries whose value
 moved against their `higher_is_better` direction by more than the
@@ -17,6 +18,14 @@ baseline files at once (e.g. per-bench baselines, or per-host profiles of
 the same bench), each compared independently with its own report section.
 The positional BASELINE form is kept for compatibility and is equivalent
 to a single `--baseline`.
+
+`--profile KEY` restricts the comparison to baselines measured on the
+same host class (bench-json's top-level "profile", e.g. "1core"): a
+baseline declaring a different profile is skipped with a note — numbers
+from a 64-core box are not a regression reference for a 1-core container
+— and a baseline declaring no profile (pre-profile snapshot) matches any
+key. It is an error when no baseline survives the filter: a comparison
+that silently checked nothing would read as a pass.
 
 Entries present on only one side are reported informationally: new benches
 are expected to appear, and retired configs to vanish, without failing the
@@ -108,6 +117,10 @@ def main():
                              "(per-bench baselines or per-host profiles)")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="flag moves worse than this fraction")
+    parser.add_argument("--profile", default=None,
+                        help="host-profile key (bench-json 'profile'); "
+                             "baselines declaring a different profile are "
+                             "skipped, baselines declaring none match any")
     args = parser.parse_args()
 
     baselines = list(args.baseline)
@@ -120,6 +133,24 @@ def main():
                      "'--baseline B [--baseline B2 ...] CURRENT'")
 
     cur_doc, cur = load(current)
+    if args.profile:
+        cur_profile = cur_doc.get("profile")
+        if cur_profile is not None and cur_profile != args.profile:
+            print(f"note: current run labels itself profile "
+                  f"'{cur_profile}', not '{args.profile}'")
+        kept = []
+        for baseline in baselines:
+            base_profile = load(baseline)[0].get("profile")
+            if base_profile is None or base_profile == args.profile:
+                kept.append(baseline)
+            else:
+                print(f"note: skipping {baseline} (profile "
+                      f"'{base_profile}' does not match "
+                      f"'{args.profile}')")
+        if not kept:
+            sys.exit(f"no baseline matches profile '{args.profile}' — "
+                     "nothing was compared")
+        baselines = kept
     problems = 0
     for i, baseline in enumerate(baselines):
         if len(baselines) > 1:

@@ -25,10 +25,12 @@ cbr = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(cbr)
 
 
-def doc(results, smoke=False):
+def doc(results, smoke=False, profile=None):
     out = {"schema": "pint-bench-v1", "results": results}
     if smoke:
         out["smoke"] = True
+    if profile is not None:
+        out["profile"] = profile
     return out
 
 
@@ -191,6 +193,62 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("[REGRESSION]", out)
         self.assertIn("encode/default/throughput", out)
+
+    def test_profile_mismatch_skips_baseline(self):
+        # A 64-core baseline is not a reference for a 1-core run: the
+        # mismatched baseline is skipped (with a note), the matching one
+        # is still compared — and a regression against it still fails.
+        code, out = self.run_tool_multi(
+            [doc([series("decode", 100.0)], profile="64core"),
+             doc([series("decode", 100.0)], profile="1core")],
+            doc([series("decode", 10.0)], profile="1core"),
+            extra_argv=["--profile", "1core"])
+        self.assertEqual(code, 1)
+        self.assertIn("skipping", out)
+        self.assertIn("64core", out)
+        self.assertIn("[REGRESSION]", out)
+
+    def test_profile_no_match_errors(self):
+        # Every baseline filtered out: comparing nothing must not pass.
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_tool_multi(
+                [doc([series("decode", 100.0)], profile="64core")],
+                doc([series("decode", 10.0)], profile="1core"),
+                extra_argv=["--profile", "1core"])
+        self.assertIn("no baseline matches profile", str(ctx.exception))
+
+    def test_profile_missing_in_baseline_matches_any(self):
+        # Pre-profile baselines carry no key and stay comparable.
+        code, out = self.run_tool_multi(
+            [doc([series("decode", 100.0)])],
+            doc([series("decode", 110.0)], profile="1core"),
+            extra_argv=["--profile", "1core"])
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+    def test_profile_multi_profile_baselines(self):
+        # Several per-profile baselines of the same bench: only the
+        # matching profile's numbers are enforced; the current run passing
+        # against its own profile passes overall despite being far below
+        # the other profile's baseline.
+        code, out = self.run_tool_multi(
+            [doc([series("decode", 1000.0)], profile="64core"),
+             doc([series("decode", 100.0)], profile="1core")],
+            doc([series("decode", 105.0)], profile="1core"),
+            extra_argv=["--profile", "1core"])
+        self.assertEqual(code, 0)
+        self.assertIn("skipping", out)
+        self.assertIn("no regressions", out)
+
+    def test_profile_current_label_mismatch_notes(self):
+        # The current file's own label disagreeing with --profile is worth
+        # a note (likely a mis-set PINT_BENCH_PROFILE), not a failure.
+        code, out = self.run_tool_multi(
+            [doc([series("decode", 100.0)], profile="1core")],
+            doc([series("decode", 110.0)], profile="8core"),
+            extra_argv=["--profile", "1core"])
+        self.assertEqual(code, 0)
+        self.assertIn("labels itself profile", out)
 
     def test_mixed_positional_and_flag_rejected(self):
         with tempfile.TemporaryDirectory() as tmp:
